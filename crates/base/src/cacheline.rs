@@ -1,0 +1,73 @@
+//! Cache-line geometry helpers.
+//!
+//! Both Intel RTM and one-sided RDMA interact with memory at cache-line
+//! granularity: RTM tracks read/write sets per line, and an RDMA write is
+//! atomic *within* a line but not across lines. Every simulated component
+//! therefore shares these constants.
+
+/// Size of a cache line in bytes (x86-64).
+pub const CACHE_LINE: usize = 64;
+
+/// Returns the cache-line index containing byte `offset`.
+#[inline]
+pub fn line_of(offset: usize) -> usize {
+    offset / CACHE_LINE
+}
+
+/// Returns the inclusive range of cache-line indices touched by
+/// `len` bytes starting at `offset`.
+///
+/// An empty access (`len == 0`) touches no lines; the returned range is
+/// empty in that case.
+#[inline]
+pub fn line_range(offset: usize, len: usize) -> core::ops::Range<usize> {
+    if len == 0 {
+        return line_of(offset)..line_of(offset);
+    }
+    line_of(offset)..line_of(offset + len - 1) + 1
+}
+
+/// Rounds `n` up to the next multiple of the cache-line size.
+#[inline]
+pub fn round_up_line(n: usize) -> usize {
+    (n + CACHE_LINE - 1) & !(CACHE_LINE - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_of_basics() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(63), 0);
+        assert_eq!(line_of(64), 1);
+        assert_eq!(line_of(128), 2);
+    }
+
+    #[test]
+    fn line_range_within_one_line() {
+        assert_eq!(line_range(0, 8), 0..1);
+        assert_eq!(line_range(56, 8), 0..1);
+    }
+
+    #[test]
+    fn line_range_spanning_lines() {
+        assert_eq!(line_range(60, 8), 0..2);
+        assert_eq!(line_range(0, 65), 0..2);
+        assert_eq!(line_range(64, 192), 1..4);
+    }
+
+    #[test]
+    fn line_range_empty() {
+        assert!(line_range(100, 0).is_empty());
+    }
+
+    #[test]
+    fn round_up() {
+        assert_eq!(round_up_line(0), 0);
+        assert_eq!(round_up_line(1), 64);
+        assert_eq!(round_up_line(64), 64);
+        assert_eq!(round_up_line(65), 128);
+    }
+}

@@ -1,0 +1,177 @@
+//! Virtual time and the operation cost model.
+//!
+//! The evaluation host exposes a single CPU core, so measuring wall-clock
+//! throughput of a many-node, many-thread cluster simulation would only
+//! measure the host scheduler. Instead, every simulated worker owns a
+//! [`VClock`] — a private nanosecond counter — and charges each operation
+//! a cost drawn from a [`CostModel`]. Shared resources (the per-node NIC)
+//! are modelled in the same virtual time by [`crate::link::LinkBudget`].
+//!
+//! Throughput is then `committed transactions / elapsed virtual time`,
+//! which is independent of how the host happens to schedule the worker
+//! threads. Conflicts and aborts still come from *real* interleaving of
+//! the worker threads on shared memory, so the protocol itself is
+//! exercised truthfully; only the *timing* is modelled.
+//!
+//! The default [`CostModel`] constants are calibrated to the paper's
+//! testbed (two-socket Xeon E5-2650 v3, ConnectX-3 56 Gbps InfiniBand):
+//! one-sided RDMA ops take a couple of microseconds, an RDMA CAS is about
+//! two orders of magnitude slower than a local CAS (§6.2 of the paper),
+//! and IPoIB messaging (used by the Calvin baseline) is an order of
+//! magnitude slower again.
+
+/// A private virtual-time clock, in nanoseconds.
+///
+/// Workers advance the clock explicitly; it never reads the host clock.
+#[derive(Debug, Clone, Default)]
+pub struct VClock {
+    now_ns: u64,
+}
+
+impl VClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time in nanoseconds.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Advances the clock by `ns` nanoseconds.
+    #[inline]
+    pub fn advance(&mut self, ns: u64) {
+        self.now_ns += ns;
+    }
+
+    /// Advances the clock to `t` if `t` is in the future (used after
+    /// waiting on a shared resource whose grant time may exceed `now`).
+    #[inline]
+    pub fn advance_to(&mut self, t: u64) {
+        if t > self.now_ns {
+            self.now_ns = t;
+        }
+    }
+}
+
+/// Per-operation virtual-time costs, in nanoseconds unless noted.
+///
+/// All fields are public so experiments can perform ablations (e.g. "what
+/// if RDMA CAS were as fast as a local CAS?").
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// One-sided RDMA READ base latency (PCIe + NIC + fabric, one hop).
+    pub rdma_read_ns: u64,
+    /// One-sided RDMA WRITE base latency.
+    pub rdma_write_ns: u64,
+    /// One-sided RDMA atomic (CAS / FAA) latency. Roughly 100x a local
+    /// CAS, matching §6.2.
+    pub rdma_atomic_ns: u64,
+    /// Additional cost per byte moved over the NIC, derived from link
+    /// bandwidth. 56 Gbps ≈ 7 GB/s ≈ 0.143 ns/B.
+    pub rdma_ns_per_byte: f64,
+    /// SEND/RECV verb message latency (one way), used for shipping
+    /// inserts/deletes and control messages.
+    pub msg_ns: u64,
+    /// Round-trip cost of a message over IPoIB (no RDMA), used by the
+    /// Calvin baseline.
+    pub ipoib_rtt_ns: u64,
+    /// Local compare-and-swap.
+    pub local_cas_ns: u64,
+    /// Local memory access touching one cache line (approx. L3/DRAM mix).
+    pub mem_access_ns: u64,
+    /// Entering an HTM region (XBEGIN).
+    pub htm_begin_ns: u64,
+    /// Committing an HTM region (XEND), excluding per-line costs.
+    pub htm_commit_ns: u64,
+    /// Per-cache-line cost inside an HTM commit (validation/write-back).
+    pub htm_per_line_ns: u64,
+    /// Fixed per-transaction bookkeeping (buffer management etc.). The
+    /// paper attributes DrTM+R's ~2-10% overhead versus DrTM to
+    /// "manually maintaining the local read/write buffers".
+    pub txn_overhead_ns: u64,
+    /// Cost of executing the transaction's application logic per record
+    /// accessed (hashing, B+-tree walk, marshalling).
+    pub record_logic_ns: u64,
+    /// NIC link bandwidth in bytes per virtual second (per direction).
+    pub nic_bytes_per_sec: f64,
+    /// NIC verb-rate ceiling in operations per virtual second. Small
+    /// messages saturate a ConnectX-3's processing rate long before its
+    /// bandwidth — this is what caps replicated SmallBank at ~8 threads
+    /// in the paper (Figures 15/16).
+    pub nic_ops_per_sec: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            rdma_read_ns: 1_500,
+            rdma_write_ns: 1_400,
+            rdma_atomic_ns: 2_200,
+            rdma_ns_per_byte: 0.143,
+            msg_ns: 3_000,
+            ipoib_rtt_ns: 60_000,
+            local_cas_ns: 20,
+            mem_access_ns: 60,
+            htm_begin_ns: 20,
+            htm_commit_ns: 20,
+            htm_per_line_ns: 15,
+            txn_overhead_ns: 550,
+            record_logic_ns: 180,
+            nic_bytes_per_sec: 7.0e9,
+            nic_ops_per_sec: 6.0e6,
+        }
+    }
+}
+
+impl CostModel {
+    /// Cost of a one-sided RDMA READ of `bytes` bytes (latency portion
+    /// only; bandwidth is accounted by the NIC's [`crate::LinkBudget`]).
+    #[inline]
+    pub fn rdma_read(&self, bytes: usize) -> u64 {
+        self.rdma_read_ns + (self.rdma_ns_per_byte * bytes as f64) as u64
+    }
+
+    /// Cost of a one-sided RDMA WRITE of `bytes` bytes.
+    #[inline]
+    pub fn rdma_write(&self, bytes: usize) -> u64 {
+        self.rdma_write_ns + (self.rdma_ns_per_byte * bytes as f64) as u64
+    }
+
+    /// Bytes on the wire for a payload, including verb/packet headers.
+    #[inline]
+    pub fn wire_bytes(&self, payload: usize) -> u64 {
+        // InfiniBand RC transport adds roughly 60B of headers per op.
+        payload as u64 + 60
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances() {
+        let mut c = VClock::new();
+        assert_eq!(c.now(), 0);
+        c.advance(10);
+        assert_eq!(c.now(), 10);
+        c.advance_to(5);
+        assert_eq!(c.now(), 10, "advance_to never goes backwards");
+        c.advance_to(50);
+        assert_eq!(c.now(), 50);
+    }
+
+    #[test]
+    fn default_costs_are_sane() {
+        let m = CostModel::default();
+        // RDMA CAS must be ~two orders of magnitude above a local CAS (§6.2).
+        assert!(m.rdma_atomic_ns >= 50 * m.local_cas_ns);
+        // IPoIB messaging is far slower than one-sided RDMA.
+        assert!(m.ipoib_rtt_ns > 10 * m.rdma_read_ns);
+        // Payload size contributes.
+        assert!(m.rdma_read(4096) > m.rdma_read(8));
+    }
+}

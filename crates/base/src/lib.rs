@@ -1,0 +1,36 @@
+//! Foundation types shared by every DrTM+R subsystem.
+//!
+//! This crate provides the pieces that the simulated hardware layers
+//! (`drtm-htm` and `drtm-rdma`) must agree on:
+//!
+//! * [`region::MemoryRegion`] — a shared, word-atomic memory segment with a
+//!   per-cache-line *version word*. The software HTM validates read sets
+//!   against these version words, and the RDMA simulator bumps them on every
+//!   remote write, which is exactly how the real hardware's cache coherence
+//!   makes a one-sided RDMA write abort a conflicting HTM transaction.
+//! * [`clock`] — the virtual-time infrastructure used by the benchmark
+//!   harness. The evaluation host has a single CPU core, so wall-clock
+//!   throughput is meaningless; every worker instead advances a private
+//!   [`clock::VClock`] by charging operation costs from a
+//!   [`clock::CostModel`], and shared resources such as the NIC are modelled
+//!   as virtual-time token buckets ([`link::LinkBudget`]).
+//! * [`stats`] — cheap concurrent counters and a log-scale latency histogram.
+//! * [`rng`] — a small deterministic PRNG so experiments are reproducible.
+
+pub mod cacheline;
+pub mod clock;
+pub mod link;
+pub mod region;
+pub mod rng;
+pub mod stats;
+
+pub use cacheline::{
+    line_of,
+    line_range,
+    CACHE_LINE, //
+};
+pub use clock::{CostModel, VClock};
+pub use link::LinkBudget;
+pub use region::MemoryRegion;
+pub use rng::SplitMix64;
+pub use stats::{Counter, Histogram};

@@ -1,0 +1,504 @@
+//! A shared memory segment with per-cache-line version words.
+//!
+//! [`MemoryRegion`] is the single source of truth that both simulated
+//! hardware layers operate on. It reproduces the two coherence properties
+//! the DrTM+R protocol depends on:
+//!
+//! 1. **Per-line atomicity.** Writes (local transactional commits, one-sided
+//!    RDMA WRITEs, RDMA CAS) take a per-line seqlock, so a concurrent reader
+//!    either sees the whole line before or after the write — never a torn
+//!    line. Accesses spanning multiple lines are *not* atomic as a unit,
+//!    exactly like real RDMA (see Figure 4 of the paper).
+//! 2. **Coherence between RDMA and HTM.** Every write bumps the line's
+//!    version word. The software HTM validates its read set against these
+//!    version words at commit, so an RDMA write to a line that a local HTM
+//!    transaction has read aborts that transaction — the software analogue
+//!    of "an RDMA operation is cache coherent and unconditionally aborts a
+//!    conflicting HTM transaction".
+//!
+//! Data is stored as a slice of `AtomicU64` words so racing access is
+//! well-defined without any `unsafe` code; all bulk copies use relaxed
+//! per-word operations ordered by the acquire/release seqlock protocol on
+//! the version words.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::cacheline::{line_range, round_up_line, CACHE_LINE};
+
+const WORD: usize = 8;
+
+/// A word-atomic shared memory segment with per-cache-line seqlock versions.
+///
+/// All offsets are byte offsets from the start of the region. Methods with
+/// `_coherent` in the name participate in the per-line seqlock protocol and
+/// are safe to race with each other; the `_raw` variants skip versioning and
+/// are intended for single-threaded initialisation (e.g. workload loading).
+///
+/// # Examples
+///
+/// ```
+/// use drtm_base::MemoryRegion;
+///
+/// let r = MemoryRegion::new(256);
+/// r.write_bytes_coherent(0, b"hello");
+/// let mut buf = [0u8; 5];
+/// r.read_bytes_coherent(0, &mut buf);
+/// assert_eq!(&buf, b"hello");
+/// // Coherent writes bump the line version (HTM conflict detection).
+/// assert_eq!(r.line_version(0), 2);
+/// ```
+pub struct MemoryRegion {
+    /// Backing storage, one atomic word per 8 bytes.
+    words: Box<[AtomicU64]>,
+    /// One seqlock word per cache line: odd while a writer holds the line,
+    /// even (and monotonically increasing) otherwise.
+    line_ver: Box<[AtomicU64]>,
+    size: usize,
+}
+
+impl MemoryRegion {
+    /// Creates a zeroed region of at least `size` bytes (rounded up to a
+    /// whole number of cache lines).
+    pub fn new(size: usize) -> Self {
+        let size = round_up_line(size.max(CACHE_LINE));
+        let words = (0..size / WORD).map(|_| AtomicU64::new(0)).collect();
+        let line_ver = (0..size / CACHE_LINE).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            words,
+            line_ver,
+            size,
+        }
+    }
+
+    /// Total size of the region in bytes.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of cache lines in the region.
+    #[inline]
+    pub fn lines(&self) -> usize {
+        self.line_ver.len()
+    }
+
+    /// Returns the current version word of cache line `line`.
+    ///
+    /// An odd value means a writer currently holds the line.
+    #[inline]
+    pub fn line_version(&self, line: usize) -> u64 {
+        self.line_ver[line].load(Ordering::Acquire)
+    }
+
+    /// Spins until cache line `line` is unlocked and returns its (even)
+    /// version.
+    ///
+    /// Yields to the OS scheduler periodically: on an oversubscribed (or
+    /// single-core) host, the writer holding the line may be descheduled
+    /// and pure spinning would burn whole timeslices.
+    #[inline]
+    pub fn line_version_stable(&self, line: usize) -> u64 {
+        let mut spins = 0u32;
+        loop {
+            let v = self.line_version(line);
+            if v & 1 == 0 {
+                return v;
+            }
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Acquires the seqlock of `line`, returning the pre-lock version.
+    #[inline]
+    fn lock_line(&self, line: usize) -> u64 {
+        let mut spins = 0u32;
+        loop {
+            let v = self.line_ver[line].load(Ordering::Relaxed);
+            if v & 1 == 0
+                && self.line_ver[line]
+                    .compare_exchange_weak(v, v + 1, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return v;
+            }
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Releases the seqlock of `line`, publishing a new even version.
+    #[inline]
+    fn unlock_line(&self, line: usize, pre: u64) {
+        self.line_ver[line].store(pre + 2, Ordering::Release);
+    }
+
+    /// Loads the 8-byte word at byte offset `off` (must be 8-aligned).
+    ///
+    /// This models a single-word CPU load: always atomic, never torn, but
+    /// not ordered with respect to other lines.
+    #[inline]
+    pub fn load64(&self, off: usize) -> u64 {
+        debug_assert_eq!(off % WORD, 0, "unaligned 64-bit load at {off}");
+        self.words[off / WORD].load(Ordering::Acquire)
+    }
+
+    /// Stores the 8-byte word at `off` coherently: the containing line's
+    /// version is bumped so concurrent HTM readers of the line abort.
+    pub fn store64_coherent(&self, off: usize, val: u64) {
+        debug_assert_eq!(off % WORD, 0, "unaligned 64-bit store at {off}");
+        let line = off / CACHE_LINE;
+        let pre = self.lock_line(line);
+        self.words[off / WORD].store(val, Ordering::Release);
+        self.unlock_line(line, pre);
+    }
+
+    /// Atomically compares-and-swaps the word at `off`.
+    ///
+    /// On success the containing line's version is bumped (a CAS is a write
+    /// at the coherence level, so it must abort HTM readers of the line —
+    /// this is how an RDMA CAS that locks a record aborts a local HTM
+    /// transaction that has read the record's lock field). On failure the
+    /// line is untouched and `Err(actual)` is returned.
+    pub fn cas64(&self, off: usize, expect: u64, new: u64) -> Result<u64, u64> {
+        debug_assert_eq!(off % WORD, 0, "unaligned CAS at {off}");
+        let line = off / CACHE_LINE;
+        let pre = self.lock_line(line);
+        let res = self.words[off / WORD].compare_exchange(
+            expect,
+            new,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+        match res {
+            Ok(_) => self.unlock_line(line, pre),
+            // A failed CAS wrote nothing, so the line's version must not
+            // change (it would spuriously abort HTM readers).
+            Err(_) => self.line_ver[line].store(pre, Ordering::Release),
+        }
+        res
+    }
+
+    /// Atomically fetches-and-adds `add` to the word at `off`, bumping the
+    /// containing line's version. Returns the previous value.
+    pub fn faa64(&self, off: usize, add: u64) -> u64 {
+        debug_assert_eq!(off % WORD, 0, "unaligned FAA at {off}");
+        let line = off / CACHE_LINE;
+        let pre = self.lock_line(line);
+        let old = self.words[off / WORD].fetch_add(add, Ordering::AcqRel);
+        self.unlock_line(line, pre);
+        old
+    }
+
+    /// Copies `buf.len()` bytes starting at `off` into `buf`, one cache
+    /// line at a time.
+    ///
+    /// Each line is read under the seqlock retry protocol, so every *line*
+    /// in the result is internally consistent, but lines may come from
+    /// different versions — exactly the guarantee of a one-sided RDMA READ.
+    /// Returns the (even) version each touched line was read at, in line
+    /// order.
+    pub fn read_bytes_coherent(&self, off: usize, buf: &mut [u8]) -> Vec<u64> {
+        assert!(off + buf.len() <= self.size, "read past end of region");
+        let mut versions = Vec::with_capacity(line_range(off, buf.len()).len());
+        let mut cur = off;
+        let end = off + buf.len();
+        while cur < end {
+            let line = cur / CACHE_LINE;
+            let line_end = (line + 1) * CACHE_LINE;
+            let chunk_end = end.min(line_end);
+            let dst = &mut buf[cur - off..chunk_end - off];
+            loop {
+                let v1 = self.line_version_stable(line);
+                self.copy_out(cur, dst);
+                let v2 = self.line_version(line);
+                if v1 == v2 {
+                    versions.push(v1);
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+            cur = chunk_end;
+        }
+        versions
+    }
+
+    /// Writes `data` at `off`, one cache line at a time.
+    ///
+    /// Each line is written under its seqlock (bumping the version), so a
+    /// concurrent per-line reader never sees a torn line, but a reader of
+    /// the whole range may observe some lines updated and others not —
+    /// exactly the semantics of a one-sided RDMA WRITE spanning lines.
+    pub fn write_bytes_coherent(&self, off: usize, data: &[u8]) {
+        assert!(off + data.len() <= self.size, "write past end of region");
+        let mut cur = off;
+        let end = off + data.len();
+        while cur < end {
+            let line = cur / CACHE_LINE;
+            let line_end = (line + 1) * CACHE_LINE;
+            let chunk_end = end.min(line_end);
+            let pre = self.lock_line(line);
+            self.copy_in(cur, &data[cur - off..chunk_end - off]);
+            self.unlock_line(line, pre);
+            cur = chunk_end;
+        }
+    }
+
+    /// Writes `data` at `off` while already holding no line locks, without
+    /// bumping versions. Only safe for single-threaded initialisation.
+    pub fn write_bytes_raw(&self, off: usize, data: &[u8]) {
+        assert!(off + data.len() <= self.size, "write past end of region");
+        self.copy_in(off, data);
+    }
+
+    /// Reads bytes without the seqlock protocol. Only meaningful when no
+    /// concurrent writer exists (tests, post-mortem inspection).
+    pub fn read_bytes_raw(&self, off: usize, buf: &mut [u8]) {
+        assert!(off + buf.len() <= self.size, "read past end of region");
+        self.copy_out(off, buf);
+    }
+
+    /// Relaxed per-word copy out of the region (no ordering of its own).
+    fn copy_out(&self, off: usize, buf: &mut [u8]) {
+        let mut i = 0;
+        while i < buf.len() {
+            let byte = off + i;
+            let w = self.words[byte / WORD].load(Ordering::Relaxed);
+            let in_word = byte % WORD;
+            let take = (WORD - in_word).min(buf.len() - i);
+            buf[i..i + take].copy_from_slice(&w.to_le_bytes()[in_word..in_word + take]);
+            i += take;
+        }
+    }
+
+    /// Relaxed per-word copy into the region, merging partial words.
+    fn copy_in(&self, off: usize, data: &[u8]) {
+        let mut i = 0;
+        while i < data.len() {
+            let byte = off + i;
+            let in_word = byte % WORD;
+            let take = (WORD - in_word).min(data.len() - i);
+            let slot = &self.words[byte / WORD];
+            if take == WORD {
+                slot.store(
+                    u64::from_le_bytes(data[i..i + 8].try_into().unwrap()),
+                    Ordering::Relaxed,
+                );
+            } else {
+                let mut bytes = slot.load(Ordering::Relaxed).to_le_bytes();
+                bytes[in_word..in_word + take].copy_from_slice(&data[i..i + take]);
+                slot.store(u64::from_le_bytes(bytes), Ordering::Relaxed);
+            }
+            i += take;
+        }
+    }
+
+    /// Executes `f` while holding the seqlocks of every line touched by
+    /// `[off, off + len)`, in ascending line order.
+    ///
+    /// This is the primitive the software HTM commit uses to make a
+    /// multi-line update atomic with respect to per-line readers; versions
+    /// of all touched lines are bumped on release.
+    pub fn with_lines_locked<R>(&self, off: usize, len: usize, f: impl FnOnce(&Self) -> R) -> R {
+        let range = line_range(off, len);
+        let mut pres = Vec::with_capacity(range.len());
+        for line in range.clone() {
+            pres.push(self.lock_line(line));
+        }
+        let r = f(self);
+        for (line, pre) in range.zip(pres) {
+            self.unlock_line(line, pre);
+        }
+        r
+    }
+
+    /// Tries to acquire the seqlock of `line` without spinning.
+    ///
+    /// Returns the pre-lock version on success. Used by the HTM commit
+    /// path, which prefers aborting to blocking.
+    #[inline]
+    pub fn try_lock_line(&self, line: usize) -> Option<u64> {
+        let v = self.line_ver[line].load(Ordering::Relaxed);
+        if v & 1 != 0 {
+            return None;
+        }
+        self.line_ver[line]
+            .compare_exchange(v, v + 1, Ordering::Acquire, Ordering::Relaxed)
+            .ok()
+    }
+
+    /// Releases a line acquired with [`Self::try_lock_line`], bumping its
+    /// version.
+    #[inline]
+    pub fn release_line(&self, line: usize, pre: u64) {
+        self.unlock_line(line, pre);
+    }
+
+    /// Releases a line acquired with [`Self::try_lock_line`] *without*
+    /// changing its version (the writer decided not to write).
+    #[inline]
+    pub fn release_line_clean(&self, line: usize, pre: u64) {
+        self.line_ver[line].store(pre, Ordering::Release);
+    }
+
+    /// Stores a word while the caller already holds the containing line's
+    /// seqlock (e.g. inside [`Self::with_lines_locked`]).
+    #[inline]
+    pub fn store64_locked(&self, off: usize, val: u64) {
+        debug_assert_eq!(off % WORD, 0);
+        self.words[off / WORD].store(val, Ordering::Release);
+    }
+
+    /// Copies bytes in while the caller already holds the line seqlocks.
+    #[inline]
+    pub fn write_bytes_locked(&self, off: usize, data: &[u8]) {
+        assert!(off + data.len() <= self.size, "write past end of region");
+        self.copy_in(off, data);
+    }
+}
+
+impl std::fmt::Debug for MemoryRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryRegion")
+            .field("size", &self.size)
+            .field("lines", &self.lines())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn roundtrip_raw() {
+        let r = MemoryRegion::new(256);
+        let data = [1u8, 2, 3, 4, 5, 6, 7, 8, 9];
+        r.write_bytes_raw(3, &data);
+        let mut out = [0u8; 9];
+        r.read_bytes_raw(3, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn coherent_write_bumps_versions() {
+        let r = MemoryRegion::new(256);
+        assert_eq!(r.line_version(0), 0);
+        r.write_bytes_coherent(0, &[0xab; 100]);
+        assert_eq!(r.line_version(0), 2);
+        assert_eq!(r.line_version(1), 2);
+        assert_eq!(r.line_version(2), 0);
+    }
+
+    #[test]
+    fn store64_and_load64() {
+        let r = MemoryRegion::new(128);
+        r.store64_coherent(8, 0xdead_beef);
+        assert_eq!(r.load64(8), 0xdead_beef);
+        assert_eq!(r.line_version(0), 2);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let r = MemoryRegion::new(128);
+        r.store64_coherent(0, 5);
+        let v0 = r.line_version(0);
+        assert_eq!(r.cas64(0, 5, 9), Ok(5));
+        assert_eq!(r.load64(0), 9);
+        assert!(
+            r.line_version(0) > v0,
+            "successful CAS bumps the line version"
+        );
+        let v1 = r.line_version(0);
+        assert_eq!(r.cas64(0, 5, 11), Err(9));
+        assert_eq!(r.load64(0), 9);
+        assert_eq!(r.line_version(0), v1, "failed CAS leaves the version alone");
+    }
+
+    #[test]
+    fn faa_returns_previous() {
+        let r = MemoryRegion::new(128);
+        r.store64_coherent(16, 10);
+        assert_eq!(r.faa64(16, 5), 10);
+        assert_eq!(r.load64(16), 15);
+    }
+
+    #[test]
+    fn read_returns_line_versions() {
+        let r = MemoryRegion::new(256);
+        r.write_bytes_coherent(0, &[1; 64]);
+        r.write_bytes_coherent(64, &[2; 64]);
+        r.write_bytes_coherent(64, &[3; 64]);
+        let mut buf = [0u8; 128];
+        let vers = r.read_bytes_coherent(0, &mut buf);
+        assert_eq!(vers, vec![2, 4]);
+        assert_eq!(buf[0], 1);
+        assert_eq!(buf[64], 3);
+    }
+
+    #[test]
+    fn with_lines_locked_is_atomic_per_reader_line() {
+        let r = MemoryRegion::new(128);
+        let v0 = r.line_version(0);
+        r.with_lines_locked(0, 128, |m| {
+            m.store64_locked(0, 7);
+            m.store64_locked(64, 8);
+        });
+        assert!(r.line_version(0) > v0);
+        assert_eq!(r.load64(0), 7);
+        assert_eq!(r.load64(64), 8);
+    }
+
+    #[test]
+    fn try_lock_line_conflicts() {
+        let r = MemoryRegion::new(64);
+        let pre = r.try_lock_line(0).expect("free line locks");
+        assert!(r.try_lock_line(0).is_none(), "locked line refuses");
+        r.release_line(0, pre);
+        assert_eq!(r.line_version(0), pre + 2);
+        let pre2 = r.try_lock_line(0).unwrap();
+        r.release_line_clean(0, pre2);
+        assert_eq!(r.line_version(0), pre + 2);
+    }
+
+    /// Torn-line check: two threads hammer a single line with full-line
+    /// writes of a repeated byte; readers must only ever observe a uniform
+    /// line.
+    #[test]
+    fn seqlock_prevents_torn_lines() {
+        let r = Arc::new(MemoryRegion::new(64));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for pat in [0x11u8, 0x22u8] {
+            let r = r.clone();
+            let stop = stop.clone();
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    r.write_bytes_coherent(0, &[pat; 64]);
+                }
+            }));
+        }
+        let mut buf = [0u8; 64];
+        for _ in 0..2000 {
+            r.read_bytes_coherent(0, &mut buf);
+            assert!(
+                buf.iter().all(|&b| b == buf[0]),
+                "torn line observed: {:?}",
+                &buf[..8]
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Concurrent counters and latency histograms for experiment reporting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A cache-friendly concurrent counter.
+///
+/// Contention is acceptable here: counters are bumped once or twice per
+/// transaction, never inside hot protocol loops.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero, returning the previous value.
+    pub fn take(&self) -> u64 {
+        self.0.swap(0, Ordering::Relaxed)
+    }
+}
+
+/// Number of buckets in [`Histogram`]: power-of-two nanosecond buckets
+/// from 1 ns up to ~1.2 hours.
+const BUCKETS: usize = 42;
+
+/// A lock-free log-scale histogram of nanosecond values.
+///
+/// Bucket `i` holds values `v` with `floor(log2(v)) == i` (bucket 0 also
+/// holds zero). Quantiles are interpolated within a bucket, which is
+/// accurate enough for the latency tables the paper reports (Table 6
+/// quotes latencies to three significant digits at best).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        (63 - v.max(1).leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum.load(Ordering::Relaxed) as f64 / n as f64
+    }
+
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`) by within-bucket linear
+    /// interpolation, or 0 if empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * n as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if seen + c >= target {
+                let lo = 1u64 << i;
+                let hi = lo << 1;
+                let frac = (target - seen) as f64 / c as f64;
+                return lo + ((hi - lo) as f64 * frac) as u64;
+            }
+            seen += c;
+        }
+        u64::MAX
+    }
+
+    /// Clears all recorded data.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.take(), 5);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn histogram_mean_and_count() {
+        let h = Histogram::new();
+        for v in [100, 200, 300] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert!((h.mean() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_bracketing() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p99);
+        // Log-bucket interpolation: p50 of 1..=1000 lies in [256, 1024).
+        assert!((256..1024).contains(&p50), "p50 = {p50}");
+        assert!((512..1024).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn histogram_empty_and_reset() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        h.record(7);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn bucket_of_zero_is_bucket_zero() {
+        let h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile(1.0) <= 2);
+    }
+}

@@ -1,0 +1,431 @@
+//! The Calvin baseline (SIGMOD'12): deterministic distributed
+//! transactions without RDMA.
+//!
+//! Calvin routes every transaction through a **sequencer** that assigns a
+//! global order, then a single-threaded **lock manager** per machine
+//! grants locks strictly in that order; workers execute once all locks
+//! are held and forward read results between partitions over ordinary
+//! messaging. The released Calvin the paper compares against runs over
+//! IPoIB (no RDMA verbs) and is hard-coded to 8 worker threads.
+//!
+//! The model here keeps those mechanics and costs:
+//!
+//! * the read/write sets come from the free oracle (Calvin *requires*
+//!   them — the restriction §2.2 calls out);
+//! * sequencing charges one IPoIB round trip per transaction (batched
+//!   dispatch would amortise the epoch wait, which affects latency more
+//!   than throughput, so only the messaging cost is charged);
+//! * each machine's lock manager is a serial virtual-time resource
+//!   ([`drtm_base::LinkBudget`]); every lock/unlock on records homed
+//!   there must pass through it — this is Calvin's throughput ceiling;
+//! * cross-partition transactions charge one IPoIB round trip per remote
+//!   machine involved (result forwarding).
+//!
+//! Actual mutual exclusion uses a process-level lock table; acquisition
+//! is in global address order, waiting on conflicts, which preserves
+//! Calvin's deadlock-freedom-by-ordering property.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use drtm_base::{LinkBudget, SplitMix64, VClock};
+use drtm_core::cluster::DrtmCluster;
+use drtm_core::txn::{TxnError, WorkerStats};
+use drtm_rdma::NodeId;
+use drtm_store::TableId;
+use parking_lot::Mutex;
+
+use crate::oracle::OracleCtx;
+
+/// Virtual nanoseconds of lock-manager service per lock or unlock
+/// operation (single-threaded manager, so this serialises per machine).
+const LOCK_OP_NS: f64 = 600.0;
+
+/// Shared state of the Calvin deployment.
+pub struct CalvinEngine {
+    cluster: Arc<DrtmCluster>,
+    /// One serial lock-manager budget per machine.
+    lock_mgr: Vec<LinkBudget>,
+    /// The lock table: held records by `(node, record offset)`.
+    locks: Mutex<HashSet<(NodeId, usize)>>,
+}
+
+impl CalvinEngine {
+    /// Creates the engine over an existing cluster substrate.
+    pub fn new(cluster: Arc<DrtmCluster>) -> Arc<Self> {
+        let n = cluster.nodes();
+        Arc::new(Self {
+            cluster,
+            lock_mgr: (0..n)
+                .map(|_| LinkBudget::new(1.0e9 / LOCK_OP_NS))
+                .collect(),
+            locks: Mutex::new(HashSet::new()),
+        })
+    }
+
+    /// Creates a worker on `node`.
+    pub fn worker(self: &Arc<Self>, node: NodeId, seed: u64) -> CalvinWorker {
+        CalvinWorker {
+            engine: Arc::clone(self),
+            node,
+            clock: VClock::new(),
+            rng: SplitMix64::new(seed ^ 0xCA111),
+            stats: WorkerStats::default(),
+        }
+    }
+}
+
+/// One Calvin worker thread.
+pub struct CalvinWorker {
+    engine: Arc<CalvinEngine>,
+    /// Machine this worker runs on.
+    pub node: NodeId,
+    /// Virtual clock.
+    pub clock: VClock,
+    rng: SplitMix64,
+    /// Commit/abort counters.
+    pub stats: WorkerStats,
+}
+
+/// Execution context: all locks are held, so reads and writes go
+/// straight at the stores.
+pub struct CalvinCtx<'a> {
+    engine: &'a CalvinEngine,
+    node: NodeId,
+    clock: &'a mut VClock,
+    /// Remote machines already charged for result forwarding.
+    charged: HashSet<NodeId>,
+}
+
+/// The context handed to Calvin transaction bodies: the oracle pass then
+/// the locked execution pass.
+pub enum CalvinTxn<'x, 'a> {
+    /// Set-collection pass.
+    Oracle(&'x mut OracleCtx),
+    /// Locked execution pass.
+    Exec(&'x mut CalvinCtx<'a>),
+}
+
+impl CalvinTxn<'_, '_> {
+    /// Reads a record.
+    pub fn read(&mut self, shard: usize, table: TableId, key: u64) -> Result<Vec<u8>, TxnError> {
+        match self {
+            CalvinTxn::Oracle(o) => o.read(shard, table, key),
+            CalvinTxn::Exec(e) => e.read(shard, table, key),
+        }
+    }
+
+    /// Writes a record.
+    pub fn write(
+        &mut self,
+        shard: usize,
+        table: TableId,
+        key: u64,
+        value: Vec<u8>,
+    ) -> Result<(), TxnError> {
+        match self {
+            CalvinTxn::Oracle(o) => o.write(shard, table, key),
+            CalvinTxn::Exec(e) => e.write(shard, table, key, value),
+        }
+    }
+
+    /// Inserts a record (applied immediately in the exec pass — all
+    /// conflicting transactions are ordered behind this one).
+    pub fn insert(&mut self, shard: usize, table: TableId, key: u64, value: Vec<u8>) {
+        match self {
+            CalvinTxn::Oracle(o) => o.insert(shard, table, key, value),
+            CalvinTxn::Exec(e) => e.insert(shard, table, key, value),
+        }
+    }
+
+    /// Deletes a record.
+    pub fn delete(&mut self, shard: usize, table: TableId, key: u64) {
+        match self {
+            CalvinTxn::Oracle(o) => o.delete(shard, table, key),
+            CalvinTxn::Exec(e) => e.delete(shard, table, key),
+        }
+    }
+
+    /// Local ordered scan.
+    pub fn scan_local(
+        &mut self,
+        table: TableId,
+        lo: u64,
+        hi: u64,
+        limit: usize,
+    ) -> Result<Vec<(u64, Vec<u8>)>, TxnError> {
+        match self {
+            CalvinTxn::Oracle(o) => Ok(o.scan_local(table, lo, hi, limit)),
+            CalvinTxn::Exec(e) => Ok(e.scan_local(table, lo, hi, limit)),
+        }
+    }
+}
+
+impl CalvinCtx<'_> {
+    fn charge_remote(&mut self, home: NodeId) {
+        if home != self.node && self.charged.insert(home) {
+            self.clock
+                .advance(self.engine.cluster.opts.cost.ipoib_rtt_ns);
+        }
+    }
+
+    fn read(&mut self, shard: usize, table: TableId, key: u64) -> Result<Vec<u8>, TxnError> {
+        let home = self.engine.cluster.home_of(shard);
+        self.charge_remote(home);
+        let store = &self.engine.cluster.stores[home];
+        let off = store.get_loc(table, key).ok_or(TxnError::NotFound)? as usize;
+        let rec = store.record(table, off);
+        let mut v = vec![0u8; rec.layout.value_len];
+        rec.read_value_raw(&mut v);
+        self.clock
+            .advance(self.engine.cluster.opts.cost.mem_access_ns);
+        Ok(v)
+    }
+
+    fn write(
+        &mut self,
+        shard: usize,
+        table: TableId,
+        key: u64,
+        value: Vec<u8>,
+    ) -> Result<(), TxnError> {
+        let home = self.engine.cluster.home_of(shard);
+        self.charge_remote(home);
+        let store = &self.engine.cluster.stores[home];
+        let off = store.get_loc(table, key).ok_or(TxnError::NotFound)? as usize;
+        let rec = store.record(table, off);
+        let seq = rec.seq();
+        rec.write_locked(&value, seq + 2);
+        self.clock
+            .advance(self.engine.cluster.opts.cost.mem_access_ns);
+        Ok(())
+    }
+
+    fn insert(&mut self, shard: usize, table: TableId, key: u64, value: Vec<u8>) {
+        let home = self.engine.cluster.home_of(shard);
+        self.charge_remote(home);
+        self.engine.cluster.stores[home].insert(table, key, &value, 2);
+        self.clock
+            .advance(self.engine.cluster.opts.cost.record_logic_ns);
+    }
+
+    fn delete(&mut self, shard: usize, table: TableId, key: u64) {
+        let home = self.engine.cluster.home_of(shard);
+        self.charge_remote(home);
+        self.engine.cluster.stores[home].remove(table, key);
+        self.clock
+            .advance(self.engine.cluster.opts.cost.record_logic_ns);
+    }
+
+    fn scan_local(
+        &mut self,
+        table: TableId,
+        lo: u64,
+        hi: u64,
+        limit: usize,
+    ) -> Vec<(u64, Vec<u8>)> {
+        let store = &self.engine.cluster.stores[self.node];
+        store
+            .scan(table, lo, hi, limit)
+            .into_iter()
+            .map(|(k, off)| {
+                let rec = store.record(table, off as usize);
+                let mut v = vec![0u8; rec.layout.value_len];
+                rec.read_value_raw(&mut v);
+                (k, v)
+            })
+            .collect()
+    }
+}
+
+impl CalvinWorker {
+    /// Runs one transaction deterministically to commit.
+    pub fn run<R>(
+        &mut self,
+        mut body: impl FnMut(&mut CalvinTxn<'_, '_>) -> Result<R, TxnError>,
+    ) -> Result<R, TxnError> {
+        let engine = Arc::clone(&self.engine);
+        let cost = engine.cluster.opts.cost.clone();
+        let start = self.clock.now();
+
+        // Sequencing: ship the request to the sequencer over IPoIB.
+        self.clock.advance(cost.ipoib_rtt_ns);
+
+        // Oracle pass: Calvin requires the read/write sets up front.
+        let mut oracle = OracleCtx::new(Arc::clone(&engine.cluster), self.node);
+        body(&mut CalvinTxn::Oracle(&mut oracle))?;
+        let sets = oracle.sets;
+
+        // All records this transaction touches, in global order.
+        let mut addrs: Vec<(NodeId, usize)> = sets
+            .reads
+            .iter()
+            .chain(&sets.writes)
+            .map(|a| (a.0, a.3))
+            .collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+
+        // Lock-manager service: every lock and unlock passes through the
+        // home machine's single-threaded manager.
+        for &(node, _) in &addrs {
+            let t = engine.lock_mgr[node].reserve(self.clock.now(), 1);
+            self.clock.advance_to(t);
+        }
+
+        // Actual mutual exclusion (ordered acquisition; waiting models
+        // Calvin's in-order lock grants).
+        let mut held = 0;
+        loop {
+            {
+                let mut table = engine.locks.lock();
+                while held < addrs.len() {
+                    if table.contains(&addrs[held]) {
+                        break;
+                    }
+                    table.insert(addrs[held]);
+                    held += 1;
+                }
+                if held == addrs.len() {
+                    break;
+                }
+            }
+            std::thread::yield_now();
+            self.clock.advance(self.rng.below(1_000));
+        }
+
+        // Execute with everything locked.
+        let mut ctx = CalvinCtx {
+            engine: &engine,
+            node: self.node,
+            clock: &mut self.clock,
+            charged: HashSet::new(),
+        };
+        let result = body(&mut CalvinTxn::Exec(&mut ctx));
+
+        // Release.
+        {
+            let mut table = engine.locks.lock();
+            for a in &addrs {
+                table.remove(a);
+            }
+        }
+
+        match result {
+            Ok(v) => {
+                self.stats.committed += 1;
+                self.stats
+                    .latency
+                    .record(self.clock.now().saturating_sub(start));
+                Ok(v)
+            }
+            Err(e) => {
+                // Deterministic execution does not abort on conflicts;
+                // only application errors land here.
+                self.stats.user_aborts += 1;
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drtm_core::cluster::EngineOpts;
+    use drtm_store::TableSpec;
+
+    fn setup() -> (Arc<DrtmCluster>, Arc<CalvinEngine>) {
+        let c = DrtmCluster::new(
+            2,
+            &[TableSpec::hash(0, 1024, 16)],
+            EngineOpts {
+                region_size: 1 << 20,
+                ..Default::default()
+            },
+        );
+        for shard in 0..2 {
+            for k in 0..8u64 {
+                let mut v = vec![0u8; 16];
+                v[..8].copy_from_slice(&100u64.to_le_bytes());
+                c.seed_record(shard, 0, (shard as u64) << 32 | k, &v);
+            }
+        }
+        let e = CalvinEngine::new(Arc::clone(&c));
+        (c, e)
+    }
+
+    fn num(v: &[u8]) -> u64 {
+        u64::from_le_bytes(v[..8].try_into().unwrap())
+    }
+
+    fn val(x: u64) -> Vec<u8> {
+        let mut v = vec![0u8; 16];
+        v[..8].copy_from_slice(&x.to_le_bytes());
+        v
+    }
+
+    #[test]
+    fn transfer_commits() {
+        let (c, e) = setup();
+        let mut w = e.worker(0, 1);
+        w.run(|t| {
+            let a = num(&t.read(0, 0, 1)?);
+            let b = num(&t.read(1, 0, 1 << 32 | 1)?);
+            t.write(0, 0, 1, val(a - 5))?;
+            t.write(1, 0, 1 << 32 | 1, val(b + 5))
+        })
+        .unwrap();
+        let mut v = c.worker(0, 9);
+        assert_eq!(num(&v.run_ro(|t| t.read(0, 0, 1)).unwrap()), 95);
+        assert_eq!(num(&v.run_ro(|t| t.read(1, 0, 1 << 32 | 1)).unwrap()), 105);
+    }
+
+    #[test]
+    fn calvin_is_much_slower_than_drtm_r() {
+        let (c, e) = setup();
+        // One remote transaction each.
+        let mut cw = e.worker(0, 1);
+        cw.run(|t| {
+            let v = num(&t.read(1, 0, 1 << 32 | 2)?);
+            t.write(1, 0, 1 << 32 | 2, val(v + 1))
+        })
+        .unwrap();
+        let mut dw = c.worker(0, 2);
+        dw.run(|t| {
+            let v = num(&t.read(1, 0, 1 << 32 | 3)?);
+            t.write(1, 0, 1 << 32 | 3, val(v + 1))
+        })
+        .unwrap();
+        assert!(
+            cw.clock.now() > 5 * dw.clock.now(),
+            "Calvin {} vs DrTM+R {}",
+            cw.clock.now(),
+            dw.clock.now()
+        );
+    }
+
+    #[test]
+    fn concurrent_increments_serialize() {
+        let (c, e) = setup();
+        let mut handles = Vec::new();
+        for id in 0..2u64 {
+            let e = Arc::clone(&e);
+            handles.push(std::thread::spawn(move || {
+                let mut w = e.worker(id as usize, id + 3);
+                for _ in 0..100 {
+                    w.run(|t| {
+                        let v = num(&t.read(0, 0, 4)?);
+                        t.write(0, 0, 4, val(v + 1))
+                    })
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut v = c.worker(0, 9);
+        assert_eq!(num(&v.run_ro(|t| t.read(0, 0, 4)).unwrap()), 300);
+    }
+}

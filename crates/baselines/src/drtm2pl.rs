@@ -1,0 +1,549 @@
+//! The DrTM baseline (SOSP'15): 2PL over RDMA + one HTM region per
+//! transaction.
+//!
+//! DrTM locks every *remote* record up front (exclusive RDMA CAS, in
+//! global order, waiting on conflict — two-phase locking), prefetches the
+//! remote values, then runs the **entire transaction** inside a single
+//! HTM region: all local reads and writes, plus computation. Strong
+//! atomicity makes remote CAS/WRITEs abort the region, which is how DrTM
+//! glues 2PL to HTM. After the region commits, buffered remote writes go
+//! back over RDMA and the locks are released.
+//!
+//! Two behaviours matter for the paper's comparisons and emerge naturally
+//! here: the *large HTM working set* (the whole transaction, not just
+//! metadata) degrades scalability past one socket (Figure 11) and under
+//! contention (Figure 18); and the requirement for a-priori read/write
+//! sets — supplied by the zero-cost [`crate::oracle`] — restricts
+//! generality (the paper's motivation for DrTM+R). Transactions whose
+//! real execution touches records the oracle pass did not predict are
+//! aborted and retried, modelling chopping imperfection.
+
+use std::sync::Arc;
+
+use drtm_core::cluster::DrtmCluster;
+use drtm_core::txn::{AbortReason, TxnError, WorkerStats};
+use drtm_htm::{AbortCode, HtmTxn, RunOutcome};
+use drtm_rdma::{NodeId, Qp};
+use drtm_store::record::{
+    lock_owner, lock_word, remote_read_consistent, remote_write_locked, LOCK_FREE,
+};
+use drtm_store::TableId;
+
+use crate::oracle::{OracleCtx, RwSets};
+
+use drtm_base::{SplitMix64, VClock};
+
+/// A worker thread of the DrTM baseline engine.
+pub struct DrtmWorker {
+    cluster: Arc<DrtmCluster>,
+    /// The machine this worker runs on.
+    pub node: NodeId,
+    /// Virtual clock.
+    pub clock: VClock,
+    rng: SplitMix64,
+    qps: Vec<Qp>,
+    /// Commit/abort counters.
+    pub stats: WorkerStats,
+}
+
+/// Transaction context handed to DrTM transaction bodies.
+///
+/// The body runs twice: once against [`DrtmCtx::Oracle`] (free dry run
+/// collecting the read/write sets) and once against [`DrtmCtx::Exec`]
+/// (the real, charged execution inside HTM).
+pub enum DrtmCtx<'x, 'a, 'b> {
+    /// The free set-collection pass.
+    Oracle(&'x mut OracleCtx),
+    /// The real execution pass.
+    Exec(&'x mut ExecCtx<'a, 'b>),
+}
+
+/// The real execution pass: local accesses via one big HTM region,
+/// remote reads from the prefetched snapshot, remote writes buffered.
+pub struct ExecCtx<'a, 'b> {
+    cluster: Arc<DrtmCluster>,
+    node: NodeId,
+    txn: &'a mut HtmTxn<'b>,
+    /// Remote values prefetched under lock: `(node, table, key) -> value`.
+    remote_vals: std::collections::HashMap<(NodeId, TableId, u64), Vec<u8>>,
+    /// Buffered remote writes `(node, table, key, off, value)`.
+    remote_writes: Vec<(NodeId, TableId, u64, usize, Vec<u8>)>,
+    /// Buffered inserts/deletes.
+    mutations: Vec<(NodeId, TableId, u64, Option<Vec<u8>>)>,
+    /// Lines read/written locally (cost accounting).
+    local_lines: u64,
+}
+
+impl DrtmCtx<'_, '_, '_> {
+    /// Reads a record (local: inside the HTM region; remote: from the
+    /// locked prefetched snapshot).
+    pub fn read(&mut self, shard: usize, table: TableId, key: u64) -> Result<Vec<u8>, TxnError> {
+        match self {
+            DrtmCtx::Oracle(o) => o.read(shard, table, key),
+            DrtmCtx::Exec(e) => e.read(shard, table, key),
+        }
+    }
+
+    /// Writes a record (local: buffered in HTM; remote: buffered until
+    /// after the region commits).
+    pub fn write(
+        &mut self,
+        shard: usize,
+        table: TableId,
+        key: u64,
+        value: Vec<u8>,
+    ) -> Result<(), TxnError> {
+        match self {
+            DrtmCtx::Oracle(o) => o.write(shard, table, key),
+            DrtmCtx::Exec(e) => e.write(shard, table, key, value),
+        }
+    }
+
+    /// Buffers an insert.
+    pub fn insert(&mut self, shard: usize, table: TableId, key: u64, value: Vec<u8>) {
+        match self {
+            DrtmCtx::Oracle(o) => o.insert(shard, table, key, value),
+            DrtmCtx::Exec(e) => {
+                let home = e.cluster.home_of(shard);
+                e.mutations.push((home, table, key, Some(value)));
+            }
+        }
+    }
+
+    /// Buffers a delete.
+    pub fn delete(&mut self, shard: usize, table: TableId, key: u64) {
+        match self {
+            DrtmCtx::Oracle(o) => o.delete(shard, table, key),
+            DrtmCtx::Exec(e) => {
+                let home = e.cluster.home_of(shard);
+                e.mutations.push((home, table, key, None));
+            }
+        }
+    }
+
+    /// Local ordered scan (both passes read directly; the exec pass adds
+    /// the records to the HTM read set via per-record reads).
+    pub fn scan_local(
+        &mut self,
+        table: TableId,
+        lo: u64,
+        hi: u64,
+        limit: usize,
+    ) -> Result<Vec<(u64, Vec<u8>)>, TxnError> {
+        match self {
+            DrtmCtx::Oracle(o) => Ok(o.scan_local(table, lo, hi, limit)),
+            DrtmCtx::Exec(e) => e.scan_local(table, lo, hi, limit),
+        }
+    }
+}
+
+impl ExecCtx<'_, '_> {
+    fn read(&mut self, shard: usize, table: TableId, key: u64) -> Result<Vec<u8>, TxnError> {
+        let home = self.cluster.home_of(shard);
+        if home != self.node {
+            return self
+                .remote_vals
+                .get(&(home, table, key))
+                .cloned()
+                .ok_or(TxnError::Aborted(AbortReason::Validation));
+        }
+        let store = &self.cluster.stores[home];
+        let off = store.get_loc(table, key).ok_or(TxnError::NotFound)? as usize;
+        let rec = store.record(table, off);
+        let mut v = vec![0u8; rec.layout.value_len];
+        match rec.read_htm(self.txn, &mut v) {
+            Ok((lock, _inc, _seq)) => {
+                if lock != LOCK_FREE {
+                    // A remote 2PL owner holds the record.
+                    return Err(TxnError::Aborted(AbortReason::LockBusy));
+                }
+                self.local_lines += rec.layout.lines() as u64;
+                Ok(v)
+            }
+            Err(_) => Err(TxnError::Aborted(AbortReason::Validation)),
+        }
+    }
+
+    fn write(
+        &mut self,
+        shard: usize,
+        table: TableId,
+        key: u64,
+        value: Vec<u8>,
+    ) -> Result<(), TxnError> {
+        let home = self.cluster.home_of(shard);
+        let store = &self.cluster.stores[self.node];
+        assert_eq!(value.len(), store.table(table).spec.value_len);
+        if home != self.node {
+            let roff = self.cluster.stores[home]
+                .get_loc(table, key)
+                .ok_or(TxnError::NotFound)? as usize;
+            if !self.remote_vals.contains_key(&(home, table, key)) {
+                // Written record was not in the oracle's (locked) set.
+                return Err(TxnError::Aborted(AbortReason::Validation));
+            }
+            self.remote_writes
+                .retain(|w| !(w.0 == home && w.1 == table && w.2 == key));
+            self.remote_writes.push((home, table, key, roff, value));
+            return Ok(());
+        }
+        let off = store.get_loc(table, key).ok_or(TxnError::NotFound)? as usize;
+        let rec = store.record(table, off);
+        let seq = self
+            .txn
+            .read_u64(rec.seq_off())
+            .map_err(|_| TxnError::Aborted(AbortReason::Validation))?;
+        rec.write_htm(self.txn, &value, seq + 2)
+            .map_err(|_| TxnError::Aborted(AbortReason::Validation))?;
+        self.local_lines += rec.layout.lines() as u64;
+        Ok(())
+    }
+
+    fn scan_local(
+        &mut self,
+        table: TableId,
+        lo: u64,
+        hi: u64,
+        limit: usize,
+    ) -> Result<Vec<(u64, Vec<u8>)>, TxnError> {
+        let hits = self.cluster.stores[self.node].scan(table, lo, hi, limit);
+        let mut out = Vec::with_capacity(hits.len());
+        let keys: Vec<u64> = hits.into_iter().map(|(k, _)| k).collect();
+        for k in keys {
+            // Route through the HTM read so the scan is in the read set.
+            let shard_of_self = self.node; // Scans are local-only tables.
+            let v = self.read(shard_of_self, table, k)?;
+            out.push((k, v));
+        }
+        Ok(out)
+    }
+}
+
+impl DrtmWorker {
+    /// Creates a DrTM worker on `node`.
+    pub fn new(cluster: Arc<DrtmCluster>, node: NodeId, seed: u64) -> Self {
+        let qps = (0..cluster.nodes())
+            .map(|dst| cluster.fabric.qp(node, dst))
+            .collect();
+        Self {
+            cluster,
+            node,
+            clock: VClock::new(),
+            rng: SplitMix64::new(seed.wrapping_mul(0x5851_F42D) ^ node as u64),
+            qps,
+            stats: WorkerStats::default(),
+        }
+    }
+
+    /// Runs one transaction to commit (2PL waits on locks, so only
+    /// execution divergence retries).
+    pub fn run<R>(
+        &mut self,
+        mut body: impl FnMut(&mut DrtmCtx<'_, '_, '_>) -> Result<R, TxnError>,
+    ) -> Result<R, TxnError> {
+        let start = {
+            self.clock
+                .advance(self.cluster.opts.cost.txn_overhead_ns / 2);
+            self.clock.now()
+        };
+        loop {
+            match self.attempt(&mut body) {
+                Ok(r) => {
+                    self.stats.committed += 1;
+                    self.stats
+                        .latency
+                        .record(self.clock.now().saturating_sub(start));
+                    return Ok(r);
+                }
+                Err(TxnError::Aborted(_)) => {
+                    self.stats.aborted += 1;
+                    let ns = self.rng.below(4_000);
+                    self.clock.advance(ns);
+                    std::thread::yield_now();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn attempt<R>(
+        &mut self,
+        body: &mut impl FnMut(&mut DrtmCtx<'_, '_, '_>) -> Result<R, TxnError>,
+    ) -> Result<R, TxnError> {
+        let cluster = Arc::clone(&self.cluster);
+        // Free oracle pass: DrTM's "a-priori read/write sets".
+        let mut oracle = OracleCtx::new(Arc::clone(&cluster), self.node);
+        body(&mut DrtmCtx::Oracle(&mut oracle))?;
+        let sets = oracle.sets;
+
+        // 2PL: lock all remote records in global order, waiting on
+        // conflicts (bounded by a per-record retry cap to stay live).
+        let remote = Self::remote_addrs(&sets, self.node);
+        if let Err(held) = self.lock_remote_waiting(&remote) {
+            self.unlock_remote(&remote[..held]);
+            return Err(TxnError::Aborted(AbortReason::LockBusy));
+        }
+
+        // Prefetch every locked remote record.
+        let mut remote_vals = std::collections::HashMap::new();
+        for &(node, table, key, off) in sets.reads.iter().chain(&sets.writes) {
+            if node == self.node {
+                continue;
+            }
+            let layout = cluster.stores[self.node].table(table).layout;
+            let Some(rr) =
+                remote_read_consistent(&self.qps[node], &mut self.clock, off, layout, 16)
+            else {
+                self.unlock_remote(&remote);
+                return Err(TxnError::Aborted(AbortReason::RemoteInconsistent));
+            };
+            remote_vals.insert((node, table, key), rr.value);
+        }
+
+        // One HTM region for the entire transaction.
+        let cost = cluster.opts.cost.clone();
+        let htm = &cluster.htms[self.node];
+        let region = &cluster.stores[self.node].region;
+        let node = self.node;
+        let outcome = htm.run(region, &mut self.rng, |t| {
+            let mut e = ExecCtx {
+                cluster: Arc::clone(&cluster),
+                node,
+                txn: t,
+                remote_vals: remote_vals.clone(),
+                remote_writes: Vec::new(),
+                mutations: Vec::new(),
+                local_lines: 0,
+            };
+            let r = body(&mut DrtmCtx::Exec(&mut e));
+            let ExecCtx {
+                remote_writes,
+                mutations,
+                local_lines,
+                ..
+            } = e;
+            match r {
+                Ok(v) => Ok(Ok((v, remote_writes, mutations, local_lines))),
+                Err(TxnError::Aborted(AbortReason::LockBusy)) => Err(AbortCode::Explicit(1)),
+                Err(err) => Ok(Err(err)),
+            }
+        });
+
+        let (value, remote_writes, mutations, local_lines, retries) = match outcome {
+            RunOutcome::Committed {
+                value: Ok((v, rw, m, l)),
+                retries,
+            } => (v, rw, m, l, retries),
+            RunOutcome::Committed { value: Err(e), .. } => {
+                self.unlock_remote(&remote);
+                return Err(e);
+            }
+            RunOutcome::Fallback(_) => {
+                self.stats.fallbacks += 1;
+                self.unlock_remote(&remote);
+                // DrTM's slow path re-runs under locking; modelled as an
+                // abort + retry with an extra locking toll.
+                self.clock
+                    .advance(cost.rdma_atomic_ns * (sets.reads.len() as u64 + 1));
+                return Err(TxnError::Aborted(AbortReason::Fallback));
+            }
+        };
+
+        // Cost of the big HTM region: one XBEGIN/XEND per transaction,
+        // then per-record application logic and per-line memory/HTM
+        // tracking for everything it touched — the same per-record terms
+        // DrTM+R pays, minus DrTM+R's per-read HTM region and buffer
+        // maintenance (its "generality cost"). Repeated per retry.
+        let per_attempt = cost.htm_begin_ns
+            + cost.htm_commit_ns
+            + local_lines * (cost.htm_per_line_ns + cost.mem_access_ns)
+            + (sets.reads.len() + sets.writes.len()) as u64 * cost.record_logic_ns;
+        self.clock.advance(per_attempt * (retries as u64 + 1));
+
+        // Write back remote writes (still holding their locks).
+        for (dst, table, _key, off, val) in &remote_writes {
+            let layout = cluster.stores[self.node].table(*table).layout;
+            let cur = cluster.stores[*dst].region.load64(*off + 16);
+            remote_write_locked(&self.qps[*dst], &mut self.clock, *off, layout, val, cur + 2);
+        }
+
+        // Apply inserts/deletes.
+        for (dst, table, key, val) in &mutations {
+            if *dst != self.node {
+                cluster.fabric.charge_message(
+                    &mut self.clock,
+                    self.node,
+                    *dst,
+                    24 + val.as_ref().map_or(0, Vec::len),
+                );
+            }
+            match val {
+                Some(v) => {
+                    cluster.stores[*dst].insert(*table, *key, v, 2);
+                }
+                None => {
+                    cluster.stores[*dst].remove(*table, *key);
+                }
+            }
+        }
+
+        self.unlock_remote(&remote);
+        Ok(value)
+    }
+
+    fn remote_addrs(sets: &RwSets, me: NodeId) -> Vec<(NodeId, usize)> {
+        let mut v: Vec<(NodeId, usize)> = sets
+            .reads
+            .iter()
+            .chain(&sets.writes)
+            .filter(|a| a.0 != me)
+            .map(|a| (a.0, a.3))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// 2PL acquisition: spin on each lock (bounded), in global order.
+    fn lock_remote_waiting(&mut self, addrs: &[(NodeId, usize)]) -> Result<(), usize> {
+        let me = lock_word(self.node);
+        let members = self.cluster.config.get();
+        for (i, &(node, off)) in addrs.iter().enumerate() {
+            if !members.contains(node) {
+                return Err(i);
+            }
+            let mut spins = 0;
+            loop {
+                match self.qps[node].cas(&mut self.clock, off, LOCK_FREE, me) {
+                    Ok(_) => break,
+                    Err(actual) => {
+                        let owner = lock_owner(actual).expect("locked");
+                        if !members.contains(owner) {
+                            let _ = self.qps[node].cas(&mut self.clock, off, actual, LOCK_FREE);
+                            continue;
+                        }
+                        spins += 1;
+                        if spins > 64 {
+                            return Err(i);
+                        }
+                        let ns = self.rng.below(2_000);
+                        self.clock.advance(ns);
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn unlock_remote(&mut self, addrs: &[(NodeId, usize)]) {
+        let me = lock_word(self.node);
+        for &(node, off) in addrs {
+            let _ = self.qps[node].cas(&mut self.clock, off, me, LOCK_FREE);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drtm_core::cluster::EngineOpts;
+    use drtm_store::TableSpec;
+
+    fn cluster() -> Arc<DrtmCluster> {
+        let c = DrtmCluster::new(
+            2,
+            &[TableSpec::hash(0, 1024, 16)],
+            EngineOpts {
+                region_size: 1 << 20,
+                ..Default::default()
+            },
+        );
+        for shard in 0..2 {
+            for k in 0..8u64 {
+                c.seed_record(shard, 0, (shard as u64) << 32 | k, &{
+                    let mut v = vec![0u8; 16];
+                    v[..8].copy_from_slice(&100u64.to_le_bytes());
+                    v
+                });
+            }
+        }
+        c
+    }
+
+    fn num(v: &[u8]) -> u64 {
+        u64::from_le_bytes(v[..8].try_into().unwrap())
+    }
+
+    fn val(x: u64) -> Vec<u8> {
+        let mut v = vec![0u8; 16];
+        v[..8].copy_from_slice(&x.to_le_bytes());
+        v
+    }
+
+    #[test]
+    fn local_and_remote_transfer() {
+        let c = cluster();
+        let mut w = DrtmWorker::new(Arc::clone(&c), 0, 1);
+        w.run(|t| {
+            let a = num(&t.read(0, 0, 1)?);
+            let b = num(&t.read(1, 0, 1 << 32 | 1)?);
+            t.write(0, 0, 1, val(a - 10))?;
+            t.write(1, 0, 1 << 32 | 1, val(b + 10))
+        })
+        .unwrap();
+        assert_eq!(w.stats.committed, 1);
+        // Check via a DrTM+R read-only transaction on the other machine.
+        let mut v = c.worker(1, 9);
+        let a = v.run_ro(|t| t.read(0, 0, 1)).unwrap();
+        let b = v.run_ro(|t| t.read(1, 0, 1 << 32 | 1)).unwrap();
+        assert_eq!(num(&a), 90);
+        assert_eq!(num(&b), 110);
+    }
+
+    #[test]
+    fn concurrent_increments_serialize() {
+        let c = cluster();
+        let mut handles = Vec::new();
+        for nodeid in 0..2usize {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                let mut w = DrtmWorker::new(c, nodeid, nodeid as u64 + 5);
+                for _ in 0..100 {
+                    w.run(|t| {
+                        let v = num(&t.read(1, 0, 1 << 32)?);
+                        t.write(1, 0, 1 << 32, val(v + 1))
+                    })
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut v = c.worker(1, 9);
+        assert_eq!(num(&v.run_ro(|t| t.read(1, 0, 1 << 32)).unwrap()), 300);
+    }
+
+    #[test]
+    fn clock_advances_more_for_remote() {
+        let c = cluster();
+        let mut w = DrtmWorker::new(Arc::clone(&c), 0, 1);
+        w.run(|t| {
+            let v = num(&t.read(0, 0, 2)?);
+            t.write(0, 0, 2, val(v + 1))
+        })
+        .unwrap();
+        let local_t = w.clock.now();
+        w.run(|t| {
+            let v = num(&t.read(1, 0, 1 << 32 | 2)?);
+            t.write(1, 0, 1 << 32 | 2, val(v + 1))
+        })
+        .unwrap();
+        let remote_t = w.clock.now() - local_t;
+        assert!(
+            remote_t > local_t,
+            "distributed txns must cost more: {local_t} vs {remote_t}"
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! The a-priori read/write-set oracle.
+//!
+//! DrTM and Calvin both require a transaction's read and write sets
+//! before execution — DrTM to lock remote records up front, Calvin to
+//! schedule deterministically. Real deployments obtain them from static
+//! analysis, stored procedures, or DrTM's transaction chopping. The
+//! simulation models that knowledge as a *free dry run*: the body
+//! executes once against an uncharged snapshot context that records
+//! every access, then the engine executes for real. No virtual time is
+//! charged for the dry run, which if anything flatters the baselines
+//! (DESIGN.md notes the bias direction).
+
+use std::sync::Arc;
+
+use drtm_core::cluster::DrtmCluster;
+use drtm_core::txn::TxnError;
+use drtm_rdma::NodeId;
+use drtm_store::TableId;
+
+/// An access recorded by the oracle: `(home node, table, key, offset)`.
+pub type Access = (NodeId, TableId, u64, usize);
+
+/// Read/write sets discovered by the oracle pass.
+#[derive(Debug, Default)]
+pub struct RwSets {
+    /// Records read (deduplicated, in first-access order).
+    pub reads: Vec<Access>,
+    /// Records written.
+    pub writes: Vec<Access>,
+    /// Buffered inserts `(node, table, key, value)`.
+    pub inserts: Vec<(NodeId, TableId, u64, Vec<u8>)>,
+    /// Buffered deletes `(node, table, key)`.
+    pub deletes: Vec<(NodeId, TableId, u64)>,
+}
+
+/// The snapshot context the oracle pass runs the body against.
+///
+/// Reads return the record's current value with no consistency protocol
+/// and no virtual-time charge; writes and mutations are recorded only.
+pub struct OracleCtx {
+    cluster: Arc<DrtmCluster>,
+    /// The machine the real execution will run on.
+    pub node: NodeId,
+    /// Sets collected so far.
+    pub sets: RwSets,
+}
+
+impl OracleCtx {
+    /// Creates an oracle context for a transaction on `node`.
+    pub fn new(cluster: Arc<DrtmCluster>, node: NodeId) -> Self {
+        Self {
+            cluster,
+            node,
+            sets: RwSets::default(),
+        }
+    }
+
+    fn locate(&self, shard: usize, table: TableId, key: u64) -> Result<(NodeId, usize), TxnError> {
+        let home = self.cluster.home_of(shard);
+        let off = self.cluster.stores[home]
+            .get_loc(table, key)
+            .ok_or(TxnError::NotFound)?;
+        Ok((home, off as usize))
+    }
+
+    /// Snapshot read (uncharged): records the access.
+    pub fn read(&mut self, shard: usize, table: TableId, key: u64) -> Result<Vec<u8>, TxnError> {
+        let (home, off) = self.locate(shard, table, key)?;
+        if !self
+            .sets
+            .reads
+            .iter()
+            .any(|a| a.0 == home && a.1 == table && a.3 == off)
+        {
+            self.sets.reads.push((home, table, key, off));
+        }
+        let rec = self.cluster.stores[home].record(table, off);
+        let mut v = vec![0u8; rec.layout.value_len];
+        rec.read_value_raw(&mut v);
+        Ok(v)
+    }
+
+    /// Records a write; the value itself is ignored (the real pass
+    /// recomputes it).
+    pub fn write(&mut self, shard: usize, table: TableId, key: u64) -> Result<(), TxnError> {
+        let (home, off) = self.locate(shard, table, key)?;
+        if !self
+            .sets
+            .writes
+            .iter()
+            .any(|a| a.0 == home && a.1 == table && a.3 == off)
+        {
+            self.sets.writes.push((home, table, key, off));
+        }
+        Ok(())
+    }
+
+    /// Records an insert.
+    pub fn insert(&mut self, shard: usize, table: TableId, key: u64, value: Vec<u8>) {
+        let home = self.cluster.home_of(shard);
+        self.sets.inserts.push((home, table, key, value));
+    }
+
+    /// Records a delete.
+    pub fn delete(&mut self, shard: usize, table: TableId, key: u64) {
+        let home = self.cluster.home_of(shard);
+        self.sets.deletes.push((home, table, key));
+    }
+
+    /// Uncharged ordered-table scan on the local machine.
+    pub fn scan_local(
+        &mut self,
+        table: TableId,
+        lo: u64,
+        hi: u64,
+        limit: usize,
+    ) -> Vec<(u64, Vec<u8>)> {
+        let store = &self.cluster.stores[self.node];
+        store
+            .scan(table, lo, hi, limit)
+            .into_iter()
+            .map(|(k, off)| {
+                let rec = store.record(table, off as usize);
+                let mut v = vec![0u8; rec.layout.value_len];
+                rec.read_value_raw(&mut v);
+                // Scanned records join the read set too.
+                if !self
+                    .sets
+                    .reads
+                    .iter()
+                    .any(|a| a.0 == self.node && a.1 == table && a.3 == off as usize)
+                {
+                    self.sets.reads.push((self.node, table, k, off as usize));
+                }
+                (k, v)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drtm_core::cluster::EngineOpts;
+    use drtm_store::TableSpec;
+
+    fn cluster() -> Arc<DrtmCluster> {
+        let c = DrtmCluster::new(
+            2,
+            &[TableSpec::hash(0, 256, 16)],
+            EngineOpts {
+                region_size: 1 << 20,
+                ..Default::default()
+            },
+        );
+        c.seed_record(0, 0, 1, &[1u8; 16]);
+        c.seed_record(1, 0, 2, &[2u8; 16]);
+        c
+    }
+
+    #[test]
+    fn oracle_collects_sets_without_charging() {
+        let c = cluster();
+        let mut o = OracleCtx::new(Arc::clone(&c), 0);
+        let v = o.read(0, 0, 1).unwrap();
+        assert_eq!(v, vec![1u8; 16]);
+        o.read(1, 0, 2).unwrap();
+        o.read(0, 0, 1).unwrap(); // Duplicate: deduped.
+        o.write(1, 0, 2).unwrap();
+        o.insert(0, 0, 99, vec![9u8; 16]);
+        assert_eq!(o.sets.reads.len(), 2);
+        assert_eq!(o.sets.writes.len(), 1);
+        assert_eq!(o.sets.inserts.len(), 1);
+    }
+
+    #[test]
+    fn oracle_not_found() {
+        let c = cluster();
+        let mut o = OracleCtx::new(c, 0);
+        assert_eq!(o.read(0, 0, 777).unwrap_err(), TxnError::NotFound);
+    }
+}

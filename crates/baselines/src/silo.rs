@@ -1,0 +1,358 @@
+//! The Silo baseline (SOSP'13): single-machine OCC, no HTM, no network.
+//!
+//! Silo reads records optimistically with per-record sequence numbers
+//! (its TID words play the role of our sequence numbers), buffers
+//! writes, then commits by locking the write set with plain CPU CAS,
+//! validating the read set, and applying. The paper runs Silo with
+//! logging disabled on a single machine as the per-machine efficiency
+//! yardstick; this model does the same over one node's store.
+
+use std::sync::Arc;
+
+use drtm_base::{SplitMix64, VClock};
+use drtm_core::cluster::DrtmCluster;
+use drtm_core::txn::{AbortReason, TxnError, WorkerStats};
+use drtm_store::record::{lock_word, INCARNATION_OFF, LOCK_FREE, SEQ_OFF};
+use drtm_store::TableId;
+
+/// One Silo worker thread (always on machine 0 of a 1-node "cluster").
+pub struct SiloWorker {
+    cluster: Arc<DrtmCluster>,
+    /// The machine (partition) this worker uses.
+    pub node: usize,
+    /// Virtual clock.
+    pub clock: VClock,
+    rng: SplitMix64,
+    /// Commit/abort counters.
+    pub stats: WorkerStats,
+}
+
+/// One in-flight Silo transaction.
+pub struct SiloCtx<'a> {
+    w: &'a mut SiloWorker,
+    reads: Vec<(TableId, usize, u64, u64)>, // (table, off, seq, incarnation)
+    writes: Vec<(TableId, u64, usize, Vec<u8>)>, // (table, key, off, value)
+    inserts: Vec<(TableId, u64, Vec<u8>)>,
+    deletes: Vec<(TableId, u64)>,
+}
+
+impl SiloWorker {
+    /// Creates a Silo worker over `cluster`'s node 0 store.
+    pub fn new(cluster: Arc<DrtmCluster>, seed: u64) -> Self {
+        Self {
+            cluster,
+            node: 0,
+            clock: VClock::new(),
+            rng: SplitMix64::new(seed ^ 0x5110),
+            stats: WorkerStats::default(),
+        }
+    }
+
+    /// Runs one transaction to commit with retry-on-abort.
+    pub fn run<R>(
+        &mut self,
+        mut body: impl FnMut(&mut SiloCtx<'_>) -> Result<R, TxnError>,
+    ) -> Result<R, TxnError> {
+        let start = self.clock.now();
+        loop {
+            self.clock
+                .advance(self.cluster.opts.cost.txn_overhead_ns / 2);
+            let mut ctx = SiloCtx {
+                w: self,
+                reads: Vec::new(),
+                writes: Vec::new(),
+                inserts: Vec::new(),
+                deletes: Vec::new(),
+            };
+            match body(&mut ctx) {
+                Ok(v) => match ctx.commit() {
+                    Ok(()) => {
+                        self.stats.committed += 1;
+                        self.stats
+                            .latency
+                            .record(self.clock.now().saturating_sub(start));
+                        return Ok(v);
+                    }
+                    Err(TxnError::Aborted(_)) => {
+                        self.stats.aborted += 1;
+                        let ns = self.rng.below(2_000);
+                        self.clock.advance(ns);
+                        std::thread::yield_now();
+                    }
+                    Err(e) => return Err(e),
+                },
+                Err(TxnError::Aborted(_)) => {
+                    self.stats.aborted += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl SiloCtx<'_> {
+    /// Optimistic read: seqlock-style stable snapshot of one record.
+    pub fn read(&mut self, table: TableId, key: u64) -> Result<Vec<u8>, TxnError> {
+        if let Some(e) = self.writes.iter().find(|e| e.0 == table && e.1 == key) {
+            return Ok(e.3.clone());
+        }
+        let cluster = Arc::clone(&self.w.cluster);
+        let store = &cluster.stores[self.w.node];
+        let off = store.get_loc(table, key).ok_or(TxnError::NotFound)? as usize;
+        if let Some(e) = self.reads.iter().find(|e| e.0 == table && e.1 == off) {
+            let rec = store.record(table, off);
+            let mut v = vec![0u8; rec.layout.value_len];
+            rec.read_value_raw(&mut v);
+            let _ = e;
+            return Ok(v);
+        }
+        let rec = store.record(table, off);
+        let mut v = vec![0u8; rec.layout.value_len];
+        let cost = &cluster.opts.cost;
+        self.w.clock.advance(cost.record_logic_ns);
+        for _ in 0..1024 {
+            let s1 = rec.seq();
+            if rec.lock() != LOCK_FREE {
+                self.w.clock.advance(50);
+                std::thread::yield_now();
+                continue;
+            }
+            rec.read_value_raw(&mut v);
+            let s2 = rec.seq();
+            self.w
+                .clock
+                .advance(cost.mem_access_ns * rec.layout.lines() as u64);
+            if s1 == s2 && rec.lock() == LOCK_FREE {
+                self.reads.push((table, off, s1, rec.incarnation()));
+                return Ok(v);
+            }
+        }
+        Err(TxnError::Aborted(AbortReason::LocalLockBusy))
+    }
+
+    /// Buffers a write.
+    pub fn write(&mut self, table: TableId, key: u64, value: Vec<u8>) -> Result<(), TxnError> {
+        let cluster = Arc::clone(&self.w.cluster);
+        let store = &cluster.stores[self.w.node];
+        assert_eq!(value.len(), store.table(table).spec.value_len);
+        if let Some(e) = self.writes.iter_mut().find(|e| e.0 == table && e.1 == key) {
+            e.3 = value;
+            return Ok(());
+        }
+        let off = store.get_loc(table, key).ok_or(TxnError::NotFound)? as usize;
+        self.writes.push((table, key, off, value));
+        Ok(())
+    }
+
+    /// Buffers an insert.
+    pub fn insert(&mut self, table: TableId, key: u64, value: Vec<u8>) {
+        self.inserts.push((table, key, value));
+    }
+
+    /// Buffers a delete.
+    pub fn delete(&mut self, table: TableId, key: u64) {
+        self.deletes.push((table, key));
+    }
+
+    /// Ordered scan through the transactional read path.
+    pub fn scan(
+        &mut self,
+        table: TableId,
+        lo: u64,
+        hi: u64,
+        limit: usize,
+    ) -> Result<Vec<(u64, Vec<u8>)>, TxnError> {
+        let cluster = Arc::clone(&self.w.cluster);
+        let hits = cluster.stores[self.w.node].scan(table, lo, hi, limit);
+        let mut out = Vec::with_capacity(hits.len());
+        for (k, _) in hits {
+            out.push((k, self.read(table, k)?));
+        }
+        Ok(out)
+    }
+
+    /// The largest key in `[lo, hi]`, read transactionally.
+    pub fn last(
+        &mut self,
+        table: TableId,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Option<(u64, Vec<u8>)>, TxnError> {
+        let cluster = Arc::clone(&self.w.cluster);
+        match cluster.stores[self.w.node].last_in_range(table, lo, hi) {
+            Some((k, _)) => Ok(Some((k, self.read(table, k)?))),
+            None => Ok(None),
+        }
+    }
+
+    /// Silo commit: lock write set (CPU CAS, sorted), validate read set,
+    /// apply, unlock.
+    fn commit(self) -> Result<(), TxnError> {
+        let cluster = Arc::clone(&self.w.cluster);
+        let store = &cluster.stores[self.w.node];
+        let region = &store.region;
+        let cost = &cluster.opts.cost;
+        let me = lock_word(usize::MAX - 1); // A Silo-private owner id.
+
+        let mut lock_offs: Vec<usize> = self.writes.iter().map(|e| e.2).collect();
+        lock_offs.sort_unstable();
+        lock_offs.dedup();
+        let mut held = Vec::with_capacity(lock_offs.len());
+        for &off in &lock_offs {
+            self.w.clock.advance(cost.local_cas_ns);
+            if region.cas64(off, LOCK_FREE, me).is_err() {
+                for &h in &held {
+                    let _ = region.cas64(h, me, LOCK_FREE);
+                }
+                return Err(TxnError::Aborted(AbortReason::LockBusy));
+            }
+            held.push(off);
+        }
+        // Validate reads.
+        for &(_, off, seq, inc) in &self.reads {
+            self.w.clock.advance(cost.mem_access_ns);
+            let cur_lock = region.load64(off);
+            let locked_by_other = cur_lock != LOCK_FREE && cur_lock != me;
+            if locked_by_other
+                || region.load64(off + SEQ_OFF) != seq
+                || region.load64(off + INCARNATION_OFF) != inc
+            {
+                for &h in &held {
+                    let _ = region.cas64(h, me, LOCK_FREE);
+                }
+                return Err(TxnError::Aborted(AbortReason::Validation));
+            }
+        }
+        // Apply.
+        for (table, _, off, value) in &self.writes {
+            let rec = store.record(*table, *off);
+            let seq = rec.seq();
+            rec.write_locked(value, seq + 2);
+            self.w
+                .clock
+                .advance(cost.mem_access_ns * rec.layout.lines() as u64);
+        }
+        for &off in &held {
+            let _ = region.cas64(off, me, LOCK_FREE);
+            self.w.clock.advance(cost.local_cas_ns);
+        }
+        for (table, key, value) in &self.inserts {
+            store.insert(*table, *key, value, 2);
+            self.w.clock.advance(cost.record_logic_ns);
+        }
+        for (table, key) in &self.deletes {
+            store.remove(*table, *key);
+            self.w.clock.advance(cost.record_logic_ns);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drtm_core::cluster::EngineOpts;
+    use drtm_store::TableSpec;
+
+    fn cluster() -> Arc<DrtmCluster> {
+        let c = DrtmCluster::new(
+            1,
+            &[TableSpec::hash(0, 1024, 16)],
+            EngineOpts {
+                region_size: 1 << 20,
+                ..Default::default()
+            },
+        );
+        for k in 0..8u64 {
+            let mut v = vec![0u8; 16];
+            v[..8].copy_from_slice(&100u64.to_le_bytes());
+            c.seed_record(0, 0, k, &v);
+        }
+        c
+    }
+
+    fn num(v: &[u8]) -> u64 {
+        u64::from_le_bytes(v[..8].try_into().unwrap())
+    }
+
+    fn val(x: u64) -> Vec<u8> {
+        let mut v = vec![0u8; 16];
+        v[..8].copy_from_slice(&x.to_le_bytes());
+        v
+    }
+
+    #[test]
+    fn read_write_commit() {
+        let c = cluster();
+        let mut w = SiloWorker::new(Arc::clone(&c), 1);
+        w.run(|t| {
+            let v = num(&t.read(0, 1)?);
+            t.write(0, 1, val(v + 11))
+        })
+        .unwrap();
+        let mut w2 = SiloWorker::new(c, 2);
+        assert_eq!(num(&w2.run(|t| t.read(0, 1)).unwrap()), 111);
+    }
+
+    #[test]
+    fn concurrent_transfers_conserve() {
+        let c = cluster();
+        let mut handles = Vec::new();
+        for tid in 0..3u64 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                let mut w = SiloWorker::new(c, tid + 10);
+                let mut rng = SplitMix64::new(tid);
+                for _ in 0..150 {
+                    let a = rng.below(8);
+                    let b = rng.below(8);
+                    if a == b {
+                        continue;
+                    }
+                    w.run(|t| {
+                        let x = num(&t.read(0, a)?);
+                        let y = num(&t.read(0, b)?);
+                        if x == 0 {
+                            return Err(TxnError::UserAbort);
+                        }
+                        t.write(0, a, val(x - 1))?;
+                        t.write(0, b, val(y + 1))
+                    })
+                    .ok();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut w = SiloWorker::new(c, 77);
+        let total: u64 = (0..8u64)
+            .map(|k| num(&w.run(|t| t.read(0, k)).unwrap()))
+            .sum();
+        assert_eq!(total, 800);
+    }
+
+    #[test]
+    fn insert_and_scan_via_ordered_table() {
+        let c = DrtmCluster::new(
+            1,
+            &[TableSpec::ordered(0, 16)],
+            EngineOpts {
+                region_size: 1 << 20,
+                ..Default::default()
+            },
+        );
+        let mut w = SiloWorker::new(c, 1);
+        w.run(|t| {
+            for k in 0..5u64 {
+                t.insert(0, k, val(k));
+            }
+            Ok(())
+        })
+        .unwrap();
+        let got = w.run(|t| t.scan(0, 1, 3, usize::MAX)).unwrap();
+        assert_eq!(got.len(), 3);
+        let last = w.run(|t| t.last(0, 0, 10)).unwrap();
+        assert_eq!(last.unwrap().0, 4);
+    }
+}

@@ -1,0 +1,71 @@
+//! Commit-protocol time breakdown: where a transaction's virtual time
+//! goes, per protocol step (C.1–C.6, R.1–R.2), for purely local vs.
+//! heavily distributed TPC-C runs, with and without replication.
+//!
+//! Not a figure in the paper, but the protocol-level explanation behind
+//! Figures 10/17/Table 6: distributed transactions are dominated by the
+//! one-sided locking and validation round trips; replication adds the
+//! log-write step.
+
+use drtm_bench::{run_cfg, tpcc_cfg, Scale};
+use drtm_core::txn::StepBreakdown;
+use drtm_workloads::driver::{build_tpcc, EngineKind, RunCfg};
+use drtm_workloads::engine::EngineWorker;
+use drtm_workloads::tpcc::txns;
+
+fn run_case(name: &str, cross: f64, replicas: usize) {
+    let scale = Scale::from_env();
+    let nodes = 3;
+    let cfg = tpcc_cfg(scale, nodes, 1);
+    let run = RunCfg {
+        replicas,
+        cross_override: Some(cross),
+        ..run_cfg(scale, EngineKind::DrtmR, 1, replicas)
+    };
+    let (cluster, _) = build_tpcc(&cfg, &run);
+
+    // One worker executing new-order transactions only (the breakdown is
+    // per committed transaction, so a single thread suffices).
+    let mut ew = EngineWorker::new(EngineKind::DrtmR, &cluster, None, 0, 7);
+    let mut rng = drtm_base::SplitMix64::new(11);
+    let n = 300;
+    for i in 0..n {
+        let inp = txns::gen_new_order(&cfg, &mut rng, 0, cross);
+        let _ = ew.exec(false, |t| txns::new_order(t, &cfg, &inp, i));
+    }
+    // Aux work so the logs do not grow unbounded.
+    for node in 0..nodes {
+        cluster.truncate_step(node);
+    }
+
+    let (steps, committed) = match &ew {
+        EngineWorker::DrtmR(w) => (w.stats.steps.clone(), w.stats.committed),
+        _ => unreachable!(),
+    };
+    print_case(name, &steps, committed);
+}
+
+fn print_case(name: &str, s: &StepBreakdown, committed: u64) {
+    let total = s.total().max(1) as f64;
+    let pct = |x: u64| 100.0 * x as f64 / total;
+    println!(
+        "{name}: {:.1} us/txn over {committed} new-orders",
+        total / committed.max(1) as f64 / 1e3
+    );
+    println!("  execute          {:6.1}%", pct(s.execute_ns));
+    println!("  C.1 lock         {:6.1}%", pct(s.lock_ns));
+    println!("  C.2 validate     {:6.1}%", pct(s.validate_remote_ns));
+    println!("  C.3/C.4 HTM      {:6.1}%", pct(s.htm_ns));
+    println!("  R.1 log          {:6.1}%", pct(s.log_ns));
+    println!("  R.2 makeup       {:6.1}%", pct(s.makeup_ns));
+    println!("  C.5 remote write {:6.1}%", pct(s.remote_write_ns));
+    println!("  C.6 unlock       {:6.1}%", pct(s.unlock_ns));
+}
+
+fn main() {
+    println!("# Commit-protocol virtual-time breakdown (TPC-C new-order, 3 machines)");
+    run_case("local (1% cross, no replication)", 0.01, 1);
+    run_case("distributed (100% cross, no replication)", 1.0, 1);
+    run_case("local + 3-way replication", 0.01, 3);
+    run_case("distributed + 3-way replication", 1.0, 3);
+}

@@ -1,0 +1,44 @@
+//! Figure 10: TPC-C new-order throughput vs number of machines
+//! (8 threads each, one warehouse per thread).
+//!
+//! Paper shape: DrTM+R scales near-linearly to 1.49 M new-order txns/sec
+//! on 6 machines; DrTM is 2.2–9.8 % faster (generality cost); DrTM+R=3
+//! tracks DrTM+R with bounded overhead until the NIC saturates; Calvin
+//! is more than an order of magnitude below everything.
+
+use drtm_bench::{fmt_tps, header, new_order_tps, run_cfg, tpcc_cfg, Scale};
+use drtm_workloads::driver::{run_tpcc, EngineKind, RunCfg};
+
+fn main() {
+    let scale = Scale::from_env();
+    let threads = scale.pick(8, 2);
+    let machines: Vec<usize> = scale.pick(vec![1, 2, 3, 4, 5, 6], vec![1, 2, 3]);
+    header(
+        "Figure 10",
+        "TPC-C new-order throughput vs machines",
+        &["machines", "drtm+r", "drtm+r=3", "drtm", "calvin"],
+    );
+    for &n in &machines {
+        let cfg = tpcc_cfg(scale, n, threads);
+        let r = |engine, replicas| -> RunCfg { run_cfg(scale, engine, threads, replicas) };
+        let drtmr = run_tpcc(&cfg, &r(EngineKind::DrtmR, 1));
+        let drtmr3 = if n >= 3 {
+            new_order_tps(&run_tpcc(&cfg, &r(EngineKind::DrtmR, 3)))
+        } else {
+            f64::NAN
+        };
+        let drtm = run_tpcc(&cfg, &r(EngineKind::Drtm, 1));
+        let calvin = run_tpcc(&cfg, &r(EngineKind::Calvin, 1));
+        println!(
+            "{n}\t{}\t{}\t{}\t{}",
+            fmt_tps(new_order_tps(&drtmr)),
+            if drtmr3.is_nan() {
+                "-".into()
+            } else {
+                fmt_tps(drtmr3)
+            },
+            fmt_tps(new_order_tps(&drtm)),
+            fmt_tps(new_order_tps(&calvin)),
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Figure 12: scale-out emulation with logical nodes (4 workers each).
+//!
+//! The paper runs up to 4 logical nodes per physical machine (24 logical
+//! nodes total); logical nodes interact through the full RDMA-based OCC
+//! protocol even when co-located, and co-located nodes share the
+//! machine's NIC. Here NIC sharing is modelled by dividing the per-node
+//! link bandwidth by the co-location factor.
+//!
+//! Paper shape: near-linear scaling to 24 logical nodes (2.89 M
+//! new-order transactions per second).
+
+use drtm_bench::{fmt_tps, header, new_order_tps, tpcc_cfg, Scale};
+use drtm_workloads::driver::{run_tpcc_on, EngineKind, RunCfg};
+use drtm_workloads::tpcc;
+
+fn main() {
+    let scale = Scale::from_env();
+    let workers = 4;
+    let logical: Vec<usize> = scale.pick(vec![4, 8, 12, 16, 20, 24], vec![2, 4, 6]);
+    let per_machine = 4usize;
+    header(
+        "Figure 12",
+        "TPC-C new-order throughput vs logical nodes (4 workers each)",
+        &["logical-nodes", "drtm+r"],
+    );
+    for &n in &logical {
+        let cfg = tpcc_cfg(scale, n, workers);
+        let co = n.min(per_machine);
+        let mut run = RunCfg {
+            engine: EngineKind::DrtmR,
+            threads: workers,
+            replicas: 1,
+            txns_per_worker: scale.pick(300, 100),
+            ..Default::default()
+        };
+        run.seed = 7;
+        // Build with NIC bandwidth divided by the co-location factor.
+        let expected = run.txns_per_worker * run.threads * 2;
+        let mut opts = drtm_core::cluster::EngineOpts {
+            replicas: 1,
+            region_size: cfg.region_size(expected),
+            ..Default::default()
+        };
+        opts.cost.nic_bytes_per_sec /= co as f64;
+        let cluster = drtm_core::cluster::DrtmCluster::new(cfg.nodes, &cfg.schema(), opts);
+        tpcc::load(&cluster, &cfg);
+        let m = run_tpcc_on(&cfg, &run, &cluster, None);
+        println!("{n}\t{}", fmt_tps(new_order_tps(&m)));
+    }
+}

@@ -1,0 +1,29 @@
+//! Figures 13: SmallBank throughput vs machines (no replication), for
+//! 1 %, 5 %, and 10 % probability of cross-machine SP/AMG accesses.
+//!
+//! Paper shape: at 1 % distributed transactions throughput scales ~5x
+//! from 1 to 6 machines (94 M txns/sec at 6x16); higher distribution
+//! ratios lower the curve but keep it growing from 2 machines.
+
+use drtm_bench::{fmt_tps, header, run_cfg, sb_cfg, Scale};
+use drtm_workloads::driver::{run_smallbank, EngineKind};
+
+fn main() {
+    let scale = Scale::from_env();
+    let threads = scale.pick(16, 2);
+    let machines: Vec<usize> = scale.pick(vec![1, 2, 3, 4, 5, 6], vec![1, 2, 3]);
+    header(
+        "Figure 13",
+        "SmallBank throughput vs machines (DrTM+R, no replication)",
+        &["machines", "cross=1%", "cross=5%", "cross=10%"],
+    );
+    for &n in &machines {
+        let mut row = format!("{n}");
+        for cross in [0.01, 0.05, 0.10] {
+            let cfg = sb_cfg(scale, n, cross);
+            let m = run_smallbank(&cfg, &run_cfg(scale, EngineKind::DrtmR, threads, 1));
+            row += &format!("\t{}", fmt_tps(m.throughput));
+        }
+        println!("{row}");
+    }
+}

@@ -1,0 +1,27 @@
+//! Figure 14: SmallBank throughput vs threads (6 machines, no
+//! replication), for 1 %, 5 %, 10 % cross-machine probability.
+//!
+//! Paper shape: 9.2x speedup to 16 threads at 1 % distribution.
+
+use drtm_bench::{fmt_tps, header, run_cfg, sb_cfg, Scale};
+use drtm_workloads::driver::{run_smallbank, EngineKind};
+
+fn main() {
+    let scale = Scale::from_env();
+    let nodes = scale.pick(6, 2);
+    let threads: Vec<usize> = scale.pick(vec![1, 2, 4, 8, 12, 16], vec![1, 2, 4]);
+    header(
+        "Figure 14",
+        "SmallBank throughput vs threads (DrTM+R, no replication)",
+        &["threads", "cross=1%", "cross=5%", "cross=10%"],
+    );
+    for &t in &threads {
+        let mut row = format!("{t}");
+        for cross in [0.01, 0.05, 0.10] {
+            let cfg = sb_cfg(scale, nodes, cross);
+            let m = run_smallbank(&cfg, &run_cfg(scale, EngineKind::DrtmR, t, 1));
+            row += &format!("\t{}", fmt_tps(m.throughput));
+        }
+        println!("{row}");
+    }
+}

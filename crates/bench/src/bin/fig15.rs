@@ -1,0 +1,28 @@
+//! Figure 15: SmallBank throughput vs machines with 3-way replication.
+//!
+//! Paper shape: scales with machines but at a much lower level than
+//! Figure 13 — every transaction pays at least four extra RDMA WRITEs
+//! for replication, so the NIC dominates these tiny transactions.
+
+use drtm_bench::{fmt_tps, header, run_cfg, sb_cfg, Scale};
+use drtm_workloads::driver::{run_smallbank, EngineKind};
+
+fn main() {
+    let scale = Scale::from_env();
+    let threads = scale.pick(16, 2);
+    let machines: Vec<usize> = scale.pick(vec![3, 4, 5, 6], vec![3, 4]);
+    header(
+        "Figure 15",
+        "SmallBank throughput vs machines (DrTM+R=3, 3-way replication)",
+        &["machines", "cross=1%", "cross=5%", "cross=10%"],
+    );
+    for &n in &machines {
+        let mut row = format!("{n}");
+        for cross in [0.01, 0.05, 0.10] {
+            let cfg = sb_cfg(scale, n, cross);
+            let m = run_smallbank(&cfg, &run_cfg(scale, EngineKind::DrtmR, threads, 3));
+            row += &format!("\t{}", fmt_tps(m.throughput));
+        }
+        println!("{row}");
+    }
+}

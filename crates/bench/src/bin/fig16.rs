@@ -1,0 +1,28 @@
+//! Figure 16: SmallBank throughput vs threads with 3-way replication.
+//!
+//! Paper shape: scales only to ~8 threads (6.4 M txns/sec), then the
+//! single 56 Gbps NIC per machine is the bottleneck; more threads do not
+//! help.
+
+use drtm_bench::{fmt_tps, header, run_cfg, sb_cfg, Scale};
+use drtm_workloads::driver::{run_smallbank, EngineKind};
+
+fn main() {
+    let scale = Scale::from_env();
+    let nodes = scale.pick(6, 3);
+    let threads: Vec<usize> = scale.pick(vec![1, 2, 4, 8, 12, 16], vec![1, 2, 4]);
+    header(
+        "Figure 16",
+        "SmallBank throughput vs threads (DrTM+R=3, 3-way replication)",
+        &["threads", "cross=1%", "cross=5%", "cross=10%"],
+    );
+    for &t in &threads {
+        let mut row = format!("{t}");
+        for cross in [0.01, 0.05, 0.10] {
+            let cfg = sb_cfg(scale, nodes, cross);
+            let m = run_smallbank(&cfg, &run_cfg(scale, EngineKind::DrtmR, t, 3));
+            row += &format!("\t{}", fmt_tps(m.throughput));
+        }
+        println!("{row}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 17: TPC-C new-order throughput vs cross-warehouse access
+//! probability (6 machines x 8 threads).
+//!
+//! Paper shape: 100 % cross-warehouse accesses cost DrTM+R 73-82 % of
+//! its throughput; 5 % costs only ~11 %; the DrTM/DrTM+R gap narrows as
+//! distribution grows (both update remote records the same way).
+
+use drtm_bench::{fmt_tps, header, new_order_tps, run_cfg, tpcc_cfg, Scale};
+use drtm_workloads::driver::{run_tpcc, EngineKind, RunCfg};
+
+fn main() {
+    let scale = Scale::from_env();
+    let nodes = scale.pick(6, 2);
+    let threads = scale.pick(8, 2);
+    let sweep: Vec<f64> = scale.pick(
+        vec![0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 1.00],
+        vec![0.01, 0.10, 0.50, 1.00],
+    );
+    header(
+        "Figure 17",
+        "TPC-C new-order throughput vs cross-warehouse access probability",
+        &["cross%", "drtm+r", "drtm+r=3", "drtm"],
+    );
+    let cfg = tpcc_cfg(scale, nodes, threads);
+    for &cross in &sweep {
+        let with = |engine, replicas| -> RunCfg {
+            RunCfg {
+                cross_override: Some(cross),
+                ..run_cfg(scale, engine, threads, replicas)
+            }
+        };
+        let a = run_tpcc(&cfg, &with(EngineKind::DrtmR, 1));
+        let b = run_tpcc(&cfg, &with(EngineKind::DrtmR, 3.min(nodes)));
+        let c = run_tpcc(&cfg, &with(EngineKind::Drtm, 1));
+        println!(
+            "{:.0}\t{}\t{}\t{}",
+            cross * 100.0,
+            fmt_tps(new_order_tps(&a)),
+            fmt_tps(new_order_tps(&b)),
+            fmt_tps(new_order_tps(&c)),
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Figure 18: high contention — one warehouse per machine, threads
+//! sweep (6 machines).
+//!
+//! Paper shape: DrTM+R beats DrTM below ~10 threads per machine (DrTM
+//! falls back to its locking slow path more often); with more threads,
+//! DrTM+R's optimistic validation pays increasing read-write conflict
+//! costs.
+
+use drtm_bench::{fmt_tps, header, new_order_tps, run_cfg, Scale};
+use drtm_workloads::driver::{run_tpcc, EngineKind};
+use drtm_workloads::tpcc::TpccCfg;
+
+fn main() {
+    let scale = Scale::from_env();
+    let nodes = scale.pick(6, 2);
+    let threads: Vec<usize> = scale.pick(vec![1, 2, 4, 8, 10, 12, 16], vec![1, 2, 4]);
+    header(
+        "Figure 18",
+        "TPC-C new-order throughput, ONE warehouse per machine (high contention)",
+        &[
+            "threads",
+            "drtm+r",
+            "drtm",
+            "drtm+r aborts/commit",
+            "drtm fallback%",
+        ],
+    );
+    for &t in &threads {
+        let cfg = TpccCfg {
+            nodes,
+            warehouses_per_node: 1, // All threads share one warehouse.
+            customers: scale.pick(300, 48),
+            items: scale.pick(10_000, 256),
+            init_orders: scale.pick(20, 8),
+            history_buckets: 1 << scale.pick(18, 13),
+            ..Default::default()
+        };
+        let a = run_tpcc(&cfg, &run_cfg(scale, EngineKind::DrtmR, t, 1));
+        let b = run_tpcc(&cfg, &run_cfg(scale, EngineKind::Drtm, t, 1));
+        println!(
+            "{t}\t{}\t{}\t{:.2}\t{:.1}%",
+            fmt_tps(new_order_tps(&a)),
+            fmt_tps(new_order_tps(&b)),
+            a.aborted as f64 / a.committed.max(1) as f64,
+            100.0 * b.fallbacks as f64 / (b.committed + b.fallbacks).max(1) as f64,
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 19: TPC-C new-order throughput vs database size (warehouses
+//! per machine; 6 machines x 8 threads).
+//!
+//! Paper shape: throughput is stable — even rising slightly past 48
+//! warehouses (a larger database means more cache misses but less
+//! contention).
+
+use drtm_bench::{fmt_tps, header, new_order_tps, run_cfg, Scale};
+use drtm_workloads::driver::{run_tpcc, EngineKind};
+use drtm_workloads::tpcc::TpccCfg;
+
+fn main() {
+    let scale = Scale::from_env();
+    let nodes = scale.pick(6, 2);
+    let threads = scale.pick(8, 2);
+    let wh_sweep: Vec<usize> = scale.pick(vec![8, 16, 32, 48, 64], vec![2, 4, 8]);
+    header(
+        "Figure 19",
+        "TPC-C new-order throughput vs warehouses per machine",
+        &["wh/machine", "drtm+r", "drtm+r=3"],
+    );
+    for &wh in &wh_sweep {
+        let cfg = TpccCfg {
+            nodes,
+            warehouses_per_node: wh,
+            customers: scale.pick(120, 32),
+            items: scale.pick(2_000, 128),
+            init_orders: scale.pick(10, 4),
+            history_buckets: 1 << scale.pick(17, 13),
+            ..Default::default()
+        };
+        let a = run_tpcc(&cfg, &run_cfg(scale, EngineKind::DrtmR, threads, 1));
+        let b = run_tpcc(
+            &cfg,
+            &run_cfg(scale, EngineKind::DrtmR, threads, 3.min(nodes)),
+        );
+        println!(
+            "{wh}\t{}\t{}",
+            fmt_tps(new_order_tps(&a)),
+            fmt_tps(new_order_tps(&b))
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Free-form parameter sweep: run any (engine, workload, nodes, threads,
+//! replicas, cross-probability) grid point from the command line.
+//!
+//! ```text
+//! sweep [tpcc|smallbank] [--engine drtm+r|drtm|calvin|silo]
+//!       [--nodes N] [--threads T] [--replicas R] [--cross P]
+//!       [--txns N] [--full] [--msg-locking] [--no-cache] [--fuse]
+//! ```
+//!
+//! Prints one tab-separated result row (plus a header), so shell loops
+//! can build arbitrary grids beyond the paper's figures.
+
+use drtm_bench::{fmt_tps, sb_cfg, tpcc_cfg, Scale};
+use drtm_workloads::driver::{run_smallbank, run_tpcc, EngineKind, RunCfg};
+
+fn parse_engine(s: &str) -> EngineKind {
+    match s {
+        "drtm+r" | "drtmr" => EngineKind::DrtmR,
+        "drtm" => EngineKind::Drtm,
+        "calvin" => EngineKind::Calvin,
+        "silo" => EngineKind::Silo,
+        other => {
+            eprintln!("unknown engine {other:?} (drtm+r|drtm|calvin|silo)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workload = "tpcc".to_string();
+    let mut engine = EngineKind::DrtmR;
+    let mut nodes = 2usize;
+    let mut threads = 2usize;
+    let mut replicas = 1usize;
+    let mut cross: Option<f64> = None;
+    let mut txns = 150usize;
+    let mut msg_locking = false;
+    let mut no_cache = false;
+    let mut fuse = false;
+
+    let mut it = args.iter().peekable();
+    let grab = |it: &mut std::iter::Peekable<std::slice::Iter<String>>| -> String {
+        it.next().cloned().unwrap_or_else(|| {
+            eprintln!("missing argument value");
+            std::process::exit(2);
+        })
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "tpcc" | "smallbank" => workload = a.clone(),
+            "--engine" => engine = parse_engine(&grab(&mut it)),
+            "--nodes" => nodes = grab(&mut it).parse().expect("--nodes N"),
+            "--threads" => threads = grab(&mut it).parse().expect("--threads T"),
+            "--replicas" => replicas = grab(&mut it).parse().expect("--replicas R"),
+            "--cross" => cross = Some(grab(&mut it).parse().expect("--cross P")),
+            "--txns" => txns = grab(&mut it).parse().expect("--txns N"),
+            "--msg-locking" => msg_locking = true,
+            "--no-cache" => no_cache = true,
+            "--fuse" => fuse = true,
+            "--full" => {} // Handled by Scale::from_env.
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let scale = Scale::from_env();
+    let run = RunCfg {
+        engine,
+        threads,
+        replicas,
+        txns_per_worker: txns,
+        cross_override: if workload == "tpcc" { cross } else { None },
+        msg_locking,
+        no_location_cache: no_cache,
+        fuse_lock_validate: fuse,
+        ..Default::default()
+    };
+
+    println!("workload\tengine\tnodes\tthreads\treplicas\tcross\tthroughput\tnew-order\taborts\tfallbacks");
+    let (m, no) = if workload == "tpcc" {
+        let cfg = tpcc_cfg(scale, nodes, threads);
+        let m = run_tpcc(&cfg, &run);
+        let no = m.tps_of("new-order");
+        (m, no)
+    } else {
+        let cfg = sb_cfg(scale, nodes, cross.unwrap_or(0.01));
+        let m = run_smallbank(&cfg, &run);
+        (m, 0.0)
+    };
+    println!(
+        "{workload}\t{engine:?}\t{nodes}\t{threads}\t{replicas}\t{}\t{}\t{}\t{}\t{}",
+        cross.map_or("-".into(), |c| format!("{c}")),
+        fmt_tps(m.throughput),
+        if no > 0.0 { fmt_tps(no) } else { "-".into() },
+        m.aborted,
+        m.fallbacks,
+    );
+}

@@ -1,0 +1,49 @@
+//! Table 5: transaction mix ratios and access patterns, as configured
+//! and as measured from a short run.
+
+use drtm_base::SplitMix64;
+use drtm_workloads::smallbank::SbTxn;
+use drtm_workloads::tpcc::txns::TxnType;
+
+fn main() {
+    println!("# Table 5: transaction mixes (configured | measured over 100k draws)");
+    let mut rng = SplitMix64::new(1);
+    let mut counts = std::collections::HashMap::new();
+    for _ in 0..100_000 {
+        *counts.entry(TxnType::pick(&mut rng).name()).or_insert(0u64) += 1;
+    }
+    println!("TPC-C (NEW 45%, PAY 43%, DEL 4%, OS 4%, SL 4%; NEW 1% / PAY 15% cross-warehouse):");
+    for t in TxnType::ALL {
+        let kind = if t.read_only() { "ro" } else { "rw" };
+        let dist = match t {
+            TxnType::NewOrder | TxnType::Payment => "d",
+            _ => "l",
+        };
+        println!(
+            "  {:<14} {:>5.1}%  ({}/{})",
+            t.name(),
+            *counts.get(t.name()).unwrap_or(&0) as f64 / 1000.0,
+            dist,
+            kind
+        );
+    }
+    let mut counts = std::collections::HashMap::new();
+    for _ in 0..100_000 {
+        *counts.entry(SbTxn::pick(&mut rng).name()).or_insert(0u64) += 1;
+    }
+    println!("SmallBank (SP 25%, BAL/DC/WC/TS/AMG 15% each; SP+AMG optionally cross-machine):");
+    for t in SbTxn::ALL {
+        let kind = if t.read_only() { "ro" } else { "rw" };
+        let dist = match t {
+            SbTxn::SendPayment | SbTxn::Amalgamate => "d",
+            _ => "l",
+        };
+        println!(
+            "  {:<18} {:>5.1}%  ({}/{})",
+            t.name(),
+            *counts.get(t.name()).unwrap_or(&0) as f64 / 1000.0,
+            dist,
+            kind
+        );
+    }
+}

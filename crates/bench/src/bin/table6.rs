@@ -1,0 +1,58 @@
+//! Table 6: the cost of 3-way replication for TPC-C (6 machines x 8
+//! threads) — throughput and per-transaction-type latency.
+//!
+//! Paper shape: at most 41 % throughput overhead before the NIC
+//! saturates; latencies grow by the extra log-write round trips.
+
+use drtm_bench::{fmt_tps, run_cfg, tpcc_cfg, Scale};
+use drtm_workloads::driver::{run_tpcc, EngineKind};
+
+fn main() {
+    let scale = Scale::from_env();
+    let nodes = scale.pick(6, 3);
+    let threads = scale.pick(8, 2);
+    let cfg = tpcc_cfg(scale, nodes, threads);
+    let plain = run_tpcc(&cfg, &run_cfg(scale, EngineKind::DrtmR, threads, 1));
+    let repl = run_tpcc(
+        &cfg,
+        &run_cfg(scale, EngineKind::DrtmR, threads, 3.min(nodes)),
+    );
+
+    println!(
+        "# Table 6: impact of 3-way replication (TPC-C, {nodes} machines x {threads} threads)"
+    );
+    println!(
+        "throughput (new-order): {} -> {}   overhead {:.1}%",
+        fmt_tps(plain.tps_of("new-order")),
+        fmt_tps(repl.tps_of("new-order")),
+        100.0 * (1.0 - repl.tps_of("new-order") / plain.tps_of("new-order").max(1e-9)),
+    );
+    println!(
+        "throughput (standard mix): {} -> {}   overhead {:.1}%",
+        fmt_tps(plain.throughput),
+        fmt_tps(repl.throughput),
+        100.0 * (1.0 - repl.throughput / plain.throughput.max(1e-9)),
+    );
+    println!(
+        "{:<14} {:>14} {:>14} {:>14} {:>14}",
+        "txn type", "mean us", "mean us (x3)", "p50 us (x3)", "p99 us (x3)"
+    );
+    for name in [
+        "new-order",
+        "payment",
+        "delivery",
+        "order-status",
+        "stock-level",
+    ] {
+        let a = plain.per_type.get(name);
+        let b = repl.per_type.get(name);
+        println!(
+            "{:<14} {:>14.1} {:>14.1} {:>14.1} {:>14.1}",
+            name,
+            a.map_or(0.0, |t| t.mean_us),
+            b.map_or(0.0, |t| t.mean_us),
+            b.map_or(0.0, |t| t.p50_us),
+            b.map_or(0.0, |t| t.p99_us),
+        );
+    }
+}

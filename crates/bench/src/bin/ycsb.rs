@@ -1,0 +1,45 @@
+//! YCSB A/B/C/F on DrTM+R: throughput vs machines per mix.
+//!
+//! Not a paper figure — a neutral-ground harness downstream users expect
+//! from a transactional KV store.
+
+use drtm_bench::{fmt_tps, header, Scale};
+use drtm_workloads::driver::{run_ycsb, EngineKind, RunCfg};
+use drtm_workloads::ycsb::{YcsbCfg, YcsbMix};
+
+fn main() {
+    let scale = Scale::from_env();
+    let threads = scale.pick(8, 2);
+    let machines: Vec<usize> = scale.pick(vec![1, 2, 4, 6], vec![1, 2, 3]);
+    header(
+        "YCSB",
+        "throughput vs machines (zipfian 0.99, 5% cross-machine)",
+        &[
+            "machines",
+            "A (50r/50u)",
+            "B (95r/5u)",
+            "C (100r)",
+            "F (rmw)",
+        ],
+    );
+    for &n in &machines {
+        let mut row = format!("{n}");
+        for mix in [YcsbMix::A, YcsbMix::B, YcsbMix::C, YcsbMix::F] {
+            let cfg = YcsbCfg {
+                nodes: n,
+                records: scale.pick(100_000, 2_000),
+                mix,
+                ..Default::default()
+            };
+            let run = RunCfg {
+                engine: EngineKind::DrtmR,
+                threads,
+                txns_per_worker: scale.pick(400, 150),
+                ..Default::default()
+            };
+            let m = run_ycsb(&cfg, &run);
+            row += &format!("\t{}", fmt_tps(m.throughput));
+        }
+        println!("{row}");
+    }
+}

@@ -1,0 +1,457 @@
+//! The `drtm-shell` command interpreter.
+//!
+//! An interactive (or scripted) shell over a DrTM+R cluster: create a
+//! cluster, read and write keys transactionally, transfer between
+//! accounts, kill and recover machines, and inspect statistics. The
+//! interpreter is a plain state machine over parsed commands, kept in a
+//! library so it can be unit-tested without a terminal.
+
+use std::sync::Arc;
+
+use drtm_core::cluster::{DrtmCluster, EngineOpts};
+use drtm_core::recovery::{full_restart_scrub, recover_node};
+use drtm_core::txn::{TxnError, Worker};
+use drtm_store::TableSpec;
+
+/// The generic key-value table every shell cluster carries.
+pub const TABLE: u32 = 0;
+/// Value size of the shell's table (a single `u64` plus padding).
+pub const VALUE_LEN: usize = 16;
+
+/// A parsed shell command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cmd {
+    /// `cluster <nodes> [replicas]`
+    Cluster { nodes: usize, replicas: usize },
+    /// `put <shard> <key> <value>`
+    Put { shard: usize, key: u64, value: u64 },
+    /// `get <shard> <key>`
+    Get { shard: usize, key: u64 },
+    /// `del <shard> <key>`
+    Del { shard: usize, key: u64 },
+    /// `transfer <shard> <key> <shard> <key> <amount>`
+    Transfer {
+        from: (usize, u64),
+        to: (usize, u64),
+        amount: u64,
+    },
+    /// `crash <node>`
+    Crash { node: usize },
+    /// `recover <node>`
+    Recover { node: usize },
+    /// `scrub` (full-restart repair)
+    Scrub,
+    /// `stats`
+    Stats,
+    /// `help`
+    Help,
+    /// `quit`
+    Quit,
+}
+
+/// Parses one shell line into a command.
+pub fn parse(line: &str) -> Result<Option<Cmd>, String> {
+    let words: Vec<&str> = line.split_whitespace().collect();
+    let num = |w: &str| -> Result<u64, String> {
+        w.parse::<u64>().map_err(|_| format!("not a number: {w:?}"))
+    };
+    let cmd = match words.as_slice() {
+        [] | ["#", ..] => return Ok(None),
+        ["cluster", n] => Cmd::Cluster {
+            nodes: num(n)? as usize,
+            replicas: 1,
+        },
+        ["cluster", n, r] => Cmd::Cluster {
+            nodes: num(n)? as usize,
+            replicas: num(r)? as usize,
+        },
+        ["put", s, k, v] => Cmd::Put {
+            shard: num(s)? as usize,
+            key: num(k)?,
+            value: num(v)?,
+        },
+        ["get", s, k] => Cmd::Get {
+            shard: num(s)? as usize,
+            key: num(k)?,
+        },
+        ["del", s, k] => Cmd::Del {
+            shard: num(s)? as usize,
+            key: num(k)?,
+        },
+        ["transfer", s1, k1, s2, k2, amt] => Cmd::Transfer {
+            from: (num(s1)? as usize, num(k1)?),
+            to: (num(s2)? as usize, num(k2)?),
+            amount: num(amt)?,
+        },
+        ["crash", n] => Cmd::Crash {
+            node: num(n)? as usize,
+        },
+        ["recover", n] => Cmd::Recover {
+            node: num(n)? as usize,
+        },
+        ["scrub"] => Cmd::Scrub,
+        ["stats"] => Cmd::Stats,
+        ["help"] => Cmd::Help,
+        ["quit"] | ["exit"] => Cmd::Quit,
+        other => return Err(format!("unknown command: {other:?} (try `help`)")),
+    };
+    Ok(Some(cmd))
+}
+
+/// The interpreter state: a cluster plus one worker per machine.
+#[derive(Default)]
+pub struct Shell {
+    cluster: Option<Arc<DrtmCluster>>,
+    workers: Vec<Worker>,
+}
+
+/// The help text.
+pub const HELP: &str = "\
+commands:
+  cluster <nodes> [replicas]   create a cluster (one KV table)
+  put <shard> <key> <value>    transactional insert-or-update
+  get <shard> <key>            transactional read-only lookup
+  del <shard> <key>            transactional delete
+  transfer <s1> <k1> <s2> <k2> <amt>
+                               distributed transfer between two keys
+  crash <node>                 fail-stop a machine
+  recover <node>               reconfigure + replay its redo logs
+  scrub                        full-restart repair (locks, odd records)
+  stats                        per-machine commit/abort counters
+  help | quit";
+
+fn val(x: u64) -> Vec<u8> {
+    let mut v = vec![0u8; VALUE_LEN];
+    v[..8].copy_from_slice(&x.to_le_bytes());
+    v
+}
+
+fn num_of(v: &[u8]) -> u64 {
+    u64::from_le_bytes(v[..8].try_into().unwrap())
+}
+
+impl Shell {
+    /// Creates an empty shell (no cluster yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn worker_for(&mut self, shard: usize) -> Result<&mut Worker, String> {
+        let cluster = self
+            .cluster
+            .as_ref()
+            .ok_or("no cluster (run `cluster N` first)")?;
+        let node = cluster.home_of(shard);
+        Ok(&mut self.workers[node])
+    }
+
+    fn check_shard(&self, shard: usize) -> Result<(), String> {
+        let cluster = self
+            .cluster
+            .as_ref()
+            .ok_or("no cluster (run `cluster N` first)")?;
+        if shard >= cluster.nodes() {
+            return Err(format!(
+                "shard {shard} out of range (cluster has {})",
+                cluster.nodes()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Executes one command, returning the text to print (or `None` to
+    /// exit).
+    pub fn execute(&mut self, cmd: Cmd) -> Result<Option<String>, String> {
+        match cmd {
+            Cmd::Cluster { nodes, replicas } => {
+                if nodes == 0 || replicas == 0 || replicas > nodes {
+                    return Err("need nodes >= replicas >= 1".into());
+                }
+                let opts = EngineOpts {
+                    replicas,
+                    region_size: 16 << 20,
+                    ..Default::default()
+                };
+                let cluster =
+                    DrtmCluster::new(nodes, &[TableSpec::hash(TABLE, 1 << 14, VALUE_LEN)], opts);
+                self.workers = (0..nodes)
+                    .map(|n| cluster.worker(n, 0xC11 + n as u64))
+                    .collect();
+                self.cluster = Some(cluster);
+                Ok(Some(format!(
+                    "cluster up: {nodes} machines, {replicas} copies per record"
+                )))
+            }
+            Cmd::Put { shard, key, value } => {
+                self.check_shard(shard)?;
+                let w = self.worker_for(shard)?;
+                let r = w.run(|t| match t.read(shard, TABLE, key) {
+                    Ok(_) => t.write(shard, TABLE, key, val(value)),
+                    Err(TxnError::NotFound) => {
+                        t.insert(shard, TABLE, key, val(value));
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                });
+                match r {
+                    Ok(()) => Ok(Some(format!("{shard}/{key} = {value}"))),
+                    Err(e) => Err(format!("put failed: {e:?}")),
+                }
+            }
+            Cmd::Get { shard, key } => {
+                self.check_shard(shard)?;
+                let w = self.worker_for(shard)?;
+                match w.run_ro(|t| t.read(shard, TABLE, key)) {
+                    Ok(v) => Ok(Some(format!("{shard}/{key} = {}", num_of(&v)))),
+                    Err(TxnError::NotFound) => Ok(Some(format!("{shard}/{key} (not found)"))),
+                    Err(e) => Err(format!("get failed: {e:?}")),
+                }
+            }
+            Cmd::Del { shard, key } => {
+                self.check_shard(shard)?;
+                let w = self.worker_for(shard)?;
+                w.run(|t| {
+                    t.read(shard, TABLE, key)?;
+                    t.delete(shard, TABLE, key);
+                    Ok(())
+                })
+                .map_err(|e| format!("del failed: {e:?}"))?;
+                Ok(Some(format!("{shard}/{key} deleted")))
+            }
+            Cmd::Transfer { from, to, amount } => {
+                self.check_shard(from.0)?;
+                self.check_shard(to.0)?;
+                if from == to {
+                    return Err("cannot transfer a key to itself".into());
+                }
+                let w = self.worker_for(from.0)?;
+                let r = w.run(|t| {
+                    let a = num_of(&t.read(from.0, TABLE, from.1)?);
+                    let b = num_of(&t.read(to.0, TABLE, to.1)?);
+                    if a < amount {
+                        return Err(TxnError::UserAbort);
+                    }
+                    t.write(from.0, TABLE, from.1, val(a - amount))?;
+                    t.write(to.0, TABLE, to.1, val(b + amount))
+                });
+                match r {
+                    Ok(()) => Ok(Some(format!(
+                        "transferred {amount}: {}/{} -> {}/{}",
+                        from.0, from.1, to.0, to.1
+                    ))),
+                    Err(TxnError::UserAbort) => Err("insufficient funds".into()),
+                    Err(e) => Err(format!("transfer failed: {e:?}")),
+                }
+            }
+            Cmd::Crash { node } => {
+                self.check_shard(node)?;
+                let cluster = self.cluster.as_ref().unwrap();
+                cluster.crash(node);
+                Ok(Some(format!("machine {node} fail-stopped (lease revoked)")))
+            }
+            Cmd::Recover { node } => {
+                self.check_shard(node)?;
+                let cluster = self.cluster.as_ref().unwrap();
+                let report = recover_node(cluster, node);
+                Ok(Some(match report.new_home {
+                    Some(h) => format!(
+                        "recovered {} records onto machine {h} (epoch {}, {} log entries replayed)",
+                        report.records_recovered, report.epoch, report.log_entries_replayed
+                    ),
+                    None => format!(
+                        "machine {node} removed (epoch {}); no replicas to recover from",
+                        report.epoch
+                    ),
+                }))
+            }
+            Cmd::Scrub => {
+                let cluster = self.cluster.as_ref().ok_or("no cluster")?;
+                let (locks, fwd, back) = full_restart_scrub(cluster);
+                Ok(Some(format!(
+                    "scrubbed: {locks} locks cleared, {fwd} rolled forward, {back} rolled back"
+                )))
+            }
+            Cmd::Stats => {
+                let cluster = self.cluster.as_ref().ok_or("no cluster")?;
+                let mut out = String::new();
+                for (n, w) in self.workers.iter().enumerate() {
+                    out += &format!(
+                        "machine {n}: {} committed, {} aborted, {} fallbacks, vtime {} us, {}\n",
+                        w.stats.committed,
+                        w.stats.aborted,
+                        w.stats.fallbacks,
+                        w.clock.now() / 1000,
+                        if cluster.is_alive(n) { "alive" } else { "DEAD" },
+                    );
+                }
+                out.pop();
+                Ok(Some(out))
+            }
+            Cmd::Help => Ok(Some(HELP.to_string())),
+            Cmd::Quit => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basics() {
+        assert_eq!(parse("").unwrap(), None);
+        assert_eq!(parse("# comment").unwrap(), None);
+        assert_eq!(
+            parse("cluster 3 2").unwrap(),
+            Some(Cmd::Cluster {
+                nodes: 3,
+                replicas: 2
+            })
+        );
+        assert_eq!(
+            parse("put 0 10 99").unwrap(),
+            Some(Cmd::Put {
+                shard: 0,
+                key: 10,
+                value: 99
+            })
+        );
+        assert_eq!(
+            parse("transfer 0 1 2 3 50").unwrap(),
+            Some(Cmd::Transfer {
+                from: (0, 1),
+                to: (2, 3),
+                amount: 50
+            })
+        );
+        assert!(parse("frobnicate").is_err());
+        assert!(parse("put x y z").is_err());
+    }
+
+    #[test]
+    fn session_end_to_end() {
+        let mut sh = Shell::new();
+        assert!(
+            sh.execute(Cmd::Get { shard: 0, key: 1 }).is_err(),
+            "no cluster yet"
+        );
+        sh.execute(Cmd::Cluster {
+            nodes: 3,
+            replicas: 2,
+        })
+        .unwrap();
+        sh.execute(Cmd::Put {
+            shard: 0,
+            key: 1,
+            value: 100,
+        })
+        .unwrap();
+        sh.execute(Cmd::Put {
+            shard: 2,
+            key: 9,
+            value: 50,
+        })
+        .unwrap();
+        let out = sh.execute(Cmd::Get { shard: 0, key: 1 }).unwrap().unwrap();
+        assert!(out.contains("= 100"));
+        sh.execute(Cmd::Transfer {
+            from: (0, 1),
+            to: (2, 9),
+            amount: 30,
+        })
+        .unwrap();
+        let out = sh.execute(Cmd::Get { shard: 2, key: 9 }).unwrap().unwrap();
+        assert!(out.contains("= 80"));
+        // Update an existing key through put.
+        sh.execute(Cmd::Put {
+            shard: 0,
+            key: 1,
+            value: 7,
+        })
+        .unwrap();
+        let out = sh.execute(Cmd::Get { shard: 0, key: 1 }).unwrap().unwrap();
+        assert!(out.contains("= 7"));
+        // Delete it.
+        sh.execute(Cmd::Del { shard: 0, key: 1 }).unwrap();
+        let out = sh.execute(Cmd::Get { shard: 0, key: 1 }).unwrap().unwrap();
+        assert!(out.contains("not found"));
+    }
+
+    #[test]
+    fn crash_recover_through_shell() {
+        let mut sh = Shell::new();
+        sh.execute(Cmd::Cluster {
+            nodes: 3,
+            replicas: 3,
+        })
+        .unwrap();
+        sh.execute(Cmd::Put {
+            shard: 1,
+            key: 5,
+            value: 42,
+        })
+        .unwrap();
+        sh.execute(Cmd::Crash { node: 1 }).unwrap();
+        let out = sh.execute(Cmd::Recover { node: 1 }).unwrap().unwrap();
+        assert!(out.contains("recovered"), "{out}");
+        // The key survives on the new home (routed transparently).
+        let out = sh.execute(Cmd::Get { shard: 1, key: 5 }).unwrap().unwrap();
+        assert!(out.contains("= 42"), "{out}");
+    }
+
+    #[test]
+    fn transfer_guards() {
+        let mut sh = Shell::new();
+        sh.execute(Cmd::Cluster {
+            nodes: 2,
+            replicas: 1,
+        })
+        .unwrap();
+        sh.execute(Cmd::Put {
+            shard: 0,
+            key: 1,
+            value: 10,
+        })
+        .unwrap();
+        sh.execute(Cmd::Put {
+            shard: 1,
+            key: 2,
+            value: 0,
+        })
+        .unwrap();
+        let r = sh.execute(Cmd::Transfer {
+            from: (0, 1),
+            to: (1, 2),
+            amount: 100,
+        });
+        assert!(r.is_err(), "insufficient funds must fail");
+        assert!(sh
+            .execute(Cmd::Transfer {
+                from: (0, 1),
+                to: (0, 1),
+                amount: 1
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn stats_and_scrub() {
+        let mut sh = Shell::new();
+        sh.execute(Cmd::Cluster {
+            nodes: 2,
+            replicas: 2,
+        })
+        .unwrap();
+        sh.execute(Cmd::Put {
+            shard: 0,
+            key: 1,
+            value: 1,
+        })
+        .unwrap();
+        let out = sh.execute(Cmd::Stats).unwrap().unwrap();
+        assert!(out.contains("machine 0"));
+        assert!(out.contains("alive"));
+        let out = sh.execute(Cmd::Scrub).unwrap().unwrap();
+        assert!(out.contains("scrubbed"));
+    }
+}

@@ -1,0 +1,50 @@
+//! `drtm-shell`: an interactive shell over a simulated DrTM+R cluster.
+//!
+//! ```text
+//! drtm-shell                # interactive REPL on stdin
+//! drtm-shell script.drtm    # run a command file, then exit
+//! ```
+
+use std::io::{BufRead, Write};
+
+use drtm_cli::{parse, Shell};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut shell = Shell::new();
+
+    let interactive = args.is_empty();
+    let reader: Box<dyn BufRead> = if let Some(path) = args.first() {
+        match std::fs::File::open(path) {
+            Ok(f) => Box::new(std::io::BufReader::new(f)),
+            Err(e) => {
+                eprintln!("cannot open {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        println!("drtm-shell — type `help` for commands");
+        Box::new(std::io::BufReader::new(std::io::stdin()))
+    };
+
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if interactive {
+            // The prompt appears *after* the previous output.
+            print!("> ");
+            let _ = std::io::stdout().flush();
+        }
+        match parse(&line) {
+            Ok(None) => continue,
+            Ok(Some(cmd)) => match shell.execute(cmd) {
+                Ok(Some(out)) => println!("{out}"),
+                Ok(None) => break,
+                Err(e) => eprintln!("error: {e}"),
+            },
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}

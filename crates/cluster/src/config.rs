@@ -1,0 +1,129 @@
+//! The epoch-numbered configuration service (ZooKeeper stand-in).
+//!
+//! The paper uses ZooKeeper only to "reach an agreement on the current
+//! configuration among surviving machines" (§3); all data-path
+//! coordination is RDMA. A linearizable in-process register with epoch
+//! numbers is a faithful substitute.
+
+use std::collections::BTreeSet;
+
+use drtm_rdma::NodeId;
+use parking_lot::RwLock;
+
+/// One committed cluster configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Configuration {
+    /// Monotonically increasing configuration number (vertical-Paxos
+    /// ballot).
+    pub epoch: u64,
+    /// Machines that are members of this configuration.
+    pub members: BTreeSet<NodeId>,
+}
+
+impl Configuration {
+    /// Whether `node` is a member.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members.contains(&node)
+    }
+}
+
+/// The agreement service: a linearizable current-configuration register.
+#[derive(Debug)]
+pub struct ConfigService {
+    current: RwLock<Configuration>,
+}
+
+impl ConfigService {
+    /// Creates the service with an initial full membership `0..n`.
+    pub fn new(n: usize) -> Self {
+        Self {
+            current: RwLock::new(Configuration {
+                epoch: 1,
+                members: (0..n).collect(),
+            }),
+        }
+    }
+
+    /// Returns the current configuration (cheap snapshot).
+    pub fn get(&self) -> Configuration {
+        self.current.read().clone()
+    }
+
+    /// Current epoch without cloning the member set.
+    pub fn epoch(&self) -> u64 {
+        self.current.read().epoch
+    }
+
+    /// Commits a new configuration that excludes `dead`, returning it.
+    ///
+    /// Idempotent: if `dead` is already excluded the configuration is
+    /// returned unchanged (two survivors may race to report the same
+    /// failure).
+    pub fn remove_member(&self, dead: NodeId) -> Configuration {
+        let mut cur = self.current.write();
+        if cur.members.remove(&dead) {
+            cur.epoch += 1;
+        }
+        cur.clone()
+    }
+
+    /// Commits a new configuration that re-admits `node` (a recovered or
+    /// replacement machine).
+    pub fn add_member(&self, node: NodeId) -> Configuration {
+        let mut cur = self.current.write();
+        if cur.members.insert(node) {
+            cur.epoch += 1;
+        }
+        cur.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_membership() {
+        let s = ConfigService::new(3);
+        let c = s.get();
+        assert_eq!(c.epoch, 1);
+        assert!(c.contains(0) && c.contains(1) && c.contains(2));
+        assert!(!c.contains(3));
+    }
+
+    #[test]
+    fn remove_bumps_epoch_once() {
+        let s = ConfigService::new(3);
+        let c1 = s.remove_member(1);
+        assert_eq!(c1.epoch, 2);
+        assert!(!c1.contains(1));
+        let c2 = s.remove_member(1);
+        assert_eq!(c2.epoch, 2, "idempotent");
+    }
+
+    #[test]
+    fn add_back_bumps_epoch() {
+        let s = ConfigService::new(2);
+        s.remove_member(0);
+        let c = s.add_member(0);
+        assert_eq!(c.epoch, 3);
+        assert!(c.contains(0));
+    }
+
+    #[test]
+    fn concurrent_removals_serialise() {
+        use std::sync::Arc;
+        let s = Arc::new(ConfigService::new(8));
+        let mut handles = Vec::new();
+        for dead in 1..5 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || s.remove_member(dead)));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let c = s.get();
+        assert_eq!(c.epoch, 5, "four distinct removals, four epoch bumps");
+        assert_eq!(c.members.len(), 4);
+    }
+}

@@ -1,0 +1,117 @@
+//! FaRM-style leases for fast failure detection (§5.2).
+//!
+//! Every node continuously renews its lease; any peer observing an
+//! expired lease *suspects* the node and triggers reconfiguration. The
+//! paper sets leases to 10 ms and detects failures in about that time —
+//! the "suspect" marker of Figure 20.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use drtm_rdma::NodeId;
+
+/// Per-node lease expiry times, in microseconds since the board's epoch.
+#[derive(Debug)]
+pub struct LeaseBoard {
+    start: Instant,
+    expiry_us: Vec<AtomicU64>,
+}
+
+impl LeaseBoard {
+    /// Creates a board for `n` nodes; all leases start expired until
+    /// first renewal.
+    pub fn new(n: usize) -> Self {
+        Self {
+            start: Instant::now(),
+            expiry_us: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Microseconds since board creation.
+    pub fn now_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// Renews `node`'s lease for `duration_us` from now.
+    pub fn renew(&self, node: NodeId, duration_us: u64) {
+        let t = self.now_us() + duration_us;
+        self.expiry_us[node].fetch_max(t, Ordering::Relaxed);
+    }
+
+    /// Whether `node`'s lease has expired.
+    pub fn expired(&self, node: NodeId) -> bool {
+        self.expiry_us[node].load(Ordering::Relaxed) <= self.now_us()
+    }
+
+    /// Kills `node`'s lease immediately (used by crash injection so
+    /// detection latency is governed by the checking cadence, and by the
+    /// node itself when leaving gracefully).
+    pub fn revoke(&self, node: NodeId) {
+        self.expiry_us[node].store(0, Ordering::Relaxed);
+    }
+
+    /// First member of `members` whose lease has expired, if any.
+    pub fn first_expired<'a>(
+        &self,
+        members: impl IntoIterator<Item = &'a NodeId>,
+    ) -> Option<NodeId> {
+        members.into_iter().copied().find(|&n| self.expired(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fresh_leases_are_expired() {
+        let b = LeaseBoard::new(2);
+        assert!(b.expired(0));
+        assert!(b.expired(1));
+    }
+
+    #[test]
+    fn renewal_extends() {
+        let b = LeaseBoard::new(1);
+        b.renew(0, 1_000_000);
+        assert!(!b.expired(0));
+    }
+
+    #[test]
+    fn expiry_after_duration() {
+        let b = LeaseBoard::new(1);
+        b.renew(0, 2_000); // 2 ms.
+        assert!(!b.expired(0));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(b.expired(0));
+    }
+
+    #[test]
+    fn revoke_is_immediate() {
+        let b = LeaseBoard::new(1);
+        b.renew(0, 10_000_000);
+        b.revoke(0);
+        assert!(b.expired(0));
+    }
+
+    #[test]
+    fn first_expired_scans_members() {
+        let b = LeaseBoard::new(3);
+        b.renew(0, 1_000_000);
+        b.renew(2, 1_000_000);
+        let members = [0, 1, 2];
+        assert_eq!(b.first_expired(members.iter()), Some(1));
+        b.renew(1, 1_000_000);
+        assert_eq!(b.first_expired(members.iter()), None);
+    }
+
+    #[test]
+    fn renew_never_shortens() {
+        let b = LeaseBoard::new(1);
+        b.renew(0, 10_000_000);
+        b.renew(0, 1_000); // A shorter renewal must not pull expiry in.
+        std::thread::sleep(Duration::from_millis(3));
+        assert!(!b.expired(0));
+    }
+}

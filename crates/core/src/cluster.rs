@@ -1,0 +1,284 @@
+//! Cluster assembly and shard placement.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use drtm_base::{CostModel, MemoryRegion};
+use drtm_cluster::{ConfigService, LeaseBoard, ReplLogStore};
+use drtm_htm::{Htm, HtmConfig};
+use drtm_rdma::{Fabric, NodeId};
+use drtm_store::{Store, TableSpec};
+use parking_lot::RwLock;
+
+use crate::replication::BackupStore;
+use crate::txn::Worker;
+
+/// Engine-wide tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineOpts {
+    /// Total copies of every record (1 = replication off; the paper's
+    /// "DrTM+R=3" is 3).
+    pub replicas: usize,
+    /// HTM configuration shared by all nodes.
+    pub htm: HtmConfig,
+    /// Virtual-time cost model.
+    pub cost: CostModel,
+    /// Region bytes per node.
+    pub region_size: usize,
+    /// Retries when a local read finds the record lock held.
+    pub local_read_retries: usize,
+    /// Retries for a consistent remote read (version matching).
+    pub remote_read_retries: usize,
+    /// Use the DrTM location cache for remote hash lookups.
+    pub use_location_cache: bool,
+    /// `IBV_ATOMIC_GLOB` ablation: fuse remote lock + validate into one
+    /// RDMA CAS (§4.4, C.2). Requires a fabric advertising GLOB.
+    pub fuse_lock_validate: bool,
+    /// §6.4 pointer-swap accounting: local-only tables charge one HTM
+    /// line per write instead of the full record.
+    pub pointer_swap: bool,
+    /// Database-transaction retries before giving up.
+    pub txn_retries: usize,
+    /// FaRM-style two-sided locking ablation: remote lock/unlock and
+    /// validation travel as SEND/RECV messages served by the host CPU
+    /// instead of one-sided RDMA verbs. Costs message round trips and
+    /// interrupts the host, aborting its in-flight HTM regions — the
+    /// §4.4 argument for one-sided operations.
+    pub msg_locking: bool,
+}
+
+impl Default for EngineOpts {
+    fn default() -> Self {
+        Self {
+            replicas: 1,
+            htm: HtmConfig::default(),
+            cost: CostModel::default(),
+            region_size: 32 << 20,
+            local_read_retries: 10_000,
+            remote_read_retries: 64,
+            use_location_cache: true,
+            fuse_lock_validate: false,
+            pointer_swap: true,
+            txn_retries: 1_000_000,
+            msg_locking: false,
+        }
+    }
+}
+
+/// A fully assembled DrTM+R cluster of simulated machines.
+pub struct DrtmCluster {
+    /// The RDMA fabric over all nodes' regions.
+    pub fabric: Arc<Fabric>,
+    /// Per-node stores (same schema everywhere).
+    pub stores: Vec<Arc<Store>>,
+    /// Per-node HTM engines.
+    pub htms: Vec<Htm>,
+    /// Replication logs (backup-side NVRAM).
+    pub logs: ReplLogStore,
+    /// Backup record images, maintained by auxiliary threads.
+    pub backups: BackupStore,
+    /// Membership agreement service.
+    pub config: ConfigService,
+    /// Failure-detection leases.
+    pub leases: LeaseBoard,
+    /// `shard -> serving node`; identity until a failover re-homes a
+    /// dead machine's shard.
+    pub shard_map: RwLock<Vec<NodeId>>,
+    /// Liveness switches read by worker loops (crash injection).
+    pub alive: Vec<AtomicBool>,
+    /// Tuning knobs.
+    pub opts: EngineOpts,
+}
+
+impl DrtmCluster {
+    /// Builds an `n`-node cluster instantiating `schema` on every node.
+    pub fn new(n: usize, schema: &[TableSpec], opts: EngineOpts) -> Arc<Self> {
+        assert!(n >= 1);
+        assert!(
+            opts.replicas >= 1 && opts.replicas <= n,
+            "need replicas <= nodes"
+        );
+        let regions: Vec<Arc<MemoryRegion>> = (0..n)
+            .map(|_| Arc::new(MemoryRegion::new(opts.region_size)))
+            .collect();
+        let mut fabric = Fabric::new(regions.clone(), opts.cost.clone());
+        if opts.fuse_lock_validate {
+            fabric.atomic_level = drtm_rdma::AtomicLevel::Glob;
+        }
+        let stores = regions
+            .iter()
+            .map(|r| Arc::new(Store::new(Arc::clone(r), schema)))
+            .collect();
+        Arc::new(Self {
+            fabric: Arc::new(fabric),
+            stores,
+            htms: (0..n).map(|_| Htm::new(opts.htm.clone())).collect(),
+            logs: ReplLogStore::new(n),
+            backups: BackupStore::new(n),
+            config: ConfigService::new(n),
+            leases: LeaseBoard::new(n),
+            shard_map: RwLock::new((0..n).collect()),
+            alive: (0..n).map(|_| AtomicBool::new(true)).collect(),
+            opts,
+        })
+    }
+
+    /// Number of machines (dead or alive).
+    pub fn nodes(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// The node currently serving `shard` (identity before failures).
+    pub fn home_of(&self, shard: usize) -> NodeId {
+        self.shard_map.read()[shard]
+    }
+
+    /// Re-homes every shard served by `from` onto `to` (recovery).
+    pub fn rehome(&self, from: NodeId, to: NodeId) {
+        for s in self.shard_map.write().iter_mut() {
+            if *s == from {
+                *s = to;
+            }
+        }
+    }
+
+    /// The backup machines for records homed on `primary`: the next
+    /// `replicas - 1` members along the node ring.
+    ///
+    /// Placement uses the *current* configuration so that re-replication
+    /// after a failure never targets a dead machine.
+    pub fn backups_of(&self, primary: NodeId) -> Vec<NodeId> {
+        let members = self.config.get().members;
+        let n = self.nodes();
+        let mut out = Vec::with_capacity(self.opts.replicas - 1);
+        let mut i = 1;
+        while out.len() < self.opts.replicas - 1 && i < n {
+            let cand = (primary + i) % n;
+            if cand != primary && members.contains(&cand) {
+                out.push(cand);
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// Whether `node` is in the current configuration.
+    pub fn is_member(&self, node: NodeId) -> bool {
+        self.config.get().contains(node)
+    }
+
+    /// Whether `node`'s worker loops should keep running.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node].load(Ordering::Relaxed)
+    }
+
+    /// Fail-stops `node`: its workers observe the switch and halt, and
+    /// its lease is revoked so peers suspect it after one lease period.
+    /// Memory (including its share of NVRAM logs) is retained.
+    pub fn crash(&self, node: NodeId) {
+        self.alive[node].store(false, Ordering::Relaxed);
+        self.leases.revoke(node);
+    }
+
+    /// Creates a worker thread context executing on `node`.
+    pub fn worker(self: &Arc<Self>, node: NodeId, seed: u64) -> Worker {
+        Worker::new(Arc::clone(self), node, seed)
+    }
+
+    /// One auxiliary-thread step on `node`: applies and truncates every
+    /// primary's pending log entries on this backup.
+    ///
+    /// Returns the number of entries applied.
+    pub fn truncate_step(&self, node: NodeId) -> usize {
+        let mut applied = 0;
+        for primary in 0..self.nodes() {
+            let pending = self.logs.len(node, primary);
+            if pending == 0 {
+                continue;
+            }
+            let entries = self.logs.drain_for_recovery(node, primary);
+            for e in &entries {
+                self.backups.apply(node, primary, e);
+            }
+            applied += entries.len();
+        }
+        applied
+    }
+
+    /// Loads one record during the initial population: inserts it on the
+    /// shard's serving node and seeds every backup image.
+    ///
+    /// Records start at sequence number 2 (even = committable).
+    pub fn seed_record(&self, shard: usize, table: u32, key: u64, value: &[u8]) {
+        let home = self.home_of(shard);
+        self.stores[home]
+            .insert(table, key, value, 2)
+            .unwrap_or_else(|| panic!("seed failed: table {table} key {key}"));
+        if self.opts.replicas > 1 {
+            for b in self.backups_of(home) {
+                self.backups.seed(b, home, table, key, 2, value.to_vec());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Vec<TableSpec> {
+        vec![TableSpec::hash(0, 1024, 40)]
+    }
+
+    #[test]
+    fn builds_symmetric_cluster() {
+        let c = DrtmCluster::new(3, &schema(), EngineOpts::default());
+        assert_eq!(c.nodes(), 3);
+        assert_eq!(c.home_of(2), 2);
+        assert!(c.is_member(0) && c.is_alive(0));
+    }
+
+    #[test]
+    fn backup_ring_placement() {
+        let opts = EngineOpts {
+            replicas: 3,
+            ..Default::default()
+        };
+        let c = DrtmCluster::new(4, &schema(), opts);
+        assert_eq!(c.backups_of(0), vec![1, 2]);
+        assert_eq!(c.backups_of(3), vec![0, 1]);
+        // After node 1 leaves, placement skips it.
+        c.config.remove_member(1);
+        assert_eq!(c.backups_of(0), vec![2, 3]);
+    }
+
+    #[test]
+    fn crash_flips_liveness_and_lease() {
+        let c = DrtmCluster::new(2, &schema(), EngineOpts::default());
+        c.leases.renew(1, 1_000_000);
+        c.crash(1);
+        assert!(!c.is_alive(1));
+        assert!(c.leases.expired(1));
+    }
+
+    #[test]
+    fn seed_reaches_backups() {
+        let opts = EngineOpts {
+            replicas: 2,
+            ..Default::default()
+        };
+        let c = DrtmCluster::new(3, &schema(), opts);
+        c.seed_record(0, 0, 42, &[7u8; 40]);
+        assert!(c.stores[0].get_loc(0, 42).is_some());
+        assert_eq!(c.backups.live_len(1, 0), 1);
+        assert_eq!(c.backups.live_len(2, 0), 0, "only replicas-1 backups");
+    }
+
+    #[test]
+    fn rehome_moves_all_shards() {
+        let c = DrtmCluster::new(3, &schema(), EngineOpts::default());
+        c.rehome(1, 2);
+        assert_eq!(c.home_of(1), 2);
+        assert_eq!(c.home_of(0), 0);
+    }
+}

@@ -1,0 +1,701 @@
+//! The six-step commit phase (Figure 7), read-only commit (§4.5), the
+//! fallback handler (§6.1), and optimistic replication (§5.1).
+//!
+//! Steps for a read-write transaction:
+//!
+//! * **C.1** lock every remote record in the read *and* write sets with
+//!   one-sided RDMA CAS, in global `(node, offset)` order. Locking reads
+//!   too is what makes the early remote validation equivalent to
+//!   validation *inside* the HTM region (§4.6). A lock held by a machine
+//!   that has left the configuration is released passively (§5.2).
+//! * **C.2** validate the remote read set (sequence number + incarnation)
+//!   with one-sided READs — or, under the `IBV_ATOMIC_GLOB` ablation,
+//!   fused into C.1's CAS.
+//! * **C.3 + C.4** one HTM region validates the local read set, checks
+//!   that no remote committer locked a local write-set record, and
+//!   applies the buffered local writes. With replication on, the new
+//!   sequence numbers are *odd*: visible but uncommittable.
+//! * **R.1** append redo records to the non-volatile logs of every
+//!   written record's backups (outside HTM — the race this would
+//!   otherwise open is closed by the odd/even protocol).
+//! * **R.2** "makeup": flip local primaries to *even* (committable).
+//! * **C.5** write remote primaries (even sequence numbers) with RDMA
+//!   WRITEs.
+//! * **C.6** unlock everything with RDMA CAS. The transaction reports
+//!   committed after C.5 and before C.6, like the paper.
+
+use std::sync::Arc;
+
+use drtm_cluster::LogEntry;
+use drtm_htm::RunOutcome;
+use drtm_rdma::NodeId;
+use drtm_store::record::{
+    lock_owner, lock_word, remote_read_consistent, remote_write_locked, INCARNATION_OFF, LOCK_FREE,
+    SEQ_OFF,
+};
+use drtm_store::{TableId, CONTROL_LINE_OFF};
+
+use crate::txn::{AbortReason, TxnCtx, TxnError};
+use crate::{read_validates, write_validates};
+
+/// A record to lock: `(node, record offset)`; ordering this tuple gives
+/// the global sort order that makes lock acquisition deadlock-free.
+type LockAddr = (NodeId, usize);
+
+// Index loops below are deliberate: iterating `self.l_ws`/`self.r_ws` by
+// reference would hold a borrow of `self` across calls that need
+// `&mut self.w` (split-borrow limitation), so entries are copied out by
+// index instead.
+#[allow(clippy::needless_range_loop)]
+impl TxnCtx<'_> {
+    /// Attempts to commit the transaction. Consumes the context.
+    ///
+    /// On success the worker's committed counter and latency histogram
+    /// are updated; on `Err(TxnError::Aborted(_))` the abort counter is
+    /// updated and the caller may retry with a fresh execution.
+    pub fn commit(mut self) -> Result<(), TxnError> {
+        let result = if self.read_only {
+            self.commit_ro()
+        } else {
+            self.commit_rw()
+        };
+        match &result {
+            Ok(()) => {
+                self.w.stats.committed += 1;
+                let lat = self.w.clock.now().saturating_sub(self.start_ns);
+                self.w.stats.latency.record(lat);
+            }
+            Err(_) => self.w.stats.aborted += 1,
+        }
+        result
+    }
+
+    /// Read-only commit: validate sequence numbers with no HTM, no locks.
+    fn commit_ro(&mut self) -> Result<(), TxnError> {
+        assert!(self.l_ws.is_empty() && self.r_ws.is_empty() && self.mutations.is_empty());
+        let cluster = Arc::clone(&self.w.cluster);
+        let cost = &cluster.opts.cost;
+        let region = Arc::clone(&cluster.stores[self.w.node].region);
+        for e in &self.l_rs {
+            self.w.clock.advance(cost.mem_access_ns);
+            let inc = region.load64(e.rec_off + INCARNATION_OFF);
+            let seq = region.load64(e.rec_off + SEQ_OFF);
+            if inc != e.incarnation || !read_validates(e.seq, seq) {
+                return Err(TxnError::Aborted(AbortReason::Validation));
+            }
+        }
+        for i in 0..self.r_rs.len() {
+            let (node, rec_off, seen_seq, seen_inc) = {
+                let e = &self.r_rs[i];
+                (e.node, e.rec_off, e.seq, e.incarnation)
+            };
+            let (inc, seq) = self.remote_header(node, rec_off);
+            if inc != seen_inc || !read_validates(seen_seq, seq) {
+                return Err(TxnError::Aborted(AbortReason::Validation));
+            }
+        }
+        Ok(())
+    }
+
+    /// Read-write commit: the six steps plus replication.
+    fn commit_rw(&mut self) -> Result<(), TxnError> {
+        let cluster = Arc::clone(&self.w.cluster);
+        let exec_ns = self.w.clock.now().saturating_sub(self.start_ns);
+        let mut mark = self.w.clock.now();
+        let mut lap = |clock: &crate::txn::Worker| -> u64 {
+            let d = clock.clock.now().saturating_sub(mark);
+            mark = clock.clock.now();
+            d
+        };
+
+        // C.1: lock remote read + write sets in global order.
+        let locks = self.remote_lock_addrs();
+        if let Err(held) = self.lock_all(&locks) {
+            self.unlock_all(&locks[..held]);
+            return Err(TxnError::Aborted(AbortReason::LockBusy));
+        }
+        let lock_ns = lap(self.w);
+
+        // C.2: validate remote reads; learn current sequence numbers for
+        // remote writes.
+        let remote_new_seqs = match self.validate_remote() {
+            Ok(s) => s,
+            Err(e) => {
+                self.unlock_all(&locks);
+                return Err(e);
+            }
+        };
+        let validate_ns = lap(self.w);
+
+        // C.3 + C.4: validate local reads and apply local writes inside
+        // one HTM region.
+        let replicated = cluster.opts.replicas > 1;
+        let local_bump = if replicated { 1 } else { 2 };
+        let local_new_seqs = match self.htm_validate_and_apply(local_bump) {
+            Ok(Ok(seqs)) => seqs,
+            Ok(Err(reason)) => {
+                self.unlock_all(&locks);
+                return Err(TxnError::Aborted(reason));
+            }
+            Err(()) => {
+                // HTM retries exhausted: the fallback handler takes over
+                // with the remote locks already released (§6.1).
+                self.unlock_all(&locks);
+                return self.commit_fallback();
+            }
+        };
+        let htm_ns = lap(self.w);
+
+        // R.1: redo records to every written record's backups.
+        if replicated {
+            let entries = self.log_entries(&local_new_seqs, &remote_new_seqs, local_bump);
+            self.append_logs(entries);
+        }
+        let log_ns = lap(self.w);
+
+        // R.2: makeup — flip local primaries to even (committable).
+        if replicated {
+            let store = &cluster.stores[self.w.node];
+            for (i, &new_seq) in local_new_seqs.iter().enumerate() {
+                let e = &self.l_ws[i];
+                store.record(e.table, e.rec_off).set_seq(new_seq + 1);
+                self.w.clock.advance(cluster.opts.cost.mem_access_ns);
+            }
+        }
+        let makeup_ns = lap(self.w);
+
+        // C.5: write remote primaries.
+        for i in 0..self.r_ws.len() {
+            let (node, rec_off, table, new_seq) = {
+                let e = &self.r_ws[i];
+                (e.node, e.rec_off, e.table, remote_new_seqs[i])
+            };
+            let layout = cluster.stores[self.w.node].table(table).layout;
+            let w = &mut *self.w;
+            remote_write_locked(
+                &w.qps[node],
+                &mut w.clock,
+                rec_off,
+                layout,
+                &self.r_ws[i].buf,
+                new_seq,
+            );
+        }
+        let remote_write_ns = lap(self.w);
+
+        // Inserts and deletes become visible only now, after validation
+        // and logging.
+        self.apply_mutations();
+
+        // The transaction reports committed here; C.6 happens after.
+        self.unlock_all(&locks);
+        let unlock_ns = lap(self.w);
+
+        let s = &mut self.w.stats.steps;
+        s.execute_ns += exec_ns;
+        s.lock_ns += lock_ns;
+        s.validate_remote_ns += validate_ns;
+        s.htm_ns += htm_ns;
+        s.log_ns += log_ns;
+        s.makeup_ns += makeup_ns;
+        s.remote_write_ns += remote_write_ns;
+        s.unlock_ns += unlock_ns;
+        Ok(())
+    }
+
+    /// Remote CAS via either a one-sided verb (default) or, under the
+    /// FaRM-messaging ablation, a SEND/RECV round trip serviced by the
+    /// target's CPU. The message handler interrupts the host, which
+    /// aborts its in-flight HTM regions — modelled by bumping the
+    /// target's control line (every HTM commit region subscribes to it
+    /// in messaging mode).
+    fn remote_cas(&mut self, node: NodeId, off: usize, expect: u64, new: u64) -> Result<u64, u64> {
+        let cluster = Arc::clone(&self.w.cluster);
+        if cluster.opts.msg_locking {
+            let w = &mut *self.w;
+            cluster
+                .fabric
+                .charge_message(&mut w.clock, w.node, node, 32);
+            cluster
+                .fabric
+                .charge_message(&mut w.clock, node, w.node, 16);
+            let region = &cluster.stores[node].region;
+            region.faa64(CONTROL_LINE_OFF, 1); // The interrupt.
+            region.cas64(off, expect, new)
+        } else {
+            let w = &mut *self.w;
+            w.qps[node].cas(&mut w.clock, off, expect, new)
+        }
+    }
+
+    /// The remote lock set: read ∪ write addresses, sorted and deduped.
+    fn remote_lock_addrs(&self) -> Vec<LockAddr> {
+        let mut v: Vec<LockAddr> = self
+            .r_rs
+            .iter()
+            .map(|e| (e.node, e.rec_off))
+            .chain(self.r_ws.iter().map(|e| (e.node, e.rec_off)))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Acquires every lock in `addrs` (already sorted) with RDMA CAS.
+    ///
+    /// On failure returns `Err(n)` with the count of locks already held
+    /// so the caller can release them. Locks owned by machines outside
+    /// the current configuration are released passively and re-tried
+    /// (§5.2).
+    fn lock_all(&mut self, addrs: &[LockAddr]) -> Result<(), usize> {
+        let cluster = Arc::clone(&self.w.cluster);
+        let me = lock_word(self.w.node);
+        let members = cluster.config.get();
+        for (i, &(node, rec_off)) in addrs.iter().enumerate() {
+            // Fencing: never lock (and therefore never write) records on
+            // a machine that has left the configuration — its shard has
+            // been (or is being) recovered elsewhere.
+            if !members.contains(node) {
+                return Err(i);
+            }
+            loop {
+                match self.remote_cas(node, rec_off, LOCK_FREE, me) {
+                    Ok(_) => break,
+                    Err(actual) => {
+                        let owner = lock_owner(actual).expect("non-free lock words name an owner");
+                        if !members.contains(owner) {
+                            // Dangling lock from a dead machine: release
+                            // it and retry the acquisition.
+                            let _ = self.remote_cas(node, rec_off, actual, LOCK_FREE);
+                            continue;
+                        }
+                        return Err(i);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Releases locks in `addrs` with RDMA CAS (or messaging, under the
+    /// ablation).
+    fn unlock_all(&mut self, addrs: &[LockAddr]) {
+        let me = lock_word(self.w.node);
+        for &(node, rec_off) in addrs {
+            let res = self.remote_cas(node, rec_off, me, LOCK_FREE);
+            debug_assert!(res.is_ok(), "lost a lock we held");
+        }
+    }
+
+    /// Reads `(incarnation, seq)` of a remote record header. Under the
+    /// GLOB-fusion ablation this models the result the fused CAS already
+    /// carried, so no extra verb is charged.
+    fn remote_header(&mut self, node: NodeId, rec_off: usize) -> (u64, u64) {
+        let cluster = Arc::clone(&self.w.cluster);
+        if cluster.opts.fuse_lock_validate || cluster.opts.msg_locking {
+            // Fused CAS (GLOB) carries the answer; the messaging handler
+            // returns it in its response (already charged by remote_cas
+            // — but a validation-only peek still costs a round trip).
+            if cluster.opts.msg_locking {
+                let w = &mut *self.w;
+                cluster
+                    .fabric
+                    .charge_message(&mut w.clock, w.node, node, 24);
+                cluster
+                    .fabric
+                    .charge_message(&mut w.clock, node, w.node, 24);
+                cluster.stores[node].region.faa64(CONTROL_LINE_OFF, 1);
+            }
+            let region = &cluster.stores[node].region;
+            (
+                region.load64(rec_off + INCARNATION_OFF),
+                region.load64(rec_off + SEQ_OFF),
+            )
+        } else {
+            let w = &mut *self.w;
+            let mut buf = [0u8; 16];
+            w.qps[node].read(&mut w.clock, rec_off + INCARNATION_OFF, &mut buf);
+            (
+                u64::from_le_bytes(buf[0..8].try_into().unwrap()),
+                u64::from_le_bytes(buf[8..16].try_into().unwrap()),
+            )
+        }
+    }
+
+    /// C.2: validates every remote read and computes the new (even)
+    /// sequence number of every remote write.
+    fn validate_remote(&mut self) -> Result<Vec<u64>, TxnError> {
+        for i in 0..self.r_rs.len() {
+            let (node, rec_off, seen_seq, seen_inc) = {
+                let e = &self.r_rs[i];
+                (e.node, e.rec_off, e.seq, e.incarnation)
+            };
+            let (inc, seq) = self.remote_header(node, rec_off);
+            if inc != seen_inc {
+                return Err(TxnError::Aborted(AbortReason::Incarnation));
+            }
+            if !read_validates(seen_seq, seq) {
+                return Err(TxnError::Aborted(AbortReason::Validation));
+            }
+        }
+        let mut new_seqs = Vec::with_capacity(self.r_ws.len());
+        for i in 0..self.r_ws.len() {
+            let (node, rec_off) = {
+                let e = &self.r_ws[i];
+                (e.node, e.rec_off)
+            };
+            // The record is locked, so its header is stable; one read
+            // yields the current sequence number (for reads-also-written
+            // records this is the same value C.2 just validated).
+            let (_, seq) = self.remote_header(node, rec_off);
+            if !write_validates(seq) {
+                // Still uncommittable: its writer has not replicated yet.
+                return Err(TxnError::Aborted(AbortReason::Validation));
+            }
+            new_seqs.push(seq + 2);
+        }
+        Ok(new_seqs)
+    }
+
+    /// C.3 + C.4 under HTM.
+    ///
+    /// Returns `Ok(Ok(new_seqs))` when validation passed and writes were
+    /// applied (sequence numbers bumped by `bump`), `Ok(Err(reason))`
+    /// when validation failed (nothing applied), and `Err(())` when the
+    /// HTM gave up and the fallback handler must run.
+    fn htm_validate_and_apply(&mut self, bump: u64) -> Result<Result<Vec<u64>, AbortReason>, ()> {
+        let cluster = Arc::clone(&self.w.cluster);
+        let cost = &cluster.opts.cost;
+        let store = &cluster.stores[self.w.node];
+        let htm = &cluster.htms[self.w.node];
+        let region = &store.region;
+        let l_rs = &self.l_rs;
+        let l_ws = &self.l_ws;
+        let pointer_swap = cluster.opts.pointer_swap;
+
+        let msg_locking = cluster.opts.msg_locking;
+        let outcome = htm.run(region, &mut self.w.rng, |t| {
+            // Under the messaging ablation, every HTM region is exposed
+            // to lock-service interrupts: subscribe to the control line
+            // so a concurrent message handler aborts this region.
+            if msg_locking {
+                t.read_u64(CONTROL_LINE_OFF)?;
+            }
+            // C.3: validate local reads (sequence number + incarnation).
+            for e in l_rs {
+                let inc = t.read_u64(e.rec_off + INCARNATION_OFF)?;
+                let seq = t.read_u64(e.rec_off + SEQ_OFF)?;
+                if inc != e.incarnation {
+                    return Ok(Err(AbortReason::Incarnation));
+                }
+                if !read_validates(e.seq, seq) {
+                    return Ok(Err(AbortReason::Validation));
+                }
+            }
+            // C.4 precondition: no remote committer may hold a local
+            // write-set record (it could have locked it before this HTM
+            // region began; the CAS after XBEGIN would abort us, but the
+            // CAS before it would not — hence the explicit check).
+            let mut cur_seqs = Vec::with_capacity(l_ws.len());
+            for e in l_ws {
+                let lock = t.read_u64(e.rec_off)?;
+                if lock != LOCK_FREE {
+                    return Ok(Err(AbortReason::LockBusy));
+                }
+                let seq = t.read_u64(e.rec_off + SEQ_OFF)?;
+                if !write_validates(seq) {
+                    return Ok(Err(AbortReason::Validation));
+                }
+                cur_seqs.push(seq);
+            }
+            // C.4: apply buffered writes.
+            let mut new_seqs = Vec::with_capacity(l_ws.len());
+            for (e, &cur) in l_ws.iter().zip(&cur_seqs) {
+                let rec = store.record(e.table, e.rec_off);
+                rec.write_htm(t, &e.buf, cur + bump)?;
+                new_seqs.push(cur + bump);
+            }
+            Ok(Ok(new_seqs))
+        });
+
+        // Virtual-time cost of the HTM commit: validation touches one
+        // line per read, writes touch each record's lines (or one line
+        // with the §6.4 pointer-swap optimisation on local-only tables).
+        let write_lines: u64 = l_ws
+            .iter()
+            .map(|e| {
+                let t = store.table(e.table);
+                if pointer_swap && t.spec.local_only {
+                    1
+                } else {
+                    t.layout.lines() as u64
+                }
+            })
+            .sum();
+        let per_attempt = cost.htm_begin_ns
+            + cost.htm_commit_ns
+            + (l_rs.len() as u64 + write_lines) * cost.htm_per_line_ns;
+
+        match outcome {
+            RunOutcome::Committed { value, retries } => {
+                self.w.clock.advance(per_attempt * (retries as u64 + 1));
+                Ok(value)
+            }
+            RunOutcome::Fallback(_) => {
+                let max = cluster.opts.htm.max_retries as u64 + 1;
+                self.w.clock.advance(per_attempt * max);
+                Err(())
+            }
+        }
+    }
+
+    /// Builds the redo records for every write (local, remote, and
+    /// pending inserts/deletes).
+    fn log_entries(
+        &self,
+        local_new_seqs: &[u64],
+        remote_new_seqs: &[u64],
+        local_bump: u64,
+    ) -> Vec<(NodeId, LogEntry)> {
+        let mut entries = Vec::new();
+        for (e, &s) in self.l_ws.iter().zip(local_new_seqs) {
+            // Local writes were applied at the odd `s`; the logged (and
+            // made-up) sequence number is the even successor.
+            entries.push((
+                self.w.node,
+                LogEntry {
+                    table: e.table,
+                    key: e.key,
+                    seq: s + (2 - local_bump),
+                    value: e.buf.clone(),
+                    delete: false,
+                },
+            ));
+        }
+        for (e, &s) in self.r_ws.iter().zip(remote_new_seqs) {
+            entries.push((
+                e.node,
+                LogEntry {
+                    table: e.table,
+                    key: e.key,
+                    seq: s,
+                    value: e.buf.clone(),
+                    delete: false,
+                },
+            ));
+        }
+        for m in &self.mutations {
+            entries.push((
+                m.node,
+                LogEntry {
+                    table: m.table,
+                    key: m.key,
+                    seq: 2,
+                    value: m.value.clone().unwrap_or_default(),
+                    delete: m.value.is_none(),
+                },
+            ));
+        }
+        entries
+    }
+
+    /// R.1: appends redo records to the logs on each written record's
+    /// backups, batched per `(primary, backup)` pair.
+    fn append_logs(&mut self, entries: Vec<(NodeId, LogEntry)>) {
+        let cluster = Arc::clone(&self.w.cluster);
+        let mut primaries: Vec<NodeId> = entries.iter().map(|(p, _)| *p).collect();
+        primaries.sort_unstable();
+        primaries.dedup();
+        for p in primaries {
+            let batch: Vec<LogEntry> = entries
+                .iter()
+                .filter(|(q, _)| *q == p)
+                .map(|(_, e)| e.clone())
+                .collect();
+            for b in cluster.backups_of(p) {
+                let me = self.w.node;
+                let nics = (&cluster.fabric.port(me).nic, &cluster.fabric.port(b).nic);
+                cluster
+                    .logs
+                    .append(&mut self.w.clock, &cluster.opts.cost, nics, p, b, &batch);
+                // One RDMA WRITE verb per log append, on both ports.
+                let now = self.w.clock.now();
+                let o1 = cluster.fabric.port(me).nic_ops.reserve(now, 1);
+                let o2 = cluster.fabric.port(b).nic_ops.reserve(now, 1);
+                self.w.clock.advance_to(o1.max(o2));
+            }
+        }
+    }
+
+    /// Applies buffered inserts and deletes. Remote mutations are
+    /// shipped to their host machine (SEND/RECV cost) and executed there.
+    fn apply_mutations(&mut self) {
+        let cluster = Arc::clone(&self.w.cluster);
+        for m in std::mem::take(&mut self.mutations) {
+            if m.node != self.w.node {
+                let bytes = 24 + m.value.as_ref().map_or(0, Vec::len);
+                cluster
+                    .fabric
+                    .charge_message(&mut self.w.clock, self.w.node, m.node, bytes);
+            }
+            let store = &cluster.stores[m.node];
+            match m.value {
+                Some(v) => {
+                    // Duplicate keys indicate a workload bug (keys are
+                    // drawn from counters held in the write set).
+                    let inserted = store.insert(m.table, m.key, &v, 2);
+                    debug_assert!(inserted.is_some(), "duplicate insert {}:{}", m.table, m.key);
+                }
+                None => {
+                    store.remove(m.table, m.key);
+                }
+            }
+            self.w.clock.advance(cluster.opts.cost.record_logic_ns);
+        }
+    }
+
+    /// The fallback handler (§6.1): locks *all* records — local ones via
+    /// loopback RDMA CAS (§6.2) — in global order, validates, applies,
+    /// replicates, and unlocks.
+    fn commit_fallback(&mut self) -> Result<(), TxnError> {
+        self.w.stats.fallbacks += 1;
+        let cluster = Arc::clone(&self.w.cluster);
+        let me = self.w.node;
+
+        // Every record this transaction touched, in global order.
+        let mut addrs: Vec<LockAddr> = self
+            .l_rs
+            .iter()
+            .map(|e| (me, e.rec_off))
+            .chain(self.l_ws.iter().map(|e| (me, e.rec_off)))
+            .chain(self.r_rs.iter().map(|e| (e.node, e.rec_off)))
+            .chain(self.r_ws.iter().map(|e| (e.node, e.rec_off)))
+            .collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+
+        if let Err(held) = self.lock_all(&addrs) {
+            self.unlock_all(&addrs[..held]);
+            return Err(TxnError::Aborted(AbortReason::LockBusy));
+        }
+
+        // Validate everything under the locks.
+        let mut ok = true;
+        let mut reason = AbortReason::Validation;
+        for i in 0..self.l_rs.len() {
+            let (rec_off, seen_seq, seen_inc) = {
+                let e = &self.l_rs[i];
+                (e.rec_off, e.seq, e.incarnation)
+            };
+            let region = &cluster.stores[me].region;
+            let inc = region.load64(rec_off + INCARNATION_OFF);
+            let seq = region.load64(rec_off + SEQ_OFF);
+            if inc != seen_inc || !read_validates(seen_seq, seq) {
+                ok = false;
+                if inc != seen_inc {
+                    reason = AbortReason::Incarnation;
+                }
+                break;
+            }
+        }
+        let mut r_new_seqs = Vec::with_capacity(self.r_ws.len());
+        let mut l_new_seqs = Vec::with_capacity(self.l_ws.len());
+        if ok {
+            for i in 0..self.r_rs.len() {
+                let (node, rec_off, seen_seq, seen_inc) = {
+                    let e = &self.r_rs[i];
+                    (e.node, e.rec_off, e.seq, e.incarnation)
+                };
+                let (inc, seq) = self.remote_header(node, rec_off);
+                if inc != seen_inc || !read_validates(seen_seq, seq) {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        let replicated = cluster.opts.replicas > 1;
+        let bump = if replicated { 1 } else { 2 };
+        if ok {
+            for i in 0..self.l_ws.len() {
+                let rec_off = self.l_ws[i].rec_off;
+                let seq = cluster.stores[me].region.load64(rec_off + SEQ_OFF);
+                if !write_validates(seq) {
+                    ok = false;
+                    break;
+                }
+                l_new_seqs.push(seq + bump);
+            }
+        }
+        if ok {
+            for i in 0..self.r_ws.len() {
+                let (node, rec_off) = {
+                    let e = &self.r_ws[i];
+                    (e.node, e.rec_off)
+                };
+                let (_, seq) = self.remote_header(node, rec_off);
+                if !write_validates(seq) {
+                    ok = false;
+                    break;
+                }
+                r_new_seqs.push(seq + 2);
+            }
+        }
+        if !ok {
+            self.unlock_all(&addrs);
+            return Err(TxnError::Aborted(reason));
+        }
+
+        // Apply local writes directly (the lock word, which every local
+        // HTM path checks, provides the isolation the HTM region would).
+        for i in 0..self.l_ws.len() {
+            let e = &self.l_ws[i];
+            let rec = cluster.stores[me].record(e.table, e.rec_off);
+            rec.write_locked(&e.buf, l_new_seqs[i]);
+        }
+        self.w.clock.advance(
+            cluster.opts.cost.local_cas_ns * addrs.len() as u64
+                + cluster.opts.cost.mem_access_ns * self.l_ws.len() as u64,
+        );
+
+        if replicated {
+            let entries = self.log_entries(&l_new_seqs, &r_new_seqs, bump);
+            self.append_logs(entries);
+            for i in 0..self.l_ws.len() {
+                let e = &self.l_ws[i];
+                cluster.stores[me]
+                    .record(e.table, e.rec_off)
+                    .set_seq(l_new_seqs[i] + 1);
+            }
+        }
+
+        for i in 0..self.r_ws.len() {
+            let (node, rec_off, table) = {
+                let e = &self.r_ws[i];
+                (e.node, e.rec_off, e.table)
+            };
+            let layout = cluster.stores[me].table(table).layout;
+            let w = &mut *self.w;
+            remote_write_locked(
+                &w.qps[node],
+                &mut w.clock,
+                rec_off,
+                layout,
+                &self.r_ws[i].buf,
+                r_new_seqs[i],
+            );
+        }
+
+        self.apply_mutations();
+        self.unlock_all(&addrs);
+        Ok(())
+    }
+
+    /// Re-reads a remote record for diagnostics and tests (consistent
+    /// snapshot outside any transaction).
+    pub fn peek_remote(&mut self, node: NodeId, table: TableId, rec_off: usize) -> Option<Vec<u8>> {
+        let cluster = Arc::clone(&self.w.cluster);
+        let layout = cluster.stores[self.w.node].table(table).layout;
+        let w = &mut *self.w;
+        remote_read_consistent(&w.qps[node], &mut w.clock, rec_off, layout, 8).map(|r| r.value)
+    }
+}

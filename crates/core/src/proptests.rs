@@ -1,0 +1,234 @@
+//! Property-based tests of the transaction engine: randomized workloads
+//! must preserve global invariants on every engine configuration.
+
+use std::sync::Arc;
+
+use drtm_store::TableSpec;
+use proptest::prelude::*;
+
+use crate::cluster::{DrtmCluster, EngineOpts};
+use crate::txn::TxnError;
+
+const T: u32 = 0;
+
+fn val(x: u64) -> Vec<u8> {
+    let mut v = vec![0u8; 16];
+    v[..8].copy_from_slice(&x.to_le_bytes());
+    v
+}
+
+fn num(v: &[u8]) -> u64 {
+    u64::from_le_bytes(v[..8].try_into().unwrap())
+}
+
+fn key(shard: usize, k: u64) -> u64 {
+    (shard as u64) << 32 | k
+}
+
+/// One randomized operation in a generated schedule.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Transfer `amt` between two accounts.
+    Transfer {
+        from: (usize, u64),
+        to: (usize, u64),
+        amt: u64,
+    },
+    /// Increment one account.
+    Inc { at: (usize, u64), by: u64 },
+    /// Insert a fresh account with balance `init` (key offset >= 100).
+    Insert { at: (usize, u64), init: u64 },
+    /// Delete an inserted account (only keys >= 100 are eligible).
+    Delete { at: (usize, u64) },
+}
+
+fn acct() -> impl Strategy<Value = (usize, u64)> {
+    (0usize..3, 0u64..6)
+}
+
+fn extra_acct() -> impl Strategy<Value = (usize, u64)> {
+    (0usize..3, 100u64..104)
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (acct(), acct(), 1u64..20).prop_map(|(from, to, amt)| Op::Transfer { from, to, amt }),
+        3 => (acct(), 1u64..50).prop_map(|(at, by)| Op::Inc { at, by }),
+        1 => (extra_acct(), 1u64..100).prop_map(|(at, init)| Op::Insert { at, init }),
+        1 => extra_acct().prop_map(|at| Op::Delete { at }),
+    ]
+}
+
+/// Applies a schedule through the engine and in parallel to a sequential
+/// model; the final database state must match the model exactly.
+fn run_schedule(ops: Vec<Op>, replicas: usize, spurious: f64) {
+    let opts = EngineOpts {
+        replicas,
+        region_size: 2 << 20,
+        htm: drtm_htm::HtmConfig {
+            spurious_abort_prob: spurious,
+            max_retries: 8,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let c = DrtmCluster::new(3, &[TableSpec::hash(T, 2048, 16)], opts);
+    let mut model = std::collections::HashMap::new();
+    for shard in 0..3usize {
+        for k in 0..6u64 {
+            c.seed_record(shard, T, key(shard, k), &val(100));
+            model.insert((shard, k), 100u64);
+        }
+    }
+
+    let mut w = c.worker(0, 7);
+    for op in ops {
+        match op {
+            Op::Transfer { from, to, amt } => {
+                if from == to {
+                    continue;
+                }
+                let r = w.run(|t| {
+                    let a = num(&t.read(from.0, T, key(from.0, from.1))?);
+                    let b = num(&t.read(to.0, T, key(to.0, to.1))?);
+                    if a < amt {
+                        return Err(TxnError::UserAbort);
+                    }
+                    t.write(from.0, T, key(from.0, from.1), val(a - amt))?;
+                    t.write(to.0, T, key(to.0, to.1), val(b + amt))
+                });
+                match r {
+                    Ok(()) => {
+                        *model.get_mut(&from).unwrap() -= amt;
+                        *model.get_mut(&to).unwrap() += amt;
+                    }
+                    Err(TxnError::UserAbort) => {}
+                    Err(e) => panic!("unexpected error {e:?}"),
+                }
+            }
+            Op::Inc { at, by } => {
+                let r = w.run(|t| {
+                    let a = num(&t.read(at.0, T, key(at.0, at.1))?);
+                    t.write(at.0, T, key(at.0, at.1), val(a + by))
+                });
+                if r.is_ok() {
+                    *model.get_mut(&at).unwrap() += by;
+                }
+            }
+            Op::Insert { at, init } => {
+                if model.contains_key(&at) {
+                    continue;
+                }
+                w.run(|t| {
+                    t.insert(at.0, T, key(at.0, at.1), val(init));
+                    Ok(())
+                })
+                .unwrap();
+                model.insert(at, init);
+            }
+            Op::Delete { at } => {
+                if !model.contains_key(&at) || at.1 < 100 {
+                    continue;
+                }
+                w.run(|t| {
+                    t.delete(at.0, T, key(at.0, at.1));
+                    Ok(())
+                })
+                .unwrap();
+                model.remove(&at);
+            }
+        }
+    }
+
+    // Final state equals the model.
+    let mut auditor = c.worker(1, 8);
+    for (&(shard, k), &want) in &model {
+        let got = auditor
+            .run_ro(|t| t.read(shard, T, key(shard, k)))
+            .unwrap_or_else(|e| panic!("missing account {shard}/{k}: {e:?}"));
+        assert_eq!(num(&got), want, "account {shard}/{k}");
+    }
+    // Deleted accounts are gone.
+    for shard in 0..3usize {
+        for k in 100u64..104 {
+            if !model.contains_key(&(shard, k)) {
+                assert_eq!(
+                    auditor.run_ro(|t| t.read(shard, T, key(shard, k))).err(),
+                    Some(TxnError::NotFound)
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sequential model equivalence without replication.
+    #[test]
+    fn schedule_matches_model(ops in prop::collection::vec(op(), 1..40)) {
+        run_schedule(ops, 1, 0.0);
+    }
+
+    /// The same with 3-way replication (exercises R.1/R.2 on every
+    /// write).
+    #[test]
+    fn schedule_matches_model_replicated(ops in prop::collection::vec(op(), 1..25)) {
+        run_schedule(ops, 3, 0.0);
+    }
+
+    /// The same with an unreliable HTM (forces fallback-handler commits
+    /// mixed with HTM commits).
+    #[test]
+    fn schedule_matches_model_with_flaky_htm(ops in prop::collection::vec(op(), 1..25)) {
+        run_schedule(ops, 1, 0.3);
+    }
+
+    /// Concurrent random transfers conserve the total for arbitrary
+    /// seeds and replica counts.
+    #[test]
+    fn concurrent_transfers_conserve(seed in 0u64..1000, replicas in 1usize..=3) {
+        let opts = EngineOpts { replicas, region_size: 2 << 20, ..Default::default() };
+        let c = DrtmCluster::new(3, &[TableSpec::hash(T, 1024, 16)], opts);
+        for shard in 0..3usize {
+            for k in 0..4u64 {
+                c.seed_record(shard, T, key(shard, k), &val(50));
+            }
+        }
+        let mut handles = Vec::new();
+        for node in 0..3usize {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                let mut w = c.worker(node, seed ^ node as u64);
+                let mut rng = drtm_base::SplitMix64::new(seed.wrapping_mul(31) + node as u64);
+                for _ in 0..30 {
+                    let from = (rng.below(3) as usize, rng.below(4));
+                    let to = (rng.below(3) as usize, rng.below(4));
+                    if from == to {
+                        continue;
+                    }
+                    let _ = w.run(|t| {
+                        let a = num(&t.read(from.0, T, key(from.0, from.1))?);
+                        let b = num(&t.read(to.0, T, key(to.0, to.1))?);
+                        if a < 3 {
+                            return Err(TxnError::UserAbort);
+                        }
+                        t.write(from.0, T, key(from.0, from.1), val(a - 3))?;
+                        t.write(to.0, T, key(to.0, to.1), val(b + 3))
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut w = c.worker(0, 99);
+        let mut total = 0;
+        for shard in 0..3usize {
+            for k in 0..4u64 {
+                total += num(&w.run_ro(|t| t.read(shard, T, key(shard, k))).unwrap());
+            }
+        }
+        prop_assert_eq!(total, 3 * 4 * 50);
+    }
+}

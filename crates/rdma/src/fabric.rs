@@ -1,0 +1,382 @@
+//! The simulated RDMA fabric: node ports, queue pairs, and verbs.
+
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use drtm_base::{CostModel, Counter, LinkBudget, MemoryRegion, VClock};
+
+/// Identifies a machine (or logical node) on the fabric.
+pub type NodeId = usize;
+
+/// Atomicity level of RDMA atomics relative to CPU atomics, mirroring
+/// `ibv_exp_atomic_cap`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicLevel {
+    /// RDMA atomics unsupported.
+    None,
+    /// RDMA atomics are atomic only with respect to other RDMA atomics on
+    /// the same HCA — the level of the paper's ConnectX-3. Protocols must
+    /// not mix CPU CAS and RDMA CAS on the same word.
+    Hca,
+    /// RDMA atomics are atomic with respect to CPU atomics too; enables
+    /// the paper's fused lock+validate optimisation (§4.4, step C.2).
+    Glob,
+}
+
+/// A two-sided message delivered through SEND/RECV verbs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Sending node.
+    pub from: NodeId,
+    /// Application-defined tag (e.g. "insert", "log-truncate").
+    pub tag: u32,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Per-NIC operation counters.
+#[derive(Debug, Default)]
+pub struct NicStats {
+    /// One-sided READ verbs issued.
+    pub reads: Counter,
+    /// One-sided WRITE verbs issued.
+    pub writes: Counter,
+    /// Atomic verbs (CAS + FAA) issued.
+    pub atomics: Counter,
+    /// SEND verbs issued.
+    pub sends: Counter,
+    /// Total payload bytes moved (both directions).
+    pub bytes: Counter,
+}
+
+/// One endpoint on the fabric: a registered memory region, a NIC link
+/// budget, and a receive queue.
+pub struct NodePort {
+    /// The node's registered memory (shared with its local HTM engine).
+    pub region: Arc<MemoryRegion>,
+    /// Virtual-time NIC bandwidth budget for this node's single port.
+    pub nic: LinkBudget,
+    /// Virtual-time NIC verb-rate budget (message-rate ceiling).
+    pub nic_ops: LinkBudget,
+    /// Verb counters.
+    pub stats: NicStats,
+    rx: Receiver<Message>,
+    tx: Sender<Message>,
+}
+
+impl NodePort {
+    fn new(region: Arc<MemoryRegion>, bytes_per_sec: f64, ops_per_sec: f64) -> Self {
+        let (tx, rx) = unbounded();
+        Self {
+            region,
+            nic: LinkBudget::new(bytes_per_sec),
+            nic_ops: LinkBudget::new(ops_per_sec),
+            stats: NicStats::default(),
+            rx,
+            tx,
+        }
+    }
+}
+
+/// The fabric: every node's port plus the shared cost model.
+///
+/// Construction registers one [`MemoryRegion`] per node; afterwards any
+/// thread may open [`Qp`]s between any pair of nodes (including loopback —
+/// the paper's "logical nodes" experiment drives RDMA between co-located
+/// nodes through the same NIC).
+pub struct Fabric {
+    ports: Vec<NodePort>,
+    /// Operation cost model used by all verbs.
+    pub cost: CostModel,
+    /// Atomicity level advertised by the (simulated) HCA.
+    pub atomic_level: AtomicLevel,
+}
+
+impl Fabric {
+    /// Builds a fabric over the given per-node regions.
+    pub fn new(regions: Vec<Arc<MemoryRegion>>, cost: CostModel) -> Self {
+        let bw = cost.nic_bytes_per_sec;
+        let ops = cost.nic_ops_per_sec;
+        Self {
+            ports: regions
+                .into_iter()
+                .map(|r| NodePort::new(r, bw, ops))
+                .collect(),
+            cost,
+            atomic_level: AtomicLevel::Hca,
+        }
+    }
+
+    /// Number of nodes on the fabric.
+    pub fn nodes(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// The port (region + NIC + stats) of `node`.
+    pub fn port(&self, node: NodeId) -> &NodePort {
+        &self.ports[node]
+    }
+
+    /// Opens a queue pair from `src` to `dst`.
+    pub fn qp(self: &Arc<Self>, src: NodeId, dst: NodeId) -> Qp {
+        assert!(src < self.ports.len() && dst < self.ports.len());
+        Qp {
+            fabric: Arc::clone(self),
+            src,
+            dst,
+        }
+    }
+
+    /// Resets all NIC budgets and counters (between experiment phases).
+    pub fn reset_traffic(&self) {
+        for p in &self.ports {
+            p.nic.reset();
+            p.nic_ops.reset();
+            p.stats.reads.take();
+            p.stats.writes.take();
+            p.stats.atomics.take();
+            p.stats.sends.take();
+            p.stats.bytes.take();
+        }
+    }
+
+    /// Charges `wire` bytes against both endpoints' NICs at time `now`,
+    /// returning the completion time. Loopback charges the single NIC once.
+    fn charge_nics(&self, src: NodeId, dst: NodeId, now: u64, wire: u64) -> u64 {
+        let t1 = self.ports[src].nic.reserve(now, wire);
+        let o1 = self.ports[src].nic_ops.reserve(now, 1);
+        if src == dst {
+            return t1.max(o1);
+        }
+        let t2 = self.ports[dst].nic.reserve(now, wire);
+        let o2 = self.ports[dst].nic_ops.reserve(now, 1);
+        t1.max(t2).max(o1).max(o2)
+    }
+}
+
+/// A reliable-connected queue pair between two nodes.
+///
+/// All verbs are synchronous (they model posting the work request and
+/// polling the completion): the caller's virtual clock is advanced to the
+/// completion time.
+pub struct Qp {
+    fabric: Arc<Fabric>,
+    src: NodeId,
+    dst: NodeId,
+}
+
+impl Qp {
+    /// Destination node of this queue pair.
+    pub fn dst(&self) -> NodeId {
+        self.dst
+    }
+
+    /// Source node of this queue pair.
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    fn port(&self) -> &NodePort {
+        self.fabric.port(self.dst)
+    }
+
+    /// One-sided RDMA READ of `buf.len()` bytes at remote byte offset
+    /// `raddr`.
+    ///
+    /// Returns the version word each touched cache line was observed at
+    /// (even values; the read retries internally while a line is
+    /// mid-write, like the DMA engine re-snooping a locked line).
+    pub fn read(&self, clock: &mut VClock, raddr: usize, buf: &mut [u8]) -> Vec<u64> {
+        let f = &self.fabric;
+        let versions = self.port().region.read_bytes_coherent(raddr, buf);
+        let wire = f.cost.wire_bytes(buf.len());
+        let done = f.charge_nics(self.src, self.dst, clock.now(), wire);
+        clock.advance(f.cost.rdma_read(buf.len()));
+        clock.advance_to(done);
+        self.port().stats.reads.inc();
+        self.port().stats.bytes.add(buf.len() as u64);
+        versions
+    }
+
+    /// One-sided RDMA WRITE of `data` at remote byte offset `raddr`.
+    ///
+    /// Applied one cache line at a time: atomic within each line, not
+    /// across lines (Figure 4 of the paper). Bumps the line versions, so
+    /// conflicting HTM transactions on the target abort.
+    pub fn write(&self, clock: &mut VClock, raddr: usize, data: &[u8]) {
+        let f = &self.fabric;
+        self.port().region.write_bytes_coherent(raddr, data);
+        let wire = f.cost.wire_bytes(data.len());
+        let done = f.charge_nics(self.src, self.dst, clock.now(), wire);
+        clock.advance(f.cost.rdma_write(data.len()));
+        clock.advance_to(done);
+        self.port().stats.writes.inc();
+        self.port().stats.bytes.add(data.len() as u64);
+    }
+
+    /// One-sided RDMA compare-and-swap on the 8-byte word at `raddr`.
+    ///
+    /// Returns `Ok(old)` when the swap happened, `Err(actual)` otherwise.
+    /// On success the containing line's version is bumped (the NIC's DMA
+    /// write invalidates the line, aborting conflicting HTM readers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fabric advertises [`AtomicLevel::None`].
+    pub fn cas(&self, clock: &mut VClock, raddr: usize, expect: u64, new: u64) -> Result<u64, u64> {
+        assert!(
+            self.fabric.atomic_level != AtomicLevel::None,
+            "HCA does not support RDMA atomics"
+        );
+        let f = &self.fabric;
+        let res = self.port().region.cas64(raddr, expect, new);
+        let wire = f.cost.wire_bytes(8);
+        let done = f.charge_nics(self.src, self.dst, clock.now(), wire);
+        clock.advance(f.cost.rdma_atomic_ns);
+        clock.advance_to(done);
+        self.port().stats.atomics.inc();
+        self.port().stats.bytes.add(8);
+        res
+    }
+
+    /// One-sided RDMA fetch-and-add on the 8-byte word at `raddr`,
+    /// returning the previous value.
+    pub fn fetch_add(&self, clock: &mut VClock, raddr: usize, add: u64) -> u64 {
+        assert!(
+            self.fabric.atomic_level != AtomicLevel::None,
+            "HCA does not support RDMA atomics"
+        );
+        let f = &self.fabric;
+        let old = self.port().region.faa64(raddr, add);
+        let wire = f.cost.wire_bytes(8);
+        let done = f.charge_nics(self.src, self.dst, clock.now(), wire);
+        clock.advance(f.cost.rdma_atomic_ns);
+        clock.advance_to(done);
+        self.port().stats.atomics.inc();
+        self.port().stats.bytes.add(8);
+        old
+    }
+
+    /// Two-sided SEND: enqueues a message on the destination's receive
+    /// queue.
+    pub fn send(&self, clock: &mut VClock, tag: u32, payload: Vec<u8>) {
+        let f = &self.fabric;
+        let wire = f.cost.wire_bytes(payload.len());
+        let done = f.charge_nics(self.src, self.dst, clock.now(), wire);
+        clock.advance(f.cost.msg_ns);
+        clock.advance_to(done);
+        self.port().stats.sends.inc();
+        self.port().stats.bytes.add(payload.len() as u64);
+        self.port()
+            .tx
+            .send(Message {
+                from: self.src,
+                tag,
+                payload,
+            })
+            .expect("receive queue closed");
+    }
+}
+
+impl Fabric {
+    /// Charges the virtual-time cost of a SEND/RECV round trip of
+    /// `bytes` from `src` to `dst` without enqueuing a message.
+    ///
+    /// Used where the simulation applies the message's effect directly
+    /// (e.g. shipping an insert to its host machine) but the wire cost
+    /// must still be paid.
+    pub fn charge_message(&self, clock: &mut VClock, src: NodeId, dst: NodeId, bytes: usize) {
+        let wire = self.cost.wire_bytes(bytes);
+        let done = self.charge_nics(src, dst, clock.now(), wire);
+        clock.advance(self.cost.msg_ns);
+        clock.advance_to(done);
+        self.ports[dst].stats.sends.inc();
+        self.ports[dst].stats.bytes.add(bytes as u64);
+    }
+
+    /// Non-blocking RECV on `node`'s queue.
+    pub fn try_recv(&self, node: NodeId) -> Option<Message> {
+        self.ports[node].rx.try_recv().ok()
+    }
+
+    /// Blocking RECV with a host-time timeout (used by auxiliary threads).
+    pub fn recv_timeout(&self, node: NodeId, timeout: std::time::Duration) -> Option<Message> {
+        self.ports[node].rx.recv_timeout(timeout).ok()
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    fn fabric(n: usize) -> Arc<Fabric> {
+        let regions = (0..n).map(|_| Arc::new(MemoryRegion::new(4096))).collect();
+        Arc::new(Fabric::new(regions, CostModel::default()))
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let f = fabric(2);
+        let qp = f.qp(0, 1);
+        let mut clock = VClock::new();
+        qp.write(&mut clock, 128, b"hello rdma");
+        let mut buf = [0u8; 10];
+        qp.read(&mut clock, 128, &mut buf);
+        assert_eq!(&buf, b"hello rdma");
+        assert!(clock.now() > 0, "verbs charge virtual time");
+        assert_eq!(f.port(1).stats.reads.get(), 1);
+        assert_eq!(f.port(1).stats.writes.get(), 1);
+    }
+
+    #[test]
+    fn cas_semantics() {
+        let f = fabric(2);
+        let qp = f.qp(0, 1);
+        let mut clock = VClock::new();
+        assert_eq!(qp.cas(&mut clock, 0, 0, 5), Ok(0));
+        assert_eq!(qp.cas(&mut clock, 0, 0, 9), Err(5));
+        assert_eq!(qp.fetch_add(&mut clock, 0, 3), 5);
+        assert_eq!(f.port(1).region.load64(0), 8);
+    }
+
+    #[test]
+    fn loopback_charges_one_nic() {
+        let f = fabric(1);
+        let qp = f.qp(0, 0);
+        let mut clock = VClock::new();
+        qp.write(&mut clock, 0, &[1u8; 64]);
+        assert!(f.port(0).nic.granted() > 0);
+    }
+
+    #[test]
+    fn send_recv_delivery() {
+        let f = fabric(2);
+        let qp = f.qp(0, 1);
+        let mut clock = VClock::new();
+        qp.send(&mut clock, 7, vec![1, 2, 3]);
+        let m = f.try_recv(1).expect("message delivered");
+        assert_eq!(m.from, 0);
+        assert_eq!(m.tag, 7);
+        assert_eq!(m.payload, vec![1, 2, 3]);
+        assert!(f.try_recv(1).is_none());
+    }
+
+    #[test]
+    fn bandwidth_backpressure_shows_in_clock() {
+        // Deliberately tiny bandwidth: 1 MB/s.
+        let cost = CostModel {
+            nic_bytes_per_sec: 1.0e6,
+            ..Default::default()
+        };
+        let regions = (0..2)
+            .map(|_| Arc::new(MemoryRegion::new(1 << 20)))
+            .collect();
+        let f = Arc::new(Fabric::new(regions, cost));
+        let qp = f.qp(0, 1);
+        let mut clock = VClock::new();
+        qp.write(&mut clock, 0, &vec![0u8; 100_000]);
+        // 100 kB at 1 MB/s = ~100 ms of serialisation delay (minus the
+        // token-bucket burst allowance).
+        assert!(clock.now() >= 99_000_000, "clock = {}", clock.now());
+    }
+}

@@ -1,0 +1,46 @@
+//! A simulation of one-sided RDMA verbs over in-process memory regions.
+//!
+//! No RDMA-capable NIC is available, so this crate reproduces the verb
+//! semantics DrTM+R relies on (§2.1 of the paper), over the same
+//! [`drtm_base::MemoryRegion`]s the software HTM runs on:
+//!
+//! * **READ** — copies remote bytes one cache line at a time; each line is
+//!   internally consistent, but a read spanning lines is *not* atomic as a
+//!   unit. The per-line versions observed are returned so upper layers can
+//!   implement FaRM-style consistent reads.
+//! * **WRITE** — applies remote bytes one cache line at a time, bumping each
+//!   line's version word. Because the software HTM validates against those
+//!   same version words, an RDMA WRITE *unconditionally aborts a conflicting
+//!   HTM transaction on the target machine* — the cache-coherence property
+//!   the whole DrTM line of work builds on.
+//! * **CAS / FETCH_ADD** — word atomics against remote memory. The
+//!   configured [`AtomicLevel`] mirrors `ibv_query_device`: the authors' NIC
+//!   only provided `IBV_ATOMIC_HCA` (atomic among RDMA atomics but not
+//!   against local CPU CAS), which is why the DrTM+R protocol only ever
+//!   *reads* lock words locally and both acquires and releases them via
+//!   RDMA CAS. The simulation physically provides global atomicity, but the
+//!   level is plumbed through so the protocol layer can (a) stay within the
+//!   HCA discipline and (b) enable the paper's `IBV_ATOMIC_GLOB`
+//!   optimisation (fusing lock+validate into one CAS) as an ablation.
+//! * **SEND/RECV** — two-sided messaging used only where the paper uses it:
+//!   shipping inserts/deletes to the host machine and control traffic.
+//!
+//! Timing: every verb charges its caller's [`drtm_base::VClock`] a latency
+//! from the [`drtm_base::CostModel`] and reserves wire bytes on both
+//! endpoints' [`drtm_base::LinkBudget`]s, which is how the NIC-bandwidth
+//! bottleneck of the paper's replication experiments emerges.
+
+mod fabric;
+
+pub use fabric::{
+    AtomicLevel,
+    Fabric,
+    Message,
+    NicStats,
+    NodeId,
+    NodePort,
+    Qp, //
+};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,98 @@
+//! Consistency audits run after workloads (used by integration tests).
+//!
+//! These implement (subsets of) the TPC-C consistency conditions and a
+//! SmallBank conservation check, scanning the stores directly on a
+//! quiesced cluster.
+
+use drtm_core::cluster::DrtmCluster;
+
+use crate::smallbank::{SbCfg, T_CHECKING, T_SAVINGS};
+use crate::tpcc::{dkey, slot, TpccCfg, T_DISTRICT, T_NEW_ORDER, T_ORDER, T_WAREHOUSE};
+
+/// One detected inconsistency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation(pub String);
+
+fn read_value(cluster: &DrtmCluster, node: usize, table: u32, key: u64) -> Option<Vec<u8>> {
+    let store = &cluster.stores[node];
+    let off = store.get_loc(table, key)? as usize;
+    let rec = store.record(table, off);
+    let mut v = vec![0u8; rec.layout.value_len];
+    rec.read_value_raw(&mut v);
+    Some(v)
+}
+
+/// TPC-C consistency conditions 1–3 (quiesced cluster):
+///
+/// 1. `W_YTD == Σ_d D_YTD` for every warehouse;
+/// 2. `D_NEXT_O_ID == max(O_ID) + 1` for every district (orders are
+///    allocated densely from the district counter);
+/// 3. every NEW_ORDER row has a matching ORDER row.
+pub fn tpcc_audit(cluster: &DrtmCluster, cfg: &TpccCfg) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for w in 0..cfg.warehouses() as u64 {
+        let node = cluster.home_of(cfg.shard_of(w));
+        let Some(wv) = read_value(cluster, node, T_WAREHOUSE, w) else {
+            out.push(Violation(format!("warehouse {w} missing")));
+            continue;
+        };
+        let mut d_sum = 0u64;
+        for d in 0..cfg.districts as u64 {
+            let Some(dv) = read_value(cluster, node, T_DISTRICT, dkey(w, d)) else {
+                out.push(Violation(format!("district {w}/{d} missing")));
+                continue;
+            };
+            d_sum += slot(&dv, 0);
+
+            // Condition 2: dense order ids.
+            let next_o = slot(&dv, 2);
+            let lo = crate::tpcc::okey(w, d, 0);
+            let hi = crate::tpcc::okey(w, d, (1 << 24) - 1);
+            let max_o = cluster.stores[node]
+                .last_in_range(T_ORDER, lo, hi)
+                .map(|(k, _)| k & ((1 << 24) - 1));
+            match max_o {
+                Some(m) if m + 1 != next_o => out.push(Violation(format!(
+                    "district {w}/{d}: next_o_id {next_o} but max order {m}"
+                ))),
+                None if next_o != 0 && cfg.init_orders > 0 => out.push(Violation(format!(
+                    "district {w}/{d}: next_o_id {next_o} but no orders"
+                ))),
+                _ => {}
+            }
+
+            // Condition 3: NEW_ORDER ⊆ ORDER.
+            for (no_key, _) in cluster.stores[node].scan(T_NEW_ORDER, lo, hi, usize::MAX) {
+                if cluster.stores[node].get_loc(T_ORDER, no_key).is_none() {
+                    out.push(Violation(format!("new-order {no_key:#x} without order")));
+                }
+            }
+        }
+        // Condition 1: initial W_YTD == Σ initial D_YTD and payment adds
+        // the same amount to both, so equality must hold at all times.
+        let w_ytd = slot(&wv, 0);
+        if w_ytd != d_sum {
+            out.push(Violation(format!(
+                "warehouse {w}: W_YTD {w_ytd} != Σ D_YTD {d_sum}"
+            )));
+        }
+    }
+    out
+}
+
+/// Sums every SmallBank balance (savings + checking) across the cluster.
+pub fn smallbank_total(cluster: &DrtmCluster, cfg: &SbCfg) -> i64 {
+    let mut total = 0i64;
+    for shard in 0..cfg.nodes {
+        let node = cluster.home_of(shard);
+        for a in 0..cfg.accounts as u64 {
+            let key = cfg.acct(shard, a);
+            for table in [T_SAVINGS, T_CHECKING] {
+                if let Some(v) = read_value(cluster, node, table, key) {
+                    total += i64::from_le_bytes(v[..8].try_into().unwrap());
+                }
+            }
+        }
+    }
+    total
+}

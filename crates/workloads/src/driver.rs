@@ -1,0 +1,495 @@
+//! The measurement harness.
+//!
+//! Spawns `nodes × threads` worker threads (each a simulated worker on
+//! its machine), runs a fixed number of transactions per worker, and
+//! aggregates throughput in *virtual* time: each worker is an
+//! independent pipeline advancing its own clock, so the cluster rate is
+//! `Σ_w committed_w / vtime_w` — independent of how the (single-core)
+//! host schedules the threads. Shared bottlenecks like the per-node NIC
+//! couple workers through virtual-time token buckets, which is how the
+//! replication experiments saturate exactly like the paper's.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use drtm_base::{Histogram, SplitMix64};
+use drtm_baselines::CalvinEngine;
+use drtm_core::cluster::{DrtmCluster, EngineOpts};
+use drtm_core::txn::TxnError;
+
+use crate::engine::EngineWorker;
+use crate::smallbank::{self, SbCfg};
+use crate::tpcc::{self, txns, TpccCfg};
+use crate::ycsb::{self, YcsbCfg};
+
+/// Which engine to measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// DrTM+R (this paper).
+    DrtmR,
+    /// DrTM baseline.
+    Drtm,
+    /// Calvin baseline.
+    Calvin,
+    /// Silo baseline (single machine only).
+    Silo,
+}
+
+/// A measurement run configuration.
+#[derive(Debug, Clone)]
+pub struct RunCfg {
+    /// Engine under test.
+    pub engine: EngineKind,
+    /// Worker threads per machine.
+    pub threads: usize,
+    /// Copies per record (1 = replication off).
+    pub replicas: usize,
+    /// Transactions attempted per worker.
+    pub txns_per_worker: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Override of the new-order cross-warehouse probability
+    /// (Figure 17's sweep); `None` uses the workload config.
+    pub cross_override: Option<f64>,
+    /// Enable the `IBV_ATOMIC_GLOB` fused lock+validate ablation.
+    pub fuse_lock_validate: bool,
+    /// Disable the DrTM location cache (ablation).
+    pub no_location_cache: bool,
+    /// FaRM-style messaging for remote locking (ablation, §4.4).
+    pub msg_locking: bool,
+}
+
+impl Default for RunCfg {
+    fn default() -> Self {
+        Self {
+            engine: EngineKind::DrtmR,
+            threads: 2,
+            replicas: 1,
+            txns_per_worker: 200,
+            seed: 42,
+            cross_override: None,
+            fuse_lock_validate: false,
+            no_location_cache: false,
+            msg_locking: false,
+        }
+    }
+}
+
+/// Per-transaction-type results.
+#[derive(Debug, Clone)]
+pub struct TypeStats {
+    /// Committed count across all workers.
+    pub count: u64,
+    /// Virtual throughput (txns/sec) across the cluster.
+    pub tps: f64,
+    /// Mean latency in virtual microseconds.
+    pub mean_us: f64,
+    /// Median latency in virtual microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile latency in virtual microseconds.
+    pub p99_us: f64,
+}
+
+/// Aggregated results of one run.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Total committed transactions.
+    pub committed: u64,
+    /// Total aborted attempts.
+    pub aborted: u64,
+    /// Fallback-handler invocations.
+    pub fallbacks: u64,
+    /// Cluster throughput over the whole mix, txns/sec (virtual time).
+    pub throughput: f64,
+    /// Per-type breakdown, keyed by type name.
+    pub per_type: HashMap<&'static str, TypeStats>,
+}
+
+impl Measurement {
+    /// Throughput of one type (0.0 if absent).
+    pub fn tps_of(&self, name: &str) -> f64 {
+        self.per_type.get(name).map_or(0.0, |t| t.tps)
+    }
+}
+
+struct WorkerResult {
+    vtime_ns: u64,
+    committed: u64,
+    aborted: u64,
+    fallbacks: u64,
+    per_type: HashMap<&'static str, (u64, Histogram)>,
+}
+
+/// Builds the engine options for a run.
+fn engine_opts(run: &RunCfg, region_size: usize) -> EngineOpts {
+    EngineOpts {
+        replicas: run.replicas,
+        region_size,
+        fuse_lock_validate: run.fuse_lock_validate,
+        use_location_cache: !run.no_location_cache,
+        msg_locking: run.msg_locking,
+        ..Default::default()
+    }
+}
+
+/// Builds and loads a TPC-C cluster for `run`.
+pub fn build_tpcc(cfg: &TpccCfg, run: &RunCfg) -> (Arc<DrtmCluster>, Option<Arc<CalvinEngine>>) {
+    let expected = run.txns_per_worker * run.threads * 2;
+    let opts = engine_opts(run, cfg.region_size(expected));
+    let cluster = DrtmCluster::new(cfg.nodes, &cfg.schema(), opts);
+    tpcc::load(&cluster, cfg);
+    let calvin =
+        (run.engine == EngineKind::Calvin).then(|| CalvinEngine::new(Arc::clone(&cluster)));
+    (cluster, calvin)
+}
+
+/// Builds and loads a SmallBank cluster for `run`.
+pub fn build_smallbank(cfg: &SbCfg, run: &RunCfg) -> (Arc<DrtmCluster>, Option<Arc<CalvinEngine>>) {
+    let opts = engine_opts(run, cfg.region_size());
+    let cluster = DrtmCluster::new(cfg.nodes, &cfg.schema(), opts);
+    smallbank::load(&cluster, cfg);
+    let calvin =
+        (run.engine == EngineKind::Calvin).then(|| CalvinEngine::new(Arc::clone(&cluster)));
+    (cluster, calvin)
+}
+
+/// Starts the auxiliary log-truncation thread (replication runs).
+fn spawn_aux(cluster: &Arc<DrtmCluster>, stop: &Arc<AtomicBool>) -> std::thread::JoinHandle<()> {
+    let cluster = Arc::clone(cluster);
+    let stop = Arc::clone(stop);
+    std::thread::spawn(move || {
+        while !stop.load(Ordering::Relaxed) {
+            for node in 0..cluster.nodes() {
+                cluster.truncate_step(node);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    })
+}
+
+fn aggregate(results: Vec<WorkerResult>) -> Measurement {
+    let mut m = Measurement {
+        committed: 0,
+        aborted: 0,
+        fallbacks: 0,
+        throughput: 0.0,
+        per_type: HashMap::new(),
+    };
+    let mut type_acc: HashMap<&'static str, (u64, f64, f64, f64, f64)> = HashMap::new();
+    for r in results {
+        m.committed += r.committed;
+        m.aborted += r.aborted;
+        m.fallbacks += r.fallbacks;
+        let secs = (r.vtime_ns.max(1)) as f64 / 1e9;
+        m.throughput += r.committed as f64 / secs;
+        for (name, (count, hist)) in r.per_type {
+            let e = type_acc.entry(name).or_insert((0, 0.0, 0.0, 0.0, 0.0));
+            e.0 += count;
+            e.1 += count as f64 / secs;
+            // Weighted latency aggregation.
+            e.2 += hist.mean() * count as f64;
+            e.3 += hist.quantile(0.5) as f64 * count as f64;
+            e.4 += hist.quantile(0.99) as f64 * count as f64;
+        }
+    }
+    for (name, (count, tps, mean_w, p50_w, p99_w)) in type_acc {
+        let c = count.max(1) as f64;
+        m.per_type.insert(
+            name,
+            TypeStats {
+                count,
+                tps,
+                mean_us: mean_w / c / 1e3,
+                p50_us: p50_w / c / 1e3,
+                p99_us: p99_w / c / 1e3,
+            },
+        );
+    }
+    m
+}
+
+/// Runs the TPC-C standard mix and reports per-type results.
+///
+/// `new-order` throughput is the paper's headline TPC-C metric.
+pub fn run_tpcc(cfg: &TpccCfg, run: &RunCfg) -> Measurement {
+    let (cluster, calvin) = build_tpcc(cfg, run);
+    run_tpcc_on(cfg, run, &cluster, calvin.as_ref())
+}
+
+/// Runs TPC-C against an already built and loaded cluster.
+pub fn run_tpcc_on(
+    cfg: &TpccCfg,
+    run: &RunCfg,
+    cluster: &Arc<DrtmCluster>,
+    calvin: Option<&Arc<CalvinEngine>>,
+) -> Measurement {
+    assert!(
+        run.engine != EngineKind::Silo || cfg.nodes == 1,
+        "Silo is single-machine"
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let aux = (run.replicas > 1).then(|| spawn_aux(cluster, &stop));
+    let cross = run.cross_override.unwrap_or(cfg.cross_new_order);
+
+    let mut handles = Vec::new();
+    for node in 0..cfg.nodes {
+        for tid in 0..run.threads {
+            let cluster = Arc::clone(cluster);
+            let calvin = calvin.map(Arc::clone);
+            let cfg = cfg.clone();
+            let run = run.clone();
+            handles.push(std::thread::spawn(move || {
+                tpcc_worker(&cfg, &run, cluster, calvin, node, tid, cross)
+            }));
+        }
+    }
+    let results: Vec<WorkerResult> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    stop.store(true, Ordering::Relaxed);
+    if let Some(a) = aux {
+        a.join().unwrap();
+    }
+    aggregate(results)
+}
+
+fn tpcc_worker(
+    cfg: &TpccCfg,
+    run: &RunCfg,
+    cluster: Arc<DrtmCluster>,
+    calvin: Option<Arc<CalvinEngine>>,
+    node: usize,
+    tid: usize,
+    cross: f64,
+) -> WorkerResult {
+    let seed = run.seed ^ ((node as u64) << 40) ^ ((tid as u64) << 20);
+    let mut ew = EngineWorker::new(run.engine, &cluster, calvin.as_ref(), node, seed);
+    let mut rng = SplitMix64::new(seed ^ 0xBEEF);
+    let home_w = (node * cfg.warehouses_per_node + tid % cfg.warehouses_per_node) as u64;
+    let mut hist_key = ((node as u64) << 24 | tid as u64) << 32;
+    let mut per_type: HashMap<&'static str, (u64, Histogram)> = HashMap::new();
+    let mut committed = 0u64;
+
+    for i in 0..run.txns_per_worker {
+        if !cluster.is_alive(node) {
+            break;
+        }
+        let ttype = txns::TxnType::pick(&mut rng);
+        let t0 = ew.clock_now();
+        let result: Result<(), TxnError> = match ttype {
+            txns::TxnType::NewOrder => {
+                let inp = txns::gen_new_order(cfg, &mut rng, home_w, cross);
+                ew.exec(false, |t| txns::new_order(t, cfg, &inp, i as u64))
+            }
+            txns::TxnType::Payment => {
+                hist_key += 1;
+                let inp = txns::gen_payment(cfg, &mut rng, home_w, hist_key);
+                ew.exec(false, |t| txns::payment(t, cfg, &inp))
+            }
+            txns::TxnType::Delivery => {
+                let carrier = rng.range(1, 10);
+                ew.exec(false, |t| txns::delivery(t, cfg, home_w, carrier, i as u64))
+            }
+            txns::TxnType::OrderStatus => {
+                let d = rng.below(cfg.districts as u64);
+                let by = if rng.chance(0.6) {
+                    txns::CustomerBy::LastName(crate::tpcc::lastname_id(txns::nurand(
+                        &mut rng,
+                        255,
+                        0,
+                        cfg.customers as u64 - 1,
+                    )))
+                } else {
+                    txns::CustomerBy::Id(txns::nurand(&mut rng, 1023, 0, cfg.customers as u64 - 1))
+                };
+                ew.exec(true, |t| txns::order_status(t, cfg, home_w, d, by))
+            }
+            txns::TxnType::StockLevel => {
+                let d = rng.below(cfg.districts as u64);
+                let thr = rng.range(10, 20);
+                ew.exec(true, |t| {
+                    txns::stock_level(t, cfg, home_w, d, thr).map(|_| ())
+                })
+            }
+        };
+        let dt = ew.clock_now().saturating_sub(t0);
+        if result.is_ok() {
+            committed += 1;
+            let e = per_type
+                .entry(ttype.name())
+                .or_insert_with(|| (0, Histogram::new()));
+            e.0 += 1;
+            e.1.record(dt);
+        }
+    }
+
+    WorkerResult {
+        vtime_ns: ew.clock_now(),
+        committed,
+        aborted: ew.stats().aborted,
+        fallbacks: ew.stats().fallbacks,
+        per_type,
+    }
+}
+
+/// Builds and loads a YCSB cluster for `run`.
+pub fn build_ycsb(cfg: &YcsbCfg, run: &RunCfg) -> (Arc<DrtmCluster>, Option<Arc<CalvinEngine>>) {
+    let opts = engine_opts(run, cfg.region_size());
+    let cluster = DrtmCluster::new(cfg.nodes, &cfg.schema(), opts);
+    ycsb::load(&cluster, cfg);
+    let calvin =
+        (run.engine == EngineKind::Calvin).then(|| CalvinEngine::new(Arc::clone(&cluster)));
+    (cluster, calvin)
+}
+
+/// Runs a YCSB mix.
+pub fn run_ycsb(cfg: &YcsbCfg, run: &RunCfg) -> Measurement {
+    let (cluster, calvin) = build_ycsb(cfg, run);
+    run_ycsb_on(cfg, run, &cluster, calvin.as_ref())
+}
+
+/// Runs YCSB against an already built and loaded cluster.
+pub fn run_ycsb_on(
+    cfg: &YcsbCfg,
+    run: &RunCfg,
+    cluster: &Arc<DrtmCluster>,
+    calvin: Option<&Arc<CalvinEngine>>,
+) -> Measurement {
+    let stop = Arc::new(AtomicBool::new(false));
+    let aux = (run.replicas > 1).then(|| spawn_aux(cluster, &stop));
+    let mut handles = Vec::new();
+    for node in 0..cfg.nodes {
+        for tid in 0..run.threads {
+            let cluster = Arc::clone(cluster);
+            let calvin = calvin.map(Arc::clone);
+            let cfg = cfg.clone();
+            let run = run.clone();
+            handles.push(std::thread::spawn(move || {
+                ycsb_worker(&cfg, &run, cluster, calvin, node, tid)
+            }));
+        }
+    }
+    let results: Vec<WorkerResult> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    stop.store(true, Ordering::Relaxed);
+    if let Some(a) = aux {
+        a.join().unwrap();
+    }
+    aggregate(results)
+}
+
+fn ycsb_worker(
+    cfg: &YcsbCfg,
+    run: &RunCfg,
+    cluster: Arc<DrtmCluster>,
+    calvin: Option<Arc<CalvinEngine>>,
+    node: usize,
+    tid: usize,
+) -> WorkerResult {
+    let seed = run.seed ^ ((node as u64) << 40) ^ ((tid as u64) << 20) ^ 0x4C5B;
+    let mut ew = EngineWorker::new(run.engine, &cluster, calvin.as_ref(), node, seed);
+    let mut rng = SplitMix64::new(seed ^ 0xD00D);
+    let zipf = ycsb::Zipf::new(cfg.records as u64, cfg.theta);
+    let mut per_type: HashMap<&'static str, (u64, Histogram)> = HashMap::new();
+    let mut committed = 0u64;
+    for i in 0..run.txns_per_worker {
+        if !cluster.is_alive(node) {
+            break;
+        }
+        let op = ycsb::gen(cfg, &zipf, &mut rng, node);
+        let name = if op.is_read { "read" } else { "update" };
+        let t0 = ew.clock_now();
+        let result = ew.exec(op.is_read, |t| ycsb::execute(t, cfg, &op, i as u64));
+        let dt = ew.clock_now().saturating_sub(t0);
+        if result.is_ok() {
+            committed += 1;
+            let e = per_type
+                .entry(name)
+                .or_insert_with(|| (0, Histogram::new()));
+            e.0 += 1;
+            e.1.record(dt);
+        }
+    }
+    WorkerResult {
+        vtime_ns: ew.clock_now(),
+        committed,
+        aborted: ew.stats().aborted,
+        fallbacks: ew.stats().fallbacks,
+        per_type,
+    }
+}
+
+/// Runs the SmallBank mix.
+pub fn run_smallbank(cfg: &SbCfg, run: &RunCfg) -> Measurement {
+    let (cluster, calvin) = build_smallbank(cfg, run);
+    run_smallbank_on(cfg, run, &cluster, calvin.as_ref())
+}
+
+/// Runs SmallBank against an already built and loaded cluster.
+pub fn run_smallbank_on(
+    cfg: &SbCfg,
+    run: &RunCfg,
+    cluster: &Arc<DrtmCluster>,
+    calvin: Option<&Arc<CalvinEngine>>,
+) -> Measurement {
+    let stop = Arc::new(AtomicBool::new(false));
+    let aux = (run.replicas > 1).then(|| spawn_aux(cluster, &stop));
+
+    let mut handles = Vec::new();
+    for node in 0..cfg.nodes {
+        for tid in 0..run.threads {
+            let cluster = Arc::clone(cluster);
+            let calvin = calvin.map(Arc::clone);
+            let cfg = cfg.clone();
+            let run = run.clone();
+            handles.push(std::thread::spawn(move || {
+                sb_worker(&cfg, &run, cluster, calvin, node, tid)
+            }));
+        }
+    }
+    let results: Vec<WorkerResult> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    stop.store(true, Ordering::Relaxed);
+    if let Some(a) = aux {
+        a.join().unwrap();
+    }
+    aggregate(results)
+}
+
+fn sb_worker(
+    cfg: &SbCfg,
+    run: &RunCfg,
+    cluster: Arc<DrtmCluster>,
+    calvin: Option<Arc<CalvinEngine>>,
+    node: usize,
+    tid: usize,
+) -> WorkerResult {
+    let seed = run.seed ^ ((node as u64) << 40) ^ ((tid as u64) << 20) ^ 0x5B;
+    let mut ew = EngineWorker::new(run.engine, &cluster, calvin.as_ref(), node, seed);
+    let mut rng = SplitMix64::new(seed ^ 0xFACE);
+    let mut per_type: HashMap<&'static str, (u64, Histogram)> = HashMap::new();
+    let mut committed = 0u64;
+
+    for _ in 0..run.txns_per_worker {
+        if !cluster.is_alive(node) {
+            break;
+        }
+        let inp = smallbank::gen(cfg, &mut rng, node);
+        let t0 = ew.clock_now();
+        let result = ew.exec(inp.txn.read_only(), |t| smallbank::execute(t, &inp));
+        let dt = ew.clock_now().saturating_sub(t0);
+        if result.is_ok() {
+            committed += 1;
+            let e = per_type
+                .entry(inp.txn.name())
+                .or_insert_with(|| (0, Histogram::new()));
+            e.0 += 1;
+            e.1.record(dt);
+        }
+    }
+
+    WorkerResult {
+        vtime_ns: ew.clock_now(),
+        committed,
+        aborted: ew.stats().aborted,
+        fallbacks: ew.stats().fallbacks,
+        per_type,
+    }
+}

@@ -1,0 +1,271 @@
+//! One transaction API over every engine under comparison.
+//!
+//! Workload transactions are written once against [`TxnApi`] and run
+//! unchanged on DrTM+R, DrTM, Calvin, and Silo. Shards are routed by the
+//! engines themselves; Silo (single-machine) ignores the shard argument.
+
+use std::sync::Arc;
+
+use drtm_baselines::calvin::{CalvinEngine, CalvinTxn, CalvinWorker};
+use drtm_baselines::drtm2pl::{DrtmCtx, DrtmWorker};
+use drtm_baselines::silo::{SiloCtx, SiloWorker};
+use drtm_core::cluster::DrtmCluster;
+use drtm_core::txn::{TxnError, Worker, WorkerStats};
+use drtm_store::TableId;
+
+/// The uniform transaction interface the workloads are written against.
+pub trait TxnApi {
+    /// Reads the record `key` of `table` homed on `shard`.
+    fn read(&mut self, shard: usize, table: TableId, key: u64) -> Result<Vec<u8>, TxnError>;
+    /// Writes it.
+    fn write(
+        &mut self,
+        shard: usize,
+        table: TableId,
+        key: u64,
+        value: Vec<u8>,
+    ) -> Result<(), TxnError>;
+    /// Buffers an insert.
+    fn insert(&mut self, shard: usize, table: TableId, key: u64, value: Vec<u8>);
+    /// Buffers a delete.
+    fn delete(&mut self, shard: usize, table: TableId, key: u64);
+    /// Scans a local ordered table.
+    fn scan_local(
+        &mut self,
+        table: TableId,
+        lo: u64,
+        hi: u64,
+        limit: usize,
+    ) -> Result<Vec<(u64, Vec<u8>)>, TxnError>;
+    /// Largest key in `[lo, hi]` of a local ordered table.
+    fn last_local(
+        &mut self,
+        table: TableId,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Option<(u64, Vec<u8>)>, TxnError>;
+}
+
+impl TxnApi for drtm_core::txn::TxnCtx<'_> {
+    fn read(&mut self, shard: usize, table: TableId, key: u64) -> Result<Vec<u8>, TxnError> {
+        drtm_core::txn::TxnCtx::read(self, shard, table, key)
+    }
+    fn write(
+        &mut self,
+        shard: usize,
+        table: TableId,
+        key: u64,
+        v: Vec<u8>,
+    ) -> Result<(), TxnError> {
+        drtm_core::txn::TxnCtx::write(self, shard, table, key, v)
+    }
+    fn insert(&mut self, shard: usize, table: TableId, key: u64, v: Vec<u8>) {
+        drtm_core::txn::TxnCtx::insert(self, shard, table, key, v)
+    }
+    fn delete(&mut self, shard: usize, table: TableId, key: u64) {
+        drtm_core::txn::TxnCtx::delete(self, shard, table, key)
+    }
+    fn scan_local(
+        &mut self,
+        table: TableId,
+        lo: u64,
+        hi: u64,
+        limit: usize,
+    ) -> Result<Vec<(u64, Vec<u8>)>, TxnError> {
+        drtm_core::txn::TxnCtx::scan_local(self, table, lo, hi, limit)
+    }
+    fn last_local(
+        &mut self,
+        table: TableId,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Option<(u64, Vec<u8>)>, TxnError> {
+        drtm_core::txn::TxnCtx::last_local(self, table, lo, hi)
+    }
+}
+
+impl TxnApi for DrtmCtx<'_, '_, '_> {
+    fn read(&mut self, shard: usize, table: TableId, key: u64) -> Result<Vec<u8>, TxnError> {
+        DrtmCtx::read(self, shard, table, key)
+    }
+    fn write(
+        &mut self,
+        shard: usize,
+        table: TableId,
+        key: u64,
+        v: Vec<u8>,
+    ) -> Result<(), TxnError> {
+        DrtmCtx::write(self, shard, table, key, v)
+    }
+    fn insert(&mut self, shard: usize, table: TableId, key: u64, v: Vec<u8>) {
+        DrtmCtx::insert(self, shard, table, key, v)
+    }
+    fn delete(&mut self, shard: usize, table: TableId, key: u64) {
+        DrtmCtx::delete(self, shard, table, key)
+    }
+    fn scan_local(
+        &mut self,
+        table: TableId,
+        lo: u64,
+        hi: u64,
+        limit: usize,
+    ) -> Result<Vec<(u64, Vec<u8>)>, TxnError> {
+        DrtmCtx::scan_local(self, table, lo, hi, limit)
+    }
+    fn last_local(
+        &mut self,
+        table: TableId,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Option<(u64, Vec<u8>)>, TxnError> {
+        Ok(DrtmCtx::scan_local(self, table, lo, hi, usize::MAX)?.pop())
+    }
+}
+
+impl TxnApi for CalvinTxn<'_, '_> {
+    fn read(&mut self, shard: usize, table: TableId, key: u64) -> Result<Vec<u8>, TxnError> {
+        CalvinTxn::read(self, shard, table, key)
+    }
+    fn write(
+        &mut self,
+        shard: usize,
+        table: TableId,
+        key: u64,
+        v: Vec<u8>,
+    ) -> Result<(), TxnError> {
+        CalvinTxn::write(self, shard, table, key, v)
+    }
+    fn insert(&mut self, shard: usize, table: TableId, key: u64, v: Vec<u8>) {
+        CalvinTxn::insert(self, shard, table, key, v)
+    }
+    fn delete(&mut self, shard: usize, table: TableId, key: u64) {
+        CalvinTxn::delete(self, shard, table, key)
+    }
+    fn scan_local(
+        &mut self,
+        table: TableId,
+        lo: u64,
+        hi: u64,
+        limit: usize,
+    ) -> Result<Vec<(u64, Vec<u8>)>, TxnError> {
+        CalvinTxn::scan_local(self, table, lo, hi, limit)
+    }
+    fn last_local(
+        &mut self,
+        table: TableId,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Option<(u64, Vec<u8>)>, TxnError> {
+        Ok(CalvinTxn::scan_local(self, table, lo, hi, usize::MAX)?.pop())
+    }
+}
+
+impl TxnApi for SiloCtx<'_> {
+    fn read(&mut self, _shard: usize, table: TableId, key: u64) -> Result<Vec<u8>, TxnError> {
+        SiloCtx::read(self, table, key)
+    }
+    fn write(
+        &mut self,
+        _shard: usize,
+        table: TableId,
+        key: u64,
+        v: Vec<u8>,
+    ) -> Result<(), TxnError> {
+        SiloCtx::write(self, table, key, v)
+    }
+    fn insert(&mut self, _shard: usize, table: TableId, key: u64, v: Vec<u8>) {
+        SiloCtx::insert(self, table, key, v)
+    }
+    fn delete(&mut self, _shard: usize, table: TableId, key: u64) {
+        SiloCtx::delete(self, table, key)
+    }
+    fn scan_local(
+        &mut self,
+        table: TableId,
+        lo: u64,
+        hi: u64,
+        limit: usize,
+    ) -> Result<Vec<(u64, Vec<u8>)>, TxnError> {
+        SiloCtx::scan(self, table, lo, hi, limit)
+    }
+    fn last_local(
+        &mut self,
+        table: TableId,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Option<(u64, Vec<u8>)>, TxnError> {
+        SiloCtx::last(self, table, lo, hi)
+    }
+}
+
+/// A worker of any engine under comparison.
+pub enum EngineWorker {
+    /// DrTM+R (this paper).
+    DrtmR(Worker),
+    /// DrTM (SOSP'15 baseline).
+    Drtm(DrtmWorker),
+    /// Calvin baseline.
+    Calvin(CalvinWorker),
+    /// Silo baseline (single machine).
+    Silo(SiloWorker),
+}
+
+impl EngineWorker {
+    /// Builds a worker of the requested engine on `node`.
+    pub fn new(
+        kind: crate::driver::EngineKind,
+        cluster: &Arc<DrtmCluster>,
+        calvin: Option<&Arc<CalvinEngine>>,
+        node: usize,
+        seed: u64,
+    ) -> Self {
+        use crate::driver::EngineKind::*;
+        match kind {
+            DrtmR => Self::DrtmR(cluster.worker(node, seed)),
+            Drtm => Self::Drtm(DrtmWorker::new(Arc::clone(cluster), node, seed)),
+            Calvin => Self::Calvin(calvin.expect("calvin engine").worker(node, seed)),
+            Silo => Self::Silo(SiloWorker::new(Arc::clone(cluster), seed)),
+        }
+    }
+
+    /// Executes one transaction to commit. `ro` marks read-only bodies
+    /// (only DrTM+R has a distinct read-only protocol, §4.5).
+    pub fn exec<R>(
+        &mut self,
+        ro: bool,
+        mut body: impl FnMut(&mut dyn TxnApi) -> Result<R, TxnError>,
+    ) -> Result<R, TxnError> {
+        match self {
+            EngineWorker::DrtmR(w) => {
+                if ro {
+                    w.run_ro(|t| body(t))
+                } else {
+                    w.run(|t| body(t))
+                }
+            }
+            EngineWorker::Drtm(w) => w.run(|t| body(t)),
+            EngineWorker::Calvin(w) => w.run(|t| body(t)),
+            EngineWorker::Silo(w) => w.run(|t| body(t)),
+        }
+    }
+
+    /// The worker's current virtual time.
+    pub fn clock_now(&self) -> u64 {
+        match self {
+            EngineWorker::DrtmR(w) => w.clock.now(),
+            EngineWorker::Drtm(w) => w.clock.now(),
+            EngineWorker::Calvin(w) => w.clock.now(),
+            EngineWorker::Silo(w) => w.clock.now(),
+        }
+    }
+
+    /// The worker's statistics.
+    pub fn stats(&self) -> &WorkerStats {
+        match self {
+            EngineWorker::DrtmR(w) => &w.stats,
+            EngineWorker::Drtm(w) => &w.stats,
+            EngineWorker::Calvin(w) => &w.stats,
+            EngineWorker::Silo(w) => &w.stats,
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! The paper's evaluation workloads: TPC-C and SmallBank (§7.1).
+//!
+//! * [`engine`] — a uniform transaction API ([`engine::TxnApi`]) over
+//!   DrTM+R and the three baselines, so one implementation of each
+//!   workload transaction runs on every engine the paper compares.
+//! * [`tpcc`] — TPC-C: nine tables, the five transaction types, the
+//!   standard mix (45 % new-order), warehouse partitioning, and the
+//!   cross-warehouse knobs the paper sweeps (Figures 10–12 and 17–19).
+//! * [`smallbank`] — SmallBank: six transaction types over skewed
+//!   accounts with a distributed-transaction probability knob
+//!   (Figures 13–16).
+//! * [`ycsb`] — YCSB A/B/C/F mixes with zipfian skew (not in the paper;
+//!   the standard neutral-ground comparison for KV stores).
+//! * [`driver`] — the multi-threaded measurement harness: per-worker
+//!   virtual clocks, per-transaction-type latency histograms, auxiliary
+//!   log-truncation threads, and throughput aggregation
+//!   (`Σ committed_w / vtime_w`, independent of host scheduling).
+//! * [`audit`] — consistency checkers (TPC-C's W_YTD = Σ D_YTD audit,
+//!   SmallBank balance conservation) used by the integration tests.
+
+pub mod audit;
+pub mod driver;
+pub mod engine;
+pub mod smallbank;
+pub mod tpcc;
+pub mod ycsb;
+
+pub use driver::{EngineKind, Measurement, RunCfg};
+pub use engine::{EngineWorker, TxnApi};
+
+#[cfg(test)]
+mod tests;

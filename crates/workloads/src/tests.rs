@@ -1,0 +1,211 @@
+//! Workload smoke tests: every engine runs both workloads correctly.
+
+use crate::audit;
+use crate::driver::{run_smallbank, run_tpcc, EngineKind, RunCfg};
+use crate::smallbank::SbCfg;
+use crate::tpcc::TpccCfg;
+
+fn quick_tpcc(nodes: usize) -> TpccCfg {
+    TpccCfg {
+        nodes,
+        warehouses_per_node: 1,
+        customers: 32,
+        items: 64,
+        init_orders: 6,
+        history_buckets: 1 << 12,
+        ..Default::default()
+    }
+}
+
+fn quick_run(engine: EngineKind, threads: usize, txns: usize) -> RunCfg {
+    RunCfg {
+        engine,
+        threads,
+        txns_per_worker: txns,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn tpcc_on_drtm_r_passes_audit() {
+    let cfg = quick_tpcc(2);
+    let run = quick_run(EngineKind::DrtmR, 2, 60);
+    let (cluster, _) = crate::driver::build_tpcc(&cfg, &run);
+    let m = crate::driver::run_tpcc_on(&cfg, &run, &cluster, None);
+    assert!(m.committed > 0);
+    assert!(m.throughput > 0.0);
+    assert!(
+        m.per_type.contains_key("new-order"),
+        "mix must include new-orders"
+    );
+    let violations = audit::tpcc_audit(&cluster, &cfg);
+    assert!(violations.is_empty(), "audit failed: {violations:?}");
+}
+
+#[test]
+fn tpcc_on_drtm_r_with_replication_passes_audit() {
+    let cfg = quick_tpcc(3);
+    let run = RunCfg {
+        replicas: 3,
+        ..quick_run(EngineKind::DrtmR, 1, 40)
+    };
+    let (cluster, _) = crate::driver::build_tpcc(&cfg, &run);
+    let m = crate::driver::run_tpcc_on(&cfg, &run, &cluster, None);
+    assert!(m.committed > 0);
+    let violations = audit::tpcc_audit(&cluster, &cfg);
+    assert!(violations.is_empty(), "audit failed: {violations:?}");
+}
+
+#[test]
+fn tpcc_on_drtm_baseline_passes_audit() {
+    let cfg = quick_tpcc(2);
+    let run = quick_run(EngineKind::Drtm, 1, 40);
+    let (cluster, _) = crate::driver::build_tpcc(&cfg, &run);
+    let m = crate::driver::run_tpcc_on(&cfg, &run, &cluster, None);
+    assert!(m.committed > 0);
+    let violations = audit::tpcc_audit(&cluster, &cfg);
+    assert!(violations.is_empty(), "audit failed: {violations:?}");
+}
+
+#[test]
+fn tpcc_on_calvin_passes_audit() {
+    let cfg = quick_tpcc(2);
+    let run = quick_run(EngineKind::Calvin, 1, 30);
+    let (cluster, calvin) = crate::driver::build_tpcc(&cfg, &run);
+    let m = crate::driver::run_tpcc_on(&cfg, &run, &cluster, calvin.as_ref());
+    assert!(m.committed > 0);
+    let violations = audit::tpcc_audit(&cluster, &cfg);
+    assert!(violations.is_empty(), "audit failed: {violations:?}");
+}
+
+#[test]
+fn tpcc_on_silo_passes_audit() {
+    let cfg = quick_tpcc(1);
+    let run = quick_run(EngineKind::Silo, 2, 50);
+    let (cluster, _) = crate::driver::build_tpcc(&cfg, &run);
+    let m = crate::driver::run_tpcc_on(&cfg, &run, &cluster, None);
+    assert!(m.committed > 0);
+    let violations = audit::tpcc_audit(&cluster, &cfg);
+    assert!(violations.is_empty(), "audit failed: {violations:?}");
+}
+
+#[test]
+fn smallbank_runs_on_all_distributed_engines() {
+    let cfg = SbCfg {
+        nodes: 2,
+        accounts: 500,
+        cross_prob: 0.2,
+        ..Default::default()
+    };
+    for engine in [EngineKind::DrtmR, EngineKind::Drtm, EngineKind::Calvin] {
+        let m = run_smallbank(&cfg, &quick_run(engine, 1, 50));
+        assert!(m.committed > 0, "{engine:?} committed nothing");
+    }
+}
+
+#[test]
+fn smallbank_money_is_conserved_under_conserving_mix() {
+    // Only send-payment conserves; force it by generating SP inputs
+    // directly through the worker API.
+    use crate::smallbank::{self, SbInput, SbTxn};
+    use std::sync::Arc;
+    let cfg = SbCfg {
+        nodes: 2,
+        accounts: 200,
+        cross_prob: 0.3,
+        ..Default::default()
+    };
+    let run = quick_run(EngineKind::DrtmR, 1, 0);
+    let (cluster, _) = crate::driver::build_smallbank(&cfg, &run);
+    let initial = audit::smallbank_total(&cluster, &cfg);
+    assert_eq!(initial, smallbank::initial_total(&cfg));
+
+    let mut handles = Vec::new();
+    for node in 0..2 {
+        let cluster = Arc::clone(&cluster);
+        let cfg = cfg.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut w = cluster.worker(node, node as u64 + 77);
+            let mut rng = drtm_base::SplitMix64::new(node as u64);
+            for _ in 0..100 {
+                let a = (node, cfg.pick_account(&mut rng, node));
+                let second = cfg.pick_second_shard(&mut rng, node);
+                let b = (second, cfg.pick_account(&mut rng, second));
+                if b == a {
+                    continue;
+                }
+                if b.0 == a.0 && b.1 == a.1 {
+                    continue;
+                }
+                let inp = SbInput {
+                    txn: SbTxn::SendPayment,
+                    a,
+                    b,
+                    amount: rng.range(1, 50),
+                };
+                let _ = w.run(|t| smallbank::execute(t, &inp));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        audit::smallbank_total(&cluster, &cfg),
+        initial,
+        "money leaked"
+    );
+}
+
+#[test]
+fn tpcc_throughput_scales_with_machines() {
+    // Weak-scaling sanity: 2 machines should deliver clearly more than
+    // 1.2x one machine's virtual throughput at 1% cross-warehouse.
+    let one = run_tpcc(&quick_tpcc(1), &quick_run(EngineKind::DrtmR, 2, 60));
+    let two = run_tpcc(&quick_tpcc(2), &quick_run(EngineKind::DrtmR, 2, 60));
+    assert!(
+        two.throughput > one.throughput * 1.2,
+        "no scaling: {} vs {}",
+        one.throughput,
+        two.throughput
+    );
+}
+
+#[test]
+fn replication_costs_throughput_but_not_everything() {
+    let cfg = quick_tpcc(3);
+    let plain = run_tpcc(&cfg, &quick_run(EngineKind::DrtmR, 1, 50));
+    let repl = run_tpcc(
+        &cfg,
+        &RunCfg {
+            replicas: 3,
+            ..quick_run(EngineKind::DrtmR, 1, 50)
+        },
+    );
+    assert!(
+        repl.throughput < plain.throughput,
+        "replication must cost something"
+    );
+    // The quick profile's tiny transactions exaggerate the replication
+    // overhead relative to the paper's 41% ceiling; just bound it away
+    // from zero.
+    assert!(
+        repl.throughput > plain.throughput * 0.10,
+        "replication overhead implausibly high: {} vs {}",
+        plain.throughput,
+        repl.throughput
+    );
+}
+
+#[test]
+fn calvin_is_order_of_magnitude_slower() {
+    let cfg = quick_tpcc(2);
+    let d = run_tpcc(&cfg, &quick_run(EngineKind::DrtmR, 1, 40));
+    let c = run_tpcc(&cfg, &quick_run(EngineKind::Calvin, 1, 40));
+    assert!(
+        d.throughput > 5.0 * c.throughput,
+        "DrTM+R {} vs Calvin {}",
+        d.throughput,
+        c.throughput
+    );
+}

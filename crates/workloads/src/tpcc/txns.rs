@@ -1,0 +1,429 @@
+//! The five TPC-C transactions, written once against [`TxnApi`].
+//!
+//! Inputs are generated *before* execution (engines may run a body
+//! several times — OCC retries, oracle passes — so bodies must be
+//! deterministic functions of their input).
+
+use drtm_base::SplitMix64;
+use drtm_core::txn::TxnError;
+
+use crate::engine::TxnApi;
+use crate::tpcc::*;
+
+/// The standard-mix transaction types with their Table 5 percentages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxnType {
+    /// 45 %, read-write, distributed (1 % cross-warehouse items).
+    NewOrder,
+    /// 43 %, read-write, distributed (15 % remote customer).
+    Payment,
+    /// 4 %, read-write, local.
+    Delivery,
+    /// 4 %, read-only, local.
+    OrderStatus,
+    /// 4 %, read-only, local.
+    StockLevel,
+}
+
+impl TxnType {
+    /// Draws a type according to the standard mix.
+    pub fn pick(rng: &mut SplitMix64) -> Self {
+        match rng.below(100) {
+            0..=44 => TxnType::NewOrder,
+            45..=87 => TxnType::Payment,
+            88..=91 => TxnType::Delivery,
+            92..=95 => TxnType::OrderStatus,
+            _ => TxnType::StockLevel,
+        }
+    }
+
+    /// Whether the type is read-only (runs under §4.5's protocol).
+    pub fn read_only(self) -> bool {
+        matches!(self, TxnType::OrderStatus | TxnType::StockLevel)
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TxnType::NewOrder => "new-order",
+            TxnType::Payment => "payment",
+            TxnType::Delivery => "delivery",
+            TxnType::OrderStatus => "order-status",
+            TxnType::StockLevel => "stock-level",
+        }
+    }
+
+    /// All five types, mix order.
+    pub const ALL: [TxnType; 5] = [
+        TxnType::NewOrder,
+        TxnType::Payment,
+        TxnType::Delivery,
+        TxnType::OrderStatus,
+        TxnType::StockLevel,
+    ];
+}
+
+/// TPC-C's non-uniform random distribution.
+pub fn nurand(rng: &mut SplitMix64, a: u64, x: u64, y: u64) -> u64 {
+    const C: u64 = 42;
+    (((rng.below(a + 1) | rng.range(x, y)) + C) % (y - x + 1)) + x
+}
+
+/// Input of one new-order transaction.
+#[derive(Debug, Clone)]
+pub struct NewOrderInput {
+    /// Home warehouse.
+    pub w: u64,
+    /// District.
+    pub d: u64,
+    /// Customer.
+    pub c: u64,
+    /// 1 % of new-orders roll back (invalid item).
+    pub rollback: bool,
+    /// `(item, supply warehouse, quantity)` per line.
+    pub lines: Vec<(u64, u64, u64)>,
+}
+
+/// Generates a new-order input for a worker homed on warehouse `home_w`.
+///
+/// `cross_prob` overrides the config's cross-warehouse probability (the
+/// Figure 17 sweep varies it from 1 % to 100 %).
+pub fn gen_new_order(
+    cfg: &TpccCfg,
+    rng: &mut SplitMix64,
+    home_w: u64,
+    cross_prob: f64,
+) -> NewOrderInput {
+    let d = rng.below(cfg.districts as u64);
+    let c = nurand(rng, 1023, 0, cfg.customers as u64 - 1);
+    let n = rng.range(5, 15);
+    let lines = (0..n)
+        .map(|_| {
+            let i = nurand(rng, 8191, 0, cfg.items as u64 - 1);
+            let supply_w = if cfg.warehouses() > 1 && rng.chance(cross_prob) {
+                let mut o = rng.below(cfg.warehouses() as u64 - 1);
+                if o >= home_w {
+                    o += 1;
+                }
+                o
+            } else {
+                home_w
+            };
+            (i, supply_w, rng.range(1, 10))
+        })
+        .collect();
+    NewOrderInput {
+        w: home_w,
+        d,
+        c,
+        rollback: rng.chance(0.01),
+        lines,
+    }
+}
+
+/// Executes a new-order transaction.
+pub fn new_order(
+    t: &mut dyn TxnApi,
+    cfg: &TpccCfg,
+    inp: &NewOrderInput,
+    ts: u64,
+) -> Result<(), TxnError> {
+    let (w, d) = (inp.w, inp.d);
+    let shard = cfg.shard_of(w);
+    let wv = t.read(shard, T_WAREHOUSE, w)?;
+    let _w_tax = slot(&wv, 1);
+    let dk = dkey(w, d);
+    let mut dv = t.read(shard, T_DISTRICT, dk)?;
+    let o = slot(&dv, 2);
+    set_slot(&mut dv, 2, o + 1);
+    t.write(shard, T_DISTRICT, dk, dv)?;
+    let cv = t.read(shard, T_CUSTOMER, ckey(w, d, inp.c))?;
+    let discount_bp = slot(&cv, 4);
+
+    if inp.rollback {
+        // Spec: an unused item id forces a rollback after the reads.
+        return Err(TxnError::UserAbort);
+    }
+
+    t.insert(
+        shard,
+        T_ORDER,
+        okey(w, d, o),
+        value(32, &[inp.c, inp.lines.len() as u64, 0, ts]),
+    );
+    t.insert(shard, T_NEW_ORDER, okey(w, d, o), value(8, &[o]));
+    t.insert(shard, T_ORDER_CIDX, cidxkey(w, d, inp.c, o), value(8, &[o]));
+
+    let mut total = 0u64;
+    for (idx, &(i, supply_w, qty)) in inp.lines.iter().enumerate() {
+        let iv = t.read(shard, T_ITEM, ikey(shard, i))?;
+        let price = slot(&iv, 0);
+        let s_shard = cfg.shard_of(supply_w);
+        let sk = skey(supply_w, i);
+        let mut sv = t.read(s_shard, T_STOCK, sk)?;
+        let q = slot(&sv, 0);
+        set_slot(
+            &mut sv,
+            0,
+            if q >= qty + 10 { q - qty } else { q + 91 - qty },
+        );
+        let ns = slot(&sv, 1) + qty;
+        set_slot(&mut sv, 1, ns);
+        let ns = slot(&sv, 2) + 1;
+        set_slot(&mut sv, 2, ns);
+        if supply_w != w {
+            let ns = slot(&sv, 3) + 1;
+            set_slot(&mut sv, 3, ns);
+        }
+        t.write(s_shard, T_STOCK, sk, sv)?;
+        let amount = qty * price;
+        total += amount;
+        t.insert(
+            shard,
+            T_ORDER_LINE,
+            olkey(w, d, o, idx as u64),
+            value(48, &[i, supply_w, qty, amount, 0]),
+        );
+    }
+    let _ = total * (10_000 - discount_bp);
+    Ok(())
+}
+
+/// How a transaction selects its customer (spec §2.5.1.2 / §2.6.1.2:
+/// 60 % by last name, 40 % by id).
+#[derive(Debug, Clone, Copy)]
+pub enum CustomerBy {
+    /// Direct customer id.
+    Id(u64),
+    /// Last-name id; the transaction resolves it through the local
+    /// `T_CUST_NAME` index and picks the middle match.
+    LastName(u64),
+}
+
+/// Input of one payment transaction.
+#[derive(Debug, Clone)]
+pub struct PaymentInput {
+    /// Home warehouse and district.
+    pub w: u64,
+    /// District.
+    pub d: u64,
+    /// Customer's warehouse (15 % remote), district, and id.
+    pub cw: u64,
+    /// Customer district.
+    pub cd: u64,
+    /// Customer selector. Remote customers are always selected by id
+    /// (the last-name index is an ordered, local-only table).
+    pub c: CustomerBy,
+    /// Amount in cents.
+    pub amount: u64,
+    /// Unique history key.
+    pub hist_key: u64,
+}
+
+/// Resolves a customer selector against the local last-name index,
+/// returning the customer id (the spec's "middle row, ordered by first
+/// name" becomes the middle match by id).
+pub fn resolve_customer(
+    t: &mut dyn TxnApi,
+    w: u64,
+    d: u64,
+    by: CustomerBy,
+) -> Result<u64, TxnError> {
+    match by {
+        CustomerBy::Id(c) => Ok(c),
+        CustomerBy::LastName(l) => {
+            let hits = t.scan_local(
+                T_CUST_NAME,
+                nkey(w, d, l, 0),
+                nkey(w, d, l, 4095),
+                usize::MAX,
+            )?;
+            if hits.is_empty() {
+                return Err(TxnError::NotFound);
+            }
+            Ok(slot(&hits[hits.len() / 2].1, 0))
+        }
+    }
+}
+
+/// Generates a payment input.
+pub fn gen_payment(
+    cfg: &TpccCfg,
+    rng: &mut SplitMix64,
+    home_w: u64,
+    hist_key: u64,
+) -> PaymentInput {
+    let d = rng.below(cfg.districts as u64);
+    let (cw, cd) = if cfg.warehouses() > 1 && rng.chance(cfg.cross_payment) {
+        let mut o = rng.below(cfg.warehouses() as u64 - 1);
+        if o >= home_w {
+            o += 1;
+        }
+        (o, rng.below(cfg.districts as u64))
+    } else {
+        (home_w, d)
+    };
+    // 60 % select the customer by last name (only possible locally —
+    // the name index is an ordered, local-only table).
+    let c = if cw == home_w && rng.chance(0.6) {
+        CustomerBy::LastName(lastname_id(nurand(rng, 255, 0, cfg.customers as u64 - 1)))
+    } else {
+        CustomerBy::Id(nurand(rng, 1023, 0, cfg.customers as u64 - 1))
+    };
+    PaymentInput {
+        w: home_w,
+        d,
+        cw,
+        cd,
+        c,
+        amount: rng.range(100, 500_000),
+        hist_key,
+    }
+}
+
+/// Executes a payment transaction.
+pub fn payment(t: &mut dyn TxnApi, cfg: &TpccCfg, inp: &PaymentInput) -> Result<(), TxnError> {
+    let shard = cfg.shard_of(inp.w);
+    let mut wv = t.read(shard, T_WAREHOUSE, inp.w)?;
+    let ns = slot(&wv, 0) + inp.amount;
+    set_slot(&mut wv, 0, ns);
+    t.write(shard, T_WAREHOUSE, inp.w, wv)?;
+
+    let dk = dkey(inp.w, inp.d);
+    let mut dv = t.read(shard, T_DISTRICT, dk)?;
+    let ns = slot(&dv, 0) + inp.amount;
+    set_slot(&mut dv, 0, ns);
+    t.write(shard, T_DISTRICT, dk, dv)?;
+
+    let c_shard = cfg.shard_of(inp.cw);
+    let c = if inp.cw == inp.w {
+        resolve_customer(t, inp.cw, inp.cd, inp.c)?
+    } else {
+        match inp.c {
+            CustomerBy::Id(c) => c,
+            CustomerBy::LastName(_) => unreachable!("remote customers are selected by id"),
+        }
+    };
+    let ck = ckey(inp.cw, inp.cd, c);
+    let mut cv = t.read(c_shard, T_CUSTOMER, ck)?;
+    let bal = slot(&cv, 0) as i64 - inp.amount as i64;
+    set_slot(&mut cv, 0, bal as u64);
+    let ns = slot(&cv, 1) + inp.amount;
+    set_slot(&mut cv, 1, ns);
+    let ns = slot(&cv, 2) + 1;
+    set_slot(&mut cv, 2, ns);
+    t.write(c_shard, T_CUSTOMER, ck, cv)?;
+
+    t.insert(
+        shard,
+        T_HISTORY,
+        inp.hist_key,
+        value(48, &[inp.amount, inp.w, dk, ck]),
+    );
+    Ok(())
+}
+
+/// Executes a delivery transaction for warehouse `w` (all districts).
+pub fn delivery(
+    t: &mut dyn TxnApi,
+    cfg: &TpccCfg,
+    w: u64,
+    carrier: u64,
+    ts: u64,
+) -> Result<(), TxnError> {
+    let shard = cfg.shard_of(w);
+    for d in 0..cfg.districts as u64 {
+        // Oldest undelivered order in this district.
+        let lo = okey(w, d, 0);
+        let hi = okey(w, d, (1 << 24) - 1);
+        let Some((no_key, nov)) = t.scan_local(T_NEW_ORDER, lo, hi, 1)?.into_iter().next() else {
+            continue;
+        };
+        let o = slot(&nov, 0);
+        t.delete(shard, T_NEW_ORDER, no_key);
+
+        let ok = okey(w, d, o);
+        let mut ov = t.read(shard, T_ORDER, ok)?;
+        let c = slot(&ov, 0);
+        let ol_cnt = slot(&ov, 1);
+        set_slot(&mut ov, 2, carrier);
+        t.write(shard, T_ORDER, ok, ov)?;
+
+        let mut sum = 0u64;
+        for ol in 0..ol_cnt {
+            let olk = olkey(w, d, o, ol);
+            let mut olv = t.read(shard, T_ORDER_LINE, olk)?;
+            sum += slot(&olv, 3);
+            set_slot(&mut olv, 4, ts);
+            t.write(shard, T_ORDER_LINE, olk, olv)?;
+        }
+
+        let ck = ckey(w, d, c);
+        let mut cv = t.read(shard, T_CUSTOMER, ck)?;
+        let nb = (slot(&cv, 0) as i64 + sum as i64) as u64;
+        set_slot(&mut cv, 0, nb);
+        let ns = slot(&cv, 3) + 1;
+        set_slot(&mut cv, 3, ns);
+        t.write(shard, T_CUSTOMER, ck, cv)?;
+    }
+    Ok(())
+}
+
+/// Executes an order-status transaction (read-only).
+pub fn order_status(
+    t: &mut dyn TxnApi,
+    cfg: &TpccCfg,
+    w: u64,
+    d: u64,
+    by: CustomerBy,
+) -> Result<(), TxnError> {
+    let shard = cfg.shard_of(w);
+    let c = resolve_customer(t, w, d, by)?;
+    let cv = t.read(shard, T_CUSTOMER, ckey(w, d, c))?;
+    let _balance = slot(&cv, 0) as i64;
+    let lo = cidxkey(w, d, c, 0);
+    let hi = cidxkey(w, d, c, (1 << 24) - 1);
+    let Some((_, idx)) = t.last_local(T_ORDER_CIDX, lo, hi)? else {
+        return Ok(()); // Customer has no orders yet.
+    };
+    let o = slot(&idx, 0);
+    let ov = t.read(shard, T_ORDER, okey(w, d, o))?;
+    let ol_cnt = slot(&ov, 1);
+    for ol in 0..ol_cnt {
+        let _ = t.read(shard, T_ORDER_LINE, olkey(w, d, o, ol))?;
+    }
+    Ok(())
+}
+
+/// Executes a stock-level transaction (read-only; large read set).
+pub fn stock_level(
+    t: &mut dyn TxnApi,
+    cfg: &TpccCfg,
+    w: u64,
+    d: u64,
+    threshold: u64,
+) -> Result<usize, TxnError> {
+    let shard = cfg.shard_of(w);
+    let dv = t.read(shard, T_DISTRICT, dkey(w, d))?;
+    let next_o = slot(&dv, 2);
+    let mut items = std::collections::HashSet::new();
+    for o in next_o.saturating_sub(20)..next_o {
+        let lines = t.scan_local(
+            T_ORDER_LINE,
+            olkey(w, d, o, 0),
+            olkey(w, d, o, 15),
+            usize::MAX,
+        )?;
+        for (_, olv) in lines {
+            items.insert(slot(&olv, 0));
+        }
+    }
+    let mut low = 0;
+    for &i in &items {
+        let sv = t.read(shard, T_STOCK, skey(w, i))?;
+        if slot(&sv, 0) < threshold {
+            low += 1;
+        }
+    }
+    Ok(low)
+}

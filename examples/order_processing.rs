@@ -1,0 +1,72 @@
+//! An order-entry application on the public workload API: loads a small
+//! TPC-C database on 2 machines, runs a burst of the standard mix, and
+//! prints per-transaction-type results plus the consistency audit.
+//!
+//! Run with `cargo run --example order_processing`.
+
+use drtm::workloads::audit::tpcc_audit;
+use drtm::workloads::driver::{build_tpcc, run_tpcc_on, EngineKind, RunCfg};
+use drtm::workloads::tpcc::TpccCfg;
+
+fn main() {
+    let cfg = TpccCfg {
+        nodes: 2,
+        warehouses_per_node: 2,
+        customers: 64,
+        items: 128,
+        init_orders: 8,
+        history_buckets: 1 << 13,
+        ..Default::default()
+    };
+    let run = RunCfg {
+        engine: EngineKind::DrtmR,
+        threads: 2,
+        replicas: 1,
+        txns_per_worker: 150,
+        ..Default::default()
+    };
+
+    println!(
+        "loading TPC-C: {} machines x {} warehouses, {} customers/district ...",
+        cfg.nodes, cfg.warehouses_per_node, cfg.customers
+    );
+    let (cluster, _) = build_tpcc(&cfg, &run);
+    let m = run_tpcc_on(&cfg, &run, &cluster, None);
+
+    println!(
+        "committed {} transactions ({} aborted attempts)",
+        m.committed, m.aborted
+    );
+    println!(
+        "standard-mix throughput: {:.0} txns/sec (virtual time)",
+        m.throughput
+    );
+    println!(
+        "{:<14} {:>8} {:>12} {:>12}",
+        "type", "count", "tps", "mean us"
+    );
+    for name in [
+        "new-order",
+        "payment",
+        "delivery",
+        "order-status",
+        "stock-level",
+    ] {
+        if let Some(t) = m.per_type.get(name) {
+            println!(
+                "{:<14} {:>8} {:>12.0} {:>12.1}",
+                name, t.count, t.tps, t.mean_us
+            );
+        }
+    }
+
+    let violations = tpcc_audit(&cluster, &cfg);
+    if violations.is_empty() {
+        println!("consistency audit: OK (W_YTD = Σ D_YTD, dense order ids, NEW_ORDER ⊆ ORDER)");
+    } else {
+        for v in &violations {
+            eprintln!("violation: {}", v.0);
+        }
+        std::process::exit(1);
+    }
+}

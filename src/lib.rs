@@ -1,0 +1,44 @@
+//! DrTM+R — fast and general distributed transactions using (simulated)
+//! RDMA and HTM.
+//!
+//! This is the facade crate: it re-exports the public API of every
+//! subsystem so applications can depend on a single crate. See the
+//! repository `README.md` for a tour and `DESIGN.md` for the mapping from
+//! the EuroSys'16 paper to modules.
+//!
+//! # Examples
+//!
+//! ```
+//! use drtm::core::cluster::{DrtmCluster, EngineOpts};
+//! use drtm::store::TableSpec;
+//!
+//! // A 2-machine cluster with one hash table of 16-byte values.
+//! let cluster = DrtmCluster::new(
+//!     2,
+//!     &[TableSpec::hash(0, 256, 16)],
+//!     EngineOpts { region_size: 1 << 20, ..Default::default() },
+//! );
+//! cluster.seed_record(0, 0, 1, &[7u8; 16]);
+//! cluster.seed_record(1, 0, 2, &[9u8; 16]);
+//!
+//! // A distributed read-write transaction from machine 0.
+//! let mut worker = cluster.worker(0, 42);
+//! worker
+//!     .run(|t| {
+//!         let local = t.read(0, 0, 1)?; // HTM-protected local read.
+//!         t.write(1, 0, 2, local) // One-sided RDMA at commit.
+//!     })
+//!     .unwrap();
+//!
+//! let v = worker.run_ro(|t| t.read(1, 0, 2)).unwrap();
+//! assert_eq!(v, vec![7u8; 16]);
+//! ```
+
+pub use drtm_base as base;
+pub use drtm_baselines as baselines;
+pub use drtm_cluster as cluster;
+pub use drtm_core as core;
+pub use drtm_htm as htm;
+pub use drtm_rdma as rdma;
+pub use drtm_store as store;
+pub use drtm_workloads as workloads;

@@ -1,0 +1,179 @@
+//! Chaos testing: randomized operations interleaved with machine
+//! crashes and recoveries, checked against a sequential model.
+
+use std::sync::Arc;
+
+use drtm::base::SplitMix64;
+use drtm::core::cluster::{DrtmCluster, EngineOpts};
+use drtm::core::recovery::recover_node;
+use drtm::core::txn::TxnError;
+use drtm::store::TableSpec;
+
+const T: u32 = 0;
+const NODES: usize = 4;
+const KEYS: u64 = 10;
+
+fn val(x: u64) -> Vec<u8> {
+    let mut v = vec![0u8; 16];
+    v[..8].copy_from_slice(&x.to_le_bytes());
+    v
+}
+
+fn num(v: &[u8]) -> u64 {
+    u64::from_le_bytes(v[..8].try_into().unwrap())
+}
+
+fn key(shard: usize, k: u64) -> u64 {
+    (shard as u64) << 32 | k
+}
+
+/// Single-driver chaos: one worker performs random writes while random
+/// machines crash and recover; every committed write must be readable
+/// afterwards with exactly the committed value, in crash order.
+#[test]
+fn crashes_never_lose_committed_writes() {
+    for seed in 0..4u64 {
+        let opts = EngineOpts {
+            replicas: 3,
+            region_size: 4 << 20,
+            ..Default::default()
+        };
+        let c = DrtmCluster::new(NODES, &[TableSpec::hash(T, 4096, 16)], opts);
+        let mut model = std::collections::HashMap::new();
+        for shard in 0..NODES {
+            for k in 0..KEYS {
+                c.seed_record(shard, T, key(shard, k), &val(1));
+                model.insert((shard, k), 1u64);
+            }
+        }
+
+        // The driver always runs on machine 0; machines 1..N-1 may die.
+        // (At most one crash per run keeps >= replicas-1 backups alive.)
+        let mut w = c.worker(0, seed + 100);
+        let mut rng = SplitMix64::new(seed);
+        let mut crashed = false;
+        for step in 0..120u64 {
+            if !crashed && step == 40 + seed * 7 {
+                let victim = 1 + (seed as usize % (NODES - 1));
+                c.crash(victim);
+                let report = recover_node(&c, victim);
+                assert!(report.new_home.is_some());
+                crashed = true;
+                continue;
+            }
+            let shard = rng.below(NODES as u64) as usize;
+            let k = rng.below(KEYS);
+            let r = w.run(|t| {
+                let v = num(&t.read(shard, T, key(shard, k))?);
+                t.write(shard, T, key(shard, k), val(v + step))
+            });
+            if r.is_ok() {
+                *model.get_mut(&(shard, k)).unwrap() += step;
+            }
+        }
+
+        // Audit every key against the model.
+        let mut auditor = c.worker(0, 999);
+        for (&(shard, k), &want) in &model {
+            let got = auditor
+                .run_ro(|t| t.read(shard, T, key(shard, k)))
+                .unwrap_or_else(|e| panic!("seed {seed}: {shard}/{k} unreadable: {e:?}"));
+            assert_eq!(num(&got), want, "seed {seed}: {shard}/{k}");
+        }
+    }
+}
+
+/// Concurrent chaos: workers on every machine hammer zero-sum transfers
+/// while a machine dies mid-run; the money supply must be conserved and
+/// every surviving worker must make progress after recovery.
+#[test]
+fn concurrent_crash_conserves_and_progresses() {
+    let opts = EngineOpts {
+        replicas: 3,
+        region_size: 4 << 20,
+        ..Default::default()
+    };
+    let c = DrtmCluster::new(NODES, &[TableSpec::hash(T, 4096, 16)], opts);
+    for shard in 0..NODES {
+        for k in 0..KEYS {
+            c.seed_record(shard, T, key(shard, k), &val(100));
+        }
+    }
+
+    let barrier = Arc::new(std::sync::Barrier::new(NODES)); // Workers on survivors.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let post_recovery_commits = Arc::new(drtm::base::Counter::new());
+    let recovered = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    let mut handles = Vec::new();
+    for node in [0usize, 1, 2] {
+        let c = Arc::clone(&c);
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        let post = Arc::clone(&post_recovery_commits);
+        let recovered = Arc::clone(&recovered);
+        handles.push(std::thread::spawn(move || {
+            let mut w = c.worker(node, node as u64 + 50);
+            let mut rng = SplitMix64::new(node as u64 * 11 + 1);
+            barrier.wait();
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let (s1, k1) = (rng.below(NODES as u64) as usize, rng.below(KEYS));
+                let (s2, k2) = (rng.below(NODES as u64) as usize, rng.below(KEYS));
+                if (s1, k1) == (s2, k2) {
+                    continue;
+                }
+                let r = w.run(|t| {
+                    let a = num(&t.read(s1, T, key(s1, k1))?);
+                    let b = num(&t.read(s2, T, key(s2, k2))?);
+                    if a < 5 {
+                        return Err(TxnError::UserAbort);
+                    }
+                    t.write(s1, T, key(s1, k1), val(a - 5))?;
+                    t.write(s2, T, key(s2, k2), val(b + 5))
+                });
+                if r.is_ok() && recovered.load(std::sync::atomic::Ordering::Relaxed) {
+                    post.inc();
+                }
+            }
+        }));
+    }
+
+    // Crash machine 3 mid-run (no worker of ours runs there).
+    let crash_driver = {
+        let c = Arc::clone(&c);
+        let barrier = Arc::clone(&barrier);
+        let recovered = Arc::clone(&recovered);
+        std::thread::spawn(move || {
+            barrier.wait();
+            std::thread::sleep(std::time::Duration::from_millis(25));
+            c.crash(3);
+            let report = recover_node(&c, 3);
+            assert!(report.new_home.is_some());
+            recovered.store(true, std::sync::atomic::Ordering::Relaxed);
+        })
+    };
+
+    std::thread::sleep(std::time::Duration::from_millis(120));
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    crash_driver.join().unwrap();
+
+    assert!(
+        post_recovery_commits.get() > 0,
+        "workers must keep committing after recovery"
+    );
+    let mut auditor = c.worker(0, 999);
+    let mut total = 0u64;
+    for shard in 0..NODES {
+        for k in 0..KEYS {
+            total += num(&auditor.run_ro(|t| t.read(shard, T, key(shard, k))).unwrap());
+        }
+    }
+    assert_eq!(
+        total,
+        (NODES as u64) * KEYS * 100,
+        "money must be conserved"
+    );
+}

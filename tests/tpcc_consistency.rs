@@ -1,0 +1,98 @@
+//! TPC-C consistency conditions hold after running the standard mix on
+//! every engine, through the public workload API.
+
+use drtm::workloads::audit::tpcc_audit;
+use drtm::workloads::driver::{build_tpcc, run_tpcc_on, EngineKind, RunCfg};
+use drtm::workloads::tpcc::TpccCfg;
+
+fn cfg(nodes: usize) -> TpccCfg {
+    TpccCfg {
+        nodes,
+        warehouses_per_node: 1,
+        customers: 24,
+        items: 48,
+        init_orders: 5,
+        history_buckets: 1 << 12,
+        ..Default::default()
+    }
+}
+
+fn check(engine: EngineKind, nodes: usize, threads: usize, replicas: usize) {
+    let cfg = cfg(nodes);
+    let run = RunCfg {
+        engine,
+        threads,
+        replicas,
+        txns_per_worker: 40,
+        ..Default::default()
+    };
+    let (cluster, calvin) = build_tpcc(&cfg, &run);
+    let m = run_tpcc_on(&cfg, &run, &cluster, calvin.as_ref());
+    assert!(m.committed > 0, "{engine:?} committed nothing");
+    let violations = tpcc_audit(&cluster, &cfg);
+    assert!(violations.is_empty(), "{engine:?}: {violations:?}");
+}
+
+#[test]
+fn drtm_r_distributed() {
+    check(EngineKind::DrtmR, 2, 2, 1);
+}
+
+#[test]
+fn drtm_r_replicated() {
+    check(EngineKind::DrtmR, 3, 1, 3);
+}
+
+#[test]
+fn drtm_baseline() {
+    check(EngineKind::Drtm, 2, 1, 1);
+}
+
+#[test]
+fn calvin_baseline() {
+    check(EngineKind::Calvin, 2, 1, 1);
+}
+
+#[test]
+fn silo_baseline() {
+    check(EngineKind::Silo, 1, 2, 1);
+}
+
+/// High-contention configuration (all threads in one warehouse) still
+/// produces a consistent database.
+#[test]
+fn high_contention_stays_consistent() {
+    let cfg = cfg(1);
+    let run = RunCfg {
+        engine: EngineKind::DrtmR,
+        threads: 3,
+        replicas: 1,
+        txns_per_worker: 40,
+        ..Default::default()
+    };
+    let (cluster, _) = build_tpcc(&cfg, &run);
+    let m = run_tpcc_on(&cfg, &run, &cluster, None);
+    assert!(m.committed > 0);
+    let violations = tpcc_audit(&cluster, &cfg);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+/// 100% cross-warehouse new-orders (the Figure 17 extreme) stay
+/// consistent.
+#[test]
+fn all_distributed_new_orders_stay_consistent() {
+    let cfg = cfg(2);
+    let run = RunCfg {
+        engine: EngineKind::DrtmR,
+        threads: 2,
+        replicas: 1,
+        txns_per_worker: 30,
+        cross_override: Some(1.0),
+        ..Default::default()
+    };
+    let (cluster, _) = build_tpcc(&cfg, &run);
+    let m = run_tpcc_on(&cfg, &run, &cluster, None);
+    assert!(m.committed > 0);
+    let violations = tpcc_audit(&cluster, &cfg);
+    assert!(violations.is_empty(), "{violations:?}");
+}

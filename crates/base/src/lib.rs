@@ -23,6 +23,7 @@ pub mod link;
 pub mod region;
 pub mod rng;
 pub mod stats;
+pub mod sync;
 
 pub use cacheline::{
     line_of,

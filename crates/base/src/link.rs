@@ -19,7 +19,7 @@
 //! clock skew, while saturated links push every user's clock forward at
 //! exactly the rate that caps aggregate throughput at the link capacity.
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 /// A shared bandwidth-limited resource in virtual time (e.g. one NIC
 /// port).

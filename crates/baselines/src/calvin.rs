@@ -28,12 +28,12 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
+use drtm_base::sync::Mutex;
 use drtm_base::{LinkBudget, SplitMix64, VClock};
 use drtm_core::cluster::DrtmCluster;
 use drtm_core::txn::{TxnError, WorkerStats};
 use drtm_rdma::NodeId;
 use drtm_store::TableId;
-use parking_lot::Mutex;
 
 use crate::oracle::OracleCtx;
 

@@ -1,0 +1,226 @@
+//! The chaos harness: runs SmallBank under a fault plan with the
+//! supervisor in charge of failure handling, then audits invariants.
+//!
+//! The workload is a zero-sum mix (send-payment only), so one global
+//! invariant covers every failure mode this subsystem can inject: the
+//! total money across all accounts — read through the *current* shard
+//! map, i.e. through whatever machine recovery re-homed each shard to —
+//! must equal the initial total. A lost committed update, a recovered
+//! never-committed (odd) update, or a half-applied transaction all
+//! break conservation.
+//!
+//! Recovery is triggered exclusively by the supervisor observing lease
+//! expiry; the harness itself never calls `recover_node`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use drtm_base::SplitMix64;
+use drtm_core::cluster::{DrtmCluster, EngineOpts};
+use drtm_core::recovery::full_restart_scrub;
+use drtm_core::txn::TxnError;
+use drtm_workloads::audit;
+use drtm_workloads::smallbank::{self, SbCfg, SbInput, SbTxn};
+
+use crate::injector::ChaosInjector;
+use crate::plan::FaultPlan;
+use crate::supervisor::{RecoveryEvent, Supervisor, SupervisorCfg};
+
+/// Harness shape knobs (cluster size, load, supervisor timing).
+#[derive(Debug, Clone)]
+pub struct ChaosRunCfg {
+    /// Machines in the cluster.
+    pub nodes: usize,
+    /// Worker threads per machine.
+    pub threads: usize,
+    /// SmallBank accounts per machine.
+    pub accounts: usize,
+    /// Probability a payment crosses shards (drives remote lock/write
+    /// traffic, which is what most crash points need to be interesting).
+    pub cross_prob: f64,
+    /// Transactions attempted per worker (victim workers stop early).
+    pub txns_per_worker: usize,
+    /// Replication factor (`f + 1` copies; ≥ 2 for recovery to work).
+    pub replicas: usize,
+    /// Supervisor timing.
+    pub supervisor: SupervisorCfg,
+    /// How long to wait for the supervisor to recover every fired
+    /// crash before giving up.
+    pub await_recoveries: Duration,
+}
+
+impl Default for ChaosRunCfg {
+    fn default() -> Self {
+        Self {
+            nodes: 3,
+            threads: 2,
+            accounts: 1_000,
+            cross_prob: 0.2,
+            txns_per_worker: 200,
+            replicas: 3,
+            supervisor: SupervisorCfg::default(),
+            await_recoveries: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Everything a chaos run observed, plus the post-run invariant sweep.
+#[derive(Debug)]
+pub struct ChaosOutcome {
+    /// Transactions reported committed across all workers.
+    pub committed: u64,
+    /// Transactions that aborted (including user aborts).
+    pub aborted: u64,
+    /// Workers that observed their machine die under them.
+    pub crashed_workers: usize,
+    /// Crash specs that actually fired.
+    pub crashes_fired: usize,
+    /// Lease-driven recoveries, in detection order.
+    pub events: Vec<RecoveryEvent>,
+    /// Perturbing fault decisions taken.
+    pub faults_injected: usize,
+    /// Order-independent digest of the fault decisions (determinism
+    /// checks).
+    pub fingerprint: u64,
+    /// Expected total money.
+    pub initial_total: i64,
+    /// Total money read through the post-recovery shard map.
+    pub final_total: i64,
+    /// Locks still held anywhere after recovery's sweeps (must be 0).
+    pub stale_locks: usize,
+    /// Odd records the restart scrub rolled forward (victim-store
+    /// leftovers; abandoned stores are not read by anyone).
+    pub rolled_forward: usize,
+    /// Odd records the restart scrub rolled back.
+    pub rolled_back: usize,
+}
+
+impl ChaosOutcome {
+    /// The acceptance invariants: money conserved through recovery and
+    /// no stale lock anywhere.
+    pub fn audit_ok(&self) -> bool {
+        self.final_total == self.initial_total && self.stale_locks == 0
+    }
+}
+
+/// Runs SmallBank (zero-sum mix) under `plan` and audits the outcome.
+pub fn run_smallbank_chaos(cfg: &ChaosRunCfg, plan: FaultPlan) -> ChaosOutcome {
+    let sb = SbCfg {
+        nodes: cfg.nodes,
+        accounts: cfg.accounts,
+        cross_prob: cfg.cross_prob,
+        ..SbCfg::default()
+    };
+    let opts = EngineOpts {
+        replicas: cfg.replicas.min(cfg.nodes),
+        region_size: sb.region_size(),
+        ..EngineOpts::default()
+    };
+    let cluster = DrtmCluster::new(cfg.nodes, &sb.schema(), opts);
+    smallbank::load(&cluster, &sb);
+    let initial_total = smallbank::initial_total(&sb);
+
+    let injector = Arc::new(ChaosInjector::new(plan, cfg.nodes));
+    cluster.fabric.set_injector(Arc::clone(&injector) as _);
+    cluster.set_crash_hook(Arc::clone(&injector) as _);
+
+    let sup = Supervisor::start(&cluster, cfg.supervisor, Some(Arc::clone(&injector)));
+
+    // Auxiliary log truncation, as in the measurement driver.
+    let stop_aux = Arc::new(AtomicBool::new(false));
+    let aux = {
+        let cluster = Arc::clone(&cluster);
+        let stop = Arc::clone(&stop_aux);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                for node in 0..cluster.nodes() {
+                    cluster.truncate_step(node);
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        })
+    };
+
+    let mut workers = Vec::new();
+    for node in 0..cfg.nodes {
+        for tid in 0..cfg.threads {
+            let cluster = Arc::clone(&cluster);
+            let sb = sb.clone();
+            let txns = cfg.txns_per_worker;
+            let wid = (node * cfg.threads + tid) as u64;
+            let seed = injector.plan().seed;
+            workers.push(std::thread::spawn(move || {
+                let mut w = cluster.worker(node, seed ^ (wid.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+                let mut rng = SplitMix64::new(seed.wrapping_add(wid * 7919));
+                let (mut committed, mut aborted, mut crashed) = (0u64, 0u64, false);
+                for _ in 0..txns {
+                    if !cluster.is_alive(node) {
+                        crashed = true;
+                        break;
+                    }
+                    let a = (node, sb.pick_account(&mut rng, node));
+                    let second = sb.pick_second_shard(&mut rng, node);
+                    let b = (second, sb.pick_account(&mut rng, second));
+                    if a == b {
+                        continue;
+                    }
+                    let inp = SbInput {
+                        txn: SbTxn::SendPayment,
+                        a,
+                        b,
+                        amount: rng.range(1, 50),
+                    };
+                    match w.run(|t| smallbank::execute(t, &inp)) {
+                        Ok(()) => committed += 1,
+                        Err(TxnError::Crashed) => {
+                            crashed = true;
+                            break;
+                        }
+                        Err(_) => aborted += 1,
+                    }
+                }
+                (committed, aborted, crashed)
+            }));
+        }
+    }
+
+    let (mut committed, mut aborted, mut crashed_workers) = (0u64, 0u64, 0usize);
+    for h in workers {
+        let (c, a, k) = h.join().expect("worker panicked");
+        committed += c;
+        aborted += a;
+        crashed_workers += usize::from(k);
+    }
+
+    // Every fired crash must be detected through lease expiry before
+    // the audit makes sense.
+    let crashes_fired = injector.crashes_fired();
+    sup.await_recoveries(crashes_fired, cfg.await_recoveries);
+    let events = sup.stop();
+
+    stop_aux.store(true, Ordering::Relaxed);
+    let _ = aux.join();
+
+    // Restore a clean substrate before the invariant sweep: the scrub
+    // must see the cluster as a restart would.
+    cluster.clear_crash_hook();
+    cluster.fabric.clear_injector();
+    let (stale_locks, rolled_forward, rolled_back) = full_restart_scrub(&cluster);
+    let final_total = audit::smallbank_total(&cluster, &sb);
+
+    ChaosOutcome {
+        committed,
+        aborted,
+        crashed_workers,
+        crashes_fired,
+        events,
+        faults_injected: injector.faults_injected(),
+        fingerprint: injector.fingerprint(),
+        initial_total,
+        final_total,
+        stale_locks,
+        rolled_forward,
+        rolled_back,
+    }
+}

@@ -1,0 +1,193 @@
+//! The recovery supervisor: lease heartbeats plus a failure detector
+//! that drives recovery *only* through genuine lease expiry (§5.2).
+//!
+//! Two host threads:
+//!
+//! * **heartbeat** — every alive member renews its lease each beat. A
+//!   machine killed by [`DrtmCluster::fail_silent`] (what crash points
+//!   do) simply stops renewing, so its lease drains over the configured
+//!   lease length — exactly how a real silent failure is observed.
+//! * **detector** — polls [`LeaseBoard::first_expired`] over the
+//!   current configuration's members and, on expiry, runs
+//!   [`recover_node`], recording when the failure was *suspected* and
+//!   the per-phase latencies of the recovery pass (the Figure 20
+//!   decomposition: detection, configuration commit, rebuild).
+//!
+//! Nothing here ever calls `recover_node` for a machine whose lease is
+//! still live: suspicion is the lease's job, the supervisor only acts
+//! on it.
+//!
+//! [`LeaseBoard::first_expired`]: drtm_cluster::LeaseBoard::first_expired
+//! [`DrtmCluster::fail_silent`]: drtm_core::cluster::DrtmCluster::fail_silent
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use drtm_core::cluster::DrtmCluster;
+use drtm_core::recovery::{recover_node, RecoveryReport};
+use drtm_rdma::NodeId;
+
+use crate::injector::ChaosInjector;
+
+/// Supervisor timing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorCfg {
+    /// Lease length granted per renewal, in µs (the paper uses 10 ms).
+    pub lease_us: u64,
+    /// Heartbeat period (must be well under the lease length).
+    pub heartbeat: Duration,
+    /// Detector poll period.
+    pub poll: Duration,
+}
+
+impl Default for SupervisorCfg {
+    fn default() -> Self {
+        Self {
+            lease_us: 10_000,
+            heartbeat: Duration::from_millis(2),
+            poll: Duration::from_millis(1),
+        }
+    }
+}
+
+/// One detected-and-recovered failure.
+#[derive(Debug, Clone)]
+pub struct RecoveryEvent {
+    /// The machine recovered.
+    pub dead: NodeId,
+    /// When the detector saw the expired lease.
+    pub suspected_at: Instant,
+    /// Crash-to-suspicion latency, when the crash instant is known
+    /// (i.e. the chaos injector killed the machine). Bounded below by
+    /// the remaining lease and above by lease + heartbeat + poll.
+    pub detect: Option<Duration>,
+    /// What the recovery pass did, with config-commit and rebuild
+    /// timings.
+    pub report: RecoveryReport,
+}
+
+/// A running supervisor. Create with [`Supervisor::start`], collect
+/// results with [`Supervisor::stop`].
+pub struct Supervisor {
+    stop: Arc<AtomicBool>,
+    recoveries: Arc<AtomicUsize>,
+    heart: Option<JoinHandle<()>>,
+    detector: Option<JoinHandle<Vec<RecoveryEvent>>>,
+}
+
+impl Supervisor {
+    /// Establishes fresh leases for every member, then starts the
+    /// heartbeat and detector threads. `injector`, when given, supplies
+    /// crash instants so events carry a detection latency.
+    pub fn start(
+        cluster: &Arc<DrtmCluster>,
+        cfg: SupervisorCfg,
+        injector: Option<Arc<ChaosInjector>>,
+    ) -> Self {
+        // Leases start expired; grant them before the detector can
+        // suspect a healthy machine.
+        for &node in &cluster.config.get().members {
+            cluster.leases.renew(node, cfg.lease_us);
+        }
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let recoveries = Arc::new(AtomicUsize::new(0));
+
+        let heart = {
+            let cluster = Arc::clone(cluster);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    for &node in &cluster.config.get().members {
+                        if cluster.is_alive(node) {
+                            cluster.leases.renew(node, cfg.lease_us);
+                        }
+                    }
+                    std::thread::sleep(cfg.heartbeat);
+                }
+            })
+        };
+
+        let detector = {
+            let cluster = Arc::clone(cluster);
+            let stop = Arc::clone(&stop);
+            let recoveries = Arc::clone(&recoveries);
+            std::thread::spawn(move || {
+                let mut events = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let members = cluster.config.get().members;
+                    if let Some(dead) = cluster.leases.first_expired(members.iter()) {
+                        let suspected_at = Instant::now();
+                        let report = recover_node(&cluster, dead);
+                        let detect = injector
+                            .as_ref()
+                            .and_then(|i| i.crash_instant(dead))
+                            .map(|t| suspected_at.duration_since(t));
+                        events.push(RecoveryEvent {
+                            dead,
+                            suspected_at,
+                            detect,
+                            report,
+                        });
+                        recoveries.fetch_add(1, Ordering::Release);
+                        continue; // re-scan immediately: correlated failures
+                    }
+                    std::thread::sleep(cfg.poll);
+                }
+                events
+            })
+        };
+
+        Self {
+            stop,
+            recoveries,
+            heart: Some(heart),
+            detector: Some(detector),
+        }
+    }
+
+    /// Recoveries completed so far (safe to poll while running).
+    pub fn recoveries(&self) -> usize {
+        self.recoveries.load(Ordering::Acquire)
+    }
+
+    /// Blocks until at least `n` recoveries completed or `timeout`
+    /// elapsed; returns whether the target was reached.
+    pub fn await_recoveries(&self, n: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.recoveries() < n {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        true
+    }
+
+    /// Stops both threads and returns the recovery events in detection
+    /// order.
+    pub fn stop(mut self) -> Vec<RecoveryEvent> {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.heart.take() {
+            let _ = h.join();
+        }
+        match self.detector.take() {
+            Some(d) => d.join().unwrap_or_default(),
+            None => Vec::new(),
+        }
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.heart.take() {
+            let _ = h.join();
+        }
+        if let Some(d) = self.detector.take() {
+            let _ = d.join();
+        }
+    }
+}

@@ -41,12 +41,34 @@ pub enum Cmd {
     Recover { node: usize },
     /// `scrub` (full-restart repair)
     Scrub,
+    /// `chaos <seed> <node> <point> [hit]` — standalone fault-injection
+    /// run: SmallBank under a plan that kills `node` at crash point
+    /// `point`, recovered through lease expiry, then audited.
+    Chaos {
+        seed: u64,
+        node: usize,
+        point: &'static str,
+        hit: u64,
+    },
     /// `stats`
     Stats,
     /// `help`
     Help,
     /// `quit`
     Quit,
+}
+
+/// Resolves a crash-point name to its canonical `&'static str`
+/// ([`drtm_chaos::CrashSpec`] stores static names, not owned strings).
+fn crash_point_name(s: &str) -> Result<&'static str, String> {
+    drtm_chaos::CRASH_POINTS
+        .iter()
+        .find(|(p, _)| *p == s)
+        .map(|(p, _)| *p)
+        .ok_or_else(|| {
+            let names: Vec<&str> = drtm_chaos::CRASH_POINTS.iter().map(|(p, _)| *p).collect();
+            format!("unknown crash point {s:?} (one of {})", names.join(", "))
+        })
 }
 
 /// Parses one shell line into a command.
@@ -90,6 +112,18 @@ pub fn parse(line: &str) -> Result<Option<Cmd>, String> {
             node: num(n)? as usize,
         },
         ["scrub"] => Cmd::Scrub,
+        ["chaos", seed, node, point] => Cmd::Chaos {
+            seed: num(seed)?,
+            node: num(node)? as usize,
+            point: crash_point_name(point)?,
+            hit: 3,
+        },
+        ["chaos", seed, node, point, hit] => Cmd::Chaos {
+            seed: num(seed)?,
+            node: num(node)? as usize,
+            point: crash_point_name(point)?,
+            hit: num(hit)?,
+        },
         ["stats"] => Cmd::Stats,
         ["help"] => Cmd::Help,
         ["quit"] | ["exit"] => Cmd::Quit,
@@ -117,6 +151,12 @@ commands:
   crash <node>                 fail-stop a machine
   recover <node>               reconfigure + replay its redo logs
   scrub                        full-restart repair (locks, odd records)
+  chaos <seed> <node> <point> [hit]
+                               standalone chaos run: SmallBank while
+                               <node> is killed at crash point <point>
+                               (C.1-C.6, R.1-R.3) on its [hit]-th
+                               passage; recovery via lease expiry; the
+                               conservation audit is printed
   stats                        per-machine commit/abort counters
   help | quit";
 
@@ -270,6 +310,56 @@ impl Shell {
                 Ok(Some(format!(
                     "scrubbed: {locks} locks cleared, {fwd} rolled forward, {back} rolled back"
                 )))
+            }
+            Cmd::Chaos {
+                seed,
+                node,
+                point,
+                hit,
+            } => {
+                // Standalone run on its own 4-machine cluster — the
+                // shell's interactive cluster (if any) is not touched.
+                let cfg = drtm_chaos::ChaosRunCfg {
+                    nodes: 4,
+                    cross_prob: 0.5,
+                    supervisor: drtm_chaos::SupervisorCfg {
+                        lease_us: 50_000,
+                        heartbeat: std::time::Duration::from_millis(5),
+                        poll: std::time::Duration::from_millis(1),
+                    },
+                    ..drtm_chaos::ChaosRunCfg::default()
+                };
+                if node >= cfg.nodes {
+                    return Err(format!("node {node} out of range (chaos runs on 4)"));
+                }
+                let plan = drtm_chaos::FaultPlan::new(seed).crash_at(node, point, hit);
+                let out = drtm_chaos::run_smallbank_chaos(&cfg, plan);
+                let mut text = format!(
+                    "chaos run (seed {seed}): kill machine {node} at {point} hit {hit}\n\
+                     {} committed, {} aborted, {} crash fired, {} worker(s) died",
+                    out.committed, out.aborted, out.crashes_fired, out.crashed_workers
+                );
+                for ev in &out.events {
+                    text += &format!(
+                        "\nrecovered machine {} (epoch {}): {} records, {} log entries, \
+                         detect {:?}, config {:?}, rebuild {:?}",
+                        ev.dead,
+                        ev.report.epoch,
+                        ev.report.records_recovered,
+                        ev.report.log_entries_replayed,
+                        ev.detect.unwrap_or_default(),
+                        ev.report.config_commit,
+                        ev.report.rebuild,
+                    );
+                }
+                text += &format!(
+                    "\naudit: total {} vs {}, {} stale locks -> {}",
+                    out.final_total,
+                    out.initial_total,
+                    out.stale_locks,
+                    if out.audit_ok() { "OK" } else { "FAILED" }
+                );
+                Ok(Some(text))
             }
             Cmd::Stats => {
                 let cluster = self.cluster.as_ref().ok_or("no cluster")?;
@@ -432,6 +522,55 @@ mod tests {
                 amount: 1
             })
             .is_err());
+    }
+
+    #[test]
+    fn parse_chaos() {
+        assert_eq!(
+            parse("chaos 42 2 C.4").unwrap(),
+            Some(Cmd::Chaos {
+                seed: 42,
+                node: 2,
+                point: "C.4",
+                hit: 3
+            })
+        );
+        assert_eq!(
+            parse("chaos 7 1 C.5 10").unwrap(),
+            Some(Cmd::Chaos {
+                seed: 7,
+                node: 1,
+                point: "C.5",
+                hit: 10
+            })
+        );
+        assert!(parse("chaos 7 1 C.9").is_err(), "unknown crash point");
+    }
+
+    #[test]
+    fn chaos_command_runs_and_audits() {
+        let mut sh = Shell::new();
+        let out = sh
+            .execute(Cmd::Chaos {
+                seed: 42,
+                node: 2,
+                point: "C.4",
+                hit: 5,
+            })
+            .unwrap()
+            .unwrap();
+        assert!(out.contains("recovered machine 2"), "{out}");
+        assert!(out.ends_with("OK"), "{out}");
+        assert!(
+            sh.execute(Cmd::Chaos {
+                seed: 1,
+                node: 9,
+                point: "C.4",
+                hit: 1
+            })
+            .is_err(),
+            "node out of range"
+        );
     }
 
     #[test]

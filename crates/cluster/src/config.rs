@@ -7,8 +7,8 @@
 
 use std::collections::BTreeSet;
 
+use drtm_base::sync::RwLock;
 use drtm_rdma::NodeId;
-use parking_lot::RwLock;
 
 /// One committed cluster configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -114,4 +114,63 @@ mod tests {
         std::thread::sleep(Duration::from_millis(3));
         assert!(!b.expired(0));
     }
+
+    #[test]
+    fn concurrent_renewers_never_lose_the_longest_lease() {
+        // Many threads renew the same lease with different durations;
+        // fetch_max means the longest grant must win regardless of the
+        // interleaving, and the lease must never read expired while any
+        // renewal is in flight.
+        let b = std::sync::Arc::new(LeaseBoard::new(1));
+        b.renew(0, 60_000_000);
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let b = std::sync::Arc::clone(&b);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        b.renew(0, 1_000 + i * 137);
+                        assert!(!b.expired(0), "lease lost under concurrent renewal");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // The initial 60 s grant is the max; short renewals cannot have
+        // pulled it in.
+        assert!(b.expiry_us[0].load(Ordering::Relaxed) >= 60_000_000);
+    }
+
+    #[test]
+    fn revoke_races_with_renewers_but_stays_reacquirable() {
+        // A revoke concurrent with renewals: whichever wins, the board
+        // stays consistent — and once renewals stop, a fresh renew (the
+        // node rejoining after recovery) re-acquires the lease.
+        let b = std::sync::Arc::new(LeaseBoard::new(1));
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let renewer = {
+            let b = std::sync::Arc::clone(&b);
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    b.renew(0, 500);
+                }
+            })
+        };
+        for _ in 0..10_000 {
+            b.revoke(0);
+        }
+        stop.store(true, Ordering::Relaxed);
+        renewer.join().unwrap();
+        // Heartbeats have stopped: the short outstanding grant drains.
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(
+            b.expired(0),
+            "no renewer left; the last short grant drained"
+        );
+        // Rejoining is just renewing again.
+        b.renew(0, 1_000_000);
+        assert!(!b.expired(0), "a revoked lease must be re-acquirable");
+    }
 }

@@ -10,9 +10,11 @@
 //! is host memory that survives a simulated crash (our "battery-backed
 //! DRAM").
 
+use drtm_base::sync::{Mutex, RwLock};
 use drtm_base::{CostModel, LinkBudget, VClock};
 use drtm_rdma::NodeId;
-use parking_lot::Mutex;
+
+use crate::ConfigService;
 
 /// One redo record: enough to replay an update during recovery.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,6 +43,11 @@ impl LogEntry {
 /// queue that `primary` appends to on machine `backup`.
 pub struct ReplLogStore {
     logs: Vec<Vec<Mutex<Vec<LogEntry>>>>,
+    /// Recovery gate ordering appends against log drains. Appenders hold
+    /// it shared for the duration of one transaction's R.1 (all queues);
+    /// recovery write-acquires it once, *after* committing the new
+    /// configuration and *before* draining the dead primary's logs.
+    gate: RwLock<()>,
 }
 
 impl ReplLogStore {
@@ -50,6 +57,7 @@ impl ReplLogStore {
             logs: (0..n)
                 .map(|_| (0..n).map(|_| Mutex::new(Vec::new())).collect())
                 .collect(),
+            gate: RwLock::new(()),
         }
     }
 
@@ -78,6 +86,41 @@ impl ReplLogStore {
         self.logs[backup][primary].lock().extend_from_slice(entries);
     }
 
+    /// Runs one transaction's R.1 appends atomically with respect to
+    /// recovery (§5.2 fencing).
+    ///
+    /// `append_batches` runs with the recovery gate held shared, but only
+    /// if the configuration epoch still equals `expected_epoch` — the
+    /// epoch the appending transaction began under. Returns `false`
+    /// (nothing appended) when the configuration moved.
+    ///
+    /// This closes the orphaned-append race: recovery bumps the epoch
+    /// and then write-acquires the gate before draining a dead primary's
+    /// logs, so an appender that observes the old epoch under the shared
+    /// gate is guaranteed to finish *before* the drain (its entries get
+    /// replayed), while one that would append *after* the drain observes
+    /// the new epoch and is refused.
+    pub fn append_fenced(
+        &self,
+        config: &ConfigService,
+        expected_epoch: u64,
+        append_batches: impl FnOnce(&Self),
+    ) -> bool {
+        let _gate = self.gate.read();
+        if config.epoch() != expected_epoch {
+            return false;
+        }
+        append_batches(self);
+        true
+    }
+
+    /// Write-acquires (and releases) the recovery gate: every in-flight
+    /// [`Self::append_fenced`] completes first, and every later one
+    /// observes whatever configuration change preceded this call.
+    pub fn quiesce_appends(&self) {
+        drop(self.gate.write());
+    }
+
     /// Truncates the oldest `n` entries of `primary`'s log on `backup`
     /// (the auxiliary threads' job; off the worker critical path).
     pub fn truncate(&self, backup: NodeId, primary: NodeId, n: usize) {
@@ -100,6 +143,35 @@ impl ReplLogStore {
     /// recovery path: survivors replay the dead primary's redo records.
     pub fn drain_for_recovery(&self, backup: NodeId, primary: NodeId) -> Vec<LogEntry> {
         std::mem::take(&mut *self.logs[backup][primary].lock())
+    }
+
+    /// Drains `primary`'s log on `backup`, running `apply` on each entry
+    /// *while still holding the queue lock*. Entries are therefore never
+    /// observable as "drained but not yet applied": anyone who sees the
+    /// queue empty afterwards also sees every effect of `apply`. The
+    /// auxiliary truncation threads and recovery both use this so a
+    /// recovery snapshot racing a truncation step cannot miss entries.
+    /// Returns the number of entries applied.
+    pub fn drain_with(
+        &self,
+        backup: NodeId,
+        primary: NodeId,
+        mut apply: impl FnMut(&LogEntry),
+    ) -> usize {
+        let mut log = self.logs[backup][primary].lock();
+        let n = log.len();
+        for e in log.drain(..) {
+            apply(&e);
+        }
+        n
+    }
+
+    /// Copies (without truncating) every unreclaimed entry `primary`
+    /// has on `backup`. The dangling-lock healing path uses this to
+    /// read durable redo state that the auxiliary threads have not yet
+    /// folded into the backup images.
+    pub fn peek(&self, backup: NodeId, primary: NodeId) -> Vec<LogEntry> {
+        self.logs[backup][primary].lock().clone()
     }
 }
 

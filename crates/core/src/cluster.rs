@@ -1,17 +1,32 @@
 //! Cluster assembly and shard placement.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use drtm_base::sync::{Mutex, RwLock};
 use drtm_base::{CostModel, MemoryRegion};
 use drtm_cluster::{ConfigService, LeaseBoard, ReplLogStore};
 use drtm_htm::{Htm, HtmConfig};
 use drtm_rdma::{Fabric, NodeId};
 use drtm_store::{Store, TableSpec};
-use parking_lot::RwLock;
 
 use crate::replication::BackupStore;
 use crate::txn::Worker;
+
+/// A fault-injection hook consulted at the named crash points of the
+/// commit protocol (`"C.1"` … `"C.6"`, `"R.1"` … `"R.3"`).
+///
+/// Each probe names the protocol step that *just completed*: returning
+/// `true` from `"C.4"` kills the machine with its local writes applied
+/// (odd sequence numbers under replication) but nothing logged — the
+/// exact window the odd/even protocol exists to survive. The killed
+/// machine stops silently: its lease is *not* revoked, so peers only
+/// learn of the death when the lease genuinely expires.
+pub trait CrashPointHook: Send + Sync {
+    /// Returns `true` to kill `node` at `point`.
+    fn on_point(&self, node: NodeId, point: &'static str) -> bool;
+}
 
 /// Engine-wide tuning knobs.
 #[derive(Debug, Clone)]
@@ -88,6 +103,16 @@ pub struct DrtmCluster {
     pub alive: Vec<AtomicBool>,
     /// Tuning knobs.
     pub opts: EngineOpts,
+    /// Completed recoveries: `dead -> new_home`. Held for the duration
+    /// of a [`crate::recovery::recover_node`] pass, which serializes
+    /// concurrent recoveries of the same (or different) machines and
+    /// makes repeated calls no-ops.
+    pub(crate) recovered: Mutex<HashMap<NodeId, Option<NodeId>>>,
+    /// Crash-point hook (fault injection); `None` outside chaos runs.
+    crash_hook: RwLock<Option<Arc<dyn CrashPointHook>>>,
+    /// Fast-path flag mirroring `crash_hook.is_some()` so the per-commit
+    /// probes cost one relaxed load when no hook is installed.
+    crash_hook_set: AtomicBool,
 }
 
 impl DrtmCluster {
@@ -120,6 +145,9 @@ impl DrtmCluster {
             shard_map: RwLock::new((0..n).collect()),
             alive: (0..n).map(|_| AtomicBool::new(true)).collect(),
             opts,
+            recovered: Mutex::new(HashMap::new()),
+            crash_hook: RwLock::new(None),
+            crash_hook_set: AtomicBool::new(false),
         })
     }
 
@@ -180,6 +208,47 @@ impl DrtmCluster {
         self.leases.revoke(node);
     }
 
+    /// Fail-stops `node` *silently*: workers halt but the lease is left
+    /// to expire on its own, so failure detection (and hence recovery)
+    /// happens on the genuine lease-expiry path a real crash would take.
+    pub fn fail_silent(&self, node: NodeId) {
+        self.alive[node].store(false, Ordering::Relaxed);
+    }
+
+    /// Installs a [`CrashPointHook`] consulted at every named protocol
+    /// point; replaces any previous hook.
+    pub fn set_crash_hook(&self, hook: Arc<dyn CrashPointHook>) {
+        *self.crash_hook.write() = Some(hook);
+        self.crash_hook_set.store(true, Ordering::Release);
+    }
+
+    /// Removes the crash-point hook.
+    pub fn clear_crash_hook(&self) {
+        self.crash_hook_set.store(false, Ordering::Release);
+        *self.crash_hook.write() = None;
+    }
+
+    /// One named crash-point probe for `node`. Returns `true` when the
+    /// machine is (or just became) dead and the caller must stop in
+    /// place. Firing kills the machine silently — the lease keeps
+    /// running out, exactly like a real mid-protocol power loss.
+    pub fn crash_point(&self, node: NodeId, point: &'static str) -> bool {
+        if !self.is_alive(node) {
+            return true;
+        }
+        if !self.crash_hook_set.load(Ordering::Acquire) {
+            return false;
+        }
+        let hook = self.crash_hook.read().clone();
+        if let Some(h) = hook {
+            if h.on_point(node, point) {
+                self.fail_silent(node);
+                return true;
+            }
+        }
+        false
+    }
+
     /// Creates a worker thread context executing on `node`.
     pub fn worker(self: &Arc<Self>, node: NodeId, seed: u64) -> Worker {
         Worker::new(Arc::clone(self), node, seed)
@@ -190,19 +259,83 @@ impl DrtmCluster {
     ///
     /// Returns the number of entries applied.
     pub fn truncate_step(&self, node: NodeId) -> usize {
+        // R.3: a backup can die right before applying its pending log
+        // entries — they stay in its NVRAM log for recovery to drain.
+        if self.crash_hook_set.load(Ordering::Acquire) && self.crash_point(node, "R.3") {
+            return 0;
+        }
         let mut applied = 0;
         for primary in 0..self.nodes() {
-            let pending = self.logs.len(node, primary);
-            if pending == 0 {
-                continue;
-            }
-            let entries = self.logs.drain_for_recovery(node, primary);
-            for e in &entries {
-                self.backups.apply(node, primary, e);
-            }
-            applied += entries.len();
+            // Entries are applied under the queue lock so a concurrent
+            // recovery snapshot never observes them as drained but not
+            // yet folded into the image.
+            applied += self
+                .logs
+                .drain_with(node, primary, |e| self.backups.apply(node, primary, e));
         }
         applied
+    }
+
+    /// Rolls the record at `rec_off` on `primary` forward to the
+    /// freshest durable replicated version, if one is newer than the
+    /// record's current value.
+    ///
+    /// This is the repair half of dangling-lock release (§5.2): a
+    /// coordinator that died between making its redo records durable
+    /// (R.1) and writing a remote primary (C.5) leaves the record both
+    /// locked and stale. Whoever takes that lock over — a survivor
+    /// transaction stealing it passively, or the recovery sweep — must
+    /// install the durable version before the record becomes writable
+    /// again, or the logged update is silently lost. The caller must
+    /// hold the record's lock so the repair cannot race a new writer.
+    ///
+    /// Returns `true` when a newer durable version was installed.
+    pub fn heal_record(&self, primary: NodeId, rec_off: usize) -> bool {
+        let store = &self.stores[primary];
+        // Reverse-map the offset to (table, key). Dangling locks are
+        // rare (one per record a machine death strands), so a scan is
+        // acceptable.
+        let mut hit = None;
+        'find: for table in 0..store.table_count() as u32 {
+            for (key, off) in store.keys(table) {
+                if off as usize == rec_off {
+                    hit = Some((table, key));
+                    break 'find;
+                }
+            }
+        }
+        let Some((table, key)) = hit else {
+            return false;
+        };
+        let rec = store.record(table, rec_off);
+        let cur = rec.seq();
+        // Freshest durable version: backup images merged with redo
+        // entries still sitting unapplied in the logs.
+        let mut best: Option<(u64, Vec<u8>, bool)> = None;
+        for b in self.backups_of(primary) {
+            for ((t, k), br) in self.backups.snapshot(b, primary) {
+                if t == table && k == key && best.as_ref().is_none_or(|(s, _, _)| br.seq > *s) {
+                    best = Some((br.seq, br.value, br.deleted));
+                }
+            }
+            for e in self.logs.peek(b, primary) {
+                if e.table == table
+                    && e.key == key
+                    && best.as_ref().is_none_or(|(s, _, _)| e.seq > *s)
+                {
+                    best = Some((e.seq, e.value, e.delete));
+                }
+            }
+        }
+        match best {
+            Some((seq, value, false)) if seq > cur => {
+                let layout = store.table(table).layout;
+                drtm_store::RecordRef::new(&store.region, rec_off, layout)
+                    .write_locked(&value, seq);
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Loads one record during the initial population: inserts it on the

@@ -48,6 +48,21 @@ type LockAddr = (NodeId, usize);
 // index instead.
 #[allow(clippy::needless_range_loop)]
 impl TxnCtx<'_> {
+    /// Fires the named crash-point probe (the step that just completed).
+    ///
+    /// If a chaos hook — or an earlier injected crash — kills this
+    /// machine here, the transaction dies in place: held locks stay
+    /// held, odd records stay odd, appended logs stay appended. That is
+    /// precisely the state a real mid-protocol machine failure leaves
+    /// behind for recovery to clean up, so nothing is unwound.
+    fn probe(&mut self, point: &'static str) -> Result<(), TxnError> {
+        if self.w.cluster.crash_point(self.w.node, point) {
+            Err(TxnError::Crashed)
+        } else {
+            Ok(())
+        }
+    }
+
     /// Attempts to commit the transaction. Consumes the context.
     ///
     /// On success the worker's committed counter and latency histogram
@@ -94,6 +109,12 @@ impl TxnCtx<'_> {
                 return Err(TxnError::Aborted(AbortReason::Validation));
             }
         }
+        // A reconfiguration mid-transaction may have re-homed a shard
+        // this transaction read from; the abandoned store's headers stay
+        // frozen and would keep validating stale values forever.
+        if cluster.config.epoch() != self.start_epoch {
+            return Err(TxnError::Aborted(AbortReason::Validation));
+        }
         Ok(())
     }
 
@@ -112,8 +133,15 @@ impl TxnCtx<'_> {
         let locks = self.remote_lock_addrs();
         if let Err(held) = self.lock_all(&locks) {
             self.unlock_all(&locks[..held]);
+            if !cluster.is_alive(self.w.node) {
+                // The machine died mid-acquisition (`lock_all` refused
+                // to issue further verbs); whatever it already locked
+                // dangles for the recovery sweep.
+                return Err(TxnError::Crashed);
+            }
             return Err(TxnError::Aborted(AbortReason::LockBusy));
         }
+        self.probe("C.1")?;
         let lock_ns = lap(self.w);
 
         // C.2: validate remote reads; learn current sequence numbers for
@@ -125,7 +153,21 @@ impl TxnCtx<'_> {
                 return Err(e);
             }
         };
+        self.probe("C.2")?;
         let validate_ns = lap(self.w);
+
+        // Fencing: a transaction must not span a reconfiguration (§5.2).
+        // A machine removed from the configuration (falsely suspected,
+        // lease lost) must not apply writes or append logs — its shard
+        // is being recovered elsewhere — and a survivor's reads of a
+        // re-homed shard validated against a frozen, abandoned store.
+        // `lock_all` fenced each lock *target*; this epoch check covers
+        // everything else, before anything irreversible. The window
+        // between here and R.1 is closed by the fenced append itself.
+        if cluster.config.epoch() != self.start_epoch {
+            self.unlock_all(&locks);
+            return Err(TxnError::Aborted(AbortReason::Validation));
+        }
 
         // C.3 + C.4: validate local reads and apply local writes inside
         // one HTM region.
@@ -144,13 +186,30 @@ impl TxnCtx<'_> {
                 return self.commit_fallback();
             }
         };
+        // A crash here leaves local writes applied but unlogged: odd
+        // sequence numbers under replication — never reported committed,
+        // and recovery rolls them back.
+        self.probe("C.4")?;
         let htm_ns = lap(self.w);
 
-        // R.1: redo records to every written record's backups.
+        // R.1: redo records to every written record's backups. The
+        // append is fenced: if a recovery pass committed a new
+        // configuration since this transaction began, the logs it would
+        // have targeted may already have been drained and replayed, so
+        // nothing is appended and the transaction aborts — local writes
+        // (odd, never reported committed) are rolled back to their
+        // durable pre-images first.
         if replicated {
             let entries = self.log_entries(&local_new_seqs, &remote_new_seqs, local_bump);
-            self.append_logs(entries);
+            if !self.append_logs(entries) {
+                self.rollback_local_writes(false);
+                self.unlock_all(&locks);
+                return Err(TxnError::Aborted(AbortReason::Validation));
+            }
         }
+        // A crash here leaves the logs durable on the backups but the
+        // local primaries still odd: recovery rolls them *forward*.
+        self.probe("R.1")?;
         let log_ns = lap(self.w);
 
         // R.2: makeup — flip local primaries to even (committable).
@@ -162,10 +221,18 @@ impl TxnCtx<'_> {
                 self.w.clock.advance(cluster.opts.cost.mem_access_ns);
             }
         }
+        self.probe("R.2")?;
         let makeup_ns = lap(self.w);
 
-        // C.5: write remote primaries.
+        // C.5: write remote primaries. A machine that died mid-step stops
+        // issuing WRITEs: its redo entries are durable, so the recovery
+        // sweep rolls the still-locked remainder forward — whereas a
+        // late write could stomp a *newer* value committed after the
+        // sweep healed and released the record.
         for i in 0..self.r_ws.len() {
+            if !cluster.is_alive(self.w.node) {
+                return Err(TxnError::Crashed);
+            }
             let (node, rec_off, table, new_seq) = {
                 let e = &self.r_ws[i];
                 (e.node, e.rec_off, e.table, remote_new_seqs[i])
@@ -187,8 +254,13 @@ impl TxnCtx<'_> {
         // and logging.
         self.apply_mutations();
 
-        // The transaction reports committed here; C.6 happens after.
+        // The transaction reports committed here; C.6 happens after. A
+        // crash at C.5 is therefore a *committed* transaction whose
+        // locks dangle until a survivor releases them passively.
+        self.probe("C.5")?;
+
         self.unlock_all(&locks);
+        self.probe("C.6")?;
         let unlock_ns = lap(self.w);
 
         let s = &mut self.w.stats.steps;
@@ -259,14 +331,28 @@ impl TxnCtx<'_> {
                 return Err(i);
             }
             loop {
+                // A dead machine issues no verbs (its QPs died with it).
+                // Without this per-attempt check, a worker thread of the
+                // victim descheduled mid-acquisition could wake up
+                // *after* the recovery sweep released its dangling locks
+                // and acquire fresh ones that nothing ever sweeps again.
+                if !cluster.is_alive(self.w.node) {
+                    return Err(i);
+                }
                 match self.remote_cas(node, rec_off, LOCK_FREE, me) {
                     Ok(_) => break,
                     Err(actual) => {
                         let owner = lock_owner(actual).expect("non-free lock words name an owner");
                         if !members.contains(owner) {
-                            // Dangling lock from a dead machine: release
-                            // it and retry the acquisition.
-                            let _ = self.remote_cas(node, rec_off, actual, LOCK_FREE);
+                            // Dangling lock from a dead machine: steal it
+                            // (release-then-relock would let another writer
+                            // slip in before the repair), roll the record
+                            // forward to its freshest durable version, and
+                            // keep the lock — acquisition done.
+                            if self.remote_cas(node, rec_off, actual, me).is_ok() {
+                                cluster.heal_record(node, rec_off);
+                                break;
+                            }
                             continue;
                         }
                         return Err(i);
@@ -280,6 +366,12 @@ impl TxnCtx<'_> {
     /// Releases locks in `addrs` with RDMA CAS (or messaging, under the
     /// ablation).
     fn unlock_all(&mut self, addrs: &[LockAddr]) {
+        // A dead machine cannot release its own locks — that is the
+        // recovery sweep's job (which may already have stolen them, so a
+        // CAS here could also spuriously fail the assertion below).
+        if !self.w.cluster.is_alive(self.w.node) {
+            return;
+        }
         let me = lock_word(self.w.node);
         for &(node, rec_off) in addrs {
             let res = self.remote_cas(node, rec_off, me, LOCK_FREE);
@@ -501,29 +593,115 @@ impl TxnCtx<'_> {
 
     /// R.1: appends redo records to the logs on each written record's
     /// backups, batched per `(primary, backup)` pair.
-    fn append_logs(&mut self, entries: Vec<(NodeId, LogEntry)>) {
+    ///
+    /// All-or-nothing with respect to recovery: the appends run under
+    /// the log store's recovery gate, and only if the configuration
+    /// epoch still matches the one this transaction began under.
+    /// Returns `false` — with nothing appended anywhere — when the
+    /// configuration moved (the transaction must abort and undo its
+    /// local writes).
+    fn append_logs(&mut self, entries: Vec<(NodeId, LogEntry)>) -> bool {
         let cluster = Arc::clone(&self.w.cluster);
         let mut primaries: Vec<NodeId> = entries.iter().map(|(p, _)| *p).collect();
         primaries.sort_unstable();
         primaries.dedup();
-        for p in primaries {
-            let batch: Vec<LogEntry> = entries
-                .iter()
-                .filter(|(q, _)| *q == p)
-                .map(|(_, e)| e.clone())
-                .collect();
-            for b in cluster.backups_of(p) {
-                let me = self.w.node;
-                let nics = (&cluster.fabric.port(me).nic, &cluster.fabric.port(b).nic);
-                cluster
-                    .logs
-                    .append(&mut self.w.clock, &cluster.opts.cost, nics, p, b, &batch);
-                // One RDMA WRITE verb per log append, on both ports.
-                let now = self.w.clock.now();
-                let o1 = cluster.fabric.port(me).nic_ops.reserve(now, 1);
-                let o2 = cluster.fabric.port(b).nic_ops.reserve(now, 1);
-                self.w.clock.advance_to(o1.max(o2));
+        let me = self.w.node;
+        let clock = &mut self.w.clock;
+        cluster
+            .logs
+            .append_fenced(&cluster.config, self.start_epoch, |logs| {
+                for p in primaries {
+                    let batch: Vec<LogEntry> = entries
+                        .iter()
+                        .filter(|(q, _)| *q == p)
+                        .map(|(_, e)| e.clone())
+                        .collect();
+                    for b in cluster.backups_of(p) {
+                        let nics = (&cluster.fabric.port(me).nic, &cluster.fabric.port(b).nic);
+                        logs.append(clock, &cluster.opts.cost, nics, p, b, &batch);
+                        // One RDMA WRITE verb per log append, on both ports.
+                        let now = clock.now();
+                        let o1 = cluster.fabric.port(me).nic_ops.reserve(now, 1);
+                        let o2 = cluster.fabric.port(b).nic_ops.reserve(now, 1);
+                        clock.advance_to(o1.max(o2));
+                    }
+                }
+            })
+    }
+
+    /// Undoes this transaction's local writes after a fenced R.1 append.
+    ///
+    /// The records carry odd (never-committable) sequence numbers and
+    /// none of this transaction's redo entries escaped to any log, so
+    /// the freshest durable replicated version of each record *is* its
+    /// pre-image. The incarnation bump guarantees a concurrent reader
+    /// that snapshotted the odd value can never validate, even if a
+    /// later transaction re-commits the record at exactly the sequence
+    /// number that reader expects (an ABA on sequence numbers).
+    ///
+    /// `already_locked` is set on the fallback path, which holds every
+    /// local record's lock from its global lock acquisition; the HTM
+    /// path must take each lock here (any current holder is
+    /// mid-validation and will abort on the odd sequence number; a
+    /// non-member holder died without logging this record — its lock is
+    /// stolen).
+    fn rollback_local_writes(&mut self, already_locked: bool) {
+        let cluster = Arc::clone(&self.w.cluster);
+        let me = self.w.node;
+        let store = &cluster.stores[me];
+        for i in 0..self.l_ws.len() {
+            let (table, key, rec_off) = {
+                let e = &self.l_ws[i];
+                (e.table, e.key, e.rec_off)
+            };
+            if !already_locked {
+                loop {
+                    match store.region.cas64(rec_off, LOCK_FREE, lock_word(me)) {
+                        Ok(_) => break,
+                        Err(actual) => {
+                            let owner =
+                                lock_owner(actual).expect("non-free lock words name an owner");
+                            if !cluster.config.get().contains(owner)
+                                && store.region.cas64(rec_off, actual, lock_word(me)).is_ok()
+                            {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
             }
+            // Incarnation first: from here on, no reader of the aborted
+            // value can validate, whatever the sequence number becomes.
+            store.region.faa64(rec_off + INCARNATION_OFF, 1);
+            let mut best: Option<(u64, Vec<u8>)> = None;
+            for b in cluster.backups_of(me) {
+                for ((t, k), br) in cluster.backups.snapshot(b, me) {
+                    if t == table
+                        && k == key
+                        && !br.deleted
+                        && best.as_ref().is_none_or(|(s, _)| br.seq > *s)
+                    {
+                        best = Some((br.seq, br.value));
+                    }
+                }
+                for e in cluster.logs.peek(b, me) {
+                    if e.table == table
+                        && e.key == key
+                        && !e.delete
+                        && best.as_ref().is_none_or(|(s, _)| e.seq > *s)
+                    {
+                        best = Some((e.seq, e.value));
+                    }
+                }
+            }
+            if let Some((seq, value)) = best {
+                store.record(table, rec_off).write_locked(&value, seq);
+            }
+            if !already_locked {
+                store.region.store64_coherent(rec_off, LOCK_FREE);
+            }
+            self.w.clock.advance(cluster.opts.cost.mem_access_ns);
         }
     }
 
@@ -532,6 +710,12 @@ impl TxnCtx<'_> {
     fn apply_mutations(&mut self) {
         let cluster = Arc::clone(&self.w.cluster);
         for m in std::mem::take(&mut self.mutations) {
+            // Logged mutations of a dead machine are recovery's to
+            // install; a late insert could resurrect a key on a store
+            // someone else now owns.
+            if !cluster.is_alive(self.w.node) {
+                return;
+            }
             if m.node != self.w.node {
                 let bytes = 24 + m.value.as_ref().map_or(0, Vec::len);
                 cluster
@@ -576,7 +760,18 @@ impl TxnCtx<'_> {
 
         if let Err(held) = self.lock_all(&addrs) {
             self.unlock_all(&addrs[..held]);
+            if !cluster.is_alive(me) {
+                return Err(TxnError::Crashed);
+            }
             return Err(TxnError::Aborted(AbortReason::LockBusy));
+        }
+        self.probe("C.1")?;
+
+        // Same fence as the HTM path: a transaction must not span a
+        // reconfiguration.
+        if cluster.config.epoch() != self.start_epoch {
+            self.unlock_all(&addrs);
+            return Err(TxnError::Aborted(AbortReason::Validation));
         }
 
         // Validate everything under the locks.
@@ -656,19 +851,33 @@ impl TxnCtx<'_> {
             cluster.opts.cost.local_cas_ns * addrs.len() as u64
                 + cluster.opts.cost.mem_access_ns * self.l_ws.len() as u64,
         );
+        self.probe("C.4")?;
 
         if replicated {
             let entries = self.log_entries(&l_new_seqs, &r_new_seqs, bump);
-            self.append_logs(entries);
+            if !self.append_logs(entries) {
+                // Fenced append (see `commit_rw`): nothing was logged;
+                // the locks held here cover every local record, so the
+                // rollback needs no lock dance.
+                self.rollback_local_writes(true);
+                self.unlock_all(&addrs);
+                return Err(TxnError::Aborted(AbortReason::Validation));
+            }
+            self.probe("R.1")?;
             for i in 0..self.l_ws.len() {
                 let e = &self.l_ws[i];
                 cluster.stores[me]
                     .record(e.table, e.rec_off)
                     .set_seq(l_new_seqs[i] + 1);
             }
+            self.probe("R.2")?;
         }
 
         for i in 0..self.r_ws.len() {
+            // Same C.5 death gate as the HTM path.
+            if !cluster.is_alive(me) {
+                return Err(TxnError::Crashed);
+            }
             let (node, rec_off, table) = {
                 let e = &self.r_ws[i];
                 (e.node, e.rec_off, e.table)
@@ -686,7 +895,9 @@ impl TxnCtx<'_> {
         }
 
         self.apply_mutations();
+        self.probe("C.5")?;
         self.unlock_all(&addrs);
+        self.probe("C.6")?;
         Ok(())
     }
 

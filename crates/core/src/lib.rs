@@ -38,7 +38,7 @@ pub mod recovery;
 pub mod replication;
 pub mod txn;
 
-pub use cluster::{DrtmCluster, EngineOpts};
+pub use cluster::{CrashPointHook, DrtmCluster, EngineOpts};
 pub use recovery::{full_restart_scrub, recover_node, RecoveryReport};
 pub use replication::BackupStore;
 pub use txn::{AbortReason, TxnCtx, TxnError, Worker, WorkerStats};

@@ -3,8 +3,8 @@
 
 use std::sync::Arc;
 
+use drtm_base::SplitMix64;
 use drtm_store::TableSpec;
-use proptest::prelude::*;
 
 use crate::cluster::{DrtmCluster, EngineOpts};
 use crate::txn::TxnError;
@@ -42,21 +42,40 @@ enum Op {
     Delete { at: (usize, u64) },
 }
 
-fn acct() -> impl Strategy<Value = (usize, u64)> {
-    (0usize..3, 0u64..6)
+fn acct(rng: &mut SplitMix64) -> (usize, u64) {
+    (rng.below(3) as usize, rng.below(6))
 }
 
-fn extra_acct() -> impl Strategy<Value = (usize, u64)> {
-    (0usize..3, 100u64..104)
+fn extra_acct(rng: &mut SplitMix64) -> (usize, u64) {
+    (rng.below(3) as usize, 100 + rng.below(4))
 }
 
-fn op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (acct(), acct(), 1u64..20).prop_map(|(from, to, amt)| Op::Transfer { from, to, amt }),
-        3 => (acct(), 1u64..50).prop_map(|(at, by)| Op::Inc { at, by }),
-        1 => (extra_acct(), 1u64..100).prop_map(|(at, init)| Op::Insert { at, init }),
-        1 => extra_acct().prop_map(|at| Op::Delete { at }),
-    ]
+/// Picks one weighted-random [`Op`] (4:3:1:1 transfer/inc/insert/delete).
+fn gen_op(rng: &mut SplitMix64) -> Op {
+    match rng.below(9) {
+        0..=3 => Op::Transfer {
+            from: acct(rng),
+            to: acct(rng),
+            amt: rng.range(1, 20),
+        },
+        4..=6 => Op::Inc {
+            at: acct(rng),
+            by: rng.range(1, 50),
+        },
+        7 => Op::Insert {
+            at: extra_acct(rng),
+            init: rng.range(1, 100),
+        },
+        _ => Op::Delete {
+            at: extra_acct(rng),
+        },
+    }
+}
+
+/// Generates a schedule of 1..`max_len` random ops.
+fn gen_schedule(rng: &mut SplitMix64, max_len: u64) -> Vec<Op> {
+    let n = 1 + rng.below(max_len - 1) as usize;
+    (0..n).map(|_| gen_op(rng)).collect()
 }
 
 /// Applies a schedule through the engine and in parallel to a sequential
@@ -161,34 +180,47 @@ fn run_schedule(ops: Vec<Op>, replicas: usize, spurious: f64) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Sequential model equivalence without replication.
-    #[test]
-    fn schedule_matches_model(ops in prop::collection::vec(op(), 1..40)) {
-        run_schedule(ops, 1, 0.0);
+/// Sequential model equivalence without replication.
+#[test]
+fn schedule_matches_model() {
+    let mut rng = SplitMix64::new(0x5eed_0007);
+    for _ in 0..24 {
+        run_schedule(gen_schedule(&mut rng, 40), 1, 0.0);
     }
+}
 
-    /// The same with 3-way replication (exercises R.1/R.2 on every
-    /// write).
-    #[test]
-    fn schedule_matches_model_replicated(ops in prop::collection::vec(op(), 1..25)) {
-        run_schedule(ops, 3, 0.0);
+/// The same with 3-way replication (exercises R.1/R.2 on every write).
+#[test]
+fn schedule_matches_model_replicated() {
+    let mut rng = SplitMix64::new(0x5eed_0008);
+    for _ in 0..24 {
+        run_schedule(gen_schedule(&mut rng, 25), 3, 0.0);
     }
+}
 
-    /// The same with an unreliable HTM (forces fallback-handler commits
-    /// mixed with HTM commits).
-    #[test]
-    fn schedule_matches_model_with_flaky_htm(ops in prop::collection::vec(op(), 1..25)) {
-        run_schedule(ops, 1, 0.3);
+/// The same with an unreliable HTM (forces fallback-handler commits
+/// mixed with HTM commits).
+#[test]
+fn schedule_matches_model_with_flaky_htm() {
+    let mut rng = SplitMix64::new(0x5eed_0009);
+    for _ in 0..24 {
+        run_schedule(gen_schedule(&mut rng, 25), 1, 0.3);
     }
+}
 
-    /// Concurrent random transfers conserve the total for arbitrary
-    /// seeds and replica counts.
-    #[test]
-    fn concurrent_transfers_conserve(seed in 0u64..1000, replicas in 1usize..=3) {
-        let opts = EngineOpts { replicas, region_size: 2 << 20, ..Default::default() };
+/// Concurrent random transfers conserve the total for arbitrary seeds
+/// and replica counts.
+#[test]
+fn concurrent_transfers_conserve() {
+    let mut seeds = SplitMix64::new(0x5eed_000a);
+    for case in 0..12u64 {
+        let seed = seeds.below(1000);
+        let replicas = 1 + (case % 3) as usize;
+        let opts = EngineOpts {
+            replicas,
+            region_size: 2 << 20,
+            ..Default::default()
+        };
         let c = DrtmCluster::new(3, &[TableSpec::hash(T, 1024, 16)], opts);
         for shard in 0..3usize {
             for k in 0..4u64 {
@@ -200,7 +232,7 @@ proptest! {
             let c = Arc::clone(&c);
             handles.push(std::thread::spawn(move || {
                 let mut w = c.worker(node, seed ^ node as u64);
-                let mut rng = drtm_base::SplitMix64::new(seed.wrapping_mul(31) + node as u64);
+                let mut rng = SplitMix64::new(seed.wrapping_mul(31) + node as u64);
                 for _ in 0..30 {
                     let from = (rng.below(3) as usize, rng.below(4));
                     let to = (rng.below(3) as usize, rng.below(4));
@@ -229,6 +261,6 @@ proptest! {
                 total += num(&w.run_ro(|t| t.read(shard, T, key(shard, k))).unwrap());
             }
         }
-        prop_assert_eq!(total, 3 * 4 * 50);
+        assert_eq!(total, 3 * 4 * 50, "seed={seed} replicas={replicas}");
     }
 }

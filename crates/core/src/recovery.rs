@@ -13,6 +13,11 @@
 //! 3. Re-replicate: seed the shard's records onto the new home's
 //!    backups so the `f + 1` copy invariant holds again.
 //! 4. Re-home the shard so new transactions route to the new machine.
+//! 5. Scrub survivors: eagerly release dangling locks still owned by
+//!    the dead machine (the passive path in `lock_all` remains as a
+//!    backstop for any this sweep races with) and roll forward survivor
+//!    records whose redo entry became durable at R.1 but whose primary
+//!    write (C.5) never happened because the coordinator died between.
 //!
 //! Committed-but-unreplicated (odd) updates on the dead machine are
 //! *not* recovered — by construction they were never reported committed
@@ -20,12 +25,20 @@
 //! transaction can have committed against them (the odd/even validation
 //! rule), so losing them is safe. The replication tests assert exactly
 //! this.
+//!
+//! `recover_node` is idempotent and safe to race: a cluster-wide
+//! registry serializes concurrent passes, and a repeated call for an
+//! already-recovered machine returns immediately with `repeat = true`,
+//! the original outcome, and no epoch bump or data movement.
 
+use std::collections::HashMap;
 use std::time::Instant;
 
 use drtm_rdma::NodeId;
+use drtm_store::record::{lock_owner, lock_word, RecordRef, LOCK_FREE};
 
 use crate::cluster::DrtmCluster;
+use crate::replication::BackupRecord;
 
 /// What a recovery pass did, with wall-clock phase timings for the
 /// Figure 20 timeline.
@@ -43,33 +56,71 @@ pub struct RecoveryReport {
     pub records_recovered: usize,
     /// Unapplied redo-log entries replayed during the rebuild.
     pub log_entries_replayed: usize,
+    /// Dangling locks owned by non-members released eagerly from
+    /// survivor stores.
+    pub locks_swept: usize,
+    /// Survivor records rolled forward from durable redo state (the
+    /// coordinator died between R.1 and C.5).
+    pub rolled_forward: usize,
     /// Wall-clock time for the configuration commit.
     pub config_commit: std::time::Duration,
     /// Wall-clock time for data rebuild + re-replication.
     pub rebuild: std::time::Duration,
+    /// `true` when this machine was already recovered by an earlier
+    /// pass; nothing was re-applied and the epoch did not move.
+    pub repeat: bool,
 }
 
 /// Recovers from the fail-stop crash of `dead`.
 ///
 /// Call after [`DrtmCluster::crash`] (or after detecting a genuinely
-/// expired lease). Idempotent at the configuration level; the data
-/// rebuild must run once.
+/// expired lease). Idempotent: repeated calls — including concurrent
+/// ones from several detecting survivors — bump the epoch exactly once
+/// and apply the data rebuild exactly once.
 pub fn recover_node(cluster: &DrtmCluster, dead: NodeId) -> RecoveryReport {
+    // The registry lock is held for the whole pass: concurrent
+    // detections serialize here, and all but the first become repeats.
+    let mut registry = cluster.recovered.lock();
+    if let Some(&new_home) = registry.get(&dead) {
+        return RecoveryReport {
+            dead,
+            new_home,
+            epoch: cluster.config.get().epoch,
+            records_recovered: 0,
+            log_entries_replayed: 0,
+            locks_swept: 0,
+            rolled_forward: 0,
+            config_commit: std::time::Duration::ZERO,
+            rebuild: std::time::Duration::ZERO,
+            repeat: true,
+        };
+    }
+
     let t0 = Instant::now();
     let cfg = cluster.config.remove_member(dead);
+    // Quiesce R.1 appends before touching any log: in-flight fenced
+    // appends that began under the old epoch finish first (their entries
+    // are drained and replayed below), and every later append observes
+    // the new epoch and refuses — no redo entry can be orphaned by
+    // landing in a queue after it was drained.
+    cluster.logs.quiesce_appends();
     let config_commit = t0.elapsed();
 
     let t1 = Instant::now();
     let backups = cluster.backups_of(dead);
     let Some(&new_home) = backups.first() else {
+        registry.insert(dead, None);
         return RecoveryReport {
             dead,
             new_home: None,
             epoch: cfg.epoch,
             records_recovered: 0,
             log_entries_replayed: 0,
+            locks_swept: 0,
+            rolled_forward: 0,
             config_commit,
             rebuild: t1.elapsed(),
+            repeat: false,
         };
     };
 
@@ -77,26 +128,35 @@ pub fn recover_node(cluster: &DrtmCluster, dead: NodeId) -> RecoveryReport {
     // on every surviving backup (keeps all images equally fresh).
     let mut replayed = 0;
     for &b in &backups {
-        let pending = cluster.logs.drain_for_recovery(b, dead);
-        replayed += pending.len();
-        for e in &pending {
-            cluster.backups.apply(b, dead, e);
-        }
+        replayed += cluster
+            .logs
+            .drain_with(b, dead, |e| cluster.backups.apply(b, dead, e));
     }
 
     // Instantiate the shard on the new home from its (now fully applied)
     // image. Every commit logged to *all* backups, so one image is
-    // complete.
+    // complete. Existing records (left by an interrupted earlier pass)
+    // are tolerated: the newest sequence number wins.
     let image = cluster.backups.snapshot(new_home, dead);
     let mut recovered = 0;
     for ((table, key), rec) in &image {
         if rec.deleted {
             continue;
         }
-        cluster.stores[new_home]
-            .insert(*table, *key, &rec.value, rec.seq)
-            .expect("recovered key collides with an existing record");
-        recovered += 1;
+        let store = &cluster.stores[new_home];
+        match store.get_loc(*table, *key) {
+            None => {
+                store.insert(*table, *key, &rec.value, rec.seq);
+                recovered += 1;
+            }
+            Some(off) if store.record(*table, off as usize).seq() < rec.seq => {
+                let layout = store.table(*table).layout;
+                RecordRef::new(&store.region, off as usize, layout)
+                    .write_locked(&rec.value, rec.seq);
+                recovered += 1;
+            }
+            Some(_) => {}
+        }
     }
 
     // Re-replicate: the recovered shard needs backups again, and they
@@ -113,15 +173,116 @@ pub fn recover_node(cluster: &DrtmCluster, dead: NodeId) -> RecoveryReport {
 
     cluster.rehome(dead, new_home);
 
+    // Scrub the survivors: eager dangling-lock release plus roll-forward
+    // of redo entries the dead coordinator made durable but never wrote.
+    let (locks_swept, rolled_forward) = sweep_survivors(cluster);
+
+    registry.insert(dead, Some(new_home));
     RecoveryReport {
         dead,
         new_home: Some(new_home),
         epoch: cfg.epoch,
         records_recovered: recovered,
         log_entries_replayed: replayed,
+        locks_swept,
+        rolled_forward,
         config_commit,
         rebuild: t1.elapsed(),
+        repeat: false,
     }
+}
+
+/// Releases every dangling lock owned by a non-member and rolls forward
+/// survivor records whose committed update was durable in the backups
+/// (R.1 finished) but never written to the primary (the coordinator
+/// died before its C.5 RDMA WRITE landed).
+///
+/// A record in that window is always still locked by the dead
+/// coordinator — C.1 locked it and nothing before C.6 unlocks — so the
+/// dangling lock is the trigger: compare the record against the
+/// freshest durable image and install the newer version before
+/// releasing the lock. Buffered inserts the coordinator logged but
+/// never shipped show up as image-only keys and are instantiated.
+/// Returns `(locks_swept, rolled_forward)`.
+fn sweep_survivors(cluster: &DrtmCluster) -> (usize, usize) {
+    let members = cluster.config.get().members;
+    // Flush pending survivor redo logs into the images first so the
+    // image comparison below sees everything that is durable.
+    for &b in &members {
+        cluster.truncate_step(b);
+    }
+    let mut swept = 0;
+    let mut rolled = 0;
+    for &p in &members {
+        let store = &cluster.stores[p];
+        for table in 0..store.table_count() as u32 {
+            for (_, off) in store.keys(table) {
+                let rec = store.record(table, off as usize);
+                let word = rec.lock();
+                let dangling = lock_owner(word).is_some_and(|o| !members.contains(&o));
+                if !dangling {
+                    continue;
+                }
+                // Steal the lock before repairing: a concurrent
+                // survivor transaction tripping on the same dangling
+                // lock steals-and-heals through `lock_all`, and only
+                // one of us may own the repair window.
+                if store
+                    .region
+                    .cas64(rec.lock_off(), word, lock_word(p))
+                    .is_err()
+                {
+                    continue; // a survivor stole it first and heals it
+                }
+                if cluster.heal_record(p, off as usize) {
+                    rolled += 1;
+                }
+                store.region.store64_coherent(rec.lock_off(), LOCK_FREE);
+                swept += 1;
+            }
+        }
+        // Inserts logged at R.1 but never applied: live in the durable
+        // image, absent from the primary.
+        let mut fresh: HashMap<(u32, u64), BackupRecord> = HashMap::new();
+        for b in cluster.backups_of(p) {
+            for (k, r) in cluster.backups.snapshot(b, p) {
+                match fresh.get(&k) {
+                    Some(cur) if cur.seq >= r.seq => {}
+                    _ => {
+                        fresh.insert(k, r);
+                    }
+                }
+            }
+        }
+        for (&(table, key), img) in &fresh {
+            if !img.deleted && store.get_loc(table, key).is_none() {
+                store.insert(table, key, &img.value, img.seq);
+                rolled += 1;
+            }
+        }
+    }
+    // Abandoned stores (removed machines) can also hold dangling locks:
+    // a dead coordinator in the fallback path locked its *own* records
+    // with loopback CAS. Nobody serves those stores any more, but a
+    // clean scrub should find no stale locks anywhere, so release
+    // non-member-owned locks there too. Member-owned locks are left
+    // alone — a live transaction may hold them and will unlock itself.
+    for node in 0..cluster.nodes() {
+        if members.contains(&node) {
+            continue;
+        }
+        let store = &cluster.stores[node];
+        for table in 0..store.table_count() as u32 {
+            for (_, off) in store.keys(table) {
+                let rec = store.record(table, off as usize);
+                if lock_owner(rec.lock()).is_some_and(|o| !members.contains(&o)) {
+                    store.region.store64_coherent(rec.lock_off(), LOCK_FREE);
+                    swept += 1;
+                }
+            }
+        }
+    }
+    (swept, rolled)
 }
 
 /// Repairs a cluster after a *complete* power failure ("full restart").

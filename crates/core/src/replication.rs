@@ -10,9 +10,9 @@
 
 use std::collections::HashMap;
 
+use drtm_base::sync::Mutex;
 use drtm_cluster::LogEntry;
 use drtm_rdma::NodeId;
-use parking_lot::Mutex;
 
 /// State of one record in a backup image.
 #[derive(Debug, Clone, PartialEq, Eq)]

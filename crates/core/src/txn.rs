@@ -46,6 +46,11 @@ pub enum TxnError {
     /// The application rolled the transaction back (e.g. TPC-C's 1 %
     /// intentional new-order aborts). Not retried.
     UserAbort,
+    /// The executing machine died mid-protocol (crash injection). The
+    /// transaction stops in place — locks stay held and partially
+    /// replicated state stays as the crash left it — and the error
+    /// propagates without retry so worker loops can observe the death.
+    Crashed,
 }
 
 /// Virtual time spent per commit-protocol step (accumulated across all
@@ -166,6 +171,11 @@ pub(crate) struct PendingMutation {
 pub struct TxnCtx<'w> {
     pub(crate) w: &'w mut Worker,
     pub(crate) start_ns: u64,
+    /// Configuration epoch at begin. Commit is fenced against it: a
+    /// reconfiguration mid-transaction aborts the transaction rather
+    /// than let it validate against (or log towards) a shard whose
+    /// store was abandoned and re-homed (§5.2).
+    pub(crate) start_epoch: u64,
     pub(crate) read_only: bool,
     pub(crate) l_rs: Vec<LocalRead>,
     pub(crate) l_ws: Vec<LocalWrite>,
@@ -205,8 +215,10 @@ impl Worker {
         let cost = self.cluster.opts.cost.txn_overhead_ns;
         self.clock.advance(cost);
         let start_ns = self.clock.now();
+        let start_epoch = self.cluster.config.epoch();
         TxnCtx {
             start_ns,
+            start_epoch,
             read_only,
             l_rs: Vec::new(),
             l_ws: Vec::new(),

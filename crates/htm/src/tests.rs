@@ -4,7 +4,6 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use drtm_base::{MemoryRegion, SplitMix64};
-use proptest::prelude::*;
 
 use crate::{AbortCode, Htm, HtmConfig, HtmTxn, RunOutcome};
 
@@ -303,13 +302,16 @@ fn concurrent_transfers_conserve_total() {
     assert_eq!(r.load64(0) + r.load64(128), 1000);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// A serial sequence of transactional writes then reads behaves like a
-    /// plain byte array (sequential model check).
-    #[test]
-    fn serial_model_check(ops in prop::collection::vec((0usize..1024, 0u8..=255), 1..60)) {
+/// A serial sequence of transactional writes then reads behaves like a
+/// plain byte array (sequential model check, randomized schedules).
+#[test]
+fn serial_model_check() {
+    let mut rng = SplitMix64::new(0x5eed_0003);
+    for _ in 0..64 {
+        let n = 1 + rng.below(59) as usize;
+        let ops: Vec<(usize, u8)> = (0..n)
+            .map(|_| (rng.below(1024) as usize, rng.next_u64() as u8))
+            .collect();
         let r = MemoryRegion::new(2048);
         let cfg = HtmConfig::default();
         let mut model = vec![0u8; 2048];
@@ -323,15 +325,20 @@ proptest! {
         for (off, _) in &ops {
             let mut b = [0u8; 1];
             t.read_bytes(*off, &mut b).unwrap();
-            prop_assert_eq!(b[0], model[*off]);
+            assert_eq!(b[0], model[*off]);
         }
         t.commit().unwrap();
     }
+}
 
-    /// Multi-byte transactional writes commit atomically: a reader using
-    /// per-line coherent reads never sees a torn *line*.
-    #[test]
-    fn committed_writes_are_line_atomic(len in 1usize..200, off in 0usize..64) {
+/// Multi-byte transactional writes commit atomically: a reader using
+/// per-line coherent reads never sees a torn *line*.
+#[test]
+fn committed_writes_are_line_atomic() {
+    let mut rng = SplitMix64::new(0x5eed_0004);
+    for _ in 0..64 {
+        let len = 1 + rng.below(199) as usize;
+        let off = rng.below(64) as usize;
         let r = MemoryRegion::new(1024);
         let cfg = HtmConfig::default();
         let mut t = HtmTxn::begin(&r, &cfg);
@@ -340,7 +347,7 @@ proptest! {
         t.commit().unwrap();
         let mut out = vec![0u8; len];
         r.read_bytes_coherent(off, &mut out);
-        prop_assert_eq!(out, data);
+        assert_eq!(out, data, "len={len} off={off}");
     }
 }
 

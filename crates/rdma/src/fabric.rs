@@ -1,8 +1,10 @@
 //! The simulated RDMA fabric: node ports, queue pairs, and verbs.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use drtm_base::sync::{Condvar, Mutex, RwLock};
 use drtm_base::{CostModel, Counter, LinkBudget, MemoryRegion, VClock};
 
 /// Identifies a machine (or logical node) on the fabric.
@@ -21,6 +23,94 @@ pub enum AtomicLevel {
     /// RDMA atomics are atomic with respect to CPU atomics too; enables
     /// the paper's fused lock+validate optimisation (§4.4, step C.2).
     Glob,
+}
+
+/// Verb class, as seen by a [`FaultInjector`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verb {
+    /// One-sided READ.
+    Read,
+    /// One-sided WRITE.
+    Write,
+    /// One-sided compare-and-swap.
+    Cas,
+    /// One-sided fetch-and-add.
+    Faa,
+    /// Two-sided SEND.
+    Send,
+}
+
+impl Verb {
+    /// All verb classes (stable order, used for per-class counters).
+    pub const ALL: [Verb; 5] = [Verb::Read, Verb::Write, Verb::Cas, Verb::Faa, Verb::Send];
+
+    /// Stable index of this verb in [`Verb::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            Verb::Read => 0,
+            Verb::Write => 1,
+            Verb::Cas => 2,
+            Verb::Faa => 3,
+            Verb::Send => 4,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Verb::Read => "READ",
+            Verb::Write => "WRITE",
+            Verb::Cas => "CAS",
+            Verb::Faa => "FAA",
+            Verb::Send => "SEND",
+        }
+    }
+}
+
+/// A fault decision applied to one verb, produced by a [`FaultInjector`].
+///
+/// Semantics follow reliable-connected (RC) transport: one-sided verbs
+/// never fail at the application layer — a lost packet is retransmitted
+/// by the NIC — so `drop` on a one-sided verb is charged as a
+/// retransmission delay while the operation still takes effect. `drop`
+/// on a SEND loses the message for real (the receive queue never sees
+/// it), which is how upper layers observe partitions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fault {
+    /// Extra latency charged to the issuing worker's virtual clock, in ns
+    /// (delayed or retransmitted packets, partition stalls, NIC flaps).
+    pub delay_ns: u64,
+    /// Extra wire bytes charged against both NICs (duplicated packets).
+    pub extra_wire: u64,
+    /// Lose the operation's packet once. SENDs are dropped outright;
+    /// one-sided verbs complete after a retransmission penalty.
+    pub drop: bool,
+}
+
+impl Fault {
+    /// The no-fault decision.
+    pub const NONE: Fault = Fault {
+        delay_ns: 0,
+        extra_wire: 0,
+        drop: false,
+    };
+
+    /// Whether this decision perturbs the verb at all.
+    pub fn is_fault(&self) -> bool {
+        *self != Fault::NONE
+    }
+}
+
+/// Decides, per verb issue, whether and how to perturb it.
+///
+/// Implementations must be deterministic functions of their own state
+/// and the `(src, dst, verb)` stream — the fabric calls `on_verb`
+/// exactly once per verb, in issue order per caller thread, so an
+/// injector keying decisions off per-stream counters reproduces the
+/// same fault schedule for the same seed.
+pub trait FaultInjector: Send + Sync {
+    /// Called before the verb executes; returns the fault to apply.
+    fn on_verb(&self, src: NodeId, dst: NodeId, verb: Verb, now: u64) -> Fault;
 }
 
 /// A two-sided message delivered through SEND/RECV verbs.
@@ -49,6 +139,91 @@ pub struct NicStats {
     pub bytes: Counter,
 }
 
+/// A point-in-time copy of [`NicStats`], diffable with [`NicSnapshot::delta`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NicSnapshot {
+    /// One-sided READ verbs issued.
+    pub reads: u64,
+    /// One-sided WRITE verbs issued.
+    pub writes: u64,
+    /// Atomic verbs (CAS + FAA) issued.
+    pub atomics: u64,
+    /// SEND verbs issued.
+    pub sends: u64,
+    /// Total payload bytes moved.
+    pub bytes: u64,
+}
+
+impl NicSnapshot {
+    /// Counter increments since `earlier` (saturating, so a reset
+    /// between snapshots yields zeros rather than wrapping).
+    pub fn delta(&self, earlier: &NicSnapshot) -> NicSnapshot {
+        NicSnapshot {
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            atomics: self.atomics.saturating_sub(earlier.atomics),
+            sends: self.sends.saturating_sub(earlier.sends),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+        }
+    }
+
+    /// Total verbs of all classes.
+    pub fn verbs(&self) -> u64 {
+        self.reads + self.writes + self.atomics + self.sends
+    }
+}
+
+impl NicStats {
+    /// Copies the current counter values.
+    pub fn snapshot(&self) -> NicSnapshot {
+        NicSnapshot {
+            reads: self.reads.get(),
+            writes: self.writes.get(),
+            atomics: self.atomics.get(),
+            sends: self.sends.get(),
+            bytes: self.bytes.get(),
+        }
+    }
+
+    /// Counter increments since an `earlier` snapshot.
+    pub fn delta(&self, earlier: &NicSnapshot) -> NicSnapshot {
+        self.snapshot().delta(earlier)
+    }
+}
+
+/// An unbounded MPMC receive queue (SEND/RECV completion queue).
+#[derive(Default)]
+struct RecvQueue {
+    q: Mutex<VecDeque<Message>>,
+    cv: Condvar,
+}
+
+impl RecvQueue {
+    fn push(&self, m: Message) {
+        self.q.lock().push_back(m);
+        self.cv.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<Message> {
+        self.q.lock().pop_front()
+    }
+
+    fn pop_timeout(&self, timeout: Duration) -> Option<Message> {
+        let deadline = Instant::now() + timeout;
+        let mut g = self.q.lock();
+        loop {
+            if let Some(m) = g.pop_front() {
+                return Some(m);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            (g, _) = self.cv.wait_timeout(g, deadline - now);
+        }
+    }
+}
+
 /// One endpoint on the fabric: a registered memory region, a NIC link
 /// budget, and a receive queue.
 pub struct NodePort {
@@ -60,20 +235,17 @@ pub struct NodePort {
     pub nic_ops: LinkBudget,
     /// Verb counters.
     pub stats: NicStats,
-    rx: Receiver<Message>,
-    tx: Sender<Message>,
+    rx: RecvQueue,
 }
 
 impl NodePort {
     fn new(region: Arc<MemoryRegion>, bytes_per_sec: f64, ops_per_sec: f64) -> Self {
-        let (tx, rx) = unbounded();
         Self {
             region,
             nic: LinkBudget::new(bytes_per_sec),
             nic_ops: LinkBudget::new(ops_per_sec),
             stats: NicStats::default(),
-            rx,
-            tx,
+            rx: RecvQueue::default(),
         }
     }
 }
@@ -90,6 +262,7 @@ pub struct Fabric {
     pub cost: CostModel,
     /// Atomicity level advertised by the (simulated) HCA.
     pub atomic_level: AtomicLevel,
+    injector: RwLock<Option<Arc<dyn FaultInjector>>>,
 }
 
 impl Fabric {
@@ -104,6 +277,7 @@ impl Fabric {
                 .collect(),
             cost,
             atomic_level: AtomicLevel::Hca,
+            injector: RwLock::new(None),
         }
     }
 
@@ -115,6 +289,24 @@ impl Fabric {
     /// The port (region + NIC + stats) of `node`.
     pub fn port(&self, node: NodeId) -> &NodePort {
         &self.ports[node]
+    }
+
+    /// Installs a fault injector consulted on every verb.
+    pub fn set_injector(&self, injector: Arc<dyn FaultInjector>) {
+        *self.injector.write() = Some(injector);
+    }
+
+    /// Removes the installed fault injector, restoring a reliable fabric.
+    pub fn clear_injector(&self) {
+        *self.injector.write() = None;
+    }
+
+    /// Consults the installed injector (if any) for this verb issue.
+    fn fault(&self, src: NodeId, dst: NodeId, verb: Verb, now: u64) -> Fault {
+        match &*self.injector.read() {
+            Some(inj) => inj.on_verb(src, dst, verb, now),
+            None => Fault::NONE,
+        }
     }
 
     /// Opens a queue pair from `src` to `dst`.
@@ -180,6 +372,22 @@ impl Qp {
         self.fabric.port(self.dst)
     }
 
+    /// Applies an injected fault to a *one-sided* verb: extra wire bytes
+    /// and delay are charged, and a dropped packet becomes an RC
+    /// retransmission penalty (at least one message round trip).
+    fn charge_one_sided_fault(&self, clock: &mut VClock, fault: Fault) {
+        if fault.extra_wire > 0 {
+            let done = self
+                .fabric
+                .charge_nics(self.src, self.dst, clock.now(), fault.extra_wire);
+            clock.advance_to(done);
+        }
+        clock.advance(fault.delay_ns);
+        if fault.drop {
+            clock.advance(fault.delay_ns.max(self.fabric.cost.msg_ns));
+        }
+    }
+
     /// One-sided RDMA READ of `buf.len()` bytes at remote byte offset
     /// `raddr`.
     ///
@@ -188,11 +396,13 @@ impl Qp {
     /// mid-write, like the DMA engine re-snooping a locked line).
     pub fn read(&self, clock: &mut VClock, raddr: usize, buf: &mut [u8]) -> Vec<u64> {
         let f = &self.fabric;
+        let fault = f.fault(self.src, self.dst, Verb::Read, clock.now());
         let versions = self.port().region.read_bytes_coherent(raddr, buf);
         let wire = f.cost.wire_bytes(buf.len());
         let done = f.charge_nics(self.src, self.dst, clock.now(), wire);
         clock.advance(f.cost.rdma_read(buf.len()));
         clock.advance_to(done);
+        self.charge_one_sided_fault(clock, fault);
         self.port().stats.reads.inc();
         self.port().stats.bytes.add(buf.len() as u64);
         versions
@@ -205,11 +415,13 @@ impl Qp {
     /// conflicting HTM transactions on the target abort.
     pub fn write(&self, clock: &mut VClock, raddr: usize, data: &[u8]) {
         let f = &self.fabric;
+        let fault = f.fault(self.src, self.dst, Verb::Write, clock.now());
         self.port().region.write_bytes_coherent(raddr, data);
         let wire = f.cost.wire_bytes(data.len());
         let done = f.charge_nics(self.src, self.dst, clock.now(), wire);
         clock.advance(f.cost.rdma_write(data.len()));
         clock.advance_to(done);
+        self.charge_one_sided_fault(clock, fault);
         self.port().stats.writes.inc();
         self.port().stats.bytes.add(data.len() as u64);
     }
@@ -229,11 +441,13 @@ impl Qp {
             "HCA does not support RDMA atomics"
         );
         let f = &self.fabric;
+        let fault = f.fault(self.src, self.dst, Verb::Cas, clock.now());
         let res = self.port().region.cas64(raddr, expect, new);
         let wire = f.cost.wire_bytes(8);
         let done = f.charge_nics(self.src, self.dst, clock.now(), wire);
         clock.advance(f.cost.rdma_atomic_ns);
         clock.advance_to(done);
+        self.charge_one_sided_fault(clock, fault);
         self.port().stats.atomics.inc();
         self.port().stats.bytes.add(8);
         res
@@ -247,34 +461,38 @@ impl Qp {
             "HCA does not support RDMA atomics"
         );
         let f = &self.fabric;
+        let fault = f.fault(self.src, self.dst, Verb::Faa, clock.now());
         let old = self.port().region.faa64(raddr, add);
         let wire = f.cost.wire_bytes(8);
         let done = f.charge_nics(self.src, self.dst, clock.now(), wire);
         clock.advance(f.cost.rdma_atomic_ns);
         clock.advance_to(done);
+        self.charge_one_sided_fault(clock, fault);
         self.port().stats.atomics.inc();
         self.port().stats.bytes.add(8);
         old
     }
 
     /// Two-sided SEND: enqueues a message on the destination's receive
-    /// queue.
+    /// queue. A dropped SEND pays wire and clock costs but never arrives.
     pub fn send(&self, clock: &mut VClock, tag: u32, payload: Vec<u8>) {
         let f = &self.fabric;
-        let wire = f.cost.wire_bytes(payload.len());
+        let fault = f.fault(self.src, self.dst, Verb::Send, clock.now());
+        let wire = f.cost.wire_bytes(payload.len()) + fault.extra_wire;
         let done = f.charge_nics(self.src, self.dst, clock.now(), wire);
         clock.advance(f.cost.msg_ns);
+        clock.advance(fault.delay_ns);
         clock.advance_to(done);
         self.port().stats.sends.inc();
         self.port().stats.bytes.add(payload.len() as u64);
-        self.port()
-            .tx
-            .send(Message {
-                from: self.src,
-                tag,
-                payload,
-            })
-            .expect("receive queue closed");
+        if fault.drop {
+            return;
+        }
+        self.port().rx.push(Message {
+            from: self.src,
+            tag,
+            payload,
+        });
     }
 }
 
@@ -284,11 +502,18 @@ impl Fabric {
     ///
     /// Used where the simulation applies the message's effect directly
     /// (e.g. shipping an insert to its host machine) but the wire cost
-    /// must still be paid.
+    /// must still be paid. Injected SEND faults apply their delay here
+    /// too (the effect is still applied: RC retransmits until the
+    /// request lands).
     pub fn charge_message(&self, clock: &mut VClock, src: NodeId, dst: NodeId, bytes: usize) {
-        let wire = self.cost.wire_bytes(bytes);
+        let fault = self.fault(src, dst, Verb::Send, clock.now());
+        let wire = self.cost.wire_bytes(bytes) + fault.extra_wire;
         let done = self.charge_nics(src, dst, clock.now(), wire);
         clock.advance(self.cost.msg_ns);
+        clock.advance(fault.delay_ns);
+        if fault.drop {
+            clock.advance(fault.delay_ns.max(self.cost.msg_ns));
+        }
         clock.advance_to(done);
         self.ports[dst].stats.sends.inc();
         self.ports[dst].stats.bytes.add(bytes as u64);
@@ -296,12 +521,12 @@ impl Fabric {
 
     /// Non-blocking RECV on `node`'s queue.
     pub fn try_recv(&self, node: NodeId) -> Option<Message> {
-        self.ports[node].rx.try_recv().ok()
+        self.ports[node].rx.try_pop()
     }
 
     /// Blocking RECV with a host-time timeout (used by auxiliary threads).
     pub fn recv_timeout(&self, node: NodeId, timeout: std::time::Duration) -> Option<Message> {
-        self.ports[node].rx.recv_timeout(timeout).ok()
+        self.ports[node].rx.pop_timeout(timeout)
     }
 }
 
@@ -362,6 +587,19 @@ mod unit {
     }
 
     #[test]
+    fn recv_timeout_returns_queued_message() {
+        let f = fabric(2);
+        let qp = f.qp(0, 1);
+        let mut clock = VClock::new();
+        qp.send(&mut clock, 1, vec![9]);
+        let m = f
+            .recv_timeout(1, Duration::from_millis(50))
+            .expect("already queued");
+        assert_eq!(m.payload, vec![9]);
+        assert!(f.recv_timeout(1, Duration::from_millis(1)).is_none());
+    }
+
+    #[test]
     fn bandwidth_backpressure_shows_in_clock() {
         // Deliberately tiny bandwidth: 1 MB/s.
         let cost = CostModel {
@@ -378,5 +616,77 @@ mod unit {
         // 100 kB at 1 MB/s = ~100 ms of serialisation delay (minus the
         // token-bucket burst allowance).
         assert!(clock.now() >= 99_000_000, "clock = {}", clock.now());
+    }
+
+    #[test]
+    fn snapshot_delta_diffs_counters() {
+        let f = fabric(2);
+        let qp = f.qp(0, 1);
+        let mut clock = VClock::new();
+        qp.write(&mut clock, 0, &[0u8; 16]);
+        let before = f.port(1).stats.snapshot();
+        qp.write(&mut clock, 0, &[0u8; 16]);
+        let mut buf = [0u8; 8];
+        qp.read(&mut clock, 0, &mut buf);
+        qp.cas(&mut clock, 256, 0, 1).unwrap();
+        let d = f.port(1).stats.delta(&before);
+        assert_eq!((d.reads, d.writes, d.atomics, d.sends), (1, 1, 1, 0));
+        assert_eq!(d.bytes, 16 + 8 + 8);
+        assert_eq!(d.verbs(), 3);
+    }
+
+    struct DropAllSends;
+    impl FaultInjector for DropAllSends {
+        fn on_verb(&self, _src: NodeId, _dst: NodeId, verb: Verb, _now: u64) -> Fault {
+            Fault {
+                drop: verb == Verb::Send,
+                ..Fault::NONE
+            }
+        }
+    }
+
+    #[test]
+    fn injector_drops_sends_but_not_one_sided() {
+        let f = fabric(2);
+        f.set_injector(Arc::new(DropAllSends));
+        let qp = f.qp(0, 1);
+        let mut clock = VClock::new();
+        qp.send(&mut clock, 3, vec![1]);
+        assert!(f.try_recv(1).is_none(), "dropped SEND never arrives");
+        qp.write(&mut clock, 0, b"still lands");
+        let mut buf = [0u8; 11];
+        qp.read(&mut clock, 0, &mut buf);
+        assert_eq!(&buf, b"still lands");
+        f.clear_injector();
+        qp.send(&mut clock, 3, vec![2]);
+        assert!(f.try_recv(1).is_some(), "fabric reliable again");
+    }
+
+    struct DelayReads(u64);
+    impl FaultInjector for DelayReads {
+        fn on_verb(&self, _src: NodeId, _dst: NodeId, verb: Verb, _now: u64) -> Fault {
+            Fault {
+                delay_ns: if verb == Verb::Read { self.0 } else { 0 },
+                ..Fault::NONE
+            }
+        }
+    }
+
+    #[test]
+    fn injected_delay_charges_victim_clock() {
+        let f = fabric(2);
+        let qp = f.qp(0, 1);
+        let mut buf = [0u8; 8];
+        let mut base = VClock::new();
+        qp.read(&mut base, 0, &mut buf);
+        let clean = base.now();
+        f.set_injector(Arc::new(DelayReads(1_000_000)));
+        let mut slow = VClock::new();
+        qp.read(&mut slow, 0, &mut buf);
+        assert!(
+            slow.now() >= clean + 1_000_000,
+            "delay charged: {} vs {clean}",
+            slow.now()
+        );
     }
 }

@@ -35,11 +35,15 @@ mod fabric;
 pub use fabric::{
     AtomicLevel,
     Fabric,
+    Fault,
+    FaultInjector,
     Message,
+    NicSnapshot,
     NicStats,
     NodeId,
     NodePort,
-    Qp, //
+    Qp,
+    Verb, //
 };
 
 #[cfg(test)]

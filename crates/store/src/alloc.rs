@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use drtm_base::cacheline::round_up_line;
-use parking_lot::Mutex;
+use drtm_base::sync::Mutex;
 
 /// A bump allocator with per-size free lists over a byte range of a
 /// [`drtm_base::MemoryRegion`].

@@ -15,20 +15,14 @@
 //! range scans TPC-C needs (`order-status` reads a customer's last order;
 //! `stock-level` walks recent order lines).
 
-use parking_lot::RwLock;
+use drtm_base::sync::RwLock;
 
 const ORDER: usize = 16; // Max keys per node.
 
 #[derive(Debug)]
 enum Node {
-    Internal {
-        keys: Vec<u64>,
-        children: Vec<Box<Node>>,
-    },
-    Leaf {
-        keys: Vec<u64>,
-        vals: Vec<u64>,
-    },
+    Internal { keys: Vec<u64>, children: Vec<Node> },
+    Leaf { keys: Vec<u64>, vals: Vec<u64> },
 }
 
 impl Node {
@@ -40,14 +34,14 @@ impl Node {
     }
 
     /// Splits a full child, returning `(separator, right sibling)`.
-    fn split(&mut self) -> (u64, Box<Node>) {
+    fn split(&mut self) -> (u64, Node) {
         match self {
             Node::Leaf { keys, vals } => {
                 let mid = keys.len() / 2;
                 let rk = keys.split_off(mid);
                 let rv = vals.split_off(mid);
                 let sep = rk[0];
-                (sep, Box::new(Node::Leaf { keys: rk, vals: rv }))
+                (sep, Node::Leaf { keys: rk, vals: rv })
             }
             Node::Internal { keys, children } => {
                 let mid = keys.len() / 2;
@@ -57,10 +51,10 @@ impl Node {
                 let rc = children.split_off(mid + 1);
                 (
                     sep,
-                    Box::new(Node::Internal {
+                    Node::Internal {
                         keys: rk,
                         children: rc,
-                    }),
+                    },
                 )
             }
         }
@@ -194,7 +188,7 @@ impl BTree {
                 }),
             );
             if let Node::Internal { children, .. } = &mut **root {
-                children.push(old);
+                children.push(*old);
                 children.push(right);
             }
         }
@@ -232,7 +226,6 @@ impl BTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use std::collections::BTreeMap;
 
     #[test]
@@ -309,26 +302,29 @@ mod tests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// Model check against std's BTreeMap, including scans.
-        #[test]
-        fn model_check(ops in prop::collection::vec((0u8..3, 0u64..500, any::<u64>()), 1..300)) {
+    /// Model check against std's BTreeMap, including scans, over
+    /// randomized operation schedules.
+    #[test]
+    fn model_check() {
+        let mut rng = drtm_base::SplitMix64::new(0x5eed_0005);
+        for _ in 0..64 {
+            let n = 1 + rng.below(299) as usize;
             let t = BTree::new();
             let mut m = BTreeMap::new();
-            for (op, k, v) in ops {
-                let k = k + 1;
+            for _ in 0..n {
+                let op = rng.below(3) as u8;
+                let k = rng.below(500) + 1;
+                let v = rng.next_u64();
                 match op {
-                    0 => prop_assert_eq!(t.insert(k, v), m.insert(k, v)),
-                    1 => prop_assert_eq!(t.remove(k), m.remove(&k)),
-                    _ => prop_assert_eq!(t.get(k), m.get(&k).copied()),
+                    0 => assert_eq!(t.insert(k, v), m.insert(k, v)),
+                    1 => assert_eq!(t.remove(k), m.remove(&k)),
+                    _ => assert_eq!(t.get(k), m.get(&k).copied()),
                 }
             }
             // Full scan agrees with the model.
             let got = t.scan(0, u64::MAX, usize::MAX);
             let want: Vec<(u64, u64)> = m.iter().map(|(&k, &v)| (k, v)).collect();
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want);
         }
     }
 }

@@ -17,9 +17,9 @@
 //! entries are detected by the record-incarnation check in the commit
 //! phase, whereupon the caller invalidates and re-probes.
 
+use drtm_base::sync::Mutex;
 use drtm_base::{MemoryRegion, VClock};
 use drtm_rdma::Qp;
-use parking_lot::Mutex;
 
 /// A slot key value meaning "never used".
 const EMPTY: u64 = 0;
@@ -362,40 +362,35 @@ mod tests {
         assert!(got.iter().all(|&(k, v)| v == k * 2));
     }
 
-    mod proptests {
-        use super::*;
-        use proptest::prelude::*;
+    /// Model check against a HashMap, through local and remote lookup
+    /// paths, over randomized operation schedules.
+    #[test]
+    fn model_check() {
         use std::collections::HashMap;
-
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(48))]
-
-            /// Model check against a HashMap, through local and remote
-            /// lookup paths.
-            #[test]
-            fn model_check(ops in prop::collection::vec((0u8..3, 1u64..64, 1u64..1000), 1..120)) {
-                let (f, t) = setup(256);
-                let r = &f.port(1).region;
-                let qp = f.qp(0, 1);
-                let mut clock = drtm_base::VClock::new();
-                let mut model: HashMap<u64, u64> = HashMap::new();
-                for (op, k, v) in ops {
-                    match op {
-                        0 => {
-                            let expect = !model.contains_key(&k);
-                            prop_assert_eq!(t.insert(r, k, v), expect);
-                            model.entry(k).or_insert(v);
-                        }
-                        1 => {
-                            prop_assert_eq!(t.remove(r, k), model.remove(&k));
-                        }
-                        _ => {
-                            prop_assert_eq!(t.get(r, k), model.get(&k).copied());
-                            prop_assert_eq!(
-                                t.get_remote(&qp, &mut clock, k),
-                                model.get(&k).copied()
-                            );
-                        }
+        let mut rng = drtm_base::SplitMix64::new(0x5eed_0006);
+        for _ in 0..48 {
+            let n = 1 + rng.below(119) as usize;
+            let (f, t) = setup(256);
+            let r = &f.port(1).region;
+            let qp = f.qp(0, 1);
+            let mut clock = drtm_base::VClock::new();
+            let mut model: HashMap<u64, u64> = HashMap::new();
+            for _ in 0..n {
+                let op = rng.below(3) as u8;
+                let k = rng.range(1, 64);
+                let v = rng.range(1, 1000);
+                match op {
+                    0 => {
+                        let expect = !model.contains_key(&k);
+                        assert_eq!(t.insert(r, k, v), expect);
+                        model.entry(k).or_insert(v);
+                    }
+                    1 => {
+                        assert_eq!(t.remove(r, k), model.remove(&k));
+                    }
+                    _ => {
+                        assert_eq!(t.get(r, k), model.get(&k).copied());
+                        assert_eq!(t.get_remote(&qp, &mut clock, k), model.get(&k).copied());
                     }
                 }
             }

@@ -149,6 +149,52 @@ fn unreplicated_update_rolls_back_and_gated_readers_abort() {
     assert_eq!(num(&v), 500, "the unlogged update must vanish");
 }
 
+/// Idempotence as a property: however many detectors race to recover
+/// the same death — sequentially or concurrently — exactly one pass
+/// does the work, the configuration epoch moves exactly once, and the
+/// recovered data is identical to a single-pass recovery.
+#[test]
+fn recover_node_is_idempotent_under_racing_detectors() {
+    for detectors in [2usize, 4, 8] {
+        let c = build(4, 8);
+        let mut w = c.worker(0, 5);
+        w.run(|t| t.write(2, T, key(2, 3), val(4242))).unwrap();
+
+        let epoch_before = c.config.epoch();
+        c.crash(2);
+        let reports: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..detectors)
+                .map(|_| s.spawn(|| recover_node(&c, 2)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let fresh: Vec<_> = reports.iter().filter(|r| !r.repeat).collect();
+        assert_eq!(fresh.len(), 1, "exactly one pass does the work");
+        assert!(fresh[0].new_home.is_some());
+        assert_eq!(
+            c.config.epoch(),
+            epoch_before + 1,
+            "the epoch moves exactly once no matter how many detectors race"
+        );
+        for r in &reports {
+            assert_eq!(r.dead, 2);
+            assert_eq!(r.epoch, epoch_before + 1, "repeats report the same epoch");
+            if r.repeat {
+                assert_eq!(r.records_recovered, 0, "repeats re-apply nothing");
+                assert_eq!(r.log_entries_replayed, 0);
+            }
+        }
+        // A later (sequential) repeat is also a no-op.
+        let again = recover_node(&c, 2);
+        assert!(again.repeat);
+        assert_eq!(c.config.epoch(), epoch_before + 1);
+
+        let mut w = c.worker(1, 7);
+        assert_eq!(num(&w.run_ro(|t| t.read(2, T, key(2, 3))).unwrap()), 4242);
+    }
+}
+
 /// After recovery the replica count is restored: a second failure of
 /// the new home is also survivable.
 #[test]

@@ -90,6 +90,46 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Folds `other`'s recorded data into `self`.
+    ///
+    /// Because the histogram is bucketized, merging per-shard histograms
+    /// and then asking for a quantile yields *exactly* the same answer as
+    /// recording every value into one histogram — the property the
+    /// sharded metrics registry relies on when it aggregates per-worker
+    /// shards at scrape time.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let c = theirs.load(Ordering::Relaxed);
+            if c != 0 {
+                mine.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Upper edge of the highest non-empty bucket (an upper bound on the
+    /// largest recorded value), or 0 if empty.
+    pub fn max(&self) -> u64 {
+        for (i, b) in self.buckets.iter().enumerate().rev() {
+            if b.load(Ordering::Relaxed) != 0 {
+                return if i + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+            }
+        }
+        0
+    }
+
     /// Mean of recorded values, or 0 if empty.
     pub fn mean(&self) -> f64 {
         let n = self.count();
@@ -177,6 +217,71 @@ mod tests {
         h.reset();
         assert_eq!(h.count(), 0);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merged_quantiles_equal_single_histogram_quantiles() {
+        // Property test: for many random splits of a random value stream
+        // across k shards, every quantile of the merged histogram equals
+        // the quantile of one histogram that saw all values. Exact
+        // equality is required (not approximate): merging only adds
+        // bucket counts, so the bucket contents are identical.
+        let mut rng = crate::SplitMix64::new(0xD157);
+        for trial in 0..50 {
+            let k = 1 + (trial % 7) as usize;
+            let n = 1 + (rng.below(2_000)) as usize;
+            let shards: Vec<Histogram> = (0..k).map(|_| Histogram::new()).collect();
+            let reference = Histogram::new();
+            for _ in 0..n {
+                // Mix of magnitudes so many buckets are exercised.
+                let magnitude = 1 + rng.below(40) as u32;
+                let v = rng.below(1 << magnitude);
+                shards[rng.below(k as u64) as usize].record(v);
+                reference.record(v);
+            }
+            let merged = Histogram::new();
+            for s in &shards {
+                merged.merge(s);
+            }
+            assert_eq!(merged.count(), reference.count());
+            assert_eq!(merged.sum(), reference.sum());
+            assert_eq!(merged.max(), reference.max());
+            for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                assert_eq!(
+                    merged.quantile(q),
+                    reference.quantile(q),
+                    "trial {trial}: q={q} diverged after merge"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sum_and_max_accessors() {
+        let h = Histogram::new();
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.max(), 0);
+        h.record(100);
+        h.record(300);
+        assert_eq!(h.sum(), 400);
+        // Max is an upper bound from the bucket edge: 300 lands in
+        // bucket [256, 512).
+        assert!(h.max() >= 300 && h.max() < 512, "max = {}", h.max());
+    }
+
+    #[test]
+    fn merge_into_empty_is_identity() {
+        let a = Histogram::new();
+        for v in [1u64, 7, 1000, 1 << 30] {
+            a.record(v);
+        }
+        let b = Histogram::new();
+        b.merge(&a);
+        assert_eq!(b.count(), a.count());
+        assert_eq!(b.sum(), a.sum());
+        for q in [0.1, 0.5, 0.99] {
+            assert_eq!(b.quantile(q), a.quantile(q));
+        }
     }
 
     #[test]

@@ -6,12 +6,29 @@
 //! Figures 10/17/Table 6: distributed transactions are dominated by the
 //! one-sided locking and validation round trips; replication adds the
 //! log-write step.
+//!
+//! The numbers come from the cluster's metrics registry (`drtm-obs`):
+//! the engine records one histogram per commit phase, and this binary
+//! just scrapes and formats them.
 
 use drtm_bench::{run_cfg, tpcc_cfg, Scale};
-use drtm_core::txn::StepBreakdown;
+use drtm_core::scrape_cluster;
+use drtm_obs::Snapshot;
 use drtm_workloads::driver::{build_tpcc, EngineKind, RunCfg};
 use drtm_workloads::engine::EngineWorker;
 use drtm_workloads::tpcc::txns;
+
+/// Display label per registry phase name, in protocol order.
+const PHASE_LABELS: [(&str, &str); 8] = [
+    ("execute", "execute"),
+    ("lock", "C.1 lock"),
+    ("validate", "C.2 validate"),
+    ("htm", "C.3/C.4 HTM"),
+    ("log", "R.1 log"),
+    ("makeup", "R.2 makeup"),
+    ("update", "C.5 remote write"),
+    ("unlock", "C.6 unlock"),
+];
 
 fn run_case(name: &str, cross: f64, replicas: usize) {
     let scale = Scale::from_env();
@@ -38,28 +55,29 @@ fn run_case(name: &str, cross: f64, replicas: usize) {
         cluster.truncate_step(node);
     }
 
-    let (steps, committed) = match &ew {
-        EngineWorker::DrtmR(w) => (w.stats.steps.clone(), w.stats.committed),
-        _ => unreachable!(),
-    };
-    print_case(name, &steps, committed);
+    print_case(name, &scrape_cluster(&cluster));
 }
 
-fn print_case(name: &str, s: &StepBreakdown, committed: u64) {
-    let total = s.total().max(1) as f64;
-    let pct = |x: u64| 100.0 * x as f64 / total;
+fn print_case(name: &str, snap: &Snapshot) {
+    let sum_of = |phase: &str| {
+        snap.phases
+            .iter()
+            .find(|(p, _)| *p == phase)
+            .map_or(0, |(_, h)| h.sum)
+    };
+    let total: u64 = PHASE_LABELS.iter().map(|(p, _)| sum_of(p)).sum();
+    let total = total.max(1) as f64;
     println!(
-        "{name}: {:.1} us/txn over {committed} new-orders",
-        total / committed.max(1) as f64 / 1e3
+        "{name}: {:.1} us/txn over {} new-orders",
+        total / snap.committed.max(1) as f64 / 1e3,
+        snap.committed
     );
-    println!("  execute          {:6.1}%", pct(s.execute_ns));
-    println!("  C.1 lock         {:6.1}%", pct(s.lock_ns));
-    println!("  C.2 validate     {:6.1}%", pct(s.validate_remote_ns));
-    println!("  C.3/C.4 HTM      {:6.1}%", pct(s.htm_ns));
-    println!("  R.1 log          {:6.1}%", pct(s.log_ns));
-    println!("  R.2 makeup       {:6.1}%", pct(s.makeup_ns));
-    println!("  C.5 remote write {:6.1}%", pct(s.remote_write_ns));
-    println!("  C.6 unlock       {:6.1}%", pct(s.unlock_ns));
+    for (phase, label) in PHASE_LABELS {
+        println!(
+            "  {label:<16} {:6.1}%",
+            100.0 * sum_of(phase) as f64 / total
+        );
+    }
 }
 
 fn main() {

@@ -12,7 +12,7 @@
 //! the absolute throughput level is not meaningful on a 1-core host —
 //! only the dip/recovery shape is.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -42,7 +42,14 @@ fn main() {
     tpcc::load(&cluster, &cfg);
 
     let stop = Arc::new(AtomicBool::new(false));
-    let commits = Arc::new(AtomicU64::new(0));
+    // Committed-txn counts come from the cluster's metrics registry
+    // (each worker's shard), not a hand-rolled atomic — the same
+    // counters `drtm-shell stats` reports. Requires the `obs` feature
+    // (on by default); a --no-default-features build records nothing.
+    let committed_total = {
+        let cluster = Arc::clone(&cluster);
+        move || -> u64 { cluster.obs.shards().iter().map(|s| s.committed.get()).sum() }
+    };
 
     // Leases start expired; establish them before anyone can suspect a
     // healthy machine.
@@ -86,7 +93,6 @@ fn main() {
         for tid in 0..threads {
             let cluster = Arc::clone(&cluster);
             let stop = Arc::clone(&stop);
-            let commits = Arc::clone(&commits);
             let cfg = cfg.clone();
             workers.push(std::thread::spawn(move || {
                 let mut w = cluster.worker(node, (node * 100 + tid) as u64);
@@ -97,9 +103,7 @@ fn main() {
                 while !stop.load(Ordering::Relaxed) && cluster.is_alive(node) {
                     let inp = txns::gen_new_order(&cfg, &mut rng, home_w, cfg.cross_new_order);
                     i += 1;
-                    if w.run(|t| txns::new_order(t, &cfg, &inp, i)).is_ok() {
-                        commits.fetch_add(1, Ordering::Relaxed);
-                    }
+                    let _ = w.run(|t| txns::new_order(t, &cfg, &inp, i));
                     // Pace the offered load in wall-clock time: on an
                     // oversubscribed single-core host, unpaced workers
                     // would otherwise *speed up* when peers die (more CPU
@@ -141,7 +145,7 @@ fn main() {
     let mut crashed_at = None;
     while t0.elapsed().as_millis() < RUN_MS as u128 {
         std::thread::sleep(Duration::from_millis(BIN_MS));
-        let now = commits.load(Ordering::Relaxed);
+        let now = committed_total();
         bins.push(now - last);
         last = now;
         if crashed_at.is_none() && t0.elapsed().as_millis() >= CRASH_MS as u128 {

@@ -5,10 +5,14 @@
 //! sweep [tpcc|smallbank] [--engine drtm+r|drtm|calvin|silo]
 //!       [--nodes N] [--threads T] [--replicas R] [--cross P]
 //!       [--txns N] [--full] [--msg-locking] [--no-cache] [--fuse]
+//!       [--raw]
 //! ```
 //!
 //! Prints one tab-separated result row (plus a header), so shell loops
-//! can build arbitrary grids beyond the paper's figures.
+//! can build arbitrary grids beyond the paper's figures. With `--raw`
+//! only the aggregate throughput (txn/s, bare float) is printed — the
+//! machine-comparable form the CI observability-overhead check diffs
+//! between obs-enabled and obs-disabled builds.
 
 use drtm_bench::{fmt_tps, sb_cfg, tpcc_cfg, Scale};
 use drtm_workloads::driver::{run_smallbank, run_tpcc, EngineKind, RunCfg};
@@ -38,6 +42,7 @@ fn main() {
     let mut msg_locking = false;
     let mut no_cache = false;
     let mut fuse = false;
+    let mut raw = false;
 
     let mut it = args.iter().peekable();
     let grab = |it: &mut std::iter::Peekable<std::slice::Iter<String>>| -> String {
@@ -58,6 +63,7 @@ fn main() {
             "--msg-locking" => msg_locking = true,
             "--no-cache" => no_cache = true,
             "--fuse" => fuse = true,
+            "--raw" => raw = true,
             "--full" => {} // Handled by Scale::from_env.
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -79,7 +85,9 @@ fn main() {
         ..Default::default()
     };
 
-    println!("workload\tengine\tnodes\tthreads\treplicas\tcross\tthroughput\tnew-order\taborts\tfallbacks");
+    if !raw {
+        println!("workload\tengine\tnodes\tthreads\treplicas\tcross\tthroughput\tnew-order\taborts\tfallbacks");
+    }
     let (m, no) = if workload == "tpcc" {
         let cfg = tpcc_cfg(scale, nodes, threads);
         let m = run_tpcc(&cfg, &run);
@@ -90,6 +98,10 @@ fn main() {
         let m = run_smallbank(&cfg, &run);
         (m, 0.0)
     };
+    if raw {
+        println!("{:.0}", m.throughput);
+        return;
+    }
     println!(
         "{workload}\t{engine:?}\t{nodes}\t{threads}\t{replicas}\t{}\t{}\t{}\t{}\t{}",
         cross.map_or("-".into(), |c| format!("{c}")),

@@ -1,22 +1,30 @@
 //! Table 6: the cost of 3-way replication for TPC-C (6 machines x 8
-//! threads) — throughput and per-transaction-type latency.
+//! threads) — throughput and per-transaction-type latency, plus the
+//! per-commit-phase latency quantiles scraped from the metrics registry.
 //!
 //! Paper shape: at most 41 % throughput overhead before the NIC
 //! saturates; latencies grow by the extra log-write round trips.
 
 use drtm_bench::{fmt_tps, run_cfg, tpcc_cfg, Scale};
-use drtm_workloads::driver::{run_tpcc, EngineKind};
+use drtm_core::scrape_cluster;
+use drtm_obs::Snapshot;
+use drtm_workloads::driver::{build_tpcc, run_tpcc_on, EngineKind};
 
 fn main() {
     let scale = Scale::from_env();
     let nodes = scale.pick(6, 3);
     let threads = scale.pick(8, 2);
     let cfg = tpcc_cfg(scale, nodes, threads);
-    let plain = run_tpcc(&cfg, &run_cfg(scale, EngineKind::DrtmR, threads, 1));
-    let repl = run_tpcc(
-        &cfg,
-        &run_cfg(scale, EngineKind::DrtmR, threads, 3.min(nodes)),
-    );
+
+    let plain_run = run_cfg(scale, EngineKind::DrtmR, threads, 1);
+    let (plain_cluster, plain_calvin) = build_tpcc(&cfg, &plain_run);
+    let plain = run_tpcc_on(&cfg, &plain_run, &plain_cluster, plain_calvin.as_ref());
+    let plain_snap = scrape_cluster(&plain_cluster);
+
+    let repl_run = run_cfg(scale, EngineKind::DrtmR, threads, 3.min(nodes));
+    let (repl_cluster, repl_calvin) = build_tpcc(&cfg, &repl_run);
+    let repl = run_tpcc_on(&cfg, &repl_run, &repl_cluster, repl_calvin.as_ref());
+    let repl_snap = scrape_cluster(&repl_cluster);
 
     println!(
         "# Table 6: impact of 3-way replication (TPC-C, {nodes} machines x {threads} threads)"
@@ -53,6 +61,31 @@ fn main() {
             b.map_or(0.0, |t| t.mean_us),
             b.map_or(0.0, |t| t.p50_us),
             b.map_or(0.0, |t| t.p99_us),
+        );
+    }
+
+    print_phase_table(&plain_snap, &repl_snap);
+}
+
+/// The commit-phase quantiles behind the latency growth: replication
+/// adds the R.1 log and R.2 makeup steps, visible as nonzero rows in
+/// the x3 columns only.
+fn print_phase_table(plain: &Snapshot, repl: &Snapshot) {
+    println!();
+    println!("# commit-phase latency (committed txns, from the metrics registry)");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12}",
+        "phase", "p50 us", "p99 us", "p50 us (x3)", "p99 us (x3)"
+    );
+    for (phase, a) in &plain.phases {
+        let b = repl.phases.iter().find(|(p, _)| p == phase).map(|(_, h)| h);
+        println!(
+            "{:<10} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+            phase,
+            a.p50 as f64 / 1e3,
+            a.p99 as f64 / 1e3,
+            b.map_or(0.0, |h| h.p50 as f64 / 1e3),
+            b.map_or(0.0, |h| h.p99 as f64 / 1e3),
         );
     }
 }

@@ -208,6 +208,15 @@ impl FaultInjector for ChaosInjector {
                 n,
                 fault,
             });
+            // Mirror the decision into the issuing thread's obs trace
+            // ring so chrome://tracing shows perturbed verbs inline
+            // with the txn/verb spans they disturbed.
+            drtm_obs::trace::event(
+                drtm_obs::EventKind::Mark,
+                "chaos_fault",
+                ((src as u64) << 32) | dst as u64,
+                now,
+            );
         }
         fault
     }

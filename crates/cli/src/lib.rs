@@ -11,6 +11,7 @@ use std::sync::Arc;
 use drtm_core::cluster::{DrtmCluster, EngineOpts};
 use drtm_core::recovery::{full_restart_scrub, recover_node};
 use drtm_core::txn::{TxnError, Worker};
+use drtm_rdma::NicSnapshot;
 use drtm_store::TableSpec;
 
 /// The generic key-value table every shell cluster carries.
@@ -50,12 +51,38 @@ pub enum Cmd {
         point: &'static str,
         hit: u64,
     },
-    /// `stats`
-    Stats,
+    /// `smallbank [txns]` — load and run a small SmallBank benchmark
+    /// on a fresh 2-machine cluster so the metrics registry has real
+    /// per-phase and abort data to report.
+    Smallbank {
+        /// Transactions attempted per worker thread.
+        txns: usize,
+    },
+    /// `stats [prom|json]`
+    Stats {
+        /// Output format.
+        format: StatsFormat,
+    },
+    /// `trace <file>` — export the trace rings as chrome://tracing JSON
+    Trace {
+        /// Destination path.
+        path: String,
+    },
     /// `help`
     Help,
     /// `quit`
     Quit,
+}
+
+/// Output format of the `stats` command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsFormat {
+    /// Human-readable tables (the default).
+    Text,
+    /// Prometheus text exposition.
+    Prom,
+    /// JSON.
+    Json,
 }
 
 /// Resolves a crash-point name to its canonical `&'static str`
@@ -124,7 +151,22 @@ pub fn parse(line: &str) -> Result<Option<Cmd>, String> {
             point: crash_point_name(point)?,
             hit: num(hit)?,
         },
-        ["stats"] => Cmd::Stats,
+        ["smallbank"] => Cmd::Smallbank { txns: 200 },
+        ["smallbank", n] => Cmd::Smallbank {
+            txns: num(n)? as usize,
+        },
+        ["stats"] => Cmd::Stats {
+            format: StatsFormat::Text,
+        },
+        ["stats", "prom"] => Cmd::Stats {
+            format: StatsFormat::Prom,
+        },
+        ["stats", "json"] => Cmd::Stats {
+            format: StatsFormat::Json,
+        },
+        ["trace", path] => Cmd::Trace {
+            path: (*path).to_string(),
+        },
         ["help"] => Cmd::Help,
         ["quit"] | ["exit"] => Cmd::Quit,
         other => return Err(format!("unknown command: {other:?} (try `help`)")),
@@ -137,6 +179,9 @@ pub fn parse(line: &str) -> Result<Option<Cmd>, String> {
 pub struct Shell {
     cluster: Option<Arc<DrtmCluster>>,
     workers: Vec<Worker>,
+    /// NIC counters at the previous `stats`, so the next one can show
+    /// the delta as well as the running totals.
+    last_nic: Vec<NicSnapshot>,
 }
 
 /// The help text.
@@ -157,7 +202,14 @@ commands:
                                (C.1-C.6, R.1-R.3) on its [hit]-th
                                passage; recovery via lease expiry; the
                                conservation audit is printed
-  stats                        per-machine commit/abort counters
+  smallbank [txns]             run SmallBank on a fresh 2-machine
+                               cluster (fills the metrics registry)
+  stats [prom|json]            commit-phase latencies, abort taxonomy,
+                               HTM abort classes, NIC counters, and
+                               per-machine liveness (default: text)
+  trace <file>                 export trace rings as chrome://tracing
+                               JSON (open in a chromium browser or
+                               https://ui.perfetto.dev)
   help | quit";
 
 fn val(x: u64) -> Vec<u8> {
@@ -181,6 +233,13 @@ impl Shell {
             .cluster
             .as_ref()
             .ok_or("no cluster (run `cluster N` first)")?;
+        if self.workers.is_empty() {
+            // A benchmark cluster (e.g. `smallbank`) has no interactive
+            // workers and a workload-specific schema.
+            return Err(
+                "this cluster is read-only for stats (run `cluster N` for a KV one)".into(),
+            );
+        }
         let node = cluster.home_of(shard);
         Ok(&mut self.workers[node])
     }
@@ -217,6 +276,7 @@ impl Shell {
                 self.workers = (0..nodes)
                     .map(|n| cluster.worker(n, 0xC11 + n as u64))
                     .collect();
+                self.last_nic.clear();
                 self.cluster = Some(cluster);
                 Ok(Some(format!(
                     "cluster up: {nodes} machines, {replicas} copies per record"
@@ -361,21 +421,75 @@ impl Shell {
                 );
                 Ok(Some(text))
             }
-            Cmd::Stats => {
-                let cluster = self.cluster.as_ref().ok_or("no cluster")?;
-                let mut out = String::new();
-                for (n, w) in self.workers.iter().enumerate() {
-                    out += &format!(
-                        "machine {n}: {} committed, {} aborted, {} fallbacks, vtime {} us, {}\n",
-                        w.stats.committed,
-                        w.stats.aborted,
-                        w.stats.fallbacks,
-                        w.clock.now() / 1000,
-                        if cluster.is_alive(n) { "alive" } else { "DEAD" },
-                    );
+            Cmd::Smallbank { txns } => {
+                use drtm_workloads::driver::{build_smallbank, run_smallbank_on, RunCfg};
+                // Small and hot on purpose: a couple of machines, a tiny
+                // account set, and plenty of cross-machine transactions,
+                // so the abort taxonomy and every commit phase light up.
+                let cfg = drtm_workloads::smallbank::SbCfg {
+                    nodes: 2,
+                    accounts: 20,
+                    hot_fraction: 0.2,
+                    hot_prob: 0.95,
+                    cross_prob: 0.4,
+                };
+                let run = RunCfg {
+                    threads: 3,
+                    txns_per_worker: txns.max(1),
+                    ..Default::default()
+                };
+                let (cluster, calvin) = build_smallbank(&cfg, &run);
+                let m = run_smallbank_on(&cfg, &run, &cluster, calvin.as_ref());
+                self.workers.clear();
+                self.last_nic.clear();
+                self.cluster = Some(cluster);
+                Ok(Some(format!(
+                    "smallbank: {} committed, {} aborted, {} fallbacks over {} machines \
+                     ({} txns/worker x 3 threads); see `stats`",
+                    m.committed, m.aborted, m.fallbacks, cfg.nodes, run.txns_per_worker,
+                )))
+            }
+            Cmd::Stats { format } => {
+                let cluster = Arc::clone(self.cluster.as_ref().ok_or("no cluster")?);
+                let snap = drtm_core::scrape_cluster(&cluster);
+                match format {
+                    StatsFormat::Prom => Ok(Some(drtm_obs::expo::render_prometheus(&snap))),
+                    StatsFormat::Json => Ok(Some(drtm_obs::expo::render_json(&snap))),
+                    StatsFormat::Text => {
+                        let mut out = drtm_obs::expo::render_text(&snap);
+                        out.push_str("\nnic delta since last stats:\n");
+                        let mut next = Vec::with_capacity(cluster.nodes());
+                        for node in 0..cluster.nodes() {
+                            let cur = cluster.fabric.port(node).stats.snapshot();
+                            let prev = self.last_nic.get(node).copied().unwrap_or_default();
+                            let d = cur.delta(&prev);
+                            out += &format!(
+                                "  node {node}: reads={} writes={} atomics={} sends={} ({:.1} KB)\n",
+                                d.reads,
+                                d.writes,
+                                d.atomics,
+                                d.sends,
+                                d.bytes as f64 / 1_024.0
+                            );
+                            next.push(cur);
+                        }
+                        self.last_nic = next;
+                        out.pop();
+                        Ok(Some(out))
+                    }
                 }
-                out.pop();
-                Ok(Some(out))
+            }
+            Cmd::Trace { path } => {
+                let json = drtm_obs::trace::export_chrome_json();
+                drtm_obs::jsonlint::validate(&json)
+                    .map_err(|e| format!("internal error: trace export is not valid JSON: {e}"))?;
+                let events = drtm_obs::trace::buffered();
+                std::fs::write(&path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+                Ok(Some(format!(
+                    "wrote {} buffered events ({} bytes) to {path} — load in chrome://tracing",
+                    events,
+                    json.len()
+                )))
             }
             Cmd::Help => Ok(Some(HELP.to_string())),
             Cmd::Quit => Ok(None),
@@ -587,10 +701,178 @@ mod tests {
             value: 1,
         })
         .unwrap();
-        let out = sh.execute(Cmd::Stats).unwrap().unwrap();
-        assert!(out.contains("machine 0"));
-        assert!(out.contains("alive"));
+        let out = sh
+            .execute(Cmd::Stats {
+                format: StatsFormat::Text,
+            })
+            .unwrap()
+            .unwrap();
+        assert!(out.contains("node 0"), "{out}");
+        assert!(out.contains("alive"), "{out}");
+        assert!(out.contains("nic delta since last stats"), "{out}");
         let out = sh.execute(Cmd::Scrub).unwrap().unwrap();
         assert!(out.contains("scrubbed"));
+    }
+
+    #[test]
+    fn parse_obs_commands() {
+        assert_eq!(
+            parse("stats").unwrap(),
+            Some(Cmd::Stats {
+                format: StatsFormat::Text
+            })
+        );
+        assert_eq!(
+            parse("stats prom").unwrap(),
+            Some(Cmd::Stats {
+                format: StatsFormat::Prom
+            })
+        );
+        assert_eq!(
+            parse("stats json").unwrap(),
+            Some(Cmd::Stats {
+                format: StatsFormat::Json
+            })
+        );
+        assert_eq!(
+            parse("smallbank").unwrap(),
+            Some(Cmd::Smallbank { txns: 200 })
+        );
+        assert_eq!(
+            parse("smallbank 50").unwrap(),
+            Some(Cmd::Smallbank { txns: 50 })
+        );
+        assert_eq!(
+            parse("trace /tmp/out.json").unwrap(),
+            Some(Cmd::Trace {
+                path: "/tmp/out.json".into()
+            })
+        );
+        assert!(parse("stats xml").is_err());
+    }
+
+    /// The PR's acceptance flow: after a SmallBank run, `stats` must
+    /// show per-phase p50/p99 latencies and a nonzero abort-reason
+    /// breakdown, and the prom/json forms must be well-formed.
+    #[test]
+    fn smallbank_then_stats_shows_phases_and_aborts() {
+        let mut sh = Shell::new();
+        let out = sh.execute(Cmd::Smallbank { txns: 300 }).unwrap().unwrap();
+        assert!(out.contains("committed"), "{out}");
+        let text = sh
+            .execute(Cmd::Stats {
+                format: StatsFormat::Text,
+            })
+            .unwrap()
+            .unwrap();
+        // Per-phase latency table with quantile columns and the six
+        // user-facing phases (plus htm/makeup).
+        assert!(text.contains("p50 us"), "{text}");
+        assert!(text.contains("p99 us"), "{text}");
+        for phase in ["execute", "lock", "validate", "log", "update", "unlock"] {
+            assert!(text.contains(phase), "missing phase {phase}: {text}");
+        }
+        // A hot 50-account working set with 40% cross-machine traffic
+        // must produce real contention aborts.
+        assert!(
+            !text.contains("aborts by reason: none"),
+            "expected nonzero abort breakdown: {text}"
+        );
+        assert!(text.contains("nic verbs"), "{text}");
+        // The benchmark cluster is stats-only for KV commands.
+        assert!(sh.execute(Cmd::Get { shard: 0, key: 1 }).is_err());
+        // Prom and JSON forms.
+        let prom = sh
+            .execute(Cmd::Stats {
+                format: StatsFormat::Prom,
+            })
+            .unwrap()
+            .unwrap();
+        assert!(prom.contains("drtm_txn_committed_total"), "{prom}");
+        assert!(
+            prom.contains("drtm_commit_phase_ns{phase=\"lock\""),
+            "{prom}"
+        );
+        let json = sh
+            .execute(Cmd::Stats {
+                format: StatsFormat::Json,
+            })
+            .unwrap()
+            .unwrap();
+        drtm_obs::jsonlint::validate(&json).expect("stats json must be valid");
+    }
+
+    #[test]
+    fn trace_writes_valid_chrome_json() {
+        let mut sh = Shell::new();
+        sh.execute(Cmd::Cluster {
+            nodes: 2,
+            replicas: 1,
+        })
+        .unwrap();
+        sh.execute(Cmd::Put {
+            shard: 1,
+            key: 3,
+            value: 9,
+        })
+        .unwrap();
+        let path = std::env::temp_dir().join(format!("drtm-trace-{}.json", std::process::id()));
+        let path_str = path.to_str().unwrap().to_string();
+        let out = sh
+            .execute(Cmd::Trace {
+                path: path_str.clone(),
+            })
+            .unwrap()
+            .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        drtm_obs::jsonlint::validate(&json).expect("trace file must be valid JSON");
+        assert!(json.contains("\"traceEvents\""), "{json}");
+        // The cross-machine put above issued verbs and committed a txn.
+        assert!(json.contains("txn_commit"), "{json}");
+    }
+
+    #[test]
+    fn nic_delta_resets_between_stats() {
+        let mut sh = Shell::new();
+        sh.execute(Cmd::Cluster {
+            nodes: 2,
+            replicas: 1,
+        })
+        .unwrap();
+        sh.execute(Cmd::Put {
+            shard: 1,
+            key: 1,
+            value: 1,
+        })
+        .unwrap();
+        let first = sh
+            .execute(Cmd::Stats {
+                format: StatsFormat::Text,
+            })
+            .unwrap()
+            .unwrap();
+        // Immediately re-scraping with no traffic in between: the delta
+        // section must be all-zero while the totals persist.
+        let second = sh
+            .execute(Cmd::Stats {
+                format: StatsFormat::Text,
+            })
+            .unwrap()
+            .unwrap();
+        let delta_of = |s: &str| {
+            s.split("nic delta since last stats:")
+                .nth(1)
+                .unwrap()
+                .to_string()
+        };
+        assert!(delta_of(&first).contains("atomics="), "{first}");
+        for line in delta_of(&second).lines().filter(|l| l.contains("node")) {
+            assert!(
+                line.contains("reads=0") && line.contains("atomics=0"),
+                "second delta should be zero: {line}"
+            );
+        }
     }
 }

@@ -36,6 +36,7 @@ impl LeaseBoard {
     pub fn renew(&self, node: NodeId, duration_us: u64) {
         let t = self.now_us() + duration_us;
         self.expiry_us[node].fetch_max(t, Ordering::Relaxed);
+        drtm_obs::trace::event(drtm_obs::EventKind::LeaseRenew, "", node as u64, 0);
     }
 
     /// Whether `node`'s lease has expired.
@@ -48,6 +49,7 @@ impl LeaseBoard {
     /// node itself when leaving gracefully).
     pub fn revoke(&self, node: NodeId) {
         self.expiry_us[node].store(0, Ordering::Relaxed);
+        drtm_obs::trace::event(drtm_obs::EventKind::LeaseExpire, "revoked", node as u64, 0);
     }
 
     /// First member of `members` whose lease has expired, if any.

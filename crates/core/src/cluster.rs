@@ -101,6 +101,9 @@ pub struct DrtmCluster {
     pub shard_map: RwLock<Vec<NodeId>>,
     /// Liveness switches read by worker loops (crash injection).
     pub alive: Vec<AtomicBool>,
+    /// Sharded metrics registry; every worker records into its own
+    /// shard, scraped by `drtm-shell stats` and the bench binaries.
+    pub obs: drtm_obs::Registry,
     /// Tuning knobs.
     pub opts: EngineOpts,
     /// Completed recoveries: `dead -> new_home`. Held for the duration
@@ -144,6 +147,7 @@ impl DrtmCluster {
             leases: LeaseBoard::new(n),
             shard_map: RwLock::new((0..n).collect()),
             alive: (0..n).map(|_| AtomicBool::new(true)).collect(),
+            obs: drtm_obs::Registry::new(),
             opts,
             recovered: Mutex::new(HashMap::new()),
             crash_hook: RwLock::new(None),
@@ -242,6 +246,7 @@ impl DrtmCluster {
         let hook = self.crash_hook.read().clone();
         if let Some(h) = hook {
             if h.on_point(node, point) {
+                drtm_obs::trace::event(drtm_obs::EventKind::CrashPoint, point, node as u64, 0);
                 self.fail_silent(node);
                 return true;
             }

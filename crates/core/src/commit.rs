@@ -35,6 +35,8 @@ use drtm_store::record::{
 };
 use drtm_store::{TableId, CONTROL_LINE_OFF};
 
+use drtm_obs::{EventKind, Phase};
+
 use crate::txn::{AbortReason, TxnCtx, TxnError};
 use crate::{read_validates, write_validates};
 
@@ -79,8 +81,28 @@ impl TxnCtx<'_> {
                 self.w.stats.committed += 1;
                 let lat = self.w.clock.now().saturating_sub(self.start_ns);
                 self.w.stats.latency.record(lat);
+                self.w.obs.note_commit(lat);
+                drtm_obs::trace::event(
+                    EventKind::TxnCommit,
+                    if self.read_only { "ro" } else { "rw" },
+                    self.w.node as u64,
+                    self.w.clock.now(),
+                );
             }
-            Err(_) => self.w.stats.aborted += 1,
+            Err(e) => {
+                self.w.stats.aborted += 1;
+                // A `Crashed` machine is a death, not an abort; only
+                // protocol aborts enter the taxonomy.
+                if let TxnError::Aborted(reason) = e {
+                    self.w.obs.note_abort(reason.obs_index());
+                    drtm_obs::trace::event(
+                        EventKind::TxnAbort,
+                        reason.label(),
+                        self.w.node as u64,
+                        self.w.clock.now(),
+                    );
+                }
+            }
         }
         result
     }
@@ -263,15 +285,17 @@ impl TxnCtx<'_> {
         self.probe("C.6")?;
         let unlock_ns = lap(self.w);
 
-        let s = &mut self.w.stats.steps;
-        s.execute_ns += exec_ns;
-        s.lock_ns += lock_ns;
-        s.validate_remote_ns += validate_ns;
-        s.htm_ns += htm_ns;
-        s.log_ns += log_ns;
-        s.makeup_ns += makeup_ns;
-        s.remote_write_ns += remote_write_ns;
-        s.unlock_ns += unlock_ns;
+        // Phase spans of this committed transaction, into the worker's
+        // metrics shard (scrape-time aggregation across workers).
+        let obs = &self.w.obs;
+        obs.note_phase(Phase::Execute, exec_ns);
+        obs.note_phase(Phase::Lock, lock_ns);
+        obs.note_phase(Phase::Validate, validate_ns);
+        obs.note_phase(Phase::Htm, htm_ns);
+        obs.note_phase(Phase::Log, log_ns);
+        obs.note_phase(Phase::Makeup, makeup_ns);
+        obs.note_phase(Phase::Update, remote_write_ns);
+        obs.note_phase(Phase::Unlock, unlock_ns);
         Ok(())
     }
 
@@ -743,6 +767,7 @@ impl TxnCtx<'_> {
     /// replicates, and unlocks.
     fn commit_fallback(&mut self) -> Result<(), TxnError> {
         self.w.stats.fallbacks += 1;
+        self.w.obs.note_fallback();
         let cluster = Arc::clone(&self.w.cluster);
         let me = self.w.node;
 

@@ -34,11 +34,13 @@
 
 pub mod cluster;
 pub mod commit;
+pub mod obs_bridge;
 pub mod recovery;
 pub mod replication;
 pub mod txn;
 
 pub use cluster::{CrashPointHook, DrtmCluster, EngineOpts};
+pub use obs_bridge::scrape_cluster;
 pub use recovery::{full_restart_scrub, recover_node, RecoveryReport};
 pub use replication::BackupStore;
 pub use txn::{AbortReason, TxnCtx, TxnError, Worker, WorkerStats};

@@ -1,0 +1,115 @@
+//! Bridges engine-level stats into a [`drtm_obs::Snapshot`].
+//!
+//! `drtm-obs` depends only on `drtm-base`, so it cannot see
+//! [`DrtmCluster`], [`drtm_htm::HtmStats`], or [`drtm_rdma::NicStats`].
+//! This module closes the loop: [`scrape_cluster`] takes the registry
+//! scrape (txn counters, phase histograms, abort taxonomy) and fills in
+//! the HTM abort classes, per-(node, verb) NIC counters, and machine
+//! liveness that only the cluster can provide.
+
+use drtm_obs::{NicRow, Snapshot};
+use drtm_rdma::NicSnapshot;
+
+use crate::cluster::DrtmCluster;
+
+/// Labels for the four [`drtm_rdma::NicStats`] verb classes, in the
+/// order [`nic_rows`] emits them.
+pub const NIC_VERBS: [&str; 4] = ["read", "write", "atomic", "send"];
+
+/// Expands one NIC snapshot into labelled per-verb rows for `node`.
+pub fn nic_rows(node: usize, s: &NicSnapshot) -> [NicRow; 4] {
+    let counts = [s.reads, s.writes, s.atomics, s.sends];
+    std::array::from_fn(|i| NicRow {
+        node,
+        verb: NIC_VERBS[i],
+        count: counts[i],
+    })
+}
+
+/// Scrapes the cluster's metrics registry and completes the snapshot
+/// with HTM abort classes, NIC counters, and membership liveness.
+pub fn scrape_cluster(cluster: &DrtmCluster) -> Snapshot {
+    let mut snap = cluster.obs.scrape();
+    for htm in &cluster.htms {
+        for (slot, count) in snap.htm.iter_mut().zip(htm.stats.classes()) {
+            slot.1 += count;
+        }
+    }
+    for node in 0..cluster.nodes() {
+        let nic = cluster.fabric.port(node).stats.snapshot();
+        snap.nic.extend(nic_rows(node, &nic));
+        snap.nic_bytes.push((node, nic.bytes));
+    }
+    // The registry only knows nodes that own worker shards; make sure
+    // every machine has a row, then patch liveness from membership.
+    for node in 0..cluster.nodes() {
+        if !snap.machines.iter().any(|m| m.node == node) {
+            snap.machines.push(drtm_obs::MachineRow {
+                node,
+                committed: 0,
+                aborted: 0,
+                fallbacks: 0,
+                alive: true,
+            });
+        }
+    }
+    snap.machines.sort_by_key(|m| m.node);
+    for m in &mut snap.machines {
+        m.alive = cluster.is_alive(m.node) && cluster.is_member(m.node);
+    }
+    snap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::EngineOpts;
+    use drtm_store::TableSpec;
+
+    #[test]
+    fn bridge_fills_htm_nic_and_liveness() {
+        let schema = vec![TableSpec::hash(0, 256, 8)];
+        let cluster = DrtmCluster::new(2, &schema, EngineOpts::default());
+        cluster.seed_record(0, 0, 1, &[0u8; 8]);
+        cluster.seed_record(1, 0, 2, &[0u8; 8]);
+        let mut w = cluster.worker(0, 7);
+        w.run(|t| {
+            let v = t.read(1, 0, 2)?;
+            t.write(1, 0, 2, v)
+        })
+        .unwrap();
+        let snap = scrape_cluster(&cluster);
+        assert_eq!(snap.committed, 1);
+        // The remote commit issued CAS (lock/unlock) against node 1.
+        let atomics = snap
+            .nic
+            .iter()
+            .find(|r| r.node == 1 && r.verb == "atomic")
+            .unwrap();
+        assert!(atomics.count >= 2, "lock + unlock CAS, got {atomics:?}");
+        // The local-read HTM region committed at least once.
+        let htm_commits: u64 = cluster.htms.iter().map(|h| h.stats.commits.get()).sum();
+        assert!(htm_commits > 0);
+        assert_eq!(snap.machines.len(), 2);
+        assert!(snap.machines.iter().all(|m| m.alive));
+        cluster.crash(1);
+        let snap = scrape_cluster(&cluster);
+        assert!(!snap.machines[1].alive);
+    }
+
+    #[test]
+    fn nic_rows_label_all_classes() {
+        let s = NicSnapshot {
+            reads: 1,
+            writes: 2,
+            atomics: 3,
+            sends: 4,
+            bytes: 99,
+        };
+        let rows = nic_rows(5, &s);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].verb, "read");
+        assert_eq!(rows[3].count, 4);
+        assert!(rows.iter().all(|r| r.node == 5));
+    }
+}

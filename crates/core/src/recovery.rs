@@ -96,6 +96,7 @@ pub fn recover_node(cluster: &DrtmCluster, dead: NodeId) -> RecoveryReport {
         };
     }
 
+    drtm_obs::trace::event(drtm_obs::EventKind::Recovery, "suspect", dead as u64, 0);
     let t0 = Instant::now();
     let cfg = cluster.config.remove_member(dead);
     // Quiesce R.1 appends before touching any log: in-flight fenced
@@ -105,6 +106,7 @@ pub fn recover_node(cluster: &DrtmCluster, dead: NodeId) -> RecoveryReport {
     // landing in a queue after it was drained.
     cluster.logs.quiesce_appends();
     let config_commit = t0.elapsed();
+    drtm_obs::trace::event(drtm_obs::EventKind::Recovery, "config_commit", cfg.epoch, 0);
 
     let t1 = Instant::now();
     let backups = cluster.backups_of(dead);
@@ -178,6 +180,7 @@ pub fn recover_node(cluster: &DrtmCluster, dead: NodeId) -> RecoveryReport {
     let (locks_swept, rolled_forward) = sweep_survivors(cluster);
 
     registry.insert(dead, Some(new_home));
+    drtm_obs::trace::event(drtm_obs::EventKind::Recovery, "done", new_home as u64, 0);
     RecoveryReport {
         dead,
         new_home: Some(new_home),

@@ -10,6 +10,7 @@ use std::sync::Arc;
 
 use drtm_base::{Histogram, SplitMix64, VClock};
 use drtm_htm::HtmTxn;
+use drtm_obs::{EventKind, Shard};
 use drtm_rdma::{NodeId, Qp};
 use drtm_store::record::{remote_read_consistent, LOCK_FREE};
 use drtm_store::{LocationCache, TableId};
@@ -36,6 +37,19 @@ pub enum AbortReason {
     Incarnation,
 }
 
+impl AbortReason {
+    /// Index into [`drtm_obs::ABORT_REASONS`] (the variant order here
+    /// mirrors that label table; `user` occupies the final slot).
+    pub fn obs_index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable label used in metrics and trace events.
+    pub fn label(self) -> &'static str {
+        drtm_obs::ABORT_REASONS[self.obs_index()]
+    }
+}
+
 /// Errors surfaced to transaction bodies and callers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TxnError {
@@ -53,45 +67,12 @@ pub enum TxnError {
     Crashed,
 }
 
-/// Virtual time spent per commit-protocol step (accumulated across all
-/// committed transactions of a worker). Useful for the `breakdown`
-/// bench: it shows where a local vs. a distributed transaction's time
-/// goes — the protocol-level view behind Figures 10/17.
-#[derive(Debug, Default, Clone)]
-pub struct StepBreakdown {
-    /// Execution phase (reads + buffering).
-    pub execute_ns: u64,
-    /// C.1: remote lock acquisition.
-    pub lock_ns: u64,
-    /// C.2: remote read validation.
-    pub validate_remote_ns: u64,
-    /// C.3 + C.4: the HTM region (local validate + apply).
-    pub htm_ns: u64,
-    /// R.1: redo-log writes to backups.
-    pub log_ns: u64,
-    /// R.2: the local makeup step.
-    pub makeup_ns: u64,
-    /// C.5: remote primary updates.
-    pub remote_write_ns: u64,
-    /// C.6: unlock (plus shipped inserts/deletes).
-    pub unlock_ns: u64,
-}
-
-impl StepBreakdown {
-    /// Total accounted virtual time.
-    pub fn total(&self) -> u64 {
-        self.execute_ns
-            + self.lock_ns
-            + self.validate_remote_ns
-            + self.htm_ns
-            + self.log_ns
-            + self.makeup_ns
-            + self.remote_write_ns
-            + self.unlock_ns
-    }
-}
-
 /// Per-worker statistics.
+///
+/// Per-step commit timing, the abort taxonomy, and everything else the
+/// paper's breakdown tables need now live in the worker's
+/// [`drtm_obs::Shard`] (see [`Worker::obs`]); these plain counters
+/// remain for cheap in-process assertions.
 #[derive(Debug, Default)]
 pub struct WorkerStats {
     /// Committed transactions.
@@ -104,8 +85,6 @@ pub struct WorkerStats {
     pub user_aborts: u64,
     /// Per-transaction latency in virtual nanoseconds.
     pub latency: Histogram,
-    /// Virtual time per protocol step (committed transactions only).
-    pub steps: StepBreakdown,
 }
 
 /// One worker thread bound to a machine.
@@ -120,6 +99,8 @@ pub struct Worker {
     pub(crate) caches: Vec<LocationCache>,
     /// Commit/abort/latency counters.
     pub stats: WorkerStats,
+    /// This worker's shard of the cluster metrics registry.
+    pub obs: Arc<Shard>,
 }
 
 /// A local read-set entry.
@@ -189,6 +170,7 @@ impl Worker {
     pub fn new(cluster: Arc<DrtmCluster>, node: NodeId, seed: u64) -> Self {
         let n = cluster.nodes();
         let qps = (0..n).map(|dst| cluster.fabric.qp(node, dst)).collect();
+        let obs = cluster.obs.shard(node);
         Self {
             cluster,
             node,
@@ -197,6 +179,7 @@ impl Worker {
             qps,
             caches: (0..n).map(|_| LocationCache::new()).collect(),
             stats: WorkerStats::default(),
+            obs,
         }
     }
 
@@ -216,6 +199,12 @@ impl Worker {
         self.clock.advance(cost);
         let start_ns = self.clock.now();
         let start_epoch = self.cluster.config.epoch();
+        drtm_obs::trace::event(
+            EventKind::TxnBegin,
+            if read_only { "ro" } else { "rw" },
+            self.node as u64,
+            start_ns,
+        );
         TxnCtx {
             start_ns,
             start_epoch,
@@ -273,12 +262,28 @@ impl Worker {
                     Err(e @ TxnError::Aborted(_)) => last = e,
                     Err(e) => return Err(e),
                 },
-                Err(e @ TxnError::Aborted(_)) => {
+                Err(e @ TxnError::Aborted(reason)) => {
+                    // Execution-phase aborts (commit-phase ones are
+                    // accounted inside `commit`).
                     self.stats.aborted += 1;
+                    self.obs.note_abort(reason.obs_index());
+                    drtm_obs::trace::event(
+                        EventKind::TxnAbort,
+                        reason.label(),
+                        self.node as u64,
+                        self.clock.now(),
+                    );
                     last = e;
                 }
                 Err(TxnError::UserAbort) => {
                     self.stats.user_aborts += 1;
+                    self.obs.note_user_abort();
+                    drtm_obs::trace::event(
+                        EventKind::TxnAbort,
+                        "user",
+                        self.node as u64,
+                        self.clock.now(),
+                    );
                     return Err(TxnError::UserAbort);
                 }
                 Err(e) => return Err(e),

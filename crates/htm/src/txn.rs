@@ -93,6 +93,19 @@ impl HtmStats {
             + self.spurious_aborts.get()
     }
 
+    /// Abort counts by class, in the stable order the observability
+    /// layer labels them (`conflict`, `capacity`, `explicit`,
+    /// `spurious`, `fallback`).
+    pub fn classes(&self) -> [u64; 5] {
+        [
+            self.conflict_aborts.get(),
+            self.capacity_aborts.get(),
+            self.explicit_aborts.get(),
+            self.spurious_aborts.get(),
+            self.fallbacks.get(),
+        ]
+    }
+
     /// Abort rate over all attempts (aborts / (aborts + commits)).
     pub fn abort_rate(&self) -> f64 {
         let a = self.total_aborts() as f64;

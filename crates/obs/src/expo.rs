@@ -1,0 +1,350 @@
+//! Exposition: renders a [`Snapshot`] as Prometheus text, JSON, or a
+//! human-readable table.
+//!
+//! Metric naming scheme (see DESIGN.md §6): every series is prefixed
+//! `drtm_`, counters end in `_total`, histograms carry their unit in
+//! the name (`_ns`), and dimensions are labels (`phase=`, `reason=`,
+//! `class=`, `node=`, `verb=`) rather than name suffixes.
+
+use std::fmt::Write as _;
+
+use crate::registry::{HistSummary, Snapshot};
+
+fn prom_summary(out: &mut String, name: &str, labels: &str, h: &HistSummary) {
+    let sep = if labels.is_empty() {
+        ("", "")
+    } else {
+        ("{", "}")
+    };
+    let q = |out: &mut String, quantile: &str, v: u64| {
+        let extra = if labels.is_empty() {
+            format!("{{quantile=\"{quantile}\"}}")
+        } else {
+            format!("{{{labels},quantile=\"{quantile}\"}}")
+        };
+        let _ = writeln!(out, "{name}{extra} {v}");
+    };
+    q(out, "0.5", h.p50);
+    q(out, "0.99", h.p99);
+    let _ = writeln!(out, "{name}_sum{}{labels}{} {}", sep.0, sep.1, h.sum);
+    let _ = writeln!(out, "{name}_count{}{labels}{} {}", sep.0, sep.1, h.count);
+}
+
+/// Prometheus-style text exposition.
+pub fn render_prometheus(s: &Snapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("# TYPE drtm_txn_committed_total counter\n");
+    let _ = writeln!(out, "drtm_txn_committed_total {}", s.committed);
+    out.push_str("# TYPE drtm_txn_aborted_total counter\n");
+    let _ = writeln!(out, "drtm_txn_aborted_total {}", s.aborted);
+    out.push_str("# TYPE drtm_txn_fallback_total counter\n");
+    let _ = writeln!(out, "drtm_txn_fallback_total {}", s.fallbacks);
+    out.push_str("# TYPE drtm_txn_user_abort_total counter\n");
+    let _ = writeln!(out, "drtm_txn_user_abort_total {}", s.user_aborts);
+
+    out.push_str("# TYPE drtm_txn_abort_total counter\n");
+    for (reason, n) in &s.aborts {
+        let _ = writeln!(out, "drtm_txn_abort_total{{reason=\"{reason}\"}} {n}");
+    }
+    out.push_str("# TYPE drtm_htm_abort_total counter\n");
+    for (class, n) in &s.htm {
+        let _ = writeln!(out, "drtm_htm_abort_total{{class=\"{class}\"}} {n}");
+    }
+
+    out.push_str("# TYPE drtm_txn_latency_ns summary\n");
+    prom_summary(&mut out, "drtm_txn_latency_ns", "", &s.latency);
+    out.push_str("# TYPE drtm_commit_phase_ns summary\n");
+    for (phase, h) in &s.phases {
+        prom_summary(
+            &mut out,
+            "drtm_commit_phase_ns",
+            &format!("phase=\"{phase}\""),
+            h,
+        );
+    }
+
+    out.push_str("# TYPE drtm_nic_verbs_total counter\n");
+    for row in &s.nic {
+        let _ = writeln!(
+            out,
+            "drtm_nic_verbs_total{{node=\"{}\",verb=\"{}\"}} {}",
+            row.node, row.verb, row.count
+        );
+    }
+    out.push_str("# TYPE drtm_nic_bytes_total counter\n");
+    for (node, bytes) in &s.nic_bytes {
+        let _ = writeln!(out, "drtm_nic_bytes_total{{node=\"{node}\"}} {bytes}");
+    }
+
+    out.push_str("# TYPE drtm_machine_committed_total counter\n");
+    for m in &s.machines {
+        let _ = writeln!(
+            out,
+            "drtm_machine_committed_total{{node=\"{}\"}} {}",
+            m.node, m.committed
+        );
+    }
+    out.push_str("# TYPE drtm_machine_alive gauge\n");
+    for m in &s.machines {
+        let _ = writeln!(
+            out,
+            "drtm_machine_alive{{node=\"{}\"}} {}",
+            m.node, m.alive as u8
+        );
+    }
+    out
+}
+
+fn json_summary(out: &mut String, h: &HistSummary) {
+    let _ = write!(
+        out,
+        "{{\"count\":{},\"sum\":{},\"mean\":{:.3},\"p50\":{},\"p99\":{},\"max\":{}}}",
+        h.count, h.sum, h.mean, h.p50, h.p99, h.max
+    );
+}
+
+/// JSON exposition (guaranteed to pass [`crate::jsonlint::validate`]).
+pub fn render_json(s: &Snapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    let _ = write!(
+        out,
+        "{{\"committed\":{},\"aborted\":{},\"fallbacks\":{},\"user_aborts\":{},",
+        s.committed, s.aborted, s.fallbacks, s.user_aborts
+    );
+    out.push_str("\"latency_ns\":");
+    json_summary(&mut out, &s.latency);
+    out.push_str(",\"phases_ns\":{");
+    for (i, (phase, h)) in s.phases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{phase}\":");
+        json_summary(&mut out, h);
+    }
+    out.push_str("},\"aborts\":{");
+    for (i, (reason, n)) in s.aborts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{reason}\":{n}");
+    }
+    out.push_str("},\"htm_aborts\":{");
+    for (i, (class, n)) in s.htm.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{class}\":{n}");
+    }
+    out.push_str("},\"nic\":[");
+    for (i, row) in s.nic.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"node\":{},\"verb\":\"{}\",\"count\":{}}}",
+            row.node, row.verb, row.count
+        );
+    }
+    out.push_str("],\"nic_bytes\":[");
+    for (i, (node, bytes)) in s.nic_bytes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"node\":{node},\"bytes\":{bytes}}}");
+    }
+    out.push_str("],\"machines\":[");
+    for (i, m) in s.machines.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"node\":{},\"committed\":{},\"aborted\":{},\"fallbacks\":{},\"alive\":{}}}",
+            m.node, m.committed, m.aborted, m.fallbacks, m.alive
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1_000.0
+}
+
+/// Human-readable table exposition (the default `drtm-shell stats`).
+pub fn render_text(s: &Snapshot) -> String {
+    let mut out = String::with_capacity(2048);
+    let attempts = s.committed + s.aborted;
+    let abort_rate = if attempts > 0 {
+        s.aborted as f64 / attempts as f64 * 100.0
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        out,
+        "txns: {} committed, {} aborted attempts ({:.1}% abort rate), {} fallback, {} user-abort",
+        s.committed, s.aborted, abort_rate, s.fallbacks, s.user_aborts
+    );
+    let _ = writeln!(
+        out,
+        "latency (virtual): mean {:.1} us, p50 {:.1} us, p99 {:.1} us",
+        s.latency.mean / 1_000.0,
+        us(s.latency.p50),
+        us(s.latency.p99)
+    );
+    let _ = writeln!(
+        out,
+        "\n{:<10} {:>10} {:>12} {:>12} {:>12}",
+        "phase", "count", "mean us", "p50 us", "p99 us"
+    );
+    for (phase, h) in &s.phases {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10} {:>12.2} {:>12.2} {:>12.2}",
+            phase,
+            h.count,
+            h.mean / 1_000.0,
+            us(h.p50),
+            us(h.p99)
+        );
+    }
+    out.push_str("\naborts by reason:");
+    if s.aborted == 0 && s.aborts.iter().all(|(_, n)| *n == 0) {
+        out.push_str(" none\n");
+    } else {
+        out.push('\n');
+        for (reason, n) in &s.aborts {
+            if *n > 0 {
+                let _ = writeln!(out, "  {reason:<20} {n}");
+            }
+        }
+    }
+    out.push_str("htm aborts by class:");
+    if s.htm.iter().all(|(_, n)| *n == 0) {
+        out.push_str(" none\n");
+    } else {
+        out.push('\n');
+        for (class, n) in &s.htm {
+            if *n > 0 {
+                let _ = writeln!(out, "  {class:<20} {n}");
+            }
+        }
+    }
+    if !s.nic.is_empty() {
+        out.push_str("\nnic verbs (completed):\n");
+        let mut nodes: Vec<usize> = s.nic.iter().map(|r| r.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        for node in nodes {
+            let _ = write!(out, "  node {node}:");
+            for row in s.nic.iter().filter(|r| r.node == node) {
+                let _ = write!(out, " {}={}", row.verb, row.count);
+            }
+            if let Some((_, bytes)) = s.nic_bytes.iter().find(|(n, _)| *n == node) {
+                let _ = write!(out, " ({:.1} KB)", *bytes as f64 / 1_024.0);
+            }
+            out.push('\n');
+        }
+    }
+    if !s.machines.is_empty() {
+        out.push_str("\nmachines:\n");
+        for m in &s.machines {
+            let _ = writeln!(
+                out,
+                "  node {}: {} committed, {} aborted, {} fallback [{}]",
+                m.node,
+                m.committed,
+                m.aborted,
+                m.fallbacks,
+                if m.alive { "alive" } else { "DOWN" }
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{MachineRow, NicRow, Registry};
+    use crate::Phase;
+
+    fn sample() -> Snapshot {
+        let r = Registry::new();
+        let sh = r.shard(0);
+        for i in 0..100 {
+            sh.note_commit(1_000 + i * 10);
+            sh.note_phase(Phase::Lock, 200 + i);
+            sh.note_phase(Phase::Execute, 500);
+        }
+        sh.note_abort(0);
+        sh.note_abort(4);
+        sh.note_fallback();
+        let mut s = r.scrape();
+        s.htm[0].1 = 3;
+        s.nic = vec![
+            NicRow {
+                node: 0,
+                verb: "read",
+                count: 12,
+            },
+            NicRow {
+                node: 0,
+                verb: "atomic",
+                count: 7,
+            },
+        ];
+        s.nic_bytes = vec![(0, 4_096)];
+        s.machines.push(MachineRow {
+            node: 1,
+            committed: 0,
+            aborted: 0,
+            fallbacks: 0,
+            alive: false,
+        });
+        s
+    }
+
+    #[test]
+    fn json_exposition_is_valid_json() {
+        let out = render_json(&sample());
+        crate::jsonlint::validate(&out).expect("stats json must parse");
+        assert!(out.contains("\"lock_busy\":1"));
+        assert!(out.contains("\"conflict\":3"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_everywhere() {
+        let s = Snapshot::empty();
+        crate::jsonlint::validate(&render_json(&s)).unwrap();
+        let text = render_text(&s);
+        assert!(text.contains("aborts by reason: none"));
+        let prom = render_prometheus(&s);
+        assert!(prom.contains("drtm_txn_committed_total 0"));
+    }
+
+    #[test]
+    fn prometheus_exposition_has_labelled_series() {
+        let out = render_prometheus(&sample());
+        assert!(out.contains("drtm_txn_abort_total{reason=\"lock_busy\"} 1"));
+        assert!(out.contains("drtm_txn_abort_total{reason=\"fallback\"} 1"));
+        assert!(out.contains("drtm_htm_abort_total{class=\"conflict\"} 3"));
+        assert!(out.contains("drtm_commit_phase_ns{phase=\"lock\",quantile=\"0.99\"}"));
+        assert!(out.contains("drtm_commit_phase_ns_count{phase=\"lock\"} 100"));
+        assert!(out.contains("drtm_nic_verbs_total{node=\"0\",verb=\"read\"} 12"));
+        assert!(out.contains("drtm_machine_alive{node=\"1\"} 0"));
+    }
+
+    #[test]
+    fn text_exposition_has_phase_table_and_taxonomy() {
+        let out = render_text(&sample());
+        assert!(out.contains("100 committed"));
+        assert!(out.contains("lock"));
+        assert!(out.contains("p99 us"));
+        assert!(out.contains("lock_busy"));
+        assert!(out.contains("conflict"));
+        assert!(out.contains("node 0: read=12"));
+        assert!(out.contains("DOWN"));
+    }
+}

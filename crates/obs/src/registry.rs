@@ -1,0 +1,440 @@
+//! Sharded metrics registry.
+//!
+//! Each worker thread owns an [`Arc<Shard>`]; all recording goes to the
+//! worker's own shard so hot paths never contend on shared atomics.
+//! [`Registry::scrape`] merges every shard into a plain-data
+//! [`Snapshot`] — the only time cross-shard aggregation happens.
+
+use std::sync::Arc;
+
+use drtm_base::stats::{Counter, Histogram};
+use drtm_base::sync::RwLock;
+
+use crate::{enabled, Phase, ABORT_REASONS, HTM_CLASSES};
+
+/// Per-worker metric shard. All fields are plain `drtm-base` atomics;
+/// a shard is only ever written by its owning worker (reads may come
+/// from a concurrent scrape, which the atomics make safe).
+#[derive(Debug)]
+pub struct Shard {
+    /// Node this shard's worker runs on (shards of the same node are
+    /// merged into one machine row at scrape time).
+    pub node: usize,
+    /// Committed transactions.
+    pub committed: Counter,
+    /// Aborted transaction *attempts* (a txn retried 3 times counts 3).
+    pub aborted: Counter,
+    /// Commits that went through the software fallback path (§6.1).
+    pub fallbacks: Counter,
+    /// Explicit user aborts.
+    pub user_aborts: Counter,
+    /// End-to-end committed-transaction latency, virtual ns.
+    pub latency: Histogram,
+    /// Per-phase time, virtual ns, indexed by [`Phase::index`].
+    pub phases: [Histogram; Phase::COUNT],
+    /// Abort attempts by reason, indexed like [`ABORT_REASONS`].
+    pub aborts: [Counter; ABORT_REASONS.len()],
+}
+
+impl Shard {
+    fn new(node: usize) -> Self {
+        Self {
+            node,
+            committed: Counter::new(),
+            aborted: Counter::new(),
+            fallbacks: Counter::new(),
+            user_aborts: Counter::new(),
+            latency: Histogram::new(),
+            phases: std::array::from_fn(|_| Histogram::new()),
+            aborts: std::array::from_fn(|_| Counter::new()),
+        }
+    }
+
+    /// Records a committed transaction with its end-to-end latency.
+    #[inline]
+    pub fn note_commit(&self, latency_ns: u64) {
+        if enabled() {
+            self.committed.inc();
+            self.latency.record(latency_ns);
+        }
+    }
+
+    /// Records one aborted attempt. `reason` indexes [`ABORT_REASONS`];
+    /// out-of-range values are clamped onto the last slot rather than
+    /// panicking in the hot path.
+    #[inline]
+    pub fn note_abort(&self, reason: usize) {
+        if enabled() {
+            self.aborted.inc();
+            self.aborts[reason.min(ABORT_REASONS.len() - 1)].inc();
+        }
+    }
+
+    /// Records a commit that used the software fallback path.
+    #[inline]
+    pub fn note_fallback(&self) {
+        if enabled() {
+            self.fallbacks.inc();
+        }
+    }
+
+    /// Records an explicit user abort. Counted in the per-reason
+    /// breakdown under `user`, but not as a protocol abort (`aborted`
+    /// tracks attempts the engine itself had to retry).
+    #[inline]
+    pub fn note_user_abort(&self) {
+        if enabled() {
+            self.user_aborts.inc();
+            self.aborts[ABORT_REASONS.len() - 1].inc();
+        }
+    }
+
+    /// Records time spent in one commit-protocol phase.
+    #[inline]
+    pub fn note_phase(&self, phase: Phase, ns: u64) {
+        if enabled() {
+            self.phases[phase.index()].record(ns);
+        }
+    }
+}
+
+/// The per-cluster registry: hands out shards, merges them on scrape.
+#[derive(Debug, Default)]
+pub struct Registry {
+    shards: RwLock<Vec<Arc<Shard>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh shard for a worker on `node`. Called once per
+    /// worker at construction — never on the hot path.
+    pub fn shard(&self, node: usize) -> Arc<Shard> {
+        let s = Arc::new(Shard::new(node));
+        self.shards.write().push(Arc::clone(&s));
+        s
+    }
+
+    /// Number of shards handed out.
+    pub fn shard_count(&self) -> usize {
+        self.shards.read().len()
+    }
+
+    /// Clones the current shard handles (for tests and custom scrapes).
+    pub fn shards(&self) -> Vec<Arc<Shard>> {
+        self.shards.read().clone()
+    }
+
+    /// Merges every shard into a plain-data [`Snapshot`]. Safe to call
+    /// while workers are actively recording: each underlying atomic is
+    /// read with relaxed loads, so the snapshot is a consistent-enough
+    /// point-in-time view (counts can trail sums by in-flight updates,
+    /// never tear).
+    pub fn scrape(&self) -> Snapshot {
+        let shards = self.shards();
+        let latency = Histogram::new();
+        let phases: [Histogram; Phase::COUNT] = std::array::from_fn(|_| Histogram::new());
+        let mut snap = Snapshot::default();
+        let mut machines: Vec<MachineRow> = Vec::new();
+        for s in &shards {
+            snap.committed += s.committed.get();
+            snap.aborted += s.aborted.get();
+            snap.fallbacks += s.fallbacks.get();
+            snap.user_aborts += s.user_aborts.get();
+            latency.merge(&s.latency);
+            for (agg, mine) in phases.iter().zip(s.phases.iter()) {
+                agg.merge(mine);
+            }
+            for (i, c) in s.aborts.iter().enumerate() {
+                snap.aborts[i].1 += c.get();
+            }
+            match machines.iter_mut().find(|m| m.node == s.node) {
+                Some(m) => {
+                    m.committed += s.committed.get();
+                    m.aborted += s.aborted.get();
+                    m.fallbacks += s.fallbacks.get();
+                }
+                None => machines.push(MachineRow {
+                    node: s.node,
+                    committed: s.committed.get(),
+                    aborted: s.aborted.get(),
+                    fallbacks: s.fallbacks.get(),
+                    alive: true,
+                }),
+            }
+        }
+        machines.sort_by_key(|m| m.node);
+        snap.latency = HistSummary::of(&latency);
+        snap.phases = Phase::ALL
+            .iter()
+            .map(|p| (p.name(), HistSummary::of(&phases[p.index()])))
+            .collect();
+        snap.machines = machines;
+        snap
+    }
+
+    /// Clears every shard (bench binaries use this between warmup and
+    /// the measured window).
+    pub fn reset(&self) {
+        for s in self.shards() {
+            s.committed.take();
+            s.aborted.take();
+            s.fallbacks.take();
+            s.user_aborts.take();
+            s.latency.reset();
+            for h in &s.phases {
+                h.reset();
+            }
+            for c in &s.aborts {
+                c.take();
+            }
+        }
+    }
+}
+
+/// Plain-data summary of one histogram, precomputed at scrape time so
+/// exposition code never touches live atomics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistSummary {
+    /// Recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Mean, 0 if empty.
+    pub mean: f64,
+    /// Median (interpolated).
+    pub p50: u64,
+    /// 99th percentile (interpolated).
+    pub p99: u64,
+    /// Upper bound on the largest recorded value.
+    pub max: u64,
+}
+
+impl HistSummary {
+    /// Summarizes `h`.
+    pub fn of(h: &Histogram) -> Self {
+        Self {
+            count: h.count(),
+            sum: h.sum(),
+            mean: h.mean(),
+            p50: h.quantile(0.5),
+            p99: h.quantile(0.99),
+            max: h.max(),
+        }
+    }
+}
+
+/// Per-machine aggregate row (shards of one node merged).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineRow {
+    /// Node id.
+    pub node: usize,
+    /// Committed transactions on this node.
+    pub committed: u64,
+    /// Aborted attempts on this node.
+    pub aborted: u64,
+    /// Fallback commits on this node.
+    pub fallbacks: u64,
+    /// Liveness per the cluster membership view (patched in by the
+    /// core-side bridge; `true` when no membership info is available).
+    pub alive: bool,
+}
+
+/// One per-(node, verb) NIC counter row (filled by the core bridge from
+/// `drtm-rdma::NicStats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NicRow {
+    /// Node whose port issued the verbs.
+    pub node: usize,
+    /// Verb label (`read`/`write`/`atomic`/`send`).
+    pub verb: &'static str,
+    /// Completed verb count.
+    pub count: u64,
+}
+
+/// Point-in-time aggregate of the whole registry, plus engine-level
+/// rows (HTM, NIC, membership) that a core-side bridge fills in —
+/// this crate cannot see those types without a dependency cycle.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Total committed transactions.
+    pub committed: u64,
+    /// Total aborted attempts.
+    pub aborted: u64,
+    /// Total fallback commits.
+    pub fallbacks: u64,
+    /// Total explicit user aborts.
+    pub user_aborts: u64,
+    /// End-to-end committed latency summary (virtual ns).
+    pub latency: HistSummary,
+    /// Per-phase latency summaries in [`Phase::ALL`] order.
+    pub phases: Vec<(&'static str, HistSummary)>,
+    /// Abort counts by reason, in [`ABORT_REASONS`] order (zeros kept).
+    pub aborts: [(&'static str, u64); ABORT_REASONS.len()],
+    /// HTM aborts by class, in [`HTM_CLASSES`] order (bridge-filled).
+    pub htm: [(&'static str, u64); HTM_CLASSES.len()],
+    /// Per-(node, verb) completed NIC verb counts (bridge-filled).
+    pub nic: Vec<NicRow>,
+    /// Per-node NIC bytes moved (bridge-filled).
+    pub nic_bytes: Vec<(usize, u64)>,
+    /// Per-machine rows.
+    pub machines: Vec<MachineRow>,
+}
+
+impl Snapshot {
+    /// A snapshot with zeroed totals and fully-labelled empty tables
+    /// (every abort reason and HTM class present with count 0).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+}
+
+// `Default` can't derive the labelled arrays, so spell it out.
+impl Default for Snapshot {
+    fn default() -> Self {
+        Self {
+            committed: 0,
+            aborted: 0,
+            fallbacks: 0,
+            user_aborts: 0,
+            latency: HistSummary::default(),
+            phases: Phase::ALL
+                .iter()
+                .map(|p| (p.name(), HistSummary::default()))
+                .collect(),
+            aborts: std::array::from_fn(|i| (ABORT_REASONS[i], 0)),
+            htm: std::array::from_fn(|i| (HTM_CLASSES[i], 0)),
+            nic: Vec::new(),
+            nic_bytes: Vec::new(),
+            machines: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrape_merges_shards_exactly() {
+        let r = Registry::new();
+        let a = r.shard(0);
+        let b = r.shard(0);
+        let c = r.shard(1);
+        a.note_commit(100);
+        a.note_phase(Phase::Lock, 40);
+        b.note_commit(300);
+        b.note_abort(0);
+        b.note_phase(Phase::Lock, 60);
+        c.note_abort(1);
+        c.note_abort(1);
+        c.note_fallback();
+        c.note_user_abort();
+        let s = r.scrape();
+        assert_eq!(s.committed, 2);
+        assert_eq!(s.aborted, 3);
+        assert_eq!(s.fallbacks, 1);
+        assert_eq!(s.user_aborts, 1);
+        assert_eq!(s.latency.count, 2);
+        assert_eq!(s.latency.sum, 400);
+        assert_eq!(s.aborts[0], ("lock_busy", 1));
+        assert_eq!(s.aborts[1], ("validation", 2));
+        let lock = s.phases.iter().find(|(n, _)| *n == "lock").unwrap().1;
+        assert_eq!(lock.count, 2);
+        assert_eq!(lock.sum, 100);
+        // Two machines, shards of node 0 merged.
+        assert_eq!(s.machines.len(), 2);
+        assert_eq!(s.machines[0].node, 0);
+        assert_eq!(s.machines[0].committed, 2);
+        assert_eq!(s.machines[1].node, 1);
+        assert_eq!(s.machines[1].aborted, 2);
+    }
+
+    #[test]
+    fn out_of_range_abort_reason_is_clamped() {
+        let r = Registry::new();
+        let s = r.shard(0);
+        s.note_abort(999);
+        let snap = r.scrape();
+        assert_eq!(snap.aborts.last().unwrap().1, 1);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let r = Registry::new();
+        let s = r.shard(0);
+        s.note_commit(5);
+        s.note_abort(2);
+        s.note_phase(Phase::Execute, 9);
+        r.reset();
+        let snap = r.scrape();
+        assert_eq!(snap.committed, 0);
+        assert_eq!(snap.aborted, 0);
+        assert_eq!(snap.latency.count, 0);
+        assert!(snap.phases.iter().all(|(_, h)| h.count == 0));
+        assert!(snap.aborts.iter().all(|(_, n)| *n == 0));
+    }
+
+    #[test]
+    fn concurrent_scrape_during_active_recording() {
+        // Satellite: scraping while workers record must never tear or
+        // panic, and a quiesced final scrape sees every record.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let r = std::sync::Arc::new(Registry::new());
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        const WRITERS: usize = 4;
+        const PER: u64 = 20_000;
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let shard = r.shard(w % 2);
+                std::thread::spawn(move || {
+                    for i in 0..PER {
+                        shard.note_commit(i % 1_000 + 1);
+                        shard.note_phase(Phase::ALL[(i % 8) as usize], i % 97 + 1);
+                        if i % 5 == 0 {
+                            shard.note_abort((i % 7) as usize);
+                        }
+                    }
+                })
+            })
+            .collect();
+        let scraper = {
+            let r = std::sync::Arc::clone(&r);
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last_committed = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let s = r.scrape();
+                    // Monotone progress: counters only grow.
+                    assert!(s.committed >= last_committed);
+                    last_committed = s.committed;
+                    // Phase tables always fully labelled.
+                    assert_eq!(s.phases.len(), Phase::COUNT);
+                }
+            })
+        };
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        scraper.join().unwrap();
+        let s = r.scrape();
+        assert_eq!(s.committed, WRITERS as u64 * PER);
+        assert_eq!(s.latency.count, WRITERS as u64 * PER);
+        assert_eq!(s.aborted, WRITERS as u64 * (PER / 5));
+        let phase_total: u64 = s.phases.iter().map(|(_, h)| h.count).sum();
+        assert_eq!(phase_total, WRITERS as u64 * PER);
+    }
+
+    #[test]
+    fn default_snapshot_is_fully_labelled() {
+        let s = Snapshot::empty();
+        assert_eq!(s.phases.len(), Phase::COUNT);
+        assert_eq!(s.aborts.len(), ABORT_REASONS.len());
+        assert_eq!(s.htm.len(), HTM_CLASSES.len());
+        assert_eq!(s.aborts[4].0, "fallback");
+    }
+}

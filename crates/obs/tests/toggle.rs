@@ -1,0 +1,33 @@
+//! Runtime-toggle behaviour. Lives in an integration test (its own
+//! process) because flipping the global toggle would race with the
+//! crate's parallel unit tests.
+
+use drtm_obs::{registry::Registry, set_enabled, trace, Phase};
+
+#[test]
+fn runtime_toggle_gates_all_recording() {
+    let r = Registry::new();
+    let s = r.shard(0);
+
+    set_enabled(false);
+    s.note_commit(100);
+    s.note_abort(0);
+    s.note_phase(Phase::Lock, 50);
+    trace::event(trace::EventKind::Mark, "while_disabled", 0, 0);
+    let snap = r.scrape();
+    assert_eq!(snap.committed, 0, "disabled recording must be a no-op");
+    assert_eq!(snap.aborted, 0);
+    assert_eq!(snap.latency.count, 0);
+    assert_eq!(trace::buffered(), 0);
+
+    set_enabled(true);
+    s.note_commit(100);
+    s.note_phase(Phase::Lock, 50);
+    trace::event(trace::EventKind::Mark, "while_enabled", 0, 0);
+    let snap = r.scrape();
+    assert_eq!(snap.committed, 1, "re-enabled recording must resume");
+    assert_eq!(trace::buffered(), 1);
+    let json = trace::export_chrome_json();
+    assert!(json.contains("while_enabled"));
+    assert!(!json.contains("while_disabled"));
+}

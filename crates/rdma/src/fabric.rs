@@ -65,6 +65,17 @@ impl Verb {
             Verb::Send => "SEND",
         }
     }
+
+    /// Lower-case label used in metric names and trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verb::Read => "read",
+            Verb::Write => "write",
+            Verb::Cas => "cas",
+            Verb::Faa => "faa",
+            Verb::Send => "send",
+        }
+    }
 }
 
 /// A fault decision applied to one verb, produced by a [`FaultInjector`].
@@ -372,6 +383,13 @@ impl Qp {
         self.fabric.port(self.dst)
     }
 
+    /// Emits a verb issue/complete trace event pair boundary. The `arg`
+    /// packs the destination node so traces show which peer a verb hit.
+    #[inline]
+    fn trace(&self, kind: drtm_obs::EventKind, verb: Verb, virt_ns: u64) {
+        drtm_obs::trace::event(kind, verb.label(), self.dst as u64, virt_ns);
+    }
+
     /// Applies an injected fault to a *one-sided* verb: extra wire bytes
     /// and delay are charged, and a dropped packet becomes an RC
     /// retransmission penalty (at least one message round trip).
@@ -396,6 +414,7 @@ impl Qp {
     /// mid-write, like the DMA engine re-snooping a locked line).
     pub fn read(&self, clock: &mut VClock, raddr: usize, buf: &mut [u8]) -> Vec<u64> {
         let f = &self.fabric;
+        self.trace(drtm_obs::EventKind::VerbIssue, Verb::Read, clock.now());
         let fault = f.fault(self.src, self.dst, Verb::Read, clock.now());
         let versions = self.port().region.read_bytes_coherent(raddr, buf);
         let wire = f.cost.wire_bytes(buf.len());
@@ -405,6 +424,7 @@ impl Qp {
         self.charge_one_sided_fault(clock, fault);
         self.port().stats.reads.inc();
         self.port().stats.bytes.add(buf.len() as u64);
+        self.trace(drtm_obs::EventKind::VerbComplete, Verb::Read, clock.now());
         versions
     }
 
@@ -415,6 +435,7 @@ impl Qp {
     /// conflicting HTM transactions on the target abort.
     pub fn write(&self, clock: &mut VClock, raddr: usize, data: &[u8]) {
         let f = &self.fabric;
+        self.trace(drtm_obs::EventKind::VerbIssue, Verb::Write, clock.now());
         let fault = f.fault(self.src, self.dst, Verb::Write, clock.now());
         self.port().region.write_bytes_coherent(raddr, data);
         let wire = f.cost.wire_bytes(data.len());
@@ -424,6 +445,7 @@ impl Qp {
         self.charge_one_sided_fault(clock, fault);
         self.port().stats.writes.inc();
         self.port().stats.bytes.add(data.len() as u64);
+        self.trace(drtm_obs::EventKind::VerbComplete, Verb::Write, clock.now());
     }
 
     /// One-sided RDMA compare-and-swap on the 8-byte word at `raddr`.
@@ -441,6 +463,7 @@ impl Qp {
             "HCA does not support RDMA atomics"
         );
         let f = &self.fabric;
+        self.trace(drtm_obs::EventKind::VerbIssue, Verb::Cas, clock.now());
         let fault = f.fault(self.src, self.dst, Verb::Cas, clock.now());
         let res = self.port().region.cas64(raddr, expect, new);
         let wire = f.cost.wire_bytes(8);
@@ -450,6 +473,7 @@ impl Qp {
         self.charge_one_sided_fault(clock, fault);
         self.port().stats.atomics.inc();
         self.port().stats.bytes.add(8);
+        self.trace(drtm_obs::EventKind::VerbComplete, Verb::Cas, clock.now());
         res
     }
 
@@ -461,6 +485,7 @@ impl Qp {
             "HCA does not support RDMA atomics"
         );
         let f = &self.fabric;
+        self.trace(drtm_obs::EventKind::VerbIssue, Verb::Faa, clock.now());
         let fault = f.fault(self.src, self.dst, Verb::Faa, clock.now());
         let old = self.port().region.faa64(raddr, add);
         let wire = f.cost.wire_bytes(8);
@@ -470,6 +495,7 @@ impl Qp {
         self.charge_one_sided_fault(clock, fault);
         self.port().stats.atomics.inc();
         self.port().stats.bytes.add(8);
+        self.trace(drtm_obs::EventKind::VerbComplete, Verb::Faa, clock.now());
         old
     }
 
@@ -477,6 +503,7 @@ impl Qp {
     /// queue. A dropped SEND pays wire and clock costs but never arrives.
     pub fn send(&self, clock: &mut VClock, tag: u32, payload: Vec<u8>) {
         let f = &self.fabric;
+        self.trace(drtm_obs::EventKind::VerbIssue, Verb::Send, clock.now());
         let fault = f.fault(self.src, self.dst, Verb::Send, clock.now());
         let wire = f.cost.wire_bytes(payload.len()) + fault.extra_wire;
         let done = f.charge_nics(self.src, self.dst, clock.now(), wire);
@@ -485,6 +512,7 @@ impl Qp {
         clock.advance_to(done);
         self.port().stats.sends.inc();
         self.port().stats.bytes.add(payload.len() as u64);
+        self.trace(drtm_obs::EventKind::VerbComplete, Verb::Send, clock.now());
         if fault.drop {
             return;
         }

@@ -102,6 +102,16 @@ pub struct CostModel {
     /// bandwidth — this is what caps replicated SmallBank at ~8 threads
     /// in the paper (Figures 15/16).
     pub nic_ops_per_sec: f64,
+    /// Cost of ringing a doorbell: the MMIO write plus the NIC's fetch of
+    /// the first WQE. Charged once per doorbell regardless of how many
+    /// work requests the batch carries — this is the lever that makes
+    /// doorbell batching pay (RDMA-CC, arXiv:2002.12664).
+    pub doorbell_ns: u64,
+    /// Per-work-request issue occupancy inside a batch: successive WRs of
+    /// one doorbell enter the wire this many ns apart (WQE fetch + SGE
+    /// DMA), so a batch completes at `doorbell + max_i(i*pipeline +
+    /// latency_i)` instead of the sum of full latencies.
+    pub verb_pipeline_ns: u64,
 }
 
 impl Default for CostModel {
@@ -122,6 +132,8 @@ impl Default for CostModel {
             record_logic_ns: 180,
             nic_bytes_per_sec: 7.0e9,
             nic_ops_per_sec: 6.0e6,
+            doorbell_ns: 250,
+            verb_pipeline_ns: 100,
         }
     }
 }
@@ -173,5 +185,10 @@ mod tests {
         assert!(m.ipoib_rtt_ns > 10 * m.rdma_read_ns);
         // Payload size contributes.
         assert!(m.rdma_read(4096) > m.rdma_read(8));
+        // A doorbell is much cheaper than any one-sided verb, and the
+        // per-WR pipeline slot cheaper still — otherwise batching could
+        // never win over blocking issues.
+        assert!(m.doorbell_ns * 4 < m.rdma_write_ns);
+        assert!(m.verb_pipeline_ns <= m.doorbell_ns);
     }
 }

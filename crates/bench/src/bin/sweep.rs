@@ -5,14 +5,16 @@
 //! sweep [tpcc|smallbank] [--engine drtm+r|drtm|calvin|silo]
 //!       [--nodes N] [--threads T] [--replicas R] [--cross P]
 //!       [--txns N] [--full] [--msg-locking] [--no-cache] [--fuse]
-//!       [--raw]
+//!       [--legacy-verbs] [--raw]
 //! ```
 //!
 //! Prints one tab-separated result row (plus a header), so shell loops
 //! can build arbitrary grids beyond the paper's figures. With `--raw`
 //! only the aggregate throughput (txn/s, bare float) is printed — the
 //! machine-comparable form the CI observability-overhead check diffs
-//! between obs-enabled and obs-disabled builds.
+//! between obs-enabled and obs-disabled builds, and the batched-verbs
+//! A/B check diffs between `--legacy-verbs` (or `DRTM_VERB_PATH=
+//! blocking`) and the batched default.
 
 use drtm_bench::{fmt_tps, sb_cfg, tpcc_cfg, Scale};
 use drtm_workloads::driver::{run_smallbank, run_tpcc, EngineKind, RunCfg};
@@ -42,6 +44,7 @@ fn main() {
     let mut msg_locking = false;
     let mut no_cache = false;
     let mut fuse = false;
+    let mut legacy_verbs = false;
     let mut raw = false;
 
     let mut it = args.iter().peekable();
@@ -63,6 +66,7 @@ fn main() {
             "--msg-locking" => msg_locking = true,
             "--no-cache" => no_cache = true,
             "--fuse" => fuse = true,
+            "--legacy-verbs" => legacy_verbs = true,
             "--raw" => raw = true,
             "--full" => {} // Handled by Scale::from_env.
             other => {
@@ -83,6 +87,12 @@ fn main() {
         no_location_cache: no_cache,
         fuse_lock_validate: fuse,
         ..Default::default()
+    };
+    // `..Default::default()` already honours `DRTM_VERB_PATH=blocking`;
+    // the flag is the explicit spelling for scripts and CI matrices.
+    let run = RunCfg {
+        batched_verbs: run.batched_verbs && !legacy_verbs,
+        ..run
     };
 
     if !raw {

@@ -60,6 +60,13 @@ pub struct EngineOpts {
     /// interrupts the host, aborting its in-flight HTM regions — the
     /// §4.4 argument for one-sided operations.
     pub msg_locking: bool,
+    /// Batch commit-phase verbs through the posted work-queue API: C.1
+    /// locks, C.5 updates, R.1 appends and C.6 unlocks ring one doorbell
+    /// per destination node instead of paying one blocking round trip
+    /// per record. `false` restores the legacy per-record blocking path
+    /// (the A/B baseline). Ignored under `msg_locking`, whose verbs are
+    /// SEND/RECV round trips with no doorbell to amortise.
+    pub batched_verbs: bool,
 }
 
 impl Default for EngineOpts {
@@ -76,6 +83,7 @@ impl Default for EngineOpts {
             pointer_swap: true,
             txn_retries: 1_000_000,
             msg_locking: false,
+            batched_verbs: true,
         }
     }
 }
@@ -129,16 +137,21 @@ impl DrtmCluster {
         let regions: Vec<Arc<MemoryRegion>> = (0..n)
             .map(|_| Arc::new(MemoryRegion::new(opts.region_size)))
             .collect();
-        let mut fabric = Fabric::new(regions.clone(), opts.cost.clone());
-        if opts.fuse_lock_validate {
-            fabric.atomic_level = drtm_rdma::AtomicLevel::Glob;
-        }
+        let fabric = Fabric::builder()
+            .regions(regions.clone())
+            .cost(opts.cost.clone())
+            .atomic_level(if opts.fuse_lock_validate {
+                drtm_rdma::AtomicLevel::Glob
+            } else {
+                drtm_rdma::AtomicLevel::Hca
+            })
+            .build();
         let stores = regions
             .iter()
             .map(|r| Arc::new(Store::new(Arc::clone(r), schema)))
             .collect();
         Arc::new(Self {
-            fabric: Arc::new(fabric),
+            fabric,
             stores,
             htms: (0..n).map(|_| Htm::new(opts.htm.clone())).collect(),
             logs: ReplLogStore::new(n),

@@ -28,10 +28,10 @@ use std::sync::Arc;
 
 use drtm_cluster::LogEntry;
 use drtm_htm::RunOutcome;
-use drtm_rdma::NodeId;
+use drtm_rdma::{Cq, NodeId, WorkRequest, WrResult};
 use drtm_store::record::{
-    lock_owner, lock_word, remote_read_consistent, remote_write_locked, INCARNATION_OFF, LOCK_FREE,
-    SEQ_OFF,
+    lock_owner, lock_word, locked_write_wrs, remote_read_consistent, remote_write_locked,
+    INCARNATION_OFF, LOCK_FREE, SEQ_OFF,
 };
 use drtm_store::{TableId, CONTROL_LINE_OFF};
 
@@ -43,6 +43,17 @@ use crate::{read_validates, write_validates};
 /// A record to lock: `(node, record offset)`; ordering this tuple gives
 /// the global sort order that makes lock acquisition deadlock-free.
 type LockAddr = (NodeId, usize);
+
+/// Outcome of one blocking lock acquisition (see `TxnCtx::acquire_one`).
+enum OneLock {
+    /// The lock is held by this transaction (possibly after stealing it
+    /// from a dead owner and healing the record).
+    Acquired,
+    /// A live member holds it: abort.
+    Busy,
+    /// The issuing machine died; no further verbs were issued.
+    Dead,
+}
 
 // Index loops below are deliberate: iterating `self.l_ws`/`self.r_ws` by
 // reference would hold a borrow of `self` across calls that need
@@ -92,15 +103,27 @@ impl TxnCtx<'_> {
             Err(e) => {
                 self.w.stats.aborted += 1;
                 // A `Crashed` machine is a death, not an abort; only
-                // protocol aborts enter the taxonomy.
-                if let TxnError::Aborted(reason) = e {
-                    self.w.obs.note_abort(reason.obs_index());
-                    drtm_obs::trace::event(
-                        EventKind::TxnAbort,
-                        reason.label(),
-                        self.w.node as u64,
-                        self.w.clock.now(),
-                    );
+                // protocol and transport aborts enter the taxonomy.
+                match e {
+                    TxnError::Aborted(reason) => {
+                        self.w.obs.note_abort(reason.obs_index());
+                        drtm_obs::trace::event(
+                            EventKind::TxnAbort,
+                            reason.label(),
+                            self.w.node as u64,
+                            self.w.clock.now(),
+                        );
+                    }
+                    TxnError::Transport(verb) => {
+                        self.w.obs.note_abort(crate::txn::TRANSPORT_OBS_INDEX);
+                        drtm_obs::trace::event(
+                            EventKind::TxnAbort,
+                            verb.label(),
+                            self.w.node as u64,
+                            self.w.clock.now(),
+                        );
+                    }
+                    _ => {}
                 }
             }
         }
@@ -153,15 +176,13 @@ impl TxnCtx<'_> {
 
         // C.1: lock remote read + write sets in global order.
         let locks = self.remote_lock_addrs();
-        if let Err(held) = self.lock_all(&locks) {
-            self.unlock_all(&locks[..held]);
-            if !cluster.is_alive(self.w.node) {
-                // The machine died mid-acquisition (`lock_all` refused
-                // to issue further verbs); whatever it already locked
-                // dangles for the recovery sweep.
-                return Err(TxnError::Crashed);
-            }
-            return Err(TxnError::Aborted(AbortReason::LockBusy));
+        if let Err((held, err)) = self.lock_all(&locks) {
+            // On `Crashed` the machine died mid-acquisition (`lock_all`
+            // refused to issue further verbs) and `unlock_all` is a
+            // no-op: whatever it already locked dangles for the
+            // recovery sweep.
+            self.unlock_all(&held);
+            return Err(err);
         }
         self.probe("C.1")?;
         let lock_ns = lap(self.w);
@@ -251,25 +272,7 @@ impl TxnCtx<'_> {
         // sweep rolls the still-locked remainder forward — whereas a
         // late write could stomp a *newer* value committed after the
         // sweep healed and released the record.
-        for i in 0..self.r_ws.len() {
-            if !cluster.is_alive(self.w.node) {
-                return Err(TxnError::Crashed);
-            }
-            let (node, rec_off, table, new_seq) = {
-                let e = &self.r_ws[i];
-                (e.node, e.rec_off, e.table, remote_new_seqs[i])
-            };
-            let layout = cluster.stores[self.w.node].table(table).layout;
-            let w = &mut *self.w;
-            remote_write_locked(
-                &w.qps[node],
-                &mut w.clock,
-                rec_off,
-                layout,
-                &self.r_ws[i].buf,
-                new_seq,
-            );
-        }
+        self.remote_update(&remote_new_seqs)?;
         let remote_write_ns = lap(self.w);
 
         // Inserts and deletes become visible only now, after validation
@@ -337,13 +340,43 @@ impl TxnCtx<'_> {
         v
     }
 
-    /// Acquires every lock in `addrs` (already sorted) with RDMA CAS.
+    /// Whether commit-phase verbs ride the batched work-queue paths.
+    /// The messaging ablation's verbs are SEND/RECV round trips with no
+    /// doorbell to amortise, so it always takes the per-record path.
+    fn batched_verbs(&self) -> bool {
+        let opts = &self.w.cluster.opts;
+        opts.batched_verbs && !opts.msg_locking
+    }
+
+    /// The error a failed lock acquisition surfaces: a dead machine is a
+    /// death (its partial lock set dangles for recovery), a live one
+    /// aborts and retries.
+    fn lock_fail_err(&self) -> TxnError {
+        if self.w.cluster.is_alive(self.w.node) {
+            TxnError::Aborted(AbortReason::LockBusy)
+        } else {
+            TxnError::Crashed
+        }
+    }
+
+    /// Acquires every lock in `addrs` (already sorted) with RDMA CAS —
+    /// batched one doorbell per destination node, or one blocking CAS
+    /// per record on the legacy path.
     ///
-    /// On failure returns `Err(n)` with the count of locks already held
-    /// so the caller can release them. Locks owned by machines outside
-    /// the current configuration are released passively and re-tried
-    /// (§5.2).
-    fn lock_all(&mut self, addrs: &[LockAddr]) -> Result<(), usize> {
+    /// On failure returns the locks actually acquired (the batched path
+    /// can win later CASes of a batch whose earlier one lost, so this is
+    /// not always a prefix of `addrs`) plus the error to surface; the
+    /// caller releases them. Locks owned by machines outside the current
+    /// configuration are stolen, healed and kept (§5.2).
+    fn lock_all(&mut self, addrs: &[LockAddr]) -> Result<(), (Vec<LockAddr>, TxnError)> {
+        if self.batched_verbs() {
+            self.lock_all_batched(addrs)
+        } else {
+            self.lock_all_blocking(addrs)
+        }
+    }
+
+    fn lock_all_blocking(&mut self, addrs: &[LockAddr]) -> Result<(), (Vec<LockAddr>, TxnError)> {
         let cluster = Arc::clone(&self.w.cluster);
         let me = lock_word(self.w.node);
         let members = cluster.config.get();
@@ -352,43 +385,124 @@ impl TxnCtx<'_> {
             // a machine that has left the configuration — its shard has
             // been (or is being) recovered elsewhere.
             if !members.contains(node) {
-                return Err(i);
+                return Err((addrs[..i].to_vec(), self.lock_fail_err()));
             }
-            loop {
-                // A dead machine issues no verbs (its QPs died with it).
-                // Without this per-attempt check, a worker thread of the
-                // victim descheduled mid-acquisition could wake up
-                // *after* the recovery sweep released its dangling locks
-                // and acquire fresh ones that nothing ever sweeps again.
-                if !cluster.is_alive(self.w.node) {
-                    return Err(i);
-                }
-                match self.remote_cas(node, rec_off, LOCK_FREE, me) {
-                    Ok(_) => break,
-                    Err(actual) => {
-                        let owner = lock_owner(actual).expect("non-free lock words name an owner");
-                        if !members.contains(owner) {
-                            // Dangling lock from a dead machine: steal it
-                            // (release-then-relock would let another writer
-                            // slip in before the repair), roll the record
-                            // forward to its freshest durable version, and
-                            // keep the lock — acquisition done.
-                            if self.remote_cas(node, rec_off, actual, me).is_ok() {
-                                cluster.heal_record(node, rec_off);
-                                break;
-                            }
-                            continue;
-                        }
-                        return Err(i);
-                    }
-                }
+            match self.acquire_one(node, rec_off, me) {
+                OneLock::Acquired => {}
+                OneLock::Busy => return Err((addrs[..i].to_vec(), self.lock_fail_err())),
+                OneLock::Dead => return Err((addrs[..i].to_vec(), TxnError::Crashed)),
             }
         }
         Ok(())
     }
 
+    /// C.1 over the work queue: all CAS WRs for one destination node ride
+    /// a single doorbell. Conflicted words (a CAS that found the lock
+    /// taken) fall back to [`Self::acquire_one`], which distinguishes a
+    /// live owner (abort) from a dangling dead one (steal and heal).
+    fn lock_all_batched(&mut self, addrs: &[LockAddr]) -> Result<(), (Vec<LockAddr>, TxnError)> {
+        let cluster = Arc::clone(&self.w.cluster);
+        let me = lock_word(self.w.node);
+        let members = cluster.config.get();
+        let mut acquired: Vec<LockAddr> = Vec::with_capacity(addrs.len());
+        let mut i = 0;
+        while i < addrs.len() {
+            let node = addrs[i].0;
+            let end = i + addrs[i..].iter().take_while(|a| a.0 == node).count();
+            let group = &addrs[i..end];
+            // Same fences as the blocking path, once per destination:
+            // the doorbell is the point verbs are issued.
+            if !members.contains(node) {
+                return Err((acquired, self.lock_fail_err()));
+            }
+            if !cluster.is_alive(self.w.node) {
+                return Err((acquired, TxnError::Crashed));
+            }
+            let wcs = {
+                let w = &mut *self.w;
+                for &(_, rec_off) in group {
+                    w.qps[node].post(WorkRequest::Cas {
+                        raddr: rec_off,
+                        expect: LOCK_FREE,
+                        new: me,
+                    });
+                }
+                let cq = Cq::new();
+                w.qps[node].doorbell(&mut w.clock, &cq);
+                cq.poll(&mut w.clock)
+            };
+            let mut failed: Option<TxnError> = None;
+            for (wc, &(_, rec_off)) in wcs.iter().zip(group) {
+                match &wc.result {
+                    Ok(WrResult::Cas(Ok(_))) => acquired.push((node, rec_off)),
+                    Ok(WrResult::Cas(Err(_))) => {
+                        // Already failing: don't fight for further locks
+                        // the caller would immediately release.
+                        if failed.is_some() {
+                            continue;
+                        }
+                        match self.acquire_one(node, rec_off, me) {
+                            OneLock::Acquired => acquired.push((node, rec_off)),
+                            OneLock::Busy => failed = Some(self.lock_fail_err()),
+                            OneLock::Dead => failed = Some(TxnError::Crashed),
+                        }
+                    }
+                    Ok(_) => unreachable!("CAS WRs complete with CAS results"),
+                    // The CAS never took effect (injected drop): abort —
+                    // but keep scanning, later WRs of the batch may have
+                    // acquired locks that must be released.
+                    Err(e) => {
+                        failed.get_or_insert(TxnError::from(*e));
+                    }
+                }
+            }
+            if let Some(err) = failed {
+                return Err((acquired, err));
+            }
+            i = end;
+        }
+        Ok(())
+    }
+
+    /// Acquires one lock with blocking CAS, retrying through the §5.2
+    /// passive-release dance: a word owned by a machine outside the
+    /// configuration is stolen (release-then-relock would let another
+    /// writer slip in before the repair), the record rolled forward to
+    /// its freshest durable version, and the lock kept.
+    fn acquire_one(&mut self, node: NodeId, rec_off: usize, me: u64) -> OneLock {
+        let cluster = Arc::clone(&self.w.cluster);
+        let members = cluster.config.get();
+        loop {
+            // A dead machine issues no verbs (its QPs died with it).
+            // Without this per-attempt check, a worker thread of the
+            // victim descheduled mid-acquisition could wake up *after*
+            // the recovery sweep released its dangling locks and acquire
+            // fresh ones that nothing ever sweeps again.
+            if !cluster.is_alive(self.w.node) {
+                return OneLock::Dead;
+            }
+            match self.remote_cas(node, rec_off, LOCK_FREE, me) {
+                Ok(_) => return OneLock::Acquired,
+                Err(actual) => {
+                    let owner = lock_owner(actual).expect("non-free lock words name an owner");
+                    if !members.contains(owner) {
+                        if self.remote_cas(node, rec_off, actual, me).is_ok() {
+                            cluster.heal_record(node, rec_off);
+                            return OneLock::Acquired;
+                        }
+                        continue;
+                    }
+                    return OneLock::Busy;
+                }
+            }
+        }
+    }
+
     /// Releases locks in `addrs` with RDMA CAS (or messaging, under the
-    /// ablation).
+    /// ablation). The batched path rings one doorbell per destination
+    /// and does not wait for completions: the transaction already
+    /// reported committed after C.5, so C.6 is fire-and-forget, exactly
+    /// like an unsignalled unlock WR on real hardware.
     fn unlock_all(&mut self, addrs: &[LockAddr]) {
         // A dead machine cannot release its own locks — that is the
         // recovery sweep's job (which may already have stolen them, so a
@@ -397,10 +511,132 @@ impl TxnCtx<'_> {
             return;
         }
         let me = lock_word(self.w.node);
-        for &(node, rec_off) in addrs {
-            let res = self.remote_cas(node, rec_off, me, LOCK_FREE);
-            debug_assert!(res.is_ok(), "lost a lock we held");
+        if !self.batched_verbs() {
+            for &(node, rec_off) in addrs {
+                let res = self.remote_cas(node, rec_off, me, LOCK_FREE);
+                debug_assert!(res.is_ok(), "lost a lock we held");
+            }
+            return;
         }
+        // `addrs` is sorted (the lock set, or the acquired subset of it,
+        // both built in global order), so destinations are contiguous.
+        let mut i = 0;
+        while i < addrs.len() {
+            let node = addrs[i].0;
+            let end = i + addrs[i..].iter().take_while(|a| a.0 == node).count();
+            let group = &addrs[i..end];
+            let wcs = {
+                let w = &mut *self.w;
+                for &(_, rec_off) in group {
+                    w.qps[node].post(WorkRequest::Cas {
+                        raddr: rec_off,
+                        expect: me,
+                        new: LOCK_FREE,
+                    });
+                }
+                let cq = Cq::new();
+                w.qps[node].doorbell(&mut w.clock, &cq);
+                // Fire-and-forget: inspect completions without spinning
+                // the clock forward to them.
+                cq.drain()
+            };
+            for (wc, &(_, rec_off)) in wcs.iter().zip(group) {
+                match &wc.result {
+                    Ok(WrResult::Cas(res)) => {
+                        debug_assert!(res.is_ok(), "lost a lock we held");
+                    }
+                    Ok(_) => unreachable!("CAS WRs complete with CAS results"),
+                    Err(_) => {
+                        // A dropped unlock would dangle forever (recovery
+                        // only sweeps locks of dead machines), so
+                        // retransmit it through the blocking wrapper.
+                        let w = &mut *self.w;
+                        let res = w.qps[node].cas(&mut w.clock, rec_off, me, LOCK_FREE);
+                        debug_assert!(res.is_ok(), "lost a lock we held");
+                    }
+                }
+            }
+            i = end;
+        }
+    }
+
+    /// C.5: writes every remote write-set primary under its lock. The
+    /// batched path posts all per-line WRITEs for one destination node
+    /// and rings a single doorbell; the legacy path issues one blocking
+    /// WRITE per line per record.
+    ///
+    /// A machine that died mid-step stops issuing doorbells — its redo
+    /// entries are durable, so the recovery sweep rolls the still-locked
+    /// remainder forward.
+    fn remote_update(&mut self, new_seqs: &[u64]) -> Result<(), TxnError> {
+        let cluster = Arc::clone(&self.w.cluster);
+        let me = self.w.node;
+        if !self.batched_verbs() {
+            for i in 0..self.r_ws.len() {
+                if !cluster.is_alive(me) {
+                    return Err(TxnError::Crashed);
+                }
+                let (node, rec_off, table) = {
+                    let e = &self.r_ws[i];
+                    (e.node, e.rec_off, e.table)
+                };
+                let layout = cluster.stores[me].table(table).layout;
+                let w = &mut *self.w;
+                remote_write_locked(
+                    &w.qps[node],
+                    &mut w.clock,
+                    rec_off,
+                    layout,
+                    &self.r_ws[i].buf,
+                    new_seqs[i],
+                );
+            }
+            return Ok(());
+        }
+        let mut nodes: Vec<NodeId> = self.r_ws.iter().map(|e| e.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        for node in nodes {
+            if !cluster.is_alive(me) {
+                return Err(TxnError::Crashed);
+            }
+            // Every line image destined for this node, in the per-record
+            // reverse-line order version matching depends on.
+            let mut wrs: Vec<(usize, Vec<u8>)> = Vec::new();
+            for i in 0..self.r_ws.len() {
+                let e = &self.r_ws[i];
+                if e.node != node {
+                    continue;
+                }
+                let layout = cluster.stores[me].table(e.table).layout;
+                wrs.extend(locked_write_wrs(e.rec_off, layout, &e.buf, new_seqs[i]));
+            }
+            let wcs = {
+                let w = &mut *self.w;
+                for (raddr, img) in &wrs {
+                    w.qps[node].post(WorkRequest::Write {
+                        raddr: *raddr,
+                        data: img.clone(),
+                    });
+                }
+                let cq = Cq::new();
+                w.qps[node].doorbell(&mut w.clock, &cq);
+                // C.6 for this node must come strictly after these
+                // completions, so poll (not drain) before returning.
+                cq.poll(&mut w.clock)
+            };
+            // A dropped line image would leave a torn record under a
+            // lock we still hold; nobody can validate it before C.6, so
+            // retransmitting the identical image through the blocking
+            // wrapper is idempotent and closes the tear before unlock.
+            for (wc, (raddr, img)) in wcs.iter().zip(&wrs) {
+                if wc.result.is_err() {
+                    let w = &mut *self.w;
+                    w.qps[node].write(&mut w.clock, *raddr, img);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Reads `(incarnation, seq)` of a remote record header. Under the
@@ -626,11 +862,13 @@ impl TxnCtx<'_> {
     /// local writes).
     fn append_logs(&mut self, entries: Vec<(NodeId, LogEntry)>) -> bool {
         let cluster = Arc::clone(&self.w.cluster);
+        let batched = self.batched_verbs();
         let mut primaries: Vec<NodeId> = entries.iter().map(|(p, _)| *p).collect();
         primaries.sort_unstable();
         primaries.dedup();
         let me = self.w.node;
         let clock = &mut self.w.clock;
+        let cost = &cluster.opts.cost;
         cluster
             .logs
             .append_fenced(&cluster.config, self.start_epoch, |logs| {
@@ -641,12 +879,25 @@ impl TxnCtx<'_> {
                         .map(|(_, e)| e.clone())
                         .collect();
                     for b in cluster.backups_of(p) {
-                        let nics = (&cluster.fabric.port(me).nic, &cluster.fabric.port(b).nic);
-                        logs.append(clock, &cluster.opts.cost, nics, p, b, &batch);
-                        // One RDMA WRITE verb per log append, on both ports.
+                        let src = cluster.fabric.port(me);
+                        let dst = cluster.fabric.port(b);
+                        if batched {
+                            // R.1 rides the work queue too: the whole
+                            // redo batch for this backup is one doorbell
+                            // (charged up front) plus pipelined per-entry
+                            // occupancy, counted on the destination port
+                            // like every other doorbell.
+                            clock.advance(
+                                cost.doorbell_ns + cost.verb_pipeline_ns * (batch.len() as u64 - 1),
+                            );
+                            dst.stats().doorbells.inc();
+                        }
+                        logs.append(clock, cost, (src.nic(), dst.nic()), p, b, &batch);
+                        // One WRITE-verb op reservation per log append, on
+                        // both ports (the batch travels as one chained WR).
                         let now = clock.now();
-                        let o1 = cluster.fabric.port(me).nic_ops.reserve(now, 1);
-                        let o2 = cluster.fabric.port(b).nic_ops.reserve(now, 1);
+                        let o1 = src.nic_ops().reserve(now, 1);
+                        let o2 = dst.nic_ops().reserve(now, 1);
                         clock.advance_to(o1.max(o2));
                     }
                 }
@@ -783,12 +1034,9 @@ impl TxnCtx<'_> {
         addrs.sort_unstable();
         addrs.dedup();
 
-        if let Err(held) = self.lock_all(&addrs) {
-            self.unlock_all(&addrs[..held]);
-            if !cluster.is_alive(me) {
-                return Err(TxnError::Crashed);
-            }
-            return Err(TxnError::Aborted(AbortReason::LockBusy));
+        if let Err((held, err)) = self.lock_all(&addrs) {
+            self.unlock_all(&held);
+            return Err(err);
         }
         self.probe("C.1")?;
 
@@ -898,26 +1146,8 @@ impl TxnCtx<'_> {
             self.probe("R.2")?;
         }
 
-        for i in 0..self.r_ws.len() {
-            // Same C.5 death gate as the HTM path.
-            if !cluster.is_alive(me) {
-                return Err(TxnError::Crashed);
-            }
-            let (node, rec_off, table) = {
-                let e = &self.r_ws[i];
-                (e.node, e.rec_off, e.table)
-            };
-            let layout = cluster.stores[me].table(table).layout;
-            let w = &mut *self.w;
-            remote_write_locked(
-                &w.qps[node],
-                &mut w.clock,
-                rec_off,
-                layout,
-                &self.r_ws[i].buf,
-                r_new_seqs[i],
-            );
-        }
+        // C.5 with the same death gate as the HTM path.
+        self.remote_update(&r_new_seqs)?;
 
         self.apply_mutations();
         self.probe("C.5")?;

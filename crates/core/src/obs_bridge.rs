@@ -12,13 +12,15 @@ use drtm_rdma::NicSnapshot;
 
 use crate::cluster::DrtmCluster;
 
-/// Labels for the four [`drtm_rdma::NicStats`] verb classes, in the
-/// order [`nic_rows`] emits them.
-pub const NIC_VERBS: [&str; 4] = ["read", "write", "atomic", "send"];
+/// Labels for the [`drtm_rdma::NicStats`] counter classes, in the order
+/// [`nic_rows`] emits them. `doorbell` is not a verb (it flushes a batch
+/// of one or more WRs); dividing a node's verb counts by its doorbell
+/// count gives the achieved batching factor.
+pub const NIC_VERBS: [&str; 5] = ["read", "write", "atomic", "send", "doorbell"];
 
-/// Expands one NIC snapshot into labelled per-verb rows for `node`.
-pub fn nic_rows(node: usize, s: &NicSnapshot) -> [NicRow; 4] {
-    let counts = [s.reads, s.writes, s.atomics, s.sends];
+/// Expands one NIC snapshot into labelled per-class rows for `node`.
+pub fn nic_rows(node: usize, s: &NicSnapshot) -> [NicRow; 5] {
+    let counts = [s.reads, s.writes, s.atomics, s.sends, s.doorbells];
     std::array::from_fn(|i| NicRow {
         node,
         verb: NIC_VERBS[i],
@@ -36,7 +38,7 @@ pub fn scrape_cluster(cluster: &DrtmCluster) -> Snapshot {
         }
     }
     for node in 0..cluster.nodes() {
-        let nic = cluster.fabric.port(node).stats.snapshot();
+        let nic = cluster.fabric.port(node).stats().snapshot();
         snap.nic.extend(nic_rows(node, &nic));
         snap.nic_bytes.push((node, nic.bytes));
     }
@@ -104,12 +106,15 @@ mod tests {
             writes: 2,
             atomics: 3,
             sends: 4,
+            doorbells: 5,
             bytes: 99,
         };
         let rows = nic_rows(5, &s);
-        assert_eq!(rows.len(), 4);
+        assert_eq!(rows.len(), 5);
         assert_eq!(rows[0].verb, "read");
         assert_eq!(rows[3].count, 4);
+        assert_eq!(rows[4].verb, "doorbell");
+        assert_eq!(rows[4].count, 5);
         assert!(rows.iter().all(|r| r.node == 5));
     }
 }

@@ -633,7 +633,7 @@ fn msg_locking_mode_is_correct_and_interrupts_htm() {
     // Lock + unlock messages each interrupted machine 1.
     assert!(c.stores[1].region.load64(drtm_store::CONTROL_LINE_OFF) >= 2);
     // And no one-sided atomics were used.
-    assert_eq!(c.fabric.port(1).stats.atomics.get(), 0);
+    assert_eq!(c.fabric.port(1).stats().atomics.get(), 0);
 }
 
 #[test]
@@ -715,7 +715,7 @@ fn fused_lock_validate_produces_same_results() {
     let c = DrtmCluster::new(2, &schema(), opts);
     c.seed_record(1, T_ACCT, key(1, 0), &val(5));
     let mut w = c.worker(0, 1);
-    let atomics_before = c.fabric.port(1).stats.reads.get();
+    let atomics_before = c.fabric.port(1).stats().reads.get();
     w.run(|t| {
         let v = num(&t.read(1, T_ACCT, key(1, 0))?);
         t.write(1, T_ACCT, key(1, 0), val(v * 2))
@@ -726,4 +726,191 @@ fn fused_lock_validate_produces_same_results() {
     // The fused path must not have issued separate validation READs
     // beyond the data reads themselves.
     let _ = atomics_before;
+}
+
+/// Acceptance: the batched commit fan-out rings exactly one doorbell
+/// per (txn, destination node) in C.1, C.5 and C.6 — one CAS batch,
+/// one WRITE batch, one unlock batch against node 1 no matter how many
+/// records the txn touches there — while C.2 validation stays blocking
+/// (one doorbell per header read). The legacy path pays one doorbell
+/// per verb across the board.
+#[test]
+fn one_doorbell_per_destination_in_commit_fanout() {
+    let k = 3u64;
+    let run_once = |batched: bool| -> drtm_rdma::NicSnapshot {
+        let opts = EngineOpts {
+            replicas: 1,
+            region_size: 4 << 20,
+            batched_verbs: batched,
+            ..Default::default()
+        };
+        let c = DrtmCluster::new(2, &schema(), opts);
+        for shard in 0..2 {
+            for i in 0..8u64 {
+                c.seed_record(shard, T_ACCT, key(shard, i), &val(100));
+            }
+        }
+        let mut w = c.worker(0, 1);
+        let base = std::cell::Cell::new(drtm_rdma::NicSnapshot::default());
+        w.run(|t| {
+            for i in 0..k {
+                let v = t.read(1, T_ACCT, key(1, i))?;
+                t.write(1, T_ACCT, key(1, i), val(num(&v) + 1))?;
+            }
+            // Snapshot after execute: the remaining delta against node 1
+            // is exactly the commit fan-out (C.1, C.2, C.5, C.6).
+            base.set(c.fabric.port(1).stats().snapshot());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(w.stats.committed, 1);
+        c.fabric.port(1).stats().snapshot().delta(&base.get())
+    };
+
+    let d = run_once(true);
+    assert_eq!(d.atomics, 2 * k, "k lock + k unlock CAS: {d:?}");
+    assert_eq!(d.writes, k, "one C.5 line image per record: {d:?}");
+    assert_eq!(d.reads, 2 * k, "C.2 reads r_rs + r_ws headers: {d:?}");
+    assert_eq!(
+        d.doorbells,
+        d.reads + 3,
+        "blocking C.2 reads plus exactly one doorbell each for C.1, \
+         C.5 and C.6: {d:?}"
+    );
+
+    let d = run_once(false);
+    assert_eq!(d.atomics, 2 * k);
+    assert_eq!(
+        d.doorbells,
+        d.reads + d.writes + d.atomics,
+        "legacy path: one doorbell per verb: {d:?}"
+    );
+}
+
+/// One-shot injector: drops the `n`-th verb of class `verb` issued from
+/// node 0 toward node 1 (0-based), everything else passes untouched.
+struct DropNth {
+    verb: drtm_rdma::Verb,
+    n: u64,
+    seen: std::sync::atomic::AtomicU64,
+}
+
+impl DropNth {
+    fn new(verb: drtm_rdma::Verb, n: u64) -> Self {
+        Self {
+            verb,
+            n,
+            seen: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+}
+
+impl drtm_rdma::FaultInjector for DropNth {
+    fn on_verb(
+        &self,
+        src: drtm_rdma::NodeId,
+        dst: drtm_rdma::NodeId,
+        verb: drtm_rdma::Verb,
+        _now: u64,
+    ) -> drtm_rdma::Fault {
+        if src == 0 && dst == 1 && verb == self.verb {
+            let seen = self.seen.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            if seen == self.n {
+                return drtm_rdma::Fault {
+                    drop: true,
+                    ..drtm_rdma::Fault::NONE
+                };
+            }
+        }
+        drtm_rdma::Fault::NONE
+    }
+}
+
+/// Builds a 2-node unreplicated cluster and commits one txn that
+/// read-modify-writes three records homed on node 1, so every commit
+/// phase fans out a 3-WR doorbell batch toward node 1.
+fn run_three_record_txn(injector: Arc<dyn drtm_rdma::FaultInjector>) -> (Arc<DrtmCluster>, u64) {
+    let opts = EngineOpts {
+        replicas: 1,
+        region_size: 4 << 20,
+        ..Default::default()
+    };
+    let c = DrtmCluster::new(2, &schema(), opts);
+    for i in 0..8u64 {
+        c.seed_record(1, T_ACCT, key(1, i), &val(100));
+    }
+    c.fabric.set_injector(injector);
+    let mut w = c.worker(0, 1);
+    w.run(|t| {
+        for i in 0..3u64 {
+            let v = t.read(1, T_ACCT, key(1, i))?;
+            t.write(1, T_ACCT, key(1, i), val(num(&v) + 1))?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    (c, w.stats.aborted)
+}
+
+/// Dropping the k-th CAS inside a C.1 doorbell batch aborts the attempt
+/// cleanly: the locks the batch *did* win — before and after the
+/// dropped WR — are released (the retry could not lock them otherwise,
+/// since a worker never steals from a live member, itself included),
+/// the abort is classified as a transport fault, and the retry commits.
+#[test]
+fn dropped_wr_in_lock_batch_aborts_cleanly() {
+    // The second CAS from node 0 to node 1 is the middle WR of the
+    // first C.1 batch.
+    let (c, aborted) = run_three_record_txn(Arc::new(DropNth::new(drtm_rdma::Verb::Cas, 1)));
+    assert_eq!(aborted, 1, "exactly the one transport abort");
+    let snap = crate::scrape_cluster(&c);
+    let transport = snap
+        .aborts
+        .iter()
+        .find(|(r, _)| *r == "transport")
+        .map_or(0, |(_, n)| *n);
+    assert_eq!(
+        transport, 1,
+        "taxonomy must say transport: {:?}",
+        snap.aborts
+    );
+    let mut w = c.worker(1, 9);
+    for i in 0..3u64 {
+        let v = w.run_ro(|t| t.read(1, T_ACCT, key(1, i))).unwrap();
+        assert_eq!(num(&v), 101, "retry committed exactly once");
+    }
+}
+
+/// Dropping a WRITE inside the C.5 update batch never tears the record:
+/// the WR is retransmitted (blocking) while the record is still locked,
+/// then C.6 releases it — the txn commits on the first attempt.
+#[test]
+fn dropped_update_wr_is_retransmitted_before_unlock() {
+    let (c, aborted) = run_three_record_txn(Arc::new(DropNth::new(drtm_rdma::Verb::Write, 0)));
+    assert_eq!(aborted, 0, "C.5 drops are repaired, not aborted");
+    let mut w = c.worker(1, 9);
+    for i in 0..3u64 {
+        let v = w.run_ro(|t| t.read(1, T_ACCT, key(1, i))).unwrap();
+        assert_eq!(num(&v), 101);
+    }
+}
+
+/// Dropping a CAS inside the fire-and-forget C.6 unlock batch is
+/// repaired by a blocking retransmit — no dangling lock survives, so a
+/// second worker can immediately lock the same records.
+#[test]
+fn dropped_unlock_wr_is_retransmitted() {
+    // CAS #0..2 toward node 1 are the C.1 locks; #3..5 the C.6 unlocks.
+    let (c, aborted) = run_three_record_txn(Arc::new(DropNth::new(drtm_rdma::Verb::Cas, 4)));
+    assert_eq!(aborted, 0, "C.6 drops are repaired, not aborted");
+    let mut w = c.worker(0, 2);
+    w.run(|t| {
+        for i in 0..3u64 {
+            let v = t.read(1, T_ACCT, key(1, i))?;
+            t.write(1, T_ACCT, key(1, i), val(num(&v) + 1))?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(w.stats.aborted, 0, "no stale lock can remain");
 }

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use drtm_base::{Histogram, SplitMix64, VClock};
 use drtm_htm::HtmTxn;
 use drtm_obs::{EventKind, Shard};
-use drtm_rdma::{NodeId, Qp};
+use drtm_rdma::{NodeId, Qp, VerbError};
 use drtm_store::record::{remote_read_consistent, LOCK_FREE};
 use drtm_store::{LocationCache, TableId};
 
@@ -50,6 +50,10 @@ impl AbortReason {
     }
 }
 
+/// Index of the `transport` slot in [`drtm_obs::ABORT_REASONS`] (the
+/// slot before the final `user` one).
+pub(crate) const TRANSPORT_OBS_INDEX: usize = drtm_obs::ABORT_REASONS.len() - 2;
+
 /// Errors surfaced to transaction bodies and callers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TxnError {
@@ -57,6 +61,11 @@ pub enum TxnError {
     NotFound,
     /// The transaction aborted and may be retried.
     Aborted(AbortReason),
+    /// A verb-level transport fault — an injected drop whose WR never
+    /// took effect, or an unreachable peer — surfaced through a
+    /// [`drtm_rdma::WorkCompletion`]. Retried like an abort: the commit
+    /// paths only report it from states they can unwind cleanly.
+    Transport(VerbError),
     /// The application rolled the transaction back (e.g. TPC-C's 1 %
     /// intentional new-order aborts). Not retried.
     UserAbort,
@@ -65,6 +74,21 @@ pub enum TxnError {
     /// replicated state stays as the crash left it — and the error
     /// propagates without retry so worker loops can observe the death.
     Crashed,
+}
+
+impl From<VerbError> for TxnError {
+    /// Folds a per-WR fault into the transaction error surface: drops
+    /// are retriable transport aborts; an unreachable peer means the
+    /// fabric tore this machine's QPs down, which only happens when the
+    /// machine itself left the membership — a death, not an abort.
+    fn from(e: VerbError) -> Self {
+        match e {
+            VerbError::Unreachable => TxnError::Crashed,
+            // `Dropped` and any future fault class: retriable transport
+            // abort carrying the original fault.
+            other => TxnError::Transport(other),
+        }
+    }
 }
 
 /// Per-worker statistics.
@@ -259,7 +283,7 @@ impl Worker {
             match body(&mut ctx) {
                 Ok(value) => match ctx.commit() {
                     Ok(()) => return Ok(value),
-                    Err(e @ TxnError::Aborted(_)) => last = e,
+                    Err(e @ (TxnError::Aborted(_) | TxnError::Transport(_))) => last = e,
                     Err(e) => return Err(e),
                 },
                 Err(e @ TxnError::Aborted(reason)) => {
@@ -270,6 +294,20 @@ impl Worker {
                     drtm_obs::trace::event(
                         EventKind::TxnAbort,
                         reason.label(),
+                        self.node as u64,
+                        self.clock.now(),
+                    );
+                    last = e;
+                }
+                Err(e @ TxnError::Transport(verb)) => {
+                    // Execution-phase reads ride the blocking wrappers
+                    // (which retransmit rather than fault), so this arm
+                    // only fires if a future execution path goes batched.
+                    self.stats.aborted += 1;
+                    self.obs.note_abort(TRANSPORT_OBS_INDEX);
+                    drtm_obs::trace::event(
+                        EventKind::TxnAbort,
+                        verb.label(),
                         self.node as u64,
                         self.clock.now(),
                     );

@@ -122,15 +122,18 @@ impl Phase {
 
 /// Stable labels for the abort taxonomy, indexed by the reason codes
 /// `drtm-core` passes to [`Shard::note_abort`]. The first six mirror
-/// `drtm_core::AbortReason` variant order; `user` is the explicit
-/// user-requested abort (a distinct `TxnError` variant in core).
-pub const ABORT_REASONS: [&str; 7] = [
+/// `drtm_core::AbortReason` variant order; `transport` is a verb-level
+/// fault surfaced through a `WorkCompletion` (`TxnError::Transport` in
+/// core); `user` is the explicit user-requested abort (a distinct
+/// `TxnError` variant in core).
+pub const ABORT_REASONS: [&str; 8] = [
     "lock_busy",
     "validation",
     "local_lock_busy",
     "remote_inconsistent",
     "fallback",
     "incarnation",
+    "transport",
     "user",
 ];
 

@@ -87,6 +87,9 @@ pub struct TraceEvent {
     pub label: &'static str,
     /// Free numeric argument (txn id, node id, duration…).
     pub arg: u64,
+    /// Doorbell batch the event belongs to (verb events; 0 = unbatched).
+    /// Groups the WRs of one doorbell across issue/complete pairs.
+    pub batch: u64,
     /// Wall-clock nanoseconds since the process trace epoch.
     pub wall_ns: u64,
     /// Emitting worker's virtual clock, ns (0 when not applicable).
@@ -198,6 +201,14 @@ thread_local! {
 /// recording is disabled (feature or runtime toggle).
 #[inline]
 pub fn event(kind: EventKind, label: &'static str, arg: u64, virt_ns: u64) {
+    event_batch(kind, label, arg, 0, virt_ns);
+}
+
+/// Records one event carrying a doorbell batch id (verb events emitted
+/// by the fabric's batched work-queue path). A no-op when recording is
+/// disabled.
+#[inline]
+pub fn event_batch(kind: EventKind, label: &'static str, arg: u64, batch: u64, virt_ns: u64) {
     if !enabled() {
         return;
     }
@@ -205,6 +216,7 @@ pub fn event(kind: EventKind, label: &'static str, arg: u64, virt_ns: u64) {
         kind,
         label,
         arg,
+        batch,
         wall_ns: wall_ns(),
         virt_ns,
     };
@@ -256,6 +268,8 @@ fn write_event(out: &mut String, tid: u64, ev: &TraceEvent) {
     out.push_str(&ev.virt_ns.to_string());
     out.push_str(",\"arg\":");
     out.push_str(&ev.arg.to_string());
+    out.push_str(",\"batch\":");
+    out.push_str(&ev.batch.to_string());
     out.push_str("}}");
 }
 
@@ -301,6 +315,7 @@ mod tests {
             kind: EventKind::Mark,
             label: "t",
             arg,
+            batch: 0,
             wall_ns,
             virt_ns: 0,
         }
@@ -417,6 +432,7 @@ mod tests {
             kind: EventKind::Mark,
             label: "quote\"back\\slash",
             arg: 0,
+            batch: 0,
             wall_ns: 1,
             virt_ns: 0,
         };

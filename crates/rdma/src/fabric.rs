@@ -1,6 +1,7 @@
 //! The simulated RDMA fabric: node ports, queue pairs, and verbs.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -78,14 +79,196 @@ impl Verb {
     }
 }
 
+/// Transport-level failure of a single work request.
+///
+/// Carried per-WR inside a [`WorkCompletion`] so chaos faults surface to
+/// the protocol layer instead of panicking or silently degrading inside
+/// the fabric. Upper layers fold their own transport-ish failures (verbs
+/// issued across a dead machine) into the same vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VerbError {
+    /// The WR's packet was lost and the QP's retransmission budget ran
+    /// out: the remote memory operation did **not** take effect.
+    Dropped,
+    /// The peer (or the issuing machine itself) is dead or removed from
+    /// the membership; the WR never reached remote memory.
+    Unreachable,
+}
+
+impl VerbError {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            VerbError::Dropped => "dropped",
+            VerbError::Unreachable => "unreachable",
+        }
+    }
+}
+
+/// A one-sided verb descriptor, enqueued with [`Qp::post`] and executed
+/// as part of a doorbell batch by [`Qp::doorbell`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkRequest {
+    /// One-sided READ of `len` bytes at remote byte offset `raddr`.
+    Read {
+        /// Remote byte offset.
+        raddr: usize,
+        /// Bytes to read.
+        len: usize,
+    },
+    /// One-sided WRITE of `data` at remote byte offset `raddr`.
+    Write {
+        /// Remote byte offset.
+        raddr: usize,
+        /// Bytes to write.
+        data: Vec<u8>,
+    },
+    /// One-sided compare-and-swap of the 8-byte word at `raddr`.
+    Cas {
+        /// Remote byte offset of the word.
+        raddr: usize,
+        /// Expected value.
+        expect: u64,
+        /// Replacement value.
+        new: u64,
+    },
+    /// One-sided fetch-and-add on the 8-byte word at `raddr`.
+    Faa {
+        /// Remote byte offset of the word.
+        raddr: usize,
+        /// Addend.
+        add: u64,
+    },
+}
+
+impl WorkRequest {
+    /// The verb class this work request issues.
+    pub fn verb(&self) -> Verb {
+        match self {
+            WorkRequest::Read { .. } => Verb::Read,
+            WorkRequest::Write { .. } => Verb::Write,
+            WorkRequest::Cas { .. } => Verb::Cas,
+            WorkRequest::Faa { .. } => Verb::Faa,
+        }
+    }
+
+    /// Payload bytes this WR moves over the wire.
+    fn payload_len(&self) -> usize {
+        match self {
+            WorkRequest::Read { len, .. } => *len,
+            WorkRequest::Write { data, .. } => data.len(),
+            WorkRequest::Cas { .. } | WorkRequest::Faa { .. } => 8,
+        }
+    }
+}
+
+/// Data produced by a successfully executed [`WorkRequest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WrResult {
+    /// READ: the bytes plus the version word each touched cache line was
+    /// observed at (even values, exactly as [`Qp::read`] returns them).
+    Read {
+        /// The bytes read.
+        data: Vec<u8>,
+        /// Per-line version words.
+        versions: Vec<u64>,
+    },
+    /// WRITE: no data.
+    Write,
+    /// CAS: `Ok(old)` when the swap happened, `Err(actual)` otherwise.
+    /// A failed compare is a protocol outcome, not a transport error.
+    Cas(Result<u64, u64>),
+    /// FAA: the previous value of the word.
+    Faa(u64),
+}
+
+/// One polled completion: which WR of which doorbell batch finished,
+/// when, and with what outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct WorkCompletion {
+    /// Index of the WR within its batch, in post order.
+    pub wr_id: usize,
+    /// Doorbell batch id (fabric-unique; ids start at 1, 0 means "no
+    /// batch" in trace events).
+    pub batch: u64,
+    /// Destination node of the QP the WR was posted on.
+    pub dst: NodeId,
+    /// Verb class of the WR.
+    pub verb: Verb,
+    /// Virtual completion time of this WR, ns.
+    pub done_ns: u64,
+    /// Success payload, or the per-WR transport fault.
+    pub result: Result<WrResult, VerbError>,
+}
+
+/// A completion queue.
+///
+/// Doorbells deposit [`WorkCompletion`]s here in issue order. Callers
+/// either [`poll`](Cq::poll) — advance their clock to the latest
+/// completion, i.e. spin until the whole fan-out finished — or
+/// [`drain`](Cq::drain) — collect the completions without waiting, for
+/// fire-and-forget batches (C.6 unlocks) whose latency nobody sits on.
+#[derive(Debug, Default)]
+pub struct Cq {
+    done: Mutex<Vec<WorkCompletion>>,
+}
+
+impl Cq {
+    /// Creates an empty completion queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&self, wc: WorkCompletion) {
+        self.done.lock().push(wc);
+    }
+
+    /// Completions deposited and not yet drained.
+    pub fn len(&self) -> usize {
+        self.done.lock().len()
+    }
+
+    /// Whether no completions are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains all completions in deposit order, advancing `clock` to the
+    /// latest completion time: the caller blocks until every outstanding
+    /// WR of every doorbell rung into this CQ has finished.
+    pub fn poll(&self, clock: &mut VClock) -> Vec<WorkCompletion> {
+        let wcs = self.drain();
+        if let Some(t) = wcs.iter().map(|w| w.done_ns).max() {
+            clock.advance_to(t);
+        }
+        wcs
+    }
+
+    /// Drains all completions without touching the caller's clock. The
+    /// per-WR completion times remain available in
+    /// [`WorkCompletion::done_ns`]; use this when the protocol retires a
+    /// batch asynchronously (the NIC finishes it in the background).
+    pub fn drain(&self) -> Vec<WorkCompletion> {
+        std::mem::take(&mut *self.done.lock())
+    }
+}
+
 /// A fault decision applied to one verb, produced by a [`FaultInjector`].
 ///
-/// Semantics follow reliable-connected (RC) transport: one-sided verbs
-/// never fail at the application layer — a lost packet is retransmitted
-/// by the NIC — so `drop` on a one-sided verb is charged as a
-/// retransmission delay while the operation still takes effect. `drop`
-/// on a SEND loses the message for real (the receive queue never sees
-/// it), which is how upper layers observe partitions.
+/// Semantics follow reliable-connected (RC) transport. On the blocking
+/// wrappers ([`Qp::read`] and friends) a one-sided verb never fails at
+/// the application layer — a lost packet is retransmitted by the NIC —
+/// so `drop` is charged as a retransmission delay while the operation
+/// still takes effect. On the batched path ([`Qp::doorbell`]) a `drop`
+/// models the QP's retry budget running out: the WR completes with
+/// [`VerbError::Dropped`], its memory effect is *not* applied, and the
+/// caller decides whether to re-post. `drop` on a SEND loses the message
+/// for real (the receive queue never sees it), which is how upper layers
+/// observe partitions. Faults apply to *individual WRs inside a batch*:
+/// the injector is consulted once per WR, so a single doorbell can see
+/// any mix of dropped, delayed and duplicated work requests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Fault {
     /// Extra latency charged to the issuing worker's virtual clock, in ns
@@ -94,7 +277,8 @@ pub struct Fault {
     /// Extra wire bytes charged against both NICs (duplicated packets).
     pub extra_wire: u64,
     /// Lose the operation's packet once. SENDs are dropped outright;
-    /// one-sided verbs complete after a retransmission penalty.
+    /// blocking one-sided verbs complete after a retransmission penalty;
+    /// batched WRs fail with [`VerbError::Dropped`].
     pub drop: bool,
 }
 
@@ -146,6 +330,9 @@ pub struct NicStats {
     pub atomics: Counter,
     /// SEND verbs issued.
     pub sends: Counter,
+    /// Doorbells rung toward this node (each flushes a batch of one or
+    /// more WRs; not itself a verb, so excluded from verb totals).
+    pub doorbells: Counter,
     /// Total payload bytes moved (both directions).
     pub bytes: Counter,
 }
@@ -161,6 +348,8 @@ pub struct NicSnapshot {
     pub atomics: u64,
     /// SEND verbs issued.
     pub sends: u64,
+    /// Doorbells rung toward this node.
+    pub doorbells: u64,
     /// Total payload bytes moved.
     pub bytes: u64,
 }
@@ -174,11 +363,14 @@ impl NicSnapshot {
             writes: self.writes.saturating_sub(earlier.writes),
             atomics: self.atomics.saturating_sub(earlier.atomics),
             sends: self.sends.saturating_sub(earlier.sends),
+            doorbells: self.doorbells.saturating_sub(earlier.doorbells),
             bytes: self.bytes.saturating_sub(earlier.bytes),
         }
     }
 
-    /// Total verbs of all classes.
+    /// Total verbs of all classes (doorbells are not verbs and are not
+    /// included — divide by [`NicSnapshot::doorbells`] for the
+    /// verbs-per-doorbell batching factor).
     pub fn verbs(&self) -> u64 {
         self.reads + self.writes + self.atomics + self.sends
     }
@@ -192,6 +384,7 @@ impl NicStats {
             writes: self.writes.get(),
             atomics: self.atomics.get(),
             sends: self.sends.get(),
+            doorbells: self.doorbells.get(),
             bytes: self.bytes.get(),
         }
     }
@@ -238,14 +431,10 @@ impl RecvQueue {
 /// One endpoint on the fabric: a registered memory region, a NIC link
 /// budget, and a receive queue.
 pub struct NodePort {
-    /// The node's registered memory (shared with its local HTM engine).
-    pub region: Arc<MemoryRegion>,
-    /// Virtual-time NIC bandwidth budget for this node's single port.
-    pub nic: LinkBudget,
-    /// Virtual-time NIC verb-rate budget (message-rate ceiling).
-    pub nic_ops: LinkBudget,
-    /// Verb counters.
-    pub stats: NicStats,
+    region: Arc<MemoryRegion>,
+    nic: LinkBudget,
+    nic_ops: LinkBudget,
+    stats: NicStats,
     rx: RecvQueue,
 }
 
@@ -258,6 +447,26 @@ impl NodePort {
             stats: NicStats::default(),
             rx: RecvQueue::default(),
         }
+    }
+
+    /// The node's registered memory (shared with its local HTM engine).
+    pub fn region(&self) -> &Arc<MemoryRegion> {
+        &self.region
+    }
+
+    /// Virtual-time NIC bandwidth budget for this node's single port.
+    pub fn nic(&self) -> &LinkBudget {
+        &self.nic
+    }
+
+    /// Virtual-time NIC verb-rate budget (message-rate ceiling).
+    pub fn nic_ops(&self) -> &LinkBudget {
+        &self.nic_ops
+    }
+
+    /// Verb counters.
+    pub fn stats(&self) -> &NicStats {
+        &self.stats
     }
 }
 
@@ -274,10 +483,116 @@ pub struct Fabric {
     /// Atomicity level advertised by the (simulated) HCA.
     pub atomic_level: AtomicLevel,
     injector: RwLock<Option<Arc<dyn FaultInjector>>>,
+    /// Maximum WRs postable on one QP send queue between doorbells.
+    sq_depth: usize,
+    /// Next doorbell batch id (fabric-unique, starts at 1).
+    next_batch: AtomicU64,
+}
+
+/// Default per-QP send-queue depth (posted WRs per doorbell).
+pub const DEFAULT_SQ_DEPTH: usize = 128;
+
+/// Fluent construction of a [`Fabric`]: regions, cost model, atomicity
+/// level, fault injector and queue depths in one step, replacing the
+/// positional `Fabric::new(..)` + `set_injector` two-step.
+///
+/// ```ignore
+/// let fabric = Fabric::builder()
+///     .fresh_regions(3, 1 << 20)
+///     .cost(CostModel::default())
+///     .atomic_level(AtomicLevel::Glob)
+///     .build();
+/// ```
+pub struct FabricBuilder {
+    regions: Vec<Arc<MemoryRegion>>,
+    cost: CostModel,
+    atomic_level: AtomicLevel,
+    injector: Option<Arc<dyn FaultInjector>>,
+    sq_depth: usize,
+}
+
+impl Default for FabricBuilder {
+    fn default() -> Self {
+        Self {
+            regions: Vec::new(),
+            cost: CostModel::default(),
+            atomic_level: AtomicLevel::Hca,
+            injector: None,
+            sq_depth: DEFAULT_SQ_DEPTH,
+        }
+    }
+}
+
+impl FabricBuilder {
+    /// The per-node registered memory regions (one per node).
+    pub fn regions(mut self, regions: Vec<Arc<MemoryRegion>>) -> Self {
+        self.regions = regions;
+        self
+    }
+
+    /// Convenience: `n` fresh zeroed regions of `bytes` each.
+    pub fn fresh_regions(mut self, n: usize, bytes: usize) -> Self {
+        self.regions = (0..n).map(|_| Arc::new(MemoryRegion::new(bytes))).collect();
+        self
+    }
+
+    /// The virtual-time cost model shared by all verbs.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Atomicity level the simulated HCA advertises.
+    pub fn atomic_level(mut self, level: AtomicLevel) -> Self {
+        self.atomic_level = level;
+        self
+    }
+
+    /// Installs a fault injector from construction time onward.
+    pub fn injector(mut self, injector: Arc<dyn FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Per-QP send-queue depth: how many WRs may be posted between
+    /// doorbells (default [`DEFAULT_SQ_DEPTH`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn sq_depth(mut self, depth: usize) -> Self {
+        assert!(depth >= 1, "sq_depth must be at least 1");
+        self.sq_depth = depth;
+        self
+    }
+
+    /// Assembles the fabric.
+    pub fn build(self) -> Arc<Fabric> {
+        let bw = self.cost.nic_bytes_per_sec;
+        let ops = self.cost.nic_ops_per_sec;
+        Arc::new(Fabric {
+            ports: self
+                .regions
+                .into_iter()
+                .map(|r| NodePort::new(r, bw, ops))
+                .collect(),
+            cost: self.cost,
+            atomic_level: self.atomic_level,
+            injector: RwLock::new(self.injector),
+            sq_depth: self.sq_depth,
+            next_batch: AtomicU64::new(1),
+        })
+    }
 }
 
 impl Fabric {
+    /// Starts building a fabric; see [`FabricBuilder`].
+    pub fn builder() -> FabricBuilder {
+        FabricBuilder::default()
+    }
+
     /// Builds a fabric over the given per-node regions.
+    #[deprecated(note = "use `Fabric::builder()` instead")]
     pub fn new(regions: Vec<Arc<MemoryRegion>>, cost: CostModel) -> Self {
         let bw = cost.nic_bytes_per_sec;
         let ops = cost.nic_ops_per_sec;
@@ -289,6 +604,8 @@ impl Fabric {
             cost,
             atomic_level: AtomicLevel::Hca,
             injector: RwLock::new(None),
+            sq_depth: DEFAULT_SQ_DEPTH,
+            next_batch: AtomicU64::new(1),
         }
     }
 
@@ -327,6 +644,7 @@ impl Fabric {
             fabric: Arc::clone(self),
             src,
             dst,
+            sq: Mutex::new(Vec::new()),
         }
     }
 
@@ -339,6 +657,7 @@ impl Fabric {
             p.stats.writes.take();
             p.stats.atomics.take();
             p.stats.sends.take();
+            p.stats.doorbells.take();
             p.stats.bytes.take();
         }
     }
@@ -357,15 +676,33 @@ impl Fabric {
     }
 }
 
+/// How a doorbell treats an injected `drop` on a one-sided WR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DropPolicy {
+    /// Blocking wrappers: RC retransmits transparently — the effect
+    /// still applies after a retransmission penalty (legacy semantics,
+    /// so every pre-WR call site keeps its observable behaviour).
+    Retransmit,
+    /// Batched doorbells: the QP's retry budget expires and the WR
+    /// fails with [`VerbError::Dropped`]; the effect is not applied.
+    Fail,
+}
+
 /// A reliable-connected queue pair between two nodes.
 ///
-/// All verbs are synchronous (they model posting the work request and
-/// polling the completion): the caller's virtual clock is advanced to the
+/// The native interface is the posted work-queue model: [`Qp::post`]
+/// enqueues [`WorkRequest`]s, [`Qp::doorbell`] flushes them as one batch
+/// — charging a single doorbell latency plus per-WR pipelined occupancy
+/// — and [`Cq::poll`] returns the [`WorkCompletion`]s. The blocking
+/// verbs ([`read`](Qp::read), [`write`](Qp::write), [`cas`](Qp::cas),
+/// [`fetch_add`](Qp::fetch_add)) are thin wrappers running one WR
+/// through post → doorbell → poll, advancing the caller's clock to the
 /// completion time.
 pub struct Qp {
     fabric: Arc<Fabric>,
     src: NodeId,
     dst: NodeId,
+    sq: Mutex<Vec<WorkRequest>>,
 }
 
 impl Qp {
@@ -383,27 +720,172 @@ impl Qp {
         self.fabric.port(self.dst)
     }
 
-    /// Emits a verb issue/complete trace event pair boundary. The `arg`
-    /// packs the destination node so traces show which peer a verb hit.
-    #[inline]
-    fn trace(&self, kind: drtm_obs::EventKind, verb: Verb, virt_ns: u64) {
-        drtm_obs::trace::event(kind, verb.label(), self.dst as u64, virt_ns);
+    /// Posts a work request on this QP's send queue. Nothing executes
+    /// (and no virtual time is charged) until [`Qp::doorbell`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the send queue already holds the fabric's `sq_depth`
+    /// posted WRs, or if an atomic WR is posted on a fabric advertising
+    /// [`AtomicLevel::None`].
+    pub fn post(&self, wr: WorkRequest) {
+        if matches!(wr.verb(), Verb::Cas | Verb::Faa) {
+            assert!(
+                self.fabric.atomic_level != AtomicLevel::None,
+                "HCA does not support RDMA atomics"
+            );
+        }
+        let mut sq = self.sq.lock();
+        assert!(
+            sq.len() < self.fabric.sq_depth,
+            "send queue overflow: {} WRs posted without a doorbell (sq_depth = {})",
+            sq.len(),
+            self.fabric.sq_depth
+        );
+        sq.push(wr);
     }
 
-    /// Applies an injected fault to a *one-sided* verb: extra wire bytes
-    /// and delay are charged, and a dropped packet becomes an RC
-    /// retransmission penalty (at least one message round trip).
-    fn charge_one_sided_fault(&self, clock: &mut VClock, fault: Fault) {
-        if fault.extra_wire > 0 {
-            let done = self
-                .fabric
-                .charge_nics(self.src, self.dst, clock.now(), fault.extra_wire);
-            clock.advance_to(done);
+    /// WRs currently posted and not yet flushed by a doorbell.
+    pub fn posted(&self) -> usize {
+        self.sq.lock().len()
+    }
+
+    /// Rings the doorbell: flushes every posted WR to the destination as
+    /// one batch and deposits a [`WorkCompletion`] per WR into `cq`.
+    ///
+    /// Cost accounting: the caller's clock is charged one
+    /// `doorbell_ns`; WR `i` then enters the wire `i * verb_pipeline_ns`
+    /// after the doorbell and completes after its own verb latency (plus
+    /// NIC bandwidth/op backpressure and injected faults), so the batch
+    /// finishes at the *max* of the per-WR completion times rather than
+    /// their sum. The caller's clock is **not** advanced to those
+    /// completions — that is [`Cq::poll`]'s job — which is what lets a
+    /// protocol fan out doorbells to several destinations and overlap
+    /// their round trips, or fire-and-forget a batch it never waits on.
+    ///
+    /// Memory effects are applied here, in post order (RC QPs execute
+    /// in order), except for WRs whose injected fault drops them: those
+    /// complete with [`VerbError::Dropped`] and leave memory untouched.
+    ///
+    /// Returns the fabric-unique batch id, or 0 when nothing was posted.
+    pub fn doorbell(&self, clock: &mut VClock, cq: &Cq) -> u64 {
+        self.doorbell_with(clock, cq, DropPolicy::Fail)
+    }
+
+    fn doorbell_with(&self, clock: &mut VClock, cq: &Cq, policy: DropPolicy) -> u64 {
+        let wrs = std::mem::take(&mut *self.sq.lock());
+        if wrs.is_empty() {
+            return 0;
         }
-        clock.advance(fault.delay_ns);
+        let f = &self.fabric;
+        let batch = f.next_batch.fetch_add(1, Ordering::Relaxed);
+        clock.advance(f.cost.doorbell_ns);
+        self.port().stats.doorbells.inc();
+        let base = clock.now();
+        for (i, wr) in wrs.into_iter().enumerate() {
+            let verb = wr.verb();
+            let issue = base + i as u64 * f.cost.verb_pipeline_ns;
+            drtm_obs::trace::event_batch(
+                drtm_obs::EventKind::VerbIssue,
+                verb.label(),
+                self.dst as u64,
+                batch,
+                issue,
+            );
+            let fault = f.fault(self.src, self.dst, verb, issue);
+            let (result, done_ns) = self.execute_wr(&wr, issue, fault, policy);
+            drtm_obs::trace::event_batch(
+                drtm_obs::EventKind::VerbComplete,
+                verb.label(),
+                self.dst as u64,
+                batch,
+                done_ns,
+            );
+            cq.push(WorkCompletion {
+                wr_id: i,
+                batch,
+                dst: self.dst,
+                verb,
+                done_ns,
+                result,
+            });
+        }
+        batch
+    }
+
+    /// Executes one WR issued at `issue` ns: charges both NICs, applies
+    /// the remote-memory effect (unless a drop eats it), and returns the
+    /// outcome plus the WR's completion time.
+    fn execute_wr(
+        &self,
+        wr: &WorkRequest,
+        issue: u64,
+        fault: Fault,
+        policy: DropPolicy,
+    ) -> (Result<WrResult, VerbError>, u64) {
+        let f = &self.fabric;
+        let port = self.port();
+        let payload = wr.payload_len();
+        let wire = f.cost.wire_bytes(payload) + fault.extra_wire;
+        let nic_done = f.charge_nics(self.src, self.dst, issue, wire);
+        let latency = match wr {
+            WorkRequest::Read { len, .. } => f.cost.rdma_read(*len),
+            WorkRequest::Write { data, .. } => f.cost.rdma_write(data.len()),
+            WorkRequest::Cas { .. } | WorkRequest::Faa { .. } => f.cost.rdma_atomic_ns,
+        };
+        match wr.verb() {
+            Verb::Read => port.stats.reads.inc(),
+            Verb::Write => port.stats.writes.inc(),
+            Verb::Cas | Verb::Faa => port.stats.atomics.inc(),
+            Verb::Send => unreachable!("SENDs are not work requests"),
+        }
+        port.stats.bytes.add(payload as u64);
+        let mut t = issue + latency + fault.delay_ns;
         if fault.drop {
-            clock.advance(fault.delay_ns.max(self.fabric.cost.msg_ns));
+            // A lost packet costs at least one retransmission round trip
+            // whether the NIC recovers (Retransmit) or gives up and
+            // errors the WR (Fail).
+            t += fault.delay_ns.max(f.cost.msg_ns);
         }
+        let done = t.max(nic_done);
+        if fault.drop && policy == DropPolicy::Fail {
+            return (Err(VerbError::Dropped), done);
+        }
+        let result = match wr {
+            WorkRequest::Read { raddr, len } => {
+                let mut data = vec![0u8; *len];
+                let versions = port.region.read_bytes_coherent(*raddr, &mut data);
+                WrResult::Read { data, versions }
+            }
+            WorkRequest::Write { raddr, data } => {
+                port.region.write_bytes_coherent(*raddr, data);
+                WrResult::Write
+            }
+            WorkRequest::Cas { raddr, expect, new } => {
+                WrResult::Cas(port.region.cas64(*raddr, *expect, *new))
+            }
+            WorkRequest::Faa { raddr, add } => WrResult::Faa(port.region.faa64(*raddr, *add)),
+        };
+        (Ok(result), done)
+    }
+
+    /// Runs one WR through the full post → doorbell → poll cycle with
+    /// transparent retransmission: the blocking legacy path.
+    fn run_blocking(&self, clock: &mut VClock, wr: WorkRequest) -> WrResult {
+        debug_assert_eq!(
+            self.posted(),
+            0,
+            "blocking verb issued while WRs are still posted on this QP"
+        );
+        self.post(wr);
+        let cq = Cq::new();
+        self.doorbell_with(clock, &cq, DropPolicy::Retransmit);
+        let mut wcs = cq.poll(clock);
+        debug_assert_eq!(wcs.len(), 1);
+        wcs.pop()
+            .expect("one WR was posted")
+            .result
+            .expect("blocking verbs retransmit and never error")
     }
 
     /// One-sided RDMA READ of `buf.len()` bytes at remote byte offset
@@ -413,19 +895,17 @@ impl Qp {
     /// (even values; the read retries internally while a line is
     /// mid-write, like the DMA engine re-snooping a locked line).
     pub fn read(&self, clock: &mut VClock, raddr: usize, buf: &mut [u8]) -> Vec<u64> {
-        let f = &self.fabric;
-        self.trace(drtm_obs::EventKind::VerbIssue, Verb::Read, clock.now());
-        let fault = f.fault(self.src, self.dst, Verb::Read, clock.now());
-        let versions = self.port().region.read_bytes_coherent(raddr, buf);
-        let wire = f.cost.wire_bytes(buf.len());
-        let done = f.charge_nics(self.src, self.dst, clock.now(), wire);
-        clock.advance(f.cost.rdma_read(buf.len()));
-        clock.advance_to(done);
-        self.charge_one_sided_fault(clock, fault);
-        self.port().stats.reads.inc();
-        self.port().stats.bytes.add(buf.len() as u64);
-        self.trace(drtm_obs::EventKind::VerbComplete, Verb::Read, clock.now());
-        versions
+        let wr = WorkRequest::Read {
+            raddr,
+            len: buf.len(),
+        };
+        match self.run_blocking(clock, wr) {
+            WrResult::Read { data, versions } => {
+                buf.copy_from_slice(&data);
+                versions
+            }
+            _ => unreachable!("READ WR yields a READ result"),
+        }
     }
 
     /// One-sided RDMA WRITE of `data` at remote byte offset `raddr`.
@@ -434,18 +914,14 @@ impl Qp {
     /// across lines (Figure 4 of the paper). Bumps the line versions, so
     /// conflicting HTM transactions on the target abort.
     pub fn write(&self, clock: &mut VClock, raddr: usize, data: &[u8]) {
-        let f = &self.fabric;
-        self.trace(drtm_obs::EventKind::VerbIssue, Verb::Write, clock.now());
-        let fault = f.fault(self.src, self.dst, Verb::Write, clock.now());
-        self.port().region.write_bytes_coherent(raddr, data);
-        let wire = f.cost.wire_bytes(data.len());
-        let done = f.charge_nics(self.src, self.dst, clock.now(), wire);
-        clock.advance(f.cost.rdma_write(data.len()));
-        clock.advance_to(done);
-        self.charge_one_sided_fault(clock, fault);
-        self.port().stats.writes.inc();
-        self.port().stats.bytes.add(data.len() as u64);
-        self.trace(drtm_obs::EventKind::VerbComplete, Verb::Write, clock.now());
+        let wr = WorkRequest::Write {
+            raddr,
+            data: data.to_vec(),
+        };
+        match self.run_blocking(clock, wr) {
+            WrResult::Write => {}
+            _ => unreachable!("WRITE WR yields a WRITE result"),
+        }
     }
 
     /// One-sided RDMA compare-and-swap on the 8-byte word at `raddr`.
@@ -458,45 +934,33 @@ impl Qp {
     ///
     /// Panics if the fabric advertises [`AtomicLevel::None`].
     pub fn cas(&self, clock: &mut VClock, raddr: usize, expect: u64, new: u64) -> Result<u64, u64> {
-        assert!(
-            self.fabric.atomic_level != AtomicLevel::None,
-            "HCA does not support RDMA atomics"
-        );
-        let f = &self.fabric;
-        self.trace(drtm_obs::EventKind::VerbIssue, Verb::Cas, clock.now());
-        let fault = f.fault(self.src, self.dst, Verb::Cas, clock.now());
-        let res = self.port().region.cas64(raddr, expect, new);
-        let wire = f.cost.wire_bytes(8);
-        let done = f.charge_nics(self.src, self.dst, clock.now(), wire);
-        clock.advance(f.cost.rdma_atomic_ns);
-        clock.advance_to(done);
-        self.charge_one_sided_fault(clock, fault);
-        self.port().stats.atomics.inc();
-        self.port().stats.bytes.add(8);
-        self.trace(drtm_obs::EventKind::VerbComplete, Verb::Cas, clock.now());
-        res
+        let wr = WorkRequest::Cas { raddr, expect, new };
+        match self.run_blocking(clock, wr) {
+            WrResult::Cas(res) => res,
+            _ => unreachable!("CAS WR yields a CAS result"),
+        }
     }
 
     /// One-sided RDMA fetch-and-add on the 8-byte word at `raddr`,
     /// returning the previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fabric advertises [`AtomicLevel::None`].
     pub fn fetch_add(&self, clock: &mut VClock, raddr: usize, add: u64) -> u64 {
-        assert!(
-            self.fabric.atomic_level != AtomicLevel::None,
-            "HCA does not support RDMA atomics"
-        );
-        let f = &self.fabric;
-        self.trace(drtm_obs::EventKind::VerbIssue, Verb::Faa, clock.now());
-        let fault = f.fault(self.src, self.dst, Verb::Faa, clock.now());
-        let old = self.port().region.faa64(raddr, add);
-        let wire = f.cost.wire_bytes(8);
-        let done = f.charge_nics(self.src, self.dst, clock.now(), wire);
-        clock.advance(f.cost.rdma_atomic_ns);
-        clock.advance_to(done);
-        self.charge_one_sided_fault(clock, fault);
-        self.port().stats.atomics.inc();
-        self.port().stats.bytes.add(8);
-        self.trace(drtm_obs::EventKind::VerbComplete, Verb::Faa, clock.now());
-        old
+        let wr = WorkRequest::Faa { raddr, add };
+        match self.run_blocking(clock, wr) {
+            WrResult::Faa(old) => old,
+            _ => unreachable!("FAA WR yields an FAA result"),
+        }
+    }
+
+    /// Emits a verb issue/complete trace event boundary for two-sided
+    /// verbs. The `arg` packs the destination node so traces show which
+    /// peer a verb hit.
+    #[inline]
+    fn trace(&self, kind: drtm_obs::EventKind, verb: Verb, virt_ns: u64) {
+        drtm_obs::trace::event(kind, verb.label(), self.dst as u64, virt_ns);
     }
 
     /// Two-sided SEND: enqueues a message on the destination's receive
@@ -563,8 +1027,7 @@ mod unit {
     use super::*;
 
     fn fabric(n: usize) -> Arc<Fabric> {
-        let regions = (0..n).map(|_| Arc::new(MemoryRegion::new(4096))).collect();
-        Arc::new(Fabric::new(regions, CostModel::default()))
+        Fabric::builder().fresh_regions(n, 4096).build()
     }
 
     #[test]
@@ -577,8 +1040,10 @@ mod unit {
         qp.read(&mut clock, 128, &mut buf);
         assert_eq!(&buf, b"hello rdma");
         assert!(clock.now() > 0, "verbs charge virtual time");
-        assert_eq!(f.port(1).stats.reads.get(), 1);
-        assert_eq!(f.port(1).stats.writes.get(), 1);
+        assert_eq!(f.port(1).stats().reads.get(), 1);
+        assert_eq!(f.port(1).stats().writes.get(), 1);
+        // The blocking wrappers run one WR per doorbell.
+        assert_eq!(f.port(1).stats().doorbells.get(), 2);
     }
 
     #[test]
@@ -589,7 +1054,7 @@ mod unit {
         assert_eq!(qp.cas(&mut clock, 0, 0, 5), Ok(0));
         assert_eq!(qp.cas(&mut clock, 0, 0, 9), Err(5));
         assert_eq!(qp.fetch_add(&mut clock, 0, 3), 5);
-        assert_eq!(f.port(1).region.load64(0), 8);
+        assert_eq!(f.port(1).region().load64(0), 8);
     }
 
     #[test]
@@ -598,7 +1063,7 @@ mod unit {
         let qp = f.qp(0, 0);
         let mut clock = VClock::new();
         qp.write(&mut clock, 0, &[1u8; 64]);
-        assert!(f.port(0).nic.granted() > 0);
+        assert!(f.port(0).nic().granted() > 0);
     }
 
     #[test]
@@ -634,10 +1099,10 @@ mod unit {
             nic_bytes_per_sec: 1.0e6,
             ..Default::default()
         };
-        let regions = (0..2)
-            .map(|_| Arc::new(MemoryRegion::new(1 << 20)))
-            .collect();
-        let f = Arc::new(Fabric::new(regions, cost));
+        let f = Fabric::builder()
+            .fresh_regions(2, 1 << 20)
+            .cost(cost)
+            .build();
         let qp = f.qp(0, 1);
         let mut clock = VClock::new();
         qp.write(&mut clock, 0, &vec![0u8; 100_000]);
@@ -652,15 +1117,154 @@ mod unit {
         let qp = f.qp(0, 1);
         let mut clock = VClock::new();
         qp.write(&mut clock, 0, &[0u8; 16]);
-        let before = f.port(1).stats.snapshot();
+        let before = f.port(1).stats().snapshot();
         qp.write(&mut clock, 0, &[0u8; 16]);
         let mut buf = [0u8; 8];
         qp.read(&mut clock, 0, &mut buf);
         qp.cas(&mut clock, 256, 0, 1).unwrap();
-        let d = f.port(1).stats.delta(&before);
+        let d = f.port(1).stats().delta(&before);
         assert_eq!((d.reads, d.writes, d.atomics, d.sends), (1, 1, 1, 0));
         assert_eq!(d.bytes, 16 + 8 + 8);
-        assert_eq!(d.verbs(), 3);
+        assert_eq!(d.verbs(), 3, "doorbells are not verbs");
+        assert_eq!(d.doorbells, 3, "one doorbell per blocking verb");
+    }
+
+    #[test]
+    fn doorbell_batch_completes_at_max_not_sum() {
+        // k WRITEs in one doorbell must cost far less than k blocking
+        // WRITEs: one doorbell latency plus pipelined occupancy, with
+        // the batch retiring at the slowest WR, not the serialized sum.
+        let k = 8usize;
+        let f = fabric(2);
+        let qp = f.qp(0, 1);
+        let mut serial = VClock::new();
+        for i in 0..k {
+            qp.write(&mut serial, i * 64, &[7u8; 16]);
+        }
+        let f2 = fabric(2);
+        let qp2 = f2.qp(0, 1);
+        let cq = Cq::new();
+        let mut batched = VClock::new();
+        for i in 0..k {
+            qp2.post(WorkRequest::Write {
+                raddr: i * 64,
+                data: vec![7u8; 16],
+            });
+        }
+        let batch = qp2.doorbell(&mut batched, &cq);
+        assert!(batch > 0);
+        let wcs = cq.poll(&mut batched);
+        assert_eq!(wcs.len(), k);
+        assert!(wcs.iter().all(|w| w.result.is_ok() && w.batch == batch));
+        // Effects all landed.
+        for i in 0..k {
+            assert_eq!(f2.port(1).region().load64(i * 64), 0x0707070707070707);
+        }
+        assert_eq!(f2.port(1).stats().doorbells.get(), 1);
+        assert_eq!(f2.port(1).stats().writes.get(), k as u64);
+        assert!(
+            batched.now() * 2 < serial.now(),
+            "batched {} vs serial {}",
+            batched.now(),
+            serial.now()
+        );
+    }
+
+    #[test]
+    fn empty_doorbell_is_free() {
+        let f = fabric(2);
+        let qp = f.qp(0, 1);
+        let cq = Cq::new();
+        let mut clock = VClock::new();
+        assert_eq!(qp.doorbell(&mut clock, &cq), 0);
+        assert_eq!(clock.now(), 0);
+        assert!(cq.is_empty());
+        assert_eq!(f.port(1).stats().doorbells.get(), 0);
+    }
+
+    #[test]
+    fn drain_returns_completions_without_advancing_clock() {
+        // Fire-and-forget: the doorbell charges only its own latency;
+        // drain() hands back completions without making the caller sit
+        // on the round trip (the commit protocol's C.6 unlock path).
+        let f = fabric(2);
+        let qp = f.qp(0, 1);
+        let cq = Cq::new();
+        let mut clock = VClock::new();
+        qp.post(WorkRequest::Cas {
+            raddr: 0,
+            expect: 0,
+            new: 9,
+        });
+        qp.doorbell(&mut clock, &cq);
+        let after_doorbell = clock.now();
+        assert_eq!(after_doorbell, f.cost.doorbell_ns);
+        let wcs = cq.drain();
+        assert_eq!(clock.now(), after_doorbell, "drain never blocks");
+        assert_eq!(wcs.len(), 1);
+        assert!(wcs[0].done_ns > after_doorbell);
+        assert_eq!(wcs[0].result, Ok(WrResult::Cas(Ok(0))));
+        assert_eq!(f.port(1).region().load64(0), 9, "effect already applied");
+    }
+
+    /// Drops the `k`-th one-sided verb it sees (0-based), then behaves.
+    struct DropKth {
+        k: u64,
+        seen: AtomicU64,
+    }
+    impl FaultInjector for DropKth {
+        fn on_verb(&self, _src: NodeId, _dst: NodeId, verb: Verb, _now: u64) -> Fault {
+            if verb == Verb::Send {
+                return Fault::NONE;
+            }
+            let n = self.seen.fetch_add(1, Ordering::Relaxed);
+            Fault {
+                drop: n == self.k,
+                ..Fault::NONE
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_wr_in_batch_fails_alone_and_leaves_memory_untouched() {
+        let f = Fabric::builder()
+            .fresh_regions(2, 4096)
+            .injector(Arc::new(DropKth {
+                k: 1,
+                seen: AtomicU64::new(0),
+            }))
+            .build();
+        let qp = f.qp(0, 1);
+        let cq = Cq::new();
+        let mut clock = VClock::new();
+        for i in 0..3usize {
+            qp.post(WorkRequest::Write {
+                raddr: i * 64,
+                data: vec![1u8; 8],
+            });
+        }
+        qp.doorbell(&mut clock, &cq);
+        let wcs = cq.poll(&mut clock);
+        assert_eq!(wcs.len(), 3);
+        assert!(wcs[0].result.is_ok());
+        assert_eq!(wcs[1].result, Err(VerbError::Dropped));
+        assert!(wcs[2].result.is_ok(), "later WRs still execute");
+        assert_eq!(f.port(1).region().load64(0), 0x0101010101010101);
+        assert_eq!(f.port(1).region().load64(64), 0, "dropped WR has no effect");
+        assert_eq!(f.port(1).region().load64(128), 0x0101010101010101);
+    }
+
+    #[test]
+    fn sq_depth_limits_posted_wrs() {
+        let f = Fabric::builder().fresh_regions(1, 4096).sq_depth(2).build();
+        let qp = f.qp(0, 0);
+        qp.post(WorkRequest::Read { raddr: 0, len: 8 });
+        qp.post(WorkRequest::Read { raddr: 0, len: 8 });
+        assert_eq!(qp.posted(), 2);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            qp.post(WorkRequest::Read { raddr: 0, len: 8 });
+        }));
+        assert!(res.is_err(), "third post must overflow the send queue");
     }
 
     struct DropAllSends;

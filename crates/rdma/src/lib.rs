@@ -25,6 +25,16 @@
 //! * **SEND/RECV** — two-sided messaging used only where the paper uses it:
 //!   shipping inserts/deletes to the host machine and control traffic.
 //!
+//! The native interface is a posted work-queue model mirroring real
+//! verbs: [`Qp::post`] enqueues [`WorkRequest`] descriptors,
+//! [`Qp::doorbell`] flushes them as one batch — charging a single
+//! doorbell latency plus per-WR pipelined occupancy — and [`Cq::poll`]
+//! returns [`WorkCompletion`]s, each carrying either a [`WrResult`] or a
+//! per-WR [`VerbError`] (injected faults surface here instead of
+//! panicking inside the fabric). The blocking verbs (`read`, `write`,
+//! `cas`, `fetch_add`) remain as thin wrappers running one WR through
+//! post → doorbell → poll.
+//!
 //! Timing: every verb charges its caller's [`drtm_base::VClock`] a latency
 //! from the [`drtm_base::CostModel`] and reserves wire bytes on both
 //! endpoints' [`drtm_base::LinkBudget`]s, which is how the NIC-bandwidth
@@ -34,7 +44,9 @@ mod fabric;
 
 pub use fabric::{
     AtomicLevel,
+    Cq,
     Fabric,
+    FabricBuilder,
     Fault,
     FaultInjector,
     Message,
@@ -43,7 +55,12 @@ pub use fabric::{
     NodeId,
     NodePort,
     Qp,
-    Verb, //
+    Verb,
+    VerbError,
+    WorkCompletion,
+    WorkRequest,
+    WrResult,
+    DEFAULT_SQ_DEPTH, //
 };
 
 #[cfg(test)]

@@ -2,13 +2,12 @@
 
 use std::sync::Arc;
 
-use drtm_base::{CostModel, MemoryRegion, SplitMix64, VClock};
+use drtm_base::{SplitMix64, VClock};
 
 use crate::{AtomicLevel, Fabric};
 
 fn fabric(n: usize) -> Arc<Fabric> {
-    let regions = (0..n).map(|_| Arc::new(MemoryRegion::new(8192))).collect();
-    Arc::new(Fabric::new(regions, CostModel::default()))
+    Fabric::builder().fresh_regions(n, 8192).build()
 }
 
 #[test]
@@ -23,9 +22,9 @@ fn rdma_write_bumps_line_versions_on_target() {
     let f = fabric(2);
     let qp = f.qp(0, 1);
     let mut clock = VClock::new();
-    let before = f.port(1).region.line_version(2);
+    let before = f.port(1).region().line_version(2);
     qp.write(&mut clock, 128, &[9u8; 64]);
-    assert!(f.port(1).region.line_version(2) > before);
+    assert!(f.port(1).region().line_version(2) > before);
 }
 
 #[test]
@@ -39,7 +38,7 @@ fn multi_line_write_is_not_atomic_across_lines() {
     let mut clock = VClock::new();
     qp.write(&mut clock, 0, &[1u8; 192]); // Lines 0..3 each bumped once.
     qp.write(&mut clock, 64, &[2u8; 64]); // Only line 1 bumped again.
-    let r = &f.port(1).region;
+    let r = f.port(1).region();
     assert_eq!(r.line_version(0), 2);
     assert_eq!(r.line_version(1), 4);
     assert_eq!(r.line_version(2), 2);
@@ -53,7 +52,7 @@ fn rdma_cas_aborts_conflicting_htm_reader() {
     let f = fabric(2);
     let qp = f.qp(0, 1);
     let cfg = HtmConfig::default();
-    let target = &f.port(1).region;
+    let target = f.port(1).region();
 
     let mut txn = HtmTxn::begin(target, &cfg);
     assert_eq!(txn.read_u64(0).unwrap(), 0, "lock word free");
@@ -72,7 +71,7 @@ fn failed_rdma_cas_does_not_abort_htm_reader() {
     let f = fabric(2);
     let qp = f.qp(0, 1);
     let cfg = HtmConfig::default();
-    let target = &f.port(1).region;
+    let target = f.port(1).region();
     target.store64_coherent(0, 77);
 
     let mut txn = HtmTxn::begin(target, &cfg);
@@ -91,7 +90,7 @@ fn htm_commit_aborts_on_concurrent_rdma_write() {
     let f = fabric(2);
     let qp = f.qp(0, 1);
     let cfg = HtmConfig::default();
-    let target = &f.port(1).region;
+    let target = f.port(1).region();
 
     let mut txn = HtmTxn::begin(target, &cfg);
     let _ = txn.read_u64(64).unwrap();
@@ -119,7 +118,7 @@ fn concurrent_cas_lock_is_mutual_exclusive() {
             while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                 if qp.cas(&mut clock, 0, 0, me).is_ok() {
                     // Hold briefly, verify no one stole it, release.
-                    assert_eq!(f.port(2).region.load64(0), me);
+                    assert_eq!(f.port(2).region().load64(0), me);
                     wins.inc();
                     assert_eq!(qp.cas(&mut clock, 0, me, 0), Ok(me));
                 }
@@ -132,7 +131,7 @@ fn concurrent_cas_lock_is_mutual_exclusive() {
         h.join().unwrap();
     }
     assert!(wins.get() > 0, "locks were acquired");
-    assert_eq!(f.port(2).region.load64(0), 0, "lock released at the end");
+    assert_eq!(f.port(2).region().load64(0), 0, "lock released at the end");
 }
 
 /// READ returns exactly what WRITE stored, for randomized offsets and

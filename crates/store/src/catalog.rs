@@ -267,7 +267,6 @@ impl Store {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use drtm_base::CostModel;
     use drtm_rdma::Fabric;
 
     fn schema() -> Vec<TableSpec> {
@@ -359,7 +358,7 @@ mod tests {
         let regions: Vec<_> = (0..2)
             .map(|_| Arc::new(MemoryRegion::new(1 << 20)))
             .collect();
-        let f = Arc::new(Fabric::new(regions.clone(), CostModel::default()));
+        let f = Fabric::builder().regions(regions.clone()).build();
         let local = Store::new(regions[0].clone(), &schema());
         let remote = Store::new(regions[1].clone(), &schema());
 
@@ -377,7 +376,7 @@ mod tests {
         let regions: Vec<_> = (0..2)
             .map(|_| Arc::new(MemoryRegion::new(1 << 20)))
             .collect();
-        let f = Arc::new(Fabric::new(regions.clone(), CostModel::default()));
+        let f = Fabric::builder().regions(regions.clone()).build();
         let local = Store::new(regions[0].clone(), &schema());
         let qp = f.qp(0, 1);
         let mut clock = VClock::new();

@@ -247,7 +247,6 @@ impl LocationCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use drtm_base::CostModel;
     use drtm_rdma::Fabric;
     use std::sync::Arc;
 
@@ -255,14 +254,14 @@ mod tests {
         let regions = (0..2)
             .map(|_| Arc::new(MemoryRegion::new(HashTable::bytes_for(nslots) + 4096)))
             .collect();
-        let f = Arc::new(Fabric::new(regions, CostModel::default()));
+        let f = Fabric::builder().regions(regions).build();
         (f, HashTable::new(0, nslots))
     }
 
     #[test]
     fn insert_get_remove() {
         let (f, t) = setup(64);
-        let r = &f.port(1).region;
+        let r = f.port(1).region();
         assert!(t.insert(r, 42, 1000));
         assert!(!t.insert(r, 42, 2000), "duplicate rejected");
         assert_eq!(t.get(r, 42), Some(1000));
@@ -275,7 +274,7 @@ mod tests {
     #[test]
     fn tombstone_chain_continues() {
         let (f, t) = setup(64);
-        let r = &f.port(1).region;
+        let r = f.port(1).region();
         // Force a collision chain by filling adjacent probe positions.
         let keys: Vec<u64> = (1..=20).collect();
         for &k in &keys {
@@ -297,7 +296,7 @@ mod tests {
     #[test]
     fn remote_lookup_matches_local() {
         let (f, t) = setup(256);
-        let r = &f.port(1).region;
+        let r = f.port(1).region();
         for k in 1..=100u64 {
             assert!(t.insert(r, k * 7, k));
         }
@@ -312,13 +311,13 @@ mod tests {
             );
         }
         assert_eq!(t.get_remote(&qp, &mut clock, 5000), None);
-        assert!(f.port(1).stats.reads.get() > 0);
+        assert!(f.port(1).stats().reads.get() > 0);
     }
 
     #[test]
     fn table_full_behaviour() {
         let (f, t) = setup(4);
-        let r = &f.port(1).region;
+        let r = f.port(1).region();
         assert!(t.insert(r, 1, 1));
         assert!(t.insert(r, 2, 2));
         assert!(t.insert(r, 3, 3));
@@ -344,13 +343,13 @@ mod tests {
     #[should_panic(expected = "reserved")]
     fn reserved_keys_panic() {
         let (f, t) = setup(4);
-        t.insert(&f.port(1).region, 0, 1);
+        t.insert(f.port(1).region(), 0, 1);
     }
 
     #[test]
     fn iter_returns_live_entries() {
         let (f, t) = setup(64);
-        let r = &f.port(1).region;
+        let r = f.port(1).region();
         for k in 1..=10u64 {
             t.insert(r, k, k * 2);
         }
@@ -371,7 +370,7 @@ mod tests {
         for _ in 0..48 {
             let n = 1 + rng.below(119) as usize;
             let (f, t) = setup(256);
-            let r = &f.port(1).region;
+            let r = f.port(1).region();
             let qp = f.qp(0, 1);
             let mut clock = drtm_base::VClock::new();
             let mut model: HashMap<u64, u64> = HashMap::new();

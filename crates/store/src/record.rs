@@ -381,16 +381,37 @@ pub fn remote_write_locked(
     value: &[u8],
     new_seq: u64,
 ) {
-    assert_eq!(value.len(), layout.value_len);
-    for (off, img) in layout.line_images(value, new_seq).into_iter().rev() {
-        qp.write(clock, base + off, &img);
+    for (raddr, img) in locked_write_wrs(base, layout, value, new_seq) {
+        qp.write(clock, raddr, &img);
     }
+}
+
+/// The per-line WRITE descriptors of a locked record update (C.5's wire
+/// format), as `(absolute offset, line image)` pairs in issue order:
+/// later lines first and line 0 — which carries the sequence number —
+/// last, so version matching never accepts a torn record.
+///
+/// Batched committers post these as `WorkRequest::Write`s and ring one
+/// doorbell per destination; [`remote_write_locked`] issues them through
+/// the blocking wrapper one at a time.
+pub fn locked_write_wrs(
+    base: usize,
+    layout: RecordLayout,
+    value: &[u8],
+    new_seq: u64,
+) -> Vec<(usize, Vec<u8>)> {
+    assert_eq!(value.len(), layout.value_len);
+    layout
+        .line_images(value, new_seq)
+        .into_iter()
+        .rev()
+        .map(|(off, img)| (base + off, img))
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use drtm_base::CostModel;
     use drtm_htm::HtmConfig;
     use drtm_rdma::Fabric;
     use std::sync::Arc;
@@ -471,14 +492,14 @@ mod tests {
 
     fn two_node_fabric() -> Arc<Fabric> {
         let regions = (0..2).map(|_| Arc::new(MemoryRegion::new(8192))).collect();
-        Arc::new(Fabric::new(regions, CostModel::default()))
+        Fabric::builder().regions(regions).build()
     }
 
     #[test]
     fn remote_consistent_read_quiescent() {
         let f = two_node_fabric();
         let layout = RecordLayout::new(180);
-        let rec = RecordRef::new(&f.port(1).region, 512, layout);
+        let rec = RecordRef::new(f.port(1).region(), 512, layout);
         let value: Vec<u8> = (0..180).map(|i| (i * 3 % 256) as u8).collect();
         rec.init(&value, 6, 1);
 
@@ -494,7 +515,7 @@ mod tests {
     fn remote_read_rejects_torn_record() {
         let f = two_node_fabric();
         let layout = RecordLayout::new(180);
-        let region = &f.port(1).region;
+        let region = f.port(1).region();
         let rec = RecordRef::new(region, 512, layout);
         rec.init(&[1u8; 180], 6, 0);
         // Hand-craft a torn state: bump one later line's version without
@@ -527,7 +548,7 @@ mod tests {
         // accept the (value-identical) snapshot.
         let f = two_node_fabric();
         let layout = RecordLayout::new(64); // Two lines.
-        let rec = RecordRef::new(&f.port(1).region, 512, layout);
+        let rec = RecordRef::new(f.port(1).region(), 512, layout);
         rec.init(&[1u8; 64], 2, 0);
         rec.write_locked(&[9u8; 64], 3); // C.4: odd.
         rec.set_seq(4); // R.2: even, value lines untouched.
@@ -544,7 +565,7 @@ mod tests {
     fn remote_write_then_read() {
         let f = two_node_fabric();
         let layout = RecordLayout::new(120);
-        let rec = RecordRef::new(&f.port(1).region, 1024, layout);
+        let rec = RecordRef::new(f.port(1).region(), 1024, layout);
         rec.init(&[0u8; 120], 2, 0);
 
         let qp = f.qp(0, 1);
@@ -563,7 +584,7 @@ mod tests {
     fn version_matching_never_accepts_mixed_generations() {
         let f = two_node_fabric();
         let layout = RecordLayout::new(150);
-        let region = Arc::clone(&f.port(1).region);
+        let region = Arc::clone(f.port(1).region());
         let rec_base = 2048;
         RecordRef::new(&region, rec_base, layout).init(&[0u8; 150], 0, 0);
 

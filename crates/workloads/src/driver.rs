@@ -58,6 +58,24 @@ pub struct RunCfg {
     pub no_location_cache: bool,
     /// FaRM-style messaging for remote locking (ablation, §4.4).
     pub msg_locking: bool,
+    /// Commit-phase verbs ride the batched work-queue paths (one
+    /// doorbell per destination node). `false` is the legacy per-record
+    /// blocking baseline. Defaults from `DRTM_VERB_PATH` (`blocking`
+    /// selects the legacy path) so A/B sweeps can toggle it without a
+    /// flag on every binary.
+    pub batched_verbs: bool,
+}
+
+/// Reads the `DRTM_VERB_PATH` environment toggle: `blocking` (legacy
+/// per-record verbs) or `batched` / unset (the doorbell-batched
+/// default).
+pub fn verb_path_from_env() -> bool {
+    match std::env::var("DRTM_VERB_PATH") {
+        Ok(v) if v.eq_ignore_ascii_case("blocking") => false,
+        Ok(v) if v.eq_ignore_ascii_case("batched") || v.is_empty() => true,
+        Ok(v) => panic!("DRTM_VERB_PATH must be `batched` or `blocking`, got `{v}`"),
+        Err(_) => true,
+    }
 }
 
 impl Default for RunCfg {
@@ -72,6 +90,7 @@ impl Default for RunCfg {
             fuse_lock_validate: false,
             no_location_cache: false,
             msg_locking: false,
+            batched_verbs: verb_path_from_env(),
         }
     }
 }
@@ -129,6 +148,7 @@ fn engine_opts(run: &RunCfg, region_size: usize) -> EngineOpts {
         fuse_lock_validate: run.fuse_lock_validate,
         use_location_cache: !run.no_location_cache,
         msg_locking: run.msg_locking,
+        batched_verbs: run.batched_verbs,
         ..Default::default()
     }
 }

@@ -11,20 +11,20 @@
 
 use std::sync::Arc;
 
-use drtm::base::{CostModel, MemoryRegion, VClock};
+use drtm::base::{MemoryRegion, VClock};
 use drtm::htm::{AbortCode, HtmConfig, HtmTxn};
 use drtm::rdma::Fabric;
 use drtm::store::record::{remote_read_consistent, RecordLayout, RecordRef};
 
 fn main() {
     let regions: Vec<_> = (0..2).map(|_| Arc::new(MemoryRegion::new(8192))).collect();
-    let fabric = Arc::new(Fabric::new(regions, CostModel::default()));
+    let fabric = Fabric::builder().regions(regions).build();
     let qp = fabric.qp(0, 1); // Machine 0 talks to machine 1.
     let mut clock = VClock::new();
 
     // --- 1. Strong atomicity -------------------------------------------
     let cfg = HtmConfig::default();
-    let target = &fabric.port(1).region;
+    let target = &fabric.port(1).region();
 
     let mut txn = HtmTxn::begin(target, &cfg);
     let before = txn.read_u64(0).unwrap();
@@ -74,7 +74,7 @@ fn main() {
     println!(
         "virtual time spent on RDMA verbs: {} ns across {} reads / {} writes",
         clock.now(),
-        fabric.port(1).stats.reads.get(),
-        fabric.port(1).stats.writes.get()
+        fabric.port(1).stats().reads.get(),
+        fabric.port(1).stats().writes.get()
     );
 }

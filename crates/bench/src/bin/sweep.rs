@@ -5,7 +5,7 @@
 //! sweep [tpcc|smallbank] [--engine drtm+r|drtm|calvin|silo]
 //!       [--nodes N] [--threads T] [--replicas R] [--cross P]
 //!       [--txns N] [--full] [--msg-locking] [--no-cache] [--fuse]
-//!       [--legacy-verbs] [--raw]
+//!       [--legacy-verbs] [--no-value-cache] [--raw]
 //! ```
 //!
 //! Prints one tab-separated result row (plus a header), so shell loops
@@ -45,6 +45,7 @@ fn main() {
     let mut no_cache = false;
     let mut fuse = false;
     let mut legacy_verbs = false;
+    let mut no_value_cache = false;
     let mut raw = false;
 
     let mut it = args.iter().peekable();
@@ -67,6 +68,7 @@ fn main() {
             "--no-cache" => no_cache = true,
             "--fuse" => fuse = true,
             "--legacy-verbs" => legacy_verbs = true,
+            "--no-value-cache" => no_value_cache = true,
             "--raw" => raw = true,
             "--full" => {} // Handled by Scale::from_env.
             other => {
@@ -88,10 +90,12 @@ fn main() {
         fuse_lock_validate: fuse,
         ..Default::default()
     };
-    // `..Default::default()` already honours `DRTM_VERB_PATH=blocking`;
-    // the flag is the explicit spelling for scripts and CI matrices.
+    // `..Default::default()` already honours `DRTM_VERB_PATH=blocking` and
+    // `DRTM_VALUE_CACHE=off`; the flags are the explicit spellings for
+    // scripts and CI matrices.
     let run = RunCfg {
         batched_verbs: run.batched_verbs && !legacy_verbs,
+        no_value_cache: run.no_value_cache || no_value_cache,
         ..run
     };
 

@@ -256,3 +256,92 @@ fn repeated_detection_of_same_death_recovers_once() {
         out.stale_locks
     );
 }
+
+#[test]
+fn lease_driven_recovery_drops_value_cached_entries() {
+    // DESIGN.md §8 rule 4: value-cache entries are epoch-tagged, so a
+    // crash recovered through lease expiry (which bumps the config
+    // epoch) must drop every entry a survivor cached from the old
+    // configuration — bytes read from the dead machine's pre-crash
+    // state can never serve a post-recovery read.
+    use std::sync::Arc;
+
+    use drtm_core::cluster::{DrtmCluster, EngineOpts};
+    use drtm_store::TableSpec;
+
+    const T: u32 = 0;
+    let key = |shard: usize, k: u64| (shard as u64) << 32 | k;
+    let val = |x: u64| {
+        let mut v = vec![0u8; 16];
+        v[..8].copy_from_slice(&x.to_le_bytes());
+        v
+    };
+    let opts = EngineOpts {
+        replicas: 2,
+        region_size: 2 << 20,
+        read_mostly_tables: vec![T],
+        ..EngineOpts::default()
+    };
+    let cluster = DrtmCluster::new(3, &[TableSpec::hash(T, 1024, 16)], opts);
+    for shard in 0..3usize {
+        for k in 0..4u64 {
+            cluster.seed_record(shard, T, key(shard, k), &val(100 + k));
+        }
+    }
+    let injector = Arc::new(ChaosInjector::new(
+        FaultPlan::new(11).crash_at(2, "C.4", 1),
+        3,
+    ));
+    cluster.fabric.set_injector(Arc::clone(&injector) as _);
+    cluster.set_crash_hook(Arc::clone(&injector) as _);
+    let sup =
+        drtm_chaos::Supervisor::start(&cluster, test_supervisor(), Some(Arc::clone(&injector)));
+
+    // A survivor on machine 0 warms its cache from machines 1 and 2.
+    let mut w = cluster.worker(0, 5);
+    for shard in [1usize, 2] {
+        for k in 0..4u64 {
+            assert_eq!(
+                w.run_ro(|t| t.read(shard, T, key(shard, k))).unwrap(),
+                val(100 + k)
+            );
+        }
+    }
+    assert!(
+        !w.value_cache(1).is_empty() && !w.value_cache(2).is_empty(),
+        "remote reads of a read-mostly table must populate the cache"
+    );
+
+    // Machine 2 dies mid-commit (C.4) on its next local transaction.
+    let mut victim = cluster.worker(2, 6);
+    let _ = victim.run(|t| {
+        let v = t.read(2, T, key(2, 0))?;
+        t.write(2, T, key(2, 0), v)
+    });
+    assert_eq!(injector.crashes_fired(), 1);
+    assert!(
+        sup.await_recoveries(1, Duration::from_secs(10)),
+        "supervisor must recover the victim through lease expiry"
+    );
+    let events = sup.stop();
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].dead, 2);
+
+    // The survivor's next transaction begins under the bumped epoch:
+    // every pre-crash entry (machine 2's *and* machine 1's — the whole
+    // old configuration) is dropped before any read can hit it, and the
+    // re-homed shard still serves the seeded values.
+    for k in 0..4u64 {
+        assert_eq!(
+            w.run_ro(|t| t.read(2, T, key(2, k))).unwrap(),
+            val(100 + k),
+            "post-recovery read through the new shard map"
+        );
+    }
+    assert!(
+        w.value_cache(2).is_empty(),
+        "dead machine's cached entries must not survive the epoch bump"
+    );
+    cluster.fabric.clear_injector();
+    cluster.clear_crash_hook();
+}

@@ -61,9 +61,17 @@ pub enum Cmd {
     /// `breakdown [txns]` — run the default SmallBank benchmark twice,
     /// once over the legacy blocking verb path and once over the
     /// doorbell-batched work-queue path, and report per-phase virtual
-    /// time, the combined C.1+C.5+C.6 fan-out share, and the achieved
-    /// verbs-per-doorbell batching factor.
+    /// time, the combined C.1+C.2+C.5+C.6 fan-out share, and the
+    /// achieved verbs-per-doorbell batching factor.
     Breakdown {
+        /// Transactions attempted per worker thread on each side.
+        txns: usize,
+    },
+    /// `cache [txns]` — run a read-heavy cross-machine YCSB-B twice,
+    /// once with the read-mostly value cache disabled and once enabled,
+    /// and report remote NIC bytes per committed transaction, READ
+    /// verbs per committed transaction, and the achieved hit rate.
+    Cache {
         /// Transactions attempted per worker thread on each side.
         txns: usize,
     },
@@ -168,6 +176,10 @@ pub fn parse(line: &str) -> Result<Option<Cmd>, String> {
         ["breakdown", n] => Cmd::Breakdown {
             txns: num(n)? as usize,
         },
+        ["cache"] => Cmd::Cache { txns: 200 },
+        ["cache", n] => Cmd::Cache {
+            txns: num(n)? as usize,
+        },
         ["stats"] => Cmd::Stats {
             format: StatsFormat::Text,
         },
@@ -220,8 +232,13 @@ commands:
   breakdown [txns]             A/B the doorbell-batched verb path
                                against the legacy blocking path on the
                                default SmallBank run: per-phase virtual
-                               time, the C.1+C.5+C.6 fan-out share, and
-                               verbs per doorbell
+                               time, the C.1+C.2+C.5+C.6 fan-out
+                               share, and verbs per doorbell
+  cache [txns]                 A/B the read-mostly value cache on a
+                               read-heavy cross-machine YCSB-B run:
+                               NIC bytes and READ verbs per committed
+                               transaction, cache hit rate (DESIGN.md
+                               section 8)
   stats [prom|json]            commit-phase latencies, abort taxonomy,
                                HTM abort classes, NIC counters, and
                                per-machine liveness (default: text)
@@ -270,10 +287,12 @@ impl VerbPathSide {
             .map_or(0, |(_, ns)| *ns)
     }
 
-    /// Combined commit fan-out time: C.1 lock + C.5 update + C.6
-    /// unlock — the three phases the doorbell batching targets.
+    /// Combined commit fan-out time: C.1 lock + C.2 validate + C.5
+    /// update + C.6 unlock — the four phases the doorbell batching
+    /// targets (C.2 joined when header validation moved onto the
+    /// posted work queue alongside the value cache).
     pub fn fanout_ns(&self) -> u64 {
-        self.phase("lock") + self.phase("update") + self.phase("unlock")
+        self.phase("lock") + self.phase("validate") + self.phase("update") + self.phase("unlock")
     }
 
     /// Total virtual time across all phases.
@@ -345,8 +364,9 @@ pub struct BreakdownReport {
 }
 
 impl BreakdownReport {
-    /// Relative reduction of the C.1+C.5+C.6 fan-out share going from
-    /// the blocking path to the batched path (0.25 = 25% lower share).
+    /// Relative reduction of the C.1+C.2+C.5+C.6 fan-out share going
+    /// from the blocking path to the batched path (0.25 = 25% lower
+    /// share).
     pub fn reduction(&self) -> f64 {
         let b = self.blocking.fanout_share();
         if b == 0.0 {
@@ -376,7 +396,7 @@ impl BreakdownReport {
             );
         }
         out += &format!(
-            "  C.1+C.5+C.6 fan-out share: blocking {:.1}% -> batched {:.1}% \
+            "  C.1+C.2+C.5+C.6 fan-out share: blocking {:.1}% -> batched {:.1}% \
              ({:.1}% reduction)\n",
             self.blocking.fanout_share() * 100.0,
             self.batched.fanout_share() * 100.0,
@@ -397,6 +417,171 @@ pub fn smallbank_breakdown(txns: usize) -> BreakdownReport {
     BreakdownReport {
         blocking: measure_verb_path(txns, false),
         batched: measure_verb_path(txns, true),
+    }
+}
+
+/// One measured side of the `cache` value-cache A/B: the shell's
+/// read-heavy YCSB benchmark run with the cache disabled or enabled.
+#[derive(Debug, Clone)]
+pub struct CacheSide {
+    /// `true` when the read-mostly value cache was enabled.
+    pub cached: bool,
+    /// Committed transactions over the whole run.
+    pub committed: u64,
+    /// NIC bytes moved across all ports (payload + header model).
+    pub nic_bytes: u64,
+    /// READ verbs completed across all ports.
+    pub reads: u64,
+    /// Cache hits (0 on the disabled side).
+    pub hits: u64,
+    /// Cache misses (0 on the disabled side).
+    pub misses: u64,
+    /// Cache invalidations (0 on the disabled side).
+    pub invalidations: u64,
+    /// Wire bytes the hits avoided.
+    pub bytes_saved: u64,
+}
+
+impl CacheSide {
+    /// NIC bytes per committed transaction.
+    pub fn bytes_per_txn(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.nic_bytes as f64 / self.committed as f64
+        }
+    }
+
+    /// READ verbs per committed transaction.
+    pub fn reads_per_txn(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.reads as f64 / self.committed as f64
+        }
+    }
+
+    /// Cache hit fraction in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// The shared YCSB configuration behind the `cache` A/B: read-heavy
+/// (mix B) and aggressively cross-machine, so most reads are remote and
+/// the value cache has traffic worth absorbing, over a key space small
+/// enough that the same records recur.
+fn shell_ycsb_cfg() -> drtm_workloads::ycsb::YcsbCfg {
+    drtm_workloads::ycsb::YcsbCfg {
+        nodes: 2,
+        records: 256,
+        cross_prob: 0.6,
+        mix: drtm_workloads::ycsb::YcsbMix::B,
+        ..Default::default()
+    }
+}
+
+/// Runs the shell's read-heavy YCSB on a fresh cluster with the value
+/// cache on or off and scrapes the NIC and cache counters.
+fn measure_value_cache(txns: usize, cached: bool) -> CacheSide {
+    use drtm_workloads::driver::{build_ycsb, run_ycsb_on, RunCfg};
+    let cfg = shell_ycsb_cfg();
+    let run = RunCfg {
+        threads: 3,
+        txns_per_worker: txns.max(1),
+        no_value_cache: !cached,
+        ..Default::default()
+    };
+    let (cluster, calvin) = build_ycsb(&cfg, &run);
+    let m = run_ycsb_on(&cfg, &run, &cluster, calvin.as_ref());
+    let snap = drtm_core::scrape_cluster(&cluster);
+    CacheSide {
+        cached,
+        committed: m.committed,
+        nic_bytes: snap.nic_bytes.iter().map(|(_, b)| b).sum(),
+        reads: snap
+            .nic
+            .iter()
+            .filter(|r| r.verb == "read")
+            .map(|r| r.count)
+            .sum(),
+        hits: snap.cache.hits,
+        misses: snap.cache.misses,
+        invalidations: snap.cache.invalidations,
+        bytes_saved: snap.cache.bytes_saved,
+    }
+}
+
+/// The `cache` command's result: the same read-heavy YCSB measured
+/// with the value cache off and on, ready to render or assert on.
+#[derive(Debug, Clone)]
+pub struct CacheReport {
+    /// The cache-disabled side.
+    pub off: CacheSide,
+    /// The cache-enabled side.
+    pub on: CacheSide,
+}
+
+impl CacheReport {
+    /// Relative reduction of NIC bytes per committed transaction going
+    /// from cache-off to cache-on (0.25 = 25% fewer bytes per txn).
+    pub fn byte_reduction(&self) -> f64 {
+        let off = self.off.bytes_per_txn();
+        if off == 0.0 {
+            0.0
+        } else {
+            1.0 - self.on.bytes_per_txn() / off
+        }
+    }
+
+    /// Renders the human-readable A/B table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "value-cache A/B on read-heavy YCSB-B, 60% cross-machine \
+             ({} committed off, {} committed on):\n",
+            self.off.committed, self.on.committed
+        );
+        out += &format!(
+            "  {:<16} {:>12} {:>12}\n  {:<16} {:>12.1} {:>12.1}\n  {:<16} {:>12.2} {:>12.2}\n",
+            "",
+            "cache off",
+            "cache on",
+            "NIC bytes/txn",
+            self.off.bytes_per_txn(),
+            self.on.bytes_per_txn(),
+            "READ verbs/txn",
+            self.off.reads_per_txn(),
+            self.on.reads_per_txn(),
+        );
+        out += &format!(
+            "  cache on: {} hits, {} misses ({:.1}% hit rate), {} invalidated, {:.1} KB saved\n",
+            self.on.hits,
+            self.on.misses,
+            self.on.hit_rate() * 100.0,
+            self.on.invalidations,
+            self.on.bytes_saved as f64 / 1024.0,
+        );
+        out += &format!(
+            "  NIC bytes per committed txn: {:.1} -> {:.1} ({:.1}% reduction)",
+            self.off.bytes_per_txn(),
+            self.on.bytes_per_txn(),
+            self.byte_reduction() * 100.0,
+        );
+        out
+    }
+}
+
+/// Measures the read-heavy YCSB over both cache settings (off first,
+/// then on) on fresh clusters.
+pub fn value_cache_ab(txns: usize) -> CacheReport {
+    CacheReport {
+        off: measure_value_cache(txns, false),
+        on: measure_value_cache(txns, true),
     }
 }
 
@@ -632,6 +817,10 @@ impl Shell {
                 // Standalone A/B on two fresh clusters — the shell's
                 // interactive cluster (if any) is not touched.
                 Ok(Some(smallbank_breakdown(txns.max(1)).render()))
+            }
+            Cmd::Cache { txns } => {
+                // Same standalone-A/B shape as `breakdown`.
+                Ok(Some(value_cache_ab(txns.max(1)).render()))
             }
             Cmd::Stats { format } => {
                 let cluster = Arc::clone(self.cluster.as_ref().ok_or("no cluster")?);
@@ -936,6 +1125,8 @@ mod tests {
             parse("breakdown 80").unwrap(),
             Some(Cmd::Breakdown { txns: 80 })
         );
+        assert_eq!(parse("cache").unwrap(), Some(Cmd::Cache { txns: 200 }));
+        assert_eq!(parse("cache 60").unwrap(), Some(Cmd::Cache { txns: 60 }));
         assert_eq!(
             parse("trace /tmp/out.json").unwrap(),
             Some(Cmd::Trace {
@@ -996,10 +1187,11 @@ mod tests {
         drtm_obs::jsonlint::validate(&json).expect("stats json must be valid");
     }
 
-    /// The PR's acceptance criterion: on the default SmallBank sweep,
-    /// doorbell batching must cut the combined C.1+C.5+C.6 share of
-    /// virtual commit time by at least 20% relative to the legacy
-    /// blocking verb path. (The verbs-per-doorbell factor stays at 1.0
+    /// On the default SmallBank sweep, doorbell batching must cut the
+    /// combined C.1+C.2+C.5+C.6 share of virtual commit time by at
+    /// least 20% relative to the legacy blocking verb path (C.2 counts
+    /// as fan-out since header validation moved onto the posted work
+    /// queue). (The verbs-per-doorbell factor stays at 1.0
     /// here — a two-machine SmallBank transfer has exactly one remote
     /// record per destination — so the win is fewer, cheaper doorbells,
     /// not wider batches; multi-WR batches are exercised by the
@@ -1015,7 +1207,7 @@ mod tests {
         );
         assert!(
             report.reduction() >= 0.20,
-            "C.1+C.5+C.6 share must drop >= 20%, got {:.1}% \
+            "C.1+C.2+C.5+C.6 share must drop >= 20%, got {:.1}% \
              (blocking {:.1}% -> batched {:.1}%)",
             report.reduction() * 100.0,
             report.blocking.fanout_share() * 100.0,
@@ -1025,6 +1217,34 @@ mod tests {
         let text = sh.execute(Cmd::Breakdown { txns: 1 }).unwrap().unwrap();
         assert!(text.contains("fan-out share"), "{text}");
         assert!(text.contains("verbs per doorbell"), "{text}");
+    }
+
+    /// The PR's acceptance criterion: on a read-heavy cross-machine
+    /// YCSB-B, enabling the read-mostly value cache must reduce NIC
+    /// bytes per committed transaction — cache hits skip the READ
+    /// entirely and C.2 re-validates with a 24-byte header line instead
+    /// of refetching the whole record.
+    #[test]
+    fn cache_reduces_remote_read_bytes_per_txn() {
+        let report = value_cache_ab(200);
+        assert!(report.off.committed > 0 && report.on.committed > 0);
+        // The disabled side must not record cache traffic.
+        assert_eq!(report.off.hits + report.off.misses, 0, "{report:?}");
+        // The enabled side must actually get hits on a 256-record
+        // zipfian working set.
+        assert!(report.on.hits > 0, "{report:?}");
+        assert!(
+            report.on.bytes_per_txn() < report.off.bytes_per_txn(),
+            "cache must cut NIC bytes per committed txn: {report:?}"
+        );
+        assert!(
+            report.on.reads_per_txn() < report.off.reads_per_txn(),
+            "cache must cut READ verbs per committed txn: {report:?}"
+        );
+        let mut sh = Shell::new();
+        let text = sh.execute(Cmd::Cache { txns: 1 }).unwrap().unwrap();
+        assert!(text.contains("NIC bytes per committed txn"), "{text}");
+        assert!(text.contains("hit rate"), "{text}");
     }
 
     #[test]

@@ -67,6 +67,17 @@ pub struct EngineOpts {
     /// (the A/B baseline). Ignored under `msg_locking`, whose verbs are
     /// SEND/RECV round trips with no doorbell to amortise.
     pub batched_verbs: bool,
+    /// Cache remote record values for tables listed in
+    /// [`EngineOpts::read_mostly_tables`]: a hit skips the full-record
+    /// execution-phase RDMA READ and is re-validated at C.2 with a
+    /// header-only READ (see DESIGN.md §8). Inert while the table list
+    /// is empty.
+    pub value_cache: bool,
+    /// Tables whose records are read-mostly and therefore worth caching
+    /// node-locally (the paper's example is TPC-C `ITEM`). Writes to
+    /// these tables stay correct — the seqlock validation at C.2 catches
+    /// stale cached reads — they just waste cache churn.
+    pub read_mostly_tables: Vec<u32>,
 }
 
 impl Default for EngineOpts {
@@ -84,6 +95,8 @@ impl Default for EngineOpts {
             txn_retries: 1_000_000,
             msg_locking: false,
             batched_verbs: true,
+            value_cache: true,
+            read_mostly_tables: Vec::new(),
         }
     }
 }

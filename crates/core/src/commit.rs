@@ -30,8 +30,8 @@ use drtm_cluster::LogEntry;
 use drtm_htm::RunOutcome;
 use drtm_rdma::{Cq, NodeId, WorkRequest, WrResult};
 use drtm_store::record::{
-    lock_owner, lock_word, locked_write_wrs, remote_read_consistent, remote_write_locked,
-    INCARNATION_OFF, LOCK_FREE, SEQ_OFF,
+    lock_owner, lock_word, locked_write_wrs, remote_read_consistent, remote_read_header,
+    remote_write_locked, RecordHeader, HEADER_BYTES, INCARNATION_OFF, LOCK_FREE, LOCK_OFF, SEQ_OFF,
 };
 use drtm_store::{TableId, CONTROL_LINE_OFF};
 
@@ -144,13 +144,22 @@ impl TxnCtx<'_> {
                 return Err(TxnError::Aborted(AbortReason::Validation));
             }
         }
+        let addrs: Vec<(NodeId, usize)> = self.r_rs.iter().map(|e| (e.node, e.rec_off)).collect();
+        let hdrs = self.read_headers(&addrs)?;
         for i in 0..self.r_rs.len() {
-            let (node, rec_off, seen_seq, seen_inc) = {
+            let (seen_seq, seen_inc, from_cache) = {
                 let e = &self.r_rs[i];
-                (e.node, e.rec_off, e.seq, e.incarnation)
+                (e.seq, e.incarnation, e.from_cache)
             };
-            let (inc, seq) = self.remote_header(node, rec_off);
-            if inc != seen_inc || !read_validates(seen_seq, seq) {
+            let h = hdrs[i];
+            // A cached entry skipped the read-time lock check a fresh
+            // read-only READ performs (§4.5), so reject a locked record
+            // here: its committer may be mid-rewrite.
+            if h.incarnation != seen_inc
+                || !read_validates(seen_seq, h.seq)
+                || (from_cache && h.lock != LOCK_FREE)
+            {
+                self.invalidate_cached_read(i);
                 return Err(TxnError::Aborted(AbortReason::Validation));
             }
         }
@@ -591,6 +600,7 @@ impl TxnCtx<'_> {
                     new_seqs[i],
                 );
             }
+            self.write_through_cache(new_seqs);
             return Ok(());
         }
         let mut nodes: Vec<NodeId> = self.r_ws.iter().map(|e| e.node).collect();
@@ -636,13 +646,32 @@ impl TxnCtx<'_> {
                 }
             }
         }
+        self.write_through_cache(new_seqs);
         Ok(())
     }
 
-    /// Reads `(incarnation, seq)` of a remote record header. Under the
+    /// C.5 write-through (DESIGN.md §8): a transaction that rewrote a
+    /// read-mostly record it had cached refreshes its own entry with the
+    /// value and (even) sequence number it just installed, instead of
+    /// paying an invalidate-then-refetch cycle on its next read.
+    fn write_through_cache(&mut self, new_seqs: &[u64]) {
+        for i in 0..self.r_ws.len() {
+            let (node, table, key) = {
+                let e = &self.r_ws[i];
+                (e.node, e.table, e.key)
+            };
+            if !self.value_cacheable(table) {
+                continue;
+            }
+            self.w.value_caches[node].refresh(table, key, &self.r_ws[i].buf, new_seqs[i]);
+        }
+    }
+
+    /// Reads the header (lock, incarnation, seq — [`HEADER_BYTES`] at the
+    /// record base, a partial cache line) of a remote record. Under the
     /// GLOB-fusion ablation this models the result the fused CAS already
     /// carried, so no extra verb is charged.
-    fn remote_header(&mut self, node: NodeId, rec_off: usize) -> (u64, u64) {
+    fn remote_header(&mut self, node: NodeId, rec_off: usize) -> RecordHeader {
         let cluster = Arc::clone(&self.w.cluster);
         if cluster.opts.fuse_lock_validate || cluster.opts.msg_locking {
             // Fused CAS (GLOB) carries the answer; the messaging handler
@@ -659,47 +688,143 @@ impl TxnCtx<'_> {
                 cluster.stores[node].region.faa64(CONTROL_LINE_OFF, 1);
             }
             let region = &cluster.stores[node].region;
-            (
-                region.load64(rec_off + INCARNATION_OFF),
-                region.load64(rec_off + SEQ_OFF),
-            )
+            RecordHeader {
+                lock: region.load64(rec_off + LOCK_OFF),
+                incarnation: region.load64(rec_off + INCARNATION_OFF),
+                seq: region.load64(rec_off + SEQ_OFF),
+            }
         } else {
             let w = &mut *self.w;
-            let mut buf = [0u8; 16];
-            w.qps[node].read(&mut w.clock, rec_off + INCARNATION_OFF, &mut buf);
-            (
-                u64::from_le_bytes(buf[0..8].try_into().unwrap()),
-                u64::from_le_bytes(buf[8..16].try_into().unwrap()),
-            )
+            remote_read_header(&w.qps[node], &mut w.clock, rec_off)
+        }
+    }
+
+    /// Fetches the headers of every `(node, rec_off)` in `addrs`,
+    /// preserving order. On the batched path all header READs for one
+    /// destination node ride a single doorbell (C.2's fan-out shares the
+    /// amortisation C.1/C.5 already enjoy); the ablations fall back to
+    /// one blocking header read per record.
+    fn read_headers(&mut self, addrs: &[(NodeId, usize)]) -> Result<Vec<RecordHeader>, TxnError> {
+        let opts = &self.w.cluster.opts;
+        if self.batched_verbs() && !opts.fuse_lock_validate {
+            self.read_headers_batched(addrs)
+        } else {
+            let mut out = Vec::with_capacity(addrs.len());
+            for &(node, rec_off) in addrs {
+                out.push(self.remote_header(node, rec_off));
+            }
+            Ok(out)
+        }
+    }
+
+    /// The batched half of [`Self::read_headers`]: posts one
+    /// [`HEADER_BYTES`]-byte READ per record and rings one doorbell per
+    /// destination node. A dropped completion is retransmitted through
+    /// the blocking wrapper — header reads are idempotent.
+    fn read_headers_batched(
+        &mut self,
+        addrs: &[(NodeId, usize)],
+    ) -> Result<Vec<RecordHeader>, TxnError> {
+        let cluster = Arc::clone(&self.w.cluster);
+        let mut out = vec![
+            RecordHeader {
+                lock: 0,
+                incarnation: 0,
+                seq: 0,
+            };
+            addrs.len()
+        ];
+        let mut nodes: Vec<NodeId> = addrs.iter().map(|a| a.0).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        for node in nodes {
+            // Same death gate as every other doorbell site: a dead
+            // machine issues no verbs.
+            if !cluster.is_alive(self.w.node) {
+                return Err(TxnError::Crashed);
+            }
+            let idxs: Vec<usize> = (0..addrs.len()).filter(|&i| addrs[i].0 == node).collect();
+            let wcs = {
+                let w = &mut *self.w;
+                for &i in &idxs {
+                    w.qps[node].post(WorkRequest::Read {
+                        raddr: addrs[i].1,
+                        len: HEADER_BYTES,
+                    });
+                }
+                let cq = Cq::new();
+                w.qps[node].doorbell(&mut w.clock, &cq);
+                cq.poll(&mut w.clock)
+            };
+            for (wc, &i) in wcs.iter().zip(&idxs) {
+                match &wc.result {
+                    Ok(WrResult::Read { data, .. }) => out[i] = RecordHeader::parse(data),
+                    Ok(_) => unreachable!("READ WRs complete with READ results"),
+                    Err(_) => {
+                        let w = &mut *self.w;
+                        out[i] = remote_read_header(&w.qps[node], &mut w.clock, addrs[i].1);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Drops the value-cache entry behind remote read-set entry `i` after
+    /// a failed C.2 validation: the record moved on (or its block was
+    /// reused), so the next read must refetch — and will re-cache.
+    fn invalidate_cached_read(&mut self, i: usize) {
+        let e = &self.r_rs[i];
+        if !e.from_cache {
+            return;
+        }
+        let (node, table, key) = (e.node, e.table, e.key);
+        if self.w.value_caches[node].invalidate(table, key) {
+            self.w.obs.note_cache_invalidations(1);
+            drtm_obs::trace::event(
+                EventKind::Cache,
+                "invalidate",
+                self.w.node as u64,
+                self.w.clock.now(),
+            );
         }
     }
 
     /// C.2: validates every remote read and computes the new (even)
     /// sequence number of every remote write.
+    ///
+    /// All headers — read-set validations and write-set sequence peeks —
+    /// are fetched with one [`Self::read_headers`] call, so on the
+    /// batched path the whole step is one doorbell per destination node.
+    /// Every record here is locked by C.1, so its header is stable.
     fn validate_remote(&mut self) -> Result<Vec<u64>, TxnError> {
+        let addrs: Vec<(NodeId, usize)> = self
+            .r_rs
+            .iter()
+            .map(|e| (e.node, e.rec_off))
+            .chain(self.r_ws.iter().map(|e| (e.node, e.rec_off)))
+            .collect();
+        let hdrs = self.read_headers(&addrs)?;
         for i in 0..self.r_rs.len() {
-            let (node, rec_off, seen_seq, seen_inc) = {
+            let (seen_seq, seen_inc) = {
                 let e = &self.r_rs[i];
-                (e.node, e.rec_off, e.seq, e.incarnation)
+                (e.seq, e.incarnation)
             };
-            let (inc, seq) = self.remote_header(node, rec_off);
-            if inc != seen_inc {
+            let h = hdrs[i];
+            if h.incarnation != seen_inc {
+                self.invalidate_cached_read(i);
                 return Err(TxnError::Aborted(AbortReason::Incarnation));
             }
-            if !read_validates(seen_seq, seq) {
+            if !read_validates(seen_seq, h.seq) {
+                self.invalidate_cached_read(i);
                 return Err(TxnError::Aborted(AbortReason::Validation));
             }
         }
         let mut new_seqs = Vec::with_capacity(self.r_ws.len());
         for i in 0..self.r_ws.len() {
-            let (node, rec_off) = {
-                let e = &self.r_ws[i];
-                (e.node, e.rec_off)
-            };
-            // The record is locked, so its header is stable; one read
-            // yields the current sequence number (for reads-also-written
-            // records this is the same value C.2 just validated).
-            let (_, seq) = self.remote_header(node, rec_off);
+            // (For reads-also-written records this is the same value C.2
+            // just validated.)
+            let seq = hdrs[self.r_rs.len() + i].seq;
             if !write_validates(seq) {
                 // Still uncommittable: its writer has not replicated yet.
                 return Err(TxnError::Aborted(AbortReason::Validation));
@@ -1074,8 +1199,9 @@ impl TxnCtx<'_> {
                     let e = &self.r_rs[i];
                     (e.node, e.rec_off, e.seq, e.incarnation)
                 };
-                let (inc, seq) = self.remote_header(node, rec_off);
-                if inc != seen_inc || !read_validates(seen_seq, seq) {
+                let h = self.remote_header(node, rec_off);
+                if h.incarnation != seen_inc || !read_validates(seen_seq, h.seq) {
+                    self.invalidate_cached_read(i);
                     ok = false;
                     break;
                 }
@@ -1100,7 +1226,7 @@ impl TxnCtx<'_> {
                     let e = &self.r_ws[i];
                     (e.node, e.rec_off)
                 };
-                let (_, seq) = self.remote_header(node, rec_off);
+                let seq = self.remote_header(node, rec_off).seq;
                 if !write_validates(seq) {
                     ok = false;
                     break;

@@ -32,6 +32,8 @@
 //!   onto a surviving machine, and passive release of dangling locks
 //!   whose owner left the configuration (§5.2).
 
+#![deny(missing_docs)]
+
 pub mod cluster;
 pub mod commit;
 pub mod obs_bridge;

@@ -81,6 +81,10 @@ fn gen_schedule(rng: &mut SplitMix64, max_len: u64) -> Vec<Op> {
 /// Applies a schedule through the engine and in parallel to a sequential
 /// model; the final database state must match the model exactly.
 fn run_schedule(ops: Vec<Op>, replicas: usize, spurious: f64) {
+    run_schedule_opts(ops, replicas, spurious, false)
+}
+
+fn run_schedule_opts(ops: Vec<Op>, replicas: usize, spurious: f64, value_cached: bool) {
     let opts = EngineOpts {
         replicas,
         region_size: 2 << 20,
@@ -89,6 +93,7 @@ fn run_schedule(ops: Vec<Op>, replicas: usize, spurious: f64) {
             max_retries: 8,
             ..Default::default()
         },
+        read_mostly_tables: if value_cached { vec![T] } else { vec![] },
         ..Default::default()
     };
     let c = DrtmCluster::new(3, &[TableSpec::hash(T, 2048, 16)], opts);
@@ -195,6 +200,29 @@ fn schedule_matches_model_replicated() {
     let mut rng = SplitMix64::new(0x5eed_0008);
     for _ in 0..24 {
         run_schedule(gen_schedule(&mut rng, 25), 3, 0.0);
+    }
+}
+
+/// The same with every table marked read-mostly, so cross-node reads are
+/// served from the value cache whenever possible while the schedule's
+/// writes keep racing them. Model equivalence proves a cached read that
+/// went stale is always caught at C.2 — a stale value committing would
+/// diverge the final state from the model.
+#[test]
+fn schedule_matches_model_value_cached() {
+    let mut rng = SplitMix64::new(0x5eed_000b);
+    for _ in 0..24 {
+        run_schedule_opts(gen_schedule(&mut rng, 40), 1, 0.0, true);
+    }
+}
+
+/// Value cache under replication *and* a flaky HTM: cached reads mix
+/// with fallback-handler commits and R.1/R.2 replication traffic.
+#[test]
+fn schedule_matches_model_value_cached_replicated_flaky() {
+    let mut rng = SplitMix64::new(0x5eed_000c);
+    for _ in 0..12 {
+        run_schedule_opts(gen_schedule(&mut rng, 25), 3, 0.2, true);
     }
 }
 

@@ -729,11 +729,10 @@ fn fused_lock_validate_produces_same_results() {
 }
 
 /// Acceptance: the batched commit fan-out rings exactly one doorbell
-/// per (txn, destination node) in C.1, C.5 and C.6 — one CAS batch,
-/// one WRITE batch, one unlock batch against node 1 no matter how many
-/// records the txn touches there — while C.2 validation stays blocking
-/// (one doorbell per header read). The legacy path pays one doorbell
-/// per verb across the board.
+/// per (txn, destination node) in C.1, C.2, C.5 and C.6 — one CAS
+/// batch, one header-READ batch, one WRITE batch, one unlock batch
+/// against node 1 no matter how many records the txn touches there.
+/// The legacy path pays one doorbell per verb across the board.
 #[test]
 fn one_doorbell_per_destination_in_commit_fanout() {
     let k = 3u64;
@@ -772,10 +771,8 @@ fn one_doorbell_per_destination_in_commit_fanout() {
     assert_eq!(d.writes, k, "one C.5 line image per record: {d:?}");
     assert_eq!(d.reads, 2 * k, "C.2 reads r_rs + r_ws headers: {d:?}");
     assert_eq!(
-        d.doorbells,
-        d.reads + 3,
-        "blocking C.2 reads plus exactly one doorbell each for C.1, \
-         C.5 and C.6: {d:?}"
+        d.doorbells, 4,
+        "exactly one doorbell each for C.1, C.2, C.5 and C.6: {d:?}"
     );
 
     let d = run_once(false);
@@ -913,4 +910,138 @@ fn dropped_unlock_wr_is_retransmitted() {
     })
     .unwrap();
     assert_eq!(w.stats.aborted, 0, "no stale lock can remain");
+}
+
+// ---------------------------------------------------------------------
+// Read-mostly value cache (DESIGN.md §8).
+// ---------------------------------------------------------------------
+
+fn cached_cluster(n: usize, replicas: usize) -> Arc<DrtmCluster> {
+    let opts = EngineOpts {
+        replicas,
+        region_size: 4 << 20,
+        read_mostly_tables: vec![T_ACCT],
+        ..Default::default()
+    };
+    let c = DrtmCluster::new(n, &schema(), opts);
+    for shard in 0..n {
+        for k in 0..64u64 {
+            c.seed_record(shard, T_ACCT, key(shard, k), &val(100));
+        }
+    }
+    c
+}
+
+/// NIC accounting: a cache hit issues no execution-phase READ at all,
+/// and the C.2 validation that replaces it charges exactly
+/// `HEADER_BYTES` — a partial cache line — instead of the record size.
+#[test]
+fn value_cache_hit_charges_one_header_line() {
+    use drtm_store::HEADER_BYTES;
+    let c = cached_cluster(2, 1);
+    let layout = c.stores[0].table(T_ACCT).layout;
+    assert!(HEADER_BYTES < layout.size(), "savings must be real");
+    let mut w = c.worker(0, 1);
+
+    // Miss: the full record travels (plus location probes).
+    let v = w.run_ro(|t| t.read(1, T_ACCT, key(1, 5))).unwrap();
+    assert_eq!(num(&v), 100);
+
+    // Hit: the only verb of the whole transaction is one header READ.
+    let base = c.fabric.port(1).stats().snapshot();
+    let v = w.run_ro(|t| t.read(1, T_ACCT, key(1, 5))).unwrap();
+    assert_eq!(num(&v), 100);
+    let d = c.fabric.port(1).stats().snapshot().delta(&base);
+    assert_eq!(d.reads, 1, "one C.2 header validation: {d:?}");
+    assert_eq!(d.atomics, 0, "read-only commit takes no locks: {d:?}");
+    assert_eq!(
+        d.bytes, HEADER_BYTES as u64,
+        "validation charges the header line, not the record: {d:?}"
+    );
+
+    let snap = c.obs.scrape();
+    assert_eq!(snap.cache.hits, 1);
+    assert_eq!(snap.cache.misses, 1);
+    assert_eq!(snap.cache.bytes_saved, layout.size() as u64);
+}
+
+/// Serializability: a cached read of a record a remote writer has since
+/// rewritten is always caught by the C.2 header validation — the stale
+/// value is never committed — and the failure invalidates the entry so
+/// the retry refetches.
+#[test]
+fn stale_cached_read_is_caught_at_validation() {
+    let c = cached_cluster(2, 1);
+    let mut w0 = c.worker(0, 1);
+    let v = w0.run_ro(|t| t.read(1, T_ACCT, key(1, 7))).unwrap();
+    assert_eq!(num(&v), 100);
+    assert_eq!(w0.value_cache(1).len(), 1);
+
+    // The home node rewrites the record behind the cache's back.
+    let mut w1 = c.worker(1, 2);
+    w1.run(|t| t.write(1, T_ACCT, key(1, 7), val(200))).unwrap();
+
+    // The stale hit is served during execution but cannot commit.
+    let mut ctx = w0.begin_ro();
+    let stale = ctx.read(1, T_ACCT, key(1, 7)).unwrap();
+    assert_eq!(num(&stale), 100, "execution serves the cached value");
+    assert!(matches!(
+        ctx.commit(),
+        Err(TxnError::Aborted(AbortReason::Validation))
+    ));
+    assert_eq!(w0.value_cache(1).len(), 0, "failed validation invalidates");
+
+    // The retry refetches the fresh value and re-caches it.
+    let v = w0.run_ro(|t| t.read(1, T_ACCT, key(1, 7))).unwrap();
+    assert_eq!(num(&v), 200);
+    assert_eq!(w0.value_cache(1).len(), 1);
+    assert!(c.obs.scrape().cache.invalidations >= 1);
+}
+
+/// C.5 write-through: a transaction that rewrites a record it has
+/// cached refreshes its own entry, so subsequent hits keep validating —
+/// zero invalidations across a read-modify-write loop.
+#[test]
+fn write_through_keeps_own_cache_coherent() {
+    let c = cached_cluster(2, 1);
+    let mut w = c.worker(0, 1);
+    for _ in 0..3 {
+        w.run(|t| {
+            let v = num(&t.read(1, T_ACCT, key(1, 9))?);
+            t.write(1, T_ACCT, key(1, 9), val(v + 1))
+        })
+        .unwrap();
+    }
+    let v = w.run_ro(|t| t.read(1, T_ACCT, key(1, 9))).unwrap();
+    assert_eq!(num(&v), 103);
+    assert_eq!(w.stats.aborted, 0);
+    let snap = c.obs.scrape();
+    assert_eq!(snap.cache.invalidations, 0, "write-through, not refetch");
+    assert!(snap.cache.hits >= 3, "later reads hit: {:?}", snap.cache);
+}
+
+/// Recovery invalidation: a machine death and the reconfiguration that
+/// recovers it bump the configuration epoch; the next transaction prunes
+/// every value-cache entry filled under the old membership — including
+/// all of the dead node's — so re-homed shards never serve stale bytes.
+#[test]
+fn recovery_epoch_bump_drops_cached_entries() {
+    let c = cached_cluster(3, 2);
+    let mut w = c.worker(0, 1);
+    w.run_ro(|t| {
+        t.read(1, T_ACCT, key(1, 3))?;
+        t.read(2, T_ACCT, key(2, 3))
+    })
+    .unwrap();
+    assert_eq!(w.value_cache(1).len(), 1);
+    assert_eq!(w.value_cache(2).len(), 1);
+
+    c.crash(2);
+    recover_node(&c, 2);
+
+    // The next transaction begins under the new epoch and prunes.
+    let v = w.run_ro(|t| t.read(1, T_ACCT, key(1, 3))).unwrap();
+    assert_eq!(num(&v), 100);
+    assert_eq!(w.value_cache(2).len(), 0, "dead node's entries dropped");
+    assert!(c.obs.scrape().cache.invalidations >= 2);
 }

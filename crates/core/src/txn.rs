@@ -13,7 +13,7 @@ use drtm_htm::HtmTxn;
 use drtm_obs::{EventKind, Shard};
 use drtm_rdma::{NodeId, Qp, VerbError};
 use drtm_store::record::{remote_read_consistent, LOCK_FREE};
-use drtm_store::{LocationCache, TableId};
+use drtm_store::{CachedRecord, LocationCache, TableId, ValueCache};
 
 use crate::cluster::DrtmCluster;
 
@@ -121,6 +121,11 @@ pub struct Worker {
     pub(crate) rng: SplitMix64,
     pub(crate) qps: Vec<Qp>,
     pub(crate) caches: Vec<LocationCache>,
+    /// Per-peer value caches of remote read-mostly records (see
+    /// DESIGN.md §8); indexed by home node, like `caches`.
+    pub(crate) value_caches: Vec<ValueCache>,
+    /// Configuration epoch the value caches were last pruned against.
+    pub(crate) cache_epoch: u64,
     /// Commit/abort/latency counters.
     pub stats: WorkerStats,
     /// This worker's shard of the cluster metrics registry.
@@ -148,10 +153,14 @@ pub(crate) struct LocalWrite {
 pub(crate) struct RemoteRead {
     pub node: NodeId,
     pub table: TableId,
+    pub key: u64,
     pub rec_off: usize,
     pub seq: u64,
     pub incarnation: u64,
     pub value: Vec<u8>,
+    /// Served from the worker's value cache with no execution-phase
+    /// READ; a C.2 validation failure invalidates the entry behind it.
+    pub from_cache: bool,
 }
 
 /// A remote write-set entry.
@@ -195,6 +204,7 @@ impl Worker {
         let n = cluster.nodes();
         let qps = (0..n).map(|dst| cluster.fabric.qp(node, dst)).collect();
         let obs = cluster.obs.shard(node);
+        let epoch = cluster.config.epoch();
         Self {
             cluster,
             node,
@@ -202,9 +212,17 @@ impl Worker {
             rng: SplitMix64::new(seed ^ (node as u64) << 32),
             qps,
             caches: (0..n).map(|_| LocationCache::new()).collect(),
+            value_caches: (0..n).map(|_| ValueCache::new()).collect(),
+            cache_epoch: epoch,
             stats: WorkerStats::default(),
             obs,
         }
+    }
+
+    /// Read access to the value cache of records homed on `node`
+    /// (diagnostics and tests; the engine mutates it internally).
+    pub fn value_cache(&self, node: NodeId) -> &ValueCache {
+        &self.value_caches[node]
     }
 
     /// Starts a read-write transaction.
@@ -223,6 +241,21 @@ impl Worker {
         self.clock.advance(cost);
         let start_ns = self.clock.now();
         let start_epoch = self.cluster.config.epoch();
+        // Recovery invalidation: a reconfiguration re-homed some shards,
+        // so cached values filled under the old membership — including
+        // every entry for a machine that just died — must not be served
+        // again (DESIGN.md §8).
+        if self.cluster.opts.value_cache && start_epoch != self.cache_epoch {
+            let mut dropped = 0;
+            for c in &mut self.value_caches {
+                dropped += c.retain_epoch(start_epoch);
+            }
+            self.cache_epoch = start_epoch;
+            if dropped > 0 {
+                self.obs.note_cache_invalidations(dropped);
+                drtm_obs::trace::event(EventKind::Cache, "reconfig", self.node as u64, start_ns);
+            }
+        }
         drtm_obs::trace::event(
             EventKind::TxnBegin,
             if read_only { "ro" } else { "rw" },
@@ -474,15 +507,46 @@ impl<'w> TxnCtx<'w> {
             return Ok(e.buf.clone());
         }
         let cluster = Arc::clone(&self.w.cluster);
-        let rec_off = self.locate_remote(node, table, key)?;
+        // Repeatable read: if already in the read set, return the snapshot.
         if let Some(e) = self
             .r_rs
             .iter()
-            .find(|e| e.node == node && e.table == table && e.rec_off == rec_off)
+            .find(|e| e.node == node && e.table == table && e.key == key)
         {
             return Ok(e.value.clone());
         }
         let layout = cluster.stores[self.w.node].table(table).layout;
+        // Value cache (DESIGN.md §8): a hit serves the record with no
+        // execution-phase verb; the entry is re-validated at C.2 with a
+        // header-only READ.
+        let cacheable = self.value_cacheable(table);
+        if cacheable {
+            if let Some(c) = self.w.value_caches[node].get(table, key) {
+                let (rec_off, seq, incarnation, value) =
+                    (c.rec_off as usize, c.seq, c.incarnation, c.value.clone());
+                self.w.obs.note_cache_hit(layout.size() as u64);
+                drtm_obs::trace::event(
+                    EventKind::Cache,
+                    "hit",
+                    self.w.node as u64,
+                    self.w.clock.now(),
+                );
+                self.charge(cluster.opts.cost.record_logic_ns);
+                self.r_rs.push(RemoteRead {
+                    node,
+                    table,
+                    key,
+                    rec_off,
+                    seq,
+                    incarnation,
+                    value: value.clone(),
+                    from_cache: true,
+                });
+                return Ok(value);
+            }
+            self.w.obs.note_cache_miss();
+        }
+        let rec_off = self.locate_remote(node, table, key)?;
         let w = &mut *self.w;
         let qp = &w.qps[node];
         let cost = &cluster.opts.cost;
@@ -513,14 +577,33 @@ impl<'w> TxnCtx<'w> {
         } else if cluster.opts.use_location_cache {
             self.w.caches[node].put(table, key, rec_off as u64, rr.incarnation);
         }
+        // Fill the value cache from this consistent read. Only unlocked,
+        // committed (even-sequence) snapshots are deposited: an odd
+        // sequence number is visible-but-uncommittable and a locked one
+        // may be mid-rewrite.
+        if cacheable && rr.lock == LOCK_FREE && rr.seq % 2 == 0 {
+            self.w.value_caches[node].put(
+                table,
+                key,
+                CachedRecord {
+                    rec_off: rec_off as u64,
+                    seq: rr.seq,
+                    incarnation: rr.incarnation,
+                    epoch: self.start_epoch,
+                    value: rr.value.clone(),
+                },
+            );
+        }
         let value = rr.value.clone();
         self.r_rs.push(RemoteRead {
             node,
             table,
+            key,
             rec_off,
             seq: rr.seq,
             incarnation: rr.incarnation,
             value: rr.value,
+            from_cache: false,
         });
         Ok(value)
     }
@@ -643,6 +726,12 @@ impl<'w> TxnCtx<'w> {
             Some((key, _)) => Ok(Some((key, self.read_local(table, key)?))),
             None => Ok(None),
         }
+    }
+
+    /// Whether `table`'s remote records go through the value cache.
+    pub(crate) fn value_cacheable(&self, table: TableId) -> bool {
+        let opts = &self.w.cluster.opts;
+        opts.value_cache && opts.read_mostly_tables.contains(&table)
     }
 
     fn cached_incarnation(&mut self, node: NodeId, table: TableId, key: u64) -> Option<u64> {

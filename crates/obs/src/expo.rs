@@ -63,6 +63,19 @@ pub fn render_prometheus(s: &Snapshot) -> String {
         );
     }
 
+    out.push_str("# TYPE drtm_cache_hit_total counter\n");
+    let _ = writeln!(out, "drtm_cache_hit_total {}", s.cache.hits);
+    out.push_str("# TYPE drtm_cache_miss_total counter\n");
+    let _ = writeln!(out, "drtm_cache_miss_total {}", s.cache.misses);
+    out.push_str("# TYPE drtm_cache_invalidation_total counter\n");
+    let _ = writeln!(
+        out,
+        "drtm_cache_invalidation_total {}",
+        s.cache.invalidations
+    );
+    out.push_str("# TYPE drtm_cache_bytes_saved_total counter\n");
+    let _ = writeln!(out, "drtm_cache_bytes_saved_total {}", s.cache.bytes_saved);
+
     out.push_str("# TYPE drtm_nic_verbs_total counter\n");
     for row in &s.nic {
         let _ = writeln!(
@@ -135,6 +148,11 @@ pub fn render_json(s: &Snapshot) -> String {
         }
         let _ = write!(out, "\"{class}\":{n}");
     }
+    let _ = write!(
+        out,
+        "}},\"cache\":{{\"hits\":{},\"misses\":{},\"invalidations\":{},\"bytes_saved\":{}",
+        s.cache.hits, s.cache.misses, s.cache.invalidations, s.cache.bytes_saved
+    );
     out.push_str("},\"nic\":[");
     for (i, row) in s.nic.iter().enumerate() {
         if i > 0 {
@@ -231,6 +249,18 @@ pub fn render_text(s: &Snapshot) -> String {
             }
         }
     }
+    let lookups = s.cache.hits + s.cache.misses;
+    if lookups > 0 || s.cache.invalidations > 0 {
+        let _ = writeln!(
+            out,
+            "value cache: {} hits, {} misses ({:.1}% hit rate), {} invalidated, {:.1} KB saved",
+            s.cache.hits,
+            s.cache.misses,
+            s.cache.hit_rate() * 100.0,
+            s.cache.invalidations,
+            s.cache.bytes_saved as f64 / 1_024.0
+        );
+    }
     if !s.nic.is_empty() {
         out.push_str("\nnic verbs (completed):\n");
         let mut nodes: Vec<usize> = s.nic.iter().map(|r| r.node).collect();
@@ -281,6 +311,10 @@ mod tests {
         sh.note_abort(0);
         sh.note_abort(4);
         sh.note_fallback();
+        sh.note_cache_hit(192);
+        sh.note_cache_hit(192);
+        sh.note_cache_miss();
+        sh.note_cache_invalidations(1);
         let mut s = r.scrape();
         s.htm[0].1 = 3;
         s.nic = vec![
@@ -312,6 +346,9 @@ mod tests {
         crate::jsonlint::validate(&out).expect("stats json must parse");
         assert!(out.contains("\"lock_busy\":1"));
         assert!(out.contains("\"conflict\":3"));
+        assert!(out.contains(
+            "\"cache\":{\"hits\":2,\"misses\":1,\"invalidations\":1,\"bytes_saved\":384}"
+        ));
     }
 
     #[test]
@@ -334,6 +371,8 @@ mod tests {
         assert!(out.contains("drtm_commit_phase_ns_count{phase=\"lock\"} 100"));
         assert!(out.contains("drtm_nic_verbs_total{node=\"0\",verb=\"read\"} 12"));
         assert!(out.contains("drtm_machine_alive{node=\"1\"} 0"));
+        assert!(out.contains("drtm_cache_hit_total 2"));
+        assert!(out.contains("drtm_cache_bytes_saved_total 384"));
     }
 
     #[test]
@@ -346,5 +385,12 @@ mod tests {
         assert!(out.contains("conflict"));
         assert!(out.contains("node 0: read=12"));
         assert!(out.contains("DOWN"));
+        assert!(out.contains("value cache: 2 hits, 1 misses"));
+    }
+
+    #[test]
+    fn text_exposition_omits_cache_line_when_unused() {
+        let out = render_text(&Snapshot::empty());
+        assert!(!out.contains("value cache"));
     }
 }

@@ -32,12 +32,14 @@
 //! layer (rdma, htm, cluster, core, chaos, cli, bench) can depend on it
 //! without cycles.
 
+#![deny(missing_docs)]
+
 pub mod expo;
 pub mod jsonlint;
 pub mod registry;
 pub mod trace;
 
-pub use registry::{HistSummary, MachineRow, NicRow, Registry, Shard, Snapshot};
+pub use registry::{CacheStats, HistSummary, MachineRow, NicRow, Registry, Shard, Snapshot};
 pub use trace::{EventKind, TraceEvent, TraceRing};
 
 use std::sync::atomic::{AtomicBool, Ordering};

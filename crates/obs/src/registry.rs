@@ -34,6 +34,16 @@ pub struct Shard {
     pub phases: [Histogram; Phase::COUNT],
     /// Abort attempts by reason, indexed like [`ABORT_REASONS`].
     pub aborts: [Counter; ABORT_REASONS.len()],
+    /// Value-cache hits (remote reads served without a READ verb).
+    pub cache_hits: Counter,
+    /// Value-cache misses (full-record READ issued and deposited).
+    pub cache_misses: Counter,
+    /// Value-cache entries dropped (C.2 validation or incarnation
+    /// failures, plus reconfiguration sweeps).
+    pub cache_invalidations: Counter,
+    /// Wire bytes the value cache avoided reading (full record size per
+    /// hit, minus the header-only validation READ each hit still pays).
+    pub cache_bytes_saved: Counter,
 }
 
 impl Shard {
@@ -47,6 +57,10 @@ impl Shard {
             latency: Histogram::new(),
             phases: std::array::from_fn(|_| Histogram::new()),
             aborts: std::array::from_fn(|_| Counter::new()),
+            cache_hits: Counter::new(),
+            cache_misses: Counter::new(),
+            cache_invalidations: Counter::new(),
+            cache_bytes_saved: Counter::new(),
         }
     }
 
@@ -94,6 +108,32 @@ impl Shard {
     pub fn note_phase(&self, phase: Phase, ns: u64) {
         if enabled() {
             self.phases[phase.index()].record(ns);
+        }
+    }
+
+    /// Records a value-cache hit that avoided reading `bytes_saved`
+    /// wire bytes.
+    #[inline]
+    pub fn note_cache_hit(&self, bytes_saved: u64) {
+        if enabled() {
+            self.cache_hits.inc();
+            self.cache_bytes_saved.add(bytes_saved);
+        }
+    }
+
+    /// Records a value-cache miss.
+    #[inline]
+    pub fn note_cache_miss(&self) {
+        if enabled() {
+            self.cache_misses.inc();
+        }
+    }
+
+    /// Records `n` value-cache entries dropped as stale.
+    #[inline]
+    pub fn note_cache_invalidations(&self, n: u64) {
+        if enabled() {
+            self.cache_invalidations.add(n);
         }
     }
 }
@@ -151,6 +191,10 @@ impl Registry {
             for (i, c) in s.aborts.iter().enumerate() {
                 snap.aborts[i].1 += c.get();
             }
+            snap.cache.hits += s.cache_hits.get();
+            snap.cache.misses += s.cache_misses.get();
+            snap.cache.invalidations += s.cache_invalidations.get();
+            snap.cache.bytes_saved += s.cache_bytes_saved.get();
             match machines.iter_mut().find(|m| m.node == s.node) {
                 Some(m) => {
                     m.committed += s.committed.get();
@@ -191,6 +235,35 @@ impl Registry {
             for c in &s.aborts {
                 c.take();
             }
+            s.cache_hits.take();
+            s.cache_misses.take();
+            s.cache_invalidations.take();
+            s.cache_bytes_saved.take();
+        }
+    }
+}
+
+/// Aggregated value-cache counters (merged across shards at scrape).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Remote reads served from the cache (no READ verb issued).
+    pub hits: u64,
+    /// Remote reads that went to the wire and filled the cache.
+    pub misses: u64,
+    /// Entries dropped as stale (validation, incarnation, recovery).
+    pub invalidations: u64,
+    /// Wire bytes the hits avoided.
+    pub bytes_saved: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; 0 when no lookups were recorded.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
         }
     }
 }
@@ -282,6 +355,8 @@ pub struct Snapshot {
     pub nic_bytes: Vec<(usize, u64)>,
     /// Per-machine rows.
     pub machines: Vec<MachineRow>,
+    /// Value-cache counters (hits, misses, invalidations, bytes saved).
+    pub cache: CacheStats,
 }
 
 impl Snapshot {
@@ -310,6 +385,7 @@ impl Default for Snapshot {
             nic: Vec::new(),
             nic_bytes: Vec::new(),
             machines: Vec::new(),
+            cache: CacheStats::default(),
         }
     }
 }
@@ -351,6 +427,27 @@ mod tests {
         assert_eq!(s.machines[0].committed, 2);
         assert_eq!(s.machines[1].node, 1);
         assert_eq!(s.machines[1].aborted, 2);
+    }
+
+    #[test]
+    fn cache_counters_merge_and_reset() {
+        let r = Registry::new();
+        let a = r.shard(0);
+        let b = r.shard(1);
+        a.note_cache_hit(128);
+        a.note_cache_hit(128);
+        a.note_cache_miss();
+        b.note_cache_invalidations(3);
+        let s = r.scrape();
+        assert_eq!(s.cache.hits, 2);
+        assert_eq!(s.cache.misses, 1);
+        assert_eq!(s.cache.invalidations, 3);
+        assert_eq!(s.cache.bytes_saved, 256);
+        assert!((s.cache.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+        r.reset();
+        let s = r.scrape();
+        assert_eq!(s.cache, CacheStats::default());
+        assert_eq!(s.cache.hit_rate(), 0.0);
     }
 
     #[test]

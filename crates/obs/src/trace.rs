@@ -43,6 +43,8 @@ pub enum EventKind {
     CrashPoint,
     /// A recovery milestone (suspect, reconfig, replay, done).
     Recovery,
+    /// A value-cache event (hit, miss, invalidate, epoch sweep).
+    Cache,
     /// Free-form marker.
     Mark,
 }
@@ -60,6 +62,7 @@ impl EventKind {
             EventKind::LeaseExpire => "lease_expire",
             EventKind::CrashPoint => "crash_point",
             EventKind::Recovery => "recovery",
+            EventKind::Cache => "cache",
             EventKind::Mark => "mark",
         }
     }
@@ -72,6 +75,7 @@ impl EventKind {
             EventKind::LeaseRenew | EventKind::LeaseExpire => "lease",
             EventKind::CrashPoint => "chaos",
             EventKind::Recovery => "recovery",
+            EventKind::Cache => "cache",
             EventKind::Mark => "mark",
         }
     }

@@ -493,15 +493,27 @@ pub struct Fabric {
 pub const DEFAULT_SQ_DEPTH: usize = 128;
 
 /// Fluent construction of a [`Fabric`]: regions, cost model, atomicity
-/// level, fault injector and queue depths in one step, replacing the
-/// positional `Fabric::new(..)` + `set_injector` two-step.
+/// level, fault injector and queue depths in one step.
 ///
-/// ```ignore
+/// Exactly one of [`regions`](Self::regions) or
+/// [`fresh_regions`](Self::fresh_regions) is required (a fabric with no
+/// ports is legal but useless); everything else is optional —
+/// [`cost`](Self::cost) defaults to [`CostModel::default`],
+/// [`atomic_level`](Self::atomic_level) to [`AtomicLevel::Hca`] (the
+/// paper's ConnectX-3), [`injector`](Self::injector) to a reliable
+/// fabric, and [`sq_depth`](Self::sq_depth) to [`DEFAULT_SQ_DEPTH`].
+///
+/// ```
+/// use drtm_base::CostModel;
+/// use drtm_rdma::{AtomicLevel, Fabric};
+///
 /// let fabric = Fabric::builder()
-///     .fresh_regions(3, 1 << 20)
-///     .cost(CostModel::default())
-///     .atomic_level(AtomicLevel::Glob)
+///     .fresh_regions(3, 1 << 20)       // required: one region per node
+///     .cost(CostModel::default())      // optional
+///     .atomic_level(AtomicLevel::Glob) // optional, default Hca
+///     .sq_depth(64)                    // optional, default 128
 ///     .build();
+/// assert_eq!(fabric.nodes(), 3);
 /// ```
 pub struct FabricBuilder {
     regions: Vec<Arc<MemoryRegion>>,
@@ -589,24 +601,6 @@ impl Fabric {
     /// Starts building a fabric; see [`FabricBuilder`].
     pub fn builder() -> FabricBuilder {
         FabricBuilder::default()
-    }
-
-    /// Builds a fabric over the given per-node regions.
-    #[deprecated(note = "use `Fabric::builder()` instead")]
-    pub fn new(regions: Vec<Arc<MemoryRegion>>, cost: CostModel) -> Self {
-        let bw = cost.nic_bytes_per_sec;
-        let ops = cost.nic_ops_per_sec;
-        Self {
-            ports: regions
-                .into_iter()
-                .map(|r| NodePort::new(r, bw, ops))
-                .collect(),
-            cost,
-            atomic_level: AtomicLevel::Hca,
-            injector: RwLock::new(None),
-            sq_depth: DEFAULT_SQ_DEPTH,
-            next_batch: AtomicU64::new(1),
-        }
     }
 
     /// Number of nodes on the fabric.

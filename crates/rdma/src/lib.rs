@@ -40,6 +40,8 @@
 //! endpoints' [`drtm_base::LinkBudget`]s, which is how the NIC-bandwidth
 //! bottleneck of the paper's replication experiments emerges.
 
+#![deny(missing_docs)]
+
 mod fabric;
 
 pub use fabric::{

@@ -25,15 +25,23 @@
 //!   the same schema in the same order, so table directories land at
 //!   identical offsets on every node and remote nodes can probe a peer's
 //!   hash tables without any metadata exchange.
+//! * [`value_cache`] — a client-side cache of remote read-mostly record
+//!   *values*, validated at commit with header-only READs; the natural
+//!   extension of the location cache once a table is declared
+//!   read-mostly.
+
+#![deny(missing_docs)]
 
 pub mod alloc;
 pub mod btree;
 pub mod catalog;
 pub mod hashtable;
 pub mod record;
+pub mod value_cache;
 
 pub use alloc::Allocator;
 pub use btree::BTree;
 pub use catalog::{Store, TableId, TableKind, TableSpec, CONTROL_LINE_OFF};
 pub use hashtable::{HashTable, LocationCache};
-pub use record::{lock_owner, lock_word, RecordLayout, RecordRef, LOCK_FREE};
+pub use record::{lock_owner, lock_word, RecordLayout, RecordRef, HEADER_BYTES, LOCK_FREE};
+pub use value_cache::{CachedRecord, ValueCache};

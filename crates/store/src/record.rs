@@ -37,6 +37,16 @@ pub const LOCK_OFF: usize = 0;
 pub const INCARNATION_OFF: usize = 8;
 /// Byte offset of the sequence-number word within a record.
 pub const SEQ_OFF: usize = 16;
+/// Bytes of the record header: lock word, incarnation and sequence
+/// number, contiguous at the start of line 0.
+///
+/// A validation-only remote READ of this many bytes at the record base
+/// observes everything C.2 needs — lock state, incarnation and current
+/// sequence number — without re-fetching the value, which is what makes
+/// header-only validation of cached read-mostly records cheap (one
+/// partial cache line on the wire instead of [`RecordLayout::size`]).
+pub const HEADER_BYTES: usize = 24;
+
 /// Value bytes carried by the first line.
 const FIRST_LINE_VALUE: usize = CACHE_LINE - 24;
 /// Value bytes carried by each subsequent line (after its version slot).
@@ -287,6 +297,42 @@ impl<'a> RecordRef<'a> {
     }
 }
 
+/// The header words of a record as observed by a one-sided READ of
+/// [`HEADER_BYTES`] at the record base (the C.2 validation wire format
+/// for value-cached records).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordHeader {
+    /// Lock word as observed (read-only validation rejects a locked
+    /// record; read-write validation ignores the lock — the validator
+    /// itself holds it).
+    pub lock: u64,
+    /// Incarnation as observed.
+    pub incarnation: u64,
+    /// Current sequence number.
+    pub seq: u64,
+}
+
+impl RecordHeader {
+    /// Decodes a header from the first [`HEADER_BYTES`] bytes of a
+    /// record image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `img` is shorter than [`HEADER_BYTES`].
+    pub fn parse(img: &[u8]) -> Self {
+        assert!(img.len() >= HEADER_BYTES, "header image too short");
+        Self {
+            lock: u64::from_le_bytes(img[LOCK_OFF..LOCK_OFF + 8].try_into().unwrap()),
+            incarnation: u64::from_le_bytes(
+                img[INCARNATION_OFF..INCARNATION_OFF + 8]
+                    .try_into()
+                    .unwrap(),
+            ),
+            seq: u64::from_le_bytes(img[SEQ_OFF..SEQ_OFF + 8].try_into().unwrap()),
+        }
+    }
+}
+
 /// Result of a consistent remote read.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RemoteRecord {
@@ -320,7 +366,7 @@ fn same_generation(line_version: u64, seq: u64) -> bool {
 ///
 /// Issues one-sided READs of the whole record and accepts the result once
 /// every later line's 16-bit version matches the sequence number's
-/// generation (see [`same_generation`]); retries up to `max_retries`
+/// generation (see `same_generation`); retries up to `max_retries`
 /// times otherwise (the record was mid-update). Returns `None` if no
 /// consistent snapshot was obtained.
 ///
@@ -363,6 +409,20 @@ pub fn remote_read_consistent(
         }
     }
     None
+}
+
+/// Reads just the record header — lock, incarnation, sequence number —
+/// over RDMA with one blocking [`HEADER_BYTES`]-byte READ at `base`.
+///
+/// This is the C.2 validation read for value-cached records: the three
+/// header words live on one cache line, so the READ is single-line
+/// atomic and needs no version matching. Batched committers post the
+/// equivalent `WorkRequest::Read { raddr: base, len: HEADER_BYTES }`
+/// themselves and decode with [`RecordHeader::parse`].
+pub fn remote_read_header(qp: &Qp, clock: &mut VClock, base: usize) -> RecordHeader {
+    let mut img = [0u8; HEADER_BYTES];
+    qp.read(clock, base, &mut img);
+    RecordHeader::parse(&img)
 }
 
 /// Writes a record's value + versions + sequence number over RDMA while
@@ -559,6 +619,29 @@ mod tests {
             .expect("made-up record must be readable");
         assert_eq!(got.seq, 4);
         assert_eq!(got.value, vec![9u8; 64]);
+    }
+
+    #[test]
+    fn header_read_observes_lock_incarnation_seq_in_one_line() {
+        let f = two_node_fabric();
+        let layout = RecordLayout::new(180);
+        let region = f.port(1).region();
+        let rec = RecordRef::new(region, 512, layout);
+        rec.init(&[3u8; 180], 6, 2);
+        region.store64_coherent(512 + LOCK_OFF, lock_word(1));
+
+        let qp = f.qp(0, 1);
+        let mut clock = VClock::new();
+        let before = f.port(1).stats().snapshot();
+        let h = remote_read_header(&qp, &mut clock, 512);
+        assert_eq!(h.lock, lock_word(1));
+        assert_eq!(h.incarnation, 2);
+        assert_eq!(h.seq, 6);
+        // The wire carries only the header, not the record.
+        let d = f.port(1).stats().delta(&before);
+        assert_eq!(d.reads, 1);
+        assert_eq!(d.bytes, HEADER_BYTES as u64);
+        assert!(HEADER_BYTES < layout.size());
     }
 
     #[test]

@@ -64,6 +64,12 @@ pub struct RunCfg {
     /// selects the legacy path) so A/B sweeps can toggle it without a
     /// flag on every binary.
     pub batched_verbs: bool,
+    /// Disable the read-mostly value cache (A/B baseline). The cache
+    /// only engages on tables the workload marks read-mostly (YCSB's KV
+    /// table on read-heavy mixes, TPC-C's `ITEM`); with this set those
+    /// reads pay the full-record READ every time. Defaults from
+    /// `DRTM_VALUE_CACHE` (`off` disables).
+    pub no_value_cache: bool,
 }
 
 /// Reads the `DRTM_VERB_PATH` environment toggle: `blocking` (legacy
@@ -74,6 +80,17 @@ pub fn verb_path_from_env() -> bool {
         Ok(v) if v.eq_ignore_ascii_case("blocking") => false,
         Ok(v) if v.eq_ignore_ascii_case("batched") || v.is_empty() => true,
         Ok(v) => panic!("DRTM_VERB_PATH must be `batched` or `blocking`, got `{v}`"),
+        Err(_) => true,
+    }
+}
+
+/// Reads the `DRTM_VALUE_CACHE` environment toggle: `off` disables the
+/// read-mostly value cache, `on` / unset keeps the default.
+pub fn value_cache_from_env() -> bool {
+    match std::env::var("DRTM_VALUE_CACHE") {
+        Ok(v) if v.eq_ignore_ascii_case("off") => false,
+        Ok(v) if v.eq_ignore_ascii_case("on") || v.is_empty() => true,
+        Ok(v) => panic!("DRTM_VALUE_CACHE must be `on` or `off`, got `{v}`"),
         Err(_) => true,
     }
 }
@@ -91,6 +108,7 @@ impl Default for RunCfg {
             no_location_cache: false,
             msg_locking: false,
             batched_verbs: verb_path_from_env(),
+            no_value_cache: !value_cache_from_env(),
         }
     }
 }
@@ -140,8 +158,10 @@ struct WorkerResult {
     per_type: HashMap<&'static str, (u64, Histogram)>,
 }
 
-/// Builds the engine options for a run.
-fn engine_opts(run: &RunCfg, region_size: usize) -> EngineOpts {
+/// Builds the engine options for a run. `read_mostly_tables` comes from
+/// the workload: each benchmark knows which of its tables are rewritten
+/// rarely enough that caching their values remotely pays off.
+fn engine_opts(run: &RunCfg, region_size: usize, read_mostly_tables: Vec<u32>) -> EngineOpts {
     EngineOpts {
         replicas: run.replicas,
         region_size,
@@ -149,6 +169,8 @@ fn engine_opts(run: &RunCfg, region_size: usize) -> EngineOpts {
         use_location_cache: !run.no_location_cache,
         msg_locking: run.msg_locking,
         batched_verbs: run.batched_verbs,
+        value_cache: !run.no_value_cache,
+        read_mostly_tables,
         ..Default::default()
     }
 }
@@ -156,7 +178,7 @@ fn engine_opts(run: &RunCfg, region_size: usize) -> EngineOpts {
 /// Builds and loads a TPC-C cluster for `run`.
 pub fn build_tpcc(cfg: &TpccCfg, run: &RunCfg) -> (Arc<DrtmCluster>, Option<Arc<CalvinEngine>>) {
     let expected = run.txns_per_worker * run.threads * 2;
-    let opts = engine_opts(run, cfg.region_size(expected));
+    let opts = engine_opts(run, cfg.region_size(expected), cfg.read_mostly_tables());
     let cluster = DrtmCluster::new(cfg.nodes, &cfg.schema(), opts);
     tpcc::load(&cluster, cfg);
     let calvin =
@@ -166,7 +188,8 @@ pub fn build_tpcc(cfg: &TpccCfg, run: &RunCfg) -> (Arc<DrtmCluster>, Option<Arc<
 
 /// Builds and loads a SmallBank cluster for `run`.
 pub fn build_smallbank(cfg: &SbCfg, run: &RunCfg) -> (Arc<DrtmCluster>, Option<Arc<CalvinEngine>>) {
-    let opts = engine_opts(run, cfg.region_size());
+    // SmallBank writes every table it reads; nothing is read-mostly.
+    let opts = engine_opts(run, cfg.region_size(), Vec::new());
     let cluster = DrtmCluster::new(cfg.nodes, &cfg.schema(), opts);
     smallbank::load(&cluster, cfg);
     let calvin =
@@ -353,7 +376,7 @@ fn tpcc_worker(
 
 /// Builds and loads a YCSB cluster for `run`.
 pub fn build_ycsb(cfg: &YcsbCfg, run: &RunCfg) -> (Arc<DrtmCluster>, Option<Arc<CalvinEngine>>) {
-    let opts = engine_opts(run, cfg.region_size());
+    let opts = engine_opts(run, cfg.region_size(), cfg.read_mostly_tables());
     let cluster = DrtmCluster::new(cfg.nodes, &cfg.schema(), opts);
     ycsb::load(&cluster, cfg);
     let calvin =

@@ -97,6 +97,19 @@ impl YcsbCfg {
     pub fn key(&self, shard: usize, r: u64) -> u64 {
         (shard as u64) << 40 | r
     }
+
+    /// Tables worth caching node-locally (DESIGN.md §8): the KV table
+    /// qualifies only on read-heavy mixes (B, C), where a cached value
+    /// survives many hits before a writer invalidates it. On write-heavy
+    /// mixes the cache would churn — filled, invalidated at C.2, refilled
+    /// — for no byte savings.
+    pub fn read_mostly_tables(&self) -> Vec<u32> {
+        if self.mix.read_ratio() >= 0.9 {
+            vec![T_KV]
+        } else {
+            Vec::new()
+        }
+    }
 }
 
 /// A zipfian sampler over `[0, n)` (Gray et al., as used by YCSB).

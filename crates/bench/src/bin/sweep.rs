@@ -2,22 +2,29 @@
 //! replicas, cross-probability) grid point from the command line.
 //!
 //! ```text
-//! sweep [tpcc|smallbank] [--engine drtm+r|drtm|calvin|silo]
+//! sweep [tpcc|smallbank|ycsb] [--engine drtm+r|drtm|calvin|silo]
 //!       [--nodes N] [--threads T] [--replicas R] [--cross P]
-//!       [--txns N] [--full] [--msg-locking] [--no-cache] [--fuse]
-//!       [--legacy-verbs] [--no-value-cache] [--raw]
+//!       [--txns N] [--routines R] [--full] [--msg-locking] [--no-cache]
+//!       [--fuse] [--legacy-verbs] [--no-value-cache] [--raw]
+//!       [--json FILE]
 //! ```
 //!
 //! Prints one tab-separated result row (plus a header), so shell loops
 //! can build arbitrary grids beyond the paper's figures. With `--raw`
 //! only the aggregate throughput (txn/s, bare float) is printed — the
 //! machine-comparable form the CI observability-overhead check diffs
-//! between obs-enabled and obs-disabled builds, and the batched-verbs
-//! A/B check diffs between `--legacy-verbs` (or `DRTM_VERB_PATH=
-//! blocking`) and the batched default.
+//! between obs-enabled and obs-disabled builds, the batched-verbs A/B
+//! check diffs between `--legacy-verbs` (or `DRTM_VERB_PATH=blocking`)
+//! and the batched default, and the pipeline A/B diffs between
+//! `--routines 1` and `--routines 8`. With `--json FILE` a one-object
+//! summary (`workload`, `throughput`, `abort_rate`, `p50`, `p99`,
+//! `nic_bytes_per_txn`) is also written to `FILE` for artifact upload.
 
-use drtm_bench::{fmt_tps, sb_cfg, tpcc_cfg, Scale};
-use drtm_workloads::driver::{run_smallbank, run_tpcc, EngineKind, RunCfg};
+use drtm_bench::{fmt_tps, sb_cfg, tpcc_cfg, ycsb_cfg, Scale};
+use drtm_workloads::driver::{
+    build_smallbank, build_tpcc, build_ycsb, run_smallbank_on, run_tpcc_on, run_ycsb_on,
+    EngineKind, Measurement, RunCfg,
+};
 
 fn parse_engine(s: &str) -> EngineKind {
     match s {
@@ -32,6 +39,34 @@ fn parse_engine(s: &str) -> EngineKind {
     }
 }
 
+/// Serializes the run summary as one JSON object. Latencies are the
+/// commit-count-weighted overall quantiles across the mix's transaction
+/// types, in virtual microseconds; `nic_bytes_per_txn` divides every
+/// NIC's wire bytes by committed transactions.
+fn json_summary(workload: &str, m: &Measurement, nic_bytes: u64) -> String {
+    let attempts = (m.committed + m.aborted).max(1);
+    let abort_rate = m.aborted as f64 / attempts as f64;
+    let (mut p50, mut p99, mut n) = (0.0f64, 0.0f64, 0u64);
+    for t in m.per_type.values() {
+        p50 += t.p50_us * t.count as f64;
+        p99 += t.p99_us * t.count as f64;
+        n += t.count;
+    }
+    let c = n.max(1) as f64;
+    format!(
+        concat!(
+            "{{\"workload\":\"{}\",\"throughput\":{:.1},\"abort_rate\":{:.4},",
+            "\"p50\":{:.2},\"p99\":{:.2},\"nic_bytes_per_txn\":{:.1}}}\n"
+        ),
+        workload,
+        m.throughput,
+        abort_rate,
+        p50 / c,
+        p99 / c,
+        nic_bytes as f64 / m.committed.max(1) as f64,
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut workload = "tpcc".to_string();
@@ -41,12 +76,14 @@ fn main() {
     let mut replicas = 1usize;
     let mut cross: Option<f64> = None;
     let mut txns = 150usize;
+    let mut routines = 1usize;
     let mut msg_locking = false;
     let mut no_cache = false;
     let mut fuse = false;
     let mut legacy_verbs = false;
     let mut no_value_cache = false;
     let mut raw = false;
+    let mut json: Option<String> = None;
 
     let mut it = args.iter().peekable();
     let grab = |it: &mut std::iter::Peekable<std::slice::Iter<String>>| -> String {
@@ -57,19 +94,21 @@ fn main() {
     };
     while let Some(a) = it.next() {
         match a.as_str() {
-            "tpcc" | "smallbank" => workload = a.clone(),
+            "tpcc" | "smallbank" | "ycsb" => workload = a.clone(),
             "--engine" => engine = parse_engine(&grab(&mut it)),
             "--nodes" => nodes = grab(&mut it).parse().expect("--nodes N"),
             "--threads" => threads = grab(&mut it).parse().expect("--threads T"),
             "--replicas" => replicas = grab(&mut it).parse().expect("--replicas R"),
             "--cross" => cross = Some(grab(&mut it).parse().expect("--cross P")),
             "--txns" => txns = grab(&mut it).parse().expect("--txns N"),
+            "--routines" => routines = grab(&mut it).parse().expect("--routines R"),
             "--msg-locking" => msg_locking = true,
             "--no-cache" => no_cache = true,
             "--fuse" => fuse = true,
             "--legacy-verbs" => legacy_verbs = true,
             "--no-value-cache" => no_value_cache = true,
             "--raw" => raw = true,
+            "--json" => json = Some(grab(&mut it)),
             "--full" => {} // Handled by Scale::from_env.
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -88,6 +127,7 @@ fn main() {
         msg_locking,
         no_location_cache: no_cache,
         fuse_lock_validate: fuse,
+        routines,
         ..Default::default()
     };
     // `..Default::default()` already honours `DRTM_VERB_PATH=blocking` and
@@ -102,16 +142,33 @@ fn main() {
     if !raw {
         println!("workload\tengine\tnodes\tthreads\treplicas\tcross\tthroughput\tnew-order\taborts\tfallbacks");
     }
-    let (m, no) = if workload == "tpcc" {
-        let cfg = tpcc_cfg(scale, nodes, threads);
-        let m = run_tpcc(&cfg, &run);
-        let no = m.tps_of("new-order");
-        (m, no)
-    } else {
-        let cfg = sb_cfg(scale, nodes, cross.unwrap_or(0.01));
-        let m = run_smallbank(&cfg, &run);
-        (m, 0.0)
+    let (m, no, cluster) = match workload.as_str() {
+        "tpcc" => {
+            let cfg = tpcc_cfg(scale, nodes, threads);
+            let (cluster, calvin) = build_tpcc(&cfg, &run);
+            let m = run_tpcc_on(&cfg, &run, &cluster, calvin.as_ref());
+            let no = m.tps_of("new-order");
+            (m, no, cluster)
+        }
+        "smallbank" => {
+            let cfg = sb_cfg(scale, nodes, cross.unwrap_or(0.01));
+            let (cluster, calvin) = build_smallbank(&cfg, &run);
+            let m = run_smallbank_on(&cfg, &run, &cluster, calvin.as_ref());
+            (m, 0.0, cluster)
+        }
+        _ => {
+            let cfg = ycsb_cfg(scale, nodes, cross.unwrap_or(0.05));
+            let (cluster, calvin) = build_ycsb(&cfg, &run);
+            let m = run_ycsb_on(&cfg, &run, &cluster, calvin.as_ref());
+            (m, 0.0, cluster)
+        }
     };
+    if let Some(path) = &json {
+        let snap = drtm_core::scrape_cluster(&cluster);
+        let nic_bytes: u64 = snap.nic_bytes.iter().map(|&(_, b)| b).sum();
+        std::fs::write(path, json_summary(&workload, &m, nic_bytes))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    }
     if raw {
         println!("{:.0}", m.throughput);
         return;

@@ -15,6 +15,7 @@
 use drtm_workloads::driver::{EngineKind, Measurement, RunCfg};
 use drtm_workloads::smallbank::SbCfg;
 use drtm_workloads::tpcc::TpccCfg;
+use drtm_workloads::ycsb::{YcsbCfg, YcsbMix};
 
 /// Experiment scale profile.
 #[derive(Debug, Clone, Copy)]
@@ -63,6 +64,20 @@ pub fn sb_cfg(scale: Scale, nodes: usize, cross_prob: f64) -> SbCfg {
         nodes,
         accounts: scale.pick(100_000, 2_000),
         cross_prob,
+        ..Default::default()
+    }
+}
+
+/// The YCSB configuration used by the figure harnesses: the B mix
+/// (95% reads) with mild skew — the routine-pipelining A/B's workload,
+/// where cross-node READs dominate and verb latency is there to hide.
+pub fn ycsb_cfg(scale: Scale, nodes: usize, cross_prob: f64) -> YcsbCfg {
+    YcsbCfg {
+        nodes,
+        records: scale.pick(100_000, 4_000),
+        theta: 0.6,
+        cross_prob,
+        mix: YcsbMix::B,
         ..Default::default()
     }
 }

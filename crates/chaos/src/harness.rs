@@ -48,6 +48,13 @@ pub struct ChaosRunCfg {
     /// How long to wait for the supervisor to recover every fired
     /// crash before giving up.
     pub await_recoveries: Duration,
+    /// In-flight transaction routines per worker thread (DESIGN.md
+    /// §11). With `routines > 1` each worker multiplexes `R` routines
+    /// through a `RoutinePool`, so injected delays wake routines out of
+    /// posting order and crash points fire at yield boundaries while
+    /// sibling routines are mid-transaction. `1` is the legacy blocking
+    /// path.
+    pub routines: usize,
 }
 
 impl Default for ChaosRunCfg {
@@ -61,6 +68,7 @@ impl Default for ChaosRunCfg {
             replicas: 3,
             supervisor: SupervisorCfg::default(),
             await_recoveries: Duration::from_secs(10),
+            routines: 1,
         }
     }
 }
@@ -148,37 +156,68 @@ pub fn run_smallbank_chaos(cfg: &ChaosRunCfg, plan: FaultPlan) -> ChaosOutcome {
             let cluster = Arc::clone(&cluster);
             let sb = sb.clone();
             let txns = cfg.txns_per_worker;
+            let routines = cfg.routines.max(1);
             let wid = (node * cfg.threads + tid) as u64;
             let seed = injector.plan().seed;
             workers.push(std::thread::spawn(move || {
-                let mut w = cluster.worker(node, seed ^ (wid.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
-                let mut rng = SplitMix64::new(seed.wrapping_add(wid * 7919));
-                let (mut committed, mut aborted, mut crashed) = (0u64, 0u64, false);
-                for _ in 0..txns {
-                    if !cluster.is_alive(node) {
-                        crashed = true;
-                        break;
-                    }
-                    let a = (node, sb.pick_account(&mut rng, node));
-                    let second = sb.pick_second_shard(&mut rng, node);
-                    let b = (second, sb.pick_account(&mut rng, second));
-                    if a == b {
-                        continue;
-                    }
-                    let inp = SbInput {
-                        txn: SbTxn::SendPayment,
-                        a,
-                        b,
-                        amount: rng.range(1, 50),
-                    };
-                    match w.run(|t| smallbank::execute(t, &inp)) {
-                        Ok(()) => committed += 1,
-                        Err(TxnError::Crashed) => {
+                // One routine's share of the worker's load; crashes and
+                // injected faults surface through the usual error paths.
+                let body = |w: &mut drtm_core::txn::Worker,
+                            rng: &mut SplitMix64,
+                            txns: usize|
+                 -> (u64, u64, bool) {
+                    let (mut committed, mut aborted, mut crashed) = (0u64, 0u64, false);
+                    for _ in 0..txns {
+                        if !cluster.is_alive(node) {
                             crashed = true;
                             break;
                         }
-                        Err(_) => aborted += 1,
+                        let a = (node, sb.pick_account(rng, node));
+                        let second = sb.pick_second_shard(rng, node);
+                        let b = (second, sb.pick_account(rng, second));
+                        if a == b {
+                            continue;
+                        }
+                        let inp = SbInput {
+                            txn: SbTxn::SendPayment,
+                            a,
+                            b,
+                            amount: rng.range(1, 50),
+                        };
+                        match w.run(|t| smallbank::execute(t, &inp)) {
+                            Ok(()) => committed += 1,
+                            Err(TxnError::Crashed) => {
+                                crashed = true;
+                                break;
+                            }
+                            Err(_) => aborted += 1,
+                        }
                     }
+                    (committed, aborted, crashed)
+                };
+                if routines == 1 {
+                    let mut w =
+                        cluster.worker(node, seed ^ (wid.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+                    let mut rng = SplitMix64::new(seed.wrapping_add(wid * 7919));
+                    return body(&mut w, &mut rng, txns);
+                }
+                let pool: Vec<drtm_core::txn::Worker> = (0..routines)
+                    .map(|rid| {
+                        let rw = wid * 31 + rid as u64;
+                        cluster.worker(node, seed ^ (rw.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+                    })
+                    .collect();
+                let outs = drtm_core::RoutinePool::run(pool, |rid, w| {
+                    let rw = wid * 31 + rid as u64;
+                    let mut rng = SplitMix64::new(seed.wrapping_add(rw * 7919));
+                    let share = txns / routines + usize::from(rid < txns % routines);
+                    body(w, &mut rng, share)
+                });
+                let (mut committed, mut aborted, mut crashed) = (0u64, 0u64, false);
+                for (_, (c, a, k)) in outs {
+                    committed += c;
+                    aborted += a;
+                    crashed |= k;
                 }
                 (committed, aborted, crashed)
             }));

@@ -177,6 +177,68 @@ fn crashes_between_c4_and_c6_conserve_money() {
 }
 
 #[test]
+fn delayed_verbs_with_routines_conserve() {
+    // Multi-routine workers under heavy injected delays: batches posted
+    // first can complete last, so the scheduler wakes routines out of
+    // posting order. Conservation must not depend on wake order.
+    for routines in [2usize, 4, 8] {
+        let cfg = ChaosRunCfg {
+            cross_prob: 0.5,
+            supervisor: test_supervisor(),
+            txns_per_worker: 120,
+            routines,
+            ..ChaosRunCfg::default()
+        };
+        let plan = FaultPlan::new(0x0DD + routines as u64).delay_everywhere(250, 50_000);
+        let out = run_smallbank_chaos(&cfg, plan);
+        assert!(out.committed > 0, "routines={routines}");
+        assert!(out.faults_injected > 0, "routines={routines}: delays hit");
+        assert_eq!(out.crashes_fired, 0, "routines={routines}");
+        assert!(
+            out.events.is_empty(),
+            "routines={routines}: delays must not look like death"
+        );
+        assert!(
+            out.audit_ok(),
+            "routines={routines}: total {} vs {}, stale locks {}",
+            out.final_total,
+            out.initial_total,
+            out.stale_locks
+        );
+    }
+}
+
+#[test]
+fn crash_at_yield_boundary_with_routines_recovers() {
+    // The victim dies at C.5 — a phase that ends at a yield point, so
+    // sibling routines of the same pool are parked mid-transaction when
+    // the machine vanishes. Recovery and the audit must still hold, and
+    // the surviving pools must drain without deadlock.
+    let cfg = ChaosRunCfg {
+        cross_prob: 0.5,
+        supervisor: test_supervisor(),
+        txns_per_worker: 120,
+        routines: 4,
+        ..ChaosRunCfg::default()
+    };
+    let plan = FaultPlan::new(404)
+        .delay_everywhere(120, 20_000)
+        .crash_at(1, "C.5", 4);
+    let out = run_smallbank_chaos(&cfg, plan);
+    assert_eq!(out.crashes_fired, 1);
+    assert_eq!(out.events.len(), 1, "one lease-driven recovery");
+    assert_eq!(out.events[0].dead, 1);
+    assert!(out.committed > 0, "survivors kept committing");
+    assert!(
+        out.audit_ok(),
+        "total {} vs {}, stale locks {}",
+        out.final_total,
+        out.initial_total,
+        out.stale_locks
+    );
+}
+
+#[test]
 fn traffic_faults_alone_never_trigger_recovery() {
     let cfg = ChaosRunCfg {
         supervisor: test_supervisor(),

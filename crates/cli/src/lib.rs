@@ -75,6 +75,14 @@ pub enum Cmd {
         /// Transactions attempted per worker thread on each side.
         txns: usize,
     },
+    /// `pipeline [txns]` — run a read-heavy cross-machine YCSB-B twice,
+    /// once with one blocking routine per worker and once with 8
+    /// pipelined routines, and report virtual-time throughput, abort
+    /// rate, and the scheduler's latency-hiding ratio.
+    Pipeline {
+        /// Transactions attempted per worker slot on each side.
+        txns: usize,
+    },
     /// `stats [prom|json]`
     Stats {
         /// Output format.
@@ -180,6 +188,10 @@ pub fn parse(line: &str) -> Result<Option<Cmd>, String> {
         ["cache", n] => Cmd::Cache {
             txns: num(n)? as usize,
         },
+        ["pipeline"] => Cmd::Pipeline { txns: 200 },
+        ["pipeline", n] => Cmd::Pipeline {
+            txns: num(n)? as usize,
+        },
         ["stats"] => Cmd::Stats {
             format: StatsFormat::Text,
         },
@@ -239,6 +251,13 @@ commands:
                                NIC bytes and READ verbs per committed
                                transaction, cache hit rate (DESIGN.md
                                section 8)
+  pipeline [txns]              A/B the routine scheduler on a
+                               read-heavy cross-machine YCSB-B run:
+                               1 blocking routine vs 8 pipelined
+                               routines per worker, virtual-time
+                               throughput, abort rate, and the
+                               latency-hiding ratio (DESIGN.md
+                               section 11)
   stats [prom|json]            commit-phase latencies, abort taxonomy,
                                HTM abort classes, NIC counters, and
                                per-machine liveness (default: text)
@@ -585,6 +604,132 @@ pub fn value_cache_ab(txns: usize) -> CacheReport {
     }
 }
 
+/// One side of the `pipeline` A/B.
+#[derive(Debug, Clone)]
+pub struct PipelineSide {
+    /// Routines multiplexed per worker slot on this side.
+    pub routines: usize,
+    /// Committed transactions.
+    pub committed: u64,
+    /// Aborted attempts.
+    pub aborted: u64,
+    /// Cluster virtual-time throughput, txns/sec.
+    pub throughput: f64,
+    /// Total virtual ns routines spent waiting on verb completions.
+    pub wait_ns: u64,
+    /// Portion of the wait overlapped with other routines' CPU work.
+    pub overlap_ns: u64,
+}
+
+impl PipelineSide {
+    /// Aborted attempts per attempt, in `[0, 1]`.
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.committed + self.aborted;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborted as f64 / attempts as f64
+        }
+    }
+
+    /// Fraction of verb wait hidden behind other routines' CPU work.
+    pub fn hiding_ratio(&self) -> f64 {
+        if self.wait_ns == 0 {
+            0.0
+        } else {
+            self.overlap_ns as f64 / self.wait_ns as f64
+        }
+    }
+}
+
+/// Runs the shell's read-heavy YCSB on a fresh cluster with `routines`
+/// in-flight transactions per worker slot and scrapes the pipeline
+/// counters.
+fn measure_pipeline(txns: usize, routines: usize) -> PipelineSide {
+    use drtm_workloads::driver::{build_ycsb, run_ycsb_on, RunCfg};
+    let cfg = shell_ycsb_cfg();
+    let run = RunCfg {
+        threads: 2,
+        txns_per_worker: txns.max(1),
+        routines,
+        ..Default::default()
+    };
+    let (cluster, calvin) = build_ycsb(&cfg, &run);
+    let m = run_ycsb_on(&cfg, &run, &cluster, calvin.as_ref());
+    let snap = drtm_core::scrape_cluster(&cluster);
+    PipelineSide {
+        routines,
+        committed: m.committed,
+        aborted: m.aborted,
+        throughput: m.throughput,
+        wait_ns: snap.pipeline.wait_ns,
+        overlap_ns: snap.pipeline.overlap_ns,
+    }
+}
+
+/// The `pipeline` command's result: the same read-heavy YCSB measured
+/// with 1 blocking routine and 8 pipelined routines per worker slot.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// The blocking baseline (`routines = 1`).
+    pub base: PipelineSide,
+    /// The pipelined side (`routines = 8`).
+    pub piped: PipelineSide,
+}
+
+impl PipelineReport {
+    /// Relative virtual-time throughput gain of the pipelined side
+    /// (0.25 = 25% faster than the blocking baseline).
+    pub fn gain(&self) -> f64 {
+        if self.base.throughput == 0.0 {
+            0.0
+        } else {
+            self.piped.throughput / self.base.throughput - 1.0
+        }
+    }
+
+    /// Renders the human-readable A/B table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "routine-pipelining A/B on read-heavy YCSB-B, 60% cross-machine \
+             ({} committed blocking, {} committed pipelined):\n",
+            self.base.committed, self.piped.committed
+        );
+        out += &format!(
+            "  {:<18} {:>12} {:>12}\n  {:<18} {:>12.0} {:>12.0}\n  \
+             {:<18} {:>11.1}% {:>11.1}%\n  {:<18} {:>11.1}% {:>11.1}%\n",
+            "",
+            format!("{} routine", self.base.routines),
+            format!("{} routines", self.piped.routines),
+            "throughput (tps)",
+            self.base.throughput,
+            self.piped.throughput,
+            "abort rate",
+            self.base.abort_rate() * 100.0,
+            self.piped.abort_rate() * 100.0,
+            "latency hidden",
+            self.base.hiding_ratio() * 100.0,
+            self.piped.hiding_ratio() * 100.0,
+        );
+        out += &format!(
+            "  throughput: {:.0} -> {:.0} tps ({:+.1}% virtual-time gain)",
+            self.base.throughput,
+            self.piped.throughput,
+            self.gain() * 100.0,
+        );
+        out
+    }
+}
+
+/// Measures the read-heavy YCSB with 1 and then 8 routines per worker
+/// slot on fresh clusters.
+pub fn pipeline_ab(txns: usize) -> PipelineReport {
+    PipelineReport {
+        base: measure_pipeline(txns, 1),
+        piped: measure_pipeline(txns, 8),
+    }
+}
+
 fn val(x: u64) -> Vec<u8> {
     let mut v = vec![0u8; VALUE_LEN];
     v[..8].copy_from_slice(&x.to_le_bytes());
@@ -821,6 +966,10 @@ impl Shell {
             Cmd::Cache { txns } => {
                 // Same standalone-A/B shape as `breakdown`.
                 Ok(Some(value_cache_ab(txns.max(1)).render()))
+            }
+            Cmd::Pipeline { txns } => {
+                // Same standalone-A/B shape as `breakdown`.
+                Ok(Some(pipeline_ab(txns.max(1)).render()))
             }
             Cmd::Stats { format } => {
                 let cluster = Arc::clone(self.cluster.as_ref().ok_or("no cluster")?);
@@ -1245,6 +1394,36 @@ mod tests {
         let text = sh.execute(Cmd::Cache { txns: 1 }).unwrap().unwrap();
         assert!(text.contains("NIC bytes per committed txn"), "{text}");
         assert!(text.contains("hit rate"), "{text}");
+    }
+
+    /// The PR's acceptance criterion: on a read-heavy cross-machine
+    /// YCSB-B, 8 pipelined routines per worker slot must deliver at
+    /// least 25% more virtual-time throughput than the blocking
+    /// baseline, with the abort rate within 2x of it, because the
+    /// scheduler overlaps independent routines' verb waits.
+    #[test]
+    fn pipeline_hides_remote_verb_latency() {
+        let report = pipeline_ab(200);
+        assert!(report.base.committed > 0 && report.piped.committed > 0);
+        // The blocking side has one routine, so nothing can overlap.
+        assert_eq!(report.base.overlap_ns, 0, "{report:?}");
+        assert!(
+            report.gain() >= 0.25,
+            "pipelining must gain >= 25%, got {:.1}%: {report:?}",
+            report.gain() * 100.0
+        );
+        assert!(
+            report.piped.abort_rate() <= 2.0 * report.base.abort_rate() + 0.01,
+            "abort rate must stay within 2x: {report:?}"
+        );
+        assert!(
+            report.piped.hiding_ratio() > 0.25,
+            "most of the wait should overlap: {report:?}"
+        );
+        let mut sh = Shell::new();
+        let text = sh.execute(Cmd::Pipeline { txns: 20 }).unwrap().unwrap();
+        assert!(text.contains("virtual-time gain"), "{text}");
+        assert!(text.contains("latency hidden"), "{text}");
     }
 
     #[test]

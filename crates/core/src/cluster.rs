@@ -78,6 +78,15 @@ pub struct EngineOpts {
     /// these tables stay correct — the seqlock validation at C.2 catches
     /// stale cached reads — they just waste cache churn.
     pub read_mostly_tables: Vec<u32>,
+    /// In-flight transaction routines multiplexed per worker thread
+    /// (§7 / DESIGN.md §11). With `1` (the default) a worker runs its
+    /// transactions serially on the literal legacy code path. With `R >
+    /// 1`, drivers run `R` cooperative routines per worker slot through
+    /// [`crate::routine::RoutinePool`]: each routine yields at every
+    /// doorbell instead of spinning on the CQ, so independent routines'
+    /// verb latencies overlap on the simulated NIC while their CPU
+    /// segments stay serialized.
+    pub routines: usize,
 }
 
 impl Default for EngineOpts {
@@ -97,6 +106,7 @@ impl Default for EngineOpts {
             batched_verbs: true,
             value_cache: true,
             read_mostly_tables: Vec::new(),
+            routines: 1,
         }
     }
 }

@@ -28,7 +28,7 @@ use std::sync::Arc;
 
 use drtm_cluster::LogEntry;
 use drtm_htm::RunOutcome;
-use drtm_rdma::{Cq, NodeId, WorkRequest, WrResult};
+use drtm_rdma::{NodeId, WorkRequest, WrResult};
 use drtm_store::record::{
     lock_owner, lock_word, locked_write_wrs, remote_read_consistent, remote_read_header,
     remote_write_locked, RecordHeader, HEADER_BYTES, INCARNATION_OFF, LOCK_FREE, LOCK_OFF, SEQ_OFF,
@@ -176,11 +176,18 @@ impl TxnCtx<'_> {
     fn commit_rw(&mut self) -> Result<(), TxnError> {
         let cluster = Arc::clone(&self.w.cluster);
         let exec_ns = self.w.clock.now().saturating_sub(self.start_ns);
+        let exec_wait = self.w.wait_accum_ns.saturating_sub(self.start_wait_ns);
         let mut mark = self.w.clock.now();
-        let mut lap = |clock: &crate::txn::Worker| -> u64 {
-            let d = clock.clock.now().saturating_sub(mark);
-            mark = clock.clock.now();
-            d
+        let mut wait_mark = self.w.wait_accum_ns;
+        // Each lap yields the phase's span plus how much of it was verb
+        // wait (doorbell to batch horizon) — the wait/occupied split the
+        // pipeline metrics expose.
+        let mut lap = |w: &crate::txn::Worker| -> (u64, u64) {
+            let d = w.clock.now().saturating_sub(mark);
+            mark = w.clock.now();
+            let dw = w.wait_accum_ns.saturating_sub(wait_mark);
+            wait_mark = w.wait_accum_ns;
+            (d, dw)
         };
 
         // C.1: lock remote read + write sets in global order.
@@ -194,7 +201,7 @@ impl TxnCtx<'_> {
             return Err(err);
         }
         self.probe("C.1")?;
-        let lock_ns = lap(self.w);
+        let (lock_ns, lock_wait) = lap(self.w);
 
         // C.2: validate remote reads; learn current sequence numbers for
         // remote writes.
@@ -206,7 +213,7 @@ impl TxnCtx<'_> {
             }
         };
         self.probe("C.2")?;
-        let validate_ns = lap(self.w);
+        let (validate_ns, validate_wait) = lap(self.w);
 
         // Fencing: a transaction must not span a reconfiguration (§5.2).
         // A machine removed from the configuration (falsely suspected,
@@ -242,7 +249,7 @@ impl TxnCtx<'_> {
         // sequence numbers under replication — never reported committed,
         // and recovery rolls them back.
         self.probe("C.4")?;
-        let htm_ns = lap(self.w);
+        let (htm_ns, htm_wait) = lap(self.w);
 
         // R.1: redo records to every written record's backups. The
         // append is fenced: if a recovery pass committed a new
@@ -262,7 +269,7 @@ impl TxnCtx<'_> {
         // A crash here leaves the logs durable on the backups but the
         // local primaries still odd: recovery rolls them *forward*.
         self.probe("R.1")?;
-        let log_ns = lap(self.w);
+        let (log_ns, log_wait) = lap(self.w);
 
         // R.2: makeup — flip local primaries to even (committable).
         if replicated {
@@ -274,7 +281,7 @@ impl TxnCtx<'_> {
             }
         }
         self.probe("R.2")?;
-        let makeup_ns = lap(self.w);
+        let (makeup_ns, makeup_wait) = lap(self.w);
 
         // C.5: write remote primaries. A machine that died mid-step stops
         // issuing WRITEs: its redo entries are durable, so the recovery
@@ -282,7 +289,7 @@ impl TxnCtx<'_> {
         // late write could stomp a *newer* value committed after the
         // sweep healed and released the record.
         self.remote_update(&remote_new_seqs)?;
-        let remote_write_ns = lap(self.w);
+        let (remote_write_ns, remote_write_wait) = lap(self.w);
 
         // Inserts and deletes become visible only now, after validation
         // and logging.
@@ -295,7 +302,7 @@ impl TxnCtx<'_> {
 
         self.unlock_all(&locks);
         self.probe("C.6")?;
-        let unlock_ns = lap(self.w);
+        let (unlock_ns, unlock_wait) = lap(self.w);
 
         // Phase spans of this committed transaction, into the worker's
         // metrics shard (scrape-time aggregation across workers).
@@ -308,6 +315,14 @@ impl TxnCtx<'_> {
         obs.note_phase(Phase::Makeup, makeup_ns);
         obs.note_phase(Phase::Update, remote_write_ns);
         obs.note_phase(Phase::Unlock, unlock_ns);
+        obs.note_phase_wait(Phase::Execute, exec_wait);
+        obs.note_phase_wait(Phase::Lock, lock_wait);
+        obs.note_phase_wait(Phase::Validate, validate_wait);
+        obs.note_phase_wait(Phase::Htm, htm_wait);
+        obs.note_phase_wait(Phase::Log, log_wait);
+        obs.note_phase_wait(Phase::Makeup, makeup_wait);
+        obs.note_phase_wait(Phase::Update, remote_write_wait);
+        obs.note_phase_wait(Phase::Unlock, unlock_wait);
         Ok(())
     }
 
@@ -436,9 +451,8 @@ impl TxnCtx<'_> {
                         new: me,
                     });
                 }
-                let cq = Cq::new();
-                w.qps[node].doorbell(&mut w.clock, &cq);
-                cq.poll(&mut w.clock)
+                // Doorbell + completion wait — a routine yield point.
+                w.finish_batch(node)
             };
             let mut failed: Option<TxnError> = None;
             for (wc, &(_, rec_off)) in wcs.iter().zip(group) {
@@ -543,11 +557,10 @@ impl TxnCtx<'_> {
                         new: LOCK_FREE,
                     });
                 }
-                let cq = Cq::new();
-                w.qps[node].doorbell(&mut w.clock, &cq);
                 // Fire-and-forget: inspect completions without spinning
-                // the clock forward to them.
-                cq.drain()
+                // the clock forward to them (and without yielding — the
+                // transaction already reported committed).
+                w.finish_batch_ff(node)
             };
             for (wc, &(_, rec_off)) in wcs.iter().zip(group) {
                 match &wc.result {
@@ -629,11 +642,11 @@ impl TxnCtx<'_> {
                         data: img.clone(),
                     });
                 }
-                let cq = Cq::new();
-                w.qps[node].doorbell(&mut w.clock, &cq);
                 // C.6 for this node must come strictly after these
-                // completions, so poll (not drain) before returning.
-                cq.poll(&mut w.clock)
+                // completions, so wait (not fire-and-forget) here. A
+                // resumed routine is never scheduled before its batch
+                // horizon, preserving the ordering across a yield.
+                w.finish_batch(node)
             };
             // A dropped line image would leave a torn record under a
             // lock we still hold; nobody can validate it before C.6, so
@@ -702,12 +715,31 @@ impl TxnCtx<'_> {
     /// Fetches the headers of every `(node, rec_off)` in `addrs`,
     /// preserving order. On the batched path all header READs for one
     /// destination node ride a single doorbell (C.2's fan-out shares the
-    /// amortisation C.1/C.5 already enjoy); the ablations fall back to
-    /// one blocking header read per record.
+    /// amortisation C.1/C.5 already enjoy), and *duplicate* addresses —
+    /// a record both read and written appears once for validation and
+    /// once for the sequence peek — are coalesced into one
+    /// [`HEADER_BYTES`]-byte READ serving every occurrence, counted in
+    /// the destination port's `saved` statistic. The ablations fall
+    /// back to one blocking header read per record, uncoalesced.
     fn read_headers(&mut self, addrs: &[(NodeId, usize)]) -> Result<Vec<RecordHeader>, TxnError> {
         let opts = &self.w.cluster.opts;
         if self.batched_verbs() && !opts.fuse_lock_validate {
-            self.read_headers_batched(addrs)
+            let mut uniq: Vec<(NodeId, usize)> = Vec::with_capacity(addrs.len());
+            let mut map: Vec<usize> = Vec::with_capacity(addrs.len());
+            for &a in addrs {
+                match uniq.iter().position(|&u| u == a) {
+                    Some(i) => {
+                        map.push(i);
+                        self.w.cluster.fabric.port(a.0).stats().saved.inc();
+                    }
+                    None => {
+                        map.push(uniq.len());
+                        uniq.push(a);
+                    }
+                }
+            }
+            let hdrs = self.read_headers_batched(&uniq)?;
+            Ok(map.into_iter().map(|i| hdrs[i]).collect())
         } else {
             let mut out = Vec::with_capacity(addrs.len());
             for &(node, rec_off) in addrs {
@@ -752,9 +784,8 @@ impl TxnCtx<'_> {
                         len: HEADER_BYTES,
                     });
                 }
-                let cq = Cq::new();
-                w.qps[node].doorbell(&mut w.clock, &cq);
-                cq.poll(&mut w.clock)
+                // Doorbell + completion wait — a routine yield point.
+                w.finish_batch(node)
             };
             for (wc, &i) in wcs.iter().zip(&idxs) {
                 match &wc.result {
@@ -992,41 +1023,56 @@ impl TxnCtx<'_> {
         primaries.sort_unstable();
         primaries.dedup();
         let me = self.w.node;
-        let clock = &mut self.w.clock;
-        let cost = &cluster.opts.cost;
-        cluster
-            .logs
-            .append_fenced(&cluster.config, self.start_epoch, |logs| {
-                for p in primaries {
-                    let batch: Vec<LogEntry> = entries
-                        .iter()
-                        .filter(|(q, _)| *q == p)
-                        .map(|(_, e)| e.clone())
-                        .collect();
-                    for b in cluster.backups_of(p) {
-                        let src = cluster.fabric.port(me);
-                        let dst = cluster.fabric.port(b);
-                        if batched {
-                            // R.1 rides the work queue too: the whole
-                            // redo batch for this backup is one doorbell
-                            // (charged up front) plus pipelined per-entry
-                            // occupancy, counted on the destination port
-                            // like every other doorbell.
-                            clock.advance(
-                                cost.doorbell_ns + cost.verb_pipeline_ns * (batch.len() as u64 - 1),
-                            );
-                            dst.stats().doorbells.inc();
+        let before = self.w.clock.now();
+        // CPU the appends consume (doorbell charges); everything else in
+        // the span is NIC/NVRAM latency a routine can hide.
+        let mut cpu_ns: u64 = 0;
+        let ok = {
+            let clock = &mut self.w.clock;
+            let cost = &cluster.opts.cost;
+            cluster
+                .logs
+                .append_fenced(&cluster.config, self.start_epoch, |logs| {
+                    for p in primaries {
+                        let batch: Vec<LogEntry> = entries
+                            .iter()
+                            .filter(|(q, _)| *q == p)
+                            .map(|(_, e)| e.clone())
+                            .collect();
+                        for b in cluster.backups_of(p) {
+                            let src = cluster.fabric.port(me);
+                            let dst = cluster.fabric.port(b);
+                            if batched {
+                                // R.1 rides the work queue too: the whole
+                                // redo batch for this backup is one doorbell
+                                // (charged up front) plus pipelined per-entry
+                                // occupancy, counted on the destination port
+                                // like every other doorbell.
+                                let charge = cost.doorbell_ns
+                                    + cost.verb_pipeline_ns * (batch.len() as u64 - 1);
+                                clock.advance(charge);
+                                cpu_ns += charge;
+                                dst.stats().doorbells.inc();
+                            }
+                            logs.append(clock, cost, (src.nic(), dst.nic()), p, b, &batch);
+                            // One WRITE-verb op reservation per log append, on
+                            // both ports (the batch travels as one chained WR).
+                            let now = clock.now();
+                            let o1 = src.nic_ops().reserve(now, 1);
+                            let o2 = dst.nic_ops().reserve(now, 1);
+                            clock.advance_to(o1.max(o2));
                         }
-                        logs.append(clock, cost, (src.nic(), dst.nic()), p, b, &batch);
-                        // One WRITE-verb op reservation per log append, on
-                        // both ports (the batch travels as one chained WR).
-                        let now = clock.now();
-                        let o1 = src.nic_ops().reserve(now, 1);
-                        let o2 = dst.nic_ops().reserve(now, 1);
-                        clock.advance_to(o1.max(o2));
                     }
-                }
-            })
+                })
+        };
+        // One collapsed yield over the appends' total wait: model the
+        // CPU charges as spent up front and the remainder of the span
+        // as hideable latency.
+        let span = self.w.clock.now().saturating_sub(before);
+        let wait = span.saturating_sub(cpu_ns);
+        let release = self.w.clock.now() - wait;
+        self.w.yield_remote_wait(release);
+        ok
     }
 
     /// Undoes this transaction's local writes after a fenced R.1 append.
@@ -1067,6 +1113,9 @@ impl TxnCtx<'_> {
                                 break;
                             }
                             std::thread::yield_now();
+                            // The holder may be a parked routine of this
+                            // worker's own pool: hand it the baton.
+                            self.w.spin_yield();
                         }
                     }
                 }

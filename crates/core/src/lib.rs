@@ -31,6 +31,11 @@
 //! * [`recovery`] — lease-expiry detection, reconfiguration, log replay
 //!   onto a surviving machine, and passive release of dangling locks
 //!   whose owner left the configuration (§5.2).
+//! * [`routine`] — cooperative transaction routines (DESIGN.md §11):
+//!   a worker multiplexes several in-flight transactions, yielding at
+//!   every doorbell instead of spinning on the CQ, so independent
+//!   transactions' verb latencies overlap while their CPU segments stay
+//!   serialized on one simulated core.
 
 #![deny(missing_docs)]
 
@@ -39,12 +44,14 @@ pub mod commit;
 pub mod obs_bridge;
 pub mod recovery;
 pub mod replication;
+pub mod routine;
 pub mod txn;
 
 pub use cluster::{CrashPointHook, DrtmCluster, EngineOpts};
 pub use obs_bridge::scrape_cluster;
 pub use recovery::{full_restart_scrub, recover_node, RecoveryReport};
 pub use replication::BackupStore;
+pub use routine::RoutinePool;
 pub use txn::{AbortReason, TxnCtx, TxnError, Worker, WorkerStats};
 
 /// Validates a read: the current sequence number must be the *closest

@@ -15,12 +15,13 @@ use crate::cluster::DrtmCluster;
 /// Labels for the [`drtm_rdma::NicStats`] counter classes, in the order
 /// [`nic_rows`] emits them. `doorbell` is not a verb (it flushes a batch
 /// of one or more WRs); dividing a node's verb counts by its doorbell
-/// count gives the achieved batching factor.
-pub const NIC_VERBS: [&str; 5] = ["read", "write", "atomic", "send", "doorbell"];
+/// count gives the achieved batching factor. `saved` counts verbs a
+/// client coalesced away (C.2 header-READ dedup) rather than issued.
+pub const NIC_VERBS: [&str; 6] = ["read", "write", "atomic", "send", "doorbell", "saved"];
 
 /// Expands one NIC snapshot into labelled per-class rows for `node`.
-pub fn nic_rows(node: usize, s: &NicSnapshot) -> [NicRow; 5] {
-    let counts = [s.reads, s.writes, s.atomics, s.sends, s.doorbells];
+pub fn nic_rows(node: usize, s: &NicSnapshot) -> [NicRow; 6] {
+    let counts = [s.reads, s.writes, s.atomics, s.sends, s.doorbells, s.saved];
     std::array::from_fn(|i| NicRow {
         node,
         verb: NIC_VERBS[i],
@@ -107,14 +108,17 @@ mod tests {
             atomics: 3,
             sends: 4,
             doorbells: 5,
+            saved: 6,
             bytes: 99,
         };
         let rows = nic_rows(5, &s);
-        assert_eq!(rows.len(), 5);
+        assert_eq!(rows.len(), 6);
         assert_eq!(rows[0].verb, "read");
         assert_eq!(rows[3].count, 4);
         assert_eq!(rows[4].verb, "doorbell");
         assert_eq!(rows[4].count, 5);
+        assert_eq!(rows[5].verb, "saved");
+        assert_eq!(rows[5].count, 6);
         assert!(rows.iter().all(|r| r.node == 5));
     }
 }

@@ -1,0 +1,242 @@
+//! Cooperative transaction routines (DESIGN.md §11).
+//!
+//! A real DrTM+R worker thread hides one-sided verb latency by
+//! multiplexing several in-flight transactions: when one transaction
+//! rings a doorbell and would otherwise spin on the CQ, the worker
+//! switches to another transaction whose completions already arrived.
+//! This module reproduces that coroutine structure over the simulated
+//! fabric without rewriting the commit path as a state machine: each
+//! *routine* is an OS thread owning a full [`Worker`] and running the
+//! unmodified execution/commit code, and a baton scheduler inside
+//! [`RoutinePool`] ensures exactly one routine of a pool executes at a
+//! time.
+//!
+//! # Virtual-time protocol
+//!
+//! The scheduler tracks `cpu_now`, the frontier of CPU time consumed by
+//! the pool. A routine reaching a verb wait has already posted its WRs
+//! and rung the doorbell; it reports
+//!
+//! * `cpu_release` — the instant its doorbell charge ended (the CPU is
+//!   free from here on), and
+//! * `wake` — the batch horizon (the completion time of its last WR).
+//!
+//! The scheduler folds `cpu_release` into `cpu_now`, parks the routine,
+//! and resumes the parked routine with the smallest `wake` (ties broken
+//! by routine id, so schedules are deterministic) at
+//! `resume_at = max(cpu_now, wake)`, advancing `cpu_now` to that point.
+//! CPU segments of different routines therefore never overlap — the
+//! pool models one core — while their NIC waits overlap freely; the
+//! per-QP pipelined occupancy of the fabric remains the serialization
+//! point for the verbs themselves. With a pool of one, `resume_at`
+//! always equals `wake`, which is exactly the clock arithmetic of the
+//! legacy blocking [`drtm_rdma::Cq::poll`] — routines = 1 is
+//! byte-identical to the pre-routine engine.
+//!
+//! The gap `wake - cpu_now` at resume time is CPU idleness nothing
+//! could hide; the rest of the routine's wait was overlapped with other
+//! routines' CPU segments. Both halves feed the worker's
+//! [`drtm_obs::Shard`] so the exposed latency-hiding ratio is exact.
+//!
+//! # Invariants
+//!
+//! * No routine yields while resident in an HTM region — a context
+//!   switch inside `XBEGIN`/`XEND` always aborts real RTM. The C.3/C.4
+//!   commit step runs entirely between yields; every yield primitive
+//!   asserts [`drtm_htm::region_active`] is false.
+//! * A routine spinning on an engine lock must release the baton
+//!   ([`Worker`]'s `spin_yield`): the conflicting holder may be a
+//!   parked routine of the same pool, and only the scheduler can run it.
+
+use std::sync::Arc;
+
+use drtm_base::sync::{Condvar, Mutex};
+use drtm_rdma::Cq;
+
+use crate::txn::Worker;
+
+/// Shared scheduler state, guarded by the scheduler mutex.
+struct SchedState {
+    /// Frontier of CPU time consumed by the pool (one simulated core).
+    cpu_now: u64,
+    /// Parked routines: `(id, wake)` — `wake` is the virtual time the
+    /// routine's pending completions (if any) are done.
+    waiting: Vec<(usize, u64)>,
+    /// The routine currently holding the baton, if any.
+    current: Option<usize>,
+    /// Grant computed for `current` at dispatch: `(resume_at,
+    /// idle_ns)` — the time to advance the routine's clock to, and the
+    /// portion of its wait nothing overlapped.
+    grant: (u64, u64),
+    /// Routines that have parked at least once (startup barrier: no
+    /// dispatch until the whole pool has registered).
+    registered: usize,
+    /// Routines that have not yet finished their job.
+    live: usize,
+}
+
+/// The baton scheduler of one routine pool. See the module docs for
+/// the virtual-time protocol.
+pub(crate) struct Scheduler {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+    total: usize,
+}
+
+impl Scheduler {
+    fn new(total: usize) -> Self {
+        Self {
+            state: Mutex::new(SchedState {
+                cpu_now: 0,
+                waiting: Vec::with_capacity(total),
+                current: None,
+                grant: (0, 0),
+                registered: 0,
+                live: total,
+            }),
+            cv: Condvar::new(),
+            total,
+        }
+    }
+
+    /// Grants the baton to the parked routine with the smallest
+    /// `(wake, id)`, if the baton is free and the pool has fully
+    /// registered. Caller must notify the condvar after.
+    fn dispatch(&self, s: &mut SchedState) {
+        if s.current.is_some() || s.registered < self.total || s.waiting.is_empty() {
+            return;
+        }
+        let mut best = 0;
+        for i in 1..s.waiting.len() {
+            let (bid, bw) = s.waiting[best];
+            let (cid, cw) = s.waiting[i];
+            if (cw, cid) < (bw, bid) {
+                best = i;
+            }
+        }
+        let (id, wake) = s.waiting.swap_remove(best);
+        let idle = wake.saturating_sub(s.cpu_now);
+        let resume_at = s.cpu_now.max(wake);
+        s.cpu_now = resume_at;
+        s.current = Some(id);
+        s.grant = (resume_at, idle);
+    }
+
+    /// First park of routine `id` (startup barrier). Returns the time
+    /// to advance the routine's clock to before running.
+    fn park_initial(&self, id: usize, wake: u64) -> u64 {
+        let mut s = self.state.lock();
+        s.registered += 1;
+        s.waiting.push((id, wake));
+        self.dispatch(&mut s);
+        self.cv.notify_all();
+        while s.current != Some(id) {
+            s = self.cv.wait(s);
+        }
+        s.grant.0
+    }
+
+    /// Parks routine `id` — whose CPU went idle at `cpu_release` and
+    /// whose pending completions land at `wake` — and blocks until the
+    /// baton comes back. Returns `(resume_at, idle_ns)`.
+    pub(crate) fn yield_wait(&self, id: usize, cpu_release: u64, wake: u64) -> (u64, u64) {
+        let mut s = self.state.lock();
+        debug_assert_eq!(s.current, Some(id), "yield without holding the baton");
+        s.cpu_now = s.cpu_now.max(cpu_release);
+        s.current = None;
+        s.waiting.push((id, wake));
+        self.dispatch(&mut s);
+        self.cv.notify_all();
+        while s.current != Some(id) {
+            s = self.cv.wait(s);
+        }
+        s.grant
+    }
+
+    /// Retires routine `id` whose clock ends at `final_clock`, passing
+    /// the baton on.
+    fn finish(&self, id: usize, final_clock: u64) {
+        let mut s = self.state.lock();
+        debug_assert_eq!(s.current, Some(id), "finish without holding the baton");
+        s.cpu_now = s.cpu_now.max(final_clock);
+        s.current = None;
+        s.live -= 1;
+        self.dispatch(&mut s);
+        self.cv.notify_all();
+    }
+}
+
+/// Per-routine control handle carried by a [`Worker`] while it runs
+/// inside a pool. Its presence flips the worker's wait primitives from
+/// the legacy blocking path to tagged doorbells plus scheduler yields.
+pub(crate) struct RoutineCtl {
+    /// This routine's id within its pool (doubles as the CQ cookie).
+    pub(crate) id: usize,
+    /// The pool's baton scheduler.
+    pub(crate) sched: Arc<Scheduler>,
+    /// Pool-shared per-destination CQs: one CQ per peer node, shared by
+    /// every routine of the pool. Batches are tagged with the routine
+    /// id, so one CQ holds interleaved completions of many routines and
+    /// each claims exactly its own with [`Cq::take_batch`].
+    pub(crate) cqs: Arc<Vec<Cq>>,
+}
+
+/// A pool of cooperative transaction routines multiplexed over one
+/// simulated core (DESIGN.md §11).
+///
+/// [`RoutinePool::run`] drives `workers.len()` routines — each an OS
+/// thread owning one of the given [`Worker`]s — through `job`,
+/// serializing their CPU segments under a deterministic baton scheduler
+/// while their verb waits overlap. All workers should live on the same
+/// node (they model one worker thread's in-flight transactions).
+pub struct RoutinePool;
+
+impl RoutinePool {
+    /// Runs `job(routine_id, worker)` on every worker concurrently as
+    /// cooperative routines, returning each worker (clock advanced to
+    /// its routine's end) with its job's result, in routine-id order.
+    ///
+    /// A pool of one is byte-identical to calling `job(0, &mut w)`
+    /// directly: the single routine's every yield resumes immediately
+    /// at its own wake time.
+    pub fn run<T, F>(workers: Vec<Worker>, job: F) -> Vec<(Worker, T)>
+    where
+        F: Fn(usize, &mut Worker) -> T + Sync,
+        T: Send,
+    {
+        let r = workers.len();
+        assert!(r >= 1, "a pool needs at least one routine");
+        let nodes = workers[0].cluster.nodes();
+        let sched = Arc::new(Scheduler::new(r));
+        let cqs: Arc<Vec<Cq>> = Arc::new((0..nodes).map(|_| Cq::new()).collect());
+        let job = &job;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = workers
+                .into_iter()
+                .enumerate()
+                .map(|(id, mut w)| {
+                    let sched = Arc::clone(&sched);
+                    let cqs = Arc::clone(&cqs);
+                    scope.spawn(move || {
+                        w.obs.note_routines(r as u64);
+                        w.routine = Some(RoutineCtl {
+                            id,
+                            sched: Arc::clone(&sched),
+                            cqs,
+                        });
+                        let resume_at = sched.park_initial(id, w.clock.now());
+                        w.clock.advance_to(resume_at);
+                        let out = job(id, &mut w);
+                        w.routine = None;
+                        sched.finish(id, w.clock.now());
+                        (w, out)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("routine panicked"))
+                .collect()
+        })
+    }
+}

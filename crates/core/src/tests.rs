@@ -769,7 +769,11 @@ fn one_doorbell_per_destination_in_commit_fanout() {
     let d = run_once(true);
     assert_eq!(d.atomics, 2 * k, "k lock + k unlock CAS: {d:?}");
     assert_eq!(d.writes, k, "one C.5 line image per record: {d:?}");
-    assert_eq!(d.reads, 2 * k, "C.2 reads r_rs + r_ws headers: {d:?}");
+    // Every record is both read and written, so its C.2 validation and
+    // its sequence peek coalesce into one header READ per record…
+    assert_eq!(d.reads, k, "C.2 dedups r_rs ∩ r_ws headers: {d:?}");
+    // …and the coalesced half is counted, not silently dropped.
+    assert_eq!(d.saved, k, "one saved header READ per overlap: {d:?}");
     assert_eq!(
         d.doorbells, 4,
         "exactly one doorbell each for C.1, C.2, C.5 and C.6: {d:?}"
@@ -777,6 +781,7 @@ fn one_doorbell_per_destination_in_commit_fanout() {
 
     let d = run_once(false);
     assert_eq!(d.atomics, 2 * k);
+    assert_eq!(d.saved, 0, "the blocking path coalesces nothing: {d:?}");
     assert_eq!(
         d.doorbells,
         d.reads + d.writes + d.atomics,
@@ -1044,4 +1049,188 @@ fn recovery_epoch_bump_drops_cached_entries() {
     assert_eq!(num(&v), 100);
     assert_eq!(w.value_cache(2).len(), 0, "dead node's entries dropped");
     assert!(c.obs.scrape().cache.invalidations >= 2);
+}
+
+// ---------------------------------------------------------------------
+// Routine scheduler (DESIGN.md §11)
+// ---------------------------------------------------------------------
+
+/// The workload both arms of the routines=1 identity test run: a mix of
+/// local, remote and replicated read-modify-writes, plus a read-only
+/// audit — every commit-path doorbell site fires at least once.
+fn identity_job(w: &mut crate::txn::Worker, txns: u64) {
+    for i in 0..txns {
+        let k = i % 4;
+        w.run(|t| {
+            let a = num(&t.read(0, T_ACCT, key(0, k))?);
+            let b = num(&t.read(1, T_ACCT, key(1, k))?);
+            t.write(0, T_ACCT, key(0, k), val(a + 1))?;
+            t.write(1, T_ACCT, key(1, k), val(b + 1))
+        })
+        .unwrap();
+        w.run_ro(|t| t.read(1, T_ACCT, key(1, k))).unwrap();
+    }
+}
+
+/// Acceptance: a pool of one routine is *byte-identical* to the legacy
+/// blocking path — same final clock, same commit counts, same per-verb
+/// NIC traffic, same per-phase virtual-time breakdown. Every yield of
+/// the single routine resumes at its own wake time, so the clock
+/// arithmetic collapses to `Cq::poll`'s.
+#[test]
+fn routines_one_matches_legacy_path_exactly() {
+    let build = || {
+        let opts = EngineOpts {
+            replicas: 2,
+            region_size: 4 << 20,
+            ..Default::default()
+        };
+        let c = DrtmCluster::new(2, &schema(), opts);
+        for shard in 0..2 {
+            for k in 0..8u64 {
+                c.seed_record(shard, T_ACCT, key(shard, k), &val(100));
+            }
+        }
+        c
+    };
+
+    // Arm A: plain worker, legacy blocking waits.
+    let ca = build();
+    let mut wa = ca.worker(0, 42);
+    identity_job(&mut wa, 12);
+
+    // Arm B: the same worker seed driven through a pool of one.
+    let cb = build();
+    let wb = cb.worker(0, 42);
+    let mut out = crate::routine::RoutinePool::run(vec![wb], |_, w| identity_job(w, 12));
+    let (wb, ()) = out.remove(0);
+
+    assert_eq!(wa.clock.now(), wb.clock.now(), "identical virtual time");
+    assert_eq!(wa.stats.committed, wb.stats.committed);
+    assert_eq!(wa.stats.aborted, wb.stats.aborted);
+    for node in 0..2 {
+        let a = ca.fabric.port(node).stats().snapshot();
+        let b = cb.fabric.port(node).stats().snapshot();
+        assert_eq!(a, b, "node {node} NIC traffic diverged");
+    }
+    let sa = ca.obs.scrape();
+    let sb = cb.obs.scrape();
+    assert_eq!(sa.phases, sb.phases, "per-phase breakdown diverged");
+    assert_eq!(sa.phase_waits, sb.phase_waits);
+    assert_eq!(sa.pipeline.wait_ns, sb.pipeline.wait_ns);
+    // A single routine can never overlap its own waits.
+    assert_eq!(sb.pipeline.overlap_ns, 0);
+    assert_eq!(sb.pipeline.routines, 1);
+}
+
+/// Acceptance: with several routines in flight, verb waits genuinely
+/// overlap — the pool finishes the same conflict-free cross-node work
+/// in materially less virtual time than the routines would take
+/// back-to-back, and the exposed latency-hiding ratio reflects it.
+#[test]
+fn routines_overlap_independent_verb_waits() {
+    const R: usize = 4;
+    const TXNS: u64 = 8;
+    let build = || {
+        let opts = EngineOpts {
+            replicas: 1,
+            region_size: 4 << 20,
+            ..Default::default()
+        };
+        let c = DrtmCluster::new(2, &schema(), opts);
+        for shard in 0..2 {
+            for k in 0..64u64 {
+                c.seed_record(shard, T_ACCT, key(shard, k), &val(100));
+            }
+        }
+        c
+    };
+    // Each routine owns a disjoint key range on the remote node, so no
+    // aborts perturb the comparison.
+    let job = |id: usize, w: &mut crate::txn::Worker| {
+        for i in 0..TXNS {
+            let k = (id as u64) * 8 + (i % 8);
+            w.run(|t| {
+                let v = num(&t.read(1, T_ACCT, key(1, k))?);
+                t.write(1, T_ACCT, key(1, k), val(v + 1))
+            })
+            .unwrap();
+        }
+    };
+
+    // Serial baseline: the same R jobs on R fresh workers, one after
+    // another (sum of their virtual spans).
+    let ca = build();
+    let mut serial_ns = 0u64;
+    for id in 0..R {
+        let mut w = ca.worker(0, 7 + id as u64);
+        job(id, &mut w);
+        serial_ns += w.clock.now();
+    }
+
+    // Pipelined: the same jobs as one pool; wall-clock is the slowest
+    // routine's clock.
+    let cb = build();
+    let workers: Vec<_> = (0..R).map(|id| cb.worker(0, 7 + id as u64)).collect();
+    let done = crate::routine::RoutinePool::run(workers, |id, w| job(id, w));
+    let pipelined_ns = done.iter().map(|(w, _)| w.clock.now()).max().unwrap();
+
+    assert!(
+        (pipelined_ns as f64) < 0.75 * serial_ns as f64,
+        "pipelining hid too little latency: {pipelined_ns} vs serial {serial_ns}"
+    );
+    let snap = cb.obs.scrape();
+    assert_eq!(snap.committed, (R as u64) * TXNS);
+    assert_eq!(snap.pipeline.routines, R as u64);
+    assert!(snap.pipeline.wait_ns > 0);
+    assert!(
+        snap.pipeline.hiding_ratio() > 0.25,
+        "expected real overlap, got {:?}",
+        snap.pipeline
+    );
+    // The work itself still committed correctly.
+    let mut audit = cb.worker(1, 99);
+    for id in 0..R as u64 {
+        for i in 0..8u64.min(TXNS) {
+            let v = audit
+                .run_ro(|t| t.read(1, T_ACCT, key(1, id * 8 + i)))
+                .unwrap();
+            assert_eq!(num(&v), 101, "routine {id} key {i}");
+        }
+    }
+}
+
+/// Conflicting routines of one pool stay live: every routine hammers
+/// the *same* two records, so a routine parked while holding a lock (or
+/// spinning on one) must hand the baton around for anyone to finish.
+#[test]
+fn conflicting_routines_make_progress() {
+    let opts = EngineOpts {
+        replicas: 1,
+        region_size: 4 << 20,
+        ..Default::default()
+    };
+    let c = DrtmCluster::new(2, &schema(), opts);
+    for shard in 0..2 {
+        c.seed_record(shard, T_ACCT, key(shard, 0), &val(1000));
+    }
+    let workers: Vec<_> = (0..4).map(|id| c.worker(0, 100 + id as u64)).collect();
+    let done = crate::routine::RoutinePool::run(workers, |_, w| {
+        for _ in 0..6 {
+            w.run(|t| {
+                let a = num(&t.read(0, T_ACCT, key(0, 0))?);
+                let b = num(&t.read(1, T_ACCT, key(1, 0))?);
+                t.write(0, T_ACCT, key(0, 0), val(a - 1))?;
+                t.write(1, T_ACCT, key(1, 0), val(b + 1))
+            })
+            .unwrap();
+        }
+    });
+    assert_eq!(done.len(), 4);
+    let mut audit = c.worker(1, 99);
+    let a = num(&audit.run_ro(|t| t.read(0, T_ACCT, key(0, 0))).unwrap());
+    let b = num(&audit.run_ro(|t| t.read(1, T_ACCT, key(1, 0))).unwrap());
+    assert_eq!(a, 1000 - 24);
+    assert_eq!(b, 1000 + 24);
+    assert_eq!(a + b, 2000, "transfers conserve under contention");
 }

@@ -11,11 +11,12 @@ use std::sync::Arc;
 use drtm_base::{Histogram, SplitMix64, VClock};
 use drtm_htm::HtmTxn;
 use drtm_obs::{EventKind, Shard};
-use drtm_rdma::{NodeId, Qp, VerbError};
+use drtm_rdma::{Cq, NodeId, Qp, VerbError, WorkCompletion};
 use drtm_store::record::{remote_read_consistent, LOCK_FREE};
 use drtm_store::{CachedRecord, LocationCache, TableId, ValueCache};
 
 use crate::cluster::DrtmCluster;
+use crate::routine::RoutineCtl;
 
 /// Why a transaction could not commit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,6 +131,14 @@ pub struct Worker {
     pub stats: WorkerStats,
     /// This worker's shard of the cluster metrics registry.
     pub obs: Arc<Shard>,
+    /// Cooperative-routine control handle, set while this worker runs
+    /// inside a [`crate::routine::RoutinePool`]. `None` (the default)
+    /// keeps every wait primitive on the legacy blocking path.
+    pub(crate) routine: Option<RoutineCtl>,
+    /// Cumulative virtual ns this worker spent waiting on verb
+    /// completions (doorbell to batch horizon), on either path. The
+    /// commit path laps it for the per-phase wait/occupied split.
+    pub(crate) wait_accum_ns: u64,
 }
 
 /// A local read-set entry.
@@ -185,6 +194,9 @@ pub(crate) struct PendingMutation {
 pub struct TxnCtx<'w> {
     pub(crate) w: &'w mut Worker,
     pub(crate) start_ns: u64,
+    /// The worker's verb-wait accumulator at begin, so commit can
+    /// attribute execution-phase waits to the `Execute` span.
+    pub(crate) start_wait_ns: u64,
     /// Configuration epoch at begin. Commit is fenced against it: a
     /// reconfiguration mid-transaction aborts the transaction rather
     /// than let it validate against (or log towards) a shard whose
@@ -216,7 +228,128 @@ impl Worker {
             cache_epoch: epoch,
             stats: WorkerStats::default(),
             obs,
+            routine: None,
+            wait_accum_ns: 0,
         }
+    }
+
+    /// Rings the doorbell for every WR posted to `node`'s send queue
+    /// and waits for the batch's completions.
+    ///
+    /// Without an active routine this is the legacy blocking sequence —
+    /// a private CQ, one doorbell, one [`Cq::poll`] spinning the clock
+    /// to the batch horizon. Under a routine scheduler the batch is
+    /// tagged with the routine id into the pool's shared per-destination
+    /// CQ and the routine *yields* until the horizon, so other
+    /// routines' CPU segments run inside this one's verb wait. Both
+    /// paths advance the clock to the same instant when the pool has a
+    /// single routine.
+    pub(crate) fn finish_batch(&mut self, node: NodeId) -> Vec<WorkCompletion> {
+        debug_assert!(
+            !drtm_htm::region_active(),
+            "verb waits must never run inside an HTM region"
+        );
+        match &self.routine {
+            None => {
+                let cq = Cq::new();
+                self.qps[node].doorbell(&mut self.clock, &cq);
+                let cpu_release = self.clock.now();
+                let wcs = cq.poll(&mut self.clock);
+                let wait = self.clock.now().saturating_sub(cpu_release);
+                self.wait_accum_ns += wait;
+                self.obs.note_verb_wait(wait, 0);
+                wcs
+            }
+            Some(ctl) => {
+                let (sched, id) = (Arc::clone(&ctl.sched), ctl.id);
+                let cqs = Arc::clone(&ctl.cqs);
+                let batch = self.qps[node].doorbell_tagged(&mut self.clock, &cqs[node], id as u64);
+                let cpu_release = self.clock.now();
+                let wake = cqs[node]
+                    .batch_horizon(batch)
+                    .unwrap_or(cpu_release)
+                    .max(cpu_release);
+                let (resume_at, idle) = sched.yield_wait(id, cpu_release, wake);
+                self.clock.advance_to(resume_at);
+                let wait = wake.saturating_sub(cpu_release);
+                self.wait_accum_ns += wait;
+                self.obs.note_verb_wait(wait, wait.saturating_sub(idle));
+                cqs[node].take_batch(batch)
+            }
+        }
+    }
+
+    /// Fire-and-forget variant of [`Self::finish_batch`] for C.6:
+    /// rings the doorbell and claims the batch's completions without
+    /// waiting for (or advancing the clock to) their completion times —
+    /// unlock WRs are effectively unsignalled, and the results are
+    /// inspected only to retransmit injected drops.
+    pub(crate) fn finish_batch_ff(&mut self, node: NodeId) -> Vec<WorkCompletion> {
+        debug_assert!(
+            !drtm_htm::region_active(),
+            "verb waits must never run inside an HTM region"
+        );
+        match &self.routine {
+            None => {
+                let cq = Cq::new();
+                self.qps[node].doorbell(&mut self.clock, &cq);
+                cq.drain()
+            }
+            Some(ctl) => {
+                let id = ctl.id;
+                let cqs = Arc::clone(&ctl.cqs);
+                let batch = self.qps[node].doorbell_tagged(&mut self.clock, &cqs[node], id as u64);
+                cqs[node].take_batch(batch)
+            }
+        }
+    }
+
+    /// Accounts (and, under a routine scheduler, yields through) a verb
+    /// wait a *blocking* wrapper already spun the clock across:
+    /// `cpu_release` is the instant the CPU went idle — typically right
+    /// after the doorbell charge — and the worker clock now sits at the
+    /// completion horizon. With a single-routine pool the yield resumes
+    /// at the current clock, changing nothing.
+    pub(crate) fn yield_remote_wait(&mut self, cpu_release: u64) {
+        debug_assert!(
+            !drtm_htm::region_active(),
+            "verb waits must never run inside an HTM region"
+        );
+        let wake = self.clock.now();
+        let wait = wake.saturating_sub(cpu_release);
+        if wait == 0 {
+            return;
+        }
+        self.wait_accum_ns += wait;
+        match &self.routine {
+            None => self.obs.note_verb_wait(wait, 0),
+            Some(ctl) => {
+                let (sched, id) = (Arc::clone(&ctl.sched), ctl.id);
+                let (resume_at, idle) = sched.yield_wait(id, wake - wait, wake);
+                self.clock.advance_to(resume_at);
+                self.obs.note_verb_wait(wait, wait.saturating_sub(idle));
+            }
+        }
+    }
+
+    /// Releases the routine baton at a CPU spin-wait (lock backoff and
+    /// retry loops) so a parked routine of the same pool — possibly the
+    /// conflicting lock holder — gets to run; without this a spinner
+    /// holding the baton could starve the pool forever. The clock jumps
+    /// over any CPU time other routines consume meanwhile. A no-op
+    /// without a scheduler.
+    pub(crate) fn spin_yield(&mut self) {
+        debug_assert!(
+            !drtm_htm::region_active(),
+            "yields must never run inside an HTM region"
+        );
+        let Some(ctl) = &self.routine else {
+            return;
+        };
+        let (sched, id) = (Arc::clone(&ctl.sched), ctl.id);
+        let now = self.clock.now();
+        let (resume_at, _) = sched.yield_wait(id, now, now);
+        self.clock.advance_to(resume_at);
     }
 
     /// Read access to the value cache of records homed on `node`
@@ -264,6 +397,7 @@ impl Worker {
         );
         TxnCtx {
             start_ns,
+            start_wait_ns: self.wait_accum_ns,
             start_epoch,
             read_only,
             l_rs: Vec::new(),
@@ -361,11 +495,14 @@ impl Worker {
             }
             // Randomised virtual-time backoff, growing with the attempt;
             // the host-level yield prevents retry storms from starving
-            // the conflicting transaction on an oversubscribed host.
+            // the conflicting transaction on an oversubscribed host, and
+            // the routine yield hands the baton to a parked routine of
+            // the same pool — which may be the conflicting lock holder.
             let cap = 1u64 << (attempt.min(10) as u32 + 7);
             let ns = self.rng.below(cap);
             self.clock.advance(ns);
             std::thread::yield_now();
+            self.spin_yield();
         }
         Err(last)
     }
@@ -421,10 +558,14 @@ impl<'w> TxnCtx<'w> {
                         // Locked by a remote committer: manually abort the
                         // HTM region and retry after a randomised wait.
                         // The real yield lets the (possibly descheduled)
-                        // lock holder run on an oversubscribed host.
+                        // lock holder run on an oversubscribed host; the
+                        // routine yield happens only after the region is
+                        // dropped — never inside it.
+                        drop(htm);
                         let ns = self.w.rng.below(2_000);
                         self.charge(ns);
                         std::thread::yield_now();
+                        self.w.spin_yield();
                         continue;
                     }
                     if htm.commit().is_ok() {
@@ -547,13 +688,19 @@ impl<'w> TxnCtx<'w> {
             self.w.obs.note_cache_miss();
         }
         let rec_off = self.locate_remote(node, table, key)?;
-        let w = &mut *self.w;
-        let qp = &w.qps[node];
-        let cost = &cluster.opts.cost;
-        w.clock.advance(cost.record_logic_ns);
+        let cost = cluster.opts.cost.clone();
+        self.w.clock.advance(cost.record_logic_ns);
         let mut read = None;
         for _ in 0..cluster.opts.remote_read_retries {
-            let Some(rr) = remote_read_consistent(qp, &mut w.clock, rec_off, layout, 0) else {
+            // The CPU is occupied only for the doorbell; the rest of the
+            // blocking read is NIC latency another routine can hide.
+            let before = self.w.clock.now();
+            let rr_opt = {
+                let w = &mut *self.w;
+                remote_read_consistent(&w.qps[node], &mut w.clock, rec_off, layout, 0)
+            };
+            self.w.yield_remote_wait(before + cost.doorbell_ns);
+            let Some(rr) = rr_opt else {
                 continue;
             };
             if self.read_only && rr.lock != LOCK_FREE {
@@ -750,12 +897,17 @@ impl<'w> TxnCtx<'w> {
                 return Ok(loc as usize);
             }
         }
-        let w = &mut *self.w;
-        let qp = &w.qps[node];
-        let store = &cluster.stores[w.node];
-        let loc = store
-            .get_loc_remote(qp, &mut w.clock, table, key)
-            .ok_or(TxnError::NotFound)?;
-        Ok(loc as usize)
+        let before = self.w.clock.now();
+        let loc = {
+            let w = &mut *self.w;
+            let qp = &w.qps[node];
+            let store = &cluster.stores[w.node];
+            store.get_loc_remote(qp, &mut w.clock, table, key)
+        };
+        // The hash probes are blocking READs: yield across their
+        // latency (the doorbell is the only CPU involvement).
+        self.w
+            .yield_remote_wait(before + cluster.opts.cost.doorbell_ns);
+        Ok(loc.ok_or(TxnError::NotFound)? as usize)
     }
 }

@@ -33,10 +33,22 @@
 //! never commit, so this is invisible to correctness), and timing (virtual
 //! time is charged by the layers above, using the line counts this crate
 //! exposes).
+//!
+//! # HTM regions and cooperative routine yields
+//!
+//! Real RTM aborts on *any* ring transition — a context switch inside an
+//! `XBEGIN`/`XEND` window always kills the transaction. The routine
+//! scheduler in `drtm-core` therefore must never suspend a routine while
+//! it is resident in an HTM region: the C.3/C.4 commit step (and every
+//! local HTM read) runs entirely between yields, with all remote verbs
+//! issued either before `XBEGIN` or after `XEND`. This crate tracks
+//! per-thread region residency ([`region_active`]) so yield points can
+//! `debug_assert` the invariant instead of trusting the call graph.
 
 mod txn;
 
 pub use txn::{
+    region_active,
     AbortCode,
     Htm,
     HtmConfig,

@@ -393,3 +393,33 @@ fn eviction_model_off_by_default() {
     });
     assert!(matches!(out, RunOutcome::Committed { .. }));
 }
+
+#[test]
+fn region_residency_is_tracked_across_commit_and_abort() {
+    let region = region();
+    let cfg = HtmConfig::default();
+    assert!(!crate::region_active());
+    // Committed path: resident from begin to commit.
+    let mut t = HtmTxn::begin(&region, &cfg);
+    assert!(crate::region_active());
+    t.write_u64(0, 7).unwrap();
+    t.commit().unwrap();
+    assert!(!crate::region_active(), "XEND leaves the region");
+    // Abort path: dropping a doomed transaction also leaves the region.
+    let mut t = HtmTxn::begin(&region, &cfg);
+    let _ = t.read_u64(0).unwrap();
+    assert!(crate::region_active());
+    drop(t);
+    assert!(!crate::region_active(), "abort leaves the region");
+    // Htm::run never leaks residency past its return.
+    let htm = Htm::default();
+    let mut rng = SplitMix64::new(3);
+    let out = htm.run(&region, &mut rng, |t| {
+        assert!(crate::region_active());
+        let v = t.read_u64(0)?;
+        t.write_u64(0, v + 1)?;
+        Ok(())
+    });
+    assert!(matches!(out, RunOutcome::Committed { .. }));
+    assert!(!crate::region_active());
+}

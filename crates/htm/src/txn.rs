@@ -1,5 +1,6 @@
 //! The RTM transaction engine: read/write tracking, commit, retry policy.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 
 use drtm_base::cacheline::line_range;
@@ -127,6 +128,23 @@ impl HtmStats {
     }
 }
 
+thread_local! {
+    /// Nesting depth of live [`HtmTxn`]s on this thread. RTM supports
+    /// flat nesting, so any positive depth means the thread is resident
+    /// in a hardware transaction.
+    static HTM_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Whether the calling thread is currently inside an HTM region (an
+/// [`HtmTxn`] has begun and neither committed nor been dropped).
+///
+/// A context switch inside an RTM window aborts the transaction on real
+/// hardware, so cooperative schedulers assert this is `false` at every
+/// yield point: no HTM section may span a yield.
+pub fn region_active() -> bool {
+    HTM_DEPTH.with(|d| d.get() > 0)
+}
+
 /// An in-flight hardware transaction over one [`MemoryRegion`].
 ///
 /// Created by [`Htm::run`] (which adds the retry/fallback policy) or
@@ -146,8 +164,11 @@ pub struct HtmTxn<'a> {
 }
 
 impl<'a> HtmTxn<'a> {
-    /// Starts a transaction (`XBEGIN`).
+    /// Starts a transaction (`XBEGIN`). The calling thread is resident in
+    /// an HTM region ([`region_active`] returns `true`) until the handle
+    /// commits or is dropped.
     pub fn begin(region: &'a MemoryRegion, cfg: &'a HtmConfig) -> Self {
+        HTM_DEPTH.with(|d| d.set(d.get() + 1));
         Self {
             region,
             read_set: BTreeMap::new(),
@@ -326,6 +347,15 @@ impl<'a> HtmTxn<'a> {
         for &(line, pre) in held {
             region.release_line_clean(line, pre);
         }
+    }
+}
+
+impl Drop for HtmTxn<'_> {
+    /// Leaves the HTM region: both `XEND` (via [`HtmTxn::commit`], which
+    /// consumes the handle) and every abort path end here, so
+    /// [`region_active`] is exact whatever the outcome.
+    fn drop(&mut self) {
+        HTM_DEPTH.with(|d| d.set(d.get() - 1));
     }
 }
 

@@ -63,6 +63,29 @@ pub fn render_prometheus(s: &Snapshot) -> String {
         );
     }
 
+    out.push_str("# TYPE drtm_commit_phase_wait_ns summary\n");
+    for (phase, h) in &s.phase_waits {
+        prom_summary(
+            &mut out,
+            "drtm_commit_phase_wait_ns",
+            &format!("phase=\"{phase}\""),
+            h,
+        );
+    }
+
+    out.push_str("# TYPE drtm_routines gauge\n");
+    let _ = writeln!(out, "drtm_routines {}", s.pipeline.routines);
+    out.push_str("# TYPE drtm_verb_wait_ns_total counter\n");
+    let _ = writeln!(out, "drtm_verb_wait_ns_total {}", s.pipeline.wait_ns);
+    out.push_str("# TYPE drtm_verb_overlap_ns_total counter\n");
+    let _ = writeln!(out, "drtm_verb_overlap_ns_total {}", s.pipeline.overlap_ns);
+    out.push_str("# TYPE drtm_latency_hiding_ratio gauge\n");
+    let _ = writeln!(
+        out,
+        "drtm_latency_hiding_ratio {:.4}",
+        s.pipeline.hiding_ratio()
+    );
+
     out.push_str("# TYPE drtm_cache_hit_total counter\n");
     let _ = writeln!(out, "drtm_cache_hit_total {}", s.cache.hits);
     out.push_str("# TYPE drtm_cache_miss_total counter\n");
@@ -134,7 +157,23 @@ pub fn render_json(s: &Snapshot) -> String {
         let _ = write!(out, "\"{phase}\":");
         json_summary(&mut out, h);
     }
-    out.push_str("},\"aborts\":{");
+    out.push_str("},\"phase_waits_ns\":{");
+    for (i, (phase, h)) in s.phase_waits.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{phase}\":");
+        json_summary(&mut out, h);
+    }
+    let _ = write!(
+        out,
+        "}},\"pipeline\":{{\"routines\":{},\"wait_ns\":{},\"overlap_ns\":{},\"hiding_ratio\":{:.4}}}",
+        s.pipeline.routines,
+        s.pipeline.wait_ns,
+        s.pipeline.overlap_ns,
+        s.pipeline.hiding_ratio()
+    );
+    out.push_str(",\"aborts\":{");
     for (i, (reason, n)) in s.aborts.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -261,6 +300,16 @@ pub fn render_text(s: &Snapshot) -> String {
             s.cache.bytes_saved as f64 / 1_024.0
         );
     }
+    if s.pipeline.wait_ns > 0 || s.pipeline.routines > 1 {
+        let _ = writeln!(
+            out,
+            "routines: {} in flight, verb wait {:.1} us total, {:.1} us overlapped ({:.1}% hidden)",
+            s.pipeline.routines.max(1),
+            us(s.pipeline.wait_ns),
+            us(s.pipeline.overlap_ns),
+            s.pipeline.hiding_ratio() * 100.0
+        );
+    }
     if !s.nic.is_empty() {
         out.push_str("\nnic verbs (completed):\n");
         let mut nodes: Vec<usize> = s.nic.iter().map(|r| r.node).collect();
@@ -315,6 +364,9 @@ mod tests {
         sh.note_cache_hit(192);
         sh.note_cache_miss();
         sh.note_cache_invalidations(1);
+        sh.note_routines(4);
+        sh.note_verb_wait(1_000, 750);
+        sh.note_phase_wait(Phase::Lock, 150);
         let mut s = r.scrape();
         s.htm[0].1 = 3;
         s.nic = vec![
@@ -349,6 +401,9 @@ mod tests {
         assert!(out.contains(
             "\"cache\":{\"hits\":2,\"misses\":1,\"invalidations\":1,\"bytes_saved\":384}"
         ));
+        assert!(out
+            .contains("\"pipeline\":{\"routines\":4,\"wait_ns\":1000,\"overlap_ns\":750,\"hiding_ratio\":0.7500}"));
+        assert!(out.contains("\"phase_waits_ns\":{"));
     }
 
     #[test]
@@ -373,6 +428,11 @@ mod tests {
         assert!(out.contains("drtm_machine_alive{node=\"1\"} 0"));
         assert!(out.contains("drtm_cache_hit_total 2"));
         assert!(out.contains("drtm_cache_bytes_saved_total 384"));
+        assert!(out.contains("drtm_routines 4"));
+        assert!(out.contains("drtm_verb_wait_ns_total 1000"));
+        assert!(out.contains("drtm_verb_overlap_ns_total 750"));
+        assert!(out.contains("drtm_latency_hiding_ratio 0.7500"));
+        assert!(out.contains("drtm_commit_phase_wait_ns_count{phase=\"lock\"} 1"));
     }
 
     #[test]
@@ -386,6 +446,8 @@ mod tests {
         assert!(out.contains("node 0: read=12"));
         assert!(out.contains("DOWN"));
         assert!(out.contains("value cache: 2 hits, 1 misses"));
+        assert!(out.contains("routines: 4 in flight"));
+        assert!(out.contains("75.0% hidden"));
     }
 
     #[test]

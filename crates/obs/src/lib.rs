@@ -39,7 +39,9 @@ pub mod jsonlint;
 pub mod registry;
 pub mod trace;
 
-pub use registry::{CacheStats, HistSummary, MachineRow, NicRow, Registry, Shard, Snapshot};
+pub use registry::{
+    CacheStats, HistSummary, MachineRow, NicRow, PipelineStats, Registry, Shard, Snapshot,
+};
 pub use trace::{EventKind, TraceEvent, TraceRing};
 
 use std::sync::atomic::{AtomicBool, Ordering};

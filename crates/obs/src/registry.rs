@@ -44,6 +44,21 @@ pub struct Shard {
     /// Wire bytes the value cache avoided reading (full record size per
     /// hit, minus the header-only validation READ each hit still pays).
     pub cache_bytes_saved: Counter,
+    /// In-flight routines this shard's worker multiplexes (1 on the
+    /// legacy blocking path; the pool size under the routine scheduler).
+    /// Scrape reports the *maximum* across shards as the gauge.
+    pub routines: Counter,
+    /// Total virtual ns this shard's routines spent waiting on verb
+    /// completions (doorbell rung → batch horizon).
+    pub verb_wait_ns: Counter,
+    /// Portion of [`Shard::verb_wait_ns`] during which the worker's CPU
+    /// was running *other* routines — latency genuinely hidden by the
+    /// scheduler. `overlap / wait` is the latency-hiding ratio.
+    pub verb_overlap_ns: Counter,
+    /// Per-phase verb-wait portion, virtual ns, indexed by
+    /// [`Phase::index`] — subtract from [`Shard::phases`] for the
+    /// CPU-occupied remainder of each phase.
+    pub phase_waits: [Histogram; Phase::COUNT],
 }
 
 impl Shard {
@@ -61,6 +76,10 @@ impl Shard {
             cache_misses: Counter::new(),
             cache_invalidations: Counter::new(),
             cache_bytes_saved: Counter::new(),
+            routines: Counter::new(),
+            verb_wait_ns: Counter::new(),
+            verb_overlap_ns: Counter::new(),
+            phase_waits: std::array::from_fn(|_| Histogram::new()),
         }
     }
 
@@ -136,6 +155,34 @@ impl Shard {
             self.cache_invalidations.add(n);
         }
     }
+
+    /// Records the number of routines this worker multiplexes. Called
+    /// once at pool attach; the scrape gauge is the max across shards.
+    #[inline]
+    pub fn note_routines(&self, n: u64) {
+        if enabled() {
+            self.routines.add(n);
+        }
+    }
+
+    /// Records one verb wait: `wait_ns` from doorbell to batch horizon,
+    /// of which `overlap_ns` elapsed while other routines held the CPU.
+    #[inline]
+    pub fn note_verb_wait(&self, wait_ns: u64, overlap_ns: u64) {
+        if enabled() {
+            self.verb_wait_ns.add(wait_ns);
+            self.verb_overlap_ns.add(overlap_ns);
+        }
+    }
+
+    /// Records the verb-wait portion of one commit-protocol phase (the
+    /// companion of [`Shard::note_phase`]; occupied = phase − wait).
+    #[inline]
+    pub fn note_phase_wait(&self, phase: Phase, ns: u64) {
+        if enabled() {
+            self.phase_waits[phase.index()].record(ns);
+        }
+    }
 }
 
 /// The per-cluster registry: hands out shards, merges them on scrape.
@@ -177,6 +224,7 @@ impl Registry {
         let shards = self.shards();
         let latency = Histogram::new();
         let phases: [Histogram; Phase::COUNT] = std::array::from_fn(|_| Histogram::new());
+        let phase_waits: [Histogram; Phase::COUNT] = std::array::from_fn(|_| Histogram::new());
         let mut snap = Snapshot::default();
         let mut machines: Vec<MachineRow> = Vec::new();
         for s in &shards {
@@ -188,6 +236,9 @@ impl Registry {
             for (agg, mine) in phases.iter().zip(s.phases.iter()) {
                 agg.merge(mine);
             }
+            for (agg, mine) in phase_waits.iter().zip(s.phase_waits.iter()) {
+                agg.merge(mine);
+            }
             for (i, c) in s.aborts.iter().enumerate() {
                 snap.aborts[i].1 += c.get();
             }
@@ -195,6 +246,9 @@ impl Registry {
             snap.cache.misses += s.cache_misses.get();
             snap.cache.invalidations += s.cache_invalidations.get();
             snap.cache.bytes_saved += s.cache_bytes_saved.get();
+            snap.pipeline.routines = snap.pipeline.routines.max(s.routines.get());
+            snap.pipeline.wait_ns += s.verb_wait_ns.get();
+            snap.pipeline.overlap_ns += s.verb_overlap_ns.get();
             match machines.iter_mut().find(|m| m.node == s.node) {
                 Some(m) => {
                     m.committed += s.committed.get();
@@ -215,6 +269,10 @@ impl Registry {
         snap.phases = Phase::ALL
             .iter()
             .map(|p| (p.name(), HistSummary::of(&phases[p.index()])))
+            .collect();
+        snap.phase_waits = Phase::ALL
+            .iter()
+            .map(|p| (p.name(), HistSummary::of(&phase_waits[p.index()])))
             .collect();
         snap.machines = machines;
         snap
@@ -239,6 +297,12 @@ impl Registry {
             s.cache_misses.take();
             s.cache_invalidations.take();
             s.cache_bytes_saved.take();
+            s.routines.take();
+            s.verb_wait_ns.take();
+            s.verb_overlap_ns.take();
+            for h in &s.phase_waits {
+                h.reset();
+            }
         }
     }
 }
@@ -264,6 +328,33 @@ impl CacheStats {
             0.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Aggregated routine-scheduler counters (merged across shards at
+/// scrape). All zero on the legacy blocking path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// In-flight-routines gauge: the largest pool size any worker
+    /// multiplexes (1 when no scheduler is active).
+    pub routines: u64,
+    /// Total virtual ns spent waiting on verb completions.
+    pub wait_ns: u64,
+    /// Portion of [`PipelineStats::wait_ns`] overlapped with other
+    /// routines' CPU work on the same worker.
+    pub overlap_ns: u64,
+}
+
+impl PipelineStats {
+    /// Latency-hiding ratio in `[0, 1]`: overlapped verb wait over total
+    /// verb wait. 0 when nothing waited (or nothing overlapped —
+    /// notably the whole legacy path and single-routine pools).
+    pub fn hiding_ratio(&self) -> f64 {
+        if self.wait_ns == 0 {
+            0.0
+        } else {
+            self.overlap_ns as f64 / self.wait_ns as f64
         }
     }
 }
@@ -357,6 +448,11 @@ pub struct Snapshot {
     pub machines: Vec<MachineRow>,
     /// Value-cache counters (hits, misses, invalidations, bytes saved).
     pub cache: CacheStats,
+    /// Routine-scheduler counters (pool gauge, verb wait, overlap).
+    pub pipeline: PipelineStats,
+    /// Per-phase verb-wait summaries in [`Phase::ALL`] order; subtract
+    /// from [`Snapshot::phases`] for the CPU-occupied split.
+    pub phase_waits: Vec<(&'static str, HistSummary)>,
 }
 
 impl Snapshot {
@@ -386,6 +482,11 @@ impl Default for Snapshot {
             nic_bytes: Vec::new(),
             machines: Vec::new(),
             cache: CacheStats::default(),
+            pipeline: PipelineStats::default(),
+            phase_waits: Phase::ALL
+                .iter()
+                .map(|p| (p.name(), HistSummary::default()))
+                .collect(),
         }
     }
 }

@@ -199,6 +199,12 @@ pub struct WorkCompletion {
     pub verb: Verb,
     /// Virtual completion time of this WR, ns.
     pub done_ns: u64,
+    /// Caller-chosen completion cookie, set per batch by
+    /// [`Qp::doorbell_tagged`] (0 for untagged doorbells). A scheduler
+    /// multiplexing several routines over one shared CQ tags each
+    /// routine's batches with its routine id, so one poll can route
+    /// completions back to — and wake — many waiters.
+    pub cookie: u64,
     /// Success payload, or the per-WR transport fault.
     pub result: Result<WrResult, VerbError>,
 }
@@ -210,6 +216,19 @@ pub struct WorkCompletion {
 /// completion, i.e. spin until the whole fan-out finished — or
 /// [`drain`](Cq::drain) — collect the completions without waiting, for
 /// fire-and-forget batches (C.6 unlocks) whose latency nobody sits on.
+/// Schedulers multiplexing several routines over one CQ instead use the
+/// non-consuming [`try_poll`](Cq::try_poll) /
+/// [`batch_horizon`](Cq::batch_horizon) / [`take_batch`](Cq::take_batch)
+/// family, which lets one poll wake many waiters without stealing each
+/// other's completions.
+///
+/// **Every WR surfaces exactly once.** A WR dropped by an injected fault
+/// still deposits its completion — carrying
+/// `Err(`[`VerbError::Dropped`]`)` and a `done_ns` that includes the
+/// exhausted retransmission budget — so `poll`/`drain`/`take_batch`
+/// always return one completion per posted WR. Dropped work never
+/// silently vanishes from the CQ; callers detect it from the per-WR
+/// `result`, not from a missing entry.
 #[derive(Debug, Default)]
 pub struct Cq {
     done: Mutex<Vec<WorkCompletion>>,
@@ -238,6 +257,12 @@ impl Cq {
     /// Drains all completions in deposit order, advancing `clock` to the
     /// latest completion time: the caller blocks until every outstanding
     /// WR of every doorbell rung into this CQ has finished.
+    ///
+    /// Completions for WRs dropped by an injected fault are returned
+    /// like any other — exactly once, with `Err(`[`VerbError::Dropped`]`)`
+    /// in [`WorkCompletion::result`] — and their `done_ns` participates
+    /// in the clock advance (the NIC spent the retry budget before
+    /// erroring the WR).
     pub fn poll(&self, clock: &mut VClock) -> Vec<WorkCompletion> {
         let wcs = self.drain();
         if let Some(t) = wcs.iter().map(|w| w.done_ns).max() {
@@ -250,8 +275,68 @@ impl Cq {
     /// per-WR completion times remain available in
     /// [`WorkCompletion::done_ns`]; use this when the protocol retires a
     /// batch asynchronously (the NIC finishes it in the background).
+    /// Dropped-WR completions are included exactly as in
+    /// [`poll`](Cq::poll).
     pub fn drain(&self) -> Vec<WorkCompletion> {
         std::mem::take(&mut *self.done.lock())
+    }
+
+    /// Non-consuming time-gated poll: removes and returns only the
+    /// completions with `done_ns <= now`, leaving later ones queued and
+    /// the caller's clock untouched. This is the scheduler-facing
+    /// primitive — a routine resumed at virtual time `now` collects
+    /// precisely the work that has finished by then, while batches still
+    /// in flight (e.g. chaos-delayed WRs) stay on the CQ for a later
+    /// quantum.
+    pub fn try_poll(&self, now: u64) -> Vec<WorkCompletion> {
+        let mut g = self.done.lock();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < g.len() {
+            if g[i].done_ns <= now {
+                out.push(g.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Latest completion time of anything queued, without consuming it.
+    /// `None` when the CQ is empty.
+    pub fn horizon(&self) -> Option<u64> {
+        self.done.lock().iter().map(|w| w.done_ns).max()
+    }
+
+    /// Latest completion time of the queued completions belonging to
+    /// doorbell `batch`, without consuming them. This is the wake time a
+    /// routine sleeps until after ringing that doorbell.
+    pub fn batch_horizon(&self, batch: u64) -> Option<u64> {
+        self.done
+            .lock()
+            .iter()
+            .filter(|w| w.batch == batch)
+            .map(|w| w.done_ns)
+            .max()
+    }
+
+    /// Removes and returns the completions of doorbell `batch`, in
+    /// deposit order, leaving other batches queued. On a CQ shared by
+    /// several routines this is how each waiter claims exactly its own
+    /// work after the scheduler wakes it; dropped-WR completions are
+    /// returned exactly once like everywhere else.
+    pub fn take_batch(&self, batch: u64) -> Vec<WorkCompletion> {
+        let mut g = self.done.lock();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < g.len() {
+            if g[i].batch == batch {
+                out.push(g.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        out
     }
 }
 
@@ -335,6 +420,11 @@ pub struct NicStats {
     pub doorbells: Counter,
     /// Total payload bytes moved (both directions).
     pub bytes: Counter,
+    /// Verbs toward this node that a client coalesced away instead of
+    /// issuing (e.g. duplicate C.2 header READs deduplicated within one
+    /// validation batch). Never charged to the wire; bumped by the
+    /// protocol layer so saved traffic is auditable.
+    pub saved: Counter,
 }
 
 /// A point-in-time copy of [`NicStats`], diffable with [`NicSnapshot::delta`].
@@ -352,6 +442,8 @@ pub struct NicSnapshot {
     pub doorbells: u64,
     /// Total payload bytes moved.
     pub bytes: u64,
+    /// Verbs coalesced away by clients instead of issued.
+    pub saved: u64,
 }
 
 impl NicSnapshot {
@@ -365,6 +457,7 @@ impl NicSnapshot {
             sends: self.sends.saturating_sub(earlier.sends),
             doorbells: self.doorbells.saturating_sub(earlier.doorbells),
             bytes: self.bytes.saturating_sub(earlier.bytes),
+            saved: self.saved.saturating_sub(earlier.saved),
         }
     }
 
@@ -386,6 +479,7 @@ impl NicStats {
             sends: self.sends.get(),
             doorbells: self.doorbells.get(),
             bytes: self.bytes.get(),
+            saved: self.saved.get(),
         }
     }
 
@@ -653,6 +747,7 @@ impl Fabric {
             p.stats.sends.take();
             p.stats.doorbells.take();
             p.stats.bytes.take();
+            p.stats.saved.take();
         }
     }
 
@@ -763,10 +858,19 @@ impl Qp {
     ///
     /// Returns the fabric-unique batch id, or 0 when nothing was posted.
     pub fn doorbell(&self, clock: &mut VClock, cq: &Cq) -> u64 {
-        self.doorbell_with(clock, cq, DropPolicy::Fail)
+        self.doorbell_tagged(clock, cq, 0)
     }
 
-    fn doorbell_with(&self, clock: &mut VClock, cq: &Cq, policy: DropPolicy) -> u64 {
+    /// [`Qp::doorbell`] with a caller-chosen completion cookie stamped on
+    /// every [`WorkCompletion`] of the batch. Routine schedulers sharing
+    /// one CQ per destination across many in-flight transactions tag each
+    /// batch with the issuing routine's id, so one poll of the shared CQ
+    /// can classify — and wake — many waiters at once.
+    pub fn doorbell_tagged(&self, clock: &mut VClock, cq: &Cq, cookie: u64) -> u64 {
+        self.doorbell_with(clock, cq, DropPolicy::Fail, cookie)
+    }
+
+    fn doorbell_with(&self, clock: &mut VClock, cq: &Cq, policy: DropPolicy, cookie: u64) -> u64 {
         let wrs = std::mem::take(&mut *self.sq.lock());
         if wrs.is_empty() {
             return 0;
@@ -801,6 +905,7 @@ impl Qp {
                 dst: self.dst,
                 verb,
                 done_ns,
+                cookie,
                 result,
             });
         }
@@ -873,7 +978,7 @@ impl Qp {
         );
         self.post(wr);
         let cq = Cq::new();
-        self.doorbell_with(clock, &cq, DropPolicy::Retransmit);
+        self.doorbell_with(clock, &cq, DropPolicy::Retransmit, 0);
         let mut wcs = cq.poll(clock);
         debug_assert_eq!(wcs.len(), 1);
         wcs.pop()
@@ -1246,6 +1351,104 @@ mod unit {
         assert_eq!(f.port(1).region().load64(0), 0x0101010101010101);
         assert_eq!(f.port(1).region().load64(64), 0, "dropped WR has no effect");
         assert_eq!(f.port(1).region().load64(128), 0x0101010101010101);
+    }
+
+    #[test]
+    fn dropped_wr_completion_surfaces_exactly_once() {
+        // The doc contract on `Cq`: a chaos-dropped WR still deposits
+        // one completion carrying the VerbError — it never vanishes and
+        // is never duplicated, whichever consumption API is used.
+        let f = Fabric::builder()
+            .fresh_regions(2, 4096)
+            .injector(Arc::new(DropKth {
+                k: 0,
+                seen: AtomicU64::new(0),
+            }))
+            .build();
+        let qp = f.qp(0, 1);
+        let cq = Cq::new();
+        let mut clock = VClock::new();
+        qp.post(WorkRequest::Write {
+            raddr: 0,
+            data: vec![1u8; 8],
+        });
+        let batch = qp.doorbell(&mut clock, &cq);
+        assert_eq!(cq.len(), 1, "dropped WR still deposits its completion");
+        let wcs = cq.take_batch(batch);
+        assert_eq!(wcs.len(), 1);
+        assert_eq!(wcs[0].result, Err(VerbError::Dropped));
+        assert!(
+            wcs[0].done_ns >= f.cost.msg_ns,
+            "retry budget was spent before erroring"
+        );
+        // Exactly once: nothing left behind for any other consumer.
+        assert!(cq.is_empty());
+        assert!(cq.drain().is_empty());
+        assert!(cq.try_poll(u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn try_poll_is_time_gated_and_non_consuming_of_the_future() {
+        let f = Fabric::builder()
+            .fresh_regions(2, 4096)
+            .injector(Arc::new(DelayReads(50_000)))
+            .build();
+        let qp = f.qp(0, 1);
+        let cq = Cq::new();
+        let mut clock = VClock::new();
+        // A fast WRITE and a chaos-delayed READ in separate batches.
+        qp.post(WorkRequest::Write {
+            raddr: 0,
+            data: vec![2u8; 8],
+        });
+        qp.doorbell(&mut clock, &cq);
+        qp.post(WorkRequest::Read { raddr: 0, len: 8 });
+        qp.doorbell(&mut clock, &cq);
+        let horizon = cq.horizon().expect("two batches queued");
+        assert!(horizon >= 50_000, "delayed READ dominates the horizon");
+        // Poll at a time after the WRITE but before the delayed READ.
+        let early = cq.try_poll(horizon - 1);
+        assert_eq!(early.len(), 1);
+        assert_eq!(early[0].verb, Verb::Write);
+        assert_eq!(cq.len(), 1, "the in-flight READ stays queued");
+        let late = cq.try_poll(horizon);
+        assert_eq!(late.len(), 1);
+        assert_eq!(late[0].verb, Verb::Read);
+        assert!(cq.is_empty());
+    }
+
+    #[test]
+    fn shared_cq_routes_batches_by_cookie_and_id() {
+        // Two "routines" share one CQ toward the same node; each tags
+        // its doorbell with its routine id and later claims exactly its
+        // own batch.
+        let f = fabric(2);
+        let qp = f.qp(0, 1);
+        let cq = Cq::new();
+        let mut clock = VClock::new();
+        qp.post(WorkRequest::Write {
+            raddr: 0,
+            data: vec![3u8; 8],
+        });
+        let b1 = qp.doorbell_tagged(&mut clock, &cq, 1);
+        qp.post(WorkRequest::Write {
+            raddr: 64,
+            data: vec![4u8; 8],
+        });
+        qp.post(WorkRequest::Read { raddr: 64, len: 8 });
+        let b2 = qp.doorbell_tagged(&mut clock, &cq, 2);
+        assert_ne!(b1, b2);
+        assert_eq!(cq.len(), 3);
+        let h2 = cq.batch_horizon(b2).expect("batch 2 queued");
+        assert!(h2 >= cq.batch_horizon(b1).unwrap());
+        let mine = cq.take_batch(b2);
+        assert_eq!(mine.len(), 2);
+        assert!(mine.iter().all(|w| w.cookie == 2 && w.batch == b2));
+        let theirs = cq.take_batch(b1);
+        assert_eq!(theirs.len(), 1);
+        assert_eq!(theirs[0].cookie, 1);
+        assert!(cq.is_empty());
+        assert!(cq.batch_horizon(b1).is_none());
     }
 
     #[test]

@@ -16,9 +16,10 @@ use std::sync::Arc;
 use drtm_base::{Histogram, SplitMix64};
 use drtm_baselines::CalvinEngine;
 use drtm_core::cluster::{DrtmCluster, EngineOpts};
-use drtm_core::txn::TxnError;
+use drtm_core::txn::{TxnError, Worker};
+use drtm_core::RoutinePool;
 
-use crate::engine::EngineWorker;
+use crate::engine::{EngineWorker, TxnApi};
 use crate::smallbank::{self, SbCfg};
 use crate::tpcc::{self, txns, TpccCfg};
 use crate::ycsb::{self, YcsbCfg};
@@ -70,6 +71,15 @@ pub struct RunCfg {
     /// reads pay the full-record READ every time. Defaults from
     /// `DRTM_VALUE_CACHE` (`off` disables).
     pub no_value_cache: bool,
+    /// In-flight transaction routines multiplexed per worker thread
+    /// (DESIGN.md §11). With `routines > 1` each DrTM+R worker slot runs
+    /// `R` cooperative routines through a [`RoutinePool`], splitting its
+    /// transaction budget across them; the slot's virtual time is the
+    /// slowest routine's clock, so verb waits hidden behind other
+    /// routines' CPU work show up directly as throughput. `1` (the
+    /// default) is the unchanged legacy blocking path; baseline engines
+    /// have no routine scheduler and always run as if `routines = 1`.
+    pub routines: usize,
 }
 
 /// Reads the `DRTM_VERB_PATH` environment toggle: `blocking` (legacy
@@ -109,6 +119,7 @@ impl Default for RunCfg {
             msg_locking: false,
             batched_verbs: verb_path_from_env(),
             no_value_cache: !value_cache_from_env(),
+            routines: 1,
         }
     }
 }
@@ -158,6 +169,107 @@ struct WorkerResult {
     per_type: HashMap<&'static str, (u64, Histogram)>,
 }
 
+/// The minimal surface the measurement loops need, so one loop body
+/// serves both the legacy path (an [`EngineWorker`] of any engine) and
+/// the routine-pool path (a raw DrTM+R [`Worker`] driven by the
+/// scheduler).
+trait MeasuredWorker {
+    /// Runs one transaction body to commit or abort.
+    fn exec_txn(
+        &mut self,
+        ro: bool,
+        body: &mut dyn FnMut(&mut dyn TxnApi) -> Result<(), TxnError>,
+    ) -> Result<(), TxnError>;
+    /// The worker's current virtual time.
+    fn vnow(&self) -> u64;
+}
+
+impl MeasuredWorker for EngineWorker {
+    fn exec_txn(
+        &mut self,
+        ro: bool,
+        body: &mut dyn FnMut(&mut dyn TxnApi) -> Result<(), TxnError>,
+    ) -> Result<(), TxnError> {
+        self.exec(ro, |t| body(t))
+    }
+    fn vnow(&self) -> u64 {
+        self.clock_now()
+    }
+}
+
+impl MeasuredWorker for Worker {
+    fn exec_txn(
+        &mut self,
+        ro: bool,
+        body: &mut dyn FnMut(&mut dyn TxnApi) -> Result<(), TxnError>,
+    ) -> Result<(), TxnError> {
+        if ro {
+            self.run_ro(|t| body(t))
+        } else {
+            self.run(|t| body(t))
+        }
+    }
+    fn vnow(&self) -> u64 {
+        self.clock.now()
+    }
+}
+
+/// Runs one worker slot's transactions through a [`RoutinePool`] when
+/// `run.routines > 1` on DrTM+R: `R` routines split the slot's budget
+/// (`loop_fn(id, worker, index_base, count)` runs one routine's share
+/// with disjoint transaction indices), and the slot's virtual time is
+/// the *slowest* routine's clock — the routines share one simulated
+/// core, so verb waits hidden behind other routines' CPU work shrink
+/// vtime and show up as throughput. Returns `None` on the legacy
+/// single-routine path and for baseline engines.
+fn run_pipelined<F>(
+    run: &RunCfg,
+    cluster: &Arc<DrtmCluster>,
+    node: usize,
+    seed: u64,
+    loop_fn: F,
+) -> Option<WorkerResult>
+where
+    F: Fn(usize, &mut Worker, usize, usize) -> (u64, HashMap<&'static str, (u64, Histogram)>)
+        + Sync,
+{
+    let r = run.routines;
+    if r <= 1 || run.engine != EngineKind::DrtmR {
+        return None;
+    }
+    let workers: Vec<Worker> = (0..r)
+        .map(|id| cluster.worker(node, seed ^ ((id as u64) << 8)))
+        .collect();
+    let chunk = run.txns_per_worker / r;
+    let rem = run.txns_per_worker % r;
+    let outs = RoutinePool::run(workers, |id, w| {
+        let count = chunk + usize::from(id < rem);
+        loop_fn(id, w, id * run.txns_per_worker, count)
+    });
+    let mut res = WorkerResult {
+        vtime_ns: 0,
+        committed: 0,
+        aborted: 0,
+        fallbacks: 0,
+        per_type: HashMap::new(),
+    };
+    for (w, (committed, per_type)) in outs {
+        res.vtime_ns = res.vtime_ns.max(w.clock.now());
+        res.committed += committed;
+        res.aborted += w.stats.aborted;
+        res.fallbacks += w.stats.fallbacks;
+        for (name, (count, hist)) in per_type {
+            let e = res
+                .per_type
+                .entry(name)
+                .or_insert_with(|| (0, Histogram::new()));
+            e.0 += count;
+            e.1.merge(&hist);
+        }
+    }
+    Some(res)
+}
+
 /// Builds the engine options for a run. `read_mostly_tables` comes from
 /// the workload: each benchmark knows which of its tables are rewritten
 /// rarely enough that caching their values remotely pays off.
@@ -171,6 +283,7 @@ fn engine_opts(run: &RunCfg, region_size: usize, read_mostly_tables: Vec<u32>) -
         batched_verbs: run.batched_verbs,
         value_cache: !run.no_value_cache,
         read_mostly_tables,
+        routines: run.routines,
         ..Default::default()
     }
 }
@@ -305,32 +418,88 @@ fn tpcc_worker(
     cross: f64,
 ) -> WorkerResult {
     let seed = run.seed ^ ((node as u64) << 40) ^ ((tid as u64) << 20);
-    let mut ew = EngineWorker::new(run.engine, &cluster, calvin.as_ref(), node, seed);
-    let mut rng = SplitMix64::new(seed ^ 0xBEEF);
     let home_w = (node * cfg.warehouses_per_node + tid % cfg.warehouses_per_node) as u64;
-    let mut hist_key = ((node as u64) << 24 | tid as u64) << 32;
+    let hist_base = ((node as u64) << 24 | tid as u64) << 32;
+    if let Some(res) = run_pipelined(run, &cluster, node, seed, |id, w, base, count| {
+        // Routines get disjoint RNG streams and history-key ranges so
+        // their insert keys never collide.
+        tpcc_loop(
+            cfg,
+            &cluster,
+            w,
+            node,
+            home_w,
+            cross,
+            seed ^ 0xBEEF ^ ((id as u64) << 12),
+            hist_base | ((id as u64) << 26),
+            base,
+            count,
+        )
+    }) {
+        return res;
+    }
+    let mut ew = EngineWorker::new(run.engine, &cluster, calvin.as_ref(), node, seed);
+    let (committed, per_type) = tpcc_loop(
+        cfg,
+        &cluster,
+        &mut ew,
+        node,
+        home_w,
+        cross,
+        seed ^ 0xBEEF,
+        hist_base,
+        0,
+        run.txns_per_worker,
+    );
+    WorkerResult {
+        vtime_ns: ew.clock_now(),
+        committed,
+        aborted: ew.stats().aborted,
+        fallbacks: ew.stats().fallbacks,
+        per_type,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn tpcc_loop<M: MeasuredWorker>(
+    cfg: &TpccCfg,
+    cluster: &DrtmCluster,
+    ew: &mut M,
+    node: usize,
+    home_w: u64,
+    cross: f64,
+    rng_seed: u64,
+    hist_base: u64,
+    base: usize,
+    count: usize,
+) -> (u64, HashMap<&'static str, (u64, Histogram)>) {
+    let mut rng = SplitMix64::new(rng_seed);
+    let mut hist_key = hist_base;
     let mut per_type: HashMap<&'static str, (u64, Histogram)> = HashMap::new();
     let mut committed = 0u64;
 
-    for i in 0..run.txns_per_worker {
+    for j in 0..count {
+        let i = base + j;
         if !cluster.is_alive(node) {
             break;
         }
         let ttype = txns::TxnType::pick(&mut rng);
-        let t0 = ew.clock_now();
+        let t0 = ew.vnow();
         let result: Result<(), TxnError> = match ttype {
             txns::TxnType::NewOrder => {
                 let inp = txns::gen_new_order(cfg, &mut rng, home_w, cross);
-                ew.exec(false, |t| txns::new_order(t, cfg, &inp, i as u64))
+                ew.exec_txn(false, &mut |t| txns::new_order(t, cfg, &inp, i as u64))
             }
             txns::TxnType::Payment => {
                 hist_key += 1;
                 let inp = txns::gen_payment(cfg, &mut rng, home_w, hist_key);
-                ew.exec(false, |t| txns::payment(t, cfg, &inp))
+                ew.exec_txn(false, &mut |t| txns::payment(t, cfg, &inp))
             }
             txns::TxnType::Delivery => {
                 let carrier = rng.range(1, 10);
-                ew.exec(false, |t| txns::delivery(t, cfg, home_w, carrier, i as u64))
+                ew.exec_txn(false, &mut |t| {
+                    txns::delivery(t, cfg, home_w, carrier, i as u64)
+                })
             }
             txns::TxnType::OrderStatus => {
                 let d = rng.below(cfg.districts as u64);
@@ -344,17 +513,17 @@ fn tpcc_worker(
                 } else {
                     txns::CustomerBy::Id(txns::nurand(&mut rng, 1023, 0, cfg.customers as u64 - 1))
                 };
-                ew.exec(true, |t| txns::order_status(t, cfg, home_w, d, by))
+                ew.exec_txn(true, &mut |t| txns::order_status(t, cfg, home_w, d, by))
             }
             txns::TxnType::StockLevel => {
                 let d = rng.below(cfg.districts as u64);
                 let thr = rng.range(10, 20);
-                ew.exec(true, |t| {
+                ew.exec_txn(true, &mut |t| {
                     txns::stock_level(t, cfg, home_w, d, thr).map(|_| ())
                 })
             }
         };
-        let dt = ew.clock_now().saturating_sub(t0);
+        let dt = ew.vnow().saturating_sub(t0);
         if result.is_ok() {
             committed += 1;
             let e = per_type
@@ -364,14 +533,7 @@ fn tpcc_worker(
             e.1.record(dt);
         }
     }
-
-    WorkerResult {
-        vtime_ns: ew.clock_now(),
-        committed,
-        aborted: ew.stats().aborted,
-        fallbacks: ew.stats().fallbacks,
-        per_type,
-    }
+    (committed, per_type)
 }
 
 /// Builds and loads a YCSB cluster for `run`.
@@ -428,20 +590,61 @@ fn ycsb_worker(
     tid: usize,
 ) -> WorkerResult {
     let seed = run.seed ^ ((node as u64) << 40) ^ ((tid as u64) << 20) ^ 0x4C5B;
+    if let Some(res) = run_pipelined(run, &cluster, node, seed, |id, w, base, count| {
+        ycsb_loop(
+            cfg,
+            &cluster,
+            w,
+            node,
+            seed ^ 0xD00D ^ ((id as u64) << 12),
+            base,
+            count,
+        )
+    }) {
+        return res;
+    }
     let mut ew = EngineWorker::new(run.engine, &cluster, calvin.as_ref(), node, seed);
-    let mut rng = SplitMix64::new(seed ^ 0xD00D);
+    let (committed, per_type) = ycsb_loop(
+        cfg,
+        &cluster,
+        &mut ew,
+        node,
+        seed ^ 0xD00D,
+        0,
+        run.txns_per_worker,
+    );
+    WorkerResult {
+        vtime_ns: ew.clock_now(),
+        committed,
+        aborted: ew.stats().aborted,
+        fallbacks: ew.stats().fallbacks,
+        per_type,
+    }
+}
+
+fn ycsb_loop<M: MeasuredWorker>(
+    cfg: &YcsbCfg,
+    cluster: &DrtmCluster,
+    ew: &mut M,
+    node: usize,
+    rng_seed: u64,
+    base: usize,
+    count: usize,
+) -> (u64, HashMap<&'static str, (u64, Histogram)>) {
+    let mut rng = SplitMix64::new(rng_seed);
     let zipf = ycsb::Zipf::new(cfg.records as u64, cfg.theta);
     let mut per_type: HashMap<&'static str, (u64, Histogram)> = HashMap::new();
     let mut committed = 0u64;
-    for i in 0..run.txns_per_worker {
+    for j in 0..count {
+        let i = base + j;
         if !cluster.is_alive(node) {
             break;
         }
         let op = ycsb::gen(cfg, &zipf, &mut rng, node);
         let name = if op.is_read { "read" } else { "update" };
-        let t0 = ew.clock_now();
-        let result = ew.exec(op.is_read, |t| ycsb::execute(t, cfg, &op, i as u64));
-        let dt = ew.clock_now().saturating_sub(t0);
+        let t0 = ew.vnow();
+        let result = ew.exec_txn(op.is_read, &mut |t| ycsb::execute(t, cfg, &op, i as u64));
+        let dt = ew.vnow().saturating_sub(t0);
         if result.is_ok() {
             committed += 1;
             let e = per_type
@@ -451,13 +654,7 @@ fn ycsb_worker(
             e.1.record(dt);
         }
     }
-    WorkerResult {
-        vtime_ns: ew.clock_now(),
-        committed,
-        aborted: ew.stats().aborted,
-        fallbacks: ew.stats().fallbacks,
-        per_type,
-    }
+    (committed, per_type)
 }
 
 /// Runs the SmallBank mix.
@@ -505,19 +702,56 @@ fn sb_worker(
     tid: usize,
 ) -> WorkerResult {
     let seed = run.seed ^ ((node as u64) << 40) ^ ((tid as u64) << 20) ^ 0x5B;
+    if let Some(res) = run_pipelined(run, &cluster, node, seed, |id, w, _base, count| {
+        sb_loop(
+            cfg,
+            &cluster,
+            w,
+            node,
+            seed ^ 0xFACE ^ ((id as u64) << 12),
+            count,
+        )
+    }) {
+        return res;
+    }
     let mut ew = EngineWorker::new(run.engine, &cluster, calvin.as_ref(), node, seed);
-    let mut rng = SplitMix64::new(seed ^ 0xFACE);
+    let (committed, per_type) = sb_loop(
+        cfg,
+        &cluster,
+        &mut ew,
+        node,
+        seed ^ 0xFACE,
+        run.txns_per_worker,
+    );
+    WorkerResult {
+        vtime_ns: ew.clock_now(),
+        committed,
+        aborted: ew.stats().aborted,
+        fallbacks: ew.stats().fallbacks,
+        per_type,
+    }
+}
+
+fn sb_loop<M: MeasuredWorker>(
+    cfg: &SbCfg,
+    cluster: &DrtmCluster,
+    ew: &mut M,
+    node: usize,
+    rng_seed: u64,
+    count: usize,
+) -> (u64, HashMap<&'static str, (u64, Histogram)>) {
+    let mut rng = SplitMix64::new(rng_seed);
     let mut per_type: HashMap<&'static str, (u64, Histogram)> = HashMap::new();
     let mut committed = 0u64;
 
-    for _ in 0..run.txns_per_worker {
+    for _ in 0..count {
         if !cluster.is_alive(node) {
             break;
         }
         let inp = smallbank::gen(cfg, &mut rng, node);
-        let t0 = ew.clock_now();
-        let result = ew.exec(inp.txn.read_only(), |t| smallbank::execute(t, &inp));
-        let dt = ew.clock_now().saturating_sub(t0);
+        let t0 = ew.vnow();
+        let result = ew.exec_txn(inp.txn.read_only(), &mut |t| smallbank::execute(t, &inp));
+        let dt = ew.vnow().saturating_sub(t0);
         if result.is_ok() {
             committed += 1;
             let e = per_type
@@ -527,12 +761,5 @@ fn sb_worker(
             e.1.record(dt);
         }
     }
-
-    WorkerResult {
-        vtime_ns: ew.clock_now(),
-        committed,
-        aborted: ew.stats().aborted,
-        fallbacks: ew.stats().fallbacks,
-        per_type,
-    }
+    (committed, per_type)
 }

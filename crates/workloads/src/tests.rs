@@ -157,6 +157,173 @@ fn smallbank_money_is_conserved_under_conserving_mix() {
     );
 }
 
+/// Delays every `k`-th one-sided verb so completions arrive out of
+/// posting order and routines wake in a different order than they
+/// yielded.
+struct EveryKthDelay {
+    k: u64,
+    delay_ns: u64,
+    seen: std::sync::atomic::AtomicU64,
+}
+
+impl drtm_rdma::FaultInjector for EveryKthDelay {
+    fn on_verb(
+        &self,
+        _src: drtm_rdma::NodeId,
+        _dst: drtm_rdma::NodeId,
+        verb: drtm_rdma::Verb,
+        _now: u64,
+    ) -> drtm_rdma::Fault {
+        if verb == drtm_rdma::Verb::Send {
+            return drtm_rdma::Fault::NONE;
+        }
+        let n = self.seen.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        drtm_rdma::Fault {
+            delay_ns: if n.is_multiple_of(self.k) {
+                self.delay_ns
+            } else {
+                0
+            },
+            ..drtm_rdma::Fault::NONE
+        }
+    }
+}
+
+/// SmallBank send-payments conserve money when every worker slot
+/// multiplexes R ∈ {2, 4, 8} routines and the fabric delays verbs out
+/// of order: serializability must not depend on routine wake order.
+#[test]
+fn smallbank_send_payments_conserve_with_routines() {
+    use crate::smallbank::{self, SbInput, SbTxn};
+    use drtm_core::RoutinePool;
+    use std::sync::Arc;
+    for routines in [2usize, 4, 8] {
+        let cfg = SbCfg {
+            nodes: 2,
+            accounts: 120,
+            cross_prob: 0.4,
+            ..Default::default()
+        };
+        let run = RunCfg {
+            routines,
+            ..quick_run(EngineKind::DrtmR, 1, 0)
+        };
+        let (cluster, _) = crate::driver::build_smallbank(&cfg, &run);
+        let initial = audit::smallbank_total(&cluster, &cfg);
+        cluster.fabric.set_injector(Arc::new(EveryKthDelay {
+            k: 4,
+            delay_ns: 30_000,
+            seen: std::sync::atomic::AtomicU64::new(0),
+        }));
+        let mut handles = Vec::new();
+        for node in 0..2usize {
+            let cluster = Arc::clone(&cluster);
+            let cfg = cfg.clone();
+            handles.push(std::thread::spawn(move || {
+                let workers = (0..routines)
+                    .map(|id| cluster.worker(node, (node * 8 + id) as u64 + 77))
+                    .collect::<Vec<_>>();
+                RoutinePool::run(workers, |id, w| {
+                    let mut rng = drtm_base::SplitMix64::new((node * 8 + id) as u64);
+                    for _ in 0..25 {
+                        let a = (node, cfg.pick_account(&mut rng, node));
+                        let second = cfg.pick_second_shard(&mut rng, node);
+                        let b = (second, cfg.pick_account(&mut rng, second));
+                        if b == a {
+                            continue;
+                        }
+                        let inp = SbInput {
+                            txn: SbTxn::SendPayment,
+                            a,
+                            b,
+                            amount: rng.range(1, 50),
+                        };
+                        let _ = w.run(|t| smallbank::execute(t, &inp));
+                    }
+                });
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            audit::smallbank_total(&cluster, &cfg),
+            initial,
+            "money leaked at routines={routines}"
+        );
+    }
+}
+
+/// The driver's routine-pool path on the full SmallBank mix: every
+/// routine count commits work, and the multiplexed slots finish in less
+/// virtual time than the blocking baseline.
+#[test]
+fn smallbank_driver_routines_hide_latency() {
+    let cfg = SbCfg {
+        nodes: 2,
+        accounts: 400,
+        cross_prob: 0.5,
+        ..Default::default()
+    };
+    let base = run_smallbank(&cfg, &quick_run(EngineKind::DrtmR, 1, 120));
+    assert!(base.committed > 0);
+    for routines in [2usize, 4, 8] {
+        let m = run_smallbank(
+            &cfg,
+            &RunCfg {
+                routines,
+                ..quick_run(EngineKind::DrtmR, 1, 120)
+            },
+        );
+        assert!(m.committed > 0, "routines={routines} committed nothing");
+        assert!(
+            m.throughput > base.throughput,
+            "routines={routines} hid no latency: {} vs {}",
+            m.throughput,
+            base.throughput
+        );
+    }
+}
+
+/// The PR's headline acceptance check: YCSB-B at 60% cross-node gains
+/// at least 25% virtual-time throughput from 8 routines, with the abort
+/// rate within 2x of the blocking baseline.
+#[test]
+fn ycsb_b_cross_node_routines_gain() {
+    use crate::ycsb::{YcsbCfg, YcsbMix};
+    let cfg = YcsbCfg {
+        nodes: 2,
+        records: 4000,
+        theta: 0.6,
+        cross_prob: 0.6,
+        mix: YcsbMix::B,
+        ..Default::default()
+    };
+    let r1 = crate::driver::run_ycsb(&cfg, &quick_run(EngineKind::DrtmR, 1, 200));
+    let r8 = crate::driver::run_ycsb(
+        &cfg,
+        &RunCfg {
+            routines: 8,
+            ..quick_run(EngineKind::DrtmR, 1, 200)
+        },
+    );
+    assert!(
+        r8.throughput >= 1.25 * r1.throughput,
+        "pipelining gained only {:.1}%: {} vs {}",
+        (r8.throughput / r1.throughput - 1.0) * 100.0,
+        r8.throughput,
+        r1.throughput
+    );
+    let rate =
+        |m: &crate::driver::Measurement| m.aborted as f64 / (m.committed + m.aborted).max(1) as f64;
+    assert!(
+        rate(&r8) <= 2.0 * rate(&r1) + 0.01,
+        "abort rate blew up: {} vs {}",
+        rate(&r8),
+        rate(&r1)
+    );
+}
+
 #[test]
 fn tpcc_throughput_scales_with_machines() {
     // Weak-scaling sanity: 2 machines should deliver clearly more than

@@ -22,6 +22,7 @@ pub mod clock;
 pub mod link;
 pub mod region;
 pub mod rng;
+pub mod shutdown;
 pub mod stats;
 pub mod sync;
 

@@ -1,0 +1,111 @@
+//! Process-wide graceful-shutdown flag.
+//!
+//! Long-running front-ends (`drtm-server`, `drtm-shell`) and the
+//! workload driver loops poll one process-global flag instead of each
+//! wiring their own signal handling: [`install`] registers a
+//! SIGINT/SIGTERM handler that sets the flag, and every in-flight
+//! transaction loop checks [`requested`] between transactions so a
+//! Ctrl-C drains cleanly — finish the current commit, flush a final
+//! stats scrape, exit — rather than killing the process mid-C.5.
+//!
+//! The handler only stores into an `AtomicBool`, which is
+//! async-signal-safe. A *second* signal after the flag is already set
+//! restores the default disposition and re-raises, so a stuck drain can
+//! still be killed with another Ctrl-C.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The process-global shutdown request flag.
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Whether [`install`] already registered the handlers.
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sys {
+    //! Minimal FFI onto libc's `signal(2)` — the workspace carries no
+    //! external crates, and a store-into-atomic handler needs nothing
+    //! more than the classic interface.
+
+    pub const SIGINT: i32 = 2;
+    pub const SIGTERM: i32 = 15;
+    pub const SIG_DFL: usize = 0;
+
+    extern "C" {
+        /// `signal(2)`: returns the previous handler (or `SIG_ERR`).
+        pub fn signal(signum: i32, handler: usize) -> usize;
+        /// `raise(3)`: re-deliver a signal to the calling process.
+        pub fn raise(signum: i32) -> i32;
+    }
+
+    /// The actual signal handler: first delivery requests a graceful
+    /// drain; a repeat delivery reverts to the default disposition and
+    /// re-raises so the process dies immediately.
+    pub extern "C" fn on_signal(signum: i32) {
+        use std::sync::atomic::Ordering;
+        if super::REQUESTED.swap(true, Ordering::SeqCst) {
+            unsafe {
+                signal(signum, SIG_DFL);
+                raise(signum);
+            }
+        }
+    }
+}
+
+/// Registers the SIGINT/SIGTERM handlers (idempotent). Returns `true`
+/// if this call performed the installation, `false` if it was already
+/// installed (or the platform has no signals to hook).
+pub fn install() -> bool {
+    if INSTALLED.swap(true, Ordering::SeqCst) {
+        return false;
+    }
+    #[cfg(unix)]
+    unsafe {
+        let handler: extern "C" fn(i32) = sys::on_signal;
+        sys::signal(sys::SIGINT, handler as usize);
+        sys::signal(sys::SIGTERM, handler as usize);
+    }
+    true
+}
+
+/// Whether a graceful shutdown has been requested (by a signal or
+/// programmatically via [`request`]).
+#[inline]
+pub fn requested() -> bool {
+    REQUESTED.load(Ordering::Relaxed)
+}
+
+/// Requests a graceful shutdown programmatically (tests, embedded
+/// servers). Same effect as the first SIGINT/SIGTERM.
+pub fn request() {
+    REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Clears the flag so a test (or a REPL that survived a drain) can run
+/// another cycle. Not meant for signal-driven production paths.
+pub fn reset() {
+    REQUESTED.store(false, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_sets_and_reset_clears() {
+        reset();
+        assert!(!requested());
+        request();
+        assert!(requested());
+        reset();
+        assert!(!requested());
+    }
+
+    #[test]
+    fn install_is_idempotent() {
+        let first = install();
+        let second = install();
+        assert!(!second, "second install must be a no-op");
+        let _ = first; // First caller may or may not be this test.
+    }
+}

@@ -17,8 +17,11 @@
 //! check diffs between `--legacy-verbs` (or `DRTM_VERB_PATH=blocking`)
 //! and the batched default, and the pipeline A/B diffs between
 //! `--routines 1` and `--routines 8`. With `--json FILE` a one-object
-//! summary (`workload`, `throughput`, `abort_rate`, `p50`, `p99`,
-//! `nic_bytes_per_txn`) is also written to `FILE` for artifact upload.
+//! summary (`workload`, `rev`, `routines`, `throughput`, `abort_rate`,
+//! `p50`, `p99`, `nic_bytes_per_txn`, `pipeline`) is also written to
+//! `FILE` for artifact upload; `rev` comes from `DRTM_GIT_REV` or
+//! `git rev-parse --short HEAD`, so summaries from different PRs are
+//! directly comparable.
 
 use drtm_bench::{fmt_tps, sb_cfg, tpcc_cfg, ycsb_cfg, Scale};
 use drtm_workloads::driver::{
@@ -39,11 +42,38 @@ fn parse_engine(s: &str) -> EngineKind {
     }
 }
 
+/// The git revision being benchmarked: `DRTM_GIT_REV` if CI exported
+/// it, else `git rev-parse --short HEAD`, else `"unknown"`. Stamped
+/// into every summary so `BENCH_*.json` artifacts from different PRs
+/// stay comparable.
+fn git_rev() -> String {
+    if let Ok(rev) = std::env::var("DRTM_GIT_REV") {
+        if !rev.is_empty() {
+            return rev;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
 /// Serializes the run summary as one JSON object. Latencies are the
 /// commit-count-weighted overall quantiles across the mix's transaction
 /// types, in virtual microseconds; `nic_bytes_per_txn` divides every
-/// NIC's wire bytes by committed transactions.
-fn json_summary(workload: &str, m: &Measurement, nic_bytes: u64) -> String {
+/// NIC's wire bytes by committed transactions. The `rev`, `routines`,
+/// and `pipeline` fields make the artifact self-describing across PRs.
+fn json_summary(
+    workload: &str,
+    m: &Measurement,
+    nic_bytes: u64,
+    routines: usize,
+    pipeline: &drtm_obs::PipelineStats,
+) -> String {
     let attempts = (m.committed + m.aborted).max(1);
     let abort_rate = m.aborted as f64 / attempts as f64;
     let (mut p50, mut p99, mut n) = (0.0f64, 0.0f64, 0u64);
@@ -55,15 +85,24 @@ fn json_summary(workload: &str, m: &Measurement, nic_bytes: u64) -> String {
     let c = n.max(1) as f64;
     format!(
         concat!(
-            "{{\"workload\":\"{}\",\"throughput\":{:.1},\"abort_rate\":{:.4},",
-            "\"p50\":{:.2},\"p99\":{:.2},\"nic_bytes_per_txn\":{:.1}}}\n"
+            "{{\"workload\":\"{}\",\"rev\":\"{}\",\"routines\":{},",
+            "\"throughput\":{:.1},\"abort_rate\":{:.4},",
+            "\"p50\":{:.2},\"p99\":{:.2},\"nic_bytes_per_txn\":{:.1},",
+            "\"pipeline\":{{\"routines\":{},\"wait_ns\":{},\"overlap_ns\":{},",
+            "\"hiding_ratio\":{:.4}}}}}\n"
         ),
         workload,
+        git_rev(),
+        routines,
         m.throughput,
         abort_rate,
         p50 / c,
         p99 / c,
         nic_bytes as f64 / m.committed.max(1) as f64,
+        pipeline.routines,
+        pipeline.wait_ns,
+        pipeline.overlap_ns,
+        pipeline.hiding_ratio(),
     )
 }
 
@@ -166,8 +205,11 @@ fn main() {
     if let Some(path) = &json {
         let snap = drtm_core::scrape_cluster(&cluster);
         let nic_bytes: u64 = snap.nic_bytes.iter().map(|&(_, b)| b).sum();
-        std::fs::write(path, json_summary(&workload, &m, nic_bytes))
-            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        std::fs::write(
+            path,
+            json_summary(&workload, &m, nic_bytes, routines, &snap.pipeline),
+        )
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
     }
     if raw {
         println!("{:.0}", m.throughput);

@@ -12,6 +12,7 @@ use drtm_cli::{parse, Shell};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut shell = Shell::new();
+    drtm_base::shutdown::install();
 
     let interactive = args.is_empty();
     let reader: Box<dyn BufRead> = if let Some(path) = args.first() {
@@ -28,6 +29,9 @@ fn main() {
     };
 
     for line in reader.lines() {
+        if drtm_base::shutdown::requested() {
+            break;
+        }
         let line = match line {
             Ok(l) => l,
             Err(_) => break,
@@ -45,6 +49,15 @@ fn main() {
                 Err(e) => eprintln!("error: {e}"),
             },
             Err(e) => eprintln!("error: {e}"),
+        }
+    }
+
+    // Graceful SIGINT/SIGTERM: surface a final scrape of whatever
+    // cluster was live so an interrupted session still reports.
+    if drtm_base::shutdown::requested() {
+        if let Some(out) = shell.final_scrape() {
+            eprintln!("drtm-shell: interrupted — final stats:");
+            println!("{out}");
         }
     }
 }

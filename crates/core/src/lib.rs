@@ -51,7 +51,7 @@ pub use cluster::{CrashPointHook, DrtmCluster, EngineOpts};
 pub use obs_bridge::scrape_cluster;
 pub use recovery::{full_restart_scrub, recover_node, RecoveryReport};
 pub use replication::BackupStore;
-pub use routine::RoutinePool;
+pub use routine::{Admission, RoutinePool, SubmitQueue};
 pub use txn::{AbortReason, TxnCtx, TxnError, Worker, WorkerStats};
 
 /// Validates a read: the current sequence number must be the *closest

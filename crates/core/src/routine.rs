@@ -48,8 +48,11 @@
 //!   ([`Worker`]'s `spin_yield`): the conflicting holder may be a
 //!   parked routine of the same pool, and only the scheduler can run it.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Instant;
 
+use drtm_base::stats::{Counter, Histogram};
 use drtm_base::sync::{Condvar, Mutex};
 use drtm_rdma::Cq;
 
@@ -164,6 +167,176 @@ impl Scheduler {
         self.dispatch(&mut s);
         self.cv.notify_all();
     }
+
+    /// Releases the baton *without* parking on the virtual-time wait
+    /// list: routine `id` is about to block on something outside the
+    /// simulation (an external submission queue). Its CPU went idle at
+    /// `cpu_release`. Other routines keep running; `id` must call
+    /// [`Scheduler::join`] before touching its worker again.
+    ///
+    /// Holding the baton across an external block would wedge the whole
+    /// pool — the conflicting producer may need a routine of this very
+    /// pool to drain — so serving loops must bracket every external
+    /// wait in `leave`/`join`.
+    fn leave(&self, id: usize, cpu_release: u64) {
+        let mut s = self.state.lock();
+        debug_assert_eq!(s.current, Some(id), "leave without holding the baton");
+        s.cpu_now = s.cpu_now.max(cpu_release);
+        s.current = None;
+        self.dispatch(&mut s);
+        self.cv.notify_all();
+    }
+
+    /// Re-enters the pool after [`Scheduler::leave`]: parks routine
+    /// `id` with wake time `wake` and blocks until the baton is granted
+    /// back. Returns the virtual time to advance the routine's clock to.
+    fn join(&self, id: usize, wake: u64) -> u64 {
+        let mut s = self.state.lock();
+        s.waiting.push((id, wake));
+        self.dispatch(&mut s);
+        self.cv.notify_all();
+        while s.current != Some(id) {
+            s = self.cv.wait(s);
+        }
+        s.grant.0
+    }
+}
+
+/// Outcome of [`SubmitQueue::submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The request entered the bounded queue and will be executed.
+    Admitted,
+    /// The request was shed: the queue is at its high-water mark (or
+    /// the queue is closed for draining). The submitter should answer
+    /// the client with a fast `Rejected` instead of waiting.
+    Rejected,
+}
+
+struct SubmitState<T> {
+    q: VecDeque<(Instant, T)>,
+    closed: bool,
+}
+
+/// Bounded MPMC admission queue feeding externally-arriving work into a
+/// [`RoutinePool::serve`] loop.
+///
+/// Producers (connection reader threads) call [`SubmitQueue::submit`];
+/// past the high-water mark submissions are *shed* — refused
+/// immediately rather than queued — so overload degrades to fast
+/// rejects instead of unbounded queue growth and latency collapse.
+/// Consumers are pool routines: they drain with a non-blocking pop
+/// while holding the scheduler baton and only block on the queue's
+/// condvar after releasing it (see [`RoutinePool::serve`]).
+///
+/// The queue keeps its own counters (admitted/shed) and a host-time
+/// (wall-clock, not virtual) queue-wait histogram measured from submit
+/// to routine pickup — the serving tier's real queueing delay.
+pub struct SubmitQueue<T> {
+    inner: Mutex<SubmitState<T>>,
+    cv: Condvar,
+    high_water: usize,
+    accepted: Counter,
+    rejected: Counter,
+    wait_ns: Histogram,
+}
+
+impl<T> SubmitQueue<T> {
+    /// Creates a queue shedding submissions once `high_water` items are
+    /// waiting (`high_water >= 1`).
+    pub fn new(high_water: usize) -> Self {
+        assert!(high_water >= 1, "high-water mark must admit something");
+        Self {
+            inner: Mutex::new(SubmitState {
+                q: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            high_water,
+            accepted: Counter::new(),
+            rejected: Counter::new(),
+            wait_ns: Histogram::new(),
+        }
+    }
+
+    /// Offers `item` for execution. Returns [`Admission::Rejected`]
+    /// without blocking when the queue is at high water or closed.
+    pub fn submit(&self, item: T) -> Admission {
+        let mut s = self.inner.lock();
+        if s.closed || s.q.len() >= self.high_water {
+            drop(s);
+            self.rejected.inc();
+            return Admission::Rejected;
+        }
+        s.q.push_back((Instant::now(), item));
+        drop(s);
+        self.accepted.inc();
+        self.cv.notify_all();
+        Admission::Admitted
+    }
+
+    /// Closes the queue: every later [`SubmitQueue::submit`] is shed,
+    /// and once the backlog drains, [`SubmitQueue::pop_blocking`]
+    /// returns `None` so serving routines retire. Items already queued
+    /// are still delivered (graceful drain).
+    pub fn close(&self) {
+        self.inner.lock().closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Non-blocking pop. `None` means empty right now (*or* closed) —
+    /// callers distinguish by following up with
+    /// [`SubmitQueue::pop_blocking`].
+    pub fn try_pop(&self) -> Option<T> {
+        let mut s = self.inner.lock();
+        let (at, item) = s.q.pop_front()?;
+        drop(s);
+        self.note_wait(at);
+        Some(item)
+    }
+
+    /// Blocking pop: waits for an item or for close-and-drained
+    /// (`None`). Pool routines must release the scheduler baton before
+    /// calling this.
+    pub fn pop_blocking(&self) -> Option<T> {
+        let mut s = self.inner.lock();
+        loop {
+            if let Some((at, item)) = s.q.pop_front() {
+                drop(s);
+                self.note_wait(at);
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.cv.wait(s);
+        }
+    }
+
+    fn note_wait(&self, enqueued: Instant) {
+        self.wait_ns
+            .record(enqueued.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Items admitted so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.get()
+    }
+
+    /// Items shed so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.get()
+    }
+
+    /// Items waiting right now.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().q.len()
+    }
+
+    /// Host-time queue-wait histogram (submit → routine pickup, ns).
+    pub fn wait_hist(&self) -> &Histogram {
+        &self.wait_ns
+    }
 }
 
 /// Per-routine control handle carried by a [`Worker`] while it runs
@@ -230,6 +403,76 @@ impl RoutinePool {
                         w.routine = None;
                         sched.finish(id, w.clock.now());
                         (w, out)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("routine panicked"))
+                .collect()
+        })
+    }
+
+    /// Serves externally-submitted work: every worker becomes a routine
+    /// that drains `queue` through `handler(routine_id, worker, item)`
+    /// until the queue is closed *and* empty, then returns the workers
+    /// in routine-id order.
+    ///
+    /// While the queue has backlog, routines interleave exactly as in
+    /// [`RoutinePool::run`] — one CPU, overlapped verb waits. When a
+    /// routine finds the queue empty it *leaves* the pool (releasing
+    /// the baton so the others keep running), blocks on the queue's
+    /// condvar in host time, and re-joins at its own clock on wakeup;
+    /// external idle time therefore never advances virtual time, and a
+    /// pool blocked on an empty queue consumes no simulated CPU.
+    pub fn serve<T, F>(workers: Vec<Worker>, queue: &SubmitQueue<T>, handler: F) -> Vec<Worker>
+    where
+        T: Send,
+        F: Fn(usize, &mut Worker, T) + Sync,
+    {
+        let r = workers.len();
+        assert!(r >= 1, "a pool needs at least one routine");
+        let nodes = workers[0].cluster.nodes();
+        let sched = Arc::new(Scheduler::new(r));
+        let cqs: Arc<Vec<Cq>> = Arc::new((0..nodes).map(|_| Cq::new()).collect());
+        let handler = &handler;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = workers
+                .into_iter()
+                .enumerate()
+                .map(|(id, mut w)| {
+                    let sched = Arc::clone(&sched);
+                    let cqs = Arc::clone(&cqs);
+                    scope.spawn(move || {
+                        w.obs.note_routines(r as u64);
+                        w.routine = Some(RoutineCtl {
+                            id,
+                            sched: Arc::clone(&sched),
+                            cqs,
+                        });
+                        let resume_at = sched.park_initial(id, w.clock.now());
+                        w.clock.advance_to(resume_at);
+                        loop {
+                            // Drain while holding the baton; verb waits
+                            // inside the handler interleave routines.
+                            if let Some(item) = queue.try_pop() {
+                                handler(id, &mut w, item);
+                                continue;
+                            }
+                            // Empty: release the baton before blocking
+                            // on the external queue, re-join on wakeup.
+                            sched.leave(id, w.clock.now());
+                            let popped = queue.pop_blocking();
+                            let resume_at = sched.join(id, w.clock.now());
+                            w.clock.advance_to(resume_at);
+                            match popped {
+                                Some(item) => handler(id, &mut w, item),
+                                None => break, // closed and drained
+                            }
+                        }
+                        w.routine = None;
+                        sched.finish(id, w.clock.now());
+                        w
                     })
                 })
                 .collect();

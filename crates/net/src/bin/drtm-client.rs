@@ -1,0 +1,69 @@
+//! `drtm-client` — seeded open-loop load generator for `drtm-server`.
+//!
+//! Sends SmallBank requests at a configured offered rate (Poisson
+//! arrivals; `--rate 0` = all-at-once burst) and reports goodput plus
+//! wall-latency percentiles measured from each request's *scheduled*
+//! arrival time (coordinated-omission-safe).
+
+use drtm_net::loadgen::{run_client, ClientCfg};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: drtm-client [--addr A] [--rate R] [--requests N] [--seed S]\n\
+         \x20                 [--conns N] [--cross P] [--zero-sum] [--json]\n\
+         Open-loop SmallBank load at R req/s (0 = burst). --zero-sum restricts\n\
+         the mix to send-payment+balance so the server can audit conservation."
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ClientCfg::default();
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let val = |args: &mut dyn Iterator<Item = String>| -> String {
+            args.next().unwrap_or_else(|| usage())
+        };
+        match a.as_str() {
+            "--addr" => cfg.addr = val(&mut args),
+            "--rate" => cfg.rate = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--requests" => cfg.requests = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--conns" => cfg.conns = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--cross" => cfg.cross_prob = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--zero-sum" => cfg.zero_sum = true,
+            "--json" => json = true,
+            _ => usage(),
+        }
+    }
+
+    match run_client(&cfg) {
+        Ok(r) => {
+            if json {
+                println!("{}", r.to_json());
+            } else {
+                println!(
+                    "sent {}  committed {}  aborted {}  rejected {}",
+                    r.sent, r.committed, r.aborted, r.rejected
+                );
+                println!(
+                    "goodput {:.0} txn/s over {:.1} ms",
+                    r.goodput,
+                    r.elapsed_ns as f64 / 1e6
+                );
+                println!(
+                    "latency (admitted, from scheduled arrival): mean {:.1} us, p50 {:.1} us, p99 {:.1} us, max {:.1} us",
+                    r.latency.mean() / 1e3,
+                    r.latency.quantile(0.5) as f64 / 1e3,
+                    r.latency.quantile(0.99) as f64 / 1e3,
+                    r.latency.max() as f64 / 1e3
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("drtm-client: {e}");
+            std::process::exit(1);
+        }
+    }
+}

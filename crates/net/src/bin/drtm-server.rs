@@ -1,0 +1,79 @@
+//! `drtm-server` — boots the DrTM+R TCP serving front-end and runs
+//! until SIGINT/SIGTERM, then drains gracefully and prints a final
+//! stats scrape (text; `--prom`/`--json` for machine formats).
+
+use std::time::Duration;
+
+use drtm_net::server::{Server, ServerCfg};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: drtm-server [--addr A] [--nodes N] [--accounts N] [--replicas N]\n\
+         \x20                 [--routines N] [--high-water N] [--window N]\n\
+         \x20                 [--audit] [--prom|--json]\n\
+         Serves SmallBank transactions over the drtm-net wire protocol until\n\
+         SIGINT/SIGTERM, then drains in-flight work and prints a final scrape.\n\
+         --audit sums every account after the drain and checks conservation\n\
+         (meaningful when clients send a zero-sum mix)."
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServerCfg {
+        addr: "127.0.0.1:7070".into(),
+        ..Default::default()
+    };
+    let mut audit = false;
+    let mut format = "text";
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let val = |args: &mut dyn Iterator<Item = String>| -> String {
+            args.next().unwrap_or_else(|| usage())
+        };
+        match a.as_str() {
+            "--addr" => cfg.addr = val(&mut args),
+            "--nodes" => cfg.nodes = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--accounts" => cfg.accounts = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--replicas" => cfg.replicas = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--routines" => cfg.routines = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--high-water" => cfg.high_water = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--window" => cfg.window = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--audit" => audit = true,
+            "--prom" => format = "prom",
+            "--json" => format = "json",
+            _ => usage(),
+        }
+    }
+
+    drtm_base::shutdown::install();
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("drtm-server: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("drtm-server: listening on {}", server.local_addr());
+
+    while !drtm_base::shutdown::requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("drtm-server: draining...");
+    let initial = server.initial_total();
+    let (snap, cluster, sb) = server.shutdown();
+    match format {
+        "prom" => print!("{}", drtm_obs::expo::render_prometheus(&snap)),
+        "json" => println!("{}", drtm_obs::expo::render_json(&snap)),
+        _ => print!("{}", drtm_obs::expo::render_text(&snap)),
+    }
+    if audit {
+        let total = Server::audit_total(&cluster, &sb);
+        if total == initial {
+            eprintln!("drtm-server: conservation audit OK (total {total})");
+        } else {
+            eprintln!("drtm-server: CONSERVATION VIOLATION: {total} != {initial}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,527 @@
+//! Length-prefixed binary wire protocol (DESIGN.md §12).
+//!
+//! Every message is one *frame*: a little-endian `u32` payload length
+//! followed by the payload, whose first byte is a message tag. All
+//! integers are little-endian; there is no padding and no alignment.
+//! Frames above [`MAX_FRAME`] are rejected before allocation, so a
+//! hostile length prefix cannot balloon server memory.
+//!
+//! The message set is deliberately tiny: the server greets each
+//! connection with [`Msg::Hello`] (protocol version plus the SmallBank
+//! topology the client needs to generate valid keys), the client sends
+//! [`Msg::SmallBank`] or [`Msg::Raw`] requests tagged with a
+//! client-chosen id, and the server answers each request with exactly
+//! one [`Msg::Response`] echoing that id.
+
+use std::io::{self, Read, Write};
+
+/// Protocol version carried in [`Msg::Hello`]. Bumped on any wire
+/// change; clients refuse a mismatch.
+pub const PROTO_VERSION: u16 = 1;
+
+/// Upper bound on a frame payload, enforced on both encode and decode.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Request outcome carried in [`Msg::Response`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The transaction committed.
+    Committed,
+    /// The transaction aborted (user abort or retries exhausted).
+    Aborted,
+    /// The request was shed by admission control — never executed.
+    Rejected,
+}
+
+impl Status {
+    fn code(self) -> u8 {
+        match self {
+            Status::Committed => 0,
+            Status::Aborted => 1,
+            Status::Rejected => 2,
+        }
+    }
+
+    fn from_code(c: u8) -> Result<Self, WireError> {
+        match c {
+            0 => Ok(Status::Committed),
+            1 => Ok(Status::Aborted),
+            2 => Ok(Status::Rejected),
+            _ => Err(WireError::BadValue("status")),
+        }
+    }
+}
+
+/// One operation of a [`Msg::Raw`] transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RawOp {
+    /// Read `key` of `table` homed on `shard`.
+    Read {
+        /// Home shard of the record.
+        shard: u32,
+        /// Table id.
+        table: u32,
+        /// Record key.
+        key: u64,
+    },
+    /// Write `value` to `key` of `table` homed on `shard`.
+    Write {
+        /// Home shard of the record.
+        shard: u32,
+        /// Table id.
+        table: u32,
+        /// Record key.
+        key: u64,
+        /// Bytes to write (whole-record).
+        value: Vec<u8>,
+    },
+}
+
+/// A protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Msg {
+    /// Server → client greeting, sent once per connection.
+    Hello {
+        /// [`PROTO_VERSION`] of the server.
+        version: u16,
+        /// Machines in the cluster (valid shard ids are `0..nodes`).
+        nodes: u32,
+        /// SmallBank accounts per machine.
+        accounts: u64,
+    },
+    /// Client → server: one SmallBank transaction.
+    SmallBank {
+        /// Client-chosen request id, echoed in the response.
+        id: u64,
+        /// Transaction type as an index into `SbTxn::ALL`.
+        txn: u8,
+        /// First account: home shard.
+        a_shard: u32,
+        /// First account: key.
+        a_key: u64,
+        /// Second account: shard (two-account types only).
+        b_shard: u32,
+        /// Second account: key.
+        b_key: u64,
+        /// Amount in cents.
+        amount: u64,
+    },
+    /// Client → server: an explicit read/write transaction.
+    Raw {
+        /// Client-chosen request id, echoed in the response.
+        id: u64,
+        /// Operations executed in order inside one transaction.
+        ops: Vec<RawOp>,
+    },
+    /// Server → client: outcome of the request with the same `id`.
+    Response {
+        /// Echo of the request id.
+        id: u64,
+        /// Outcome.
+        status: Status,
+        /// Microseconds the request waited in the admission queue
+        /// (host time; 0 for rejected requests).
+        queue_us: u32,
+    },
+}
+
+/// Decode/transport failure.
+#[derive(Debug)]
+pub enum WireError {
+    /// Payload ended before the advertised structure did.
+    Truncated,
+    /// Length prefix exceeds [`MAX_FRAME`].
+    Oversized(usize),
+    /// Unknown message tag.
+    BadTag(u8),
+    /// Payload has bytes left over after a complete message.
+    Trailing,
+    /// A field held an out-of-range value (named for diagnostics).
+    BadValue(&'static str),
+    /// Underlying socket error.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::Oversized(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME}"),
+            WireError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            WireError::Trailing => write!(f, "trailing bytes after message"),
+            WireError::BadValue(which) => write!(f, "out-of-range {which}"),
+            WireError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() - self.at < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Trailing)
+        }
+    }
+}
+
+/// Encodes `msg` as a complete frame (length prefix included).
+pub fn encode(msg: &Msg) -> Vec<u8> {
+    let mut p = Vec::with_capacity(64);
+    match msg {
+        Msg::Hello {
+            version,
+            nodes,
+            accounts,
+        } => {
+            p.push(0);
+            p.extend_from_slice(&version.to_le_bytes());
+            p.extend_from_slice(&nodes.to_le_bytes());
+            p.extend_from_slice(&accounts.to_le_bytes());
+        }
+        Msg::SmallBank {
+            id,
+            txn,
+            a_shard,
+            a_key,
+            b_shard,
+            b_key,
+            amount,
+        } => {
+            p.push(1);
+            p.extend_from_slice(&id.to_le_bytes());
+            p.push(*txn);
+            p.extend_from_slice(&a_shard.to_le_bytes());
+            p.extend_from_slice(&a_key.to_le_bytes());
+            p.extend_from_slice(&b_shard.to_le_bytes());
+            p.extend_from_slice(&b_key.to_le_bytes());
+            p.extend_from_slice(&amount.to_le_bytes());
+        }
+        Msg::Raw { id, ops } => {
+            p.push(2);
+            p.extend_from_slice(&id.to_le_bytes());
+            p.extend_from_slice(&(ops.len() as u16).to_le_bytes());
+            for op in ops {
+                match op {
+                    RawOp::Read { shard, table, key } => {
+                        p.push(0);
+                        p.extend_from_slice(&shard.to_le_bytes());
+                        p.extend_from_slice(&table.to_le_bytes());
+                        p.extend_from_slice(&key.to_le_bytes());
+                    }
+                    RawOp::Write {
+                        shard,
+                        table,
+                        key,
+                        value,
+                    } => {
+                        p.push(1);
+                        p.extend_from_slice(&shard.to_le_bytes());
+                        p.extend_from_slice(&table.to_le_bytes());
+                        p.extend_from_slice(&key.to_le_bytes());
+                        p.extend_from_slice(&(value.len() as u32).to_le_bytes());
+                        p.extend_from_slice(value);
+                    }
+                }
+            }
+        }
+        Msg::Response {
+            id,
+            status,
+            queue_us,
+        } => {
+            p.push(3);
+            p.extend_from_slice(&id.to_le_bytes());
+            p.push(status.code());
+            p.extend_from_slice(&queue_us.to_le_bytes());
+        }
+    }
+    assert!(p.len() <= MAX_FRAME, "outbound frame exceeds MAX_FRAME");
+    let mut f = Vec::with_capacity(4 + p.len());
+    f.extend_from_slice(&(p.len() as u32).to_le_bytes());
+    f.extend_from_slice(&p);
+    f
+}
+
+/// Decodes one frame *payload* (length prefix already stripped).
+pub fn decode_payload(buf: &[u8]) -> Result<Msg, WireError> {
+    if buf.len() > MAX_FRAME {
+        return Err(WireError::Oversized(buf.len()));
+    }
+    let mut c = Cursor { buf, at: 0 };
+    let msg = match c.u8()? {
+        0 => Msg::Hello {
+            version: c.u16()?,
+            nodes: c.u32()?,
+            accounts: c.u64()?,
+        },
+        1 => Msg::SmallBank {
+            id: c.u64()?,
+            txn: {
+                let t = c.u8()?;
+                if t >= 6 {
+                    return Err(WireError::BadValue("smallbank txn type"));
+                }
+                t
+            },
+            a_shard: c.u32()?,
+            a_key: c.u64()?,
+            b_shard: c.u32()?,
+            b_key: c.u64()?,
+            amount: c.u64()?,
+        },
+        2 => {
+            let id = c.u64()?;
+            let n = c.u16()? as usize;
+            let mut ops = Vec::with_capacity(n.min(256));
+            for _ in 0..n {
+                ops.push(match c.u8()? {
+                    0 => RawOp::Read {
+                        shard: c.u32()?,
+                        table: c.u32()?,
+                        key: c.u64()?,
+                    },
+                    1 => {
+                        let (shard, table, key) = (c.u32()?, c.u32()?, c.u64()?);
+                        let len = c.u32()? as usize;
+                        RawOp::Write {
+                            shard,
+                            table,
+                            key,
+                            value: c.take(len)?.to_vec(),
+                        }
+                    }
+                    _ => return Err(WireError::BadValue("raw op")),
+                });
+            }
+            Msg::Raw { id, ops }
+        }
+        3 => Msg::Response {
+            id: c.u64()?,
+            status: Status::from_code(c.u8()?)?,
+            queue_us: c.u32()?,
+        },
+        t => return Err(WireError::BadTag(t)),
+    };
+    c.done()?;
+    Ok(msg)
+}
+
+/// Reads one framed message from `r`. Returns `Ok(None)` on a clean
+/// EOF *between* frames; EOF mid-frame is [`WireError::Truncated`].
+pub fn read_msg(r: &mut impl Read) -> Result<Option<Msg>, WireError> {
+    let mut len = [0u8; 4];
+    match r.read(&mut len[..1]) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => return Err(WireError::Io(e)),
+    }
+    r.read_exact(&mut len[1..]).map_err(eof_as_truncated)?;
+    let n = u32::from_le_bytes(len) as usize;
+    if n > MAX_FRAME {
+        return Err(WireError::Oversized(n));
+    }
+    let mut payload = vec![0u8; n];
+    r.read_exact(&mut payload).map_err(eof_as_truncated)?;
+    decode_payload(&payload).map(Some)
+}
+
+fn eof_as_truncated(e: io::Error) -> WireError {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        WireError::Truncated
+    } else {
+        WireError::Io(e)
+    }
+}
+
+/// Writes one framed message to `w` (no flush).
+pub fn write_msg(w: &mut impl Write, msg: &Msg) -> io::Result<()> {
+    w.write_all(&encode(msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drtm_base::SplitMix64;
+
+    fn arb_msg(rng: &mut SplitMix64) -> Msg {
+        match rng.below(4) {
+            0 => Msg::Hello {
+                version: rng.next_u64() as u16,
+                nodes: rng.below(1 << 16) as u32,
+                accounts: rng.next_u64(),
+            },
+            1 => Msg::SmallBank {
+                id: rng.next_u64(),
+                txn: rng.below(6) as u8,
+                a_shard: rng.below(64) as u32,
+                a_key: rng.next_u64(),
+                b_shard: rng.below(64) as u32,
+                b_key: rng.next_u64(),
+                amount: rng.below(1 << 20),
+            },
+            2 => {
+                let n = rng.below(8) as usize;
+                let ops = (0..n)
+                    .map(|_| {
+                        if rng.chance(0.5) {
+                            RawOp::Read {
+                                shard: rng.below(8) as u32,
+                                table: rng.below(4) as u32,
+                                key: rng.next_u64(),
+                            }
+                        } else {
+                            let len = rng.below(64) as usize;
+                            RawOp::Write {
+                                shard: rng.below(8) as u32,
+                                table: rng.below(4) as u32,
+                                key: rng.next_u64(),
+                                value: (0..len).map(|_| rng.next_u64() as u8).collect(),
+                            }
+                        }
+                    })
+                    .collect();
+                Msg::Raw {
+                    id: rng.next_u64(),
+                    ops,
+                }
+            }
+            _ => Msg::Response {
+                id: rng.next_u64(),
+                status: [Status::Committed, Status::Aborted, Status::Rejected]
+                    [rng.below(3) as usize],
+                queue_us: rng.next_u64() as u32,
+            },
+        }
+    }
+
+    /// Property: every message round-trips through encode/decode, both
+    /// payload-level and through the framed reader.
+    #[test]
+    fn roundtrip_property() {
+        let mut rng = SplitMix64::new(0xD127);
+        for _ in 0..2_000 {
+            let m = arb_msg(&mut rng);
+            let f = encode(&m);
+            assert_eq!(
+                decode_payload(&f[4..]).unwrap(),
+                m,
+                "payload roundtrip of {m:?}"
+            );
+            let mut r = &f[..];
+            assert_eq!(read_msg(&mut r).unwrap(), Some(m));
+        }
+    }
+
+    /// Property: every strict prefix of a valid frame decodes to
+    /// `Truncated` (or a clean `None` for the empty prefix) — never a
+    /// panic, never a wrong message.
+    #[test]
+    fn truncated_prefix_property() {
+        let mut rng = SplitMix64::new(0xFEED);
+        for _ in 0..300 {
+            let m = arb_msg(&mut rng);
+            let f = encode(&m);
+            for cut in 0..f.len() {
+                let mut r = &f[..cut];
+                match read_msg(&mut r) {
+                    Ok(None) if cut == 0 => {}
+                    Err(WireError::Truncated) => {}
+                    other => panic!("prefix {cut}/{} of {m:?} gave {other:?}", f.len()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut f = Vec::new();
+        f.extend_from_slice(&(u32::MAX).to_le_bytes());
+        f.push(0);
+        let mut r = &f[..];
+        match read_msg(&mut r) {
+            Err(WireError::Oversized(n)) => assert_eq!(n, u32::MAX as usize),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_tag_and_trailing_bytes_are_rejected() {
+        assert!(matches!(decode_payload(&[9]), Err(WireError::BadTag(9))));
+        let mut f = encode(&Msg::Response {
+            id: 1,
+            status: Status::Committed,
+            queue_us: 0,
+        });
+        f.push(0xAA); // Payload byte beyond the message.
+        let bad = decode_payload(&f[4..]);
+        assert!(matches!(bad, Err(WireError::Trailing)), "{bad:?}");
+        assert!(matches!(decode_payload(&[]), Err(WireError::Truncated)));
+    }
+
+    #[test]
+    fn out_of_range_fields_are_rejected() {
+        let mut f = encode(&Msg::SmallBank {
+            id: 7,
+            txn: 0,
+            a_shard: 0,
+            a_key: 0,
+            b_shard: 0,
+            b_key: 0,
+            amount: 0,
+        });
+        f[4 + 1 + 8] = 6; // txn type past SbTxn::ALL
+        assert!(matches!(
+            decode_payload(&f[4..]),
+            Err(WireError::BadValue("smallbank txn type"))
+        ));
+        let mut f = encode(&Msg::Response {
+            id: 7,
+            status: Status::Rejected,
+            queue_us: 1,
+        });
+        f[4 + 1 + 8] = 3; // status code past Rejected
+        assert!(matches!(
+            decode_payload(&f[4..]),
+            Err(WireError::BadValue("status"))
+        ));
+    }
+}

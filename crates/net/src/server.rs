@@ -1,0 +1,541 @@
+//! The TCP serving front-end (DESIGN.md §12).
+//!
+//! Three thread populations cooperate around one bounded
+//! [`SubmitQueue`]:
+//!
+//! * the **acceptor** polls a non-blocking listener, greets each
+//!   connection with [`Msg::Hello`], and spawns its reader/writer pair;
+//! * per-connection **readers** decode frames and submit them. A reader
+//!   stops pulling from its socket while the connection's in-flight
+//!   window is full — the kernel's TCP flow control then pushes back on
+//!   the client, which is the per-connection backpressure story. A
+//!   submission shed by the queue's high-water mark is answered with a
+//!   fast `Rejected` instead (load shedding: overload degrades to
+//!   rejects, not latency collapse);
+//! * per-node **engine pumps** drive [`RoutinePool::serve`] over the
+//!   queue, executing each request as a real DrTM+R transaction and
+//!   pushing the response into the connection's bounded outbox, which a
+//!   per-connection **writer** thread flushes — engine routines never
+//!   block on socket I/O.
+//!
+//! Shutdown ([`Server::shutdown`], or SIGINT/SIGTERM via
+//! `drtm_base::shutdown`) is graceful: the acceptor stops, the queue
+//! closes (new arrivals shed, backlog drains), pumps retire once the
+//! queue is empty, writers flush every outstanding response, and a
+//! final stats scrape is returned.
+
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use drtm_base::stats::Counter;
+use drtm_base::sync::{Condvar, Mutex};
+use drtm_core::cluster::{DrtmCluster, EngineOpts};
+use drtm_core::{scrape_cluster, Admission, RoutinePool, SubmitQueue, Worker};
+use drtm_obs::trace::{event, EventKind};
+use drtm_obs::{HistSummary, NetStats, Snapshot};
+use drtm_workloads::smallbank::{self, SbCfg, SbInput, SbTxn};
+
+use crate::proto::{self, Msg, RawOp, Status};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerCfg {
+    /// Listen address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Machines in the simulated cluster.
+    pub nodes: usize,
+    /// SmallBank accounts per machine.
+    pub accounts: usize,
+    /// Replicas per record (1 = no replication).
+    pub replicas: usize,
+    /// Serving routines per node (the [`RoutinePool`] size).
+    pub routines: usize,
+    /// Admission-queue high-water mark: submissions past this depth are
+    /// shed with a fast `Rejected`.
+    pub high_water: usize,
+    /// Per-connection in-flight window: a reader stops pulling from its
+    /// socket once this many requests are admitted but unanswered.
+    pub window: usize,
+}
+
+impl Default for ServerCfg {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            nodes: 2,
+            accounts: 1_000,
+            replicas: 1,
+            routines: 4,
+            high_water: 256,
+            window: 128,
+        }
+    }
+}
+
+/// One admitted request travelling from a reader to an engine routine.
+struct Job {
+    conn: Arc<Conn>,
+    id: u64,
+    body: JobBody,
+    admitted: Instant,
+}
+
+enum JobBody {
+    SmallBank(SbInput),
+    Raw(Vec<RawOp>),
+}
+
+/// In-flight accounting of one connection.
+struct Flight {
+    in_flight: usize,
+    eof: bool,
+}
+
+/// Per-connection shared state: the response outbox (flushed by the
+/// writer thread) and the in-flight window (throttling the reader).
+struct Conn {
+    out: Mutex<(VecDeque<Vec<u8>>, bool)>,
+    out_cv: Condvar,
+    fl: Mutex<Flight>,
+    fl_cv: Condvar,
+}
+
+impl Conn {
+    fn new() -> Self {
+        Self {
+            out: Mutex::new((VecDeque::new(), false)),
+            out_cv: Condvar::new(),
+            fl: Mutex::new(Flight {
+                in_flight: 0,
+                eof: false,
+            }),
+            fl_cv: Condvar::new(),
+        }
+    }
+
+    /// Queues an encoded frame for the writer thread.
+    fn send(&self, frame: Vec<u8>) {
+        self.out.lock().0.push_back(frame);
+        self.out_cv.notify_all();
+    }
+
+    /// Marks the outbox complete: the writer flushes what's left and
+    /// exits.
+    fn close_out(&self) {
+        self.out.lock().1 = true;
+        self.out_cv.notify_all();
+    }
+
+    /// Blocks the reader until the in-flight window has room, then
+    /// takes a slot. Returns `false` if the connection is closing.
+    fn acquire_slot(&self, window: usize) -> bool {
+        let mut fl = self.fl.lock();
+        while fl.in_flight >= window && !fl.eof {
+            fl = self.fl_cv.wait(fl);
+        }
+        if fl.eof {
+            return false;
+        }
+        fl.in_flight += 1;
+        true
+    }
+
+    /// Sends the response for an admitted request and releases its
+    /// window slot; closes the outbox when the socket hit EOF and this
+    /// was the last outstanding request.
+    fn complete(&self, frame: Vec<u8>) {
+        self.send(frame);
+        let mut fl = self.fl.lock();
+        fl.in_flight -= 1;
+        let drained = fl.eof && fl.in_flight == 0;
+        drop(fl);
+        self.fl_cv.notify_all();
+        if drained {
+            self.close_out();
+        }
+    }
+
+    /// Records reader-side EOF; closes the outbox once nothing is in
+    /// flight.
+    fn reader_done(&self) {
+        let mut fl = self.fl.lock();
+        fl.eof = true;
+        let drained = fl.in_flight == 0;
+        drop(fl);
+        self.fl_cv.notify_all();
+        if drained {
+            self.close_out();
+        }
+    }
+}
+
+/// A running serving front-end. Dropping without [`Server::shutdown`]
+/// leaks the listener thread; always shut down explicitly.
+pub struct Server {
+    cluster: Arc<DrtmCluster>,
+    sb: SbCfg,
+    queue: Arc<SubmitQueue<Job>>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    conns_opened: Arc<Counter>,
+    conns_closed: Arc<Counter>,
+    completed: Arc<Counter>,
+    in_flight: Arc<AtomicU64>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    pumps: Vec<std::thread::JoinHandle<Vec<Worker>>>,
+}
+
+impl Server {
+    /// Boots a server: builds and loads the simulated cluster, binds
+    /// the listener, and spawns the acceptor and engine pumps.
+    pub fn start(cfg: ServerCfg) -> std::io::Result<Server> {
+        let sb = SbCfg {
+            nodes: cfg.nodes,
+            accounts: cfg.accounts,
+            ..Default::default()
+        };
+        let opts = EngineOpts {
+            replicas: cfg.replicas,
+            region_size: sb.region_size(),
+            routines: cfg.routines,
+            ..Default::default()
+        };
+        let cluster = DrtmCluster::new(cfg.nodes, &sb.schema(), opts);
+        smallbank::load(&cluster, &sb);
+
+        let queue: Arc<SubmitQueue<Job>> = Arc::new(SubmitQueue::new(cfg.high_water));
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns_opened = Arc::new(Counter::new());
+        let conns_closed = Arc::new(Counter::new());
+        let completed = Arc::new(Counter::new());
+        let in_flight = Arc::new(AtomicU64::new(0));
+
+        // Engine pumps: one routine pool per node, all draining the one
+        // shared admission queue.
+        let pumps = (0..cfg.nodes)
+            .map(|node| {
+                let cluster = Arc::clone(&cluster);
+                let queue = Arc::clone(&queue);
+                let completed = Arc::clone(&completed);
+                let in_flight = Arc::clone(&in_flight);
+                std::thread::spawn(move || {
+                    let workers: Vec<Worker> = (0..cfg.routines.max(1))
+                        .map(|r| cluster.worker(node, 0xC0FFEE + (node * 131 + r) as u64))
+                        .collect();
+                    RoutinePool::serve(workers, &queue, |_, w, job: Job| {
+                        execute_job(w, job, &completed, &in_flight);
+                    })
+                })
+            })
+            .collect();
+
+        // The acceptor: poll for connections until stopped.
+        let acceptor = {
+            let queue = Arc::clone(&queue);
+            let stop = Arc::clone(&stop);
+            let conns_opened = Arc::clone(&conns_opened);
+            let conns_closed = Arc::clone(&conns_closed);
+            let in_flight = Arc::clone(&in_flight);
+            let hello = Msg::Hello {
+                version: proto::PROTO_VERSION,
+                nodes: cfg.nodes as u32,
+                accounts: cfg.accounts as u64,
+            };
+            std::thread::Builder::new()
+                .name("drtm-accept".into())
+                .spawn(move || {
+                    let mut conn_threads = Vec::new();
+                    loop {
+                        if stop.load(Ordering::Relaxed) || drtm_base::shutdown::requested() {
+                            break;
+                        }
+                        match listener.accept() {
+                            Ok((stream, peer)) => {
+                                conns_opened.inc();
+                                event(EventKind::Net, "accept", peer.port() as u64, 0);
+                                conn_threads.push(spawn_conn(
+                                    stream,
+                                    &hello,
+                                    Arc::clone(&queue),
+                                    Arc::clone(&stop),
+                                    Arc::clone(&conns_closed),
+                                    Arc::clone(&in_flight),
+                                    cfg.window,
+                                ));
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    for (r, w) in conn_threads {
+                        let _ = r.join();
+                        let _ = w.join();
+                    }
+                })
+                .expect("spawn acceptor")
+        };
+
+        Ok(Server {
+            cluster,
+            sb,
+            queue,
+            addr,
+            stop,
+            conns_opened,
+            conns_closed,
+            completed,
+            in_flight,
+            acceptor: Some(acceptor),
+            pumps,
+        })
+    }
+
+    /// The bound listen address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Point-in-time stats: the engine scrape with the serving-tier
+    /// section filled in.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut s = scrape_cluster(&self.cluster);
+        s.net = NetStats {
+            conns_opened: self.conns_opened.get(),
+            conns_closed: self.conns_closed.get(),
+            accepted: self.queue.accepted(),
+            rejected: self.queue.rejected(),
+            completed: self.completed.get(),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            queue_depth: self.queue.depth() as u64,
+            queue_wait_ns: HistSummary::of(self.queue.wait_hist()),
+        };
+        s
+    }
+
+    /// The conservation baseline for this server's dataset.
+    pub fn initial_total(&self) -> i64 {
+        smallbank::initial_total(&self.sb)
+    }
+
+    /// Sums every account balance (only meaningful once quiesced —
+    /// i.e. after [`Server::shutdown`] on a zero-sum workload).
+    pub fn audit_total(cluster: &Arc<DrtmCluster>, sb: &SbCfg) -> i64 {
+        drtm_workloads::audit::smallbank_total(cluster, sb)
+    }
+
+    /// Gracefully drains and stops the server: no new connections, new
+    /// submissions shed, backlog executed, responses flushed. Returns
+    /// the final stats scrape and the quiesced cluster for audits.
+    pub fn shutdown(mut self) -> (Snapshot, Arc<DrtmCluster>, SbCfg) {
+        event(EventKind::Net, "drain", 0, 0);
+        self.stop.store(true, Ordering::SeqCst);
+        self.queue.close();
+        for p in self.pumps.drain(..) {
+            let _ = p.join();
+        }
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        let snap = self.snapshot();
+        (snap, Arc::clone(&self.cluster), self.sb.clone())
+    }
+}
+
+/// Executes one admitted request on a pool routine's worker and
+/// completes it back to its connection.
+fn execute_job(w: &mut Worker, job: Job, completed: &Counter, in_flight: &AtomicU64) {
+    let queue_us = (job.admitted.elapsed().as_micros()).min(u32::MAX as u128) as u32;
+    let status = match &job.body {
+        JobBody::SmallBank(inp) => {
+            let res = if inp.txn.read_only() {
+                w.run_ro(|t| smallbank::execute(t, inp))
+            } else {
+                w.run(|t| smallbank::execute(t, inp))
+            };
+            match res {
+                Ok(()) => Status::Committed,
+                Err(_) => Status::Aborted,
+            }
+        }
+        JobBody::Raw(ops) => {
+            let res = w.run(|t| {
+                for op in ops {
+                    match op {
+                        RawOp::Read { shard, table, key } => {
+                            t.read(*shard as usize, *table, *key)?;
+                        }
+                        RawOp::Write {
+                            shard,
+                            table,
+                            key,
+                            value,
+                        } => {
+                            t.write(*shard as usize, *table, *key, value.clone())?;
+                        }
+                    }
+                }
+                Ok(())
+            });
+            match res {
+                Ok(()) => Status::Committed,
+                Err(_) => Status::Aborted,
+            }
+        }
+    };
+    completed.inc();
+    in_flight.fetch_sub(1, Ordering::Relaxed);
+    job.conn.complete(proto::encode(&Msg::Response {
+        id: job.id,
+        status,
+        queue_us,
+    }));
+}
+
+type ConnHandles = (std::thread::JoinHandle<()>, std::thread::JoinHandle<()>);
+
+/// Spawns the reader/writer pair of one accepted connection.
+fn spawn_conn(
+    stream: TcpStream,
+    hello: &Msg,
+    queue: Arc<SubmitQueue<Job>>,
+    stop: Arc<AtomicBool>,
+    conns_closed: Arc<Counter>,
+    in_flight: Arc<AtomicU64>,
+    window: usize,
+) -> ConnHandles {
+    let _ = stream.set_nodelay(true);
+    let conn = Arc::new(Conn::new());
+    conn.send(proto::encode(hello));
+
+    let writer = {
+        let conn = Arc::clone(&conn);
+        let mut out = stream.try_clone().expect("clone stream");
+        std::thread::spawn(move || {
+            loop {
+                let frame = {
+                    let mut o = conn.out.lock();
+                    loop {
+                        if let Some(f) = o.0.pop_front() {
+                            break Some(f);
+                        }
+                        if o.1 {
+                            break None;
+                        }
+                        o = conn.out_cv.wait(o);
+                    }
+                };
+                match frame {
+                    Some(f) => {
+                        if out.write_all(&f).is_err() {
+                            break;
+                        }
+                    }
+                    None => break,
+                }
+            }
+            let _ = out.flush();
+            let _ = out.shutdown(std::net::Shutdown::Both);
+        })
+    };
+
+    let reader = {
+        let conn = Arc::clone(&conn);
+        let mut input = stream;
+        // A finite read timeout lets an idle connection notice server
+        // shutdown instead of blocking in `read` forever.
+        let _ = input.set_read_timeout(Some(Duration::from_millis(50)));
+        std::thread::spawn(move || {
+            loop {
+                // Backpressure: no more reads while the window is full.
+                if !conn.acquire_slot(window) {
+                    break;
+                }
+                let msg = match proto::read_msg(&mut input) {
+                    Ok(Some(m)) => m,
+                    Ok(None) => {
+                        release_slot(&conn);
+                        break; // clean EOF
+                    }
+                    Err(proto::WireError::Io(e))
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        release_slot(&conn);
+                        if stop.load(Ordering::Relaxed) || drtm_base::shutdown::requested() {
+                            break;
+                        }
+                        continue;
+                    }
+                    Err(_) => {
+                        release_slot(&conn);
+                        break; // protocol violation: drop the conn
+                    }
+                };
+                let (id, body) = match msg {
+                    Msg::SmallBank {
+                        id,
+                        txn,
+                        a_shard,
+                        a_key,
+                        b_shard,
+                        b_key,
+                        amount,
+                    } => (
+                        id,
+                        JobBody::SmallBank(SbInput {
+                            txn: SbTxn::ALL[txn as usize],
+                            a: (a_shard as usize, a_key),
+                            b: (b_shard as usize, b_key),
+                            amount,
+                        }),
+                    ),
+                    Msg::Raw { id, ops } => (id, JobBody::Raw(ops)),
+                    _ => {
+                        release_slot(&conn);
+                        break; // clients must not send server messages
+                    }
+                };
+                in_flight.fetch_add(1, Ordering::Relaxed);
+                let job = Job {
+                    conn: Arc::clone(&conn),
+                    id,
+                    body,
+                    admitted: Instant::now(),
+                };
+                if queue.submit(job) == Admission::Rejected {
+                    // Shed: answer immediately, release the slot — the
+                    // engine never sees this request.
+                    event(EventKind::Net, "reject", id, 0);
+                    in_flight.fetch_sub(1, Ordering::Relaxed);
+                    conn.complete(proto::encode(&Msg::Response {
+                        id,
+                        status: Status::Rejected,
+                        queue_us: 0,
+                    }));
+                } else {
+                    event(EventKind::Net, "admit", id, 0);
+                }
+            }
+            conn.reader_done();
+            conns_closed.inc();
+        })
+    };
+    (reader, writer)
+}
+
+/// Returns an acquired-but-unused window slot.
+fn release_slot(conn: &Conn) {
+    let mut fl = conn.fl.lock();
+    fl.in_flight -= 1;
+    drop(fl);
+    conn.fl_cv.notify_all();
+}

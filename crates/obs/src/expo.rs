@@ -86,6 +86,23 @@ pub fn render_prometheus(s: &Snapshot) -> String {
         s.pipeline.hiding_ratio()
     );
 
+    out.push_str("# TYPE drtm_net_conns_opened_total counter\n");
+    let _ = writeln!(out, "drtm_net_conns_opened_total {}", s.net.conns_opened);
+    out.push_str("# TYPE drtm_net_conns_closed_total counter\n");
+    let _ = writeln!(out, "drtm_net_conns_closed_total {}", s.net.conns_closed);
+    out.push_str("# TYPE drtm_net_accepted_total counter\n");
+    let _ = writeln!(out, "drtm_net_accepted_total {}", s.net.accepted);
+    out.push_str("# TYPE drtm_net_rejected_total counter\n");
+    let _ = writeln!(out, "drtm_net_rejected_total {}", s.net.rejected);
+    out.push_str("# TYPE drtm_net_completed_total counter\n");
+    let _ = writeln!(out, "drtm_net_completed_total {}", s.net.completed);
+    out.push_str("# TYPE drtm_net_in_flight gauge\n");
+    let _ = writeln!(out, "drtm_net_in_flight {}", s.net.in_flight);
+    out.push_str("# TYPE drtm_net_queue_depth gauge\n");
+    let _ = writeln!(out, "drtm_net_queue_depth {}", s.net.queue_depth);
+    out.push_str("# TYPE drtm_net_queue_wait_ns summary\n");
+    prom_summary(&mut out, "drtm_net_queue_wait_ns", "", &s.net.queue_wait_ns);
+
     out.push_str("# TYPE drtm_cache_hit_total counter\n");
     let _ = writeln!(out, "drtm_cache_hit_total {}", s.cache.hits);
     out.push_str("# TYPE drtm_cache_miss_total counter\n");
@@ -173,6 +190,19 @@ pub fn render_json(s: &Snapshot) -> String {
         s.pipeline.overlap_ns,
         s.pipeline.hiding_ratio()
     );
+    let _ = write!(
+        out,
+        ",\"net\":{{\"conns_opened\":{},\"conns_closed\":{},\"accepted\":{},\"rejected\":{},\"completed\":{},\"in_flight\":{},\"queue_depth\":{},\"queue_wait_ns\":",
+        s.net.conns_opened,
+        s.net.conns_closed,
+        s.net.accepted,
+        s.net.rejected,
+        s.net.completed,
+        s.net.in_flight,
+        s.net.queue_depth
+    );
+    json_summary(&mut out, &s.net.queue_wait_ns);
+    out.push('}');
     out.push_str(",\"aborts\":{");
     for (i, (reason, n)) in s.aborts.iter().enumerate() {
         if i > 0 {
@@ -310,6 +340,27 @@ pub fn render_text(s: &Snapshot) -> String {
             s.pipeline.hiding_ratio() * 100.0
         );
     }
+    if s.net.conns_opened > 0 || s.net.accepted + s.net.rejected > 0 {
+        let _ = writeln!(
+            out,
+            "serving: {} conns ({} closed), {} accepted, {} rejected ({:.1}% shed), {} completed, {} in flight, queue depth {}",
+            s.net.conns_opened,
+            s.net.conns_closed,
+            s.net.accepted,
+            s.net.rejected,
+            s.net.reject_rate() * 100.0,
+            s.net.completed,
+            s.net.in_flight,
+            s.net.queue_depth
+        );
+        let _ = writeln!(
+            out,
+            "queue wait (host): mean {:.1} us, p50 {:.1} us, p99 {:.1} us",
+            s.net.queue_wait_ns.mean / 1_000.0,
+            us(s.net.queue_wait_ns.p50),
+            us(s.net.queue_wait_ns.p99)
+        );
+    }
     if !s.nic.is_empty() {
         out.push_str("\nnic verbs (completed):\n");
         let mut nodes: Vec<usize> = s.nic.iter().map(|r| r.node).collect();
@@ -389,6 +440,23 @@ mod tests {
             fallbacks: 0,
             alive: false,
         });
+        s.net = crate::NetStats {
+            conns_opened: 4,
+            conns_closed: 1,
+            accepted: 90,
+            rejected: 10,
+            completed: 88,
+            in_flight: 2,
+            queue_depth: 1,
+            queue_wait_ns: HistSummary {
+                count: 90,
+                sum: 90_000,
+                mean: 1_000.0,
+                p50: 900,
+                p99: 4_000,
+                max: 5_000,
+            },
+        };
         s
     }
 
@@ -404,6 +472,10 @@ mod tests {
         assert!(out
             .contains("\"pipeline\":{\"routines\":4,\"wait_ns\":1000,\"overlap_ns\":750,\"hiding_ratio\":0.7500}"));
         assert!(out.contains("\"phase_waits_ns\":{"));
+        assert!(out.contains(
+            "\"net\":{\"conns_opened\":4,\"conns_closed\":1,\"accepted\":90,\"rejected\":10,\
+             \"completed\":88,\"in_flight\":2,\"queue_depth\":1,\"queue_wait_ns\":"
+        ));
     }
 
     #[test]
@@ -433,6 +505,10 @@ mod tests {
         assert!(out.contains("drtm_verb_overlap_ns_total 750"));
         assert!(out.contains("drtm_latency_hiding_ratio 0.7500"));
         assert!(out.contains("drtm_commit_phase_wait_ns_count{phase=\"lock\"} 1"));
+        assert!(out.contains("drtm_net_accepted_total 90"));
+        assert!(out.contains("drtm_net_rejected_total 10"));
+        assert!(out.contains("drtm_net_in_flight 2"));
+        assert!(out.contains("drtm_net_queue_wait_ns{quantile=\"0.99\"} 4000"));
     }
 
     #[test]
@@ -448,11 +524,14 @@ mod tests {
         assert!(out.contains("value cache: 2 hits, 1 misses"));
         assert!(out.contains("routines: 4 in flight"));
         assert!(out.contains("75.0% hidden"));
+        assert!(out.contains("serving: 4 conns (1 closed), 90 accepted, 10 rejected"));
+        assert!(out.contains("10.0% shed"));
     }
 
     #[test]
     fn text_exposition_omits_cache_line_when_unused() {
         let out = render_text(&Snapshot::empty());
         assert!(!out.contains("value cache"));
+        assert!(!out.contains("serving:"));
     }
 }

@@ -40,7 +40,7 @@ pub mod registry;
 pub mod trace;
 
 pub use registry::{
-    CacheStats, HistSummary, MachineRow, NicRow, PipelineStats, Registry, Shard, Snapshot,
+    CacheStats, HistSummary, MachineRow, NetStats, NicRow, PipelineStats, Registry, Shard, Snapshot,
 };
 pub use trace::{EventKind, TraceEvent, TraceRing};
 

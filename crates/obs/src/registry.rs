@@ -359,6 +359,43 @@ impl PipelineStats {
     }
 }
 
+/// Serving-tier counters (TCP front-end, admission queue). Zero unless
+/// a `drtm-net` server fills them in at scrape time — like the HTM/NIC
+/// rows, this crate only defines the plain-data shape.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NetStats {
+    /// Connections accepted over the server's lifetime.
+    pub conns_opened: u64,
+    /// Connections since closed (by the peer or by shutdown).
+    pub conns_closed: u64,
+    /// Requests admitted into the bounded queue.
+    pub accepted: u64,
+    /// Requests shed with a fast `Rejected` reply (queue past its
+    /// high-water mark, or server draining).
+    pub rejected: u64,
+    /// Admitted requests fully executed and answered.
+    pub completed: u64,
+    /// Gauge: requests admitted but not yet answered.
+    pub in_flight: u64,
+    /// Gauge: requests sitting in the admission queue right now.
+    pub queue_depth: u64,
+    /// Admission-queue wait (submit → routine pickup), **host** ns —
+    /// unlike the engine histograms this measures real wall time.
+    pub queue_wait_ns: HistSummary,
+}
+
+impl NetStats {
+    /// Fraction of arrivals shed in `[0, 1]`; 0 when nothing arrived.
+    pub fn reject_rate(&self) -> f64 {
+        let total = self.accepted + self.rejected;
+        if total == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / total as f64
+        }
+    }
+}
+
 /// Plain-data summary of one histogram, precomputed at scrape time so
 /// exposition code never touches live atomics.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -453,6 +490,9 @@ pub struct Snapshot {
     /// Per-phase verb-wait summaries in [`Phase::ALL`] order; subtract
     /// from [`Snapshot::phases`] for the CPU-occupied split.
     pub phase_waits: Vec<(&'static str, HistSummary)>,
+    /// Serving-tier counters (filled by a `drtm-net` server; all zero
+    /// when no TCP front-end is attached).
+    pub net: NetStats,
 }
 
 impl Snapshot {
@@ -487,6 +527,7 @@ impl Default for Snapshot {
                 .iter()
                 .map(|p| (p.name(), HistSummary::default()))
                 .collect(),
+            net: NetStats::default(),
         }
     }
 }

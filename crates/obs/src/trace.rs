@@ -45,6 +45,8 @@ pub enum EventKind {
     Recovery,
     /// A value-cache event (hit, miss, invalidate, epoch sweep).
     Cache,
+    /// A serving-tier event (accept, admit, reject, drain).
+    Net,
     /// Free-form marker.
     Mark,
 }
@@ -63,6 +65,7 @@ impl EventKind {
             EventKind::CrashPoint => "crash_point",
             EventKind::Recovery => "recovery",
             EventKind::Cache => "cache",
+            EventKind::Net => "net",
             EventKind::Mark => "mark",
         }
     }
@@ -76,6 +79,7 @@ impl EventKind {
             EventKind::CrashPoint => "chaos",
             EventKind::Recovery => "recovery",
             EventKind::Cache => "cache",
+            EventKind::Net => "net",
             EventKind::Mark => "mark",
         }
     }

@@ -480,7 +480,7 @@ fn tpcc_loop<M: MeasuredWorker>(
 
     for j in 0..count {
         let i = base + j;
-        if !cluster.is_alive(node) {
+        if !cluster.is_alive(node) || drtm_base::shutdown::requested() {
             break;
         }
         let ttype = txns::TxnType::pick(&mut rng);
@@ -637,7 +637,7 @@ fn ycsb_loop<M: MeasuredWorker>(
     let mut committed = 0u64;
     for j in 0..count {
         let i = base + j;
-        if !cluster.is_alive(node) {
+        if !cluster.is_alive(node) || drtm_base::shutdown::requested() {
             break;
         }
         let op = ycsb::gen(cfg, &zipf, &mut rng, node);
@@ -745,7 +745,7 @@ fn sb_loop<M: MeasuredWorker>(
     let mut committed = 0u64;
 
     for _ in 0..count {
-        if !cluster.is_alive(node) {
+        if !cluster.is_alive(node) || drtm_base::shutdown::requested() {
             break;
         }
         let inp = smallbank::gen(cfg, &mut rng, node);

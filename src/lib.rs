@@ -39,6 +39,7 @@ pub use drtm_baselines as baselines;
 pub use drtm_cluster as cluster;
 pub use drtm_core as core;
 pub use drtm_htm as htm;
+pub use drtm_net as net;
 pub use drtm_rdma as rdma;
 pub use drtm_store as store;
 pub use drtm_workloads as workloads;

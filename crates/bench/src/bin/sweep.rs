@@ -23,7 +23,7 @@
 //! `git rev-parse --short HEAD`, so summaries from different PRs are
 //! directly comparable.
 
-use drtm_bench::{fmt_tps, sb_cfg, tpcc_cfg, ycsb_cfg, Scale};
+use drtm_bench::{fmt_tps, sb_cfg, stamp, tpcc_cfg, ycsb_cfg, Scale};
 use drtm_workloads::driver::{
     build_smallbank, build_tpcc, build_ycsb, run_smallbank_on, run_tpcc_on, run_ycsb_on,
     EngineKind, Measurement, RunCfg,
@@ -42,36 +42,18 @@ fn parse_engine(s: &str) -> EngineKind {
     }
 }
 
-/// The git revision being benchmarked: `DRTM_GIT_REV` if CI exported
-/// it, else `git rev-parse --short HEAD`, else `"unknown"`. Stamped
-/// into every summary so `BENCH_*.json` artifacts from different PRs
-/// stay comparable.
-fn git_rev() -> String {
-    if let Ok(rev) = std::env::var("DRTM_GIT_REV") {
-        if !rev.is_empty() {
-            return rev;
-        }
-    }
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".into())
-}
-
 /// Serializes the run summary as one JSON object. Latencies are the
 /// commit-count-weighted overall quantiles across the mix's transaction
 /// types, in virtual microseconds; `nic_bytes_per_txn` divides every
-/// NIC's wire bytes by committed transactions. The `rev`, `routines`,
-/// and `pipeline` fields make the artifact self-describing across PRs.
+/// NIC's wire bytes by committed transactions. The `rev` (kept for
+/// artifact compatibility), shared `stamp` (git rev + UTC + full
+/// `RunCfg`), and `pipeline` fields make the artifact self-describing
+/// across PRs.
 fn json_summary(
     workload: &str,
     m: &Measurement,
     nic_bytes: u64,
-    routines: usize,
+    run: &RunCfg,
     pipeline: &drtm_obs::PipelineStats,
 ) -> String {
     let attempts = (m.committed + m.aborted).max(1);
@@ -86,14 +68,16 @@ fn json_summary(
     format!(
         concat!(
             "{{\"workload\":\"{}\",\"rev\":\"{}\",\"routines\":{},",
+            "\"stamp\":{},",
             "\"throughput\":{:.1},\"abort_rate\":{:.4},",
             "\"p50\":{:.2},\"p99\":{:.2},\"nic_bytes_per_txn\":{:.1},",
             "\"pipeline\":{{\"routines\":{},\"wait_ns\":{},\"overlap_ns\":{},",
             "\"hiding_ratio\":{:.4}}}}}\n"
         ),
         workload,
-        git_rev(),
-        routines,
+        stamp::git_rev(),
+        run.routines,
+        stamp::stamp_json(Some(run)),
         m.throughput,
         abort_rate,
         p50 / c,
@@ -207,7 +191,7 @@ fn main() {
         let nic_bytes: u64 = snap.nic_bytes.iter().map(|&(_, b)| b).sum();
         std::fs::write(
             path,
-            json_summary(&workload, &m, nic_bytes, routines, &snap.pipeline),
+            json_summary(&workload, &m, nic_bytes, &run, &snap.pipeline),
         )
         .unwrap_or_else(|e| panic!("writing {path}: {e}"));
     }

@@ -17,6 +17,10 @@ use drtm_workloads::smallbank::SbCfg;
 use drtm_workloads::tpcc::TpccCfg;
 use drtm_workloads::ycsb::{YcsbCfg, YcsbMix};
 
+pub mod stamp;
+
+pub use stamp::{git_rev, stamp_json, utc_rfc3339};
+
 /// Experiment scale profile.
 #[derive(Debug, Clone, Copy)]
 pub struct Scale {

@@ -92,6 +92,21 @@ pub enum Cmd {
         /// Requests offered per side.
         requests: usize,
     },
+    /// `loadcurve [rates r1,r2,...] [requests N] [json FILE]` — sweep
+    /// an offered-rate grid against one loopback serving front-end:
+    /// per rate, an open-loop client run plus a live `StatsRequest`
+    /// scrape of the running server, reporting goodput, rejects, and
+    /// coordinated-omission-safe p50/p99/p999. With `json FILE` the
+    /// stamped latency-vs-load artifact (`BENCH_loadcurve.json`) is
+    /// written too.
+    LoadCurve {
+        /// Offered rates (req/s), swept in ascending order.
+        rates: Vec<f64>,
+        /// Requests per grid point.
+        requests: usize,
+        /// Optional artifact path.
+        out: Option<String>,
+    },
     /// `stats [prom|json]`
     Stats {
         /// Output format.
@@ -205,6 +220,45 @@ pub fn parse(line: &str) -> Result<Option<Cmd>, String> {
         ["serve", n] => Cmd::Serve {
             requests: num(n)? as usize,
         },
+        ["loadcurve", rest @ ..] => {
+            let mut rates = vec![200.0, 500.0, 1_000.0];
+            let mut requests = 200usize;
+            let mut out = None;
+            let mut it = rest.iter();
+            while let Some(key) = it.next() {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("loadcurve: {key} needs a value"))?;
+                match *key {
+                    "rates" => {
+                        rates = v
+                            .split(',')
+                            .map(|r| {
+                                r.parse::<f64>()
+                                    .ok()
+                                    .filter(|r| *r > 0.0)
+                                    .ok_or_else(|| format!("bad rate: {r:?}"))
+                            })
+                            .collect::<Result<_, _>>()?;
+                        if rates.is_empty() {
+                            return Err("loadcurve: empty rate list".into());
+                        }
+                    }
+                    "requests" => requests = num(v)? as usize,
+                    "json" => out = Some((*v).to_string()),
+                    other => {
+                        return Err(format!(
+                            "loadcurve: unknown key {other:?} (rates|requests|json)"
+                        ))
+                    }
+                }
+            }
+            Cmd::LoadCurve {
+                rates,
+                requests,
+                out,
+            }
+        }
         ["stats"] => Cmd::Stats {
             format: StatsFormat::Text,
         },
@@ -279,6 +333,14 @@ commands:
                                p50/p99, shed rate, and the
                                conservation audit (DESIGN.md
                                section 12)
+  loadcurve [rates r1,r2,...] [requests N] [json FILE]
+                               sweep an offered-rate grid against one
+                               loopback serving front-end: per rate, an
+                               open-loop client run + a live stats
+                               scrape of the running server — goodput,
+                               rejects, coordinated-omission-safe
+                               p50/p99/p999; `json FILE` also writes
+                               the stamped latency-vs-load artifact
   stats [prom|json]            commit-phase latencies, abort taxonomy,
                                HTM abort classes, NIC counters, and
                                per-machine liveness (default: text)
@@ -888,6 +950,197 @@ pub fn serve_ab(requests: usize) -> Result<ServeReport, String> {
     })
 }
 
+/// One grid point of a `loadcurve` sweep.
+#[derive(Debug, Clone)]
+pub struct LoadCurvePoint {
+    /// Offered rate, req/s.
+    pub offered: f64,
+    /// Requests sent at this rate.
+    pub sent: u64,
+    /// Committed / aborted / shed split.
+    pub committed: u64,
+    /// Engine aborts.
+    pub aborted: u64,
+    /// Requests shed by admission control.
+    pub rejected: u64,
+    /// Committed requests per wall second.
+    pub goodput: f64,
+    /// Admitted wall latency from the *scheduled* arrival
+    /// (coordinated-omission-safe), ns.
+    pub p50_ns: u64,
+    /// 99th percentile, ns.
+    pub p99_ns: u64,
+    /// 99.9th percentile, ns.
+    pub p999_ns: u64,
+    /// Cumulative `accepted` read from the live mid-sweep scrape of
+    /// the running server (monotone across points).
+    pub live_accepted: u64,
+    /// Cumulative `completed` from the same live scrape.
+    pub live_completed: u64,
+}
+
+/// The `loadcurve` sweep result: one server, ascending offered rates,
+/// a live scrape after every point, and the post-drain conservation
+/// audit.
+#[derive(Debug, Clone)]
+pub struct LoadCurveReport {
+    /// Grid points in ascending offered-rate order.
+    pub points: Vec<LoadCurvePoint>,
+    /// Requests offered per point.
+    pub requests: usize,
+    /// `true` when the post-drain conservation audit balanced.
+    pub conserved: bool,
+}
+
+impl LoadCurveReport {
+    /// Renders the human-readable latency-vs-load table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "latency vs offered load, zero-sum SmallBank x{} per point \
+             (one server, live-scraped between points):\n  {:>9} {:>9} {:>7} \
+             {:>9} {:>9} {:>9} {:>7}\n",
+            self.requests, "rate/s", "goodput", "shed%", "p50 us", "p99 us", "p999 us", "live ok"
+        );
+        for p in &self.points {
+            let shed = if p.sent == 0 {
+                0.0
+            } else {
+                p.rejected as f64 / p.sent as f64 * 100.0
+            };
+            out += &format!(
+                "  {:>9.0} {:>9.0} {:>6.1}% {:>9.1} {:>9.1} {:>9.1} {:>7}\n",
+                p.offered,
+                p.goodput,
+                shed,
+                p.p50_ns as f64 / 1e3,
+                p.p99_ns as f64 / 1e3,
+                p.p999_ns as f64 / 1e3,
+                if p.live_completed <= p.live_accepted {
+                    "yes"
+                } else {
+                    "NO"
+                },
+            );
+        }
+        out += &format!(
+            "  conservation: {}",
+            if self.conserved { "OK" } else { "VIOLATED" }
+        );
+        out
+    }
+
+    /// Serializes the sweep as the `BENCH_loadcurve.json` artifact:
+    /// the shared stamp object (git rev, UTC, run config) plus one
+    /// entry per grid point, rates ascending.
+    pub fn to_json(&self, stamp: &str) -> String {
+        let mut out = format!(
+            "{{\"stamp\":{stamp},\"requests_per_point\":{},\"conserved\":{},\"points\":[",
+            self.requests, self.conserved
+        );
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out += &format!(
+                concat!(
+                    "\n{{\"offered\":{:.1},\"sent\":{},\"committed\":{},",
+                    "\"aborted\":{},\"rejected\":{},\"goodput\":{:.1},",
+                    "\"p50_us\":{:.1},\"p99_us\":{:.1},\"p999_us\":{:.1},",
+                    "\"live_accepted\":{},\"live_completed\":{}}}"
+                ),
+                p.offered,
+                p.sent,
+                p.committed,
+                p.aborted,
+                p.rejected,
+                p.goodput,
+                p.p50_ns as f64 / 1e3,
+                p.p99_ns as f64 / 1e3,
+                p.p999_ns as f64 / 1e3,
+                p.live_accepted,
+                p.live_completed,
+            );
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+/// Pulls one integer counter out of a live stats-JSON scrape's
+/// `"net":{...}` section.
+fn live_net_counter(json: &str, key: &str) -> u64 {
+    json.split("\"net\":{")
+        .nth(1)
+        .and_then(|net| net.split(&format!("\"{key}\":")).nth(1))
+        .map(|t| {
+            t.chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse()
+                .unwrap_or(0)
+        })
+        .unwrap_or(0)
+}
+
+/// Sweeps `rates` (sorted ascending) against one loopback serving
+/// front-end: each point is an open-loop client run followed by a live
+/// `StatsRequest` scrape of the still-running server, so the artifact
+/// also demonstrates the live telemetry path. The server drains once,
+/// after the whole sweep, and the conservation audit runs then.
+pub fn load_curve(rates: &[f64], requests: usize) -> Result<LoadCurveReport, String> {
+    use drtm_net::{run_client, scrape, ClientCfg, ScrapeFormat, Server, ServerCfg};
+    let mut rates: Vec<f64> = rates.to_vec();
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
+    let server = Server::start(ServerCfg {
+        nodes: 2,
+        accounts: 200,
+        replicas: 1,
+        routines: 2,
+        high_water: 64,
+        window: 2_048,
+        ..Default::default()
+    })
+    .map_err(|e| format!("loadcurve: bind failed: {e}"))?;
+    let initial = server.initial_total();
+    let addr = server.local_addr().to_string();
+
+    let mut points = Vec::with_capacity(rates.len());
+    for (i, &rate) in rates.iter().enumerate() {
+        let report = run_client(&ClientCfg {
+            addr: addr.clone(),
+            rate,
+            requests,
+            seed: 0xAB + i as u64,
+            conns: 4,
+            zero_sum: true,
+            cross_prob: 0.2,
+        })
+        .map_err(|e| format!("loadcurve: client failed at {rate}/s: {e}"))?;
+        let live = scrape(&addr, ScrapeFormat::Json)
+            .map_err(|e| format!("loadcurve: live scrape failed at {rate}/s: {e}"))?;
+        let live = String::from_utf8_lossy(&live);
+        points.push(LoadCurvePoint {
+            offered: rate,
+            sent: report.sent,
+            committed: report.committed,
+            aborted: report.aborted,
+            rejected: report.rejected,
+            goodput: report.goodput,
+            p50_ns: report.latency.quantile(0.5),
+            p99_ns: report.latency.quantile(0.99),
+            p999_ns: report.latency.quantile(0.999),
+            live_accepted: live_net_counter(&live, "accepted"),
+            live_completed: live_net_counter(&live, "completed"),
+        });
+    }
+    let (_snap, cluster, sb) = server.shutdown();
+    Ok(LoadCurveReport {
+        points,
+        requests,
+        conserved: Server::audit_total(&cluster, &sb) == initial,
+    })
+}
+
 fn val(x: u64) -> Vec<u8> {
     let mut v = vec![0u8; VALUE_LEN];
     v[..8].copy_from_slice(&x.to_le_bytes());
@@ -1142,6 +1395,24 @@ impl Shell {
                 // TCP: each side boots its own serving front-end.
                 Ok(Some(serve_ab(requests.max(1))?.render()))
             }
+            Cmd::LoadCurve {
+                rates,
+                requests,
+                out,
+            } => {
+                let report = load_curve(&rates, requests.max(1))?;
+                let mut text = report.render();
+                if let Some(path) = out {
+                    let json = report.to_json(&drtm_bench::stamp_json(None));
+                    drtm_obs::jsonlint::validate(&json).map_err(|e| {
+                        format!("internal error: loadcurve artifact is not valid JSON: {e}")
+                    })?;
+                    std::fs::write(&path, &json)
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    text += &format!("\n  wrote {path} ({} bytes)", json.len());
+                }
+                Ok(Some(text))
+            }
             Cmd::Stats { format } => {
                 let cluster = Arc::clone(self.cluster.as_ref().ok_or("no cluster")?);
                 let snap = drtm_core::scrape_cluster(&cluster);
@@ -1175,7 +1446,7 @@ impl Shell {
                 }
             }
             Cmd::Trace { path } => {
-                let json = drtm_obs::trace::export_chrome_json();
+                let json = drtm_obs::trace::export_chrome_json_meta(&drtm_bench::stamp_json(None));
                 drtm_obs::jsonlint::validate(&json)
                     .map_err(|e| format!("internal error: trace export is not valid JSON: {e}"))?;
                 let events = drtm_obs::trace::buffered();
@@ -1641,6 +1912,73 @@ mod tests {
         assert!(text.contains("goodput"), "{text}");
         assert!(text.contains("shed"), "{text}");
         assert!(text.contains("conservation: paced OK, burst OK"), "{text}");
+    }
+
+    #[test]
+    fn parse_loadcurve_forms() {
+        assert_eq!(
+            parse("loadcurve").unwrap(),
+            Some(Cmd::LoadCurve {
+                rates: vec![200.0, 500.0, 1_000.0],
+                requests: 200,
+                out: None,
+            })
+        );
+        assert_eq!(
+            parse("loadcurve rates 800,100,400 requests 50 json /tmp/x.json").unwrap(),
+            Some(Cmd::LoadCurve {
+                rates: vec![800.0, 100.0, 400.0],
+                requests: 50,
+                out: Some("/tmp/x.json".into()),
+            })
+        );
+        assert!(parse("loadcurve rates").is_err());
+        assert!(parse("loadcurve rates 0").is_err());
+        assert!(parse("loadcurve bogus 1").is_err());
+    }
+
+    /// The loadcurve tentpole end to end: one server, an ascending rate
+    /// grid, live scrapes between points, and a stamped artifact whose
+    /// offered rates are monotone and whose p99s came from the
+    /// coordinated-omission-safe scheduled-arrival clock.
+    #[test]
+    fn loadcurve_sweeps_and_writes_stamped_artifact() {
+        let path = std::env::temp_dir().join(format!("drtm-loadcurve-{}.json", std::process::id()));
+        let path_str = path.to_str().unwrap().to_string();
+        let mut sh = Shell::new();
+        // Rates given out of order: the sweep must sort them.
+        let text = sh
+            .execute(Cmd::LoadCurve {
+                rates: vec![4_000.0, 2_000.0],
+                requests: 80,
+                out: Some(path_str.clone()),
+            })
+            .unwrap()
+            .unwrap();
+        assert!(text.contains("latency vs offered load"), "{text}");
+        assert!(text.contains("conservation: OK"), "{text}");
+
+        let json = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        drtm_obs::jsonlint::validate(&json).expect("artifact parses");
+        // The shared stamp rode along.
+        assert!(json.contains("\"stamp\":{\"git_rev\":\""), "{json}");
+        assert!(json.contains("\"utc\":\""), "{json}");
+        // Points are in ascending offered-rate order with percentiles.
+        let offered: Vec<f64> = json
+            .split("\"offered\":")
+            .skip(1)
+            .map(|t| {
+                t.chars()
+                    .take_while(|c| c.is_ascii_digit() || *c == '.')
+                    .collect::<String>()
+                    .parse()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(offered, vec![2_000.0, 4_000.0]);
+        assert!(json.contains("\"p999_us\":"), "{json}");
+        assert!(json.contains("\"live_accepted\":"), "{json}");
     }
 
     #[test]

@@ -93,10 +93,11 @@ impl TxnCtx<'_> {
                 let lat = self.w.clock.now().saturating_sub(self.start_ns);
                 self.w.stats.latency.record(lat);
                 self.w.obs.note_commit(lat);
-                drtm_obs::trace::event(
+                drtm_obs::trace::event_id(
                     EventKind::TxnCommit,
                     if self.read_only { "ro" } else { "rw" },
                     self.w.node as u64,
+                    self.w.trace_id,
                     self.w.clock.now(),
                 );
             }
@@ -107,19 +108,21 @@ impl TxnCtx<'_> {
                 match e {
                     TxnError::Aborted(reason) => {
                         self.w.obs.note_abort(reason.obs_index());
-                        drtm_obs::trace::event(
+                        drtm_obs::trace::event_id(
                             EventKind::TxnAbort,
                             reason.label(),
                             self.w.node as u64,
+                            self.w.trace_id,
                             self.w.clock.now(),
                         );
                     }
                     TxnError::Transport(verb) => {
                         self.w.obs.note_abort(crate::txn::TRANSPORT_OBS_INDEX);
-                        drtm_obs::trace::event(
+                        drtm_obs::trace::event_id(
                             EventKind::TxnAbort,
                             verb.label(),
                             self.w.node as u64,
+                            self.w.trace_id,
                             self.w.clock.now(),
                         );
                     }
@@ -133,6 +136,23 @@ impl TxnCtx<'_> {
     /// Read-only commit: validate sequence numbers with no HTM, no locks.
     fn commit_ro(&mut self) -> Result<(), TxnError> {
         assert!(self.l_ws.is_empty() && self.r_ws.is_empty() && self.mutations.is_empty());
+        // Traced read-only commits get an execute span (begin → here)
+        // and, on success, a validate span — the only phases they have.
+        let trace = self.w.trace_id;
+        let mut wall_mark = self.w.trace_wall_ns;
+        if trace != 0 {
+            let now = drtm_obs::trace::wall_ns();
+            drtm_obs::trace::span_complete(
+                EventKind::Phase,
+                Phase::Execute.name(),
+                trace,
+                wall_mark,
+                now.saturating_sub(wall_mark),
+                self.w.clock.now().saturating_sub(self.start_ns),
+            );
+            wall_mark = now;
+        }
+        let validate_start_ns = self.w.clock.now();
         let cluster = Arc::clone(&self.w.cluster);
         let cost = &cluster.opts.cost;
         let region = Arc::clone(&cluster.stores[self.w.node].region);
@@ -169,6 +189,17 @@ impl TxnCtx<'_> {
         if cluster.config.epoch() != self.start_epoch {
             return Err(TxnError::Aborted(AbortReason::Validation));
         }
+        if trace != 0 {
+            let now = drtm_obs::trace::wall_ns();
+            drtm_obs::trace::span_complete(
+                EventKind::Phase,
+                Phase::Validate.name(),
+                trace,
+                wall_mark,
+                now.saturating_sub(wall_mark),
+                self.w.clock.now().saturating_sub(validate_start_ns),
+            );
+        }
         Ok(())
     }
 
@@ -189,6 +220,28 @@ impl TxnCtx<'_> {
             wait_mark = w.wait_accum_ns;
             (d, dw)
         };
+        // Per-phase trace spans of a head-sampled request: complete
+        // events with real wall boundaries (the virtual span rides in
+        // args), emitted as each phase laps so an aborted commit still
+        // shows how far it got.
+        let trace = self.w.trace_id;
+        let mut wall_mark = self.w.trace_wall_ns;
+        let mut phase_span = |label: &'static str, virt_ns: u64| {
+            if trace == 0 {
+                return;
+            }
+            let now = drtm_obs::trace::wall_ns();
+            drtm_obs::trace::span_complete(
+                EventKind::Phase,
+                label,
+                trace,
+                wall_mark,
+                now.saturating_sub(wall_mark),
+                virt_ns,
+            );
+            wall_mark = now;
+        };
+        phase_span(Phase::Execute.name(), exec_ns);
 
         // C.1: lock remote read + write sets in global order.
         let locks = self.remote_lock_addrs();
@@ -202,6 +255,7 @@ impl TxnCtx<'_> {
         }
         self.probe("C.1")?;
         let (lock_ns, lock_wait) = lap(self.w);
+        phase_span(Phase::Lock.name(), lock_ns);
 
         // C.2: validate remote reads; learn current sequence numbers for
         // remote writes.
@@ -214,6 +268,7 @@ impl TxnCtx<'_> {
         };
         self.probe("C.2")?;
         let (validate_ns, validate_wait) = lap(self.w);
+        phase_span(Phase::Validate.name(), validate_ns);
 
         // Fencing: a transaction must not span a reconfiguration (§5.2).
         // A machine removed from the configuration (falsely suspected,
@@ -250,6 +305,7 @@ impl TxnCtx<'_> {
         // and recovery rolls them back.
         self.probe("C.4")?;
         let (htm_ns, htm_wait) = lap(self.w);
+        phase_span(Phase::Htm.name(), htm_ns);
 
         // R.1: redo records to every written record's backups. The
         // append is fenced: if a recovery pass committed a new
@@ -270,6 +326,7 @@ impl TxnCtx<'_> {
         // local primaries still odd: recovery rolls them *forward*.
         self.probe("R.1")?;
         let (log_ns, log_wait) = lap(self.w);
+        phase_span(Phase::Log.name(), log_ns);
 
         // R.2: makeup — flip local primaries to even (committable).
         if replicated {
@@ -282,6 +339,7 @@ impl TxnCtx<'_> {
         }
         self.probe("R.2")?;
         let (makeup_ns, makeup_wait) = lap(self.w);
+        phase_span(Phase::Makeup.name(), makeup_ns);
 
         // C.5: write remote primaries. A machine that died mid-step stops
         // issuing WRITEs: its redo entries are durable, so the recovery
@@ -290,6 +348,7 @@ impl TxnCtx<'_> {
         // sweep healed and released the record.
         self.remote_update(&remote_new_seqs)?;
         let (remote_write_ns, remote_write_wait) = lap(self.w);
+        phase_span(Phase::Update.name(), remote_write_ns);
 
         // Inserts and deletes become visible only now, after validation
         // and logging.
@@ -303,6 +362,7 @@ impl TxnCtx<'_> {
         self.unlock_all(&locks);
         self.probe("C.6")?;
         let (unlock_ns, unlock_wait) = lap(self.w);
+        phase_span(Phase::Unlock.name(), unlock_ns);
 
         // Phase spans of this committed transaction, into the worker's
         // metrics shard (scrape-time aggregation across workers).

@@ -139,6 +139,13 @@ pub struct Worker {
     /// completions (doorbell to batch horizon), on either path. The
     /// commit path laps it for the per-phase wait/occupied split.
     pub(crate) wait_accum_ns: u64,
+    /// Trace id of the request currently executing on this worker
+    /// (0 = untraced). Set by the serving tier for head-sampled
+    /// requests so the commit path can tag its phase spans.
+    pub(crate) trace_id: u64,
+    /// Wall-clock ns (trace epoch) when the traced transaction began —
+    /// the start of its `execute` phase span.
+    pub(crate) trace_wall_ns: u64,
 }
 
 /// A local read-set entry.
@@ -230,7 +237,23 @@ impl Worker {
             obs,
             routine: None,
             wait_accum_ns: 0,
+            trace_id: 0,
+            trace_wall_ns: 0,
         }
+    }
+
+    /// Tags the *next* transactions this worker runs with a request
+    /// trace id (0 clears it). The serving tier sets this for
+    /// head-sampled requests just before dispatching the job body, so
+    /// begin/commit/abort instants and the commit-phase spans all join
+    /// the request's cross-process span tree.
+    pub fn set_trace(&mut self, trace: u64) {
+        self.trace_id = trace;
+    }
+
+    /// The trace id transactions on this worker are tagged with.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
     }
 
     /// Rings the doorbell for every WR posted to `node`'s send queue
@@ -389,10 +412,14 @@ impl Worker {
                 drtm_obs::trace::event(EventKind::Cache, "reconfig", self.node as u64, start_ns);
             }
         }
-        drtm_obs::trace::event(
+        if self.trace_id != 0 {
+            self.trace_wall_ns = drtm_obs::trace::wall_ns();
+        }
+        drtm_obs::trace::event_id(
             EventKind::TxnBegin,
             if read_only { "ro" } else { "rw" },
             self.node as u64,
+            self.trace_id,
             start_ns,
         );
         TxnCtx {
@@ -458,10 +485,11 @@ impl Worker {
                     // accounted inside `commit`).
                     self.stats.aborted += 1;
                     self.obs.note_abort(reason.obs_index());
-                    drtm_obs::trace::event(
+                    drtm_obs::trace::event_id(
                         EventKind::TxnAbort,
                         reason.label(),
                         self.node as u64,
+                        self.trace_id,
                         self.clock.now(),
                     );
                     last = e;
@@ -472,10 +500,11 @@ impl Worker {
                     // only fires if a future execution path goes batched.
                     self.stats.aborted += 1;
                     self.obs.note_abort(TRANSPORT_OBS_INDEX);
-                    drtm_obs::trace::event(
+                    drtm_obs::trace::event_id(
                         EventKind::TxnAbort,
                         verb.label(),
                         self.node as u64,
+                        self.trace_id,
                         self.clock.now(),
                     );
                     last = e;
@@ -483,10 +512,11 @@ impl Worker {
                 Err(TxnError::UserAbort) => {
                     self.stats.user_aborts += 1;
                     self.obs.note_user_abort();
-                    drtm_obs::trace::event(
+                    drtm_obs::trace::event_id(
                         EventKind::TxnAbort,
                         "user",
                         self.node as u64,
+                        self.trace_id,
                         self.clock.now(),
                     );
                     return Err(TxnError::UserAbort);

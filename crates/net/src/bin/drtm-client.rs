@@ -5,14 +5,19 @@
 //! wall-latency percentiles measured from each request's *scheduled*
 //! arrival time (coordinated-omission-safe).
 
-use drtm_net::loadgen::{run_client, ClientCfg};
+use drtm_net::loadgen::{run_client, scrape, ClientCfg};
+use drtm_net::proto::ScrapeFormat;
 
 fn usage() -> ! {
     eprintln!(
         "usage: drtm-client [--addr A] [--rate R] [--requests N] [--seed S]\n\
          \x20                 [--conns N] [--cross P] [--zero-sum] [--json]\n\
+         \x20                 [--trace FILE] [--scrape json|prom|series]\n\
          Open-loop SmallBank load at R req/s (0 = burst). --zero-sum restricts\n\
-         the mix to send-payment+balance so the server can audit conservation."
+         the mix to send-payment+balance so the server can audit conservation.\n\
+         --trace writes the client-side chrome://tracing span export to FILE\n\
+         after the run. --scrape sends no load: it asks a running server for\n\
+         one live stats scrape in the given format and prints it."
     );
     std::process::exit(2);
 }
@@ -20,6 +25,8 @@ fn usage() -> ! {
 fn main() {
     let mut cfg = ClientCfg::default();
     let mut json = false;
+    let mut trace_out: Option<String> = None;
+    let mut scrape_fmt: Option<ScrapeFormat> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let val = |args: &mut dyn Iterator<Item = String>| -> String {
@@ -34,7 +41,29 @@ fn main() {
             "--cross" => cfg.cross_prob = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--zero-sum" => cfg.zero_sum = true,
             "--json" => json = true,
+            "--trace" => trace_out = Some(val(&mut args)),
+            "--scrape" => {
+                scrape_fmt = Some(match val(&mut args).as_str() {
+                    "json" => ScrapeFormat::Json,
+                    "prom" => ScrapeFormat::Prom,
+                    "series" => ScrapeFormat::Series,
+                    _ => usage(),
+                })
+            }
             _ => usage(),
+        }
+    }
+
+    if let Some(format) = scrape_fmt {
+        match scrape(&cfg.addr, format) {
+            Ok(body) => {
+                print!("{}", String::from_utf8_lossy(&body));
+                return;
+            }
+            Err(e) => {
+                eprintln!("drtm-client: scrape failed: {e}");
+                std::process::exit(1);
+            }
         }
     }
 
@@ -53,12 +82,20 @@ fn main() {
                     r.elapsed_ns as f64 / 1e6
                 );
                 println!(
-                    "latency (admitted, from scheduled arrival): mean {:.1} us, p50 {:.1} us, p99 {:.1} us, max {:.1} us",
+                    "latency (admitted, from scheduled arrival): mean {:.1} us, p50 {:.1} us, p99 {:.1} us, p999 {:.1} us, max {:.1} us",
                     r.latency.mean() / 1e3,
                     r.latency.quantile(0.5) as f64 / 1e3,
                     r.latency.quantile(0.99) as f64 / 1e3,
+                    r.latency.quantile(0.999) as f64 / 1e3,
                     r.latency.max() as f64 / 1e3
                 );
+            }
+            if let Some(path) = trace_out {
+                let json = drtm_obs::trace::export_chrome_json();
+                match std::fs::write(&path, &json) {
+                    Ok(()) => eprintln!("drtm-client: trace written to {path}"),
+                    Err(e) => eprintln!("drtm-client: trace write failed: {e}"),
+                }
             }
         }
         Err(e) => {

@@ -10,11 +10,16 @@ fn usage() -> ! {
     eprintln!(
         "usage: drtm-server [--addr A] [--nodes N] [--accounts N] [--replicas N]\n\
          \x20                 [--routines N] [--high-water N] [--window N]\n\
-         \x20                 [--audit] [--prom|--json]\n\
+         \x20                 [--sample-ms N] [--trace FILE] [--audit] [--prom|--json]\n\
          Serves SmallBank transactions over the drtm-net wire protocol until\n\
          SIGINT/SIGTERM, then drains in-flight work and prints a final scrape.\n\
-         --audit sums every account after the drain and checks conservation\n\
-         (meaningful when clients send a zero-sum mix)."
+         While running, clients can scrape live stats with a StatsRequest\n\
+         frame (see drtm-client --scrape). --sample-ms sets the in-server\n\
+         time-series sampler period (0 disables). --trace writes the server's\n\
+         chrome://tracing span export to FILE on drain (head-sampled; set\n\
+         DRTM_TRACE_SAMPLE=1 to trace every request). --audit sums every\n\
+         account after the drain and checks conservation (meaningful when\n\
+         clients send a zero-sum mix)."
     );
     std::process::exit(2);
 }
@@ -26,6 +31,7 @@ fn main() {
     };
     let mut audit = false;
     let mut format = "text";
+    let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let val = |args: &mut dyn Iterator<Item = String>| -> String {
@@ -39,6 +45,8 @@ fn main() {
             "--routines" => cfg.routines = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--high-water" => cfg.high_water = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--window" => cfg.window = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--sample-ms" => cfg.sample_ms = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--trace" => trace_out = Some(val(&mut args)),
             "--audit" => audit = true,
             "--prom" => format = "prom",
             "--json" => format = "json",
@@ -66,6 +74,13 @@ fn main() {
         "prom" => print!("{}", drtm_obs::expo::render_prometheus(&snap)),
         "json" => println!("{}", drtm_obs::expo::render_json(&snap)),
         _ => print!("{}", drtm_obs::expo::render_text(&snap)),
+    }
+    if let Some(path) = trace_out {
+        let json = drtm_obs::trace::export_chrome_json();
+        match std::fs::write(&path, &json) {
+            Ok(()) => eprintln!("drtm-server: trace written to {path}"),
+            Err(e) => eprintln!("drtm-server: trace write failed: {e}"),
+        }
     }
     if audit {
         let total = Server::audit_total(&cluster, &sb);

@@ -29,6 +29,6 @@ pub mod loadgen;
 pub mod proto;
 pub mod server;
 
-pub use loadgen::{run_client, ClientCfg, ClientReport, Schedule};
-pub use proto::{Msg, RawOp, Status, WireError, MAX_FRAME, PROTO_VERSION};
+pub use loadgen::{run_client, scrape, ClientCfg, ClientReport, Schedule};
+pub use proto::{Msg, RawOp, ScrapeFormat, Status, WireError, MAX_FRAME, PROTO_VERSION};
 pub use server::{Server, ServerCfg};

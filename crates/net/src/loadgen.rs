@@ -23,6 +23,7 @@ use std::time::{Duration, Instant};
 use drtm_base::stats::{Counter, Histogram};
 use drtm_base::sync::Mutex;
 use drtm_base::SplitMix64;
+use drtm_obs::trace::{self, EventKind};
 use drtm_workloads::smallbank::{SbCfg, SbTxn};
 
 use crate::proto::{self, Msg, Status, PROTO_VERSION};
@@ -123,7 +124,8 @@ impl ClientReport {
         format!(
             "{{\"sent\":{},\"committed\":{},\"aborted\":{},\"rejected\":{},\
              \"goodput\":{:.1},\"elapsed_ms\":{:.1},\
-             \"latency_us\":{{\"mean\":{:.1},\"p50\":{:.1},\"p99\":{:.1},\"max\":{:.1}}}}}",
+             \"latency_us\":{{\"mean\":{:.1},\"p50\":{:.1},\"p99\":{:.1},\"p999\":{:.1},\
+             \"max\":{:.1}}}}}",
             self.sent,
             self.committed,
             self.aborted,
@@ -133,6 +135,7 @@ impl ClientReport {
             self.latency.mean() / 1e3,
             self.latency.quantile(0.5) as f64 / 1e3,
             self.latency.quantile(0.99) as f64 / 1e3,
+            self.latency.quantile(0.999) as f64 / 1e3,
             self.latency.max() as f64 / 1e3,
         )
     }
@@ -210,6 +213,15 @@ pub fn run_client(cfg: &ClientCfg) -> Result<ClientReport, proto::WireError> {
                                 Status::Aborted => aborted.inc(),
                                 Status::Rejected => rejected.inc(),
                             }
+                            let tr = trace::trace_for(id);
+                            if tr != 0 {
+                                trace::span_end(EventKind::Net, "client", tr, 0);
+                                // Sheds terminate server-side; the
+                                // reject path already ended the flow.
+                                if status != Status::Rejected {
+                                    trace::flow_end(tr, 0);
+                                }
+                            }
                             if status != Status::Rejected {
                                 if let Some(at) = sched_at {
                                     latency.record(at.elapsed().as_nanos() as u64);
@@ -233,11 +245,16 @@ pub fn run_client(cfg: &ClientCfg) -> Result<ClientReport, proto::WireError> {
             }
             let id = i as u64;
             let conn = i % cfg.conns;
-            let msg = gen_request(&sb, &mut rng, id, cfg.zero_sum);
+            let msg = gen_request(&sb, &mut rng, id, off, cfg.zero_sum);
             // Latency clock starts at the *scheduled* time: if this
             // send itself lagged (socket backpressure), the request
             // pays for it.
             shared[conn].pending.lock().insert(id, due);
+            let tr = trace::trace_for(id);
+            if tr != 0 {
+                trace::span_begin(EventKind::Net, "client", tr, 0);
+                trace::flow_start(tr, 0);
+            }
             proto::write_msg(&mut &streams[conn], &msg)?;
             sent += 1;
         }
@@ -262,10 +279,29 @@ pub fn run_client(cfg: &ClientCfg) -> Result<ClientReport, proto::WireError> {
     })
 }
 
+/// Scrapes a live server once: opens a fresh connection, swallows the
+/// greeting, sends one [`Msg::StatsRequest`] and returns the rendered
+/// body. This is the client side of the live telemetry plane — the
+/// scrape shares the drain snapshot's rendering path server-side, so
+/// cumulative counters read here are comparable with the final drain.
+pub fn scrape(addr: &str, format: proto::ScrapeFormat) -> Result<Vec<u8>, proto::WireError> {
+    let mut s = TcpStream::connect(addr)?;
+    s.set_nodelay(true)?;
+    match proto::read_msg(&mut s)? {
+        Some(Msg::Hello { version, .. }) if version == PROTO_VERSION => {}
+        _ => return Err(proto::WireError::BadValue("greeting")),
+    }
+    proto::write_msg(&mut s, &Msg::StatsRequest { format })?;
+    match proto::read_msg(&mut s)? {
+        Some(Msg::StatsResponse { format: f, body }) if f == format => Ok(body),
+        _ => Err(proto::WireError::BadValue("stats response")),
+    }
+}
+
 /// Generates one SmallBank request. `zero_sum` restricts the mix to
 /// send-payment (75%) + balance (25%), which conserves the checking
 /// total so the server can audit conservation after a run.
-fn gen_request(sb: &SbCfg, rng: &mut SplitMix64, id: u64, zero_sum: bool) -> Msg {
+fn gen_request(sb: &SbCfg, rng: &mut SplitMix64, id: u64, sched_ns: u64, zero_sum: bool) -> Msg {
     let home = rng.below(sb.nodes as u64) as usize;
     let mut inp = drtm_workloads::smallbank::gen(sb, rng, home);
     if zero_sum {
@@ -284,6 +320,7 @@ fn gen_request(sb: &SbCfg, rng: &mut SplitMix64, id: u64, zero_sum: bool) -> Msg
         b_shard: inp.b.0 as u32,
         b_key: inp.b.1,
         amount: inp.amount,
+        sched_ns,
     }
 }
 

@@ -11,13 +11,19 @@
 //! topology the client needs to generate valid keys), the client sends
 //! [`Msg::SmallBank`] or [`Msg::Raw`] requests tagged with a
 //! client-chosen id, and the server answers each request with exactly
-//! one [`Msg::Response`] echoing that id.
+//! one [`Msg::Response`] echoing that id. Requests also carry the
+//! client's *scheduled* arrival timestamp (`sched_ns`, client clock) so
+//! the server side of a head-sampled request's trace can show the
+//! open-loop intent, and any connection may ask the live telemetry
+//! plane for a scrape with [`Msg::StatsRequest`], answered by one
+//! [`Msg::StatsResponse`] carrying the rendered body.
 
 use std::io::{self, Read, Write};
 
 /// Protocol version carried in [`Msg::Hello`]. Bumped on any wire
-/// change; clients refuse a mismatch.
-pub const PROTO_VERSION: u16 = 1;
+/// change; clients refuse a mismatch. Version 2 added `sched_ns` on
+/// requests and the stats scrape pair.
+pub const PROTO_VERSION: u16 = 2;
 
 /// Upper bound on a frame payload, enforced on both encode and decode.
 pub const MAX_FRAME: usize = 1 << 20;
@@ -48,6 +54,36 @@ impl Status {
             1 => Ok(Status::Aborted),
             2 => Ok(Status::Rejected),
             _ => Err(WireError::BadValue("status")),
+        }
+    }
+}
+
+/// Rendering requested by a [`Msg::StatsRequest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScrapeFormat {
+    /// The full JSON snapshot (`drtm_obs::expo::render_json`).
+    Json,
+    /// Prometheus text exposition.
+    Prom,
+    /// The time-series ring of periodic samples, as JSON.
+    Series,
+}
+
+impl ScrapeFormat {
+    fn code(self) -> u8 {
+        match self {
+            ScrapeFormat::Json => 0,
+            ScrapeFormat::Prom => 1,
+            ScrapeFormat::Series => 2,
+        }
+    }
+
+    fn from_code(c: u8) -> Result<Self, WireError> {
+        match c {
+            0 => Ok(ScrapeFormat::Json),
+            1 => Ok(ScrapeFormat::Prom),
+            2 => Ok(ScrapeFormat::Series),
+            _ => Err(WireError::BadValue("scrape format")),
         }
     }
 }
@@ -105,11 +141,19 @@ pub enum Msg {
         b_key: u64,
         /// Amount in cents.
         amount: u64,
+        /// Scheduled arrival, ns on the client's open-loop clock
+        /// (0 = unscheduled). Traced requests surface it in the span
+        /// tree; latency accounting against it is coordinated-omission
+        /// safe.
+        sched_ns: u64,
     },
     /// Client → server: an explicit read/write transaction.
     Raw {
         /// Client-chosen request id, echoed in the response.
         id: u64,
+        /// Scheduled arrival, ns on the client's open-loop clock
+        /// (0 = unscheduled).
+        sched_ns: u64,
         /// Operations executed in order inside one transaction.
         ops: Vec<RawOp>,
     },
@@ -122,6 +166,20 @@ pub enum Msg {
         /// Microseconds the request waited in the admission queue
         /// (host time; 0 for rejected requests).
         queue_us: u32,
+    },
+    /// Client → server: scrape the live telemetry plane. Answered out
+    /// of band with the engine — a scrape never touches the admission
+    /// queue or the engine counters.
+    StatsRequest {
+        /// Requested rendering.
+        format: ScrapeFormat,
+    },
+    /// Server → client: one rendered scrape.
+    StatsResponse {
+        /// Echo of the requested rendering.
+        format: ScrapeFormat,
+        /// Rendered bytes (UTF-8: JSON or Prometheus text).
+        body: Vec<u8>,
     },
 }
 
@@ -225,6 +283,7 @@ pub fn encode(msg: &Msg) -> Vec<u8> {
             b_shard,
             b_key,
             amount,
+            sched_ns,
         } => {
             p.push(1);
             p.extend_from_slice(&id.to_le_bytes());
@@ -234,10 +293,12 @@ pub fn encode(msg: &Msg) -> Vec<u8> {
             p.extend_from_slice(&b_shard.to_le_bytes());
             p.extend_from_slice(&b_key.to_le_bytes());
             p.extend_from_slice(&amount.to_le_bytes());
+            p.extend_from_slice(&sched_ns.to_le_bytes());
         }
-        Msg::Raw { id, ops } => {
+        Msg::Raw { id, sched_ns, ops } => {
             p.push(2);
             p.extend_from_slice(&id.to_le_bytes());
+            p.extend_from_slice(&sched_ns.to_le_bytes());
             p.extend_from_slice(&(ops.len() as u16).to_le_bytes());
             for op in ops {
                 match op {
@@ -273,6 +334,16 @@ pub fn encode(msg: &Msg) -> Vec<u8> {
             p.push(status.code());
             p.extend_from_slice(&queue_us.to_le_bytes());
         }
+        Msg::StatsRequest { format } => {
+            p.push(4);
+            p.push(format.code());
+        }
+        Msg::StatsResponse { format, body } => {
+            p.push(5);
+            p.push(format.code());
+            p.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            p.extend_from_slice(body);
+        }
     }
     assert!(p.len() <= MAX_FRAME, "outbound frame exceeds MAX_FRAME");
     let mut f = Vec::with_capacity(4 + p.len());
@@ -307,9 +378,11 @@ pub fn decode_payload(buf: &[u8]) -> Result<Msg, WireError> {
             b_shard: c.u32()?,
             b_key: c.u64()?,
             amount: c.u64()?,
+            sched_ns: c.u64()?,
         },
         2 => {
             let id = c.u64()?;
+            let sched_ns = c.u64()?;
             let n = c.u16()? as usize;
             let mut ops = Vec::with_capacity(n.min(256));
             for _ in 0..n {
@@ -332,13 +405,24 @@ pub fn decode_payload(buf: &[u8]) -> Result<Msg, WireError> {
                     _ => return Err(WireError::BadValue("raw op")),
                 });
             }
-            Msg::Raw { id, ops }
+            Msg::Raw { id, sched_ns, ops }
         }
         3 => Msg::Response {
             id: c.u64()?,
             status: Status::from_code(c.u8()?)?,
             queue_us: c.u32()?,
         },
+        4 => Msg::StatsRequest {
+            format: ScrapeFormat::from_code(c.u8()?)?,
+        },
+        5 => {
+            let format = ScrapeFormat::from_code(c.u8()?)?;
+            let len = c.u32()? as usize;
+            Msg::StatsResponse {
+                format,
+                body: c.take(len)?.to_vec(),
+            }
+        }
         t => return Err(WireError::BadTag(t)),
     };
     c.done()?;
@@ -383,7 +467,7 @@ mod tests {
     use drtm_base::SplitMix64;
 
     fn arb_msg(rng: &mut SplitMix64) -> Msg {
-        match rng.below(4) {
+        match rng.below(6) {
             0 => Msg::Hello {
                 version: rng.next_u64() as u16,
                 nodes: rng.below(1 << 16) as u32,
@@ -397,6 +481,7 @@ mod tests {
                 b_shard: rng.below(64) as u32,
                 b_key: rng.next_u64(),
                 amount: rng.below(1 << 20),
+                sched_ns: rng.next_u64(),
             },
             2 => {
                 let n = rng.below(8) as usize;
@@ -421,15 +506,28 @@ mod tests {
                     .collect();
                 Msg::Raw {
                     id: rng.next_u64(),
+                    sched_ns: rng.next_u64(),
                     ops,
                 }
             }
-            _ => Msg::Response {
+            3 => Msg::Response {
                 id: rng.next_u64(),
                 status: [Status::Committed, Status::Aborted, Status::Rejected]
                     [rng.below(3) as usize],
                 queue_us: rng.next_u64() as u32,
             },
+            4 => Msg::StatsRequest {
+                format: [ScrapeFormat::Json, ScrapeFormat::Prom, ScrapeFormat::Series]
+                    [rng.below(3) as usize],
+            },
+            _ => {
+                let len = rng.below(256) as usize;
+                Msg::StatsResponse {
+                    format: [ScrapeFormat::Json, ScrapeFormat::Prom, ScrapeFormat::Series]
+                        [rng.below(3) as usize],
+                    body: (0..len).map(|_| rng.next_u64() as u8).collect(),
+                }
+            }
         }
     }
 
@@ -507,6 +605,7 @@ mod tests {
             b_shard: 0,
             b_key: 0,
             amount: 0,
+            sched_ns: 0,
         });
         f[4 + 1 + 8] = 6; // txn type past SbTxn::ALL
         assert!(matches!(
@@ -523,5 +622,30 @@ mod tests {
             decode_payload(&f[4..]),
             Err(WireError::BadValue("status"))
         ));
+        let mut f = encode(&Msg::StatsRequest {
+            format: ScrapeFormat::Json,
+        });
+        f[4 + 1] = 3; // scrape format past Series
+        assert!(matches!(
+            decode_payload(&f[4..]),
+            Err(WireError::BadValue("scrape format"))
+        ));
+    }
+
+    #[test]
+    fn stats_response_body_round_trips_text() {
+        let body = b"drtm_txn_committed_total 42\n".to_vec();
+        let m = Msg::StatsResponse {
+            format: ScrapeFormat::Prom,
+            body: body.clone(),
+        };
+        let f = encode(&m);
+        match decode_payload(&f[4..]).unwrap() {
+            Msg::StatsResponse { format, body: b } => {
+                assert_eq!(format, ScrapeFormat::Prom);
+                assert_eq!(b, body);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 }

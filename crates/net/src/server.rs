@@ -35,11 +35,15 @@ use drtm_base::stats::Counter;
 use drtm_base::sync::{Condvar, Mutex};
 use drtm_core::cluster::{DrtmCluster, EngineOpts};
 use drtm_core::{scrape_cluster, Admission, RoutinePool, SubmitQueue, Worker};
-use drtm_obs::trace::{event, EventKind};
-use drtm_obs::{HistSummary, NetStats, Snapshot};
+use drtm_obs::trace::{self, event, event_id, EventKind};
+use drtm_obs::{expo, HistSummary, NetStats, Snapshot, TsRing, TsSample};
 use drtm_workloads::smallbank::{self, SbCfg, SbInput, SbTxn};
 
-use crate::proto::{self, Msg, RawOp, Status};
+use crate::proto::{self, Msg, RawOp, ScrapeFormat, Status};
+
+/// Capacity of the in-server time-series ring: at the default sampling
+/// cadence this holds the last several minutes of server history.
+const TS_RING_CAP: usize = 4096;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -60,6 +64,9 @@ pub struct ServerCfg {
     /// Per-connection in-flight window: a reader stops pulling from its
     /// socket once this many requests are admitted but unanswered.
     pub window: usize,
+    /// Period of the telemetry sampler thread that feeds the in-server
+    /// time-series ring; 0 disables the sampler.
+    pub sample_ms: u64,
 }
 
 impl Default for ServerCfg {
@@ -72,6 +79,7 @@ impl Default for ServerCfg {
             routines: 4,
             high_water: 256,
             window: 128,
+            sample_ms: 5,
         }
     }
 }
@@ -82,6 +90,10 @@ struct Job {
     id: u64,
     body: JobBody,
     admitted: Instant,
+    /// Non-zero for head-sampled requests: the wire-propagated trace id
+    /// linking the client-send, queue-wait, routine, and commit-phase
+    /// spans of this request into one tree.
+    trace: u64,
 }
 
 enum JobBody {
@@ -173,19 +185,103 @@ impl Conn {
     }
 }
 
+/// The shared telemetry plane of one running server.
+///
+/// Every scrape — the drain snapshot returned by [`Server::shutdown`],
+/// a live [`Msg::StatsRequest`] answered mid-burst, and the periodic
+/// time-series sampler — funnels through [`Telemetry::snapshot`], so
+/// all consumers agree on what each counter means and live and drain
+/// scrapes of the same cumulative counter are comparable (monotone).
+struct Telemetry {
+    cluster: Arc<DrtmCluster>,
+    queue: Arc<SubmitQueue<Job>>,
+    conns_opened: Counter,
+    conns_closed: Counter,
+    completed: Counter,
+    in_flight: AtomicU64,
+    /// Ring of periodic sampler output; rendered by
+    /// [`ScrapeFormat::Series`] scrapes.
+    ts: TsRing,
+    started: Instant,
+}
+
+impl Telemetry {
+    fn new(cluster: Arc<DrtmCluster>, queue: Arc<SubmitQueue<Job>>) -> Self {
+        Self {
+            cluster,
+            queue,
+            conns_opened: Counter::new(),
+            conns_closed: Counter::new(),
+            completed: Counter::new(),
+            in_flight: AtomicU64::new(0),
+            ts: TsRing::new(TS_RING_CAP),
+            started: Instant::now(),
+        }
+    }
+
+    /// The single scrape path: the engine scrape with the serving-tier
+    /// section filled in.
+    fn snapshot(&self) -> Snapshot {
+        let mut s = scrape_cluster(&self.cluster);
+        s.net = NetStats {
+            conns_opened: self.conns_opened.get(),
+            conns_closed: self.conns_closed.get(),
+            accepted: self.queue.accepted(),
+            rejected: self.queue.rejected(),
+            completed: self.completed.get(),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            queue_depth: self.queue.depth() as u64,
+            queue_wait_ns: HistSummary::of(self.queue.wait_hist()),
+        };
+        s
+    }
+
+    /// Renders one scrape in the requested wire format.
+    fn render(&self, format: ScrapeFormat) -> Vec<u8> {
+        match format {
+            ScrapeFormat::Json => expo::render_json(&self.snapshot()).into_bytes(),
+            ScrapeFormat::Prom => expo::render_prometheus(&self.snapshot()).into_bytes(),
+            ScrapeFormat::Series => self.ts.render_json().into_bytes(),
+        }
+    }
+
+    /// Takes one time-series sample. Cheaper than a full snapshot: it
+    /// reads the live counters directly instead of scraping histograms
+    /// and NIC tables, so a few-millisecond cadence stays invisible.
+    fn sample(&self) -> TsSample {
+        let mut committed = 0;
+        let mut aborted = 0;
+        let mut abort_reasons = [0u64; drtm_obs::ABORT_REASONS.len()];
+        for sh in self.cluster.obs.shards() {
+            committed += sh.committed.get();
+            aborted += sh.aborted.get();
+            for (slot, c) in abort_reasons.iter_mut().zip(sh.aborts.iter()) {
+                *slot += c.get();
+            }
+        }
+        TsSample {
+            wall_ms: self.started.elapsed().as_millis() as u64,
+            queue_depth: self.queue.depth() as u64,
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            accepted: self.queue.accepted(),
+            rejected: self.queue.rejected(),
+            completed: self.completed.get(),
+            committed,
+            aborted,
+            abort_reasons,
+        }
+    }
+}
+
 /// A running serving front-end. Dropping without [`Server::shutdown`]
 /// leaks the listener thread; always shut down explicitly.
 pub struct Server {
-    cluster: Arc<DrtmCluster>,
     sb: SbCfg,
-    queue: Arc<SubmitQueue<Job>>,
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    conns_opened: Arc<Counter>,
-    conns_closed: Arc<Counter>,
-    completed: Arc<Counter>,
-    in_flight: Arc<AtomicU64>,
+    tele: Arc<Telemetry>,
     acceptor: Option<std::thread::JoinHandle<()>>,
+    sampler: Option<std::thread::JoinHandle<()>>,
     pumps: Vec<std::thread::JoinHandle<Vec<Worker>>>,
 }
 
@@ -212,10 +308,7 @@ impl Server {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
-        let conns_opened = Arc::new(Counter::new());
-        let conns_closed = Arc::new(Counter::new());
-        let completed = Arc::new(Counter::new());
-        let in_flight = Arc::new(AtomicU64::new(0));
+        let tele = Arc::new(Telemetry::new(Arc::clone(&cluster), Arc::clone(&queue)));
 
         // Engine pumps: one routine pool per node, all draining the one
         // shared admission queue.
@@ -223,26 +316,42 @@ impl Server {
             .map(|node| {
                 let cluster = Arc::clone(&cluster);
                 let queue = Arc::clone(&queue);
-                let completed = Arc::clone(&completed);
-                let in_flight = Arc::clone(&in_flight);
+                let tele = Arc::clone(&tele);
                 std::thread::spawn(move || {
                     let workers: Vec<Worker> = (0..cfg.routines.max(1))
                         .map(|r| cluster.worker(node, 0xC0FFEE + (node * 131 + r) as u64))
                         .collect();
                     RoutinePool::serve(workers, &queue, |_, w, job: Job| {
-                        execute_job(w, job, &completed, &in_flight);
+                        execute_job(w, job, &tele);
                     })
                 })
             })
             .collect();
 
+        // The telemetry sampler: periodically push one cheap sample
+        // into the time-series ring until shutdown.
+        let sampler = (cfg.sample_ms > 0).then(|| {
+            let tele = Arc::clone(&tele);
+            let stop = Arc::clone(&stop);
+            let period = Duration::from_millis(cfg.sample_ms);
+            std::thread::Builder::new()
+                .name("drtm-sample".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) && !drtm_base::shutdown::requested() {
+                        tele.ts.push(tele.sample());
+                        std::thread::sleep(period);
+                    }
+                    // One final sample so the series covers the drain.
+                    tele.ts.push(tele.sample());
+                })
+                .expect("spawn sampler")
+        });
+
         // The acceptor: poll for connections until stopped.
         let acceptor = {
             let queue = Arc::clone(&queue);
             let stop = Arc::clone(&stop);
-            let conns_opened = Arc::clone(&conns_opened);
-            let conns_closed = Arc::clone(&conns_closed);
-            let in_flight = Arc::clone(&in_flight);
+            let tele = Arc::clone(&tele);
             let hello = Msg::Hello {
                 version: proto::PROTO_VERSION,
                 nodes: cfg.nodes as u32,
@@ -258,15 +367,14 @@ impl Server {
                         }
                         match listener.accept() {
                             Ok((stream, peer)) => {
-                                conns_opened.inc();
+                                tele.conns_opened.inc();
                                 event(EventKind::Net, "accept", peer.port() as u64, 0);
                                 conn_threads.push(spawn_conn(
                                     stream,
                                     &hello,
                                     Arc::clone(&queue),
                                     Arc::clone(&stop),
-                                    Arc::clone(&conns_closed),
-                                    Arc::clone(&in_flight),
+                                    Arc::clone(&tele),
                                     cfg.window,
                                 ));
                             }
@@ -285,16 +393,12 @@ impl Server {
         };
 
         Ok(Server {
-            cluster,
             sb,
-            queue,
             addr,
             stop,
-            conns_opened,
-            conns_closed,
-            completed,
-            in_flight,
+            tele,
             acceptor: Some(acceptor),
+            sampler,
             pumps,
         })
     }
@@ -305,20 +409,15 @@ impl Server {
     }
 
     /// Point-in-time stats: the engine scrape with the serving-tier
-    /// section filled in.
+    /// section filled in. Same path a live [`Msg::StatsRequest`] takes.
     pub fn snapshot(&self) -> Snapshot {
-        let mut s = scrape_cluster(&self.cluster);
-        s.net = NetStats {
-            conns_opened: self.conns_opened.get(),
-            conns_closed: self.conns_closed.get(),
-            accepted: self.queue.accepted(),
-            rejected: self.queue.rejected(),
-            completed: self.completed.get(),
-            in_flight: self.in_flight.load(Ordering::Relaxed),
-            queue_depth: self.queue.depth() as u64,
-            queue_wait_ns: HistSummary::of(self.queue.wait_hist()),
-        };
-        s
+        self.tele.snapshot()
+    }
+
+    /// Renders the in-server time-series ring (the sampler's output) as
+    /// one JSON object.
+    pub fn timeseries_json(&self) -> String {
+        self.tele.ts.render_json()
     }
 
     /// The conservation baseline for this server's dataset.
@@ -338,22 +437,34 @@ impl Server {
     pub fn shutdown(mut self) -> (Snapshot, Arc<DrtmCluster>, SbCfg) {
         event(EventKind::Net, "drain", 0, 0);
         self.stop.store(true, Ordering::SeqCst);
-        self.queue.close();
+        self.tele.queue.close();
         for p in self.pumps.drain(..) {
             let _ = p.join();
         }
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
         }
+        if let Some(s) = self.sampler.take() {
+            let _ = s.join();
+        }
         let snap = self.snapshot();
-        (snap, Arc::clone(&self.cluster), self.sb.clone())
+        (snap, Arc::clone(&self.tele.cluster), self.sb.clone())
     }
 }
 
 /// Executes one admitted request on a pool routine's worker and
 /// completes it back to its connection.
-fn execute_job(w: &mut Worker, job: Job, completed: &Counter, in_flight: &AtomicU64) {
+fn execute_job(w: &mut Worker, job: Job, tele: &Telemetry) {
     let queue_us = (job.admitted.elapsed().as_micros()).min(u32::MAX as u128) as u32;
+    if job.trace != 0 {
+        // Close the queue-wait span opened at admission and open the
+        // routine span covering engine execution; the worker tags the
+        // commit-phase spans itself via `set_trace`.
+        trace::span_end(EventKind::Net, "queue", job.trace, 0);
+        trace::span_begin(EventKind::Net, "routine", job.trace, 0);
+        trace::flow_step(job.trace, 0);
+    }
+    w.set_trace(job.trace);
     let status = match &job.body {
         JobBody::SmallBank(inp) => {
             let res = if inp.txn.read_only() {
@@ -391,8 +502,12 @@ fn execute_job(w: &mut Worker, job: Job, completed: &Counter, in_flight: &Atomic
             }
         }
     };
-    completed.inc();
-    in_flight.fetch_sub(1, Ordering::Relaxed);
+    w.set_trace(0);
+    if job.trace != 0 {
+        trace::span_end(EventKind::Net, "routine", job.trace, 0);
+    }
+    tele.completed.inc();
+    tele.in_flight.fetch_sub(1, Ordering::Relaxed);
     job.conn.complete(proto::encode(&Msg::Response {
         id: job.id,
         status,
@@ -408,8 +523,7 @@ fn spawn_conn(
     hello: &Msg,
     queue: Arc<SubmitQueue<Job>>,
     stop: Arc<AtomicBool>,
-    conns_closed: Arc<Counter>,
-    in_flight: Arc<AtomicU64>,
+    tele: Arc<Telemetry>,
     window: usize,
 ) -> ConnHandles {
     let _ = stream.set_nodelay(true);
@@ -480,7 +594,7 @@ fn spawn_conn(
                         break; // protocol violation: drop the conn
                     }
                 };
-                let (id, body) = match msg {
+                let (id, sched_ns, body) = match msg {
                     Msg::SmallBank {
                         id,
                         txn,
@@ -489,8 +603,10 @@ fn spawn_conn(
                         b_shard,
                         b_key,
                         amount,
+                        sched_ns,
                     } => (
                         id,
+                        sched_ns,
                         JobBody::SmallBank(SbInput {
                             txn: SbTxn::ALL[txn as usize],
                             a: (a_shard as usize, a_key),
@@ -498,35 +614,56 @@ fn spawn_conn(
                             amount,
                         }),
                     ),
-                    Msg::Raw { id, ops } => (id, JobBody::Raw(ops)),
+                    Msg::Raw { id, sched_ns, ops } => (id, sched_ns, JobBody::Raw(ops)),
+                    Msg::StatsRequest { format } => {
+                        // A live scrape: answered inline from the
+                        // telemetry plane, never touching the engine
+                        // queue or its accept/complete counters.
+                        conn.complete(proto::encode(&Msg::StatsResponse {
+                            format,
+                            body: tele.render(format),
+                        }));
+                        continue;
+                    }
                     _ => {
                         release_slot(&conn);
                         break; // clients must not send server messages
                     }
                 };
-                in_flight.fetch_add(1, Ordering::Relaxed);
+                // Same deterministic head-sampling decision the client
+                // made, recomputed from the request id — no wire bit.
+                let tr = trace::trace_for(id);
+                tele.in_flight.fetch_add(1, Ordering::Relaxed);
                 let job = Job {
                     conn: Arc::clone(&conn),
                     id,
                     body,
                     admitted: Instant::now(),
+                    trace: tr,
                 };
                 if queue.submit(job) == Admission::Rejected {
                     // Shed: answer immediately, release the slot — the
                     // engine never sees this request.
                     event(EventKind::Net, "reject", id, 0);
-                    in_flight.fetch_sub(1, Ordering::Relaxed);
+                    if tr != 0 {
+                        trace::flow_end(tr, 0);
+                    }
+                    tele.in_flight.fetch_sub(1, Ordering::Relaxed);
                     conn.complete(proto::encode(&Msg::Response {
                         id,
                         status: Status::Rejected,
                         queue_us: 0,
                     }));
                 } else {
-                    event(EventKind::Net, "admit", id, 0);
+                    event_id(EventKind::Net, "admit", sched_ns, tr, 0);
+                    if tr != 0 {
+                        trace::flow_step(tr, 0);
+                        trace::span_begin(EventKind::Net, "queue", tr, 0);
+                    }
                 }
             }
             conn.reader_done();
-            conns_closed.inc();
+            tele.conns_closed.inc();
         })
     };
     (reader, writer)

@@ -2,8 +2,24 @@
 //! a real open-loop client, overload past the admission high-water
 //! mark, and a conservation audit after the graceful drain.
 
-use drtm_net::loadgen::{run_client, ClientCfg};
+use drtm_net::loadgen::{run_client, scrape, ClientCfg};
+use drtm_net::proto::ScrapeFormat;
 use drtm_net::server::{Server, ServerCfg};
+
+/// Pulls the integer value of `"key":N` out of the `"net":{...}`
+/// object of a stats-JSON scrape.
+fn net_counter(json: &str, key: &str) -> u64 {
+    let net = json.split("\"net\":{").nth(1).expect("net section");
+    let tail = net
+        .split(&format!("\"{key}\":"))
+        .nth(1)
+        .unwrap_or_else(|| panic!("missing {key} in {net}"));
+    tail.chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("integer counter")
+}
 
 /// The ISSUE's acceptance scenario in miniature: a seeded burst far
 /// past the admission high-water mark must (a) shed load with fast
@@ -117,4 +133,211 @@ fn paced_run_under_capacity_rejects_nothing() {
     assert_eq!(snap.net.accepted, 600);
     assert_eq!(snap.net.rejected, 0);
     assert_eq!(snap.net.conns_closed, 2);
+}
+
+/// A live `StatsRequest` scrape mid-burst and the drain scrape share
+/// one rendering path, so cumulative counters must agree: every
+/// counter read live is ≤ its drain value, and successive live scrapes
+/// are themselves monotone. Also exercises all three scrape formats
+/// against a running server.
+#[test]
+fn live_scrape_mid_burst_agrees_with_drain() {
+    let server = Server::start(ServerCfg {
+        nodes: 2,
+        accounts: 200,
+        replicas: 1,
+        routines: 2,
+        high_water: 64,
+        window: 2_048,
+        sample_ms: 1,
+        ..Default::default()
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+
+    let live = std::thread::scope(|scope| {
+        let client = {
+            let addr = addr.clone();
+            scope.spawn(move || {
+                run_client(&ClientCfg {
+                    addr,
+                    rate: 0.0,
+                    requests: 4_000,
+                    seed: 13,
+                    conns: 4,
+                    zero_sum: true,
+                    cross_prob: 0.2,
+                })
+                .expect("client run")
+            })
+        };
+        // Scrape while the burst is (very likely) still in flight; the
+        // monotonicity assertions hold regardless of interleaving.
+        let mut live = Vec::new();
+        for _ in 0..3 {
+            let body = scrape(&addr, ScrapeFormat::Json).expect("live scrape");
+            live.push(String::from_utf8(body).expect("utf8 json"));
+        }
+        let _ = client.join().expect("client thread");
+        // One more after the run but before the drain.
+        live.push(String::from_utf8(scrape(&addr, ScrapeFormat::Json).unwrap()).unwrap());
+        live
+    });
+
+    // The non-JSON formats also serve live.
+    let prom = String::from_utf8(scrape(&addr, ScrapeFormat::Prom).unwrap()).unwrap();
+    assert!(prom.contains("drtm_net_accepted_total"));
+    let series = String::from_utf8(scrape(&addr, ScrapeFormat::Series).unwrap()).unwrap();
+    drtm_obs::jsonlint::validate(&series).expect("series json parses");
+    assert!(series.contains("\"series\":["));
+
+    let (snap, _, _) = server.shutdown();
+    for json in &live {
+        drtm_obs::jsonlint::validate(json).expect("live scrape parses");
+    }
+    for key in ["accepted", "rejected", "completed", "conns_opened"] {
+        let mut prev = 0;
+        for json in &live {
+            let v = net_counter(json, key);
+            assert!(v >= prev, "{key} went backwards live: {v} < {prev}");
+            prev = v;
+        }
+        let drain = match key {
+            "accepted" => snap.net.accepted,
+            "rejected" => snap.net.rejected,
+            "completed" => snap.net.completed,
+            _ => snap.net.conns_opened,
+        };
+        assert!(
+            drain >= prev,
+            "{key}: drain {drain} below last live scrape {prev}"
+        );
+    }
+    // The post-run live scrape saw the whole burst accounted for.
+    let last = live.last().unwrap();
+    assert_eq!(
+        net_counter(last, "accepted") + net_counter(last, "rejected"),
+        4_000
+    );
+    // The sampler populated the time-series ring, and its cumulative
+    // columns are monotone too.
+    let ts = server_series_check(&series);
+    assert!(ts > 0, "sampler produced no samples");
+}
+
+/// Asserts the time-series scrape's cumulative columns are monotone
+/// and returns the sample count.
+fn server_series_check(series: &str) -> usize {
+    let mut count = 0;
+    let mut prev = (0u64, 0u64, 0u64);
+    for obj in series.split("{\"wall_ms\":").skip(1) {
+        let grab = |key: &str| -> u64 {
+            obj.split(&format!("\"{key}\":"))
+                .nth(1)
+                .map(|t| {
+                    t.chars()
+                        .take_while(|c| c.is_ascii_digit())
+                        .collect::<String>()
+                        .parse()
+                        .unwrap_or(0)
+                })
+                .unwrap_or(0)
+        };
+        let cur = (grab("accepted"), grab("rejected"), grab("completed"));
+        assert!(
+            cur.0 >= prev.0 && cur.1 >= prev.1 && cur.2 >= prev.2,
+            "time series not monotone: {cur:?} after {prev:?}"
+        );
+        prev = cur;
+        count += 1;
+    }
+    count
+}
+
+/// The ISSUE's acceptance scenario: requests against a running server
+/// produce an exported trace in which one trace id links the
+/// client-send span, the queue-wait span, the routine span, the
+/// commit-phase spans, and the request flow arrows.
+#[test]
+fn single_request_trace_links_client_queue_routine_and_phases() {
+    use drtm_obs::trace::{self, EvPhase, EventKind};
+
+    // Trace every request: this test asserts on complete span trees,
+    // not on the sampling budget (covered by obs unit tests).
+    trace::set_sample_every(1);
+    let server = Server::start(ServerCfg {
+        nodes: 2,
+        accounts: 200,
+        replicas: 1,
+        routines: 2,
+        high_water: 256,
+        window: 64,
+        ..Default::default()
+    })
+    .expect("bind loopback");
+
+    let report = run_client(&ClientCfg {
+        addr: server.local_addr().to_string(),
+        rate: 5_000.0,
+        requests: 64,
+        seed: 23,
+        conns: 1,
+        zero_sum: true,
+        cross_prob: 0.2,
+    })
+    .expect("client run");
+    assert!(report.committed > 0);
+    let (_, _, _) = server.shutdown();
+
+    // Group every traced event by trace id across all thread rings.
+    let mut by_id: std::collections::HashMap<u64, Vec<drtm_obs::trace::TraceEvent>> =
+        std::collections::HashMap::new();
+    for (_, evs) in trace::export_streams() {
+        for ev in evs {
+            if ev.id != 0 {
+                by_id.entry(ev.id).or_default().push(ev);
+            }
+        }
+    }
+    let has = |evs: &[drtm_obs::trace::TraceEvent], label: &str, ph: EvPhase| {
+        evs.iter().any(|e| e.label == label && e.ph == ph)
+    };
+    // At least one request's whole journey survived the rings: client
+    // send/receive, queue wait, routine execution, commit phases, and
+    // the flow arrows tying them into one tree in the trace viewer.
+    let complete = by_id.values().find(|evs| {
+        has(evs, "client", EvPhase::Begin)
+            && has(evs, "client", EvPhase::End)
+            && has(evs, "queue", EvPhase::Begin)
+            && has(evs, "queue", EvPhase::End)
+            && has(evs, "routine", EvPhase::Begin)
+            && has(evs, "routine", EvPhase::End)
+            && evs
+                .iter()
+                .any(|e| e.kind == EventKind::Phase && e.ph == EvPhase::Complete)
+            && has(evs, trace::FLOW_LABEL, EvPhase::FlowStart)
+            && has(evs, trace::FLOW_LABEL, EvPhase::FlowEnd)
+    });
+    assert!(
+        complete.is_some(),
+        "no trace id links client+queue+routine+phase spans; ids seen: {}",
+        by_id.len()
+    );
+    // A committed read-write request carries the full phase set.
+    let phases: std::collections::HashSet<&str> = by_id
+        .values()
+        .flatten()
+        .filter(|e| e.kind == EventKind::Phase)
+        .map(|e| e.label)
+        .collect();
+    for want in ["execute", "lock", "validate", "htm", "unlock"] {
+        assert!(
+            phases.contains(want),
+            "missing phase span {want}: {phases:?}"
+        );
+    }
+    // The rendered export is valid JSON and shows the flow arrows.
+    let json = trace::export_chrome_json();
+    drtm_obs::jsonlint::validate(&json).expect("trace json parses");
+    assert!(json.contains("\"ph\":\"s\"") && json.contains("\"ph\":\"f\""));
 }

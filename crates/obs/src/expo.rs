@@ -10,6 +10,22 @@ use std::fmt::Write as _;
 
 use crate::registry::{HistSummary, Snapshot};
 
+/// Escapes a Prometheus label *value* per the text exposition format:
+/// backslash, double quote, and newline must be escaped inside the
+/// quoted value or the series line is unparseable.
+fn prom_escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn prom_summary(out: &mut String, name: &str, labels: &str, h: &HistSummary) {
     let sep = if labels.is_empty() {
         ("", "")
@@ -26,6 +42,7 @@ fn prom_summary(out: &mut String, name: &str, labels: &str, h: &HistSummary) {
     };
     q(out, "0.5", h.p50);
     q(out, "0.99", h.p99);
+    q(out, "0.999", h.p999);
     let _ = writeln!(out, "{name}_sum{}{labels}{} {}", sep.0, sep.1, h.sum);
     let _ = writeln!(out, "{name}_count{}{labels}{} {}", sep.0, sep.1, h.count);
 }
@@ -44,11 +61,19 @@ pub fn render_prometheus(s: &Snapshot) -> String {
 
     out.push_str("# TYPE drtm_txn_abort_total counter\n");
     for (reason, n) in &s.aborts {
-        let _ = writeln!(out, "drtm_txn_abort_total{{reason=\"{reason}\"}} {n}");
+        let _ = writeln!(
+            out,
+            "drtm_txn_abort_total{{reason=\"{}\"}} {n}",
+            prom_escape(reason)
+        );
     }
     out.push_str("# TYPE drtm_htm_abort_total counter\n");
     for (class, n) in &s.htm {
-        let _ = writeln!(out, "drtm_htm_abort_total{{class=\"{class}\"}} {n}");
+        let _ = writeln!(
+            out,
+            "drtm_htm_abort_total{{class=\"{}\"}} {n}",
+            prom_escape(class)
+        );
     }
 
     out.push_str("# TYPE drtm_txn_latency_ns summary\n");
@@ -58,7 +83,7 @@ pub fn render_prometheus(s: &Snapshot) -> String {
         prom_summary(
             &mut out,
             "drtm_commit_phase_ns",
-            &format!("phase=\"{phase}\""),
+            &format!("phase=\"{}\"", prom_escape(phase)),
             h,
         );
     }
@@ -68,7 +93,7 @@ pub fn render_prometheus(s: &Snapshot) -> String {
         prom_summary(
             &mut out,
             "drtm_commit_phase_wait_ns",
-            &format!("phase=\"{phase}\""),
+            &format!("phase=\"{}\"", prom_escape(phase)),
             h,
         );
     }
@@ -121,7 +146,9 @@ pub fn render_prometheus(s: &Snapshot) -> String {
         let _ = writeln!(
             out,
             "drtm_nic_verbs_total{{node=\"{}\",verb=\"{}\"}} {}",
-            row.node, row.verb, row.count
+            row.node,
+            prom_escape(row.verb),
+            row.count
         );
     }
     out.push_str("# TYPE drtm_nic_bytes_total counter\n");
@@ -151,8 +178,8 @@ pub fn render_prometheus(s: &Snapshot) -> String {
 fn json_summary(out: &mut String, h: &HistSummary) {
     let _ = write!(
         out,
-        "{{\"count\":{},\"sum\":{},\"mean\":{:.3},\"p50\":{},\"p99\":{},\"max\":{}}}",
-        h.count, h.sum, h.mean, h.p50, h.p99, h.max
+        "{{\"count\":{},\"sum\":{},\"mean\":{:.3},\"p50\":{},\"p99\":{},\"p999\":{},\"max\":{}}}",
+        h.count, h.sum, h.mean, h.p50, h.p99, h.p999, h.max
     );
 }
 
@@ -454,6 +481,7 @@ mod tests {
                 mean: 1_000.0,
                 p50: 900,
                 p99: 4_000,
+                p999: 4_800,
                 max: 5_000,
             },
         };
@@ -509,6 +537,83 @@ mod tests {
         assert!(out.contains("drtm_net_rejected_total 10"));
         assert!(out.contains("drtm_net_in_flight 2"));
         assert!(out.contains("drtm_net_queue_wait_ns{quantile=\"0.99\"} 4000"));
+        assert!(out.contains("drtm_net_queue_wait_ns{quantile=\"0.999\"} 4800"));
+        assert!(out.contains("drtm_commit_phase_ns{phase=\"lock\",quantile=\"0.999\"}"));
+    }
+
+    #[test]
+    fn json_summaries_carry_p999() {
+        let out = render_json(&sample());
+        assert!(out.contains("\"p999\":4800"));
+        assert!(out.contains("\"p99\":4000"));
+    }
+
+    /// Reverses [`prom_escape`]: the round-trip oracle.
+    fn prom_unescape(v: &str) -> String {
+        let mut out = String::with_capacity(v.len());
+        let mut it = v.chars();
+        while let Some(c) = it.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match it.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('n') => out.push('\n'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn prometheus_label_values_round_trip_through_escaping() {
+        // Satellite: every stable label table entry, plus adversarial
+        // values containing quotes/backslashes/newlines, must survive
+        // escape → line render → extract → unescape unchanged.
+        let adversarial = ["quo\"te", "back\\slash", "new\nline", "\\\"both\\\"", ""];
+        for raw in crate::ABORT_REASONS
+            .iter()
+            .chain(crate::HTM_CLASSES.iter())
+            .copied()
+            .chain(adversarial)
+        {
+            let line = format!("drtm_txn_abort_total{{reason=\"{}\"}} 1", prom_escape(raw));
+            // A parseable series line has exactly one unescaped quote
+            // pair around the value and no raw newline inside it.
+            let inner = line
+                .strip_prefix("drtm_txn_abort_total{reason=\"")
+                .and_then(|r| r.strip_suffix("\"} 1"))
+                .unwrap_or_else(|| panic!("unparseable line {line:?}"));
+            assert!(!inner.contains('\n'), "raw newline leaked: {line:?}");
+            let mut quotes = 0;
+            let mut prev_backslash = false;
+            for c in inner.chars() {
+                if c == '"' && !prev_backslash {
+                    quotes += 1;
+                }
+                prev_backslash = c == '\\' && !prev_backslash;
+            }
+            assert_eq!(quotes, 0, "unescaped quote inside value: {line:?}");
+            assert_eq!(prom_unescape(inner), raw, "round-trip broke for {raw:?}");
+        }
+    }
+
+    #[test]
+    fn prometheus_rendering_escapes_hostile_labels() {
+        let mut s = sample();
+        s.nic.push(crate::registry::NicRow {
+            node: 3,
+            verb: "rd\"ma\\verb",
+            count: 1,
+        });
+        let out = render_prometheus(&s);
+        assert!(out.contains("drtm_nic_verbs_total{node=\"3\",verb=\"rd\\\"ma\\\\verb\"} 1"));
     }
 
     #[test]

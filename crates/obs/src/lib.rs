@@ -13,7 +13,10 @@
 //!   ring buffers of engine events with wall *and* virtual timestamps,
 //!   exportable as chrome://tracing JSON;
 //! * **exposition** ([`expo`]): Prometheus-style text, JSON, and human
-//!   tables rendered from a [`Snapshot`].
+//!   tables rendered from a [`Snapshot`];
+//! * a **time-series ring** ([`timeseries`]): a bounded history of
+//!   periodic server telemetry samples (queue depth, in-flight, abort
+//!   mix) a live server scrapes into and exports alongside the trace.
 //!
 //! # Cost model when disabled
 //!
@@ -37,12 +40,14 @@
 pub mod expo;
 pub mod jsonlint;
 pub mod registry;
+pub mod timeseries;
 pub mod trace;
 
 pub use registry::{
     CacheStats, HistSummary, MachineRow, NetStats, NicRow, PipelineStats, Registry, Shard, Snapshot,
 };
-pub use trace::{EventKind, TraceEvent, TraceRing};
+pub use timeseries::{TsRing, TsSample};
+pub use trace::{EvPhase, EventKind, TraceEvent, TraceRing};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

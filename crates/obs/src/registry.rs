@@ -410,6 +410,9 @@ pub struct HistSummary {
     pub p50: u64,
     /// 99th percentile (interpolated).
     pub p99: u64,
+    /// 99.9th percentile (interpolated) — the tail the latency-vs-load
+    /// curve artifact plots.
+    pub p999: u64,
     /// Upper bound on the largest recorded value.
     pub max: u64,
 }
@@ -423,6 +426,7 @@ impl HistSummary {
             mean: h.mean(),
             p50: h.quantile(0.5),
             p99: h.quantile(0.99),
+            p999: h.quantile(0.999),
             max: h.max(),
         }
     }

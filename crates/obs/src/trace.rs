@@ -5,9 +5,26 @@
 //! a short mutex-free-of-contention push into thread-local storage.
 //! When a ring is full the oldest event is dropped — never a torn or
 //! partial record, because events are pushed whole under the ring's
-//! mutex. [`export_chrome_json`] renders every ring as a
-//! chrome://tracing "instant" event stream, sorted so each thread's
-//! timestamps are non-decreasing.
+//! mutex. [`export_chrome_json`] renders every ring as chrome://tracing
+//! JSON, sorted so each thread's timestamps are non-decreasing.
+//!
+//! # Request-scoped spans and flows
+//!
+//! Beyond point-in-time instants, events carry a chrome [`EvPhase`]: a
+//! request that was head-sampled (see [`trace_for`]) gets async span
+//! begin/end pairs (`"ph":"b"/"e"`), per-phase complete events
+//! (`"ph":"X"` with an explicit duration), and flow events
+//! (`"ph":"s"/"t"/"f"`) that stitch the client-send, queue-wait,
+//! routine, and commit-phase spans of one transaction into a single
+//! causal arrow in the viewer — all bound by one non-zero trace id.
+//! Dropping any individual record to ring wrap never corrupts the
+//! export: every record renders as a self-contained JSON object, and a
+//! viewer simply shows an unmatched end or flow step.
+//!
+//! Wall timestamps are relative to the *process* trace epoch, so spans
+//! from different processes only align when client and server share a
+//! process (the `drtm-shell` harnesses and tests); across real
+//! processes the flow ids still link the spans logically.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -47,6 +64,9 @@ pub enum EventKind {
     Cache,
     /// A serving-tier event (accept, admit, reject, drain).
     Net,
+    /// A commit-protocol phase span of a traced request (label is the
+    /// `drtm_obs::Phase` name: execute, lock, … unlock).
+    Phase,
     /// Free-form marker.
     Mark,
 }
@@ -66,6 +86,7 @@ impl EventKind {
             EventKind::Recovery => "recovery",
             EventKind::Cache => "cache",
             EventKind::Net => "net",
+            EventKind::Phase => "phase",
             EventKind::Mark => "mark",
         }
     }
@@ -73,7 +94,9 @@ impl EventKind {
     /// chrome://tracing category.
     pub fn cat(self) -> &'static str {
         match self {
-            EventKind::TxnBegin | EventKind::TxnCommit | EventKind::TxnAbort => "txn",
+            EventKind::TxnBegin | EventKind::TxnCommit | EventKind::TxnAbort | EventKind::Phase => {
+                "txn"
+            }
             EventKind::VerbIssue | EventKind::VerbComplete => "verb",
             EventKind::LeaseRenew | EventKind::LeaseExpire => "lease",
             EventKind::CrashPoint => "chaos",
@@ -81,6 +104,41 @@ impl EventKind {
             EventKind::Cache => "cache",
             EventKind::Net => "net",
             EventKind::Mark => "mark",
+        }
+    }
+}
+
+/// chrome://tracing phase of a record: how the viewer renders it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvPhase {
+    /// Thread-scoped instant (`"ph":"i"`).
+    Instant,
+    /// Async span begin (`"ph":"b"`), paired with an [`EvPhase::End`]
+    /// carrying the same trace id and name.
+    Begin,
+    /// Async span end (`"ph":"e"`).
+    End,
+    /// Complete span (`"ph":"X"`): explicit start timestamp + duration.
+    Complete,
+    /// Flow arrow start (`"ph":"s"`), bound by trace id.
+    FlowStart,
+    /// Flow arrow step (`"ph":"t"`).
+    FlowStep,
+    /// Flow arrow end (`"ph":"f"`).
+    FlowEnd,
+}
+
+impl EvPhase {
+    /// The chrome://tracing `ph` letter.
+    pub fn letter(self) -> char {
+        match self {
+            EvPhase::Instant => 'i',
+            EvPhase::Begin => 'b',
+            EvPhase::End => 'e',
+            EvPhase::Complete => 'X',
+            EvPhase::FlowStart => 's',
+            EvPhase::FlowStep => 't',
+            EvPhase::FlowEnd => 'f',
         }
     }
 }
@@ -93,13 +151,20 @@ pub struct TraceEvent {
     pub kind: EventKind,
     /// Static detail label (verb name, crash point, abort reason…).
     pub label: &'static str,
+    /// How the record renders ([`EvPhase::Instant`] for plain events).
+    pub ph: EvPhase,
+    /// Trace id binding spans/flows of one request (0 = untraced).
+    pub id: u64,
     /// Free numeric argument (txn id, node id, duration…).
     pub arg: u64,
     /// Doorbell batch the event belongs to (verb events; 0 = unbatched).
     /// Groups the WRs of one doorbell across issue/complete pairs.
     pub batch: u64,
-    /// Wall-clock nanoseconds since the process trace epoch.
+    /// Wall-clock nanoseconds since the process trace epoch. For
+    /// [`EvPhase::Complete`] this is the span *start*.
     pub wall_ns: u64,
+    /// Span duration in wall ns ([`EvPhase::Complete`] only, else 0).
+    pub dur_ns: u64,
     /// Emitting worker's virtual clock, ns (0 when not applicable).
     pub virt_ns: u64,
 }
@@ -205,6 +270,57 @@ thread_local! {
     };
 }
 
+/// Default head-sampling period: one request in this many is traced.
+/// Chosen so span/flow recording stays inside the 5% observability
+/// overhead budget enforced by CI's `obs-overhead` job.
+pub const DEFAULT_SAMPLE_EVERY: u64 = 32;
+
+/// Head-sampling period; 0 means "read `DRTM_TRACE_SAMPLE` on first
+/// use" so processes can be tuned without a flag.
+static SAMPLE_EVERY: AtomicU64 = AtomicU64::new(0);
+
+/// The current head-sampling period (requests per traced request).
+/// Initialized from `DRTM_TRACE_SAMPLE` (≥1) on first call, defaulting
+/// to [`DEFAULT_SAMPLE_EVERY`].
+pub fn sample_every() -> u64 {
+    let v = SAMPLE_EVERY.load(Ordering::Relaxed);
+    if v != 0 {
+        return v;
+    }
+    let init = std::env::var("DRTM_TRACE_SAMPLE")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(DEFAULT_SAMPLE_EVERY);
+    SAMPLE_EVERY.store(init, Ordering::Relaxed);
+    init
+}
+
+/// Overrides the head-sampling period (clamped to ≥1). `1` traces
+/// every request — useful for the single-request acceptance path.
+pub fn set_sample_every(n: u64) {
+    SAMPLE_EVERY.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Deterministic head-sampling decision for a request id. Pure in
+/// (id, period), so the client that stamps the id and the server that
+/// decodes it reach the same verdict with no extra wire bit. Request
+/// ids count up from 0, so the very first request is always sampled.
+pub fn head_sample(id: u64) -> bool {
+    let every = sample_every();
+    every <= 1 || id.is_multiple_of(every)
+}
+
+/// The trace id for a request id: `id + 1` when head-sampled (trace
+/// ids are non-zero by construction), 0 (untraced) otherwise.
+pub fn trace_for(id: u64) -> u64 {
+    if head_sample(id) {
+        id + 1
+    } else {
+        0
+    }
+}
+
 /// Records one event into the calling thread's ring. A no-op when
 /// recording is disabled (feature or runtime toggle).
 #[inline]
@@ -220,14 +336,144 @@ pub fn event_batch(kind: EventKind, label: &'static str, arg: u64, batch: u64, v
     if !enabled() {
         return;
     }
-    let ev = TraceEvent {
+    push(TraceEvent {
         kind,
         label,
+        ph: EvPhase::Instant,
+        id: 0,
         arg,
         batch,
         wall_ns: wall_ns(),
+        dur_ns: 0,
         virt_ns,
-    };
+    });
+}
+
+/// Records an instant event carrying a trace id, so per-request
+/// instants (txn begin/commit/abort) join the request's span tree.
+/// With `trace == 0` this is identical to [`event`].
+#[inline]
+pub fn event_id(kind: EventKind, label: &'static str, arg: u64, trace: u64, virt_ns: u64) {
+    if !enabled() {
+        return;
+    }
+    push(TraceEvent {
+        kind,
+        label,
+        ph: EvPhase::Instant,
+        id: trace,
+        arg,
+        batch: 0,
+        wall_ns: wall_ns(),
+        dur_ns: 0,
+        virt_ns,
+    });
+}
+
+/// Opens an async span bound to `trace`. No-op when untraced
+/// (`trace == 0`) or recording is disabled.
+#[inline]
+pub fn span_begin(kind: EventKind, label: &'static str, trace: u64, virt_ns: u64) {
+    span_edge(kind, label, EvPhase::Begin, trace, virt_ns);
+}
+
+/// Closes the async span opened by [`span_begin`] with the same
+/// (kind, label, trace). No-op when untraced or disabled.
+#[inline]
+pub fn span_end(kind: EventKind, label: &'static str, trace: u64, virt_ns: u64) {
+    span_edge(kind, label, EvPhase::End, trace, virt_ns);
+}
+
+#[inline]
+fn span_edge(kind: EventKind, label: &'static str, ph: EvPhase, trace: u64, virt_ns: u64) {
+    if trace == 0 || !enabled() {
+        return;
+    }
+    push(TraceEvent {
+        kind,
+        label,
+        ph,
+        id: trace,
+        arg: 0,
+        batch: 0,
+        wall_ns: wall_ns(),
+        dur_ns: 0,
+        virt_ns,
+    });
+}
+
+/// Records a complete span (`"ph":"X"`) with an explicit wall start
+/// and duration — the commit path uses this for the C.1–C.6/R.1–R.2
+/// phase spans, where the boundaries are known only after the fact.
+/// No-op when untraced or disabled.
+#[inline]
+pub fn span_complete(
+    kind: EventKind,
+    label: &'static str,
+    trace: u64,
+    wall_start_ns: u64,
+    dur_ns: u64,
+    virt_ns: u64,
+) {
+    if trace == 0 || !enabled() {
+        return;
+    }
+    push(TraceEvent {
+        kind,
+        label,
+        ph: EvPhase::Complete,
+        id: trace,
+        arg: 0,
+        batch: 0,
+        wall_ns: wall_start_ns,
+        dur_ns,
+        virt_ns,
+    });
+}
+
+/// Label shared by all flow records of a request: chrome binds flow
+/// arrows by (category, name, id), so every s/t/f step must carry the
+/// same name.
+pub const FLOW_LABEL: &str = "req";
+
+/// Starts the per-request flow arrow (client send).
+#[inline]
+pub fn flow_start(trace: u64, virt_ns: u64) {
+    flow_edge(EvPhase::FlowStart, trace, virt_ns);
+}
+
+/// A flow step (admission, routine pickup, response).
+#[inline]
+pub fn flow_step(trace: u64, virt_ns: u64) {
+    flow_edge(EvPhase::FlowStep, trace, virt_ns);
+}
+
+/// Ends the per-request flow arrow (client receive).
+#[inline]
+pub fn flow_end(trace: u64, virt_ns: u64) {
+    flow_edge(EvPhase::FlowEnd, trace, virt_ns);
+}
+
+#[inline]
+fn flow_edge(ph: EvPhase, trace: u64, virt_ns: u64) {
+    if trace == 0 || !enabled() {
+        return;
+    }
+    push(TraceEvent {
+        kind: EventKind::Net,
+        label: FLOW_LABEL,
+        ph,
+        id: trace,
+        arg: 0,
+        batch: 0,
+        wall_ns: wall_ns(),
+        dur_ns: 0,
+        virt_ns,
+    });
+}
+
+#[inline]
+fn push(ev: TraceEvent) {
     LOCAL.with(|(_, ring)| ring.push(ev));
 }
 
@@ -266,7 +512,25 @@ fn write_event(out: &mut String, tid: u64, ev: &TraceEvent) {
     }
     out.push_str("\",\"cat\":\"");
     escape_into(out, ev.kind.cat());
-    out.push_str("\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":");
+    out.push_str("\",\"ph\":\"");
+    out.push(ev.ph.letter());
+    out.push('"');
+    if ev.ph == EvPhase::Instant {
+        out.push_str(",\"s\":\"t\"");
+    }
+    if ev.ph == EvPhase::Complete {
+        // chrome://tracing durations are microseconds, like ts.
+        out.push_str(",\"dur\":");
+        out.push_str(&format!("{:.3}", ev.dur_ns as f64 / 1_000.0));
+    }
+    if ev.id != 0 {
+        // Spans and flows bind by this id; instants merely carry it so
+        // a request's whole record set greps by one value.
+        out.push_str(",\"id\":\"");
+        out.push_str(&ev.id.to_string());
+        out.push('"');
+    }
+    out.push_str(",\"pid\":1,\"tid\":");
     out.push_str(&tid.to_string());
     // chrome://tracing wants microseconds; keep ns precision with
     // three decimals.
@@ -285,8 +549,23 @@ fn write_event(out: &mut String, tid: u64, ev: &TraceEvent) {
 /// Each stream is sorted by wall time first, so per-thread timestamps
 /// are non-decreasing in the output.
 pub fn render_chrome_json(streams: &[(u64, Vec<TraceEvent>)]) -> String {
+    render_chrome_json_meta(streams, None)
+}
+
+/// [`render_chrome_json`] with an optional pre-rendered JSON *object*
+/// spliced in as a top-level `"meta"` key — the artifact stamp (git
+/// rev, UTC timestamp, run config) produced by `drtm-bench`. The
+/// caller guarantees `meta` is itself valid JSON; exports are still
+/// checked by `jsonlint` before they are written.
+pub fn render_chrome_json_meta(streams: &[(u64, Vec<TraceEvent>)], meta: Option<&str>) -> String {
     let mut out = String::with_capacity(4096);
-    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    out.push_str("{\"displayTimeUnit\":\"ms\",");
+    if let Some(m) = meta {
+        out.push_str("\"meta\":");
+        out.push_str(m);
+        out.push(',');
+    }
+    out.push_str("\"traceEvents\":[");
     let mut first = true;
     for (tid, events) in streams {
         let mut evs = events.clone();
@@ -306,12 +585,22 @@ pub fn render_chrome_json(streams: &[(u64, Vec<TraceEvent>)]) -> String {
 
 /// Exports every registered ring as chrome://tracing JSON.
 pub fn export_chrome_json() -> String {
-    let streams: Vec<(u64, Vec<TraceEvent>)> = rings()
+    render_chrome_json(&export_streams())
+}
+
+/// [`export_chrome_json`] with a top-level `"meta"` stamp object.
+pub fn export_chrome_json_meta(meta: &str) -> String {
+    render_chrome_json_meta(&export_streams(), Some(meta))
+}
+
+/// Snapshots every registered ring as `(thread tag, events)` streams —
+/// the raw form of [`export_chrome_json`], for programmatic assertions.
+pub fn export_streams() -> Vec<(u64, Vec<TraceEvent>)> {
+    rings()
         .lock()
         .iter()
         .map(|(tag, ring)| (*tag, ring.snapshot().0))
-        .collect();
-    render_chrome_json(&streams)
+        .collect()
 }
 
 #[cfg(test)]
@@ -322,9 +611,26 @@ mod tests {
         TraceEvent {
             kind: EventKind::Mark,
             label: "t",
+            ph: EvPhase::Instant,
+            id: 0,
             arg,
             batch: 0,
             wall_ns,
+            dur_ns: 0,
+            virt_ns: 0,
+        }
+    }
+
+    fn span(ph: EvPhase, id: u64, wall_ns: u64) -> TraceEvent {
+        TraceEvent {
+            kind: EventKind::Net,
+            label: "queue",
+            ph,
+            id,
+            arg: 0,
+            batch: 0,
+            wall_ns,
+            dur_ns: if ph == EvPhase::Complete { 10 } else { 0 },
             virt_ns: 0,
         }
     }
@@ -439,12 +745,101 @@ mod tests {
         let e = TraceEvent {
             kind: EventKind::Mark,
             label: "quote\"back\\slash",
+            ph: EvPhase::Instant,
+            id: 0,
             arg: 0,
             batch: 0,
             wall_ns: 1,
             virt_ns: 0,
+            dur_ns: 0,
         };
         let out = render_chrome_json(&[(1, vec![e])]);
         crate::jsonlint::validate(&out).expect("escaped export must stay valid");
+    }
+
+    #[test]
+    fn head_sampling_is_deterministic_and_covers_first_request() {
+        set_sample_every(8);
+        assert_eq!(sample_every(), 8);
+        // Request id 0 (the single-request acceptance path) is always
+        // sampled, and the decision is a pure function of the id.
+        assert!(head_sample(0));
+        assert!(!head_sample(1));
+        assert!(head_sample(8));
+        assert_eq!(trace_for(0), 1, "trace ids are non-zero");
+        assert_eq!(trace_for(1), 0);
+        assert_eq!(trace_for(8), 9);
+        set_sample_every(1);
+        assert!((0..10).all(head_sample), "period 1 traces everything");
+        // Leave the period at the compile-time default for other tests.
+        set_sample_every(DEFAULT_SAMPLE_EVERY);
+    }
+
+    #[test]
+    fn span_flow_and_complete_records_render_valid_json() {
+        let events = vec![
+            span(EvPhase::Begin, 5, 100),
+            span(EvPhase::FlowStart, 5, 110),
+            span(EvPhase::FlowStep, 5, 150),
+            span(EvPhase::Complete, 5, 160),
+            span(EvPhase::FlowEnd, 5, 190),
+            span(EvPhase::End, 5, 200),
+        ];
+        let out = render_chrome_json(&[(3, events)]);
+        crate::jsonlint::validate(&out).expect("span export must be valid JSON");
+        for ph in [
+            "\"ph\":\"b\"",
+            "\"ph\":\"e\"",
+            "\"ph\":\"X\"",
+            "\"ph\":\"s\"",
+            "\"ph\":\"t\"",
+            "\"ph\":\"f\"",
+        ] {
+            assert!(out.contains(ph), "missing {ph} in {out}");
+        }
+        assert!(out.contains("\"id\":\"5\""));
+        assert!(out.contains("\"dur\":0.010"));
+    }
+
+    #[test]
+    fn meta_stamp_splices_as_top_level_object() {
+        let out = render_chrome_json_meta(&[(1, vec![ev(1, 1)])], Some("{\"git_rev\":\"abc\"}"));
+        crate::jsonlint::validate(&out).expect("stamped export must be valid JSON");
+        assert!(out.starts_with("{\"displayTimeUnit\":\"ms\",\"meta\":{\"git_rev\":\"abc\"},"));
+    }
+
+    #[test]
+    fn wrap_dropped_begin_span_still_exports_valid_json() {
+        // Satellite: property-style sweep over ring capacities and
+        // filler counts. The begin record of a span falls off the ring
+        // to wrap while its end + flow records survive — the export
+        // must still be valid chrome JSON (unmatched ends are a viewer
+        // concern, never a corruption concern).
+        for cap in [2usize, 3, 5, 8] {
+            for filler in [0u64, 1, 4, 16, 64] {
+                let r = TraceRing::new(cap);
+                r.push(span(EvPhase::Begin, 9, 10));
+                r.push(span(EvPhase::FlowStart, 9, 11));
+                for i in 0..filler {
+                    r.push(ev(20 + i, i));
+                }
+                r.push(span(EvPhase::FlowEnd, 9, 100 + filler));
+                r.push(span(EvPhase::End, 9, 101 + filler));
+                let (evs, dropped) = r.snapshot();
+                let begin_survived = evs.iter().any(|e| e.ph == EvPhase::Begin);
+                assert!(
+                    filler + 4 <= cap as u64 || dropped > 0,
+                    "cap {cap} filler {filler}: expected wrap"
+                );
+                // The end records were pushed last, so they always survive.
+                assert!(evs.iter().any(|e| e.ph == EvPhase::End));
+                assert!(evs.iter().any(|e| e.ph == EvPhase::FlowEnd));
+                let out = render_chrome_json(&[(1, evs)]);
+                crate::jsonlint::validate(&out).unwrap_or_else(|e| {
+                    panic!("cap {cap} filler {filler} (begin_survived {begin_survived}): {e}")
+                });
+                assert!(out.contains("\"ph\":\"e\""));
+            }
+        }
     }
 }

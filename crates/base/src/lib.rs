@@ -25,6 +25,7 @@ pub mod rng;
 pub mod shutdown;
 pub mod stats;
 pub mod sync;
+pub mod task;
 
 pub use cacheline::{
     line_of,

@@ -1,0 +1,57 @@
+//! Minimal future-driving helpers for the routine reactor.
+//!
+//! The reactor in `drtm-core::routine` polls transaction futures by
+//! hand; the yield points those futures contain only ever suspend when
+//! the owning worker is registered with a routine pool. Outside a pool
+//! (the legacy blocking path, unit tests, baseline engines) the same
+//! async code completes without suspending, so a synchronous caller can
+//! drive it with a single poll. [`block_now`] is that single poll: it
+//! panics if the future dares to return `Pending`, which turns "a
+//! blocking caller reached a real suspension point" from a silent hang
+//! into a loud bug.
+
+use std::future::Future;
+use std::pin::pin;
+use std::task::{Context, Poll, Waker};
+
+/// Drives `fut` to completion with exactly one poll.
+///
+/// This is the synchronous facade over the engine's async primitives:
+/// when no routine scheduler is attached, every yield point completes
+/// immediately (the wait is folded into the virtual clock instead), so
+/// one poll finishes the whole future.
+///
+/// # Panics
+///
+/// Panics if the future returns `Poll::Pending` — that means a real
+/// suspension point was reached from a context with no reactor to
+/// resume it, which is a programming error (a routine-pool body ran
+/// outside its pool).
+pub fn block_now<F: Future>(fut: F) -> F::Output {
+    let mut fut = pin!(fut);
+    let mut cx = Context::from_waker(Waker::noop());
+    match fut.as_mut().poll(&mut cx) {
+        Poll::Ready(out) => out,
+        Poll::Pending => panic!(
+            "block_now: future suspended with no reactor attached \
+             (a routine yield point was reached outside a routine pool)"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_now_drives_ready_future() {
+        let v = block_now(async { 41 + 1 });
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "no reactor attached")]
+    fn block_now_panics_on_suspension() {
+        block_now(std::future::pending::<()>());
+    }
+}

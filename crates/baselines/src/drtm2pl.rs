@@ -454,10 +454,7 @@ mod tests {
         let c = DrtmCluster::new(
             2,
             &[TableSpec::hash(0, 1024, 16)],
-            EngineOpts {
-                region_size: 1 << 20,
-                ..Default::default()
-            },
+            EngineOpts::builder().region_size(1 << 20).build(),
         );
         for shard in 0..2 {
             for k in 0..8u64 {

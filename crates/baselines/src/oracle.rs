@@ -148,10 +148,7 @@ mod tests {
         let c = DrtmCluster::new(
             2,
             &[TableSpec::hash(0, 256, 16)],
-            EngineOpts {
-                region_size: 1 << 20,
-                ..Default::default()
-            },
+            EngineOpts::builder().region_size(1 << 20).build(),
         );
         c.seed_record(0, 0, 1, &[1u8; 16]);
         c.seed_record(1, 0, 2, &[2u8; 16]);

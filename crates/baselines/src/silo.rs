@@ -258,10 +258,7 @@ mod tests {
         let c = DrtmCluster::new(
             1,
             &[TableSpec::hash(0, 1024, 16)],
-            EngineOpts {
-                region_size: 1 << 20,
-                ..Default::default()
-            },
+            EngineOpts::builder().region_size(1 << 20).build(),
         );
         for k in 0..8u64 {
             let mut v = vec![0u8; 16];
@@ -337,10 +334,7 @@ mod tests {
         let c = DrtmCluster::new(
             1,
             &[TableSpec::ordered(0, 16)],
-            EngineOpts {
-                region_size: 1 << 20,
-                ..Default::default()
-            },
+            EngineOpts::builder().region_size(1 << 20).build(),
         );
         let mut w = SiloWorker::new(c, 1);
         w.run(|t| {

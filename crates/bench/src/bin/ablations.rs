@@ -65,12 +65,10 @@ fn main() {
 
     // Pointer-swap: custom cluster with the optimisation disabled.
     let expected = base.txns_per_worker * base.threads * 2;
-    let opts = EngineOpts {
-        replicas: 1,
-        region_size: cfg.region_size(expected),
-        pointer_swap: false,
-        ..Default::default()
-    };
+    let opts = EngineOpts::builder()
+        .region_size(cfg.region_size(expected))
+        .pointer_swap(false)
+        .build();
     let cluster = DrtmCluster::new(cfg.nodes, &cfg.schema(), opts);
     tpcc::load(&cluster, &cfg);
     let no_swap = run_tpcc_on(&cfg, &base, &cluster, None);

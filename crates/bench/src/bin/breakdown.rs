@@ -48,7 +48,9 @@ fn run_case(name: &str, cross: f64, replicas: usize) {
     let n = 300;
     for i in 0..n {
         let inp = txns::gen_new_order(&cfg, &mut rng, 0, cross);
-        let _ = ew.exec(false, |t| txns::new_order(t, &cfg, &inp, i));
+        let _ = drtm_base::task::block_now(
+            ew.exec(false, async |t| txns::new_order(t, &cfg, &inp, i).await),
+        );
     }
     // Aux work so the logs do not grow unbounded.
     for node in 0..nodes {

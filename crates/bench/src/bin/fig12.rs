@@ -36,11 +36,9 @@ fn main() {
         run.seed = 7;
         // Build with NIC bandwidth divided by the co-location factor.
         let expected = run.txns_per_worker * run.threads * 2;
-        let mut opts = drtm_core::cluster::EngineOpts {
-            replicas: 1,
-            region_size: cfg.region_size(expected),
-            ..Default::default()
-        };
+        let mut opts = drtm_core::cluster::EngineOpts::builder()
+            .region_size(cfg.region_size(expected))
+            .build();
         opts.cost.nic_bytes_per_sec /= co as f64;
         let cluster = drtm_core::cluster::DrtmCluster::new(cfg.nodes, &cfg.schema(), opts);
         tpcc::load(&cluster, &cfg);

@@ -33,11 +33,10 @@ fn main() {
     let victim = nodes - 1;
 
     let cfg = tpcc_cfg(scale, nodes, threads);
-    let opts = EngineOpts {
-        replicas: 3.min(nodes),
-        region_size: cfg.region_size(200_000),
-        ..Default::default()
-    };
+    let opts = EngineOpts::builder()
+        .replicas(3.min(nodes))
+        .region_size(cfg.region_size(200_000))
+        .build();
     let cluster = DrtmCluster::new(nodes, &cfg.schema(), opts);
     tpcc::load(&cluster, &cfg);
 
@@ -103,7 +102,9 @@ fn main() {
                 while !stop.load(Ordering::Relaxed) && cluster.is_alive(node) {
                     let inp = txns::gen_new_order(&cfg, &mut rng, home_w, cfg.cross_new_order);
                     i += 1;
-                    let _ = w.run(|t| txns::new_order(t, &cfg, &inp, i));
+                    let _ = drtm_base::task::block_now(
+                        w.run_async(async |t| txns::new_order(t, &cfg, &inp, i).await),
+                    );
                     // Pace the offered load in wall-clock time: on an
                     // oversubscribed single-core host, unpaced workers
                     // would otherwise *speed up* when peers die (more CPU

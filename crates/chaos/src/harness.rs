@@ -120,11 +120,10 @@ pub fn run_smallbank_chaos(cfg: &ChaosRunCfg, plan: FaultPlan) -> ChaosOutcome {
         cross_prob: cfg.cross_prob,
         ..SbCfg::default()
     };
-    let opts = EngineOpts {
-        replicas: cfg.replicas.min(cfg.nodes),
-        region_size: sb.region_size(),
-        ..EngineOpts::default()
-    };
+    let opts = EngineOpts::builder()
+        .replicas(cfg.replicas.min(cfg.nodes))
+        .region_size(sb.region_size())
+        .build();
     let cluster = DrtmCluster::new(cfg.nodes, &sb.schema(), opts);
     smallbank::load(&cluster, &sb);
     let initial_total = smallbank::initial_total(&sb);
@@ -162,10 +161,10 @@ pub fn run_smallbank_chaos(cfg: &ChaosRunCfg, plan: FaultPlan) -> ChaosOutcome {
             workers.push(std::thread::spawn(move || {
                 // One routine's share of the worker's load; crashes and
                 // injected faults surface through the usual error paths.
-                let body = |w: &mut drtm_core::txn::Worker,
-                            rng: &mut SplitMix64,
-                            txns: usize|
-                 -> (u64, u64, bool) {
+                let body = async |w: &mut drtm_core::txn::Worker,
+                                  rng: &mut SplitMix64,
+                                  txns: usize|
+                       -> (u64, u64, bool) {
                     let (mut committed, mut aborted, mut crashed) = (0u64, 0u64, false);
                     for _ in 0..txns {
                         if !cluster.is_alive(node) {
@@ -184,7 +183,10 @@ pub fn run_smallbank_chaos(cfg: &ChaosRunCfg, plan: FaultPlan) -> ChaosOutcome {
                             b,
                             amount: rng.range(1, 50),
                         };
-                        match w.run(|t| smallbank::execute(t, &inp)) {
+                        match w
+                            .run_async(async |t| smallbank::execute(t, &inp).await)
+                            .await
+                        {
                             Ok(()) => committed += 1,
                             Err(TxnError::Crashed) => {
                                 crashed = true;
@@ -199,7 +201,9 @@ pub fn run_smallbank_chaos(cfg: &ChaosRunCfg, plan: FaultPlan) -> ChaosOutcome {
                     let mut w =
                         cluster.worker(node, seed ^ (wid.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
                     let mut rng = SplitMix64::new(seed.wrapping_add(wid * 7919));
-                    return body(&mut w, &mut rng, txns);
+                    // Outside a pool nothing suspends, so one poll
+                    // drives the whole share.
+                    return drtm_base::task::block_now(body(&mut w, &mut rng, txns));
                 }
                 let pool: Vec<drtm_core::txn::Worker> = (0..routines)
                     .map(|rid| {
@@ -207,11 +211,11 @@ pub fn run_smallbank_chaos(cfg: &ChaosRunCfg, plan: FaultPlan) -> ChaosOutcome {
                         cluster.worker(node, seed ^ (rw.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
                     })
                     .collect();
-                let outs = drtm_core::RoutinePool::run(pool, |rid, w| {
+                let outs = drtm_core::RoutinePool::run(pool, async |rid, w| {
                     let rw = wid * 31 + rid as u64;
                     let mut rng = SplitMix64::new(seed.wrapping_add(rw * 7919));
                     let share = txns / routines + usize::from(rid < txns % routines);
-                    body(w, &mut rng, share)
+                    body(w, &mut rng, share).await
                 });
                 let (mut committed, mut aborted, mut crashed) = (0u64, 0u64, false);
                 for (_, (c, a, k)) in outs {

@@ -338,12 +338,11 @@ fn lease_driven_recovery_drops_value_cached_entries() {
         v[..8].copy_from_slice(&x.to_le_bytes());
         v
     };
-    let opts = EngineOpts {
-        replicas: 2,
-        region_size: 2 << 20,
-        read_mostly_tables: vec![T],
-        ..EngineOpts::default()
-    };
+    let opts = EngineOpts::builder()
+        .replicas(2)
+        .region_size(2 << 20)
+        .read_mostly_tables(vec![T])
+        .build();
     let cluster = DrtmCluster::new(3, &[TableSpec::hash(T, 1024, 16)], opts);
     for shard in 0..3usize {
         for k in 0..4u64 {

@@ -1203,11 +1203,10 @@ impl Shell {
                 if nodes == 0 || replicas == 0 || replicas > nodes {
                     return Err("need nodes >= replicas >= 1".into());
                 }
-                let opts = EngineOpts {
-                    replicas,
-                    region_size: 16 << 20,
-                    ..Default::default()
-                };
+                let opts = EngineOpts::builder()
+                    .replicas(replicas)
+                    .region_size(16 << 20)
+                    .build();
                 let cluster =
                     DrtmCluster::new(nodes, &[TableSpec::hash(TABLE, 1 << 14, VALUE_LEN)], opts);
                 self.workers = (0..nodes)

@@ -29,7 +29,25 @@ pub trait CrashPointHook: Send + Sync {
 }
 
 /// Engine-wide tuning knobs.
+///
+/// Construct through [`EngineOpts::builder`] (or start from
+/// [`EngineOpts::default`] and assign fields): the struct is
+/// `#[non_exhaustive]`, so literal construction outside this crate does
+/// not compile and new knobs can be added without breaking downstream
+/// builds.
+///
+/// ```
+/// use drtm_core::cluster::EngineOpts;
+///
+/// let opts = EngineOpts::builder()
+///     .replicas(3)
+///     .region_size(8 << 20)
+///     .routines(64)
+///     .build();
+/// assert_eq!(opts.replicas, 3);
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct EngineOpts {
     /// Total copies of every record (1 = replication off; the paper's
     /// "DrTM+R=3" is 3).
@@ -108,6 +126,136 @@ impl Default for EngineOpts {
             read_mostly_tables: Vec::new(),
             routines: 1,
         }
+    }
+}
+
+impl EngineOpts {
+    /// Starts a builder seeded with [`EngineOpts::default`].
+    pub fn builder() -> EngineOptsBuilder {
+        EngineOptsBuilder::default()
+    }
+}
+
+/// Fluent construction of [`EngineOpts`].
+///
+/// Every knob starts at its [`EngineOpts::default`] value; call only the
+/// setters you care about, then [`EngineOptsBuilder::build`]. See each
+/// field on [`EngineOpts`] for semantics.
+///
+/// ```
+/// use drtm_core::cluster::EngineOpts;
+///
+/// let opts = EngineOpts::builder()
+///     .replicas(3)
+///     .batched_verbs(false)
+///     .read_mostly_tables(vec![4])
+///     .build();
+/// assert_eq!(opts.replicas, 3);
+/// assert!(!opts.batched_verbs);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EngineOptsBuilder {
+    opts: EngineOpts,
+}
+
+impl EngineOptsBuilder {
+    /// Total copies of every record (1 = replication off).
+    pub fn replicas(mut self, n: usize) -> Self {
+        assert!(n >= 1, "need at least one copy of every record");
+        self.opts.replicas = n;
+        self
+    }
+
+    /// HTM configuration shared by all nodes.
+    pub fn htm(mut self, htm: HtmConfig) -> Self {
+        self.opts.htm = htm;
+        self
+    }
+
+    /// Virtual-time cost model.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.opts.cost = cost;
+        self
+    }
+
+    /// Region bytes per node.
+    pub fn region_size(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0, "region must hold at least one byte");
+        self.opts.region_size = bytes;
+        self
+    }
+
+    /// Retries when a local read finds the record lock held.
+    pub fn local_read_retries(mut self, n: usize) -> Self {
+        self.opts.local_read_retries = n;
+        self
+    }
+
+    /// Retries for a consistent remote read (version matching).
+    pub fn remote_read_retries(mut self, n: usize) -> Self {
+        self.opts.remote_read_retries = n;
+        self
+    }
+
+    /// Use the DrTM location cache for remote hash lookups.
+    pub fn use_location_cache(mut self, on: bool) -> Self {
+        self.opts.use_location_cache = on;
+        self
+    }
+
+    /// `IBV_ATOMIC_GLOB` ablation: fuse remote lock + validate into one
+    /// RDMA CAS.
+    pub fn fuse_lock_validate(mut self, on: bool) -> Self {
+        self.opts.fuse_lock_validate = on;
+        self
+    }
+
+    /// §6.4 pointer-swap accounting for local-only tables.
+    pub fn pointer_swap(mut self, on: bool) -> Self {
+        self.opts.pointer_swap = on;
+        self
+    }
+
+    /// Database-transaction retries before giving up.
+    pub fn txn_retries(mut self, n: usize) -> Self {
+        self.opts.txn_retries = n;
+        self
+    }
+
+    /// FaRM-style two-sided locking ablation.
+    pub fn msg_locking(mut self, on: bool) -> Self {
+        self.opts.msg_locking = on;
+        self
+    }
+
+    /// Batch commit-phase verbs through the posted work-queue API.
+    pub fn batched_verbs(mut self, on: bool) -> Self {
+        self.opts.batched_verbs = on;
+        self
+    }
+
+    /// Cache remote record values for read-mostly tables.
+    pub fn value_cache(mut self, on: bool) -> Self {
+        self.opts.value_cache = on;
+        self
+    }
+
+    /// Tables whose records are read-mostly and worth caching locally.
+    pub fn read_mostly_tables(mut self, tables: Vec<u32>) -> Self {
+        self.opts.read_mostly_tables = tables;
+        self
+    }
+
+    /// In-flight transaction routines multiplexed per worker thread.
+    pub fn routines(mut self, r: usize) -> Self {
+        assert!(r >= 1, "every worker runs at least one routine");
+        self.opts.routines = r;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> EngineOpts {
+        self.opts
     }
 }
 
@@ -414,10 +562,7 @@ mod tests {
 
     #[test]
     fn backup_ring_placement() {
-        let opts = EngineOpts {
-            replicas: 3,
-            ..Default::default()
-        };
+        let opts = EngineOpts::builder().replicas(3).build();
         let c = DrtmCluster::new(4, &schema(), opts);
         assert_eq!(c.backups_of(0), vec![1, 2]);
         assert_eq!(c.backups_of(3), vec![0, 1]);
@@ -437,10 +582,7 @@ mod tests {
 
     #[test]
     fn seed_reaches_backups() {
-        let opts = EngineOpts {
-            replicas: 2,
-            ..Default::default()
-        };
+        let opts = EngineOpts::builder().replicas(2).build();
         let c = DrtmCluster::new(3, &schema(), opts);
         c.seed_record(0, 0, 42, &[7u8; 40]);
         assert!(c.stores[0].get_loc(0, 42).is_some());

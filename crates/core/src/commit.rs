@@ -78,14 +78,28 @@ impl TxnCtx<'_> {
 
     /// Attempts to commit the transaction. Consumes the context.
     ///
+    /// Synchronous facade over [`Self::commit_async`] for callers
+    /// outside a routine pool.
+    pub fn commit(self) -> Result<(), TxnError> {
+        drtm_base::task::block_now(self.commit_async())
+    }
+
+    /// Attempts to commit the transaction. Consumes the context.
+    ///
+    /// The commit path is a polled state machine: the returned future
+    /// suspends at every doorbell (C.1, C.2, R.1, C.5) and resumes when
+    /// the reactor grants the batch horizon, while the C.3+C.4 HTM
+    /// region runs synchronously inside a single step — it can never
+    /// span a suspension.
+    ///
     /// On success the worker's committed counter and latency histogram
     /// are updated; on `Err(TxnError::Aborted(_))` the abort counter is
     /// updated and the caller may retry with a fresh execution.
-    pub fn commit(mut self) -> Result<(), TxnError> {
+    pub async fn commit_async(mut self) -> Result<(), TxnError> {
         let result = if self.read_only {
-            self.commit_ro()
+            self.commit_ro().await
         } else {
-            self.commit_rw()
+            self.commit_rw().await
         };
         match &result {
             Ok(()) => {
@@ -134,7 +148,7 @@ impl TxnCtx<'_> {
     }
 
     /// Read-only commit: validate sequence numbers with no HTM, no locks.
-    fn commit_ro(&mut self) -> Result<(), TxnError> {
+    async fn commit_ro(&mut self) -> Result<(), TxnError> {
         assert!(self.l_ws.is_empty() && self.r_ws.is_empty() && self.mutations.is_empty());
         // Traced read-only commits get an execute span (begin → here)
         // and, on success, a validate span — the only phases they have.
@@ -165,7 +179,7 @@ impl TxnCtx<'_> {
             }
         }
         let addrs: Vec<(NodeId, usize)> = self.r_rs.iter().map(|e| (e.node, e.rec_off)).collect();
-        let hdrs = self.read_headers(&addrs)?;
+        let hdrs = self.read_headers(&addrs).await?;
         for i in 0..self.r_rs.len() {
             let (seen_seq, seen_inc, from_cache) = {
                 let e = &self.r_rs[i];
@@ -203,8 +217,9 @@ impl TxnCtx<'_> {
         Ok(())
     }
 
-    /// Read-write commit: the six steps plus replication.
-    fn commit_rw(&mut self) -> Result<(), TxnError> {
+    /// Read-write commit: the six steps plus replication, each doorbell
+    /// a suspension point of the commit state machine.
+    async fn commit_rw(&mut self) -> Result<(), TxnError> {
         let cluster = Arc::clone(&self.w.cluster);
         let exec_ns = self.w.clock.now().saturating_sub(self.start_ns);
         let exec_wait = self.w.wait_accum_ns.saturating_sub(self.start_wait_ns);
@@ -245,7 +260,7 @@ impl TxnCtx<'_> {
 
         // C.1: lock remote read + write sets in global order.
         let locks = self.remote_lock_addrs();
-        if let Err((held, err)) = self.lock_all(&locks) {
+        if let Err((held, err)) = self.lock_all(&locks).await {
             // On `Crashed` the machine died mid-acquisition (`lock_all`
             // refused to issue further verbs) and `unlock_all` is a
             // no-op: whatever it already locked dangles for the
@@ -259,7 +274,7 @@ impl TxnCtx<'_> {
 
         // C.2: validate remote reads; learn current sequence numbers for
         // remote writes.
-        let remote_new_seqs = match self.validate_remote() {
+        let remote_new_seqs = match self.validate_remote().await {
             Ok(s) => s,
             Err(e) => {
                 self.unlock_all(&locks);
@@ -297,7 +312,7 @@ impl TxnCtx<'_> {
                 // HTM retries exhausted: the fallback handler takes over
                 // with the remote locks already released (§6.1).
                 self.unlock_all(&locks);
-                return self.commit_fallback();
+                return self.commit_fallback().await;
             }
         };
         // A crash here leaves local writes applied but unlogged: odd
@@ -316,8 +331,8 @@ impl TxnCtx<'_> {
         // durable pre-images first.
         if replicated {
             let entries = self.log_entries(&local_new_seqs, &remote_new_seqs, local_bump);
-            if !self.append_logs(entries) {
-                self.rollback_local_writes(false);
+            if !self.append_logs(entries).await {
+                self.rollback_local_writes(false).await;
                 self.unlock_all(&locks);
                 return Err(TxnError::Aborted(AbortReason::Validation));
             }
@@ -346,7 +361,7 @@ impl TxnCtx<'_> {
         // sweep rolls the still-locked remainder forward — whereas a
         // late write could stomp a *newer* value committed after the
         // sweep healed and released the record.
-        self.remote_update(&remote_new_seqs)?;
+        self.remote_update(&remote_new_seqs).await?;
         let (remote_write_ns, remote_write_wait) = lap(self.w);
         phase_span(Phase::Update.name(), remote_write_ns);
 
@@ -452,9 +467,9 @@ impl TxnCtx<'_> {
     /// not always a prefix of `addrs`) plus the error to surface; the
     /// caller releases them. Locks owned by machines outside the current
     /// configuration are stolen, healed and kept (§5.2).
-    fn lock_all(&mut self, addrs: &[LockAddr]) -> Result<(), (Vec<LockAddr>, TxnError)> {
+    async fn lock_all(&mut self, addrs: &[LockAddr]) -> Result<(), (Vec<LockAddr>, TxnError)> {
         if self.batched_verbs() {
-            self.lock_all_batched(addrs)
+            self.lock_all_batched(addrs).await
         } else {
             self.lock_all_blocking(addrs)
         }
@@ -484,7 +499,10 @@ impl TxnCtx<'_> {
     /// a single doorbell. Conflicted words (a CAS that found the lock
     /// taken) fall back to [`Self::acquire_one`], which distinguishes a
     /// live owner (abort) from a dangling dead one (steal and heal).
-    fn lock_all_batched(&mut self, addrs: &[LockAddr]) -> Result<(), (Vec<LockAddr>, TxnError)> {
+    async fn lock_all_batched(
+        &mut self,
+        addrs: &[LockAddr],
+    ) -> Result<(), (Vec<LockAddr>, TxnError)> {
         let cluster = Arc::clone(&self.w.cluster);
         let me = lock_word(self.w.node);
         let members = cluster.config.get();
@@ -511,8 +529,8 @@ impl TxnCtx<'_> {
                         new: me,
                     });
                 }
-                // Doorbell + completion wait — a routine yield point.
-                w.finish_batch(node)
+                // Doorbell + completion wait — a reactor suspension point.
+                w.finish_batch(node).await
             };
             let mut failed: Option<TxnError> = None;
             for (wc, &(_, rec_off)) in wcs.iter().zip(group) {
@@ -650,7 +668,7 @@ impl TxnCtx<'_> {
     /// A machine that died mid-step stops issuing doorbells — its redo
     /// entries are durable, so the recovery sweep rolls the still-locked
     /// remainder forward.
-    fn remote_update(&mut self, new_seqs: &[u64]) -> Result<(), TxnError> {
+    async fn remote_update(&mut self, new_seqs: &[u64]) -> Result<(), TxnError> {
         let cluster = Arc::clone(&self.w.cluster);
         let me = self.w.node;
         if !self.batched_verbs() {
@@ -705,8 +723,8 @@ impl TxnCtx<'_> {
                 // C.6 for this node must come strictly after these
                 // completions, so wait (not fire-and-forget) here. A
                 // resumed routine is never scheduled before its batch
-                // horizon, preserving the ordering across a yield.
-                w.finish_batch(node)
+                // horizon, preserving the ordering across a suspension.
+                w.finish_batch(node).await
             };
             // A dropped line image would leave a torn record under a
             // lock we still hold; nobody can validate it before C.6, so
@@ -781,7 +799,10 @@ impl TxnCtx<'_> {
     /// [`HEADER_BYTES`]-byte READ serving every occurrence, counted in
     /// the destination port's `saved` statistic. The ablations fall
     /// back to one blocking header read per record, uncoalesced.
-    fn read_headers(&mut self, addrs: &[(NodeId, usize)]) -> Result<Vec<RecordHeader>, TxnError> {
+    async fn read_headers(
+        &mut self,
+        addrs: &[(NodeId, usize)],
+    ) -> Result<Vec<RecordHeader>, TxnError> {
         let opts = &self.w.cluster.opts;
         if self.batched_verbs() && !opts.fuse_lock_validate {
             let mut uniq: Vec<(NodeId, usize)> = Vec::with_capacity(addrs.len());
@@ -798,7 +819,7 @@ impl TxnCtx<'_> {
                     }
                 }
             }
-            let hdrs = self.read_headers_batched(&uniq)?;
+            let hdrs = self.read_headers_batched(&uniq).await?;
             Ok(map.into_iter().map(|i| hdrs[i]).collect())
         } else {
             let mut out = Vec::with_capacity(addrs.len());
@@ -813,7 +834,7 @@ impl TxnCtx<'_> {
     /// [`HEADER_BYTES`]-byte READ per record and rings one doorbell per
     /// destination node. A dropped completion is retransmitted through
     /// the blocking wrapper — header reads are idempotent.
-    fn read_headers_batched(
+    async fn read_headers_batched(
         &mut self,
         addrs: &[(NodeId, usize)],
     ) -> Result<Vec<RecordHeader>, TxnError> {
@@ -844,8 +865,8 @@ impl TxnCtx<'_> {
                         len: HEADER_BYTES,
                     });
                 }
-                // Doorbell + completion wait — a routine yield point.
-                w.finish_batch(node)
+                // Doorbell + completion wait — a reactor suspension point.
+                w.finish_batch(node).await
             };
             for (wc, &i) in wcs.iter().zip(&idxs) {
                 match &wc.result {
@@ -888,14 +909,14 @@ impl TxnCtx<'_> {
     /// are fetched with one [`Self::read_headers`] call, so on the
     /// batched path the whole step is one doorbell per destination node.
     /// Every record here is locked by C.1, so its header is stable.
-    fn validate_remote(&mut self) -> Result<Vec<u64>, TxnError> {
+    async fn validate_remote(&mut self) -> Result<Vec<u64>, TxnError> {
         let addrs: Vec<(NodeId, usize)> = self
             .r_rs
             .iter()
             .map(|e| (e.node, e.rec_off))
             .chain(self.r_ws.iter().map(|e| (e.node, e.rec_off)))
             .collect();
-        let hdrs = self.read_headers(&addrs)?;
+        let hdrs = self.read_headers(&addrs).await?;
         for i in 0..self.r_rs.len() {
             let (seen_seq, seen_inc) = {
                 let e = &self.r_rs[i];
@@ -1076,7 +1097,7 @@ impl TxnCtx<'_> {
     /// Returns `false` — with nothing appended anywhere — when the
     /// configuration moved (the transaction must abort and undo its
     /// local writes).
-    fn append_logs(&mut self, entries: Vec<(NodeId, LogEntry)>) -> bool {
+    async fn append_logs(&mut self, entries: Vec<(NodeId, LogEntry)>) -> bool {
         let cluster = Arc::clone(&self.w.cluster);
         let batched = self.batched_verbs();
         let mut primaries: Vec<NodeId> = entries.iter().map(|(p, _)| *p).collect();
@@ -1131,7 +1152,7 @@ impl TxnCtx<'_> {
         let span = self.w.clock.now().saturating_sub(before);
         let wait = span.saturating_sub(cpu_ns);
         let release = self.w.clock.now() - wait;
-        self.w.yield_remote_wait(release);
+        self.w.yield_remote_wait(release).await;
         ok
     }
 
@@ -1151,7 +1172,7 @@ impl TxnCtx<'_> {
     /// mid-validation and will abort on the odd sequence number; a
     /// non-member holder died without logging this record — its lock is
     /// stolen).
-    fn rollback_local_writes(&mut self, already_locked: bool) {
+    async fn rollback_local_writes(&mut self, already_locked: bool) {
         let cluster = Arc::clone(&self.w.cluster);
         let me = self.w.node;
         let store = &cluster.stores[me];
@@ -1174,8 +1195,8 @@ impl TxnCtx<'_> {
                             }
                             std::thread::yield_now();
                             // The holder may be a parked routine of this
-                            // worker's own pool: hand it the baton.
-                            self.w.spin_yield();
+                            // worker's own pool: let the reactor run it.
+                            self.w.spin_yield().await;
                         }
                     }
                 }
@@ -1250,7 +1271,7 @@ impl TxnCtx<'_> {
     /// The fallback handler (§6.1): locks *all* records — local ones via
     /// loopback RDMA CAS (§6.2) — in global order, validates, applies,
     /// replicates, and unlocks.
-    fn commit_fallback(&mut self) -> Result<(), TxnError> {
+    async fn commit_fallback(&mut self) -> Result<(), TxnError> {
         self.w.stats.fallbacks += 1;
         self.w.obs.note_fallback();
         let cluster = Arc::clone(&self.w.cluster);
@@ -1268,7 +1289,7 @@ impl TxnCtx<'_> {
         addrs.sort_unstable();
         addrs.dedup();
 
-        if let Err((held, err)) = self.lock_all(&addrs) {
+        if let Err((held, err)) = self.lock_all(&addrs).await {
             self.unlock_all(&held);
             return Err(err);
         }
@@ -1363,11 +1384,11 @@ impl TxnCtx<'_> {
 
         if replicated {
             let entries = self.log_entries(&l_new_seqs, &r_new_seqs, bump);
-            if !self.append_logs(entries) {
+            if !self.append_logs(entries).await {
                 // Fenced append (see `commit_rw`): nothing was logged;
                 // the locks held here cover every local record, so the
                 // rollback needs no lock dance.
-                self.rollback_local_writes(true);
+                self.rollback_local_writes(true).await;
                 self.unlock_all(&addrs);
                 return Err(TxnError::Aborted(AbortReason::Validation));
             }
@@ -1382,7 +1403,7 @@ impl TxnCtx<'_> {
         }
 
         // C.5 with the same death gate as the HTM path.
-        self.remote_update(&r_new_seqs)?;
+        self.remote_update(&r_new_seqs).await?;
 
         self.apply_mutations();
         self.probe("C.5")?;

@@ -85,17 +85,16 @@ fn run_schedule(ops: Vec<Op>, replicas: usize, spurious: f64) {
 }
 
 fn run_schedule_opts(ops: Vec<Op>, replicas: usize, spurious: f64, value_cached: bool) {
-    let opts = EngineOpts {
-        replicas,
-        region_size: 2 << 20,
-        htm: drtm_htm::HtmConfig {
+    let opts = EngineOpts::builder()
+        .replicas(replicas)
+        .region_size(2 << 20)
+        .htm(drtm_htm::HtmConfig {
             spurious_abort_prob: spurious,
             max_retries: 8,
             ..Default::default()
-        },
-        read_mostly_tables: if value_cached { vec![T] } else { vec![] },
-        ..Default::default()
-    };
+        })
+        .read_mostly_tables(if value_cached { vec![T] } else { vec![] })
+        .build();
     let c = DrtmCluster::new(3, &[TableSpec::hash(T, 2048, 16)], opts);
     let mut model = std::collections::HashMap::new();
     for shard in 0..3usize {
@@ -275,16 +274,15 @@ impl drtm_rdma::FaultInjector for EveryKthDelay {
 /// routine, so serializability implies the audited grand total equals
 /// seeded + committed increments — a stale read or lost write would
 /// break the equality.
-fn routine_conservation_case(inject: bool) {
+fn routine_conservation_case(inject: bool, rs: &[usize], txns_per_routine: usize) {
     let mut seeds = SplitMix64::new(if inject { 0x5eed_000e } else { 0x5eed_000d });
-    for &r in &[2usize, 4, 8] {
+    for &r in rs {
         let seed = seeds.below(1 << 20);
-        let replicas = 1 + (r / 4);
-        let opts = EngineOpts {
-            replicas,
-            region_size: 2 << 20,
-            ..Default::default()
-        };
+        let replicas = 1 + (r / 4).min(2);
+        let opts = EngineOpts::builder()
+            .replicas(replicas)
+            .region_size(2 << 20)
+            .build();
         let c = DrtmCluster::new(3, &[TableSpec::hash(T, 1024, 16)], opts);
         for shard in 0..3usize {
             for k in 0..4u64 {
@@ -305,18 +303,20 @@ fn routine_conservation_case(inject: bool) {
                 let workers = (0..r)
                     .map(|i| c.worker(node, seed ^ (node * 8 + i) as u64))
                     .collect::<Vec<_>>();
-                let done = crate::RoutinePool::run(workers, |id, w| {
+                let done = crate::RoutinePool::run(workers, async |id, w| {
                     let mut rng =
                         SplitMix64::new(seed.wrapping_mul(127) ^ ((node * 8 + id) as u64));
                     let mut incs = 0u64;
-                    for _ in 0..12 {
+                    for _ in 0..txns_per_routine {
                         if rng.below(3) == 0 {
                             let at = (rng.below(3) as usize, rng.below(4));
                             let by = rng.range(1, 9);
-                            let ok = w.run(|t| {
-                                let a = num(&t.read(at.0, T, key(at.0, at.1))?);
-                                t.write(at.0, T, key(at.0, at.1), val(a + by))
-                            });
+                            let ok = w
+                                .run_async(async |t| {
+                                    let a = num(&t.read_async(at.0, T, key(at.0, at.1)).await?);
+                                    t.write_async(at.0, T, key(at.0, at.1), val(a + by)).await
+                                })
+                                .await;
                             if ok.is_ok() {
                                 incs += by;
                             }
@@ -326,15 +326,19 @@ fn routine_conservation_case(inject: bool) {
                             if from == to {
                                 continue;
                             }
-                            let _ = w.run(|t| {
-                                let a = num(&t.read(from.0, T, key(from.0, from.1))?);
-                                let b = num(&t.read(to.0, T, key(to.0, to.1))?);
-                                if a < 3 {
-                                    return Err(TxnError::UserAbort);
-                                }
-                                t.write(from.0, T, key(from.0, from.1), val(a - 3))?;
-                                t.write(to.0, T, key(to.0, to.1), val(b + 3))
-                            });
+                            let _ = w
+                                .run_async(async |t| {
+                                    let a =
+                                        num(&t.read_async(from.0, T, key(from.0, from.1)).await?);
+                                    let b = num(&t.read_async(to.0, T, key(to.0, to.1)).await?);
+                                    if a < 3 {
+                                        return Err(TxnError::UserAbort);
+                                    }
+                                    t.write_async(from.0, T, key(from.0, from.1), val(a - 3))
+                                        .await?;
+                                    t.write_async(to.0, T, key(to.0, to.1), val(b + 3)).await
+                                })
+                                .await;
                         }
                     }
                     incs
@@ -364,7 +368,7 @@ fn routine_conservation_case(inject: bool) {
 /// every committed increment exactly once on a reliable fabric.
 #[test]
 fn multi_routine_schedules_conserve() {
-    routine_conservation_case(false);
+    routine_conservation_case(false, &[2, 4, 8], 12);
 }
 
 /// The same under injected verb delays: completions arrive out of
@@ -372,7 +376,27 @@ fn multi_routine_schedules_conserve() {
 /// yielded — serializability must not depend on wake order.
 #[test]
 fn multi_routine_schedules_conserve_under_delay() {
-    routine_conservation_case(true);
+    routine_conservation_case(true, &[2, 4, 8], 12);
+}
+
+/// Thread-free scale: R ∈ {64, 256} routines multiplexed on the same 3
+/// OS threads, still serializable on a reliable fabric. Fewer
+/// transactions per routine keep the case fast; the point is the
+/// scheduler handling hundreds of parked routines per reactor, not the
+/// transaction volume.
+#[test]
+fn high_r_routine_schedules_conserve() {
+    routine_conservation_case(false, &[64, 256], 3);
+}
+
+/// R ∈ {64, 256} with every-3rd-verb delay injection: at this
+/// multiplexing depth most routines are parked at any instant and
+/// delayed completions constantly reorder the wake queue. Conservation
+/// failing here would mean a routine resumed against another routine's
+/// in-flight state.
+#[test]
+fn high_r_routine_schedules_conserve_under_delay() {
+    routine_conservation_case(true, &[64, 256], 3);
 }
 
 /// Concurrent random transfers conserve the total for arbitrary seeds
@@ -383,11 +407,10 @@ fn concurrent_transfers_conserve() {
     for case in 0..12u64 {
         let seed = seeds.below(1000);
         let replicas = 1 + (case % 3) as usize;
-        let opts = EngineOpts {
-            replicas,
-            region_size: 2 << 20,
-            ..Default::default()
-        };
+        let opts = EngineOpts::builder()
+            .replicas(replicas)
+            .region_size(2 << 20)
+            .build();
         let c = DrtmCluster::new(3, &[TableSpec::hash(T, 1024, 16)], opts);
         for shard in 0..3usize {
             for k in 0..4u64 {

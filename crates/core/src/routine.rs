@@ -1,27 +1,46 @@
-//! Cooperative transaction routines (DESIGN.md §11).
+//! The routine reactor: thread-free cooperative transactions
+//! (DESIGN.md §14, superseding the §11 baton scheduler).
 //!
 //! A real DrTM+R worker thread hides one-sided verb latency by
 //! multiplexing several in-flight transactions: when one transaction
 //! rings a doorbell and would otherwise spin on the CQ, the worker
 //! switches to another transaction whose completions already arrived.
-//! This module reproduces that coroutine structure over the simulated
-//! fabric without rewriting the commit path as a state machine: each
-//! *routine* is an OS thread owning a full [`Worker`] and running the
-//! unmodified execution/commit code, and a baton scheduler inside
-//! [`RoutinePool`] ensures exactly one routine of a pool executes at a
-//! time.
+//! This module reproduces that structure as an explicit polled state
+//! machine: each *routine* is a suspended future owning a full
+//! [`Worker`], and a per-pool **reactor** — running entirely on the
+//! calling thread — polls exactly one routine at a time. The commit
+//! path's yield points (`finish_batch`, `yield_remote_wait`,
+//! `spin_yield`) are `await`s that park the routine and return control
+//! to the reactor; the OS thread count is therefore independent of the
+//! routine count R, and `--routines 256` costs no more threads than
+//! `--routines 1`.
+//!
+//! # Step/wake protocol
+//!
+//! A routine advances in *steps*: the reactor polls its future, and the
+//! future runs — executing transaction logic, posting WRs, ringing
+//! doorbells — until it reaches a yield point. The yield point writes a
+//! `Park` record into the shared reactor state and suspends; the
+//! reactor folds the park into its virtual-time bookkeeping and
+//! dispatches the next runnable routine. Waking is equally explicit:
+//! the reactor writes a grant (resume time, unhidden idle, pool depth)
+//! and re-polls the owning future, whose suspended yield point reads
+//! the grant and resumes execution. No wakers, no threads, no blocking:
+//! a poll that returns `Pending` without registering a park is a bug
+//! (the routine suspended on a foreign future) and panics the pool.
 //!
 //! # Virtual-time protocol
 //!
-//! The scheduler tracks `cpu_now`, the frontier of CPU time consumed by
+//! The reactor tracks `cpu_now`, the frontier of CPU time consumed by
 //! the pool. A routine reaching a verb wait has already posted its WRs
-//! and rung the doorbell; it reports
+//! and rung the doorbell; its park carries
 //!
 //! * `cpu_release` — the instant its doorbell charge ended (the CPU is
 //!   free from here on), and
-//! * `wake` — the batch horizon (the completion time of its last WR).
+//! * `wake` — the batch horizon (the completion time of its last WR,
+//!   read from [`drtm_rdma::Cq::batch_horizon`] by batch cookie).
 //!
-//! The scheduler folds `cpu_release` into `cpu_now`, parks the routine,
+//! The reactor folds `cpu_release` into `cpu_now`, parks the routine,
 //! and resumes the parked routine with the smallest `wake` (ties broken
 //! by routine id, so schedules are deterministic) at
 //! `resume_at = max(cpu_now, wake)`, advancing `cpu_now` to that point.
@@ -31,83 +50,326 @@
 //! point for the verbs themselves. With a pool of one, `resume_at`
 //! always equals `wake`, which is exactly the clock arithmetic of the
 //! legacy blocking [`drtm_rdma::Cq::poll`] — routines = 1 is
-//! byte-identical to the pre-routine engine.
+//! byte-identical to the pre-routine engine (regression-pinned).
 //!
 //! The gap `wake - cpu_now` at resume time is CPU idleness nothing
 //! could hide; the rest of the routine's wait was overlapped with other
 //! routines' CPU segments. Both halves feed the worker's
-//! [`drtm_obs::Shard`] so the exposed latency-hiding ratio is exact.
+//! [`drtm_obs::Shard`], as do the reactor's own depth and wake-lag
+//! samples, so the exposed latency-hiding ratio is exact.
 //!
 //! # Invariants
 //!
-//! * No routine yields while resident in an HTM region — a context
-//!   switch inside `XBEGIN`/`XEND` always aborts real RTM. The C.3/C.4
-//!   commit step runs entirely between yields; every yield primitive
-//!   asserts [`drtm_htm::region_active`] is false.
-//! * A routine spinning on an engine lock must release the baton
+//! * **HTM never spans a step.** A context switch inside
+//!   `XBEGIN`/`XEND` always aborts real RTM, so the C.3/C.4 commit
+//!   step runs entirely between yields. Every yield primitive asserts
+//!   [`drtm_htm::region_active`] is false — since yields are the *only*
+//!   suspension points a routine future contains, an HTM region is
+//!   provably confined inside a single reactor step.
+//! * A routine spinning on an engine lock must yield
 //!   ([`Worker`]'s `spin_yield`): the conflicting holder may be a
-//!   parked routine of the same pool, and only the scheduler can run it.
+//!   parked routine of the same pool, and only the reactor can run it.
+//! * Routine bodies must be genuinely async: driving one with
+//!   `drtm_base::task::block_now` outside a pool panics at the first
+//!   real suspension point rather than deadlocking.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
 use std::time::Instant;
 
+use drtm_base::clock::VClock;
 use drtm_base::stats::{Counter, Histogram};
 use drtm_base::sync::{Condvar, Mutex};
-use drtm_rdma::Cq;
+use drtm_rdma::{Cq, Fabric, NodeId, Qp, WorkRequest};
 
 use crate::txn::Worker;
 
-/// Shared scheduler state, guarded by the scheduler mutex.
-struct SchedState {
+/// What a suspended routine reported to the reactor.
+enum Park {
+    /// First park: startup barrier. No CPU was consumed yet; the
+    /// routine becomes runnable at `wake` (its clock at entry).
+    Initial { id: usize, wake: u64 },
+    /// Verb wait: CPU went idle at `cpu_release`, completions land at
+    /// `wake`. A `spin` park is a CPU retry loop handing the baton over
+    /// (`wake == cpu_release == now`): it is perpetually runnable at the
+    /// CPU frontier, so it must *not* hold back a deferred-doorbell
+    /// flush — the lock word it is spinning on may only clear when the
+    /// holder's parked unlock WRs actually ring.
+    Yield {
+        id: usize,
+        cpu_release: u64,
+        wake: u64,
+        spin: bool,
+    },
+    /// Deferred verb batch: the routine drained its QP's posted WRs at
+    /// virtual time `at` and handed them to the pool's flush layer. It
+    /// has no wake horizon yet — the reactor assigns one when it rings
+    /// the shared doorbell (see [`Reactor::flush`]).
+    Flush {
+        id: usize,
+        src: NodeId,
+        dst: NodeId,
+        wrs: Vec<WorkRequest>,
+        at: u64,
+    },
+    /// External wait (serve pools): the routine found the submit queue
+    /// empty at virtual time `at` and left the virtual-time race —
+    /// it becomes runnable only when the reactor hands it a delivery.
+    Idle { id: usize, at: u64 },
+}
+
+impl Park {
+    fn id(&self) -> usize {
+        match *self {
+            Park::Initial { id, .. }
+            | Park::Yield { id, .. }
+            | Park::Flush { id, .. }
+            | Park::Idle { id, .. } => id,
+        }
+    }
+}
+
+/// One routine's deferred batch awaiting the next shared doorbell
+/// flush, in park order.
+struct PendingFlush {
+    id: usize,
+    src: NodeId,
+    dst: NodeId,
+    wrs: Vec<WorkRequest>,
+}
+
+/// The wake-up handed to a granted routine.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Grant {
+    /// Virtual time to advance the routine's clock to.
+    pub(crate) resume_at: u64,
+    /// The slice of the routine's wait nothing overlapped (CPU idle).
+    pub(crate) idle_ns: u64,
+    /// Parked routines at dispatch time, the woken one included — the
+    /// reactor's in-flight depth.
+    pub(crate) depth: u64,
+    /// The completion horizon the routine slept until. For flush parks
+    /// the routine learns it here (only the reactor knew when the
+    /// shared doorbell rang); for yield parks it equals the park's.
+    pub(crate) wake: u64,
+    /// The instant the routine's CPU went idle — for flush parks, the
+    /// clock right after its batch's doorbell charge. Wait attribution
+    /// (`wake - release`) matches the pre-flush accounting exactly.
+    pub(crate) release: u64,
+}
+
+/// Shared reactor state, guarded by the reactor mutex. The mutex is
+/// uncontended (the reactor and every routine future run on one
+/// thread); it exists so [`RoutineCtl`] — and therefore [`Worker`] —
+/// stays `Send`.
+struct ReactorState {
     /// Frontier of CPU time consumed by the pool (one simulated core).
     cpu_now: u64,
-    /// Parked routines: `(id, wake)` — `wake` is the virtual time the
-    /// routine's pending completions (if any) are done.
+    /// Parked runnable routines: `(id, wake)`.
     waiting: Vec<(usize, u64)>,
-    /// The routine currently holding the baton, if any.
-    current: Option<usize>,
-    /// Grant computed for `current` at dispatch: `(resume_at,
-    /// idle_ns)` — the time to advance the routine's clock to, and the
-    /// portion of its wait nothing overlapped.
-    grant: (u64, u64),
-    /// Routines that have parked at least once (startup barrier: no
-    /// dispatch until the whole pool has registered).
+    /// Deferred verb batches awaiting the next shared doorbell flush,
+    /// in park order. Flushed — one doorbell per destination, not per
+    /// routine — only once no routine is runnable at `cpu_now`, so the
+    /// MMIO charge amortizes over every routine that parked meanwhile.
+    pending: Vec<PendingFlush>,
+    /// Per-routine CPU-idle instant of the last wait (indexed by id);
+    /// flush parks learn theirs only when the reactor rings.
+    release: Vec<u64>,
+    /// Whether each waiting routine's park is a spin retry (indexed by
+    /// id). Spinners are perpetually runnable at the CPU frontier and
+    /// must not hold back a deferred-doorbell flush.
+    spin: Vec<bool>,
+    /// Externally-idle routines of a serve pool: `(id, clock at park)`,
+    /// kept in id order.
+    idle: Vec<(usize, u64)>,
+    /// Park registered by the routine the reactor is currently polling.
+    park: Option<Park>,
+    /// Routine granted the CPU by the last dispatch; its suspended
+    /// yield point consumes this on re-poll.
+    granted: Option<usize>,
+    /// The grant for `granted`.
+    grant: Grant,
+    /// Routines that have performed their initial park (startup
+    /// barrier: no dispatch until the whole pool has registered).
     registered: usize,
-    /// Routines that have not yet finished their job.
+    /// Routines whose future has not yet completed.
     live: usize,
 }
 
-/// The baton scheduler of one routine pool. See the module docs for
-/// the virtual-time protocol.
-pub(crate) struct Scheduler {
-    state: Mutex<SchedState>,
-    cv: Condvar,
+/// The per-pool reactor core. See the module docs for the protocol.
+pub(crate) struct Reactor {
+    state: Mutex<ReactorState>,
     total: usize,
 }
 
-impl Scheduler {
+/// The flush layer's verb-issue state, owned by the pool's drive loop
+/// (not the reactor — QPs are not `Sync` wrapped and never need to be):
+/// one lazily-opened QP per `(src, dst)` pair over which the shared
+/// doorbells of every routine on that edge ride.
+struct FlushCtx {
+    fabric: Arc<Fabric>,
+    qps: HashMap<(NodeId, NodeId), Qp>,
+}
+
+impl FlushCtx {
+    fn new(fabric: Arc<Fabric>) -> Self {
+        Self {
+            fabric,
+            qps: HashMap::new(),
+        }
+    }
+}
+
+impl Reactor {
     fn new(total: usize) -> Self {
         Self {
-            state: Mutex::new(SchedState {
+            state: Mutex::new(ReactorState {
                 cpu_now: 0,
                 waiting: Vec::with_capacity(total),
-                current: None,
-                grant: (0, 0),
+                pending: Vec::new(),
+                release: vec![0; total],
+                spin: vec![false; total],
+                idle: Vec::new(),
+                park: None,
+                granted: None,
+                grant: Grant::default(),
                 registered: 0,
                 live: total,
             }),
-            cv: Condvar::new(),
             total,
         }
     }
 
-    /// Grants the baton to the parked routine with the smallest
-    /// `(wake, id)`, if the baton is free and the pool has fully
-    /// registered. Caller must notify the condvar after.
-    fn dispatch(&self, s: &mut SchedState) {
-        if s.current.is_some() || s.registered < self.total || s.waiting.is_empty() {
-            return;
+    /// The initial-park future of routine `id` (startup barrier).
+    pub(crate) fn park_initial(self: &Arc<Self>, id: usize, wake: u64) -> YieldFut {
+        YieldFut {
+            reactor: Arc::clone(self),
+            park: Some(Park::Initial { id, wake }),
+            id,
+        }
+    }
+
+    /// The verb-wait future of routine `id`, whose CPU went idle at
+    /// `cpu_release` and whose pending completions land at `wake`.
+    pub(crate) fn yield_wait(self: &Arc<Self>, id: usize, cpu_release: u64, wake: u64) -> YieldFut {
+        YieldFut {
+            reactor: Arc::clone(self),
+            park: Some(Park::Yield {
+                id,
+                cpu_release,
+                wake,
+                spin: false,
+            }),
+            id,
+        }
+    }
+
+    /// The spin-retry future of routine `id`: hands the baton over at
+    /// the current clock without blocking the deferred-doorbell flush
+    /// (see [`Park::Yield`]'s `spin` flag).
+    pub(crate) fn spin_wait(self: &Arc<Self>, id: usize, now: u64) -> YieldFut {
+        YieldFut {
+            reactor: Arc::clone(self),
+            park: Some(Park::Yield {
+                id,
+                cpu_release: now,
+                wake: now,
+                spin: true,
+            }),
+            id,
+        }
+    }
+
+    /// The deferred-batch future of routine `id`: its WRs for `dst`
+    /// ride the pool's next shared doorbell flush, and the routine
+    /// sleeps until its own completions' horizon (learned from the
+    /// grant — the reactor decides when the doorbell rings).
+    pub(crate) fn flush_wait(
+        self: &Arc<Self>,
+        id: usize,
+        src: NodeId,
+        dst: NodeId,
+        wrs: Vec<WorkRequest>,
+        at: u64,
+    ) -> YieldFut {
+        YieldFut {
+            reactor: Arc::clone(self),
+            park: Some(Park::Flush {
+                id,
+                src,
+                dst,
+                wrs,
+                at,
+            }),
+            id,
+        }
+    }
+
+    /// Folds the park registered by the just-suspended routine `id`
+    /// into the scheduler state. Panics if the poll suspended without
+    /// registering one — the routine awaited a foreign future, which
+    /// the reactor has no way to resume.
+    fn fold_park(&self, id: usize) {
+        let mut s = self.state.lock();
+        let park = s.park.take().unwrap_or_else(|| {
+            panic!("routine {id} suspended on a foreign future (no park registered)")
+        });
+        assert_eq!(park.id(), id, "park registered by a foreign routine");
+        match park {
+            Park::Initial { id, wake } => {
+                s.registered += 1;
+                s.release[id] = wake;
+                s.spin[id] = false;
+                s.waiting.push((id, wake));
+            }
+            Park::Yield {
+                id,
+                cpu_release,
+                wake,
+                spin,
+            } => {
+                s.cpu_now = s.cpu_now.max(cpu_release);
+                s.release[id] = cpu_release;
+                s.spin[id] = spin;
+                s.waiting.push((id, wake));
+            }
+            Park::Flush {
+                id,
+                src,
+                dst,
+                wrs,
+                at,
+            } => {
+                s.cpu_now = s.cpu_now.max(at);
+                s.pending.push(PendingFlush { id, src, dst, wrs });
+            }
+            Park::Idle { id, at } => {
+                s.cpu_now = s.cpu_now.max(at);
+                s.idle.push((id, at));
+                s.idle.sort_unstable();
+            }
+        }
+    }
+
+    /// Retires a routine whose future completed with its clock at
+    /// `final_clock`.
+    fn finish(&self, final_clock: u64) {
+        let mut s = self.state.lock();
+        s.cpu_now = s.cpu_now.max(final_clock);
+        s.live -= 1;
+    }
+
+    /// Grants the CPU to the parked routine with the smallest
+    /// `(wake, id)` and returns its id for the reactor to poll; `None`
+    /// when nothing is runnable.
+    fn dispatch(&self) -> Option<usize> {
+        let mut s = self.state.lock();
+        debug_assert!(s.granted.is_none(), "dispatch with an unconsumed grant");
+        if s.registered < self.total || s.waiting.is_empty() {
+            return None;
         }
         let mut best = 0;
         for i in 1..s.waiting.len() {
@@ -117,88 +379,144 @@ impl Scheduler {
                 best = i;
             }
         }
+        let depth = s.waiting.len() as u64;
         let (id, wake) = s.waiting.swap_remove(best);
         let idle = wake.saturating_sub(s.cpu_now);
         let resume_at = s.cpu_now.max(wake);
         s.cpu_now = resume_at;
-        s.current = Some(id);
-        s.grant = (resume_at, idle);
+        s.granted = Some(id);
+        s.grant = Grant {
+            resume_at,
+            idle_ns: idle,
+            depth,
+            wake,
+            release: s.release[id],
+        };
+        Some(id)
     }
 
-    /// First park of routine `id` (startup barrier). Returns the time
-    /// to advance the routine's clock to before running.
-    fn park_initial(&self, id: usize, wake: u64) -> u64 {
-        let mut s = self.state.lock();
-        s.registered += 1;
-        s.waiting.push((id, wake));
-        self.dispatch(&mut s);
-        self.cv.notify_all();
-        while s.current != Some(id) {
-            s = self.cv.wait(s);
-        }
-        s.grant.0
+    /// Whether deferred batches are waiting and no routine is runnable
+    /// at the CPU frontier — the moment the event loop rings its shared
+    /// doorbells (eRPC's "tx burst at the end of the loop iteration").
+    /// Flushing any earlier would forfeit amortization; any later would
+    /// let virtual time jump over CPU work that is ready to issue.
+    fn needs_flush(&self) -> bool {
+        let s = self.state.lock();
+        s.registered == self.total
+            && !s.pending.is_empty()
+            && !s
+                .waiting
+                .iter()
+                .any(|&(id, wake)| wake <= s.cpu_now && !s.spin[id])
     }
 
-    /// Parks routine `id` — whose CPU went idle at `cpu_release` and
-    /// whose pending completions land at `wake` — and blocks until the
-    /// baton comes back. Returns `(resume_at, idle_ns)`.
-    pub(crate) fn yield_wait(&self, id: usize, cpu_release: u64, wake: u64) -> (u64, u64) {
-        let mut s = self.state.lock();
-        debug_assert_eq!(s.current, Some(id), "yield without holding the baton");
-        s.cpu_now = s.cpu_now.max(cpu_release);
-        s.current = None;
-        s.waiting.push((id, wake));
-        self.dispatch(&mut s);
-        self.cv.notify_all();
-        while s.current != Some(id) {
-            s = self.cv.wait(s);
-        }
-        s.grant
-    }
-
-    /// Retires routine `id` whose clock ends at `final_clock`, passing
-    /// the baton on.
-    fn finish(&self, id: usize, final_clock: u64) {
-        let mut s = self.state.lock();
-        debug_assert_eq!(s.current, Some(id), "finish without holding the baton");
-        s.cpu_now = s.cpu_now.max(final_clock);
-        s.current = None;
-        s.live -= 1;
-        self.dispatch(&mut s);
-        self.cv.notify_all();
-    }
-
-    /// Releases the baton *without* parking on the virtual-time wait
-    /// list: routine `id` is about to block on something outside the
-    /// simulation (an external submission queue). Its CPU went idle at
-    /// `cpu_release`. Other routines keep running; `id` must call
-    /// [`Scheduler::join`] before touching its worker again.
+    /// Rings the pool's shared doorbells over every deferred batch: one
+    /// doorbell (well, one per `sq_depth` chunk) per `(src, dst)` pair
+    /// rather than one per routine, charged to the pool's single
+    /// simulated core at the CPU frontier. Each parked routine then
+    /// joins the runnable list at its own completions' horizon.
     ///
-    /// Holding the baton across an external block would wedge the whole
-    /// pool — the conflicting producer may need a routine of this very
-    /// pool to drain — so serving loops must bracket every external
-    /// wait in `leave`/`join`.
-    fn leave(&self, id: usize, cpu_release: u64) {
+    /// With one routine this fires immediately after its park, at the
+    /// same instant — and with the same single-doorbell charge — the
+    /// pre-flush path rang from inside the routine, so `routines = 1`
+    /// stays byte-identical to the legacy blocking path.
+    fn flush(&self, ctx: &mut FlushCtx, cqs: &[Cq]) {
+        let (entries, cpu_now) = {
+            let mut s = self.state.lock();
+            (std::mem::take(&mut s.pending), s.cpu_now)
+        };
+        debug_assert!(!entries.is_empty(), "flush with nothing pending");
+        // Group by (src, dst) preserving first-park order of groups and
+        // park order within each — the deterministic issue order.
+        let mut groups: Vec<((NodeId, NodeId), Vec<PendingFlush>)> = Vec::new();
+        for e in entries {
+            let key = (e.src, e.dst);
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, g)) => g.push(e),
+                None => groups.push((key, vec![e])),
+            }
+        }
+        let mut clk = VClock::new();
+        clk.advance_to(cpu_now);
+        let mut woken: Vec<(usize, u64, u64)> = Vec::new();
+        for ((src, dst), group) in groups {
+            let qp = ctx
+                .qps
+                .entry((src, dst))
+                .or_insert_with(|| ctx.fabric.qp(src, dst));
+            let ids: Vec<usize> = group.iter().map(|e| e.id).collect();
+            let wrs: Vec<(u64, WorkRequest)> = group
+                .into_iter()
+                .flat_map(|e| {
+                    let id = e.id as u64;
+                    e.wrs.into_iter().map(move |wr| (id, wr))
+                })
+                .collect();
+            qp.doorbell_shared(&mut clk, &cqs[dst], wrs);
+            let release = clk.now();
+            for id in ids {
+                let wake = cqs[dst]
+                    .cookie_horizon(id as u64)
+                    .unwrap_or(release)
+                    .max(release);
+                woken.push((id, wake, release));
+            }
+        }
         let mut s = self.state.lock();
-        debug_assert_eq!(s.current, Some(id), "leave without holding the baton");
-        s.cpu_now = s.cpu_now.max(cpu_release);
-        s.current = None;
-        self.dispatch(&mut s);
-        self.cv.notify_all();
+        s.cpu_now = s.cpu_now.max(clk.now());
+        for (id, wake, release) in woken {
+            s.release[id] = release;
+            s.spin[id] = false;
+            s.waiting.push((id, wake));
+        }
     }
 
-    /// Re-enters the pool after [`Scheduler::leave`]: parks routine
-    /// `id` with wake time `wake` and blocks until the baton is granted
-    /// back. Returns the virtual time to advance the routine's clock to.
-    fn join(&self, id: usize, wake: u64) -> u64 {
+    fn live(&self) -> usize {
+        self.state.lock().live
+    }
+
+    fn idle_count(&self) -> usize {
+        self.state.lock().idle.len()
+    }
+
+    /// Moves the lowest-id externally-idle routine back onto the
+    /// runnable list (its wake is its clock at park — external waits
+    /// never advance virtual time). Returns the routine id.
+    fn rejoin_lowest_idle(&self) -> usize {
         let mut s = self.state.lock();
-        s.waiting.push((id, wake));
-        self.dispatch(&mut s);
-        self.cv.notify_all();
-        while s.current != Some(id) {
-            s = self.cv.wait(s);
+        let (id, at) = s.idle.remove(0);
+        s.waiting.push((id, at));
+        id
+    }
+}
+
+/// The suspended yield point of a routine: first poll registers its
+/// [`Park`] and suspends; the re-poll (which only the reactor issues,
+/// after dispatching this routine) consumes the grant and resumes.
+pub(crate) struct YieldFut {
+    reactor: Arc<Reactor>,
+    park: Option<Park>,
+    id: usize,
+}
+
+impl Future for YieldFut {
+    type Output = Grant;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Grant> {
+        let this = self.get_mut();
+        let mut s = this.reactor.state.lock();
+        if let Some(park) = this.park.take() {
+            debug_assert!(s.park.is_none(), "two parks registered in one step");
+            s.park = Some(park);
+            return Poll::Pending;
         }
-        s.grant.0
+        debug_assert_eq!(
+            s.granted,
+            Some(this.id),
+            "routine re-polled without a grant"
+        );
+        s.granted = None;
+        Poll::Ready(s.grant)
     }
 }
 
@@ -225,19 +543,25 @@ struct SubmitState<T> {
 /// past the high-water mark submissions are *shed* — refused
 /// immediately rather than queued — so overload degrades to fast
 /// rejects instead of unbounded queue growth and latency collapse.
-/// Consumers are pool routines: they drain with a non-blocking pop
-/// while holding the scheduler baton and only block on the queue's
-/// condvar after releasing it (see [`RoutinePool::serve`]).
+/// The consumer is a serve reactor: running routines drain with a
+/// non-blocking pop between transactions, and only when every routine
+/// is idle does the reactor block on the queue's condvar in host time
+/// (see [`RoutinePool::serve`]).
 ///
-/// The queue keeps its own counters (admitted/shed) and a host-time
-/// (wall-clock, not virtual) queue-wait histogram measured from submit
-/// to routine pickup — the serving tier's real queueing delay.
+/// The queue keeps its own counters (admitted/shed/delivered) and a
+/// host-time (wall-clock, not virtual) queue-wait histogram measured
+/// from submit to routine pickup — the serving tier's real queueing
+/// delay. Every admitted item is eventually delivered; stats-only
+/// requests are answered inline by connection readers and must never
+/// enter the queue, which [`RoutinePool::serve`] asserts at drain via
+/// `accepted == delivered`.
 pub struct SubmitQueue<T> {
     inner: Mutex<SubmitState<T>>,
     cv: Condvar,
     high_water: usize,
     accepted: Counter,
     rejected: Counter,
+    delivered: Counter,
     wait_ns: Histogram,
 }
 
@@ -255,6 +579,7 @@ impl<T> SubmitQueue<T> {
             high_water,
             accepted: Counter::new(),
             rejected: Counter::new(),
+            delivered: Counter::new(),
             wait_ns: Histogram::new(),
         }
     }
@@ -291,18 +616,21 @@ impl<T> SubmitQueue<T> {
         let mut s = self.inner.lock();
         let (at, item) = s.q.pop_front()?;
         drop(s);
+        self.delivered.inc();
         self.note_wait(at);
         Some(item)
     }
 
     /// Blocking pop: waits for an item or for close-and-drained
-    /// (`None`). Pool routines must release the scheduler baton before
-    /// calling this.
+    /// (`None`). Only the serve reactor calls this, and only when every
+    /// routine of its pool is idle — virtual time is untouched by the
+    /// host-time block.
     pub fn pop_blocking(&self) -> Option<T> {
         let mut s = self.inner.lock();
         loop {
             if let Some((at, item)) = s.q.pop_front() {
                 drop(s);
+                self.delivered.inc();
                 self.note_wait(at);
                 return Some(item);
             }
@@ -328,6 +656,14 @@ impl<T> SubmitQueue<T> {
         self.rejected.get()
     }
 
+    /// Items handed to a consumer so far. At close-and-drained this
+    /// equals [`SubmitQueue::accepted`]: every admitted item was
+    /// executed, and nothing that bypassed admission (stats-only
+    /// requests, fast rejects) consumed a queue slot.
+    pub fn delivered(&self) -> u64 {
+        self.delivered.get()
+    }
+
     /// Items waiting right now.
     pub fn depth(&self) -> usize {
         self.inner.lock().q.len()
@@ -341,12 +677,12 @@ impl<T> SubmitQueue<T> {
 
 /// Per-routine control handle carried by a [`Worker`] while it runs
 /// inside a pool. Its presence flips the worker's wait primitives from
-/// the legacy blocking path to tagged doorbells plus scheduler yields.
+/// the legacy blocking path to tagged doorbells plus reactor yields.
 pub(crate) struct RoutineCtl {
     /// This routine's id within its pool (doubles as the CQ cookie).
     pub(crate) id: usize,
-    /// The pool's baton scheduler.
-    pub(crate) sched: Arc<Scheduler>,
+    /// The pool's reactor.
+    pub(crate) reactor: Arc<Reactor>,
     /// Pool-shared per-destination CQs: one CQ per peer node, shared by
     /// every routine of the pool. Batches are tagged with the routine
     /// id, so one CQ holds interleaved completions of many routines and
@@ -354,63 +690,179 @@ pub(crate) struct RoutineCtl {
     pub(crate) cqs: Arc<Vec<Cq>>,
 }
 
+/// The delivery mailbox of a serve pool: one slot per routine, filled
+/// by the reactor when it hands a queued item (or the close signal) to
+/// an idle routine.
+type Slots<T> = Arc<Mutex<Vec<Option<Option<T>>>>>;
+
+/// State machine of one "give me the next job" suspension in a serve
+/// routine.
+enum NextJob {
+    /// Not yet polled: try the queue inline first.
+    Start,
+    /// Parked idle; the re-poll consumes the grant and the delivery.
+    Parked,
+}
+
+/// The next-job future of a serve routine: an inline non-blocking pop
+/// while the routine is running (no clock fold — the routine keeps its
+/// step), else an idle park whose delivery the reactor provides.
+/// Resolves to `(delivery, resume_at)`; a `None` delivery means the
+/// queue closed and drained.
+struct NextJobFut<'q, T> {
+    reactor: Arc<Reactor>,
+    queue: &'q SubmitQueue<T>,
+    slots: Slots<T>,
+    id: usize,
+    /// The routine's clock when the wait began.
+    at: u64,
+    state: NextJob,
+}
+
+impl<T> Future for NextJobFut<'_, T> {
+    type Output = (Option<T>, u64);
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        match this.state {
+            NextJob::Start => {
+                if let Some(item) = this.queue.try_pop() {
+                    // Backlog available: keep running in the current
+                    // step, exactly like the pre-reactor inline drain.
+                    return Poll::Ready((Some(item), this.at));
+                }
+                let mut s = this.reactor.state.lock();
+                debug_assert!(s.park.is_none(), "two parks registered in one step");
+                s.park = Some(Park::Idle {
+                    id: this.id,
+                    at: this.at,
+                });
+                this.state = NextJob::Parked;
+                Poll::Pending
+            }
+            NextJob::Parked => {
+                let grant = {
+                    let mut s = this.reactor.state.lock();
+                    debug_assert_eq!(
+                        s.granted,
+                        Some(this.id),
+                        "idle routine re-polled without a grant"
+                    );
+                    s.granted = None;
+                    s.grant
+                };
+                let msg = this.slots.lock()[this.id]
+                    .take()
+                    .expect("idle routine granted without a delivery");
+                Poll::Ready((msg, grant.resume_at))
+            }
+        }
+    }
+}
+
 /// A pool of cooperative transaction routines multiplexed over one
-/// simulated core (DESIGN.md §11).
+/// simulated core by a reactor on the *calling* thread (DESIGN.md §14).
 ///
-/// [`RoutinePool::run`] drives `workers.len()` routines — each an OS
-/// thread owning one of the given [`Worker`]s — through `job`,
-/// serializing their CPU segments under a deterministic baton scheduler
+/// [`RoutinePool::run`] drives `workers.len()` routines — each a
+/// polled future owning one of the given [`Worker`]s — through `job`,
+/// serializing their CPU segments under the deterministic reactor
 /// while their verb waits overlap. All workers should live on the same
-/// node (they model one worker thread's in-flight transactions).
+/// node (they model one worker thread's in-flight transactions). No
+/// threads are spawned: R = 256 and R = 1 use the same single thread.
 pub struct RoutinePool;
+
+/// A pooled routine pinned for reactor polling: resolves to the worker
+/// it consumed plus the job's output.
+type RoutineFut<'a, T> = Pin<Box<dyn Future<Output = (Worker, T)> + 'a>>;
+
+/// Boxes the per-routine future of a pool: sets up the worker's
+/// [`RoutineCtl`], performs the initial park, runs `body`, and tears
+/// the control handle down.
+macro_rules! routine_future {
+    ($id:ident, $w:ident, $r:expr, $reactor:expr, $cqs:expr, $body:expr) => {{
+        let reactor = Arc::clone($reactor);
+        let cqs = Arc::clone($cqs);
+        let r = $r;
+        async move {
+            $w.obs.note_routines(r as u64);
+            $w.routine = Some(RoutineCtl {
+                id: $id,
+                reactor: Arc::clone(&reactor),
+                cqs,
+            });
+            let grant = reactor.park_initial($id, $w.clock.now()).await;
+            $w.clock.advance_to(grant.resume_at);
+            let out = $body;
+            $w.routine = None;
+            ($w, out)
+        }
+    }};
+}
 
 impl RoutinePool {
     /// Runs `job(routine_id, worker)` on every worker concurrently as
     /// cooperative routines, returning each worker (clock advanced to
     /// its routine's end) with its job's result, in routine-id order.
     ///
-    /// A pool of one is byte-identical to calling `job(0, &mut w)`
-    /// directly: the single routine's every yield resumes immediately
-    /// at its own wake time.
+    /// A pool of one is byte-identical to driving `job(0, &mut w)`
+    /// with `drtm_base::task::block_now` on a worker outside any pool:
+    /// the single routine's every yield resumes immediately at its own
+    /// wake time.
     pub fn run<T, F>(workers: Vec<Worker>, job: F) -> Vec<(Worker, T)>
     where
-        F: Fn(usize, &mut Worker) -> T + Sync,
-        T: Send,
+        F: AsyncFn(usize, &mut Worker) -> T,
     {
         let r = workers.len();
         assert!(r >= 1, "a pool needs at least one routine");
         let nodes = workers[0].cluster.nodes();
-        let sched = Arc::new(Scheduler::new(r));
+        let reactor = Arc::new(Reactor::new(r));
         let cqs: Arc<Vec<Cq>> = Arc::new((0..nodes).map(|_| Cq::new()).collect());
+        let mut flush_ctx = FlushCtx::new(Arc::clone(&workers[0].cluster.fabric));
         let job = &job;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = workers
-                .into_iter()
-                .enumerate()
-                .map(|(id, mut w)| {
-                    let sched = Arc::clone(&sched);
-                    let cqs = Arc::clone(&cqs);
-                    scope.spawn(move || {
-                        w.obs.note_routines(r as u64);
-                        w.routine = Some(RoutineCtl {
-                            id,
-                            sched: Arc::clone(&sched),
-                            cqs,
-                        });
-                        let resume_at = sched.park_initial(id, w.clock.now());
-                        w.clock.advance_to(resume_at);
-                        let out = job(id, &mut w);
-                        w.routine = None;
-                        sched.finish(id, w.clock.now());
-                        (w, out)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("routine panicked"))
-                .collect()
-        })
+        let mut futs: Vec<RoutineFut<'_, T>> = workers
+            .into_iter()
+            .enumerate()
+            .map(|(id, mut w)| {
+                let fut = routine_future!(id, w, r, &reactor, &cqs, job(id, &mut w).await);
+                Box::pin(fut) as RoutineFut<'_, T>
+            })
+            .collect();
+
+        let mut results: Vec<Option<(Worker, T)>> = (0..r).map(|_| None).collect();
+        let mut cx = Context::from_waker(Waker::noop());
+
+        // Startup: poll every routine once, in id order; each registers
+        // its initial park (the startup barrier — no dispatch happens
+        // until the whole pool is registered).
+        for (id, fut) in futs.iter_mut().enumerate() {
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(_) => unreachable!("routine completed before its initial park"),
+                Poll::Pending => reactor.fold_park(id),
+            }
+        }
+
+        // The dispatch loop: resume the runnable routine with the
+        // smallest wake horizon, advance it one step, fold its park.
+        // Deferred batches flush — one shared doorbell per destination —
+        // exactly when no routine is runnable at the CPU frontier.
+        loop {
+            if reactor.needs_flush() {
+                reactor.flush(&mut flush_ctx, &cqs);
+            }
+            let Some(id) = reactor.dispatch() else { break };
+            match futs[id].as_mut().poll(&mut cx) {
+                Poll::Ready((w, out)) => {
+                    reactor.finish(w.clock.now());
+                    results[id] = Some((w, out));
+                }
+                Poll::Pending => reactor.fold_park(id),
+            }
+        }
+        assert_eq!(reactor.live(), 0, "routine pool wedged with live routines");
+        results
+            .into_iter()
+            .map(|r| r.expect("every routine produced a result"))
+            .collect()
     }
 
     /// Serves externally-submitted work: every worker becomes a routine
@@ -420,66 +872,150 @@ impl RoutinePool {
     ///
     /// While the queue has backlog, routines interleave exactly as in
     /// [`RoutinePool::run`] — one CPU, overlapped verb waits. When a
-    /// routine finds the queue empty it *leaves* the pool (releasing
-    /// the baton so the others keep running), blocks on the queue's
-    /// condvar in host time, and re-joins at its own clock on wakeup;
-    /// external idle time therefore never advances virtual time, and a
-    /// pool blocked on an empty queue consumes no simulated CPU.
+    /// routine finds the queue empty it parks *idle* (leaving the
+    /// virtual-time race so the others keep running); once every live
+    /// routine is idle and the queue is empty, the reactor itself
+    /// blocks on the queue in host time. External idle time therefore
+    /// never advances virtual time, and a pool blocked on an empty
+    /// queue consumes no simulated CPU. Arriving items are handed to
+    /// the lowest-id idle routine at each scheduling point.
+    ///
+    /// At drain (queue closed and empty) the pool asserts
+    /// `accepted == delivered`: every admitted item was executed and
+    /// nothing that bypassed admission — stats-only requests answered
+    /// inline by connection readers, fast rejects — consumed a
+    /// submit-queue slot. This is the invariant the serving tier's
+    /// `completed == accepted` audit rests on.
     pub fn serve<T, F>(workers: Vec<Worker>, queue: &SubmitQueue<T>, handler: F) -> Vec<Worker>
     where
-        T: Send,
-        F: Fn(usize, &mut Worker, T) + Sync,
+        F: AsyncFn(usize, &mut Worker, T),
     {
         let r = workers.len();
         assert!(r >= 1, "a pool needs at least one routine");
         let nodes = workers[0].cluster.nodes();
-        let sched = Arc::new(Scheduler::new(r));
+        let reactor = Arc::new(Reactor::new(r));
         let cqs: Arc<Vec<Cq>> = Arc::new((0..nodes).map(|_| Cq::new()).collect());
+        let mut flush_ctx = FlushCtx::new(Arc::clone(&workers[0].cluster.fabric));
+        let slots: Slots<T> = Arc::new(Mutex::new((0..r).map(|_| None).collect()));
         let handler = &handler;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = workers
-                .into_iter()
-                .enumerate()
-                .map(|(id, mut w)| {
-                    let sched = Arc::clone(&sched);
-                    let cqs = Arc::clone(&cqs);
-                    scope.spawn(move || {
-                        w.obs.note_routines(r as u64);
-                        w.routine = Some(RoutineCtl {
+        let mut futs: Vec<RoutineFut<'_, ()>> = workers
+            .into_iter()
+            .enumerate()
+            .map(|(id, mut w)| {
+                let slots = Arc::clone(&slots);
+                let fut = routine_future!(id, w, r, &reactor, &cqs, {
+                    let reactor = Arc::clone(
+                        &w.routine
+                            .as_ref()
+                            .expect("routine ctl just installed")
+                            .reactor,
+                    );
+                    loop {
+                        let (popped, resume_at) = NextJobFut {
+                            reactor: Arc::clone(&reactor),
+                            queue,
+                            slots: Arc::clone(&slots),
                             id,
-                            sched: Arc::clone(&sched),
-                            cqs,
-                        });
-                        let resume_at = sched.park_initial(id, w.clock.now());
-                        w.clock.advance_to(resume_at);
-                        loop {
-                            // Drain while holding the baton; verb waits
-                            // inside the handler interleave routines.
-                            if let Some(item) = queue.try_pop() {
-                                handler(id, &mut w, item);
-                                continue;
-                            }
-                            // Empty: release the baton before blocking
-                            // on the external queue, re-join on wakeup.
-                            sched.leave(id, w.clock.now());
-                            let popped = queue.pop_blocking();
-                            let resume_at = sched.join(id, w.clock.now());
-                            w.clock.advance_to(resume_at);
-                            match popped {
-                                Some(item) => handler(id, &mut w, item),
-                                None => break, // closed and drained
-                            }
+                            at: w.clock.now(),
+                            state: NextJob::Start,
                         }
-                        w.routine = None;
-                        sched.finish(id, w.clock.now());
-                        w
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("routine panicked"))
-                .collect()
-        })
+                        .await;
+                        w.clock.advance_to(resume_at);
+                        match popped {
+                            Some(item) => handler(id, &mut w, item).await,
+                            None => break, // closed and drained
+                        }
+                    }
+                });
+                Box::pin(fut) as RoutineFut<'_, ()>
+            })
+            .collect();
+
+        let mut results: Vec<Option<Worker>> = (0..r).map(|_| None).collect();
+        // A fresh no-op context per poll: the reactor resumes routines by
+        // re-polling, never through wakers.
+        let poll_one =
+            |id: usize, futs: &mut Vec<RoutineFut<'_, ()>>, results: &mut Vec<Option<Worker>>| {
+                let mut cx = Context::from_waker(Waker::noop());
+                match futs[id].as_mut().poll(&mut cx) {
+                    Poll::Ready((w, ())) => {
+                        reactor.finish(w.clock.now());
+                        results[id] = Some(w);
+                    }
+                    Poll::Pending => reactor.fold_park(id),
+                }
+            };
+
+        let mut cx = Context::from_waker(Waker::noop());
+        for (id, fut) in futs.iter_mut().enumerate() {
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(_) => unreachable!("routine completed before its initial park"),
+                Poll::Pending => reactor.fold_park(id),
+            }
+        }
+
+        loop {
+            // Hand arrivals to idle routines (lowest id first) before
+            // each scheduling decision, mirroring the parked threads
+            // that woke and re-joined under the baton design.
+            while reactor.idle_count() > 0 {
+                match queue.try_pop() {
+                    Some(item) => {
+                        let id = reactor.rejoin_lowest_idle();
+                        slots.lock()[id] = Some(Some(item));
+                    }
+                    None => break,
+                }
+            }
+            if reactor.needs_flush() {
+                reactor.flush(&mut flush_ctx, &cqs);
+            }
+            if let Some(id) = reactor.dispatch() {
+                poll_one(id, &mut futs, &mut results);
+                continue;
+            }
+            let live = reactor.live();
+            if live == 0 {
+                break;
+            }
+            // Nothing runnable but routines remain: they must all be
+            // idle on the empty queue. Block in host time — the only
+            // blocking point of the whole pool — and hand the outcome
+            // to the idle routines.
+            assert_eq!(
+                reactor.idle_count(),
+                live,
+                "serve pool wedged: live routines neither runnable nor idle"
+            );
+            match queue.pop_blocking() {
+                Some(item) => {
+                    let id = reactor.rejoin_lowest_idle();
+                    slots.lock()[id] = Some(Some(item));
+                }
+                None => {
+                    // Closed and drained: deliver the stop signal to
+                    // every idle routine; the dispatch loop retires
+                    // them in virtual-time order.
+                    while reactor.idle_count() > 0 {
+                        let id = reactor.rejoin_lowest_idle();
+                        slots.lock()[id] = Some(None);
+                    }
+                    // Satellite invariant: every admitted item was
+                    // delivered to a routine, and nothing that bypassed
+                    // admission (stats-only requests, fast rejects)
+                    // consumed a submit-queue slot.
+                    assert_eq!(
+                        queue.accepted(),
+                        queue.delivered(),
+                        "submit queue drained with undelivered admissions \
+                         (a non-admitted request consumed a slot?)"
+                    );
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|w| w.expect("every routine returned its worker"))
+            .collect()
     }
 }

@@ -27,11 +27,10 @@ fn num(v: &[u8]) -> u64 {
 }
 
 fn cluster(n: usize, replicas: usize) -> Arc<DrtmCluster> {
-    let opts = EngineOpts {
-        replicas,
-        region_size: 4 << 20,
-        ..Default::default()
-    };
+    let opts = EngineOpts::builder()
+        .replicas(replicas)
+        .region_size(4 << 20)
+        .build();
     let c = DrtmCluster::new(n, &schema(), opts);
     for shard in 0..n {
         for k in 0..64u64 {
@@ -345,16 +344,14 @@ fn aux_threads_apply_and_truncate() {
 fn fallback_commits_when_htm_always_fails() {
     // Force the HTM to be useless (100% spurious aborts): every commit
     // must go through the fallback handler and still be correct.
-    let opts = EngineOpts {
-        replicas: 1,
-        region_size: 4 << 20,
-        htm: drtm_htm::HtmConfig {
+    let opts = EngineOpts::builder()
+        .region_size(4 << 20)
+        .htm(drtm_htm::HtmConfig {
             spurious_abort_prob: 1.0,
             max_retries: 2,
             ..Default::default()
-        },
-        ..Default::default()
-    };
+        })
+        .build();
     let c = DrtmCluster::new(2, &schema(), opts);
     c.seed_record(0, T_ACCT, key(0, 0), &val(10));
     let mut w = c.worker(0, 1);
@@ -372,16 +369,14 @@ fn fallback_commits_when_htm_always_fails() {
 
 #[test]
 fn fallback_under_concurrency_stays_serializable() {
-    let opts = EngineOpts {
-        replicas: 1,
-        region_size: 4 << 20,
-        htm: drtm_htm::HtmConfig {
+    let opts = EngineOpts::builder()
+        .region_size(4 << 20)
+        .htm(drtm_htm::HtmConfig {
             spurious_abort_prob: 0.5,
             max_retries: 1,
             ..Default::default()
-        },
-        ..Default::default()
-    };
+        })
+        .build();
     let c = DrtmCluster::new(2, &schema(), opts);
     c.seed_record(0, T_ACCT, key(0, 0), &val(0));
     let mut handles = Vec::new();
@@ -614,12 +609,10 @@ fn rw_txn_reads_through_remote_lock_optimistically() {
 fn msg_locking_mode_is_correct_and_interrupts_htm() {
     // The FaRM-messaging ablation must produce the same results; the
     // host's control line moves with every serviced lock message.
-    let opts = EngineOpts {
-        replicas: 1,
-        region_size: 4 << 20,
-        msg_locking: true,
-        ..Default::default()
-    };
+    let opts = EngineOpts::builder()
+        .region_size(4 << 20)
+        .msg_locking(true)
+        .build();
     let c = DrtmCluster::new(2, &schema(), opts);
     c.seed_record(1, T_ACCT, key(1, 0), &val(5));
     let mut w = c.worker(0, 1);
@@ -706,12 +699,10 @@ fn full_restart_scrub_repairs_inflight_state() {
 
 #[test]
 fn fused_lock_validate_produces_same_results() {
-    let opts = EngineOpts {
-        replicas: 1,
-        region_size: 4 << 20,
-        fuse_lock_validate: true,
-        ..Default::default()
-    };
+    let opts = EngineOpts::builder()
+        .region_size(4 << 20)
+        .fuse_lock_validate(true)
+        .build();
     let c = DrtmCluster::new(2, &schema(), opts);
     c.seed_record(1, T_ACCT, key(1, 0), &val(5));
     let mut w = c.worker(0, 1);
@@ -737,12 +728,10 @@ fn fused_lock_validate_produces_same_results() {
 fn one_doorbell_per_destination_in_commit_fanout() {
     let k = 3u64;
     let run_once = |batched: bool| -> drtm_rdma::NicSnapshot {
-        let opts = EngineOpts {
-            replicas: 1,
-            region_size: 4 << 20,
-            batched_verbs: batched,
-            ..Default::default()
-        };
+        let opts = EngineOpts::builder()
+            .region_size(4 << 20)
+            .batched_verbs(batched)
+            .build();
         let c = DrtmCluster::new(2, &schema(), opts);
         for shard in 0..2 {
             for i in 0..8u64 {
@@ -832,11 +821,7 @@ impl drtm_rdma::FaultInjector for DropNth {
 /// read-modify-writes three records homed on node 1, so every commit
 /// phase fans out a 3-WR doorbell batch toward node 1.
 fn run_three_record_txn(injector: Arc<dyn drtm_rdma::FaultInjector>) -> (Arc<DrtmCluster>, u64) {
-    let opts = EngineOpts {
-        replicas: 1,
-        region_size: 4 << 20,
-        ..Default::default()
-    };
+    let opts = EngineOpts::builder().region_size(4 << 20).build();
     let c = DrtmCluster::new(2, &schema(), opts);
     for i in 0..8u64 {
         c.seed_record(1, T_ACCT, key(1, i), &val(100));
@@ -922,12 +907,11 @@ fn dropped_unlock_wr_is_retransmitted() {
 // ---------------------------------------------------------------------
 
 fn cached_cluster(n: usize, replicas: usize) -> Arc<DrtmCluster> {
-    let opts = EngineOpts {
-        replicas,
-        region_size: 4 << 20,
-        read_mostly_tables: vec![T_ACCT],
-        ..Default::default()
-    };
+    let opts = EngineOpts::builder()
+        .replicas(replicas)
+        .region_size(4 << 20)
+        .read_mostly_tables(vec![T_ACCT])
+        .build();
     let c = DrtmCluster::new(n, &schema(), opts);
     for shard in 0..n {
         for k in 0..64u64 {
@@ -1058,17 +1042,20 @@ fn recovery_epoch_bump_drops_cached_entries() {
 /// The workload both arms of the routines=1 identity test run: a mix of
 /// local, remote and replicated read-modify-writes, plus a read-only
 /// audit — every commit-path doorbell site fires at least once.
-fn identity_job(w: &mut crate::txn::Worker, txns: u64) {
+async fn identity_job(w: &mut crate::txn::Worker, txns: u64) {
     for i in 0..txns {
         let k = i % 4;
-        w.run(|t| {
-            let a = num(&t.read(0, T_ACCT, key(0, k))?);
-            let b = num(&t.read(1, T_ACCT, key(1, k))?);
-            t.write(0, T_ACCT, key(0, k), val(a + 1))?;
-            t.write(1, T_ACCT, key(1, k), val(b + 1))
+        w.run_async(async |t| {
+            let a = num(&t.read_async(0, T_ACCT, key(0, k)).await?);
+            let b = num(&t.read_async(1, T_ACCT, key(1, k)).await?);
+            t.write_async(0, T_ACCT, key(0, k), val(a + 1)).await?;
+            t.write_async(1, T_ACCT, key(1, k), val(b + 1)).await
         })
+        .await
         .unwrap();
-        w.run_ro(|t| t.read(1, T_ACCT, key(1, k))).unwrap();
+        w.run_ro_async(async |t| t.read_async(1, T_ACCT, key(1, k)).await)
+            .await
+            .unwrap();
     }
 }
 
@@ -1080,11 +1067,10 @@ fn identity_job(w: &mut crate::txn::Worker, txns: u64) {
 #[test]
 fn routines_one_matches_legacy_path_exactly() {
     let build = || {
-        let opts = EngineOpts {
-            replicas: 2,
-            region_size: 4 << 20,
-            ..Default::default()
-        };
+        let opts = EngineOpts::builder()
+            .replicas(2)
+            .region_size(4 << 20)
+            .build();
         let c = DrtmCluster::new(2, &schema(), opts);
         for shard in 0..2 {
             for k in 0..8u64 {
@@ -1094,15 +1080,17 @@ fn routines_one_matches_legacy_path_exactly() {
         c
     };
 
-    // Arm A: plain worker, legacy blocking waits.
+    // Arm A: plain worker, legacy blocking waits (no reactor attached,
+    // so every yield point completes inline in one poll).
     let ca = build();
     let mut wa = ca.worker(0, 42);
-    identity_job(&mut wa, 12);
+    drtm_base::task::block_now(identity_job(&mut wa, 12));
 
     // Arm B: the same worker seed driven through a pool of one.
     let cb = build();
     let wb = cb.worker(0, 42);
-    let mut out = crate::routine::RoutinePool::run(vec![wb], |_, w| identity_job(w, 12));
+    let mut out =
+        crate::routine::RoutinePool::run(vec![wb], async |_, w| identity_job(w, 12).await);
     let (wb, ()) = out.remove(0);
 
     assert_eq!(wa.clock.now(), wb.clock.now(), "identical virtual time");
@@ -1132,11 +1120,7 @@ fn routines_overlap_independent_verb_waits() {
     const R: usize = 4;
     const TXNS: u64 = 8;
     let build = || {
-        let opts = EngineOpts {
-            replicas: 1,
-            region_size: 4 << 20,
-            ..Default::default()
-        };
+        let opts = EngineOpts::builder().region_size(4 << 20).build();
         let c = DrtmCluster::new(2, &schema(), opts);
         for shard in 0..2 {
             for k in 0..64u64 {
@@ -1147,13 +1131,14 @@ fn routines_overlap_independent_verb_waits() {
     };
     // Each routine owns a disjoint key range on the remote node, so no
     // aborts perturb the comparison.
-    let job = |id: usize, w: &mut crate::txn::Worker| {
+    let job = async |id: usize, w: &mut crate::txn::Worker| {
         for i in 0..TXNS {
             let k = (id as u64) * 8 + (i % 8);
-            w.run(|t| {
-                let v = num(&t.read(1, T_ACCT, key(1, k))?);
-                t.write(1, T_ACCT, key(1, k), val(v + 1))
+            w.run_async(async |t| {
+                let v = num(&t.read_async(1, T_ACCT, key(1, k)).await?);
+                t.write_async(1, T_ACCT, key(1, k), val(v + 1)).await
             })
+            .await
             .unwrap();
         }
     };
@@ -1164,7 +1149,7 @@ fn routines_overlap_independent_verb_waits() {
     let mut serial_ns = 0u64;
     for id in 0..R {
         let mut w = ca.worker(0, 7 + id as u64);
-        job(id, &mut w);
+        drtm_base::task::block_now(job(id, &mut w));
         serial_ns += w.clock.now();
     }
 
@@ -1172,7 +1157,7 @@ fn routines_overlap_independent_verb_waits() {
     // routine's clock.
     let cb = build();
     let workers: Vec<_> = (0..R).map(|id| cb.worker(0, 7 + id as u64)).collect();
-    let done = crate::routine::RoutinePool::run(workers, |id, w| job(id, w));
+    let done = crate::routine::RoutinePool::run(workers, async |id, w| job(id, w).await);
     let pipelined_ns = done.iter().map(|(w, _)| w.clock.now()).max().unwrap();
 
     assert!(
@@ -1205,24 +1190,21 @@ fn routines_overlap_independent_verb_waits() {
 /// spinning on one) must hand the baton around for anyone to finish.
 #[test]
 fn conflicting_routines_make_progress() {
-    let opts = EngineOpts {
-        replicas: 1,
-        region_size: 4 << 20,
-        ..Default::default()
-    };
+    let opts = EngineOpts::builder().region_size(4 << 20).build();
     let c = DrtmCluster::new(2, &schema(), opts);
     for shard in 0..2 {
         c.seed_record(shard, T_ACCT, key(shard, 0), &val(1000));
     }
     let workers: Vec<_> = (0..4).map(|id| c.worker(0, 100 + id as u64)).collect();
-    let done = crate::routine::RoutinePool::run(workers, |_, w| {
+    let done = crate::routine::RoutinePool::run(workers, async |_, w| {
         for _ in 0..6 {
-            w.run(|t| {
-                let a = num(&t.read(0, T_ACCT, key(0, 0))?);
-                let b = num(&t.read(1, T_ACCT, key(1, 0))?);
-                t.write(0, T_ACCT, key(0, 0), val(a - 1))?;
-                t.write(1, T_ACCT, key(1, 0), val(b + 1))
+            w.run_async(async |t| {
+                let a = num(&t.read_async(0, T_ACCT, key(0, 0)).await?);
+                let b = num(&t.read_async(1, T_ACCT, key(1, 0)).await?);
+                t.write_async(0, T_ACCT, key(0, 0), val(a - 1)).await?;
+                t.write_async(1, T_ACCT, key(1, 0), val(b + 1)).await
             })
+            .await
             .unwrap();
         }
     });
@@ -1246,6 +1228,7 @@ fn submit_queue_sheds_past_high_water() {
     assert_eq!(q.submit(4), Admission::Rejected, "queue full must shed");
     assert_eq!(q.depth(), 3);
     assert_eq!(q.try_pop(), Some(1));
+    assert_eq!(q.delivered(), 1, "pop counts as a delivery");
     assert_eq!(q.submit(5), Admission::Admitted, "pop frees a slot");
     assert_eq!((q.accepted(), q.rejected()), (4, 1));
     q.close();
@@ -1256,6 +1239,11 @@ fn submit_queue_sheds_past_high_water() {
     assert_eq!(q.pop_blocking(), Some(5));
     assert_eq!(q.pop_blocking(), None);
     assert_eq!(q.wait_hist().count(), 4, "every delivery recorded a wait");
+    assert_eq!(
+        q.delivered(),
+        q.accepted(),
+        "every admitted item was delivered; a shed or closing pop must not count"
+    );
 }
 
 /// A serving pool drains externally-submitted transactions: routines
@@ -1283,18 +1271,24 @@ fn serve_drains_external_submissions_and_stops_on_close() {
         })
     };
     let workers: Vec<_> = (0..3).map(|id| c.worker(0, 500 + id as u64)).collect();
-    let done = RoutinePool::serve(workers, &q, |_, w, k| {
-        w.run(|t| {
-            let a = num(&t.read(0, T_ACCT, key(0, k))?);
-            let b = num(&t.read(1, T_ACCT, key(1, k))?);
-            t.write(0, T_ACCT, key(0, k), val(a - 1))?;
-            t.write(1, T_ACCT, key(1, k), val(b + 1))
+    let done = RoutinePool::serve(workers, &q, async |_, w, k| {
+        w.run_async(async |t| {
+            let a = num(&t.read_async(0, T_ACCT, key(0, k)).await?);
+            let b = num(&t.read_async(1, T_ACCT, key(1, k)).await?);
+            t.write_async(0, T_ACCT, key(0, k), val(a - 1)).await?;
+            t.write_async(1, T_ACCT, key(1, k), val(b + 1)).await
         })
+        .await
         .unwrap();
     });
     producer.join().unwrap();
     assert_eq!(done.len(), 3);
     assert_eq!(q.accepted(), SUBMITTED);
+    assert_eq!(
+        q.delivered(),
+        SUBMITTED,
+        "every admission reached a routine"
+    );
     assert_eq!(q.depth(), 0, "close drains the backlog");
     let snap = c.obs.scrape();
     assert_eq!(snap.committed, SUBMITTED);

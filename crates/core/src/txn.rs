@@ -8,11 +8,12 @@
 
 use std::sync::Arc;
 
+use drtm_base::task::block_now;
 use drtm_base::{Histogram, SplitMix64, VClock};
 use drtm_htm::HtmTxn;
 use drtm_obs::{EventKind, Shard};
-use drtm_rdma::{Cq, NodeId, Qp, VerbError, WorkCompletion};
-use drtm_store::record::{remote_read_consistent, LOCK_FREE};
+use drtm_rdma::{Cq, NodeId, Qp, VerbError, WorkCompletion, WorkRequest, WrResult};
+use drtm_store::record::{parse_consistent, remote_read_consistent, LOCK_FREE};
 use drtm_store::{CachedRecord, LocationCache, TableId, ValueCache};
 
 use crate::cluster::DrtmCluster;
@@ -257,17 +258,19 @@ impl Worker {
     }
 
     /// Rings the doorbell for every WR posted to `node`'s send queue
-    /// and waits for the batch's completions.
+    /// and waits for the batch's completions. This is a *yield point*:
+    /// the returned future suspends under a routine reactor.
     ///
     /// Without an active routine this is the legacy blocking sequence —
     /// a private CQ, one doorbell, one [`Cq::poll`] spinning the clock
-    /// to the batch horizon. Under a routine scheduler the batch is
-    /// tagged with the routine id into the pool's shared per-destination
-    /// CQ and the routine *yields* until the horizon, so other
-    /// routines' CPU segments run inside this one's verb wait. Both
-    /// paths advance the clock to the same instant when the pool has a
-    /// single routine.
-    pub(crate) fn finish_batch(&mut self, node: NodeId) -> Vec<WorkCompletion> {
+    /// to the batch horizon — and the future completes in a single poll
+    /// (so `block_now` facades stay sound). Under a reactor the batch
+    /// is tagged with the routine id into the pool's shared
+    /// per-destination CQ and the routine *parks* until the horizon, so
+    /// other routines' CPU segments run inside this one's verb wait.
+    /// Both paths advance the clock to the same instant when the pool
+    /// has a single routine.
+    pub(crate) async fn finish_batch(&mut self, node: NodeId) -> Vec<WorkCompletion> {
         debug_assert!(
             !drtm_htm::region_active(),
             "verb waits must never run inside an HTM region"
@@ -284,20 +287,28 @@ impl Worker {
                 wcs
             }
             Some(ctl) => {
-                let (sched, id) = (Arc::clone(&ctl.sched), ctl.id);
+                let (reactor, id) = (Arc::clone(&ctl.reactor), ctl.id);
                 let cqs = Arc::clone(&ctl.cqs);
-                let batch = self.qps[node].doorbell_tagged(&mut self.clock, &cqs[node], id as u64);
-                let cpu_release = self.clock.now();
-                let wake = cqs[node]
-                    .batch_horizon(batch)
-                    .unwrap_or(cpu_release)
-                    .max(cpu_release);
-                let (resume_at, idle) = sched.yield_wait(id, cpu_release, wake);
-                self.clock.advance_to(resume_at);
-                let wait = wake.saturating_sub(cpu_release);
+                let wrs = self.qps[node].take_posted();
+                if wrs.is_empty() {
+                    return Vec::new();
+                }
+                // Hand the batch to the pool's deferred-flush layer: the
+                // reactor rings one shared doorbell over every routine
+                // that parks before the CPU frontier runs dry, so the
+                // MMIO charge amortizes across the pool instead of
+                // landing on this routine alone.
+                let grant = reactor
+                    .flush_wait(id, self.node, node, wrs, self.clock.now())
+                    .await;
+                self.clock.advance_to(grant.resume_at);
+                let wait = grant.wake.saturating_sub(grant.release);
                 self.wait_accum_ns += wait;
-                self.obs.note_verb_wait(wait, wait.saturating_sub(idle));
-                cqs[node].take_batch(batch)
+                self.obs
+                    .note_verb_wait(wait, wait.saturating_sub(grant.idle_ns));
+                self.obs
+                    .note_reactor(grant.depth, grant.resume_at.saturating_sub(grant.wake));
+                cqs[node].take_cookie(id as u64)
             }
         }
     }
@@ -333,7 +344,7 @@ impl Worker {
     /// after the doorbell charge — and the worker clock now sits at the
     /// completion horizon. With a single-routine pool the yield resumes
     /// at the current clock, changing nothing.
-    pub(crate) fn yield_remote_wait(&mut self, cpu_release: u64) {
+    pub(crate) async fn yield_remote_wait(&mut self, cpu_release: u64) {
         debug_assert!(
             !drtm_htm::region_active(),
             "verb waits must never run inside an HTM region"
@@ -347,21 +358,24 @@ impl Worker {
         match &self.routine {
             None => self.obs.note_verb_wait(wait, 0),
             Some(ctl) => {
-                let (sched, id) = (Arc::clone(&ctl.sched), ctl.id);
-                let (resume_at, idle) = sched.yield_wait(id, wake - wait, wake);
-                self.clock.advance_to(resume_at);
-                self.obs.note_verb_wait(wait, wait.saturating_sub(idle));
+                let (reactor, id) = (Arc::clone(&ctl.reactor), ctl.id);
+                let grant = reactor.yield_wait(id, wake - wait, wake).await;
+                self.clock.advance_to(grant.resume_at);
+                self.obs
+                    .note_verb_wait(wait, wait.saturating_sub(grant.idle_ns));
+                self.obs
+                    .note_reactor(grant.depth, grant.resume_at.saturating_sub(wake));
             }
         }
     }
 
-    /// Releases the routine baton at a CPU spin-wait (lock backoff and
-    /// retry loops) so a parked routine of the same pool — possibly the
+    /// Parks the routine at a CPU spin-wait (lock backoff and retry
+    /// loops) so another routine of the same pool — possibly the
     /// conflicting lock holder — gets to run; without this a spinner
-    /// holding the baton could starve the pool forever. The clock jumps
-    /// over any CPU time other routines consume meanwhile. A no-op
-    /// without a scheduler.
-    pub(crate) fn spin_yield(&mut self) {
+    /// could starve the pool forever. The clock jumps over any CPU time
+    /// other routines consume meanwhile. A no-op (single ready poll)
+    /// without a reactor.
+    pub(crate) async fn spin_yield(&mut self) {
         debug_assert!(
             !drtm_htm::region_active(),
             "yields must never run inside an HTM region"
@@ -369,10 +383,12 @@ impl Worker {
         let Some(ctl) = &self.routine else {
             return;
         };
-        let (sched, id) = (Arc::clone(&ctl.sched), ctl.id);
+        let (reactor, id) = (Arc::clone(&ctl.reactor), ctl.id);
         let now = self.clock.now();
-        let (resume_at, _) = sched.yield_wait(id, now, now);
-        self.clock.advance_to(resume_at);
+        let grant = reactor.spin_wait(id, now).await;
+        self.clock.advance_to(grant.resume_at);
+        self.obs
+            .note_reactor(grant.depth, grant.resume_at.saturating_sub(now));
     }
 
     /// Read access to the value cache of records homed on `node`
@@ -438,19 +454,44 @@ impl Worker {
 
     /// Runs `body` as a read-write transaction with automatic retry on
     /// abort. Returns the body's value once a commit succeeds.
+    ///
+    /// Synchronous facade over [`Self::run_async`] for callers outside a
+    /// routine pool (the body never suspends without a reactor).
     pub fn run<R>(
         &mut self,
         mut body: impl FnMut(&mut TxnCtx<'_>) -> Result<R, TxnError>,
     ) -> Result<R, TxnError> {
-        self.run_inner(false, &mut body)
+        block_now(self.run_inner(false, &mut async |t: &mut TxnCtx<'_>| body(t)))
     }
 
     /// Runs `body` as a read-only transaction with automatic retry.
+    ///
+    /// Synchronous facade over [`Self::run_ro_async`]; see [`Self::run`].
     pub fn run_ro<R>(
         &mut self,
         mut body: impl FnMut(&mut TxnCtx<'_>) -> Result<R, TxnError>,
     ) -> Result<R, TxnError> {
-        self.run_inner(true, &mut body)
+        block_now(self.run_inner(true, &mut async |t: &mut TxnCtx<'_>| body(t)))
+    }
+
+    /// Runs `body` as a read-write transaction with automatic retry on
+    /// abort, suspending at every verb wait so a routine reactor can
+    /// interleave other routines. This is the primary entry point inside
+    /// a [`crate::routine::RoutinePool`]; outside a pool it behaves like
+    /// [`Self::run`].
+    pub async fn run_async<R>(
+        &mut self,
+        mut body: impl AsyncFnMut(&mut TxnCtx<'_>) -> Result<R, TxnError>,
+    ) -> Result<R, TxnError> {
+        self.run_inner(false, &mut body).await
+    }
+
+    /// Read-only variant of [`Self::run_async`].
+    pub async fn run_ro_async<R>(
+        &mut self,
+        mut body: impl AsyncFnMut(&mut TxnCtx<'_>) -> Result<R, TxnError>,
+    ) -> Result<R, TxnError> {
+        self.run_inner(true, &mut body).await
     }
 
     /// Runs `body` exactly once and attempts a single commit — no retry.
@@ -465,17 +506,17 @@ impl Worker {
         Ok(value)
     }
 
-    fn run_inner<R>(
+    async fn run_inner<R>(
         &mut self,
         read_only: bool,
-        body: &mut impl FnMut(&mut TxnCtx<'_>) -> Result<R, TxnError>,
+        body: &mut impl AsyncFnMut(&mut TxnCtx<'_>) -> Result<R, TxnError>,
     ) -> Result<R, TxnError> {
         let retries = self.cluster.opts.txn_retries;
         let mut last = TxnError::Aborted(AbortReason::Validation);
         for attempt in 0..=retries {
             let mut ctx = self.begin_inner(read_only);
-            match body(&mut ctx) {
-                Ok(value) => match ctx.commit() {
+            match body(&mut ctx).await {
+                Ok(value) => match ctx.commit_async().await {
                     Ok(()) => return Ok(value),
                     Err(e @ (TxnError::Aborted(_) | TxnError::Transport(_))) => last = e,
                     Err(e) => return Err(e),
@@ -532,7 +573,7 @@ impl Worker {
             let ns = self.rng.below(cap);
             self.clock.advance(ns);
             std::thread::yield_now();
-            self.spin_yield();
+            self.spin_yield().await;
         }
         Err(last)
     }
@@ -555,11 +596,25 @@ impl<'w> TxnCtx<'w> {
 
     /// Reads a record on the local machine (Figure 5's `LOCAL_READ`).
     ///
+    /// Synchronous facade over [`Self::read_local_async`] for callers
+    /// outside a routine pool.
+    pub fn read_local(&mut self, table: TableId, key: u64) -> Result<Vec<u8>, TxnError> {
+        block_now(self.read_local_async(table, key))
+    }
+
+    /// Reads a record on the local machine (Figure 5's `LOCAL_READ`).
+    ///
     /// Runs a small HTM region that first checks the record's lock word:
     /// if a remote committer holds the lock, the HTM region aborts and
     /// the read retries with randomised backoff (§4.3 — the "necessary
-    /// false abort"). Buffered own-writes win.
-    pub fn read_local(&mut self, table: TableId, key: u64) -> Result<Vec<u8>, TxnError> {
+    /// false abort"). The backoff is a reactor yield point; the HTM
+    /// region itself is opened and closed without suspending. Buffered
+    /// own-writes win.
+    pub async fn read_local_async(
+        &mut self,
+        table: TableId,
+        key: u64,
+    ) -> Result<Vec<u8>, TxnError> {
         if let Some(e) = self.l_ws.iter().find(|e| e.table == table && e.key == key) {
             return Ok(e.buf.clone());
         }
@@ -595,7 +650,7 @@ impl<'w> TxnCtx<'w> {
                         let ns = self.w.rng.below(2_000);
                         self.charge(ns);
                         std::thread::yield_now();
-                        self.w.spin_yield();
+                        self.w.spin_yield().await;
                         continue;
                     }
                     if htm.commit().is_ok() {
@@ -659,12 +714,27 @@ impl<'w> TxnCtx<'w> {
     /// Reads a record on machine `node` with a lock-free consistent
     /// one-sided RDMA READ (Figure 6's `REMOTE_READ`).
     ///
+    /// Synchronous facade over [`Self::read_remote_async`] for callers
+    /// outside a routine pool.
+    pub fn read_remote(
+        &mut self,
+        node: NodeId,
+        table: TableId,
+        key: u64,
+    ) -> Result<Vec<u8>, TxnError> {
+        block_now(self.read_remote_async(node, table, key))
+    }
+
+    /// Reads a record on machine `node` with a lock-free consistent
+    /// one-sided RDMA READ (Figure 6's `REMOTE_READ`). The NIC wait is a
+    /// reactor yield point.
+    ///
     /// Read-write transactions deliberately do *not* check the lock word
     /// (a committing transaction read-locks records; rejecting them would
     /// be a spurious failure — validation at commit decides). Read-only
     /// transactions reject locked records to avoid uncommitted reads
     /// (§4.5).
-    pub fn read_remote(
+    pub async fn read_remote_async(
         &mut self,
         node: NodeId,
         table: TableId,
@@ -687,106 +757,146 @@ impl<'w> TxnCtx<'w> {
             return Ok(e.value.clone());
         }
         let layout = cluster.stores[self.w.node].table(table).layout;
-        // Value cache (DESIGN.md §8): a hit serves the record with no
-        // execution-phase verb; the entry is re-validated at C.2 with a
-        // header-only READ.
-        let cacheable = self.value_cacheable(table);
-        if cacheable {
-            if let Some(c) = self.w.value_caches[node].get(table, key) {
-                let (rec_off, seq, incarnation, value) =
-                    (c.rec_off as usize, c.seq, c.incarnation, c.value.clone());
-                self.w.obs.note_cache_hit(layout.size() as u64);
-                drtm_obs::trace::event(
-                    EventKind::Cache,
-                    "hit",
-                    self.w.node as u64,
-                    self.w.clock.now(),
-                );
-                self.charge(cluster.opts.cost.record_logic_ns);
-                self.r_rs.push(RemoteRead {
-                    node,
+        // A stale location cache entry restarts the whole lookup (at most
+        // once: the invalidation below guarantees the next iteration sees
+        // no cached incarnation). A loop rather than recursion keeps the
+        // future un-boxed.
+        'lookup: loop {
+            // Value cache (DESIGN.md §8): a hit serves the record with no
+            // execution-phase verb; the entry is re-validated at C.2 with a
+            // header-only READ.
+            let cacheable = self.value_cacheable(table);
+            if cacheable {
+                if let Some(c) = self.w.value_caches[node].get(table, key) {
+                    let (rec_off, seq, incarnation, value) =
+                        (c.rec_off as usize, c.seq, c.incarnation, c.value.clone());
+                    self.w.obs.note_cache_hit(layout.size() as u64);
+                    drtm_obs::trace::event(
+                        EventKind::Cache,
+                        "hit",
+                        self.w.node as u64,
+                        self.w.clock.now(),
+                    );
+                    self.charge(cluster.opts.cost.record_logic_ns);
+                    self.r_rs.push(RemoteRead {
+                        node,
+                        table,
+                        key,
+                        rec_off,
+                        seq,
+                        incarnation,
+                        value: value.clone(),
+                        from_cache: true,
+                    });
+                    return Ok(value);
+                }
+                self.w.obs.note_cache_miss();
+            }
+            let rec_off = self.locate_remote(node, table, key).await?;
+            let cost = cluster.opts.cost.clone();
+            self.w.clock.advance(cost.record_logic_ns);
+            let mut read = None;
+            for _ in 0..cluster.opts.remote_read_retries {
+                let rr_opt = if self.w.routine.is_some() {
+                    // Posted path: the READ rides the pool's shared
+                    // doorbell flush, so its MMIO charge amortizes over
+                    // every routine parked this round.
+                    self.w.qps[node].post(WorkRequest::Read {
+                        raddr: rec_off,
+                        len: layout.size(),
+                    });
+                    let wcs = self.w.finish_batch(node).await;
+                    match wcs.first().map(|wc| &wc.result) {
+                        Some(Ok(WrResult::Read { data, .. })) => parse_consistent(data, layout),
+                        // An injected drop surfaces as an error on the
+                        // posted path; retry it like a torn read — one
+                        // honest retransmission round through the loop.
+                        _ => None,
+                    }
+                } else {
+                    // The CPU is occupied only for the doorbell; the rest
+                    // of the blocking read is NIC latency another routine
+                    // can hide.
+                    let before = self.w.clock.now();
+                    let rr_opt = {
+                        let w = &mut *self.w;
+                        remote_read_consistent(&w.qps[node], &mut w.clock, rec_off, layout, 0)
+                    };
+                    self.w.yield_remote_wait(before + cost.doorbell_ns).await;
+                    rr_opt
+                };
+                let Some(rr) = rr_opt else {
+                    continue;
+                };
+                if self.read_only && rr.lock != LOCK_FREE {
+                    // §4.5: a locked record may carry an uncommitted (odd)
+                    // value; retry until the committer finishes.
+                    continue;
+                }
+                read = Some(rr);
+                break;
+            }
+            let Some(rr) = read else {
+                return Err(TxnError::Aborted(AbortReason::RemoteInconsistent));
+            };
+            // Stale location cache: the block was freed/reused. Invalidate
+            // and retry the whole lookup once.
+            if let Some(cached_inc) = self.cached_incarnation(node, table, key) {
+                if cached_inc != rr.incarnation {
+                    self.w.caches[node].invalidate(table, key);
+                    continue 'lookup;
+                }
+            } else if cluster.opts.use_location_cache {
+                self.w.caches[node].put(table, key, rec_off as u64, rr.incarnation);
+            }
+            // Fill the value cache from this consistent read. Only unlocked,
+            // committed (even-sequence) snapshots are deposited: an odd
+            // sequence number is visible-but-uncommittable and a locked one
+            // may be mid-rewrite.
+            if cacheable && rr.lock == LOCK_FREE && rr.seq % 2 == 0 {
+                self.w.value_caches[node].put(
                     table,
                     key,
-                    rec_off,
-                    seq,
-                    incarnation,
-                    value: value.clone(),
-                    from_cache: true,
-                });
-                return Ok(value);
+                    CachedRecord {
+                        rec_off: rec_off as u64,
+                        seq: rr.seq,
+                        incarnation: rr.incarnation,
+                        epoch: self.start_epoch,
+                        value: rr.value.clone(),
+                    },
+                );
             }
-            self.w.obs.note_cache_miss();
-        }
-        let rec_off = self.locate_remote(node, table, key)?;
-        let cost = cluster.opts.cost.clone();
-        self.w.clock.advance(cost.record_logic_ns);
-        let mut read = None;
-        for _ in 0..cluster.opts.remote_read_retries {
-            // The CPU is occupied only for the doorbell; the rest of the
-            // blocking read is NIC latency another routine can hide.
-            let before = self.w.clock.now();
-            let rr_opt = {
-                let w = &mut *self.w;
-                remote_read_consistent(&w.qps[node], &mut w.clock, rec_off, layout, 0)
-            };
-            self.w.yield_remote_wait(before + cost.doorbell_ns);
-            let Some(rr) = rr_opt else {
-                continue;
-            };
-            if self.read_only && rr.lock != LOCK_FREE {
-                // §4.5: a locked record may carry an uncommitted (odd)
-                // value; retry until the committer finishes.
-                continue;
-            }
-            read = Some(rr);
-            break;
-        }
-        let Some(rr) = read else {
-            return Err(TxnError::Aborted(AbortReason::RemoteInconsistent));
-        };
-        // Stale location cache: the block was freed/reused. Invalidate
-        // and retry the whole lookup once.
-        if let Some(cached_inc) = self.cached_incarnation(node, table, key) {
-            if cached_inc != rr.incarnation {
-                self.w.caches[node].invalidate(table, key);
-                return self.read_remote(node, table, key);
-            }
-        } else if cluster.opts.use_location_cache {
-            self.w.caches[node].put(table, key, rec_off as u64, rr.incarnation);
-        }
-        // Fill the value cache from this consistent read. Only unlocked,
-        // committed (even-sequence) snapshots are deposited: an odd
-        // sequence number is visible-but-uncommittable and a locked one
-        // may be mid-rewrite.
-        if cacheable && rr.lock == LOCK_FREE && rr.seq % 2 == 0 {
-            self.w.value_caches[node].put(
+            let value = rr.value.clone();
+            self.r_rs.push(RemoteRead {
+                node,
                 table,
                 key,
-                CachedRecord {
-                    rec_off: rec_off as u64,
-                    seq: rr.seq,
-                    incarnation: rr.incarnation,
-                    epoch: self.start_epoch,
-                    value: rr.value.clone(),
-                },
-            );
+                rec_off,
+                seq: rr.seq,
+                incarnation: rr.incarnation,
+                value: rr.value,
+                from_cache: false,
+            });
+            return Ok(value);
         }
-        let value = rr.value.clone();
-        self.r_rs.push(RemoteRead {
-            node,
-            table,
-            key,
-            rec_off,
-            seq: rr.seq,
-            incarnation: rr.incarnation,
-            value: rr.value,
-            from_cache: false,
-        });
-        Ok(value)
     }
 
     /// Buffers a write to a record on machine `node`.
+    ///
+    /// Synchronous facade over [`Self::write_remote_async`].
     pub fn write_remote(
+        &mut self,
+        node: NodeId,
+        table: TableId,
+        key: u64,
+        value: Vec<u8>,
+    ) -> Result<(), TxnError> {
+        block_now(self.write_remote_async(node, table, key, value))
+    }
+
+    /// Buffers a write to a record on machine `node`. Locating the record
+    /// may issue a lookup verb, which is a reactor yield point.
+    pub async fn write_remote_async(
         &mut self,
         node: NodeId,
         table: TableId,
@@ -808,7 +918,7 @@ impl<'w> TxnCtx<'w> {
             e.buf = value;
             return Ok(());
         }
-        let rec_off = self.locate_remote(node, table, key)?;
+        let rec_off = self.locate_remote(node, table, key).await?;
         self.charge(cluster.opts.cost.record_logic_ns);
         self.r_ws.push(RemoteWrite {
             node,
@@ -821,17 +931,43 @@ impl<'w> TxnCtx<'w> {
     }
 
     /// Reads a record homed on `shard`, routing locally or over RDMA.
+    ///
+    /// Synchronous facade over [`Self::read_async`].
     pub fn read(&mut self, shard: usize, table: TableId, key: u64) -> Result<Vec<u8>, TxnError> {
+        block_now(self.read_async(shard, table, key))
+    }
+
+    /// Reads a record homed on `shard`, routing locally or over RDMA.
+    /// Remote routes suspend at the NIC wait under a routine reactor.
+    pub async fn read_async(
+        &mut self,
+        shard: usize,
+        table: TableId,
+        key: u64,
+    ) -> Result<Vec<u8>, TxnError> {
         let home = self.w.cluster.home_of(shard);
         if home == self.w.node {
-            self.read_local(table, key)
+            self.read_local_async(table, key).await
         } else {
-            self.read_remote(home, table, key)
+            self.read_remote_async(home, table, key).await
         }
     }
 
     /// Writes a record homed on `shard`, routing locally or over RDMA.
+    ///
+    /// Synchronous facade over [`Self::write_async`].
     pub fn write(
+        &mut self,
+        shard: usize,
+        table: TableId,
+        key: u64,
+        value: Vec<u8>,
+    ) -> Result<(), TxnError> {
+        block_now(self.write_async(shard, table, key, value))
+    }
+
+    /// Writes a record homed on `shard`, routing locally or over RDMA.
+    pub async fn write_async(
         &mut self,
         shard: usize,
         table: TableId,
@@ -842,7 +978,7 @@ impl<'w> TxnCtx<'w> {
         if home == self.w.node {
             self.write_local(table, key, value)
         } else {
-            self.write_remote(home, table, key, value)
+            self.write_remote_async(home, table, key, value).await
         }
     }
 
@@ -874,7 +1010,21 @@ impl<'w> TxnCtx<'w> {
     /// Ordered-table range scan on the local machine. Returns the values
     /// of up to `limit` records with keys in `[lo, hi]`, reading each
     /// through the transactional local-read path.
+    ///
+    /// Synchronous facade over [`Self::scan_local_async`].
     pub fn scan_local(
+        &mut self,
+        table: TableId,
+        lo: u64,
+        hi: u64,
+        limit: usize,
+    ) -> Result<Vec<(u64, Vec<u8>)>, TxnError> {
+        block_now(self.scan_local_async(table, lo, hi, limit))
+    }
+
+    /// Reactor-aware variant of [`Self::scan_local`]: each record read
+    /// can yield at its HTM-retry backoff.
+    pub async fn scan_local_async(
         &mut self,
         table: TableId,
         lo: u64,
@@ -885,14 +1035,26 @@ impl<'w> TxnCtx<'w> {
         let hits = cluster.stores[self.w.node].scan(table, lo, hi, limit);
         let mut out = Vec::with_capacity(hits.len());
         for (key, _) in hits {
-            out.push((key, self.read_local(table, key)?));
+            out.push((key, self.read_local_async(table, key).await?));
         }
         Ok(out)
     }
 
     /// The largest key in `[lo, hi]` of a local ordered table, with its
     /// value read transactionally.
+    ///
+    /// Synchronous facade over [`Self::last_local_async`].
     pub fn last_local(
+        &mut self,
+        table: TableId,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Option<(u64, Vec<u8>)>, TxnError> {
+        block_now(self.last_local_async(table, lo, hi))
+    }
+
+    /// Reactor-aware variant of [`Self::last_local`].
+    pub async fn last_local_async(
         &mut self,
         table: TableId,
         lo: u64,
@@ -900,7 +1062,7 @@ impl<'w> TxnCtx<'w> {
     ) -> Result<Option<(u64, Vec<u8>)>, TxnError> {
         let cluster = Arc::clone(&self.w.cluster);
         match cluster.stores[self.w.node].last_in_range(table, lo, hi) {
-            Some((key, _)) => Ok(Some((key, self.read_local(table, key)?))),
+            Some((key, _)) => Ok(Some((key, self.read_local_async(table, key).await?))),
             None => Ok(None),
         }
     }
@@ -920,7 +1082,12 @@ impl<'w> TxnCtx<'w> {
 
     /// Resolves a remote record offset via the location cache or one-sided
     /// hash probes of the peer's directory.
-    fn locate_remote(&mut self, node: NodeId, table: TableId, key: u64) -> Result<usize, TxnError> {
+    async fn locate_remote(
+        &mut self,
+        node: NodeId,
+        table: TableId,
+        key: u64,
+    ) -> Result<usize, TxnError> {
         let cluster = Arc::clone(&self.w.cluster);
         if cluster.opts.use_location_cache {
             if let Some((loc, _)) = self.w.caches[node].get(table, key) {
@@ -937,7 +1104,8 @@ impl<'w> TxnCtx<'w> {
         // The hash probes are blocking READs: yield across their
         // latency (the doorbell is the only CPU involvement).
         self.w
-            .yield_remote_wait(before + cluster.opts.cost.doorbell_ns);
+            .yield_remote_wait(before + cluster.opts.cost.doorbell_ns)
+            .await;
         Ok(loc.ok_or(TxnError::NotFound)? as usize)
     }
 }

@@ -294,12 +294,11 @@ impl Server {
             accounts: cfg.accounts,
             ..Default::default()
         };
-        let opts = EngineOpts {
-            replicas: cfg.replicas,
-            region_size: sb.region_size(),
-            routines: cfg.routines,
-            ..Default::default()
-        };
+        let opts = EngineOpts::builder()
+            .replicas(cfg.replicas)
+            .region_size(sb.region_size())
+            .routines(cfg.routines)
+            .build();
         let cluster = DrtmCluster::new(cfg.nodes, &sb.schema(), opts);
         smallbank::load(&cluster, &sb);
 
@@ -321,8 +320,8 @@ impl Server {
                     let workers: Vec<Worker> = (0..cfg.routines.max(1))
                         .map(|r| cluster.worker(node, 0xC0FFEE + (node * 131 + r) as u64))
                         .collect();
-                    RoutinePool::serve(workers, &queue, |_, w, job: Job| {
-                        execute_job(w, job, &tele);
+                    RoutinePool::serve(workers, &queue, async |_, w, job: Job| {
+                        execute_job(w, job, &tele).await;
                     })
                 })
             })
@@ -454,7 +453,7 @@ impl Server {
 
 /// Executes one admitted request on a pool routine's worker and
 /// completes it back to its connection.
-fn execute_job(w: &mut Worker, job: Job, tele: &Telemetry) {
+async fn execute_job(w: &mut Worker, job: Job, tele: &Telemetry) {
     let queue_us = (job.admitted.elapsed().as_micros()).min(u32::MAX as u128) as u32;
     if job.trace != 0 {
         // Close the queue-wait span opened at admission and open the
@@ -468,9 +467,11 @@ fn execute_job(w: &mut Worker, job: Job, tele: &Telemetry) {
     let status = match &job.body {
         JobBody::SmallBank(inp) => {
             let res = if inp.txn.read_only() {
-                w.run_ro(|t| smallbank::execute(t, inp))
+                w.run_ro_async(async |t| smallbank::execute(t, inp).await)
+                    .await
             } else {
-                w.run(|t| smallbank::execute(t, inp))
+                w.run_async(async |t| smallbank::execute(t, inp).await)
+                    .await
             };
             match res {
                 Ok(()) => Status::Committed,
@@ -478,24 +479,27 @@ fn execute_job(w: &mut Worker, job: Job, tele: &Telemetry) {
             }
         }
         JobBody::Raw(ops) => {
-            let res = w.run(|t| {
-                for op in ops {
-                    match op {
-                        RawOp::Read { shard, table, key } => {
-                            t.read(*shard as usize, *table, *key)?;
-                        }
-                        RawOp::Write {
-                            shard,
-                            table,
-                            key,
-                            value,
-                        } => {
-                            t.write(*shard as usize, *table, *key, value.clone())?;
+            let res = w
+                .run_async(async |t| {
+                    for op in ops {
+                        match op {
+                            RawOp::Read { shard, table, key } => {
+                                t.read_async(*shard as usize, *table, *key).await?;
+                            }
+                            RawOp::Write {
+                                shard,
+                                table,
+                                key,
+                                value,
+                            } => {
+                                t.write_async(*shard as usize, *table, *key, value.clone())
+                                    .await?;
+                            }
                         }
                     }
-                }
-                Ok(())
-            });
+                    Ok(())
+                })
+                .await;
             match res {
                 Ok(()) => Status::Committed,
                 Err(_) => Status::Aborted,

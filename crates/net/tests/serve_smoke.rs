@@ -254,6 +254,44 @@ fn server_series_check(series: &str) -> usize {
     count
 }
 
+/// Stats-only traffic is answered at the connection reader, never the
+/// engine: any number of live scrapes must leave the submit queue
+/// untouched — no admission, no delivery, no slot held — so an operator
+/// polling metrics can never displace transaction work behind a full
+/// queue. (The pool's drain audit separately asserts
+/// `accepted == delivered`, which a stats request sneaking through the
+/// queue would break.)
+#[test]
+fn stats_scrapes_never_consume_submit_queue_slots() {
+    let server = Server::start(ServerCfg {
+        nodes: 2,
+        accounts: 100,
+        replicas: 1,
+        routines: 2,
+        high_water: 2, // tiny queue: one leaked slot would reject scrapes
+        ..Default::default()
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+
+    for format in [ScrapeFormat::Json, ScrapeFormat::Prom, ScrapeFormat::Series] {
+        for _ in 0..16 {
+            scrape(&addr, format).expect("stats scrape answered");
+        }
+    }
+    // Live view: nothing was admitted (or shed) on behalf of scrapes.
+    let json = String::from_utf8(scrape(&addr, ScrapeFormat::Json).unwrap()).unwrap();
+    assert_eq!(net_counter(&json, "accepted"), 0);
+    assert_eq!(net_counter(&json, "rejected"), 0);
+
+    let (snap, _, _) = server.shutdown();
+    assert_eq!(snap.net.accepted, 0, "stats requests consumed queue slots");
+    assert_eq!(snap.net.rejected, 0, "stats requests hit admission control");
+    assert_eq!(snap.net.completed, 0, "stats requests reached a routine");
+    assert_eq!(snap.net.in_flight, 0);
+    assert_eq!(snap.net.queue_depth, 0);
+}
+
 /// The ISSUE's acceptance scenario: requests against a running server
 /// produce an exported trace in which one trace id links the
 /// client-send span, the queue-wait span, the routine span, the

@@ -110,6 +110,16 @@ pub fn render_prometheus(s: &Snapshot) -> String {
         "drtm_latency_hiding_ratio {:.4}",
         s.pipeline.hiding_ratio()
     );
+    out.push_str("# TYPE drtm_reactor_wakes_total counter\n");
+    let _ = writeln!(out, "drtm_reactor_wakes_total {}", s.pipeline.wakes);
+    out.push_str("# TYPE drtm_reactor_depth_avg gauge\n");
+    let _ = writeln!(out, "drtm_reactor_depth_avg {:.4}", s.pipeline.avg_depth());
+    out.push_str("# TYPE drtm_reactor_wake_lag_ns_total counter\n");
+    let _ = writeln!(
+        out,
+        "drtm_reactor_wake_lag_ns_total {}",
+        s.pipeline.wake_lag_ns
+    );
 
     out.push_str("# TYPE drtm_net_conns_opened_total counter\n");
     let _ = writeln!(out, "drtm_net_conns_opened_total {}", s.net.conns_opened);
@@ -211,11 +221,14 @@ pub fn render_json(s: &Snapshot) -> String {
     }
     let _ = write!(
         out,
-        "}},\"pipeline\":{{\"routines\":{},\"wait_ns\":{},\"overlap_ns\":{},\"hiding_ratio\":{:.4}}}",
+        "}},\"pipeline\":{{\"routines\":{},\"wait_ns\":{},\"overlap_ns\":{},\"hiding_ratio\":{:.4},\"wakes\":{},\"depth_avg\":{:.4},\"wake_lag_ns\":{}}}",
         s.pipeline.routines,
         s.pipeline.wait_ns,
         s.pipeline.overlap_ns,
-        s.pipeline.hiding_ratio()
+        s.pipeline.hiding_ratio(),
+        s.pipeline.wakes,
+        s.pipeline.avg_depth(),
+        s.pipeline.wake_lag_ns
     );
     let _ = write!(
         out,
@@ -367,6 +380,15 @@ pub fn render_text(s: &Snapshot) -> String {
             s.pipeline.hiding_ratio() * 100.0
         );
     }
+    if s.pipeline.wakes > 0 {
+        let _ = writeln!(
+            out,
+            "reactor: {} wakes, mean depth {:.1}, mean wake lag {:.1} us",
+            s.pipeline.wakes,
+            s.pipeline.avg_depth(),
+            us(s.pipeline.wake_lag_ns) / s.pipeline.wakes as f64
+        );
+    }
     if s.net.conns_opened > 0 || s.net.accepted + s.net.rejected > 0 {
         let _ = writeln!(
             out,
@@ -444,6 +466,8 @@ mod tests {
         sh.note_cache_invalidations(1);
         sh.note_routines(4);
         sh.note_verb_wait(1_000, 750);
+        sh.note_reactor(3, 100);
+        sh.note_reactor(1, 50);
         sh.note_phase_wait(Phase::Lock, 150);
         let mut s = r.scrape();
         s.htm[0].1 = 3;
@@ -497,8 +521,10 @@ mod tests {
         assert!(out.contains(
             "\"cache\":{\"hits\":2,\"misses\":1,\"invalidations\":1,\"bytes_saved\":384}"
         ));
-        assert!(out
-            .contains("\"pipeline\":{\"routines\":4,\"wait_ns\":1000,\"overlap_ns\":750,\"hiding_ratio\":0.7500}"));
+        assert!(out.contains(
+            "\"pipeline\":{\"routines\":4,\"wait_ns\":1000,\"overlap_ns\":750,\
+             \"hiding_ratio\":0.7500,\"wakes\":2,\"depth_avg\":2.0000,\"wake_lag_ns\":150}"
+        ));
         assert!(out.contains("\"phase_waits_ns\":{"));
         assert!(out.contains(
             "\"net\":{\"conns_opened\":4,\"conns_closed\":1,\"accepted\":90,\"rejected\":10,\
@@ -532,6 +558,9 @@ mod tests {
         assert!(out.contains("drtm_verb_wait_ns_total 1000"));
         assert!(out.contains("drtm_verb_overlap_ns_total 750"));
         assert!(out.contains("drtm_latency_hiding_ratio 0.7500"));
+        assert!(out.contains("drtm_reactor_wakes_total 2"));
+        assert!(out.contains("drtm_reactor_depth_avg 2.0000"));
+        assert!(out.contains("drtm_reactor_wake_lag_ns_total 150"));
         assert!(out.contains("drtm_commit_phase_wait_ns_count{phase=\"lock\"} 1"));
         assert!(out.contains("drtm_net_accepted_total 90"));
         assert!(out.contains("drtm_net_rejected_total 10"));
@@ -629,6 +658,7 @@ mod tests {
         assert!(out.contains("value cache: 2 hits, 1 misses"));
         assert!(out.contains("routines: 4 in flight"));
         assert!(out.contains("75.0% hidden"));
+        assert!(out.contains("reactor: 2 wakes, mean depth 2.0"));
         assert!(out.contains("serving: 4 conns (1 closed), 90 accepted, 10 rejected"));
         assert!(out.contains("10.0% shed"));
     }

@@ -59,6 +59,17 @@ pub struct Shard {
     /// [`Phase::index`] — subtract from [`Shard::phases`] for the
     /// CPU-occupied remainder of each phase.
     pub phase_waits: [Histogram; Phase::COUNT],
+    /// Reactor wake-ups: times a parked routine was granted the CPU
+    /// after a yield point (zero on the legacy blocking path).
+    pub reactor_wakes: Counter,
+    /// Sum over wakes of the reactor's waiting-set depth at dispatch —
+    /// `depth_sum / wakes` is the mean number of runnable-or-parked
+    /// routines the reactor was juggling.
+    pub reactor_depth_sum: Counter,
+    /// Sum over wakes of grant lag: virtual ns between a routine's wake
+    /// time (its batch horizon) and the instant the reactor actually
+    /// resumed it (another routine's CPU segment was in the way).
+    pub reactor_lag_ns: Counter,
 }
 
 impl Shard {
@@ -80,6 +91,9 @@ impl Shard {
             verb_wait_ns: Counter::new(),
             verb_overlap_ns: Counter::new(),
             phase_waits: std::array::from_fn(|_| Histogram::new()),
+            reactor_wakes: Counter::new(),
+            reactor_depth_sum: Counter::new(),
+            reactor_lag_ns: Counter::new(),
         }
     }
 
@@ -183,6 +197,18 @@ impl Shard {
             self.phase_waits[phase.index()].record(ns);
         }
     }
+
+    /// Records one reactor wake-up: the routine was resumed with `depth`
+    /// entries in the waiting set and `lag_ns` of virtual time between
+    /// its wake horizon and its actual resume instant.
+    #[inline]
+    pub fn note_reactor(&self, depth: u64, lag_ns: u64) {
+        if enabled() {
+            self.reactor_wakes.inc();
+            self.reactor_depth_sum.add(depth);
+            self.reactor_lag_ns.add(lag_ns);
+        }
+    }
 }
 
 /// The per-cluster registry: hands out shards, merges them on scrape.
@@ -249,6 +275,9 @@ impl Registry {
             snap.pipeline.routines = snap.pipeline.routines.max(s.routines.get());
             snap.pipeline.wait_ns += s.verb_wait_ns.get();
             snap.pipeline.overlap_ns += s.verb_overlap_ns.get();
+            snap.pipeline.wakes += s.reactor_wakes.get();
+            snap.pipeline.depth_sum += s.reactor_depth_sum.get();
+            snap.pipeline.wake_lag_ns += s.reactor_lag_ns.get();
             match machines.iter_mut().find(|m| m.node == s.node) {
                 Some(m) => {
                     m.committed += s.committed.get();
@@ -300,6 +329,9 @@ impl Registry {
             s.routines.take();
             s.verb_wait_ns.take();
             s.verb_overlap_ns.take();
+            s.reactor_wakes.take();
+            s.reactor_depth_sum.take();
+            s.reactor_lag_ns.take();
             for h in &s.phase_waits {
                 h.reset();
             }
@@ -344,6 +376,14 @@ pub struct PipelineStats {
     /// Portion of [`PipelineStats::wait_ns`] overlapped with other
     /// routines' CPU work on the same worker.
     pub overlap_ns: u64,
+    /// Reactor wake-ups (parked routines granted the CPU). Zero on the
+    /// legacy blocking path.
+    pub wakes: u64,
+    /// Sum over wakes of the reactor waiting-set depth at dispatch.
+    pub depth_sum: u64,
+    /// Sum over wakes of grant lag (wake horizon → actual resume),
+    /// virtual ns.
+    pub wake_lag_ns: u64,
 }
 
 impl PipelineStats {
@@ -355,6 +395,24 @@ impl PipelineStats {
             0.0
         } else {
             self.overlap_ns as f64 / self.wait_ns as f64
+        }
+    }
+
+    /// Mean reactor waiting-set depth at dispatch; 0 with no wakes.
+    pub fn avg_depth(&self) -> f64 {
+        if self.wakes == 0 {
+            0.0
+        } else {
+            self.depth_sum as f64 / self.wakes as f64
+        }
+    }
+
+    /// Mean grant lag per wake, virtual ns; 0 with no wakes.
+    pub fn avg_wake_lag_ns(&self) -> f64 {
+        if self.wakes == 0 {
+            0.0
+        } else {
+            self.wake_lag_ns as f64 / self.wakes as f64
         }
     }
 }

@@ -211,16 +211,25 @@ pub struct WorkCompletion {
 
 /// A completion queue.
 ///
-/// Doorbells deposit [`WorkCompletion`]s here in issue order. Callers
-/// either [`poll`](Cq::poll) — advance their clock to the latest
-/// completion, i.e. spin until the whole fan-out finished — or
-/// [`drain`](Cq::drain) — collect the completions without waiting, for
-/// fire-and-forget batches (C.6 unlocks) whose latency nobody sits on.
-/// Schedulers multiplexing several routines over one CQ instead use the
-/// non-consuming [`try_poll`](Cq::try_poll) /
-/// [`batch_horizon`](Cq::batch_horizon) / [`take_batch`](Cq::take_batch)
-/// family, which lets one poll wake many waiters without stealing each
-/// other's completions.
+/// Doorbells deposit [`WorkCompletion`]s here in issue order. There is
+/// one completion-delivery API, with three consumption disciplines
+/// layered over the same deposit stream:
+///
+/// * **Blocking** — [`poll`](Cq::poll) drains everything and advances
+///   the caller's clock to the latest completion time: the caller spins
+///   until the whole fan-out has finished. This is the legacy
+///   (`routines = 1`) discipline.
+/// * **Fire-and-forget** — [`drain`](Cq::drain) drains everything
+///   without touching the clock, for batches whose latency nobody sits
+///   on (C.6 unlocks).
+/// * **Reactor** — a scheduler multiplexing many routines over one CQ
+///   reads [`batch_horizon`](Cq::batch_horizon) to learn when a tagged
+///   doorbell's batch retires, sleeps the owning routine until then,
+///   and the woken routine claims exactly its own completions with
+///   [`take_batch`](Cq::take_batch). Horizon reads never consume, so
+///   any number of routines can share the CQ without stealing each
+///   other's work; [`horizon`](Cq::horizon) is the all-batches variant
+///   the reactor idles against.
 ///
 /// **Every WR surfaces exactly once.** A WR dropped by an injected fault
 /// still deposits its completion — carrying
@@ -281,27 +290,6 @@ impl Cq {
         std::mem::take(&mut *self.done.lock())
     }
 
-    /// Non-consuming time-gated poll: removes and returns only the
-    /// completions with `done_ns <= now`, leaving later ones queued and
-    /// the caller's clock untouched. This is the scheduler-facing
-    /// primitive — a routine resumed at virtual time `now` collects
-    /// precisely the work that has finished by then, while batches still
-    /// in flight (e.g. chaos-delayed WRs) stay on the CQ for a later
-    /// quantum.
-    pub fn try_poll(&self, now: u64) -> Vec<WorkCompletion> {
-        let mut g = self.done.lock();
-        let mut out = Vec::new();
-        let mut i = 0;
-        while i < g.len() {
-            if g[i].done_ns <= now {
-                out.push(g.remove(i));
-            } else {
-                i += 1;
-            }
-        }
-        out
-    }
-
     /// Latest completion time of anything queued, without consuming it.
     /// `None` when the CQ is empty.
     pub fn horizon(&self) -> Option<u64> {
@@ -331,6 +319,38 @@ impl Cq {
         let mut i = 0;
         while i < g.len() {
             if g[i].batch == batch {
+                out.push(g.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Latest completion time of the queued completions carrying
+    /// `cookie`, without consuming them. Under a shared doorbell flush
+    /// (see [`Qp::doorbell_shared`]) one batch interleaves WRs of many
+    /// routines, so a waiter's wake horizon is keyed by its per-WR
+    /// cookie rather than the batch id.
+    pub fn cookie_horizon(&self, cookie: u64) -> Option<u64> {
+        self.done
+            .lock()
+            .iter()
+            .filter(|w| w.cookie == cookie)
+            .map(|w| w.done_ns)
+            .max()
+    }
+
+    /// Removes and returns the completions carrying `cookie`, in deposit
+    /// (= issue) order, leaving other cookies queued. The shared-flush
+    /// counterpart of [`take_batch`](Cq::take_batch): a routine claims
+    /// exactly its own WRs out of a batch that carried many routines'.
+    pub fn take_cookie(&self, cookie: u64) -> Vec<WorkCompletion> {
+        let mut g = self.done.lock();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < g.len() {
+            if g[i].cookie == cookie {
                 out.push(g.remove(i));
             } else {
                 i += 1;
@@ -875,12 +895,57 @@ impl Qp {
         if wrs.is_empty() {
             return 0;
         }
+        let tagged: Vec<(u64, WorkRequest)> = wrs.into_iter().map(|wr| (cookie, wr)).collect();
+        self.ring(clock, cq, policy, tagged)
+    }
+
+    /// Drains this QP's posted-but-unflushed WRs without ringing a
+    /// doorbell. A routine scheduler uses this to hand its batch to the
+    /// pool's deferred-flush layer, which rings one doorbell over many
+    /// routines' WRs (see [`Qp::doorbell_shared`]).
+    pub fn take_posted(&self) -> Vec<WorkRequest> {
+        std::mem::take(&mut *self.sq.lock())
+    }
+
+    /// Rings doorbells over an explicit WR list carrying a per-WR
+    /// completion cookie, bypassing this QP's send queue: the shared
+    /// doorbell flush of a routine scheduler. Many routines' batches to
+    /// one destination ride the same MMIO — the caller's clock is
+    /// charged one `doorbell_ns` per `sq_depth`-sized chunk rather than
+    /// one per routine, which is the whole point of doorbell batching
+    /// (amortization grows with the number of concurrently parked
+    /// routines). Per-WR pipelined occupancy, NIC backpressure, faults
+    /// and memory-effect ordering are identical to [`Qp::doorbell`];
+    /// each [`WorkCompletion`] carries its WR's own cookie so waiters
+    /// claim their work with [`Cq::take_cookie`].
+    pub fn doorbell_shared(&self, clock: &mut VClock, cq: &Cq, wrs: Vec<(u64, WorkRequest)>) {
+        let depth = self.fabric.sq_depth;
+        let mut rest = wrs;
+        while !rest.is_empty() {
+            let tail = rest.split_off(rest.len().min(depth));
+            self.ring(clock, cq, DropPolicy::Fail, rest);
+            rest = tail;
+        }
+    }
+
+    /// Executes one doorbell over `wrs` (cookie, WR) pairs: charges one
+    /// `doorbell_ns`, issues WR `i` at `i * verb_pipeline_ns` past the
+    /// charge, applies effects in post order, deposits per-cookie
+    /// completions. Shared tail of every doorbell flavour.
+    fn ring(
+        &self,
+        clock: &mut VClock,
+        cq: &Cq,
+        policy: DropPolicy,
+        wrs: Vec<(u64, WorkRequest)>,
+    ) -> u64 {
+        debug_assert!(!wrs.is_empty(), "doorbell rung with nothing posted");
         let f = &self.fabric;
         let batch = f.next_batch.fetch_add(1, Ordering::Relaxed);
         clock.advance(f.cost.doorbell_ns);
         self.port().stats.doorbells.inc();
         let base = clock.now();
-        for (i, wr) in wrs.into_iter().enumerate() {
+        for (i, (cookie, wr)) in wrs.into_iter().enumerate() {
             let verb = wr.verb();
             let issue = base + i as u64 * f.cost.verb_pipeline_ns;
             drtm_obs::trace::event_batch(
@@ -1384,11 +1449,10 @@ mod unit {
         // Exactly once: nothing left behind for any other consumer.
         assert!(cq.is_empty());
         assert!(cq.drain().is_empty());
-        assert!(cq.try_poll(u64::MAX).is_empty());
     }
 
     #[test]
-    fn try_poll_is_time_gated_and_non_consuming_of_the_future() {
+    fn batch_horizons_order_chaos_delayed_batches() {
         let f = Fabric::builder()
             .fresh_regions(2, 4096)
             .injector(Arc::new(DelayReads(50_000)))
@@ -1401,17 +1465,23 @@ mod unit {
             raddr: 0,
             data: vec![2u8; 8],
         });
-        qp.doorbell(&mut clock, &cq);
+        let b_write = qp.doorbell(&mut clock, &cq);
         qp.post(WorkRequest::Read { raddr: 0, len: 8 });
-        qp.doorbell(&mut clock, &cq);
-        let horizon = cq.horizon().expect("two batches queued");
-        assert!(horizon >= 50_000, "delayed READ dominates the horizon");
-        // Poll at a time after the WRITE but before the delayed READ.
-        let early = cq.try_poll(horizon - 1);
+        let b_read = qp.doorbell(&mut clock, &cq);
+        // The reactor sleeps each routine until its own batch horizon;
+        // the delayed READ's horizon must dominate both the WRITE's and
+        // the all-batches horizon.
+        let hw = cq.batch_horizon(b_write).expect("write batch queued");
+        let hr = cq.batch_horizon(b_read).expect("read batch queued");
+        assert!(hr >= 50_000, "delayed READ dominates its horizon");
+        assert!(hw < hr, "undelayed WRITE retires first");
+        assert_eq!(cq.horizon(), Some(hr));
+        // Claiming the early batch leaves the in-flight one queued.
+        let early = cq.take_batch(b_write);
         assert_eq!(early.len(), 1);
         assert_eq!(early[0].verb, Verb::Write);
         assert_eq!(cq.len(), 1, "the in-flight READ stays queued");
-        let late = cq.try_poll(horizon);
+        let late = cq.take_batch(b_read);
         assert_eq!(late.len(), 1);
         assert_eq!(late[0].verb, Verb::Read);
         assert!(cq.is_empty());

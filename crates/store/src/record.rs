@@ -384,31 +384,48 @@ pub fn remote_read_consistent(
     let mut img = vec![0u8; layout.size()];
     for _ in 0..=max_retries {
         qp.read(clock, base, &mut img);
-        let seq = u64::from_le_bytes(img[SEQ_OFF..SEQ_OFF + 8].try_into().unwrap());
-        let consistent = (1..layout.lines()).all(|line| {
-            let off = line * CACHE_LINE;
-            let v = u64::from_le_bytes(img[off..off + 8].try_into().unwrap());
-            same_generation(v, seq)
-        });
-        if consistent {
-            let mut value = vec![0u8; layout.value_len];
-            for (_, rec_off, vr) in layout.chunks() {
-                let len = vr.len();
-                value[vr].copy_from_slice(&img[rec_off..rec_off + len]);
-            }
-            return Some(RemoteRecord {
-                lock: u64::from_le_bytes(img[LOCK_OFF..LOCK_OFF + 8].try_into().unwrap()),
-                incarnation: u64::from_le_bytes(
-                    img[INCARNATION_OFF..INCARNATION_OFF + 8]
-                        .try_into()
-                        .unwrap(),
-                ),
-                seq,
-                value,
-            });
+        if let Some(rr) = parse_consistent(&img, layout) {
+            return Some(rr);
         }
     }
     None
+}
+
+/// Decodes one full-record READ image into a [`RemoteRecord`], applying
+/// the same FaRM-style version matching as [`remote_read_consistent`].
+/// Returns `None` when the snapshot is torn (the record was mid-update
+/// when the DMA engine walked it) — the caller re-issues the READ.
+///
+/// This is the parsing half of [`remote_read_consistent`], split out so
+/// routine schedulers can issue the READ through the posted work-queue
+/// path (post → shared doorbell flush → completion) and decode the
+/// returned bytes without a blocking verb wrapper.
+pub fn parse_consistent(img: &[u8], layout: RecordLayout) -> Option<RemoteRecord> {
+    debug_assert_eq!(img.len(), layout.size());
+    let seq = u64::from_le_bytes(img[SEQ_OFF..SEQ_OFF + 8].try_into().unwrap());
+    let consistent = (1..layout.lines()).all(|line| {
+        let off = line * CACHE_LINE;
+        let v = u64::from_le_bytes(img[off..off + 8].try_into().unwrap());
+        same_generation(v, seq)
+    });
+    if !consistent {
+        return None;
+    }
+    let mut value = vec![0u8; layout.value_len];
+    for (_, rec_off, vr) in layout.chunks() {
+        let len = vr.len();
+        value[vr].copy_from_slice(&img[rec_off..rec_off + len]);
+    }
+    Some(RemoteRecord {
+        lock: u64::from_le_bytes(img[LOCK_OFF..LOCK_OFF + 8].try_into().unwrap()),
+        incarnation: u64::from_le_bytes(
+            img[INCARNATION_OFF..INCARNATION_OFF + 8]
+                .try_into()
+                .unwrap(),
+        ),
+        seq,
+        value,
+    })
 }
 
 /// Reads just the record header — lock, incarnation, sequence number —

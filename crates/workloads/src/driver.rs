@@ -170,27 +170,25 @@ struct WorkerResult {
 }
 
 /// The minimal surface the measurement loops need, so one loop body
-/// serves both the legacy path (an [`EngineWorker`] of any engine) and
-/// the routine-pool path (a raw DrTM+R [`Worker`] driven by the
-/// scheduler).
+/// serves both the legacy path (an [`EngineWorker`] of any engine,
+/// driven to completion in a single poll) and the routine-pool path (a
+/// raw DrTM+R [`Worker`] that suspends back to the reactor at every
+/// doorbell).
 trait MeasuredWorker {
     /// Runs one transaction body to commit or abort.
-    fn exec_txn(
-        &mut self,
-        ro: bool,
-        body: &mut dyn FnMut(&mut dyn TxnApi) -> Result<(), TxnError>,
-    ) -> Result<(), TxnError>;
+    async fn exec_txn<B>(&mut self, ro: bool, body: B) -> Result<(), TxnError>
+    where
+        B: AsyncFnMut(&mut dyn TxnApi) -> Result<(), TxnError>;
     /// The worker's current virtual time.
     fn vnow(&self) -> u64;
 }
 
 impl MeasuredWorker for EngineWorker {
-    fn exec_txn(
-        &mut self,
-        ro: bool,
-        body: &mut dyn FnMut(&mut dyn TxnApi) -> Result<(), TxnError>,
-    ) -> Result<(), TxnError> {
-        self.exec(ro, |t| body(t))
+    async fn exec_txn<B>(&mut self, ro: bool, body: B) -> Result<(), TxnError>
+    where
+        B: AsyncFnMut(&mut dyn TxnApi) -> Result<(), TxnError>,
+    {
+        self.exec(ro, body).await
     }
     fn vnow(&self) -> u64 {
         self.clock_now()
@@ -198,15 +196,16 @@ impl MeasuredWorker for EngineWorker {
 }
 
 impl MeasuredWorker for Worker {
-    fn exec_txn(
-        &mut self,
-        ro: bool,
-        body: &mut dyn FnMut(&mut dyn TxnApi) -> Result<(), TxnError>,
-    ) -> Result<(), TxnError> {
+    async fn exec_txn<B>(&mut self, ro: bool, mut body: B) -> Result<(), TxnError>
+    where
+        B: AsyncFnMut(&mut dyn TxnApi) -> Result<(), TxnError>,
+    {
         if ro {
-            self.run_ro(|t| body(t))
+            self.run_ro_async(async |t| body(t as &mut dyn TxnApi).await)
+                .await
         } else {
-            self.run(|t| body(t))
+            self.run_async(async |t| body(t as &mut dyn TxnApi).await)
+                .await
         }
     }
     fn vnow(&self) -> u64 {
@@ -230,8 +229,7 @@ fn run_pipelined<F>(
     loop_fn: F,
 ) -> Option<WorkerResult>
 where
-    F: Fn(usize, &mut Worker, usize, usize) -> (u64, HashMap<&'static str, (u64, Histogram)>)
-        + Sync,
+    F: AsyncFn(usize, &mut Worker, usize, usize) -> (u64, HashMap<&'static str, (u64, Histogram)>),
 {
     let r = run.routines;
     if r <= 1 || run.engine != EngineKind::DrtmR {
@@ -242,9 +240,9 @@ where
         .collect();
     let chunk = run.txns_per_worker / r;
     let rem = run.txns_per_worker % r;
-    let outs = RoutinePool::run(workers, |id, w| {
+    let outs = RoutinePool::run(workers, async |id, w| {
         let count = chunk + usize::from(id < rem);
-        loop_fn(id, w, id * run.txns_per_worker, count)
+        loop_fn(id, w, id * run.txns_per_worker, count).await
     });
     let mut res = WorkerResult {
         vtime_ns: 0,
@@ -274,18 +272,17 @@ where
 /// the workload: each benchmark knows which of its tables are rewritten
 /// rarely enough that caching their values remotely pays off.
 fn engine_opts(run: &RunCfg, region_size: usize, read_mostly_tables: Vec<u32>) -> EngineOpts {
-    EngineOpts {
-        replicas: run.replicas,
-        region_size,
-        fuse_lock_validate: run.fuse_lock_validate,
-        use_location_cache: !run.no_location_cache,
-        msg_locking: run.msg_locking,
-        batched_verbs: run.batched_verbs,
-        value_cache: !run.no_value_cache,
-        read_mostly_tables,
-        routines: run.routines,
-        ..Default::default()
-    }
+    EngineOpts::builder()
+        .replicas(run.replicas)
+        .region_size(region_size)
+        .fuse_lock_validate(run.fuse_lock_validate)
+        .use_location_cache(!run.no_location_cache)
+        .msg_locking(run.msg_locking)
+        .batched_verbs(run.batched_verbs)
+        .value_cache(!run.no_value_cache)
+        .read_mostly_tables(read_mostly_tables)
+        .routines(run.routines)
+        .build()
 }
 
 /// Builds and loads a TPC-C cluster for `run`.
@@ -420,7 +417,7 @@ fn tpcc_worker(
     let seed = run.seed ^ ((node as u64) << 40) ^ ((tid as u64) << 20);
     let home_w = (node * cfg.warehouses_per_node + tid % cfg.warehouses_per_node) as u64;
     let hist_base = ((node as u64) << 24 | tid as u64) << 32;
-    if let Some(res) = run_pipelined(run, &cluster, node, seed, |id, w, base, count| {
+    if let Some(res) = run_pipelined(run, &cluster, node, seed, async |id, w, base, count| {
         // Routines get disjoint RNG streams and history-key ranges so
         // their insert keys never collide.
         tpcc_loop(
@@ -435,11 +432,12 @@ fn tpcc_worker(
             base,
             count,
         )
+        .await
     }) {
         return res;
     }
     let mut ew = EngineWorker::new(run.engine, &cluster, calvin.as_ref(), node, seed);
-    let (committed, per_type) = tpcc_loop(
+    let (committed, per_type) = drtm_base::task::block_now(tpcc_loop(
         cfg,
         &cluster,
         &mut ew,
@@ -450,7 +448,7 @@ fn tpcc_worker(
         hist_base,
         0,
         run.txns_per_worker,
-    );
+    ));
     WorkerResult {
         vtime_ns: ew.clock_now(),
         committed,
@@ -461,7 +459,7 @@ fn tpcc_worker(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn tpcc_loop<M: MeasuredWorker>(
+async fn tpcc_loop<M: MeasuredWorker>(
     cfg: &TpccCfg,
     cluster: &DrtmCluster,
     ew: &mut M,
@@ -488,18 +486,23 @@ fn tpcc_loop<M: MeasuredWorker>(
         let result: Result<(), TxnError> = match ttype {
             txns::TxnType::NewOrder => {
                 let inp = txns::gen_new_order(cfg, &mut rng, home_w, cross);
-                ew.exec_txn(false, &mut |t| txns::new_order(t, cfg, &inp, i as u64))
+                ew.exec_txn(false, async |t| {
+                    txns::new_order(t, cfg, &inp, i as u64).await
+                })
+                .await
             }
             txns::TxnType::Payment => {
                 hist_key += 1;
                 let inp = txns::gen_payment(cfg, &mut rng, home_w, hist_key);
-                ew.exec_txn(false, &mut |t| txns::payment(t, cfg, &inp))
+                ew.exec_txn(false, async |t| txns::payment(t, cfg, &inp).await)
+                    .await
             }
             txns::TxnType::Delivery => {
                 let carrier = rng.range(1, 10);
-                ew.exec_txn(false, &mut |t| {
-                    txns::delivery(t, cfg, home_w, carrier, i as u64)
+                ew.exec_txn(false, async |t| {
+                    txns::delivery(t, cfg, home_w, carrier, i as u64).await
                 })
+                .await
             }
             txns::TxnType::OrderStatus => {
                 let d = rng.below(cfg.districts as u64);
@@ -513,14 +516,18 @@ fn tpcc_loop<M: MeasuredWorker>(
                 } else {
                     txns::CustomerBy::Id(txns::nurand(&mut rng, 1023, 0, cfg.customers as u64 - 1))
                 };
-                ew.exec_txn(true, &mut |t| txns::order_status(t, cfg, home_w, d, by))
+                ew.exec_txn(true, async |t| {
+                    txns::order_status(t, cfg, home_w, d, by).await
+                })
+                .await
             }
             txns::TxnType::StockLevel => {
                 let d = rng.below(cfg.districts as u64);
                 let thr = rng.range(10, 20);
-                ew.exec_txn(true, &mut |t| {
-                    txns::stock_level(t, cfg, home_w, d, thr).map(|_| ())
+                ew.exec_txn(true, async |t| {
+                    txns::stock_level(t, cfg, home_w, d, thr).await.map(|_| ())
                 })
+                .await
             }
         };
         let dt = ew.vnow().saturating_sub(t0);
@@ -590,7 +597,7 @@ fn ycsb_worker(
     tid: usize,
 ) -> WorkerResult {
     let seed = run.seed ^ ((node as u64) << 40) ^ ((tid as u64) << 20) ^ 0x4C5B;
-    if let Some(res) = run_pipelined(run, &cluster, node, seed, |id, w, base, count| {
+    if let Some(res) = run_pipelined(run, &cluster, node, seed, async |id, w, base, count| {
         ycsb_loop(
             cfg,
             &cluster,
@@ -600,11 +607,12 @@ fn ycsb_worker(
             base,
             count,
         )
+        .await
     }) {
         return res;
     }
     let mut ew = EngineWorker::new(run.engine, &cluster, calvin.as_ref(), node, seed);
-    let (committed, per_type) = ycsb_loop(
+    let (committed, per_type) = drtm_base::task::block_now(ycsb_loop(
         cfg,
         &cluster,
         &mut ew,
@@ -612,7 +620,7 @@ fn ycsb_worker(
         seed ^ 0xD00D,
         0,
         run.txns_per_worker,
-    );
+    ));
     WorkerResult {
         vtime_ns: ew.clock_now(),
         committed,
@@ -622,7 +630,7 @@ fn ycsb_worker(
     }
 }
 
-fn ycsb_loop<M: MeasuredWorker>(
+async fn ycsb_loop<M: MeasuredWorker>(
     cfg: &YcsbCfg,
     cluster: &DrtmCluster,
     ew: &mut M,
@@ -643,7 +651,11 @@ fn ycsb_loop<M: MeasuredWorker>(
         let op = ycsb::gen(cfg, &zipf, &mut rng, node);
         let name = if op.is_read { "read" } else { "update" };
         let t0 = ew.vnow();
-        let result = ew.exec_txn(op.is_read, &mut |t| ycsb::execute(t, cfg, &op, i as u64));
+        let result = ew
+            .exec_txn(op.is_read, async |t| {
+                ycsb::execute(t, cfg, &op, i as u64).await
+            })
+            .await;
         let dt = ew.vnow().saturating_sub(t0);
         if result.is_ok() {
             committed += 1;
@@ -702,7 +714,7 @@ fn sb_worker(
     tid: usize,
 ) -> WorkerResult {
     let seed = run.seed ^ ((node as u64) << 40) ^ ((tid as u64) << 20) ^ 0x5B;
-    if let Some(res) = run_pipelined(run, &cluster, node, seed, |id, w, _base, count| {
+    if let Some(res) = run_pipelined(run, &cluster, node, seed, async |id, w, _base, count| {
         sb_loop(
             cfg,
             &cluster,
@@ -711,18 +723,19 @@ fn sb_worker(
             seed ^ 0xFACE ^ ((id as u64) << 12),
             count,
         )
+        .await
     }) {
         return res;
     }
     let mut ew = EngineWorker::new(run.engine, &cluster, calvin.as_ref(), node, seed);
-    let (committed, per_type) = sb_loop(
+    let (committed, per_type) = drtm_base::task::block_now(sb_loop(
         cfg,
         &cluster,
         &mut ew,
         node,
         seed ^ 0xFACE,
         run.txns_per_worker,
-    );
+    ));
     WorkerResult {
         vtime_ns: ew.clock_now(),
         committed,
@@ -732,7 +745,7 @@ fn sb_worker(
     }
 }
 
-fn sb_loop<M: MeasuredWorker>(
+async fn sb_loop<M: MeasuredWorker>(
     cfg: &SbCfg,
     cluster: &DrtmCluster,
     ew: &mut M,
@@ -750,7 +763,11 @@ fn sb_loop<M: MeasuredWorker>(
         }
         let inp = smallbank::gen(cfg, &mut rng, node);
         let t0 = ew.vnow();
-        let result = ew.exec_txn(inp.txn.read_only(), &mut |t| smallbank::execute(t, &inp));
+        let result = ew
+            .exec_txn(inp.txn.read_only(), async |t| {
+                smallbank::execute(t, &inp).await
+            })
+            .await;
         let dt = ew.vnow().saturating_sub(t0);
         if result.is_ok() {
             committed += 1;

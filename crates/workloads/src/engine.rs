@@ -3,7 +3,16 @@
 //! Workload transactions are written once against [`TxnApi`] and run
 //! unchanged on DrTM+R, DrTM, Calvin, and Silo. Shards are routed by the
 //! engines themselves; Silo (single-machine) ignores the shard argument.
+//!
+//! The verbs that may cross the wire (`read`, `write`, `scan_local`,
+//! `last_local`) return boxed futures so a body running inside a
+//! [`RoutinePool`](drtm_core::routine::RoutinePool) suspends at every
+//! doorbell and hands the worker to a sibling routine. The baseline
+//! engines have no suspension points: their impls evaluate eagerly and
+//! wrap the result, so awaiting them never parks.
 
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::Arc;
 
 use drtm_baselines::calvin::{CalvinEngine, CalvinTxn, CalvinWorker};
@@ -13,18 +22,19 @@ use drtm_core::cluster::DrtmCluster;
 use drtm_core::txn::{TxnError, Worker, WorkerStats};
 use drtm_store::TableId;
 
+/// Future returned by the suspending verbs of [`TxnApi`].
+///
+/// Boxed (rather than an associated type) so bodies can be written
+/// against `&mut dyn TxnApi` — one monomorphisation of each workload
+/// transaction serves all four engines.
+pub type TxnFut<'a, R> = Pin<Box<dyn Future<Output = Result<R, TxnError>> + 'a>>;
+
 /// The uniform transaction interface the workloads are written against.
 pub trait TxnApi {
     /// Reads the record `key` of `table` homed on `shard`.
-    fn read(&mut self, shard: usize, table: TableId, key: u64) -> Result<Vec<u8>, TxnError>;
+    fn read(&mut self, shard: usize, table: TableId, key: u64) -> TxnFut<'_, Vec<u8>>;
     /// Writes it.
-    fn write(
-        &mut self,
-        shard: usize,
-        table: TableId,
-        key: u64,
-        value: Vec<u8>,
-    ) -> Result<(), TxnError>;
+    fn write(&mut self, shard: usize, table: TableId, key: u64, value: Vec<u8>) -> TxnFut<'_, ()>;
     /// Buffers an insert.
     fn insert(&mut self, shard: usize, table: TableId, key: u64, value: Vec<u8>);
     /// Buffers a delete.
@@ -36,28 +46,22 @@ pub trait TxnApi {
         lo: u64,
         hi: u64,
         limit: usize,
-    ) -> Result<Vec<(u64, Vec<u8>)>, TxnError>;
+    ) -> TxnFut<'_, Vec<(u64, Vec<u8>)>>;
     /// Largest key in `[lo, hi]` of a local ordered table.
     fn last_local(
         &mut self,
         table: TableId,
         lo: u64,
         hi: u64,
-    ) -> Result<Option<(u64, Vec<u8>)>, TxnError>;
+    ) -> TxnFut<'_, Option<(u64, Vec<u8>)>>;
 }
 
 impl TxnApi for drtm_core::txn::TxnCtx<'_> {
-    fn read(&mut self, shard: usize, table: TableId, key: u64) -> Result<Vec<u8>, TxnError> {
-        drtm_core::txn::TxnCtx::read(self, shard, table, key)
+    fn read(&mut self, shard: usize, table: TableId, key: u64) -> TxnFut<'_, Vec<u8>> {
+        Box::pin(self.read_async(shard, table, key))
     }
-    fn write(
-        &mut self,
-        shard: usize,
-        table: TableId,
-        key: u64,
-        v: Vec<u8>,
-    ) -> Result<(), TxnError> {
-        drtm_core::txn::TxnCtx::write(self, shard, table, key, v)
+    fn write(&mut self, shard: usize, table: TableId, key: u64, v: Vec<u8>) -> TxnFut<'_, ()> {
+        Box::pin(self.write_async(shard, table, key, v))
     }
     fn insert(&mut self, shard: usize, table: TableId, key: u64, v: Vec<u8>) {
         drtm_core::txn::TxnCtx::insert(self, shard, table, key, v)
@@ -71,31 +75,27 @@ impl TxnApi for drtm_core::txn::TxnCtx<'_> {
         lo: u64,
         hi: u64,
         limit: usize,
-    ) -> Result<Vec<(u64, Vec<u8>)>, TxnError> {
-        drtm_core::txn::TxnCtx::scan_local(self, table, lo, hi, limit)
+    ) -> TxnFut<'_, Vec<(u64, Vec<u8>)>> {
+        Box::pin(self.scan_local_async(table, lo, hi, limit))
     }
     fn last_local(
         &mut self,
         table: TableId,
         lo: u64,
         hi: u64,
-    ) -> Result<Option<(u64, Vec<u8>)>, TxnError> {
-        drtm_core::txn::TxnCtx::last_local(self, table, lo, hi)
+    ) -> TxnFut<'_, Option<(u64, Vec<u8>)>> {
+        Box::pin(self.last_local_async(table, lo, hi))
     }
 }
 
 impl TxnApi for DrtmCtx<'_, '_, '_> {
-    fn read(&mut self, shard: usize, table: TableId, key: u64) -> Result<Vec<u8>, TxnError> {
-        DrtmCtx::read(self, shard, table, key)
+    fn read(&mut self, shard: usize, table: TableId, key: u64) -> TxnFut<'_, Vec<u8>> {
+        let r = DrtmCtx::read(self, shard, table, key);
+        Box::pin(async move { r })
     }
-    fn write(
-        &mut self,
-        shard: usize,
-        table: TableId,
-        key: u64,
-        v: Vec<u8>,
-    ) -> Result<(), TxnError> {
-        DrtmCtx::write(self, shard, table, key, v)
+    fn write(&mut self, shard: usize, table: TableId, key: u64, v: Vec<u8>) -> TxnFut<'_, ()> {
+        let r = DrtmCtx::write(self, shard, table, key, v);
+        Box::pin(async move { r })
     }
     fn insert(&mut self, shard: usize, table: TableId, key: u64, v: Vec<u8>) {
         DrtmCtx::insert(self, shard, table, key, v)
@@ -109,31 +109,29 @@ impl TxnApi for DrtmCtx<'_, '_, '_> {
         lo: u64,
         hi: u64,
         limit: usize,
-    ) -> Result<Vec<(u64, Vec<u8>)>, TxnError> {
-        DrtmCtx::scan_local(self, table, lo, hi, limit)
+    ) -> TxnFut<'_, Vec<(u64, Vec<u8>)>> {
+        let r = DrtmCtx::scan_local(self, table, lo, hi, limit);
+        Box::pin(async move { r })
     }
     fn last_local(
         &mut self,
         table: TableId,
         lo: u64,
         hi: u64,
-    ) -> Result<Option<(u64, Vec<u8>)>, TxnError> {
-        Ok(DrtmCtx::scan_local(self, table, lo, hi, usize::MAX)?.pop())
+    ) -> TxnFut<'_, Option<(u64, Vec<u8>)>> {
+        let r = DrtmCtx::scan_local(self, table, lo, hi, usize::MAX).map(|mut v| v.pop());
+        Box::pin(async move { r })
     }
 }
 
 impl TxnApi for CalvinTxn<'_, '_> {
-    fn read(&mut self, shard: usize, table: TableId, key: u64) -> Result<Vec<u8>, TxnError> {
-        CalvinTxn::read(self, shard, table, key)
+    fn read(&mut self, shard: usize, table: TableId, key: u64) -> TxnFut<'_, Vec<u8>> {
+        let r = CalvinTxn::read(self, shard, table, key);
+        Box::pin(async move { r })
     }
-    fn write(
-        &mut self,
-        shard: usize,
-        table: TableId,
-        key: u64,
-        v: Vec<u8>,
-    ) -> Result<(), TxnError> {
-        CalvinTxn::write(self, shard, table, key, v)
+    fn write(&mut self, shard: usize, table: TableId, key: u64, v: Vec<u8>) -> TxnFut<'_, ()> {
+        let r = CalvinTxn::write(self, shard, table, key, v);
+        Box::pin(async move { r })
     }
     fn insert(&mut self, shard: usize, table: TableId, key: u64, v: Vec<u8>) {
         CalvinTxn::insert(self, shard, table, key, v)
@@ -147,31 +145,29 @@ impl TxnApi for CalvinTxn<'_, '_> {
         lo: u64,
         hi: u64,
         limit: usize,
-    ) -> Result<Vec<(u64, Vec<u8>)>, TxnError> {
-        CalvinTxn::scan_local(self, table, lo, hi, limit)
+    ) -> TxnFut<'_, Vec<(u64, Vec<u8>)>> {
+        let r = CalvinTxn::scan_local(self, table, lo, hi, limit);
+        Box::pin(async move { r })
     }
     fn last_local(
         &mut self,
         table: TableId,
         lo: u64,
         hi: u64,
-    ) -> Result<Option<(u64, Vec<u8>)>, TxnError> {
-        Ok(CalvinTxn::scan_local(self, table, lo, hi, usize::MAX)?.pop())
+    ) -> TxnFut<'_, Option<(u64, Vec<u8>)>> {
+        let r = CalvinTxn::scan_local(self, table, lo, hi, usize::MAX).map(|mut v| v.pop());
+        Box::pin(async move { r })
     }
 }
 
 impl TxnApi for SiloCtx<'_> {
-    fn read(&mut self, _shard: usize, table: TableId, key: u64) -> Result<Vec<u8>, TxnError> {
-        SiloCtx::read(self, table, key)
+    fn read(&mut self, _shard: usize, table: TableId, key: u64) -> TxnFut<'_, Vec<u8>> {
+        let r = SiloCtx::read(self, table, key);
+        Box::pin(async move { r })
     }
-    fn write(
-        &mut self,
-        _shard: usize,
-        table: TableId,
-        key: u64,
-        v: Vec<u8>,
-    ) -> Result<(), TxnError> {
-        SiloCtx::write(self, table, key, v)
+    fn write(&mut self, _shard: usize, table: TableId, key: u64, v: Vec<u8>) -> TxnFut<'_, ()> {
+        let r = SiloCtx::write(self, table, key, v);
+        Box::pin(async move { r })
     }
     fn insert(&mut self, _shard: usize, table: TableId, key: u64, v: Vec<u8>) {
         SiloCtx::insert(self, table, key, v)
@@ -185,16 +181,18 @@ impl TxnApi for SiloCtx<'_> {
         lo: u64,
         hi: u64,
         limit: usize,
-    ) -> Result<Vec<(u64, Vec<u8>)>, TxnError> {
-        SiloCtx::scan(self, table, lo, hi, limit)
+    ) -> TxnFut<'_, Vec<(u64, Vec<u8>)>> {
+        let r = SiloCtx::scan(self, table, lo, hi, limit);
+        Box::pin(async move { r })
     }
     fn last_local(
         &mut self,
         table: TableId,
         lo: u64,
         hi: u64,
-    ) -> Result<Option<(u64, Vec<u8>)>, TxnError> {
-        SiloCtx::last(self, table, lo, hi)
+    ) -> TxnFut<'_, Option<(u64, Vec<u8>)>> {
+        let r = SiloCtx::last(self, table, lo, hi);
+        Box::pin(async move { r })
     }
 }
 
@@ -230,22 +228,34 @@ impl EngineWorker {
 
     /// Executes one transaction to commit. `ro` marks read-only bodies
     /// (only DrTM+R has a distinct read-only protocol, §4.5).
-    pub fn exec<R>(
+    ///
+    /// Suspends only on the DrTM+R path (and only when the worker is
+    /// owned by a routine pool); the baselines drive the body to
+    /// completion in a single poll.
+    pub async fn exec<R>(
         &mut self,
         ro: bool,
-        mut body: impl FnMut(&mut dyn TxnApi) -> Result<R, TxnError>,
+        mut body: impl AsyncFnMut(&mut dyn TxnApi) -> Result<R, TxnError>,
     ) -> Result<R, TxnError> {
         match self {
             EngineWorker::DrtmR(w) => {
                 if ro {
-                    w.run_ro(|t| body(t))
+                    w.run_ro_async(async |t| body(t as &mut dyn TxnApi).await)
+                        .await
                 } else {
-                    w.run(|t| body(t))
+                    w.run_async(async |t| body(t as &mut dyn TxnApi).await)
+                        .await
                 }
             }
-            EngineWorker::Drtm(w) => w.run(|t| body(t)),
-            EngineWorker::Calvin(w) => w.run(|t| body(t)),
-            EngineWorker::Silo(w) => w.run(|t| body(t)),
+            EngineWorker::Drtm(w) => {
+                w.run(|t| drtm_base::task::block_now(body(t as &mut dyn TxnApi)))
+            }
+            EngineWorker::Calvin(w) => {
+                w.run(|t| drtm_base::task::block_now(body(t as &mut dyn TxnApi)))
+            }
+            EngineWorker::Silo(w) => {
+                w.run(|t| drtm_base::task::block_now(body(t as &mut dyn TxnApi)))
+            }
         }
     }
 

@@ -190,40 +190,40 @@ fn set_bal(v: &mut [u8], x: i64) {
 }
 
 /// Executes one SmallBank transaction.
-pub fn execute(t: &mut dyn TxnApi, inp: &SbInput) -> Result<(), TxnError> {
+pub async fn execute(t: &mut dyn TxnApi, inp: &SbInput) -> Result<(), TxnError> {
     let (sa, ka) = inp.a;
     match inp.txn {
         SbTxn::Balance => {
-            let s = t.read(sa, T_SAVINGS, ka)?;
-            let c = t.read(sa, T_CHECKING, ka)?;
+            let s = t.read(sa, T_SAVINGS, ka).await?;
+            let c = t.read(sa, T_CHECKING, ka).await?;
             let _ = bal(&s) + bal(&c);
             Ok(())
         }
         SbTxn::DepositChecking => {
-            let mut c = t.read(sa, T_CHECKING, ka)?;
+            let mut c = t.read(sa, T_CHECKING, ka).await?;
             let nb = bal(&c) + inp.amount as i64;
             set_bal(&mut c, nb);
-            t.write(sa, T_CHECKING, ka, c)
+            t.write(sa, T_CHECKING, ka, c).await
         }
         SbTxn::TransactSavings => {
-            let mut s = t.read(sa, T_SAVINGS, ka)?;
+            let mut s = t.read(sa, T_SAVINGS, ka).await?;
             let nb = bal(&s) + inp.amount as i64;
             set_bal(&mut s, nb);
-            t.write(sa, T_SAVINGS, ka, s)
+            t.write(sa, T_SAVINGS, ka, s).await
         }
         SbTxn::WriteCheck => {
-            let s = t.read(sa, T_SAVINGS, ka)?;
-            let mut c = t.read(sa, T_CHECKING, ka)?;
+            let s = t.read(sa, T_SAVINGS, ka).await?;
+            let mut c = t.read(sa, T_CHECKING, ka).await?;
             let total = bal(&s) + bal(&c);
             let penalty = if total < inp.amount as i64 { 100 } else { 0 };
             let nb = bal(&c) - inp.amount as i64 - penalty;
             set_bal(&mut c, nb);
-            t.write(sa, T_CHECKING, ka, c)
+            t.write(sa, T_CHECKING, ka, c).await
         }
         SbTxn::SendPayment => {
             let (sb, kb) = inp.b;
-            let mut ca = t.read(sa, T_CHECKING, ka)?;
-            let mut cb = t.read(sb, T_CHECKING, kb)?;
+            let mut ca = t.read(sa, T_CHECKING, ka).await?;
+            let mut cb = t.read(sb, T_CHECKING, kb).await?;
             if bal(&ca) < inp.amount as i64 {
                 return Err(TxnError::UserAbort);
             }
@@ -231,22 +231,22 @@ pub fn execute(t: &mut dyn TxnApi, inp: &SbInput) -> Result<(), TxnError> {
             set_bal(&mut ca, nb);
             let nb = bal(&cb) + inp.amount as i64;
             set_bal(&mut cb, nb);
-            t.write(sa, T_CHECKING, ka, ca)?;
-            t.write(sb, T_CHECKING, kb, cb)
+            t.write(sa, T_CHECKING, ka, ca).await?;
+            t.write(sb, T_CHECKING, kb, cb).await
         }
         SbTxn::Amalgamate => {
             let (sb, kb) = inp.b;
-            let mut s = t.read(sa, T_SAVINGS, ka)?;
-            let mut ca = t.read(sa, T_CHECKING, ka)?;
-            let mut cb = t.read(sb, T_CHECKING, kb)?;
+            let mut s = t.read(sa, T_SAVINGS, ka).await?;
+            let mut ca = t.read(sa, T_CHECKING, ka).await?;
+            let mut cb = t.read(sb, T_CHECKING, kb).await?;
             let moved = bal(&s) + bal(&ca);
             set_bal(&mut s, 0);
             set_bal(&mut ca, 0);
             let nb = bal(&cb) + moved;
             set_bal(&mut cb, nb);
-            t.write(sa, T_SAVINGS, ka, s)?;
-            t.write(sa, T_CHECKING, ka, ca)?;
-            t.write(sb, T_CHECKING, kb, cb)
+            t.write(sa, T_SAVINGS, ka, s).await?;
+            t.write(sa, T_CHECKING, ka, ca).await?;
+            t.write(sb, T_CHECKING, kb, cb).await
         }
     }
 }

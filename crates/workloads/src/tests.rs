@@ -143,7 +143,9 @@ fn smallbank_money_is_conserved_under_conserving_mix() {
                     b,
                     amount: rng.range(1, 50),
                 };
-                let _ = w.run(|t| smallbank::execute(t, &inp));
+                let _ = drtm_base::task::block_now(
+                    w.run_async(async |t| smallbank::execute(t, &inp).await),
+                );
             }
         }));
     }
@@ -223,7 +225,7 @@ fn smallbank_send_payments_conserve_with_routines() {
                 let workers = (0..routines)
                     .map(|id| cluster.worker(node, (node * 8 + id) as u64 + 77))
                     .collect::<Vec<_>>();
-                RoutinePool::run(workers, |id, w| {
+                RoutinePool::run(workers, async |id, w| {
                     let mut rng = drtm_base::SplitMix64::new((node * 8 + id) as u64);
                     for _ in 0..25 {
                         let a = (node, cfg.pick_account(&mut rng, node));
@@ -238,7 +240,9 @@ fn smallbank_send_payments_conserve_with_routines() {
                             b,
                             amount: rng.range(1, 50),
                         };
-                        let _ = w.run(|t| smallbank::execute(t, &inp));
+                        let _ = w
+                            .run_async(async |t| smallbank::execute(t, &inp).await)
+                            .await;
                     }
                 });
             }));
@@ -252,6 +256,76 @@ fn smallbank_send_payments_conserve_with_routines() {
             "money leaked at routines={routines}"
         );
     }
+}
+
+/// Pin: with `routines = 1` the reactor is an exact re-implementation
+/// of the legacy blocking path at the workload level too — a seeded
+/// SmallBank run driven through a pool of one ends at the same virtual
+/// clock with the same commit counts, NIC traffic and per-phase
+/// breakdown as the plain blocking worker. (The core crate pins the
+/// same identity on a synthetic verb mix; this covers the full workload
+/// stack: generator, async transaction bodies, driver plumbing.)
+#[test]
+fn smallbank_routines_one_pins_legacy_path() {
+    use crate::smallbank::{self, SbInput, SbTxn};
+    use drtm_core::RoutinePool;
+
+    let cfg = SbCfg {
+        nodes: 2,
+        accounts: 120,
+        cross_prob: 0.4,
+        ..Default::default()
+    };
+    let run = quick_run(EngineKind::DrtmR, 1, 0);
+    // Both arms run this exact seeded mix from node 0.
+    let job = async |w: &mut drtm_core::txn::Worker, cfg: &SbCfg| {
+        let mut rng = drtm_base::SplitMix64::new(0x5b_0001);
+        for _ in 0..60 {
+            let a = (0usize, cfg.pick_account(&mut rng, 0));
+            let second = cfg.pick_second_shard(&mut rng, 0);
+            let b = (second, cfg.pick_account(&mut rng, second));
+            if b == a {
+                continue;
+            }
+            let inp = SbInput {
+                txn: SbTxn::SendPayment,
+                a,
+                b,
+                amount: rng.range(1, 50),
+            };
+            let _ = w
+                .run_async(async |t| smallbank::execute(t, &inp).await)
+                .await;
+        }
+    };
+
+    // Arm A: plain worker, legacy blocking waits.
+    let (ca, _) = crate::driver::build_smallbank(&cfg, &run);
+    let mut wa = ca.worker(0, 7);
+    drtm_base::task::block_now(job(&mut wa, &cfg));
+
+    // Arm B: the same seed through a pool of one routine.
+    let (cb, _) = crate::driver::build_smallbank(&cfg, &run);
+    let wb = cb.worker(0, 7);
+    let mut out = RoutinePool::run(vec![wb], async |_, w| job(w, &cfg).await);
+    let (wb, ()) = out.remove(0);
+
+    assert_eq!(wa.clock.now(), wb.clock.now(), "virtual clock diverged");
+    assert_eq!(wa.stats.committed, wb.stats.committed);
+    assert_eq!(wa.stats.aborted, wb.stats.aborted);
+    for node in 0..2 {
+        assert_eq!(
+            ca.fabric.port(node).stats().snapshot(),
+            cb.fabric.port(node).stats().snapshot(),
+            "node {node} NIC traffic diverged"
+        );
+    }
+    let (sa, sb) = (ca.obs.scrape(), cb.obs.scrape());
+    assert_eq!(sa.phases, sb.phases, "per-phase breakdown diverged");
+    assert_eq!(sa.phase_waits, sb.phase_waits);
+    assert_eq!(sa.pipeline.wait_ns, sb.pipeline.wait_ns);
+    // A single routine can never overlap its own waits.
+    assert_eq!(sb.pipeline.overlap_ns, 0);
 }
 
 /// The driver's routine-pool path on the full SmallBank mix: every

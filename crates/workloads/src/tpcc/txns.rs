@@ -122,7 +122,7 @@ pub fn gen_new_order(
 }
 
 /// Executes a new-order transaction.
-pub fn new_order(
+pub async fn new_order(
     t: &mut dyn TxnApi,
     cfg: &TpccCfg,
     inp: &NewOrderInput,
@@ -130,14 +130,14 @@ pub fn new_order(
 ) -> Result<(), TxnError> {
     let (w, d) = (inp.w, inp.d);
     let shard = cfg.shard_of(w);
-    let wv = t.read(shard, T_WAREHOUSE, w)?;
+    let wv = t.read(shard, T_WAREHOUSE, w).await?;
     let _w_tax = slot(&wv, 1);
     let dk = dkey(w, d);
-    let mut dv = t.read(shard, T_DISTRICT, dk)?;
+    let mut dv = t.read(shard, T_DISTRICT, dk).await?;
     let o = slot(&dv, 2);
     set_slot(&mut dv, 2, o + 1);
-    t.write(shard, T_DISTRICT, dk, dv)?;
-    let cv = t.read(shard, T_CUSTOMER, ckey(w, d, inp.c))?;
+    t.write(shard, T_DISTRICT, dk, dv).await?;
+    let cv = t.read(shard, T_CUSTOMER, ckey(w, d, inp.c)).await?;
     let discount_bp = slot(&cv, 4);
 
     if inp.rollback {
@@ -156,11 +156,11 @@ pub fn new_order(
 
     let mut total = 0u64;
     for (idx, &(i, supply_w, qty)) in inp.lines.iter().enumerate() {
-        let iv = t.read(shard, T_ITEM, ikey(shard, i))?;
+        let iv = t.read(shard, T_ITEM, ikey(shard, i)).await?;
         let price = slot(&iv, 0);
         let s_shard = cfg.shard_of(supply_w);
         let sk = skey(supply_w, i);
-        let mut sv = t.read(s_shard, T_STOCK, sk)?;
+        let mut sv = t.read(s_shard, T_STOCK, sk).await?;
         let q = slot(&sv, 0);
         set_slot(
             &mut sv,
@@ -175,7 +175,7 @@ pub fn new_order(
             let ns = slot(&sv, 3) + 1;
             set_slot(&mut sv, 3, ns);
         }
-        t.write(s_shard, T_STOCK, sk, sv)?;
+        t.write(s_shard, T_STOCK, sk, sv).await?;
         let amount = qty * price;
         total += amount;
         t.insert(
@@ -223,7 +223,7 @@ pub struct PaymentInput {
 /// Resolves a customer selector against the local last-name index,
 /// returning the customer id (the spec's "middle row, ordered by first
 /// name" becomes the middle match by id).
-pub fn resolve_customer(
+pub async fn resolve_customer(
     t: &mut dyn TxnApi,
     w: u64,
     d: u64,
@@ -232,12 +232,14 @@ pub fn resolve_customer(
     match by {
         CustomerBy::Id(c) => Ok(c),
         CustomerBy::LastName(l) => {
-            let hits = t.scan_local(
-                T_CUST_NAME,
-                nkey(w, d, l, 0),
-                nkey(w, d, l, 4095),
-                usize::MAX,
-            )?;
+            let hits = t
+                .scan_local(
+                    T_CUST_NAME,
+                    nkey(w, d, l, 0),
+                    nkey(w, d, l, 4095),
+                    usize::MAX,
+                )
+                .await?;
             if hits.is_empty() {
                 return Err(TxnError::NotFound);
             }
@@ -282,22 +284,26 @@ pub fn gen_payment(
 }
 
 /// Executes a payment transaction.
-pub fn payment(t: &mut dyn TxnApi, cfg: &TpccCfg, inp: &PaymentInput) -> Result<(), TxnError> {
+pub async fn payment(
+    t: &mut dyn TxnApi,
+    cfg: &TpccCfg,
+    inp: &PaymentInput,
+) -> Result<(), TxnError> {
     let shard = cfg.shard_of(inp.w);
-    let mut wv = t.read(shard, T_WAREHOUSE, inp.w)?;
+    let mut wv = t.read(shard, T_WAREHOUSE, inp.w).await?;
     let ns = slot(&wv, 0) + inp.amount;
     set_slot(&mut wv, 0, ns);
-    t.write(shard, T_WAREHOUSE, inp.w, wv)?;
+    t.write(shard, T_WAREHOUSE, inp.w, wv).await?;
 
     let dk = dkey(inp.w, inp.d);
-    let mut dv = t.read(shard, T_DISTRICT, dk)?;
+    let mut dv = t.read(shard, T_DISTRICT, dk).await?;
     let ns = slot(&dv, 0) + inp.amount;
     set_slot(&mut dv, 0, ns);
-    t.write(shard, T_DISTRICT, dk, dv)?;
+    t.write(shard, T_DISTRICT, dk, dv).await?;
 
     let c_shard = cfg.shard_of(inp.cw);
     let c = if inp.cw == inp.w {
-        resolve_customer(t, inp.cw, inp.cd, inp.c)?
+        resolve_customer(t, inp.cw, inp.cd, inp.c).await?
     } else {
         match inp.c {
             CustomerBy::Id(c) => c,
@@ -305,14 +311,14 @@ pub fn payment(t: &mut dyn TxnApi, cfg: &TpccCfg, inp: &PaymentInput) -> Result<
         }
     };
     let ck = ckey(inp.cw, inp.cd, c);
-    let mut cv = t.read(c_shard, T_CUSTOMER, ck)?;
+    let mut cv = t.read(c_shard, T_CUSTOMER, ck).await?;
     let bal = slot(&cv, 0) as i64 - inp.amount as i64;
     set_slot(&mut cv, 0, bal as u64);
     let ns = slot(&cv, 1) + inp.amount;
     set_slot(&mut cv, 1, ns);
     let ns = slot(&cv, 2) + 1;
     set_slot(&mut cv, 2, ns);
-    t.write(c_shard, T_CUSTOMER, ck, cv)?;
+    t.write(c_shard, T_CUSTOMER, ck, cv).await?;
 
     t.insert(
         shard,
@@ -324,7 +330,7 @@ pub fn payment(t: &mut dyn TxnApi, cfg: &TpccCfg, inp: &PaymentInput) -> Result<
 }
 
 /// Executes a delivery transaction for warehouse `w` (all districts).
-pub fn delivery(
+pub async fn delivery(
     t: &mut dyn TxnApi,
     cfg: &TpccCfg,
     w: u64,
@@ -336,41 +342,46 @@ pub fn delivery(
         // Oldest undelivered order in this district.
         let lo = okey(w, d, 0);
         let hi = okey(w, d, (1 << 24) - 1);
-        let Some((no_key, nov)) = t.scan_local(T_NEW_ORDER, lo, hi, 1)?.into_iter().next() else {
+        let Some((no_key, nov)) = t
+            .scan_local(T_NEW_ORDER, lo, hi, 1)
+            .await?
+            .into_iter()
+            .next()
+        else {
             continue;
         };
         let o = slot(&nov, 0);
         t.delete(shard, T_NEW_ORDER, no_key);
 
         let ok = okey(w, d, o);
-        let mut ov = t.read(shard, T_ORDER, ok)?;
+        let mut ov = t.read(shard, T_ORDER, ok).await?;
         let c = slot(&ov, 0);
         let ol_cnt = slot(&ov, 1);
         set_slot(&mut ov, 2, carrier);
-        t.write(shard, T_ORDER, ok, ov)?;
+        t.write(shard, T_ORDER, ok, ov).await?;
 
         let mut sum = 0u64;
         for ol in 0..ol_cnt {
             let olk = olkey(w, d, o, ol);
-            let mut olv = t.read(shard, T_ORDER_LINE, olk)?;
+            let mut olv = t.read(shard, T_ORDER_LINE, olk).await?;
             sum += slot(&olv, 3);
             set_slot(&mut olv, 4, ts);
-            t.write(shard, T_ORDER_LINE, olk, olv)?;
+            t.write(shard, T_ORDER_LINE, olk, olv).await?;
         }
 
         let ck = ckey(w, d, c);
-        let mut cv = t.read(shard, T_CUSTOMER, ck)?;
+        let mut cv = t.read(shard, T_CUSTOMER, ck).await?;
         let nb = (slot(&cv, 0) as i64 + sum as i64) as u64;
         set_slot(&mut cv, 0, nb);
         let ns = slot(&cv, 3) + 1;
         set_slot(&mut cv, 3, ns);
-        t.write(shard, T_CUSTOMER, ck, cv)?;
+        t.write(shard, T_CUSTOMER, ck, cv).await?;
     }
     Ok(())
 }
 
 /// Executes an order-status transaction (read-only).
-pub fn order_status(
+pub async fn order_status(
     t: &mut dyn TxnApi,
     cfg: &TpccCfg,
     w: u64,
@@ -378,25 +389,25 @@ pub fn order_status(
     by: CustomerBy,
 ) -> Result<(), TxnError> {
     let shard = cfg.shard_of(w);
-    let c = resolve_customer(t, w, d, by)?;
-    let cv = t.read(shard, T_CUSTOMER, ckey(w, d, c))?;
+    let c = resolve_customer(t, w, d, by).await?;
+    let cv = t.read(shard, T_CUSTOMER, ckey(w, d, c)).await?;
     let _balance = slot(&cv, 0) as i64;
     let lo = cidxkey(w, d, c, 0);
     let hi = cidxkey(w, d, c, (1 << 24) - 1);
-    let Some((_, idx)) = t.last_local(T_ORDER_CIDX, lo, hi)? else {
+    let Some((_, idx)) = t.last_local(T_ORDER_CIDX, lo, hi).await? else {
         return Ok(()); // Customer has no orders yet.
     };
     let o = slot(&idx, 0);
-    let ov = t.read(shard, T_ORDER, okey(w, d, o))?;
+    let ov = t.read(shard, T_ORDER, okey(w, d, o)).await?;
     let ol_cnt = slot(&ov, 1);
     for ol in 0..ol_cnt {
-        let _ = t.read(shard, T_ORDER_LINE, olkey(w, d, o, ol))?;
+        let _ = t.read(shard, T_ORDER_LINE, olkey(w, d, o, ol)).await?;
     }
     Ok(())
 }
 
 /// Executes a stock-level transaction (read-only; large read set).
-pub fn stock_level(
+pub async fn stock_level(
     t: &mut dyn TxnApi,
     cfg: &TpccCfg,
     w: u64,
@@ -404,23 +415,25 @@ pub fn stock_level(
     threshold: u64,
 ) -> Result<usize, TxnError> {
     let shard = cfg.shard_of(w);
-    let dv = t.read(shard, T_DISTRICT, dkey(w, d))?;
+    let dv = t.read(shard, T_DISTRICT, dkey(w, d)).await?;
     let next_o = slot(&dv, 2);
     let mut items = std::collections::HashSet::new();
     for o in next_o.saturating_sub(20)..next_o {
-        let lines = t.scan_local(
-            T_ORDER_LINE,
-            olkey(w, d, o, 0),
-            olkey(w, d, o, 15),
-            usize::MAX,
-        )?;
+        let lines = t
+            .scan_local(
+                T_ORDER_LINE,
+                olkey(w, d, o, 0),
+                olkey(w, d, o, 15),
+                usize::MAX,
+            )
+            .await?;
         for (_, olv) in lines {
             items.insert(slot(&olv, 0));
         }
     }
     let mut low = 0;
     for &i in &items {
-        let sv = t.read(shard, T_STOCK, skey(w, i))?;
+        let sv = t.read(shard, T_STOCK, skey(w, i)).await?;
         if slot(&sv, 0) < threshold {
             low += 1;
         }

@@ -198,19 +198,24 @@ pub fn gen(cfg: &YcsbCfg, zipf: &Zipf, rng: &mut SplitMix64, home: usize) -> Ycs
 }
 
 /// Executes one YCSB operation as a transaction.
-pub fn execute(t: &mut dyn TxnApi, cfg: &YcsbCfg, op: &YcsbOp, stamp: u64) -> Result<(), TxnError> {
+pub async fn execute(
+    t: &mut dyn TxnApi,
+    cfg: &YcsbCfg,
+    op: &YcsbOp,
+    stamp: u64,
+) -> Result<(), TxnError> {
     let key = cfg.key(op.shard, op.row);
     if op.is_read {
-        let _ = t.read(op.shard, T_KV, key)?;
+        let _ = t.read(op.shard, T_KV, key).await?;
         return Ok(());
     }
     let mut v = if op.rmw {
-        t.read(op.shard, T_KV, key)?
+        t.read(op.shard, T_KV, key).await?
     } else {
         vec![0u8; cfg.value_len]
     };
     v[..8].copy_from_slice(&stamp.to_le_bytes());
-    t.write(op.shard, T_KV, key, v)
+    t.write(op.shard, T_KV, key, v).await
 }
 
 /// Loads the YCSB dataset.

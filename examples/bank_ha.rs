@@ -30,10 +30,7 @@ fn key(shard: usize, k: u64) -> u64 {
 fn main() {
     // 3-way primary-backup replication: every record has f+1 = 3 copies
     // (one primary + redo logs/images on two backups).
-    let opts = EngineOpts {
-        replicas: 3,
-        ..Default::default()
-    };
+    let opts = EngineOpts::builder().replicas(3).build();
     let cluster = DrtmCluster::new(4, &[TableSpec::hash(ACCOUNTS, 1 << 14, 16)], opts);
     for shard in 0..4 {
         for k in 0..PER_NODE {

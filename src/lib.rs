@@ -16,7 +16,7 @@
 //! let cluster = DrtmCluster::new(
 //!     2,
 //!     &[TableSpec::hash(0, 256, 16)],
-//!     EngineOpts { region_size: 1 << 20, ..Default::default() },
+//!     EngineOpts::builder().region_size(1 << 20).build(),
 //! );
 //! cluster.seed_record(0, 0, 1, &[7u8; 16]);
 //! cluster.seed_record(1, 0, 2, &[9u8; 16]);

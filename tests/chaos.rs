@@ -33,11 +33,10 @@ fn key(shard: usize, k: u64) -> u64 {
 #[test]
 fn crashes_never_lose_committed_writes() {
     for seed in 0..4u64 {
-        let opts = EngineOpts {
-            replicas: 3,
-            region_size: 4 << 20,
-            ..Default::default()
-        };
+        let opts = EngineOpts::builder()
+            .replicas(3)
+            .region_size(4 << 20)
+            .build();
         let c = DrtmCluster::new(NODES, &[TableSpec::hash(T, 4096, 16)], opts);
         let mut model = std::collections::HashMap::new();
         for shard in 0..NODES {
@@ -88,11 +87,10 @@ fn crashes_never_lose_committed_writes() {
 /// every surviving worker must make progress after recovery.
 #[test]
 fn concurrent_crash_conserves_and_progresses() {
-    let opts = EngineOpts {
-        replicas: 3,
-        region_size: 4 << 20,
-        ..Default::default()
-    };
+    let opts = EngineOpts::builder()
+        .replicas(3)
+        .region_size(4 << 20)
+        .build();
     let c = DrtmCluster::new(NODES, &[TableSpec::hash(T, 4096, 16)], opts);
     for shard in 0..NODES {
         for k in 0..KEYS {

@@ -26,11 +26,10 @@ fn key(shard: usize, k: u64) -> u64 {
 }
 
 fn build(nodes: usize, keys: u64) -> Arc<DrtmCluster> {
-    let opts = EngineOpts {
-        replicas: 3,
-        region_size: 4 << 20,
-        ..Default::default()
-    };
+    let opts = EngineOpts::builder()
+        .replicas(3)
+        .region_size(4 << 20)
+        .build();
     let c = DrtmCluster::new(nodes, &[TableSpec::hash(T, 8192, 16)], opts);
     for shard in 0..nodes {
         for k in 0..keys {

@@ -21,11 +21,10 @@ fn num(v: &[u8]) -> u64 {
 }
 
 fn build() -> Arc<DrtmCluster> {
-    let opts = EngineOpts {
-        replicas: 3,
-        region_size: 2 << 20,
-        ..Default::default()
-    };
+    let opts = EngineOpts::builder()
+        .replicas(3)
+        .region_size(2 << 20)
+        .build();
     let c = DrtmCluster::new(3, &[TableSpec::hash(T, 1024, 16)], opts);
     for shard in 0..3 {
         for k in 0..8u64 {

@@ -24,11 +24,10 @@ fn key(shard: usize, k: u64) -> u64 {
 }
 
 fn build(nodes: usize, replicas: usize, keys: u64) -> Arc<DrtmCluster> {
-    let opts = EngineOpts {
-        replicas,
-        region_size: 4 << 20,
-        ..Default::default()
-    };
+    let opts = EngineOpts::builder()
+        .replicas(replicas)
+        .region_size(4 << 20)
+        .build();
     let c = DrtmCluster::new(nodes, &[TableSpec::hash(T, 8192, 16)], opts);
     for shard in 0..nodes {
         for k in 0..keys {
@@ -206,12 +205,11 @@ fn insert_delete_visibility_across_machines() {
 fn batched_fanout_interleavings_preserve_serializability() {
     for case in 0..3u64 {
         for batched in [false, true] {
-            let opts = EngineOpts {
-                replicas: 1 + (case % 3) as usize,
-                region_size: 4 << 20,
-                batched_verbs: batched,
-                ..Default::default()
-            };
+            let opts = EngineOpts::builder()
+                .replicas(1 + (case % 3) as usize)
+                .region_size(4 << 20)
+                .batched_verbs(batched)
+                .build();
             let c = DrtmCluster::new(3, &[TableSpec::hash(T, 8192, 16)], opts);
             for shard in 0..3usize {
                 for k in 0..8u64 {

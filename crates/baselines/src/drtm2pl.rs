@@ -21,6 +21,7 @@
 use std::sync::Arc;
 
 use drtm_core::cluster::DrtmCluster;
+use drtm_core::contention::SpinBudget;
 use drtm_core::txn::{AbortReason, TxnError, WorkerStats};
 use drtm_htm::{AbortCode, HtmTxn, RunOutcome};
 use drtm_rdma::{NodeId, Qp};
@@ -405,6 +406,11 @@ impl DrtmWorker {
     }
 
     /// 2PL acquisition: spin on each lock (bounded), in global order.
+    ///
+    /// The spin bound and per-spin backoff live in
+    /// [`drtm_core::contention::SpinBudget`] — the engine's rung-2
+    /// pessimistic C.1 acquisition (DESIGN.md §15) borrows exactly this
+    /// machinery, so the budget is shared rather than duplicated.
     fn lock_remote_waiting(&mut self, addrs: &[(NodeId, usize)]) -> Result<(), usize> {
         let me = lock_word(self.node);
         let members = self.cluster.config.get();
@@ -412,7 +418,7 @@ impl DrtmWorker {
             if !members.contains(node) {
                 return Err(i);
             }
-            let mut spins = 0;
+            let mut budget = SpinBudget::default();
             loop {
                 match self.qps[node].cas(&mut self.clock, off, LOCK_FREE, me) {
                     Ok(_) => break,
@@ -422,11 +428,9 @@ impl DrtmWorker {
                             let _ = self.qps[node].cas(&mut self.clock, off, actual, LOCK_FREE);
                             continue;
                         }
-                        spins += 1;
-                        if spins > 64 {
+                        let Some(ns) = budget.step(&mut self.rng) else {
                             return Err(i);
-                        }
-                        let ns = self.rng.below(2_000);
+                        };
                         self.clock.advance(ns);
                         std::thread::yield_now();
                     }

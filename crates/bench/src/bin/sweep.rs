@@ -55,6 +55,7 @@ fn json_summary(
     nic_bytes: u64,
     run: &RunCfg,
     pipeline: &drtm_obs::PipelineStats,
+    contention: &drtm_obs::ContentionStats,
 ) -> String {
     let attempts = (m.committed + m.aborted).max(1);
     let abort_rate = m.aborted as f64 / attempts as f64;
@@ -72,7 +73,9 @@ fn json_summary(
             "\"throughput\":{:.1},\"abort_rate\":{:.4},",
             "\"p50\":{:.2},\"p99\":{:.2},\"nic_bytes_per_txn\":{:.1},",
             "\"pipeline\":{{\"routines\":{},\"wait_ns\":{},\"overlap_ns\":{},",
-            "\"hiding_ratio\":{:.4}}}}}\n"
+            "\"hiding_ratio\":{:.4}}},",
+            "\"contention\":{{\"policy\":\"{}\",\"pessimistic\":{},",
+            "\"parks\":{},\"grants\":{}}}}}\n"
         ),
         workload,
         stamp::git_rev(),
@@ -87,6 +90,10 @@ fn json_summary(
         pipeline.wait_ns,
         pipeline.overlap_ns,
         pipeline.hiding_ratio(),
+        run.contention.label(),
+        contention.pessimistic,
+        contention.parks,
+        contention.grants,
     )
 }
 
@@ -100,6 +107,9 @@ fn main() {
     let mut cross: Option<f64> = None;
     let mut txns = 150usize;
     let mut routines = 1usize;
+    let mut mix: Option<String> = None;
+    let mut theta: Option<f64> = None;
+    let mut records: Option<usize> = None;
     let mut msg_locking = false;
     let mut no_cache = false;
     let mut fuse = false;
@@ -125,6 +135,9 @@ fn main() {
             "--cross" => cross = Some(grab(&mut it).parse().expect("--cross P")),
             "--txns" => txns = grab(&mut it).parse().expect("--txns N"),
             "--routines" => routines = grab(&mut it).parse().expect("--routines R"),
+            "--mix" => mix = Some(grab(&mut it)),
+            "--theta" => theta = Some(grab(&mut it).parse().expect("--theta T")),
+            "--records" => records = Some(grab(&mut it).parse().expect("--records N")),
             "--msg-locking" => msg_locking = true,
             "--no-cache" => no_cache = true,
             "--fuse" => fuse = true,
@@ -180,7 +193,28 @@ fn main() {
             (m, 0.0, cluster)
         }
         _ => {
-            let cfg = ycsb_cfg(scale, nodes, cross.unwrap_or(0.05));
+            // YCSB-only shape knobs (`--mix`, `--theta`, `--records`),
+            // so contention A/Bs can request the 99%-zipfian hot head
+            // without a bespoke binary.
+            let mut cfg = ycsb_cfg(scale, nodes, cross.unwrap_or(0.05));
+            if let Some(m) = &mix {
+                cfg.mix = match m.to_ascii_uppercase().as_str() {
+                    "A" => drtm_workloads::ycsb::YcsbMix::A,
+                    "B" => drtm_workloads::ycsb::YcsbMix::B,
+                    "C" => drtm_workloads::ycsb::YcsbMix::C,
+                    "F" => drtm_workloads::ycsb::YcsbMix::F,
+                    other => {
+                        eprintln!("unknown mix {other:?} (one of A, B, C, F)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            if let Some(t) = theta {
+                cfg.theta = t;
+            }
+            if let Some(r) = records {
+                cfg.records = r;
+            }
             let (cluster, calvin) = build_ycsb(&cfg, &run);
             let m = run_ycsb_on(&cfg, &run, &cluster, calvin.as_ref());
             (m, 0.0, cluster)
@@ -191,7 +225,14 @@ fn main() {
         let nic_bytes: u64 = snap.nic_bytes.iter().map(|&(_, b)| b).sum();
         std::fs::write(
             path,
-            json_summary(&workload, &m, nic_bytes, &run, &snap.pipeline),
+            json_summary(
+                &workload,
+                &m,
+                nic_bytes,
+                &run,
+                &snap.pipeline,
+                &snap.contention,
+            ),
         )
         .unwrap_or_else(|e| panic!("writing {path}: {e}"));
     }

@@ -68,7 +68,7 @@ pub fn run_cfg_json(run: &RunCfg) -> String {
             "\"txns_per_worker\":{},\"seed\":{},\"cross_override\":{},",
             "\"fuse_lock_validate\":{},\"no_location_cache\":{},",
             "\"msg_locking\":{},\"batched_verbs\":{},\"no_value_cache\":{},",
-            "\"routines\":{}}}"
+            "\"routines\":{},\"contention\":\"{}\"}}"
         ),
         run.engine,
         run.threads,
@@ -82,6 +82,7 @@ pub fn run_cfg_json(run: &RunCfg) -> String {
         run.batched_verbs,
         run.no_value_cache,
         run.routines,
+        run.contention.label(),
     )
 }
 
@@ -131,5 +132,6 @@ mod tests {
         assert!(full.contains("\"git_rev\":\""));
         assert!(full.contains("\"routines\":"));
         assert!(full.contains("\"batched_verbs\":"));
+        assert!(full.contains("\"contention\":\"off\""));
     }
 }

@@ -18,6 +18,7 @@ use std::time::Duration;
 
 use drtm_base::SplitMix64;
 use drtm_core::cluster::{DrtmCluster, EngineOpts};
+use drtm_core::ContentionPolicy;
 use drtm_core::recovery::full_restart_scrub;
 use drtm_core::txn::TxnError;
 use drtm_workloads::audit;
@@ -55,6 +56,12 @@ pub struct ChaosRunCfg {
     /// sibling routines are mid-transaction. `1` is the legacy blocking
     /// path.
     pub routines: usize,
+    /// Contention-management policy for every table (DESIGN.md §15).
+    /// Chaos cares because rung 3 parks routines on per-key wait lists
+    /// whose grants come from the *holder's* unlock path — a holder
+    /// that crashes never grants, so parked waiters must drain through
+    /// the liveness bound instead of deadlocking the pool.
+    pub contention: ContentionPolicy,
 }
 
 impl Default for ChaosRunCfg {
@@ -69,6 +76,7 @@ impl Default for ChaosRunCfg {
             supervisor: SupervisorCfg::default(),
             await_recoveries: Duration::from_secs(10),
             routines: 1,
+            contention: ContentionPolicy::Off,
         }
     }
 }
@@ -123,6 +131,7 @@ pub fn run_smallbank_chaos(cfg: &ChaosRunCfg, plan: FaultPlan) -> ChaosOutcome {
     let opts = EngineOpts::builder()
         .replicas(cfg.replicas.min(cfg.nodes))
         .region_size(sb.region_size())
+        .contention(cfg.contention)
         .build();
     let cluster = DrtmCluster::new(cfg.nodes, &sb.schema(), opts);
     smallbank::load(&cluster, &sb);

@@ -239,6 +239,42 @@ fn crash_at_yield_boundary_with_routines_recovers() {
 }
 
 #[test]
+fn crash_with_waiters_parked_on_victims_keys_recovers() {
+    // Contention ladder under fire (DESIGN.md §15): a tiny hot account
+    // set plus `escalate` guarantees routines escalate to rung 3 and
+    // park on per-key wait lists. The victim dies at C.5 with its write
+    // locks still dangling, so any waiter parked on one of its keys
+    // will never receive a grant — the holder's C.6 never runs. The
+    // parked routines must drain through the `PARK_SPIN_CAP` liveness
+    // bound, the pool must not deadlock, and recovery's lock sweep must
+    // still leave zero stale locks and conserved money.
+    let cfg = ChaosRunCfg {
+        accounts: 20,
+        cross_prob: 0.5,
+        supervisor: test_supervisor(),
+        txns_per_worker: 120,
+        routines: 4,
+        contention: drtm_core::ContentionPolicy::Escalate,
+        ..ChaosRunCfg::default()
+    };
+    let plan = FaultPlan::new(515)
+        .delay_everywhere(120, 20_000)
+        .crash_at(1, "C.5", 4);
+    let out = run_smallbank_chaos(&cfg, plan);
+    assert_eq!(out.crashes_fired, 1);
+    assert_eq!(out.events.len(), 1, "one lease-driven recovery");
+    assert_eq!(out.events[0].dead, 1);
+    assert!(out.committed > 0, "survivors kept committing");
+    assert!(
+        out.audit_ok(),
+        "total {} vs {}, stale locks {}",
+        out.final_total,
+        out.initial_total,
+        out.stale_locks
+    );
+}
+
+#[test]
 fn traffic_faults_alone_never_trigger_recovery() {
     let cfg = ChaosRunCfg {
         supervisor: test_supervisor(),

@@ -83,6 +83,15 @@ pub enum Cmd {
         /// Transactions attempted per worker slot on each side.
         txns: usize,
     },
+    /// `contend [txns]` — run a 99%-zipfian write-heavy YCSB-A and a
+    /// hot-account SmallBank twice each, once with contention
+    /// management `off` (rung-1 backoff only) and once with the full
+    /// `escalate` ladder, and report committed virtual-time throughput,
+    /// abort rate, and the escalation counters (DESIGN.md §15).
+    Contend {
+        /// Transactions attempted per worker slot on each side.
+        txns: usize,
+    },
     /// `serve [requests]` — boot the TCP serving front-end on loopback
     /// and A/B the same zero-sum SmallBank request count offered twice:
     /// paced under capacity and as one all-at-once burst far past the
@@ -212,6 +221,13 @@ pub fn parse(line: &str) -> Result<Option<Cmd>, String> {
         ["cache", n] => Cmd::Cache {
             txns: num(n)? as usize,
         },
+        // A larger default than the other A/Bs: hot-key interleaving
+        // is noisy run-to-run, and the gain only stabilizes with
+        // enough conflicted commits per side.
+        ["contend"] => Cmd::Contend { txns: 1_000 },
+        ["contend", n] => Cmd::Contend {
+            txns: num(n)? as usize,
+        },
         ["pipeline"] => Cmd::Pipeline { txns: 200 },
         ["pipeline", n] => Cmd::Pipeline {
             txns: num(n)? as usize,
@@ -325,6 +341,13 @@ commands:
                                throughput, abort rate, and the
                                latency-hiding ratio (DESIGN.md
                                section 11)
+  contend [txns]               A/B the contention-management ladder
+                               on a 99%-zipfian write-heavy YCSB-A
+                               and a hot-account SmallBank: policy
+                               `off` vs `escalate`, committed
+                               virtual-time throughput, abort rate,
+                               and the escalation counters (DESIGN.md
+                               section 15)
   serve [requests]             A/B the TCP serving front-end on
                                loopback: the same zero-sum SmallBank
                                load offered paced under capacity and
@@ -810,6 +833,200 @@ pub fn pipeline_ab(txns: usize) -> PipelineReport {
     PipelineReport {
         base: measure_pipeline(txns, 1),
         piped: measure_pipeline(txns, 8),
+    }
+}
+
+/// The YCSB behind `contend`: read-modify-write (mix F), 99%-zipfian
+/// over a deliberately tiny record set, and mostly cross-machine, so
+/// the hot head of the distribution turns into genuine lock occupancy.
+/// Mix F rather than A because every F op both reads and locks its
+/// row — an abort throws away a remote round trip, which is exactly
+/// the waste the escalation ladder exists to avoid; A's blind
+/// single-key writes re-execute nearly for free.
+fn contend_ycsb_cfg() -> drtm_workloads::ycsb::YcsbCfg {
+    drtm_workloads::ycsb::YcsbCfg {
+        nodes: 2,
+        records: 32,
+        theta: 0.99,
+        cross_prob: 0.6,
+        mix: drtm_workloads::ycsb::YcsbMix::F,
+        ..Default::default()
+    }
+}
+
+/// The SmallBank behind `contend`: a handful of accounts with almost
+/// every access landing in the hot set, so send-payment convoys form
+/// on the same few savings/checking rows.
+fn contend_smallbank_cfg() -> drtm_workloads::smallbank::SbCfg {
+    drtm_workloads::smallbank::SbCfg {
+        nodes: 2,
+        accounts: 16,
+        hot_fraction: 0.25,
+        hot_prob: 0.95,
+        cross_prob: 0.4,
+    }
+}
+
+/// One measured side of the `contend` A/B: a hot-key workload run
+/// under one contention-management policy.
+#[derive(Debug, Clone)]
+pub struct ContendSide {
+    /// The policy this side ran under.
+    pub policy: drtm_core::ContentionPolicy,
+    /// Committed transactions.
+    pub committed: u64,
+    /// Aborted attempts.
+    pub aborted: u64,
+    /// Cluster virtual-time throughput, txns/sec.
+    pub throughput: f64,
+    /// Commits forced through rung 2's pessimistic C.1.
+    pub pessimistic: u64,
+    /// Routines parked on a per-key wait list (rung 3).
+    pub parks: u64,
+    /// Parked routines granted by a holder's unlock.
+    pub grants: u64,
+}
+
+impl ContendSide {
+    /// Aborted attempts per attempt, in `[0, 1]`.
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.committed + self.aborted;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborted as f64 / attempts as f64
+        }
+    }
+}
+
+/// The same hot-key workload measured with the ladder off and on.
+#[derive(Debug, Clone)]
+pub struct ContendPair {
+    /// Rung-1 backoff only (`ContentionPolicy::Off`).
+    pub off: ContendSide,
+    /// The full ladder (`ContentionPolicy::Escalate`).
+    pub escalated: ContendSide,
+}
+
+impl ContendPair {
+    /// Relative committed virtual-time throughput gain of the ladder
+    /// (0.15 = 15% more committed txns per virtual second).
+    pub fn gain(&self) -> f64 {
+        if self.off.throughput == 0.0 {
+            0.0
+        } else {
+            self.escalated.throughput / self.off.throughput - 1.0
+        }
+    }
+
+    fn render_into(&self, out: &mut String, name: &str) {
+        *out += &format!(
+            "  {name}: {:.0} -> {:.0} tps ({:+.1}%), abort rate {:.1}% -> {:.1}%\n",
+            self.off.throughput,
+            self.escalated.throughput,
+            self.gain() * 100.0,
+            self.off.abort_rate() * 100.0,
+            self.escalated.abort_rate() * 100.0,
+        );
+        *out += &format!(
+            "    escalations: {} pessimistic commits, {} parks ({} granted)\n",
+            self.escalated.pessimistic, self.escalated.parks, self.escalated.grants,
+        );
+    }
+}
+
+/// The `contend` command's result: the escalation-ladder A/B over the
+/// two canonical hot-key workloads.
+#[derive(Debug, Clone)]
+pub struct ContendReport {
+    /// 99%-zipfian write-heavy YCSB-A, 60% cross-machine.
+    pub ycsb: ContendPair,
+    /// Hot-account SmallBank (16 accounts, 95% hot).
+    pub smallbank: ContendPair,
+}
+
+impl ContendReport {
+    /// Renders the human-readable A/B table.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "contention-ladder A/B (policy off vs escalate, DESIGN.md \u{a7}15):\n",
+        );
+        self.ycsb.render_into(&mut out, "ycsb-f 99%-zipfian");
+        self.smallbank.render_into(&mut out, "smallbank hot-account");
+        out += &format!(
+            "  committed throughput gain: ycsb {:+.1}%, smallbank {:+.1}%",
+            self.ycsb.gain() * 100.0,
+            self.smallbank.gain() * 100.0,
+        );
+        out
+    }
+}
+
+/// Runs the hot YCSB on a fresh cluster under `policy` and scrapes the
+/// contention counters.
+fn measure_contend_ycsb(txns: usize, policy: drtm_core::ContentionPolicy) -> ContendSide {
+    use drtm_workloads::driver::{build_ycsb, run_ycsb_on, RunCfg};
+    let cfg = contend_ycsb_cfg();
+    let run = RunCfg {
+        threads: 2,
+        txns_per_worker: txns.max(1),
+        routines: 8,
+        contention: policy,
+        ..Default::default()
+    };
+    let (cluster, calvin) = build_ycsb(&cfg, &run);
+    let m = run_ycsb_on(&cfg, &run, &cluster, calvin.as_ref());
+    let snap = drtm_core::scrape_cluster(&cluster);
+    ContendSide {
+        policy,
+        committed: m.committed,
+        aborted: m.aborted,
+        throughput: m.throughput,
+        pessimistic: snap.contention.pessimistic,
+        parks: snap.contention.parks,
+        grants: snap.contention.grants,
+    }
+}
+
+/// Runs the hot SmallBank on a fresh cluster under `policy` and
+/// scrapes the contention counters.
+fn measure_contend_smallbank(txns: usize, policy: drtm_core::ContentionPolicy) -> ContendSide {
+    use drtm_workloads::driver::{build_smallbank, run_smallbank_on, RunCfg};
+    let cfg = contend_smallbank_cfg();
+    let run = RunCfg {
+        threads: 2,
+        txns_per_worker: txns.max(1),
+        routines: 8,
+        contention: policy,
+        ..Default::default()
+    };
+    let (cluster, calvin) = build_smallbank(&cfg, &run);
+    let m = run_smallbank_on(&cfg, &run, &cluster, calvin.as_ref());
+    let snap = drtm_core::scrape_cluster(&cluster);
+    ContendSide {
+        policy,
+        committed: m.committed,
+        aborted: m.aborted,
+        throughput: m.throughput,
+        pessimistic: snap.contention.pessimistic,
+        parks: snap.contention.parks,
+        grants: snap.contention.grants,
+    }
+}
+
+/// Measures both hot-key workloads under `off` and then `escalate` on
+/// fresh clusters (four runs total).
+pub fn contend_ab(txns: usize) -> ContendReport {
+    use drtm_core::ContentionPolicy;
+    ContendReport {
+        ycsb: ContendPair {
+            off: measure_contend_ycsb(txns, ContentionPolicy::Off),
+            escalated: measure_contend_ycsb(txns, ContentionPolicy::Escalate),
+        },
+        smallbank: ContendPair {
+            off: measure_contend_smallbank(txns, ContentionPolicy::Off),
+            escalated: measure_contend_smallbank(txns, ContentionPolicy::Escalate),
+        },
     }
 }
 
@@ -1389,6 +1606,11 @@ impl Shell {
                 // Same standalone-A/B shape as `breakdown`.
                 Ok(Some(pipeline_ab(txns.max(1)).render()))
             }
+            Cmd::Contend { txns } => {
+                // Same standalone-A/B shape: four fresh clusters, two
+                // policies over two hot-key workloads.
+                Ok(Some(contend_ab(txns.max(1)).render()))
+            }
             Cmd::Serve { requests } => {
                 // Same standalone-A/B shape, but over real loopback
                 // TCP: each side boots its own serving front-end.
@@ -1717,6 +1939,14 @@ mod tests {
         );
         assert_eq!(parse("cache").unwrap(), Some(Cmd::Cache { txns: 200 }));
         assert_eq!(parse("cache 60").unwrap(), Some(Cmd::Cache { txns: 60 }));
+        assert_eq!(
+            parse("contend").unwrap(),
+            Some(Cmd::Contend { txns: 1_000 })
+        );
+        assert_eq!(
+            parse("contend 40").unwrap(),
+            Some(Cmd::Contend { txns: 40 })
+        );
         assert_eq!(parse("serve").unwrap(), Some(Cmd::Serve { requests: 400 }));
         assert_eq!(
             parse("serve 100").unwrap(),
@@ -1877,6 +2107,42 @@ mod tests {
         let text = sh.execute(Cmd::Pipeline { txns: 20 }).unwrap().unwrap();
         assert!(text.contains("virtual-time gain"), "{text}");
         assert!(text.contains("latency hidden"), "{text}");
+    }
+
+    /// The PR's acceptance criterion (DESIGN.md §15): on the
+    /// 99%-zipfian read-modify-write YCSB-F, the full escalation
+    /// ladder must deliver at least 15% more committed transactions
+    /// per virtual second than rung-1 backoff alone, and it must
+    /// actually have escalated — rung-2 pessimistic commits observed,
+    /// none under `off`. The hot-account SmallBank side reports its
+    /// own gain but is only asserted to escalate: at shell scale its
+    /// run-to-run interleaving noise swamps any fixed threshold.
+    #[test]
+    fn contend_escalate_beats_backoff() {
+        let report = contend_ab(1_000);
+        assert!(report.ycsb.off.committed > 0 && report.ycsb.escalated.committed > 0);
+        assert_eq!(
+            report.ycsb.off.pessimistic + report.ycsb.off.parks,
+            0,
+            "policy off must never escalate: {report:?}"
+        );
+        assert!(
+            report.ycsb.escalated.pessimistic > 0,
+            "the hot head must trip rung 2: {report:?}"
+        );
+        assert!(
+            report.ycsb.gain() >= 0.15,
+            "escalate must gain >= 15% on zipfian ycsb, got {:.1}%: {report:?}",
+            report.ycsb.gain() * 100.0
+        );
+        assert!(
+            report.smallbank.escalated.pessimistic > 0,
+            "hot accounts must trip rung 2: {report:?}"
+        );
+        let mut sh = Shell::new();
+        let text = sh.execute(Cmd::Contend { txns: 20 }).unwrap().unwrap();
+        assert!(text.contains("committed throughput gain"), "{text}");
+        assert!(text.contains("pessimistic commits"), "{text}");
     }
 
     /// The serving tier's acceptance criterion, in-shell: a burst far

@@ -11,6 +11,7 @@ use drtm_htm::{Htm, HtmConfig};
 use drtm_rdma::{Fabric, NodeId};
 use drtm_store::{Store, TableSpec};
 
+use crate::contention::{ContentionPolicy, WaitRegistry};
 use crate::replication::BackupStore;
 use crate::txn::Worker;
 
@@ -105,6 +106,15 @@ pub struct EngineOpts {
     /// verb latencies overlap on the simulated NIC while their CPU
     /// segments stay serialized.
     pub routines: usize,
+    /// Default contention-management policy (DESIGN.md §15): how a
+    /// worker responds to repeated conflicts on one key. The default,
+    /// [`ContentionPolicy::Off`], keeps the legacy randomized-backoff
+    /// retry path byte-identical.
+    pub contention: ContentionPolicy,
+    /// Per-table overrides of [`EngineOpts::contention`]; tables not
+    /// listed use the default policy. See
+    /// [`EngineOpts::contention_for`].
+    pub contention_tables: Vec<(u32, ContentionPolicy)>,
 }
 
 impl Default for EngineOpts {
@@ -125,6 +135,8 @@ impl Default for EngineOpts {
             value_cache: true,
             read_mostly_tables: Vec::new(),
             routines: 1,
+            contention: ContentionPolicy::Off,
+            contention_tables: Vec::new(),
         }
     }
 }
@@ -133,6 +145,27 @@ impl EngineOpts {
     /// Starts a builder seeded with [`EngineOpts::default`].
     pub fn builder() -> EngineOptsBuilder {
         EngineOptsBuilder::default()
+    }
+
+    /// The contention policy governing `table`: its override in
+    /// [`EngineOpts::contention_tables`] if present, the engine-wide
+    /// [`EngineOpts::contention`] default otherwise.
+    pub fn contention_for(&self, table: u32) -> ContentionPolicy {
+        self.contention_tables
+            .iter()
+            .find(|(t, _)| *t == table)
+            .map_or(self.contention, |(_, p)| *p)
+    }
+
+    /// Whether any table can climb the escalation ladder — `false`
+    /// means the unlock paths skip the wait-registry grant hook
+    /// entirely.
+    pub fn contention_active(&self) -> bool {
+        self.contention != ContentionPolicy::Off
+            || self
+                .contention_tables
+                .iter()
+                .any(|(_, p)| *p != ContentionPolicy::Off)
     }
 }
 
@@ -253,6 +286,18 @@ impl EngineOptsBuilder {
         self
     }
 
+    /// Default contention-management policy (DESIGN.md §15).
+    pub fn contention(mut self, policy: ContentionPolicy) -> Self {
+        self.opts.contention = policy;
+        self
+    }
+
+    /// Per-table overrides of the contention policy.
+    pub fn contention_tables(mut self, tables: Vec<(u32, ContentionPolicy)>) -> Self {
+        self.opts.contention_tables = tables;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> EngineOpts {
         self.opts
@@ -285,6 +330,10 @@ pub struct DrtmCluster {
     pub obs: drtm_obs::Registry,
     /// Tuning knobs.
     pub opts: EngineOpts,
+    /// Cluster-shared registry of routines parked on convoyed keys
+    /// (contention rung 3); granted by the unlock paths. Empty unless
+    /// some table's policy escalates.
+    pub waiters: WaitRegistry,
     /// Completed recoveries: `dead -> new_home`. Held for the duration
     /// of a [`crate::recovery::recover_node`] pass, which serializes
     /// concurrent recoveries of the same (or different) machines and
@@ -333,6 +382,7 @@ impl DrtmCluster {
             alive: (0..n).map(|_| AtomicBool::new(true)).collect(),
             obs: drtm_obs::Registry::new(),
             opts,
+            waiters: WaitRegistry::new(),
             recovered: Mutex::new(HashMap::new()),
             crash_hook: RwLock::new(None),
             crash_hook_set: AtomicBool::new(false),

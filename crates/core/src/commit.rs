@@ -37,6 +37,7 @@ use drtm_store::{TableId, CONTROL_LINE_OFF};
 
 use drtm_obs::{EventKind, Phase};
 
+use crate::contention::{ConflictSite, ContentionPolicy, SpinBudget};
 use crate::txn::{AbortReason, TxnCtx, TxnError};
 use crate::{read_validates, write_validates};
 
@@ -258,9 +259,14 @@ impl TxnCtx<'_> {
         };
         phase_span(Phase::Execute.name(), exec_ns);
 
-        // C.1: lock remote read + write sets in global order.
+        // C.1: lock remote read + write sets in global order. Rung 2 of
+        // the escalation ladder (DESIGN.md §15) acquires in *wait mode*:
+        // busy locks are spun on under a bounded budget instead of
+        // aborting on first sight, so a large transaction keeps what it
+        // already won. Global order keeps wait mode deadlock-free.
         let locks = self.remote_lock_addrs();
-        if let Err((held, err)) = self.lock_all(&locks).await {
+        let wait_mode = self.pessimistic_c1();
+        if let Err((held, err)) = self.lock_all(&locks, wait_mode).await {
             // On `Crashed` the machine died mid-acquisition (`lock_all`
             // refused to issue further verbs) and `unlock_all` is a
             // no-op: whatever it already locked dangles for the
@@ -458,6 +464,67 @@ impl TxnCtx<'_> {
         }
     }
 
+    /// Whether C.1 should acquire in wait mode (rung 2 of the ladder,
+    /// DESIGN.md §15): either the worker's conflict streak armed
+    /// pessimism for this retry, or a touched table's policy is
+    /// [`ContentionPolicy::AlwaysPessimistic`]. Always `false` while
+    /// contention management is off, keeping the legacy path
+    /// byte-identical.
+    fn pessimistic_c1(&self) -> bool {
+        let opts = &self.w.cluster.opts;
+        if !opts.contention_active() {
+            return false;
+        }
+        self.w.force_pessimistic
+            || self
+                .r_rs
+                .iter()
+                .map(|e| e.table)
+                .chain(self.r_ws.iter().map(|e| e.table))
+                .any(|t| opts.contention_for(t) == ContentionPolicy::AlwaysPessimistic)
+    }
+
+    /// Attributes an abort to the record behind lock address `addr`, so
+    /// the retry loop's escalation ladder can target its `(table, key)`.
+    /// `lockish` marks lock-occupancy conflicts (someone holds the
+    /// record and will release it — eligible for rung-3 parking);
+    /// validation conflicts have no holder and never park.
+    fn note_conflict(&mut self, addr: LockAddr, lockish: bool) {
+        if !self.w.cluster.opts.contention_active() {
+            return;
+        }
+        let (node, rec_off) = addr;
+        let id = self
+            .r_rs
+            .iter()
+            .find(|e| e.node == node && e.rec_off == rec_off)
+            .map(|e| (e.table, e.key))
+            .or_else(|| {
+                self.r_ws
+                    .iter()
+                    .find(|e| e.node == node && e.rec_off == rec_off)
+                    .map(|e| (e.table, e.key))
+            })
+            .or_else(|| {
+                // Fallback-path addresses cover local records too.
+                if node != self.w.node {
+                    return None;
+                }
+                self.l_ws
+                    .iter()
+                    .find(|e| e.rec_off == rec_off)
+                    .map(|e| (e.table, e.key))
+            });
+        if let Some((table, key)) = id {
+            self.w.last_conflict = Some(ConflictSite {
+                table,
+                key,
+                addr,
+                lockish,
+            });
+        }
+    }
+
     /// Acquires every lock in `addrs` (already sorted) with RDMA CAS —
     /// batched one doorbell per destination node, or one blocking CAS
     /// per record on the legacy path.
@@ -466,16 +533,26 @@ impl TxnCtx<'_> {
     /// can win later CASes of a batch whose earlier one lost, so this is
     /// not always a prefix of `addrs`) plus the error to surface; the
     /// caller releases them. Locks owned by machines outside the current
-    /// configuration are stolen, healed and kept (§5.2).
-    async fn lock_all(&mut self, addrs: &[LockAddr]) -> Result<(), (Vec<LockAddr>, TxnError)> {
+    /// configuration are stolen, healed and kept (§5.2). With `wait`,
+    /// busy words are spun on under a [`SpinBudget`] (rung 2) instead of
+    /// failing on first sight.
+    async fn lock_all(
+        &mut self,
+        addrs: &[LockAddr],
+        wait: bool,
+    ) -> Result<(), (Vec<LockAddr>, TxnError)> {
         if self.batched_verbs() {
-            self.lock_all_batched(addrs).await
+            self.lock_all_batched(addrs, wait).await
         } else {
-            self.lock_all_blocking(addrs)
+            self.lock_all_blocking(addrs, wait).await
         }
     }
 
-    fn lock_all_blocking(&mut self, addrs: &[LockAddr]) -> Result<(), (Vec<LockAddr>, TxnError)> {
+    async fn lock_all_blocking(
+        &mut self,
+        addrs: &[LockAddr],
+        wait: bool,
+    ) -> Result<(), (Vec<LockAddr>, TxnError)> {
         let cluster = Arc::clone(&self.w.cluster);
         let me = lock_word(self.w.node);
         let members = cluster.config.get();
@@ -486,9 +563,12 @@ impl TxnCtx<'_> {
             if !members.contains(node) {
                 return Err((addrs[..i].to_vec(), self.lock_fail_err()));
             }
-            match self.acquire_one(node, rec_off, me) {
+            match self.acquire_one(node, rec_off, me, wait).await {
                 OneLock::Acquired => {}
-                OneLock::Busy => return Err((addrs[..i].to_vec(), self.lock_fail_err())),
+                OneLock::Busy => {
+                    self.note_conflict((node, rec_off), true);
+                    return Err((addrs[..i].to_vec(), self.lock_fail_err()));
+                }
                 OneLock::Dead => return Err((addrs[..i].to_vec(), TxnError::Crashed)),
             }
         }
@@ -502,6 +582,7 @@ impl TxnCtx<'_> {
     async fn lock_all_batched(
         &mut self,
         addrs: &[LockAddr],
+        wait: bool,
     ) -> Result<(), (Vec<LockAddr>, TxnError)> {
         let cluster = Arc::clone(&self.w.cluster);
         let me = lock_word(self.w.node);
@@ -542,9 +623,12 @@ impl TxnCtx<'_> {
                         if failed.is_some() {
                             continue;
                         }
-                        match self.acquire_one(node, rec_off, me) {
+                        match self.acquire_one(node, rec_off, me, wait).await {
                             OneLock::Acquired => acquired.push((node, rec_off)),
-                            OneLock::Busy => failed = Some(self.lock_fail_err()),
+                            OneLock::Busy => {
+                                self.note_conflict((node, rec_off), true);
+                                failed = Some(self.lock_fail_err());
+                            }
                             OneLock::Dead => failed = Some(TxnError::Crashed),
                         }
                     }
@@ -570,9 +654,16 @@ impl TxnCtx<'_> {
     /// configuration is stolen (release-then-relock would let another
     /// writer slip in before the repair), the record rolled forward to
     /// its freshest durable version, and the lock kept.
-    fn acquire_one(&mut self, node: NodeId, rec_off: usize, me: u64) -> OneLock {
+    ///
+    /// With `wait`, a word held by a *live* member is retried under a
+    /// [`SpinBudget`] — the same bounded spin-with-backoff the `drtm2pl`
+    /// baseline's 2PL acquisition uses — instead of returning
+    /// [`OneLock::Busy`] on first sight (rung 2 of the ladder). The spin
+    /// parks between CASes, so the holder's routine can run.
+    async fn acquire_one(&mut self, node: NodeId, rec_off: usize, me: u64, wait: bool) -> OneLock {
         let cluster = Arc::clone(&self.w.cluster);
         let members = cluster.config.get();
+        let mut budget = SpinBudget::default();
         loop {
             // A dead machine issues no verbs (its QPs died with it).
             // Without this per-attempt check, a worker thread of the
@@ -593,7 +684,18 @@ impl TxnCtx<'_> {
                         }
                         continue;
                     }
-                    return OneLock::Busy;
+                    if !wait {
+                        return OneLock::Busy;
+                    }
+                    let Some(ns) = budget.step(&mut self.w.rng) else {
+                        // Budget spent: the record is convoyed beyond
+                        // what waiting should absorb — give up and let
+                        // the ladder escalate to parking.
+                        return OneLock::Busy;
+                    };
+                    self.w.clock.advance(ns);
+                    std::thread::yield_now();
+                    self.w.spin_yield().await;
                 }
             }
         }
@@ -607,7 +709,9 @@ impl TxnCtx<'_> {
     fn unlock_all(&mut self, addrs: &[LockAddr]) {
         // A dead machine cannot release its own locks — that is the
         // recovery sweep's job (which may already have stolen them, so a
-        // CAS here could also spuriously fail the assertion below).
+        // CAS here could also spuriously fail the assertion below). Its
+        // parked waiters get no grant either: they drain through the
+        // park-poll liveness bound instead.
         if !self.w.cluster.is_alive(self.w.node) {
             return;
         }
@@ -617,6 +721,7 @@ impl TxnCtx<'_> {
                 let res = self.remote_cas(node, rec_off, me, LOCK_FREE);
                 debug_assert!(res.is_ok(), "lost a lock we held");
             }
+            self.grant_waiters(addrs);
             return;
         }
         // `addrs` is sorted (the lock set, or the acquired subset of it,
@@ -657,6 +762,22 @@ impl TxnCtx<'_> {
                 }
             }
             i = end;
+        }
+        self.grant_waiters(addrs);
+    }
+
+    /// C.6's half of the rung-3 protocol (DESIGN.md §15): after the lock
+    /// words are free, grant one parked waiter per released address so a
+    /// convoy drains in park order. Free when no waiters are registered;
+    /// skipped entirely while contention management is off.
+    fn grant_waiters(&self, addrs: &[LockAddr]) {
+        if !self.w.cluster.opts.contention_active() {
+            return;
+        }
+        for &addr in addrs {
+            if self.w.cluster.waiters.grant(addr) {
+                self.w.obs.note_key_grant();
+            }
         }
     }
 
@@ -925,10 +1046,12 @@ impl TxnCtx<'_> {
             let h = hdrs[i];
             if h.incarnation != seen_inc {
                 self.invalidate_cached_read(i);
+                self.note_conflict(addrs[i], false);
                 return Err(TxnError::Aborted(AbortReason::Incarnation));
             }
             if !read_validates(seen_seq, h.seq) {
                 self.invalidate_cached_read(i);
+                self.note_conflict(addrs[i], false);
                 return Err(TxnError::Aborted(AbortReason::Validation));
             }
         }
@@ -939,6 +1062,7 @@ impl TxnCtx<'_> {
             let seq = hdrs[self.r_rs.len() + i].seq;
             if !write_validates(seq) {
                 // Still uncommittable: its writer has not replicated yet.
+                self.note_conflict(addrs[self.r_rs.len() + i], false);
                 return Err(TxnError::Aborted(AbortReason::Validation));
             }
             new_seqs.push(seq + 2);
@@ -971,14 +1095,16 @@ impl TxnCtx<'_> {
                 t.read_u64(CONTROL_LINE_OFF)?;
             }
             // C.3: validate local reads (sequence number + incarnation).
+            // The error side carries the conflicted l_ws index (when
+            // one is known) for the ladder's abort attribution.
             for e in l_rs {
                 let inc = t.read_u64(e.rec_off + INCARNATION_OFF)?;
                 let seq = t.read_u64(e.rec_off + SEQ_OFF)?;
                 if inc != e.incarnation {
-                    return Ok(Err(AbortReason::Incarnation));
+                    return Ok(Err((AbortReason::Incarnation, None)));
                 }
                 if !read_validates(e.seq, seq) {
-                    return Ok(Err(AbortReason::Validation));
+                    return Ok(Err((AbortReason::Validation, None)));
                 }
             }
             // C.4 precondition: no remote committer may hold a local
@@ -986,14 +1112,14 @@ impl TxnCtx<'_> {
             // region began; the CAS after XBEGIN would abort us, but the
             // CAS before it would not — hence the explicit check).
             let mut cur_seqs = Vec::with_capacity(l_ws.len());
-            for e in l_ws {
+            for (i, e) in l_ws.iter().enumerate() {
                 let lock = t.read_u64(e.rec_off)?;
                 if lock != LOCK_FREE {
-                    return Ok(Err(AbortReason::LockBusy));
+                    return Ok(Err((AbortReason::LockBusy, Some(i))));
                 }
                 let seq = t.read_u64(e.rec_off + SEQ_OFF)?;
                 if !write_validates(seq) {
-                    return Ok(Err(AbortReason::Validation));
+                    return Ok(Err((AbortReason::Validation, None)));
                 }
                 cur_seqs.push(seq);
             }
@@ -1028,7 +1154,19 @@ impl TxnCtx<'_> {
         match outcome {
             RunOutcome::Committed { value, retries } => {
                 self.w.clock.advance(per_attempt * (retries as u64 + 1));
-                Ok(value)
+                Ok(match value {
+                    Ok(seqs) => Ok(seqs),
+                    Err((reason, busy_idx)) => {
+                        if let Some(i) = busy_idx {
+                            // A remote committer holds this local
+                            // write-set record: a lock-occupancy
+                            // conflict the ladder can park on.
+                            let rec_off = self.l_ws[i].rec_off;
+                            self.note_conflict((self.w.node, rec_off), true);
+                        }
+                        Err(reason)
+                    }
+                })
             }
             RunOutcome::Fallback(_) => {
                 let max = cluster.opts.htm.max_retries as u64 + 1;
@@ -1230,6 +1368,11 @@ impl TxnCtx<'_> {
             }
             if !already_locked {
                 store.region.store64_coherent(rec_off, LOCK_FREE);
+                // Local release: grant a parked waiter of this record,
+                // like C.6 does for the commit-path unlock.
+                if cluster.opts.contention_active() && cluster.waiters.grant((me, rec_off)) {
+                    self.w.obs.note_key_grant();
+                }
             }
             self.w.clock.advance(cluster.opts.cost.mem_access_ns);
         }
@@ -1289,7 +1432,8 @@ impl TxnCtx<'_> {
         addrs.sort_unstable();
         addrs.dedup();
 
-        if let Err((held, err)) = self.lock_all(&addrs).await {
+        let wait_mode = self.pessimistic_c1();
+        if let Err((held, err)) = self.lock_all(&addrs, wait_mode).await {
             self.unlock_all(&held);
             return Err(err);
         }

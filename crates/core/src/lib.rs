@@ -36,11 +36,16 @@
 //!   every doorbell instead of spinning on the CQ, so independent
 //!   transactions' verb latencies overlap while their CPU segments stay
 //!   serialized on one simulated core.
+//! * [`contention`] — adaptive contention management for hot keys
+//!   (DESIGN.md §15): a per-key conflict tracker drives a three-rung
+//!   escalation ladder from randomized backoff through pessimistic C.1
+//!   locking to cooperative park/grant wakeup on the unlock path.
 
 #![deny(missing_docs)]
 
 pub mod cluster;
 pub mod commit;
+pub mod contention;
 pub mod obs_bridge;
 pub mod recovery;
 pub mod replication;
@@ -48,6 +53,7 @@ pub mod routine;
 pub mod txn;
 
 pub use cluster::{CrashPointHook, DrtmCluster, EngineOpts};
+pub use contention::{ConflictTracker, ContentionPolicy, SpinBudget, WaitRegistry};
 pub use obs_bridge::scrape_cluster;
 pub use recovery::{full_restart_scrub, recover_node, RecoveryReport};
 pub use replication::BackupStore;

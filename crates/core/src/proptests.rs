@@ -275,6 +275,15 @@ impl drtm_rdma::FaultInjector for EveryKthDelay {
 /// seeded + committed increments — a stale read or lost write would
 /// break the equality.
 fn routine_conservation_case(inject: bool, rs: &[usize], txns_per_routine: usize) {
+    routine_conservation_case_with(inject, rs, txns_per_routine, crate::ContentionPolicy::Off);
+}
+
+fn routine_conservation_case_with(
+    inject: bool,
+    rs: &[usize],
+    txns_per_routine: usize,
+    contention: crate::ContentionPolicy,
+) {
     let mut seeds = SplitMix64::new(if inject { 0x5eed_000e } else { 0x5eed_000d });
     for &r in rs {
         let seed = seeds.below(1 << 20);
@@ -282,6 +291,7 @@ fn routine_conservation_case(inject: bool, rs: &[usize], txns_per_routine: usize
         let opts = EngineOpts::builder()
             .replicas(replicas)
             .region_size(2 << 20)
+            .contention(contention)
             .build();
         let c = DrtmCluster::new(3, &[TableSpec::hash(T, 1024, 16)], opts);
         for shard in 0..3usize {
@@ -397,6 +407,28 @@ fn high_r_routine_schedules_conserve() {
 #[test]
 fn high_r_routine_schedules_conserve_under_delay() {
     routine_conservation_case(true, &[64, 256], 3);
+}
+
+/// The escalation ladder (DESIGN.md §15) under the same conservation
+/// audit, at R ∈ {8, 64}: 12 hot keys shared by up to 192 routines
+/// guarantee rung 2 (pessimistic C.1) and rung 3 (park on a per-key
+/// wait list, granted by the holder's unlock) both fire, so a
+/// serializability hole in either rung — a forced lock leaking past an
+/// abort, a granted waiter resuming against stale state — would break
+/// the audited total.
+#[test]
+fn contended_routine_schedules_conserve_with_ladder() {
+    routine_conservation_case_with(false, &[8, 64], 6, crate::ContentionPolicy::Escalate);
+}
+
+/// `always-pessimistic` is rung 2 on every attempt — every C.1 spins
+/// on busy locks instead of aborting. Conservation plus termination at
+/// R = 8 shows the wait-mode lock path cannot deadlock the reactor:
+/// spins are bounded (`SpinBudget`) and fall back to an abort, never a
+/// blocked OS thread.
+#[test]
+fn always_pessimistic_schedules_conserve() {
+    routine_conservation_case_with(false, &[8], 8, crate::ContentionPolicy::AlwaysPessimistic);
 }
 
 /// Concurrent random transfers conserve the total for arbitrary seeds

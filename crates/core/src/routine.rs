@@ -69,6 +69,11 @@
 //! * A routine spinning on an engine lock must yield
 //!   ([`Worker`]'s `spin_yield`): the conflicting holder may be a
 //!   parked routine of the same pool, and only the reactor can run it.
+//!   The contention ladder's waiters (DESIGN.md §15) ride this same
+//!   primitive — a routine parked on a per-key wait list polls its
+//!   grant through `spin_yield`, so it stays perpetually runnable and
+//!   flush-exempt exactly like a lock spin, and the §14 quiescence
+//!   rules need no new park kind.
 //! * Routine bodies must be genuinely async: driving one with
 //!   `drtm_base::task::block_now` outside a pool panics at the first
 //!   real suspension point rather than deadlocking.

@@ -1302,3 +1302,78 @@ fn serve_drains_external_submissions_and_stops_on_close() {
     }
     assert_eq!(total, 8 * 200, "transfers conserve");
 }
+
+/// Starvation regression (DESIGN.md §15): one transaction that
+/// read-modify-writes 16 hot keys across both shards races a storm of
+/// single-key writers hammering the same keys. Under pure rung-1
+/// backoff the large transaction can lose the backoff lottery
+/// indefinitely — every retry finds some key re-locked by a small
+/// writer. Under `escalate`, two consecutive aborts on the same key
+/// force rung 2 (pessimistic C.1), which spins busy locks free instead
+/// of re-rolling the whole transaction, so the 16-key transaction must
+/// commit within a small bounded number of attempts no matter how fast
+/// the storm re-locks.
+#[test]
+fn large_txn_commits_bounded_under_escalate() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let opts = EngineOpts::builder()
+        .replicas(1)
+        .region_size(4 << 20)
+        .contention(crate::ContentionPolicy::Escalate)
+        .build();
+    let c = DrtmCluster::new(2, &schema(), opts);
+    for shard in 0..2usize {
+        for k in 0..8u64 {
+            c.seed_record(shard, T_ACCT, key(shard, k), &val(100));
+        }
+    }
+    let done = Arc::new(AtomicBool::new(false));
+    // The storm: four writers, two homed on each machine, each
+    // re-locking one of the 16 hot keys at a time as fast as it can.
+    let mut storm = Vec::new();
+    for node in 0..2usize {
+        for t in 0..2usize {
+            let c = Arc::clone(&c);
+            let done = Arc::clone(&done);
+            storm.push(std::thread::spawn(move || {
+                let mut w = c.worker(node, 10 + (node * 2 + t) as u64);
+                let mut i = (node * 2 + t) as u64;
+                while !done.load(Ordering::Relaxed) {
+                    let shard = (i % 2) as usize;
+                    let k = key(shard, i % 8);
+                    let _ = w.run(|t| {
+                        let v = num(&t.read(shard, T_ACCT, k)?);
+                        t.write(shard, T_ACCT, k, val(v + 1))
+                    });
+                    i = i.wrapping_add(3);
+                }
+            }));
+        }
+    }
+    let mut w = c.worker(0, 1);
+    let before = w.stats.aborted;
+    w.run(|t| {
+        for shard in 0..2usize {
+            for k in 0..8u64 {
+                let v = num(&t.read(shard, T_ACCT, key(shard, k))?);
+                t.write(shard, T_ACCT, key(shard, k), val(v + 1))?;
+            }
+        }
+        Ok(())
+    })
+    .expect("the 16-key transaction must commit");
+    let attempts = w.stats.aborted - before + 1;
+    done.store(true, Ordering::Relaxed);
+    for h in storm {
+        h.join().unwrap();
+    }
+    assert!(
+        attempts <= 64,
+        "escalation must bound the big transaction's attempts, took {attempts}"
+    );
+    let snap = crate::scrape_cluster(&c);
+    assert!(
+        snap.contention.pessimistic > 0 || attempts <= crate::contention::PESSIMISTIC_AFTER as u64,
+        "a bounded win over the storm should have used rung 2: {snap:?}"
+    );
+}

@@ -17,6 +17,7 @@ use drtm_store::record::{parse_consistent, remote_read_consistent, LOCK_FREE};
 use drtm_store::{CachedRecord, LocationCache, TableId, ValueCache};
 
 use crate::cluster::DrtmCluster;
+use crate::contention::{self, ConflictSite, ConflictTracker, ContentionPolicy};
 use crate::routine::RoutineCtl;
 
 /// Why a transaction could not commit.
@@ -147,6 +148,17 @@ pub struct Worker {
     /// Wall-clock ns (trace epoch) when the traced transaction began —
     /// the start of its `execute` phase span.
     pub(crate) trace_wall_ns: u64,
+    /// Consecutive-abort streaks per `(table, key)` feeding the
+    /// escalation ladder (DESIGN.md §15). Inert while every table's
+    /// contention policy is `Off`.
+    pub(crate) tracker: ConflictTracker,
+    /// The site the most recent abort was attributed to, recorded at
+    /// the failure point (C.1 busy, C.2 mismatch, a held local lock)
+    /// and consumed by the retry loop's ladder dispatch.
+    pub(crate) last_conflict: Option<ConflictSite>,
+    /// Rung 2: the next commit acquires its C.1 locks in wait mode.
+    /// Set by the ladder after a conflict streak, cleared on commit.
+    pub(crate) force_pessimistic: bool,
 }
 
 /// A local read-set entry.
@@ -240,6 +252,9 @@ impl Worker {
             wait_accum_ns: 0,
             trace_id: 0,
             trace_wall_ns: 0,
+            tracker: ConflictTracker::new(),
+            last_conflict: None,
+            force_pessimistic: false,
         }
     }
 
@@ -517,7 +532,13 @@ impl Worker {
             let mut ctx = self.begin_inner(read_only);
             match body(&mut ctx).await {
                 Ok(value) => match ctx.commit_async().await {
-                    Ok(()) => return Ok(value),
+                    Ok(()) => {
+                        // Ladder bookkeeping: plain field writes, so the
+                        // policy-off path stays byte-identical.
+                        self.tracker.note_commit();
+                        self.force_pessimistic = false;
+                        return Ok(value);
+                    }
                     Err(e @ (TxnError::Aborted(_) | TxnError::Transport(_))) => last = e,
                     Err(e) => return Err(e),
                 },
@@ -564,18 +585,97 @@ impl Worker {
                 }
                 Err(e) => return Err(e),
             }
-            // Randomised virtual-time backoff, growing with the attempt;
-            // the host-level yield prevents retry storms from starving
-            // the conflicting transaction on an oversubscribed host, and
-            // the routine yield hands the baton to a parked routine of
-            // the same pool — which may be the conflicting lock holder.
-            let cap = 1u64 << (attempt.min(10) as u32 + 7);
-            let ns = self.rng.below(cap);
-            self.clock.advance(ns);
+            // Conflict response. With contention management off this is
+            // the paper's §4.3 randomized backoff; otherwise the
+            // escalation ladder (DESIGN.md §15) picks a rung from the
+            // conflicted key's consecutive-abort streak.
+            let escalation = self
+                .last_conflict
+                .take()
+                .map(|s| (s, self.cluster.opts.contention_for(s.table)))
+                .filter(|(_, p)| *p != ContentionPolicy::Off);
+            match escalation {
+                None => self.retry_backoff(attempt).await,
+                Some((site, policy)) => self.escalate(site, policy, attempt).await,
+            }
+        }
+        self.force_pessimistic = false;
+        Err(last)
+    }
+
+    /// Rung 1 — the paper's randomised virtual-time backoff, growing
+    /// with the attempt. The host-level yield prevents retry storms
+    /// from starving the conflicting transaction on an oversubscribed
+    /// host; the spin park keeps this routine perpetually runnable and
+    /// flush-exempt in the reactor's poll loop (§14), so every other
+    /// runnable routine — possibly the conflicting lock holder — is
+    /// polled through to its wake horizon before the retry runs.
+    async fn retry_backoff(&mut self, attempt: usize) {
+        let cap = 1u64 << (attempt.min(10) as u32 + 7);
+        let ns = self.rng.below(cap);
+        self.clock.advance(ns);
+        std::thread::yield_now();
+        self.spin_yield().await;
+    }
+
+    /// One escalation-ladder response (DESIGN.md §15) to an abort
+    /// attributed to `site` under `policy` (never `Off` here): bump the
+    /// key's streak, arm rung 2 (pessimistic C.1) past its threshold,
+    /// and either park on the key's wait list (rung 3) or fall back to
+    /// the rung-1 backoff.
+    async fn escalate(&mut self, site: ConflictSite, policy: ContentionPolicy, attempt: usize) {
+        let streak = self.tracker.note_abort(site.table, site.key);
+        self.force_pessimistic = policy == ContentionPolicy::AlwaysPessimistic
+            || streak >= contention::PESSIMISTIC_AFTER;
+        if self.force_pessimistic {
+            self.obs.note_contention_pessimistic();
+            drtm_obs::trace::event(
+                EventKind::Contention,
+                "pessimistic",
+                self.node as u64,
+                self.clock.now(),
+            );
+        }
+        if site.lockish && streak >= contention::PARK_AFTER {
+            self.park_on_key(site.addr).await;
+        } else {
+            self.retry_backoff(attempt).await;
+        }
+    }
+
+    /// Rung 3 — parks on `addr`'s wait list until the unlock path (C.6
+    /// or the local rollback release) grants this routine, or the
+    /// liveness bound expires (the holder may have died with the lock
+    /// held). Each poll charges a fixed virtual-time cost and rides the
+    /// reactor's spin-park protocol, so parked waiters stay
+    /// flush-exempt (§14) and a convoy drains in wake-horizon order
+    /// instead of by backoff lottery.
+    async fn park_on_key(&mut self, addr: (NodeId, usize)) {
+        let ticket = self.cluster.waiters.park(addr);
+        let parked_at = self.clock.now();
+        self.obs.note_key_park();
+        drtm_obs::trace::event(EventKind::Contention, "park", self.node as u64, parked_at);
+        let mut polls = 0u32;
+        let granted = loop {
+            if self.cluster.waiters.ready(addr, ticket) {
+                break true;
+            }
+            polls += 1;
+            if polls > contention::PARK_SPIN_CAP {
+                break false;
+            }
+            self.clock.advance(contention::PARK_POLL_NS);
             std::thread::yield_now();
             self.spin_yield().await;
-        }
-        Err(last)
+        };
+        let span = self.clock.now().saturating_sub(parked_at);
+        self.obs.note_key_unpark(span);
+        drtm_obs::trace::event(
+            EventKind::Contention,
+            if granted { "grant" } else { "park-timeout" },
+            self.node as u64,
+            self.clock.now(),
+        );
     }
 }
 
@@ -607,7 +707,10 @@ impl<'w> TxnCtx<'w> {
     /// Runs a small HTM region that first checks the record's lock word:
     /// if a remote committer holds the lock, the HTM region aborts and
     /// the read retries with randomised backoff (§4.3 — the "necessary
-    /// false abort"). The backoff is a reactor yield point; the HTM
+    /// false abort"). The backoff parks the routine as a spin wait in
+    /// the reactor's poll loop (§14): spin parks stay perpetually
+    /// runnable and flush-exempt, so the read cannot wedge a deferred
+    /// doorbell flush while it waits out the lock holder. The HTM
     /// region itself is opened and closed without suspending. Buffered
     /// own-writes win.
     pub async fn read_local_async(
@@ -644,8 +747,8 @@ impl<'w> TxnCtx<'w> {
                         // HTM region and retry after a randomised wait.
                         // The real yield lets the (possibly descheduled)
                         // lock holder run on an oversubscribed host; the
-                        // routine yield happens only after the region is
-                        // dropped — never inside it.
+                        // spin-park poll happens only after the region is
+                        // dropped — HTM never spans a reactor yield (§14).
                         drop(htm);
                         let ns = self.w.rng.below(2_000);
                         self.charge(ns);
@@ -665,6 +768,14 @@ impl<'w> TxnCtx<'w> {
             }
         }
         let Some((incarnation, seq)) = result else {
+            // Attribute the abort to this record's lock occupancy so the
+            // escalation ladder (DESIGN.md §15) can target the key.
+            self.w.last_conflict = Some(ConflictSite {
+                table,
+                key,
+                addr: (self.w.node, rec_off),
+                lockish: true,
+            });
             return Err(TxnError::Aborted(AbortReason::LocalLockBusy));
         };
         self.l_rs.push(LocalRead {

@@ -121,6 +121,26 @@ pub fn render_prometheus(s: &Snapshot) -> String {
         s.pipeline.wake_lag_ns
     );
 
+    out.push_str("# TYPE drtm_contention_pessimistic_total counter\n");
+    let _ = writeln!(
+        out,
+        "drtm_contention_pessimistic_total {}",
+        s.contention.pessimistic
+    );
+    out.push_str("# TYPE drtm_contention_park_total counter\n");
+    let _ = writeln!(out, "drtm_contention_park_total {}", s.contention.parks);
+    out.push_str("# TYPE drtm_contention_grant_total counter\n");
+    let _ = writeln!(out, "drtm_contention_grant_total {}", s.contention.grants);
+    out.push_str("# TYPE drtm_contention_waiters gauge\n");
+    let _ = writeln!(out, "drtm_contention_waiters {}", s.contention.waiting());
+    out.push_str("# TYPE drtm_contention_parked_ns summary\n");
+    prom_summary(
+        &mut out,
+        "drtm_contention_parked_ns",
+        "",
+        &s.contention.parked_ns,
+    );
+
     out.push_str("# TYPE drtm_net_conns_opened_total counter\n");
     let _ = writeln!(out, "drtm_net_conns_opened_total {}", s.net.conns_opened);
     out.push_str("# TYPE drtm_net_conns_closed_total counter\n");
@@ -230,6 +250,17 @@ pub fn render_json(s: &Snapshot) -> String {
         s.pipeline.avg_depth(),
         s.pipeline.wake_lag_ns
     );
+    let _ = write!(
+        out,
+        ",\"contention\":{{\"pessimistic\":{},\"parks\":{},\"unparks\":{},\"grants\":{},\"waiters\":{},\"parked_ns\":",
+        s.contention.pessimistic,
+        s.contention.parks,
+        s.contention.unparks,
+        s.contention.grants,
+        s.contention.waiting()
+    );
+    json_summary(&mut out, &s.contention.parked_ns);
+    out.push('}');
     let _ = write!(
         out,
         ",\"net\":{{\"conns_opened\":{},\"conns_closed\":{},\"accepted\":{},\"rejected\":{},\"completed\":{},\"in_flight\":{},\"queue_depth\":{},\"queue_wait_ns\":",
@@ -389,6 +420,17 @@ pub fn render_text(s: &Snapshot) -> String {
             us(s.pipeline.wake_lag_ns) / s.pipeline.wakes as f64
         );
     }
+    if s.contention.pessimistic + s.contention.parks + s.contention.grants > 0 {
+        let _ = writeln!(
+            out,
+            "contention: {} pessimistic commits, {} parks ({} granted, {} waiting), parked mean {:.1} us",
+            s.contention.pessimistic,
+            s.contention.parks,
+            s.contention.grants,
+            s.contention.waiting(),
+            s.contention.parked_ns.mean / 1_000.0
+        );
+    }
     if s.net.conns_opened > 0 || s.net.accepted + s.net.rejected > 0 {
         let _ = writeln!(
             out,
@@ -469,6 +511,11 @@ mod tests {
         sh.note_reactor(3, 100);
         sh.note_reactor(1, 50);
         sh.note_phase_wait(Phase::Lock, 150);
+        sh.note_contention_pessimistic();
+        sh.note_key_park();
+        sh.note_key_park();
+        sh.note_key_unpark(400);
+        sh.note_key_grant();
         let mut s = r.scrape();
         s.htm[0].1 = 3;
         s.nic = vec![
@@ -527,6 +574,10 @@ mod tests {
         ));
         assert!(out.contains("\"phase_waits_ns\":{"));
         assert!(out.contains(
+            "\"contention\":{\"pessimistic\":1,\"parks\":2,\"unparks\":1,\"grants\":1,\
+             \"waiters\":1,\"parked_ns\":"
+        ));
+        assert!(out.contains(
             "\"net\":{\"conns_opened\":4,\"conns_closed\":1,\"accepted\":90,\"rejected\":10,\
              \"completed\":88,\"in_flight\":2,\"queue_depth\":1,\"queue_wait_ns\":"
         ));
@@ -561,6 +612,11 @@ mod tests {
         assert!(out.contains("drtm_reactor_wakes_total 2"));
         assert!(out.contains("drtm_reactor_depth_avg 2.0000"));
         assert!(out.contains("drtm_reactor_wake_lag_ns_total 150"));
+        assert!(out.contains("drtm_contention_pessimistic_total 1"));
+        assert!(out.contains("drtm_contention_park_total 2"));
+        assert!(out.contains("drtm_contention_grant_total 1"));
+        assert!(out.contains("drtm_contention_waiters 1"));
+        assert!(out.contains("drtm_contention_parked_ns_count 1"));
         assert!(out.contains("drtm_commit_phase_wait_ns_count{phase=\"lock\"} 1"));
         assert!(out.contains("drtm_net_accepted_total 90"));
         assert!(out.contains("drtm_net_rejected_total 10"));
@@ -659,6 +715,7 @@ mod tests {
         assert!(out.contains("routines: 4 in flight"));
         assert!(out.contains("75.0% hidden"));
         assert!(out.contains("reactor: 2 wakes, mean depth 2.0"));
+        assert!(out.contains("contention: 1 pessimistic commits, 2 parks (1 granted, 1 waiting)"));
         assert!(out.contains("serving: 4 conns (1 closed), 90 accepted, 10 rejected"));
         assert!(out.contains("10.0% shed"));
     }
@@ -668,5 +725,6 @@ mod tests {
         let out = render_text(&Snapshot::empty());
         assert!(!out.contains("value cache"));
         assert!(!out.contains("serving:"));
+        assert!(!out.contains("contention:"));
     }
 }

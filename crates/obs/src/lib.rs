@@ -44,7 +44,8 @@ pub mod timeseries;
 pub mod trace;
 
 pub use registry::{
-    CacheStats, HistSummary, MachineRow, NetStats, NicRow, PipelineStats, Registry, Shard, Snapshot,
+    CacheStats, ContentionStats, HistSummary, MachineRow, NetStats, NicRow, PipelineStats,
+    Registry, Shard, Snapshot,
 };
 pub use timeseries::{TsRing, TsSample};
 pub use trace::{EvPhase, EventKind, TraceEvent, TraceRing};

@@ -70,6 +70,18 @@ pub struct Shard {
     /// time (its batch horizon) and the instant the reactor actually
     /// resumed it (another routine's CPU segment was in the way).
     pub reactor_lag_ns: Counter,
+    /// Commits forced onto rung 2 of the contention ladder (pessimistic
+    /// wait-mode C.1 acquisition, DESIGN.md §15).
+    pub contention_pessimistic: Counter,
+    /// Routines parked on a hot key's wait list (rung 3).
+    pub key_parks: Counter,
+    /// Parked routines that resumed (granted or timed out);
+    /// `parks − unparks` is the live waiters gauge.
+    pub key_unparks: Counter,
+    /// Grants handed to parked waiters by the unlock paths.
+    pub key_grants: Counter,
+    /// Virtual ns each parked routine spent on a key's wait list.
+    pub parked_ns: Histogram,
 }
 
 impl Shard {
@@ -94,6 +106,11 @@ impl Shard {
             reactor_wakes: Counter::new(),
             reactor_depth_sum: Counter::new(),
             reactor_lag_ns: Counter::new(),
+            contention_pessimistic: Counter::new(),
+            key_parks: Counter::new(),
+            key_unparks: Counter::new(),
+            key_grants: Counter::new(),
+            parked_ns: Histogram::new(),
         }
     }
 
@@ -209,6 +226,40 @@ impl Shard {
             self.reactor_lag_ns.add(lag_ns);
         }
     }
+
+    /// Records a commit escalated to rung 2 (pessimistic wait-mode C.1).
+    #[inline]
+    pub fn note_contention_pessimistic(&self) {
+        if enabled() {
+            self.contention_pessimistic.inc();
+        }
+    }
+
+    /// Records a routine parking on a hot key's wait list (rung 3).
+    #[inline]
+    pub fn note_key_park(&self) {
+        if enabled() {
+            self.key_parks.inc();
+        }
+    }
+
+    /// Records a parked routine resuming after `span_ns` virtual ns on
+    /// the wait list (granted or timed out).
+    #[inline]
+    pub fn note_key_unpark(&self, span_ns: u64) {
+        if enabled() {
+            self.key_unparks.inc();
+            self.parked_ns.record(span_ns);
+        }
+    }
+
+    /// Records a grant handed to a parked waiter by an unlock path.
+    #[inline]
+    pub fn note_key_grant(&self) {
+        if enabled() {
+            self.key_grants.inc();
+        }
+    }
 }
 
 /// The per-cluster registry: hands out shards, merges them on scrape.
@@ -251,6 +302,7 @@ impl Registry {
         let latency = Histogram::new();
         let phases: [Histogram; Phase::COUNT] = std::array::from_fn(|_| Histogram::new());
         let phase_waits: [Histogram; Phase::COUNT] = std::array::from_fn(|_| Histogram::new());
+        let parked = Histogram::new();
         let mut snap = Snapshot::default();
         let mut machines: Vec<MachineRow> = Vec::new();
         for s in &shards {
@@ -278,6 +330,11 @@ impl Registry {
             snap.pipeline.wakes += s.reactor_wakes.get();
             snap.pipeline.depth_sum += s.reactor_depth_sum.get();
             snap.pipeline.wake_lag_ns += s.reactor_lag_ns.get();
+            snap.contention.pessimistic += s.contention_pessimistic.get();
+            snap.contention.parks += s.key_parks.get();
+            snap.contention.unparks += s.key_unparks.get();
+            snap.contention.grants += s.key_grants.get();
+            parked.merge(&s.parked_ns);
             match machines.iter_mut().find(|m| m.node == s.node) {
                 Some(m) => {
                     m.committed += s.committed.get();
@@ -294,6 +351,7 @@ impl Registry {
             }
         }
         machines.sort_by_key(|m| m.node);
+        snap.contention.parked_ns = HistSummary::of(&parked);
         snap.latency = HistSummary::of(&latency);
         snap.phases = Phase::ALL
             .iter()
@@ -332,6 +390,11 @@ impl Registry {
             s.reactor_wakes.take();
             s.reactor_depth_sum.take();
             s.reactor_lag_ns.take();
+            s.contention_pessimistic.take();
+            s.key_parks.take();
+            s.key_unparks.take();
+            s.key_grants.take();
+            s.parked_ns.reset();
             for h in &s.phase_waits {
                 h.reset();
             }
@@ -414,6 +477,30 @@ impl PipelineStats {
         } else {
             self.wake_lag_ns as f64 / self.wakes as f64
         }
+    }
+}
+
+/// Aggregated contention-ladder counters (merged across shards at
+/// scrape). All zero while every table's contention policy is off.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ContentionStats {
+    /// Commits escalated to rung 2 (pessimistic wait-mode C.1).
+    pub pessimistic: u64,
+    /// Routines parked on a key's wait list (rung 3).
+    pub parks: u64,
+    /// Parked routines that resumed (granted or timed out).
+    pub unparks: u64,
+    /// Grants the unlock paths handed to parked waiters.
+    pub grants: u64,
+    /// Time each parked routine spent waiting, virtual ns.
+    pub parked_ns: HistSummary,
+}
+
+impl ContentionStats {
+    /// Waiters gauge: routines currently parked on some key's wait list
+    /// (parks recorded but not yet resumed).
+    pub fn waiting(&self) -> u64 {
+        self.parks.saturating_sub(self.unparks)
     }
 }
 
@@ -555,6 +642,9 @@ pub struct Snapshot {
     /// Serving-tier counters (filled by a `drtm-net` server; all zero
     /// when no TCP front-end is attached).
     pub net: NetStats,
+    /// Contention-ladder counters (escalations, parks, grants; all zero
+    /// with contention management off).
+    pub contention: ContentionStats,
 }
 
 impl Snapshot {
@@ -590,6 +680,7 @@ impl Default for Snapshot {
                 .map(|p| (p.name(), HistSummary::default()))
                 .collect(),
             net: NetStats::default(),
+            contention: ContentionStats::default(),
         }
     }
 }
@@ -652,6 +743,29 @@ mod tests {
         let s = r.scrape();
         assert_eq!(s.cache, CacheStats::default());
         assert_eq!(s.cache.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn contention_counters_merge_and_reset() {
+        let r = Registry::new();
+        let a = r.shard(0);
+        let b = r.shard(1);
+        a.note_contention_pessimistic();
+        a.note_key_park();
+        b.note_key_park();
+        b.note_key_unpark(700);
+        b.note_key_grant();
+        let s = r.scrape();
+        assert_eq!(s.contention.pessimistic, 1);
+        assert_eq!(s.contention.parks, 2);
+        assert_eq!(s.contention.unparks, 1);
+        assert_eq!(s.contention.grants, 1);
+        assert_eq!(s.contention.waiting(), 1, "one park not yet resumed");
+        assert_eq!(s.contention.parked_ns.count, 1);
+        assert_eq!(s.contention.parked_ns.sum, 700);
+        r.reset();
+        let s = r.scrape();
+        assert_eq!(s.contention, ContentionStats::default());
     }
 
     #[test]

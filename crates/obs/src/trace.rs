@@ -67,6 +67,9 @@ pub enum EventKind {
     /// A commit-protocol phase span of a traced request (label is the
     /// `drtm_obs::Phase` name: execute, lock, … unlock).
     Phase,
+    /// A contention-ladder event (pessimistic escalation, park, grant,
+    /// park-timeout; DESIGN.md §15).
+    Contention,
     /// Free-form marker.
     Mark,
 }
@@ -87,6 +90,7 @@ impl EventKind {
             EventKind::Cache => "cache",
             EventKind::Net => "net",
             EventKind::Phase => "phase",
+            EventKind::Contention => "contention",
             EventKind::Mark => "mark",
         }
     }
@@ -103,6 +107,7 @@ impl EventKind {
             EventKind::Recovery => "recovery",
             EventKind::Cache => "cache",
             EventKind::Net => "net",
+            EventKind::Contention => "contention",
             EventKind::Mark => "mark",
         }
     }

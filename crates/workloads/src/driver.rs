@@ -17,7 +17,7 @@ use drtm_base::{Histogram, SplitMix64};
 use drtm_baselines::CalvinEngine;
 use drtm_core::cluster::{DrtmCluster, EngineOpts};
 use drtm_core::txn::{TxnError, Worker};
-use drtm_core::RoutinePool;
+use drtm_core::{ContentionPolicy, RoutinePool};
 
 use crate::engine::{EngineWorker, TxnApi};
 use crate::smallbank::{self, SbCfg};
@@ -80,6 +80,13 @@ pub struct RunCfg {
     /// default) is the unchanged legacy blocking path; baseline engines
     /// have no routine scheduler and always run as if `routines = 1`.
     pub routines: usize,
+    /// Contention-management policy for every table (DESIGN.md §15):
+    /// `Off` keeps the paper's randomized backoff byte-identical,
+    /// `Escalate` climbs the three-rung ladder on consecutive aborts,
+    /// `AlwaysPessimistic` takes wait-mode C.1 locks from the first
+    /// attempt. Defaults from `DRTM_CONTENTION` (`off` / `escalate` /
+    /// `always-pessimistic`) so A/B sweeps can toggle it per process.
+    pub contention: ContentionPolicy,
 }
 
 /// Reads the `DRTM_VERB_PATH` environment toggle: `blocking` (legacy
@@ -105,6 +112,18 @@ pub fn value_cache_from_env() -> bool {
     }
 }
 
+/// Reads the `DRTM_CONTENTION` environment toggle: `off` (unset), or
+/// `escalate` / `always-pessimistic` to enable the contention ladder
+/// (DESIGN.md §15) on every table.
+pub fn contention_from_env() -> ContentionPolicy {
+    match std::env::var("DRTM_CONTENTION") {
+        Ok(v) => ContentionPolicy::parse(&v).unwrap_or_else(|| {
+            panic!("DRTM_CONTENTION must be `off`, `escalate`, or `always-pessimistic`, got `{v}`")
+        }),
+        Err(_) => ContentionPolicy::Off,
+    }
+}
+
 impl Default for RunCfg {
     fn default() -> Self {
         Self {
@@ -120,6 +139,7 @@ impl Default for RunCfg {
             batched_verbs: verb_path_from_env(),
             no_value_cache: !value_cache_from_env(),
             routines: 1,
+            contention: contention_from_env(),
         }
     }
 }
@@ -282,6 +302,7 @@ fn engine_opts(run: &RunCfg, region_size: usize, read_mostly_tables: Vec<u32>) -
         .value_cache(!run.no_value_cache)
         .read_mostly_tables(read_mostly_tables)
         .routines(run.routines)
+        .contention(run.contention)
         .build()
 }
 

@@ -68,7 +68,7 @@ pub fn run_cfg_json(run: &RunCfg) -> String {
             "\"txns_per_worker\":{},\"seed\":{},\"cross_override\":{},",
             "\"fuse_lock_validate\":{},\"no_location_cache\":{},",
             "\"msg_locking\":{},\"batched_verbs\":{},\"no_value_cache\":{},",
-            "\"routines\":{},\"contention\":\"{}\"}}"
+            "\"routines\":{},\"contention\":\"{}\",\"route\":\"{}\"}}"
         ),
         run.engine,
         run.threads,
@@ -83,6 +83,7 @@ pub fn run_cfg_json(run: &RunCfg) -> String {
         run.no_value_cache,
         run.routines,
         run.contention.label(),
+        run.route.label(),
     )
 }
 
@@ -133,5 +134,6 @@ mod tests {
         assert!(full.contains("\"routines\":"));
         assert!(full.contains("\"batched_verbs\":"));
         assert!(full.contains("\"contention\":\"off\""));
+        assert!(full.contains("\"route\":\"off\""));
     }
 }

@@ -18,9 +18,9 @@ use std::time::Duration;
 
 use drtm_base::SplitMix64;
 use drtm_core::cluster::{DrtmCluster, EngineOpts};
-use drtm_core::ContentionPolicy;
 use drtm_core::recovery::full_restart_scrub;
 use drtm_core::txn::TxnError;
+use drtm_core::ContentionPolicy;
 use drtm_workloads::audit;
 use drtm_workloads::smallbank::{self, SbCfg, SbInput, SbTxn};
 

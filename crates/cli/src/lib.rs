@@ -101,6 +101,21 @@ pub enum Cmd {
         /// Requests offered per side.
         requests: usize,
     },
+    /// `route [requests] [json FILE]` — A/B the shard-affinity
+    /// admission router (DESIGN.md §16) on loopback: the same
+    /// single-home-heavy zero-sum SmallBank burst offered once through
+    /// the shared admission queue and once through per-pool routed
+    /// queues with bounded work stealing. Reports committed txns per
+    /// *virtual* second per side (locality shows up as commit-path
+    /// verbs avoided), local/remote dispatch, steals, and the
+    /// conservation audit; `json FILE` also writes the stamped A/B
+    /// artifact.
+    Route {
+        /// Requests offered per side.
+        requests: usize,
+        /// Optional artifact path.
+        out: Option<String>,
+    },
     /// `loadcurve [rates r1,r2,...] [requests N] [json FILE]` — sweep
     /// an offered-rate grid against one loopback serving front-end:
     /// per rate, an open-loop client run plus a live `StatsRequest`
@@ -236,6 +251,22 @@ pub fn parse(line: &str) -> Result<Option<Cmd>, String> {
         ["serve", n] => Cmd::Serve {
             requests: num(n)? as usize,
         },
+        ["route"] => Cmd::Route {
+            requests: 600,
+            out: None,
+        },
+        ["route", "json", f] => Cmd::Route {
+            requests: 600,
+            out: Some((*f).to_string()),
+        },
+        ["route", n] => Cmd::Route {
+            requests: num(n)? as usize,
+            out: None,
+        },
+        ["route", n, "json", f] => Cmd::Route {
+            requests: num(n)? as usize,
+            out: Some((*f).to_string()),
+        },
         ["loadcurve", rest @ ..] => {
             let mut rates = vec![200.0, 500.0, 1_000.0];
             let mut requests = 200usize;
@@ -356,6 +387,16 @@ commands:
                                p50/p99, shed rate, and the
                                conservation audit (DESIGN.md
                                section 12)
+  route [requests] [json FILE] A/B the shard-affinity admission
+                               router on loopback: the same
+                               single-home-heavy zero-sum SmallBank
+                               burst through one shared queue vs
+                               per-pool routed queues with bounded
+                               work stealing — committed txns per
+                               virtual second, local/remote dispatch,
+                               steals, and the conservation audit;
+                               `json FILE` also writes the stamped
+                               A/B artifact (DESIGN.md section 16)
   loadcurve [rates r1,r2,...] [requests N] [json FILE]
                                sweep an offered-rate grid against one
                                loopback serving front-end: per rate, an
@@ -948,11 +989,11 @@ pub struct ContendReport {
 impl ContendReport {
     /// Renders the human-readable A/B table.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "contention-ladder A/B (policy off vs escalate, DESIGN.md \u{a7}15):\n",
-        );
+        let mut out =
+            String::from("contention-ladder A/B (policy off vs escalate, DESIGN.md \u{a7}15):\n");
         self.ycsb.render_into(&mut out, "ycsb-f 99%-zipfian");
-        self.smallbank.render_into(&mut out, "smallbank hot-account");
+        self.smallbank
+            .render_into(&mut out, "smallbank hot-account");
         out += &format!(
             "  committed throughput gain: ycsb {:+.1}%, smallbank {:+.1}%",
             self.ycsb.gain() * 100.0,
@@ -1091,9 +1132,11 @@ fn measure_serve(requests: usize, rate: f64) -> Result<ServeSide, String> {
         conns: 4,
         zero_sum: true,
         cross_prob: 0.2,
+        shard_skew: 0.0,
     })
     .map_err(|e| format!("serve: client failed: {e}"))?;
-    let (_snap, cluster, sb) = server.shutdown();
+    let drained = server.shutdown();
+    let (cluster, sb) = (drained.cluster, drained.sb);
     Ok(ServeSide {
         offered: rate,
         sent: report.sent,
@@ -1167,6 +1210,205 @@ pub fn serve_ab(requests: usize) -> Result<ServeReport, String> {
     })
 }
 
+/// One measured side of the `route` A/B: the same single-home-heavy
+/// zero-sum SmallBank burst against a fresh loopback front-end running
+/// one admission policy (DESIGN.md §16).
+#[derive(Debug, Clone)]
+pub struct RouteSide {
+    /// Admission policy label: `"off"` = one shared queue, `"on"` =
+    /// per-pool routed queues with bounded work stealing.
+    pub route: &'static str,
+    /// Requests sent by the client.
+    pub sent: u64,
+    /// Committed requests.
+    pub committed: u64,
+    /// Aborted requests.
+    pub aborted: u64,
+    /// Requests shed by admission control (0 here: the high-water mark
+    /// is set above the burst so the A/B compares commit-path locality,
+    /// not shedding).
+    pub rejected: u64,
+    /// Virtual nanoseconds the engine pools ran for (the slowest pump
+    /// worker's clock at drain).
+    pub virtual_ns: u64,
+    /// Requests enqueued on their home pool (routed side only).
+    pub local: u64,
+    /// Requests enqueued away from their home pool.
+    pub remote: u64,
+    /// Cross-pool work steals over the drain.
+    pub steals: u64,
+    /// `true` when the post-drain conservation audit balanced.
+    pub conserved: bool,
+}
+
+impl RouteSide {
+    /// Committed transactions per *virtual* second — the A/B metric.
+    /// Routing pays off as all-local HTM commits that skip the
+    /// commit-path verbs (C.1 CAS, C.2 validate READs, C.5 writes, C.6
+    /// unlock), which shows up directly as less virtual time per
+    /// committed transaction.
+    pub fn vtps(&self) -> f64 {
+        self.committed as f64 / (self.virtual_ns.max(1) as f64 / 1e9)
+    }
+}
+
+/// Runs one side of the `route` A/B: a fresh front-end under `policy`,
+/// hit with a single-home-heavy (5% cross-shard) zero-sum SmallBank
+/// burst, mildly skewed toward one home shard so the routed side's
+/// steal path also engages.
+fn measure_route(requests: usize, policy: drtm_core::RoutePolicy) -> Result<RouteSide, String> {
+    use drtm_net::{run_client, ClientCfg, Server, ServerCfg};
+    let server = Server::start(ServerCfg {
+        nodes: 2,
+        accounts: 200,
+        replicas: 1,
+        routines: 2,
+        // Above the burst so nothing sheds: the A/B compares commit
+        // locality, not admission control.
+        high_water: requests.max(16),
+        window: 2_048,
+        route: policy,
+        steal_reserve: 2,
+        ..Default::default()
+    })
+    .map_err(|e| format!("route: bind failed: {e}"))?;
+    let initial = server.initial_total();
+    let report = run_client(&ClientCfg {
+        addr: server.local_addr().to_string(),
+        rate: 0.0,
+        requests,
+        seed: 0x60,
+        conns: 4,
+        zero_sum: true,
+        cross_prob: 0.05,
+        shard_skew: 0.3,
+    })
+    .map_err(|e| format!("route: client failed: {e}"))?;
+    let drained = server.shutdown();
+    Ok(RouteSide {
+        route: if drained.snap.route.enabled {
+            "on"
+        } else {
+            "off"
+        },
+        sent: report.sent,
+        committed: report.committed,
+        aborted: report.aborted,
+        rejected: report.rejected,
+        virtual_ns: drained.virtual_ns,
+        local: drained.snap.route.local,
+        remote: drained.snap.route.remote,
+        steals: drained.snap.route.steals,
+        conserved: Server::audit_total(&drained.cluster, &drained.sb) == initial,
+    })
+}
+
+/// The `route` command's result: the same burst through the shared
+/// queue and through the shard-affinity router.
+#[derive(Debug, Clone)]
+pub struct RouteReport {
+    /// The shared-queue (`--route off`) side.
+    pub shared: RouteSide,
+    /// The routed (`--route on`) side.
+    pub routed: RouteSide,
+    /// Requests offered per side.
+    pub requests: usize,
+}
+
+impl RouteReport {
+    /// Routed over shared committed txns per virtual second.
+    pub fn speedup(&self) -> f64 {
+        self.routed.vtps() / self.shared.vtps().max(f64::MIN_POSITIVE)
+    }
+
+    /// Renders the human-readable A/B table.
+    pub fn render(&self) -> String {
+        let audit = |ok: bool| if ok { "OK" } else { "VIOLATED" };
+        let mut out = format!(
+            "shard-affinity routing A/B on loopback TCP, zero-sum SmallBank x{} \
+             burst (2 machines, 5% cross-shard, skew 0.30):\n",
+            self.requests
+        );
+        out += &format!(
+            "  {:<22} {:>12} {:>12}\n  {:<22} {:>12} {:>12}\n  \
+             {:<22} {:>12.0} {:>12.0}\n  {:<22} {:>12.3} {:>12.3}\n  \
+             {:<22} {:>12} {:>12}\n  {:<22} {:>12} {:>12}\n",
+            "",
+            "shared",
+            "routed",
+            "committed",
+            self.shared.committed,
+            self.routed.committed,
+            "committed/virt-s",
+            self.shared.vtps(),
+            self.routed.vtps(),
+            "virtual time (s)",
+            self.shared.virtual_ns as f64 / 1e9,
+            self.routed.virtual_ns as f64 / 1e9,
+            "local/remote",
+            format!("{}/{}", self.shared.local, self.shared.remote),
+            format!("{}/{}", self.routed.local, self.routed.remote),
+            "steals",
+            self.shared.steals,
+            self.routed.steals,
+        );
+        out += &format!(
+            "  conservation: shared {}, routed {}\n  speedup: {:.2}x committed \
+             txns per virtual second — home-pool dispatch turns single-home \
+             requests into all-local HTM commits with zero commit-path verbs",
+            audit(self.shared.conserved),
+            audit(self.routed.conserved),
+            self.speedup(),
+        );
+        out
+    }
+
+    fn side_json(s: &RouteSide) -> String {
+        format!(
+            concat!(
+                "{{\"route\":\"{}\",\"sent\":{},\"committed\":{},\"aborted\":{},",
+                "\"rejected\":{},\"virtual_ns\":{},\"vtps\":{:.1},\"local\":{},",
+                "\"remote\":{},\"steals\":{},\"conserved\":{}}}"
+            ),
+            s.route,
+            s.sent,
+            s.committed,
+            s.aborted,
+            s.rejected,
+            s.virtual_ns,
+            s.vtps(),
+            s.local,
+            s.remote,
+            s.steals,
+            s.conserved,
+        )
+    }
+
+    /// Serializes the A/B as the `BENCH_pr10.json` artifact: the shared
+    /// stamp object plus both sides and the virtual-time speedup.
+    pub fn to_json(&self, stamp: &str) -> String {
+        format!(
+            "{{\"stamp\":{stamp},\"requests\":{},\"speedup\":{:.3},\n\
+             \"shared\":{},\n\"routed\":{}}}\n",
+            self.requests,
+            self.speedup(),
+            Self::side_json(&self.shared),
+            Self::side_json(&self.routed),
+        )
+    }
+}
+
+/// Runs the routing A/B: `requests` single-home-heavy zero-sum
+/// SmallBank requests as one burst, once against a shared-queue
+/// front-end and once against the shard-affinity router.
+pub fn route_ab(requests: usize) -> Result<RouteReport, String> {
+    Ok(RouteReport {
+        shared: measure_route(requests, drtm_core::RoutePolicy::Shared)?,
+        routed: measure_route(requests, drtm_core::RoutePolicy::Routed)?,
+        requests,
+    })
+}
+
 /// One grid point of a `loadcurve` sweep.
 #[derive(Debug, Clone)]
 pub struct LoadCurvePoint {
@@ -1207,6 +1449,12 @@ pub struct LoadCurveReport {
     pub requests: usize,
     /// `true` when the post-drain conservation audit balanced.
     pub conserved: bool,
+    /// Admission routing policy the server ran (`"off"` / `"on"`,
+    /// DESIGN.md §16), stamped into the artifact.
+    pub route: &'static str,
+    /// Total cross-pool work steals over the sweep (0 with routing
+    /// off).
+    pub steals: u64,
 }
 
 impl LoadCurveReport {
@@ -1251,8 +1499,9 @@ impl LoadCurveReport {
     /// entry per grid point, rates ascending.
     pub fn to_json(&self, stamp: &str) -> String {
         let mut out = format!(
-            "{{\"stamp\":{stamp},\"requests_per_point\":{},\"conserved\":{},\"points\":[",
-            self.requests, self.conserved
+            "{{\"stamp\":{stamp},\"requests_per_point\":{},\"conserved\":{},\
+             \"route\":\"{}\",\"steals\":{},\"points\":[",
+            self.requests, self.conserved, self.route, self.steals
         );
         for (i, p) in self.points.iter().enumerate() {
             if i > 0 {
@@ -1331,6 +1580,7 @@ pub fn load_curve(rates: &[f64], requests: usize) -> Result<LoadCurveReport, Str
             conns: 4,
             zero_sum: true,
             cross_prob: 0.2,
+            shard_skew: 0.0,
         })
         .map_err(|e| format!("loadcurve: client failed at {rate}/s: {e}"))?;
         let live = scrape(&addr, ScrapeFormat::Json)
@@ -1350,11 +1600,17 @@ pub fn load_curve(rates: &[f64], requests: usize) -> Result<LoadCurveReport, Str
             live_completed: live_net_counter(&live, "completed"),
         });
     }
-    let (_snap, cluster, sb) = server.shutdown();
+    let drained = server.shutdown();
     Ok(LoadCurveReport {
         points,
         requests,
-        conserved: Server::audit_total(&cluster, &sb) == initial,
+        conserved: Server::audit_total(&drained.cluster, &drained.sb) == initial,
+        route: if drained.snap.route.enabled {
+            "on"
+        } else {
+            "off"
+        },
+        steals: drained.snap.route.steals,
     })
 }
 
@@ -1615,6 +1871,22 @@ impl Shell {
                 // Same standalone-A/B shape, but over real loopback
                 // TCP: each side boots its own serving front-end.
                 Ok(Some(serve_ab(requests.max(1))?.render()))
+            }
+            Cmd::Route { requests, out } => {
+                // Two fresh front-ends, one per admission policy, same
+                // single-home-heavy burst.
+                let report = route_ab(requests.max(1))?;
+                let mut text = report.render();
+                if let Some(path) = out {
+                    let json = report.to_json(&drtm_bench::stamp_json(None));
+                    drtm_obs::jsonlint::validate(&json).map_err(|e| {
+                        format!("internal error: route artifact is not valid JSON: {e}")
+                    })?;
+                    std::fs::write(&path, &json)
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    text += &format!("\n  wrote {path} ({} bytes)", json.len());
+                }
+                Ok(Some(text))
             }
             Cmd::LoadCurve {
                 rates,
@@ -1953,6 +2225,35 @@ mod tests {
             Some(Cmd::Serve { requests: 100 })
         );
         assert_eq!(
+            parse("route").unwrap(),
+            Some(Cmd::Route {
+                requests: 600,
+                out: None
+            })
+        );
+        assert_eq!(
+            parse("route 150").unwrap(),
+            Some(Cmd::Route {
+                requests: 150,
+                out: None
+            })
+        );
+        assert_eq!(
+            parse("route 150 json /tmp/r.json").unwrap(),
+            Some(Cmd::Route {
+                requests: 150,
+                out: Some("/tmp/r.json".into())
+            })
+        );
+        assert_eq!(
+            parse("route json /tmp/r.json").unwrap(),
+            Some(Cmd::Route {
+                requests: 600,
+                out: Some("/tmp/r.json".into())
+            })
+        );
+        assert!(parse("route nope").is_err());
+        assert_eq!(
             parse("trace /tmp/out.json").unwrap(),
             Some(Cmd::Trace {
                 path: "/tmp/out.json".into()
@@ -2244,6 +2545,68 @@ mod tests {
         assert_eq!(offered, vec![2_000.0, 4_000.0]);
         assert!(json.contains("\"p999_us\":"), "{json}");
         assert!(json.contains("\"live_accepted\":"), "{json}");
+        // The routing policy (off here) and steal count ride along.
+        assert!(json.contains("\"route\":\"off\""), "{json}");
+        assert!(json.contains("\"steals\":0"), "{json}");
+    }
+
+    /// The routing A/B end to end: the same single-home-heavy burst
+    /// through the shared queue and the shard-affinity router. The
+    /// routed side must dispatch mostly-local, conserve money, and
+    /// commit the same work in strictly less virtual time (the CI job
+    /// gates the 1.20x floor; here we assert routed > shared so the
+    /// test stays robust at a small request count).
+    #[test]
+    fn route_ab_wins_on_virtual_time_and_writes_artifact() {
+        let path = std::env::temp_dir().join(format!("drtm-route-{}.json", std::process::id()));
+        let path_str = path.to_str().unwrap().to_string();
+        let mut sh = Shell::new();
+        let text = sh
+            .execute(Cmd::Route {
+                requests: 200,
+                out: Some(path_str.clone()),
+            })
+            .unwrap()
+            .unwrap();
+        assert!(text.contains("shard-affinity routing A/B"), "{text}");
+        assert!(
+            text.contains("conservation: shared OK, routed OK"),
+            "{text}"
+        );
+        assert!(text.contains("speedup:"), "{text}");
+
+        let json = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        drtm_obs::jsonlint::validate(&json).expect("artifact parses");
+        assert!(json.contains("\"stamp\":{\"git_rev\":\""), "{json}");
+        assert!(json.contains("\"route\":\"off\""), "{json}");
+        assert!(json.contains("\"route\":\"on\""), "{json}");
+        assert!(json.contains("\"speedup\":"), "{json}");
+        assert!(json.contains("\"steals\":"), "{json}");
+
+        // Re-run through the library API for structural assertions.
+        let report = route_ab(200).expect("route A/B");
+        assert_eq!(report.shared.sent, 200);
+        assert_eq!(report.routed.sent, 200);
+        // High-water sits above the burst: nothing sheds on either side.
+        assert_eq!(report.shared.rejected, 0, "{report:?}");
+        assert_eq!(report.routed.rejected, 0, "{report:?}");
+        // Only the routed side classifies dispatch; 5% cross-shard
+        // means the overwhelming majority of requests are single-home.
+        assert_eq!(report.shared.local + report.shared.remote, 0);
+        assert_eq!(
+            report.routed.local + report.routed.remote,
+            report.routed.committed + report.routed.aborted
+        );
+        assert!(
+            report.routed.local > report.routed.remote,
+            "single-home-heavy load must dispatch mostly local: {report:?}"
+        );
+        assert!(report.shared.conserved && report.routed.conserved);
+        assert!(
+            report.speedup() > 1.0,
+            "routed must beat shared on virtual time: {report:?}"
+        );
     }
 
     #[test]

@@ -1246,6 +1246,166 @@ fn submit_queue_sheds_past_high_water() {
     );
 }
 
+/// Two-level shedding (DESIGN.md §16): a hot queue sheds at its own
+/// high-water mark while siblings still admit, and the group cap sheds
+/// on total backlog — each level counted separately.
+#[test]
+fn queue_group_sheds_two_level_and_counts_each() {
+    use crate::routine::{Admission, QueueGroup};
+    // 2 queues, per-queue high water 2, global cap 3, no reserve.
+    let g: QueueGroup<u64> = QueueGroup::new(2, 2, 3, 0);
+    assert_eq!(g.submit(0, 10), Admission::Admitted);
+    assert_eq!(g.submit(0, 11), Admission::Admitted);
+    assert_eq!(
+        g.submit(0, 12),
+        Admission::Rejected,
+        "queue 0 at its high-water mark must shed"
+    );
+    assert_eq!((g.shed_queue(), g.shed_global()), (1, 0));
+    assert_eq!(g.submit(1, 20), Admission::Admitted, "sibling still admits");
+    assert_eq!(
+        g.submit(1, 21),
+        Admission::Rejected,
+        "total backlog at the global cap must shed"
+    );
+    assert_eq!((g.shed_queue(), g.shed_global()), (1, 1));
+    assert_eq!((g.accepted_total(), g.rejected_total()), (3, 2));
+    assert_eq!((g.rejected(0), g.rejected(1)), (1, 1));
+    g.close();
+    assert_eq!(g.submit(0, 13), Admission::Rejected, "closed group sheds");
+    assert_eq!(g.pop_blocking(0), Some(10));
+    assert_eq!(g.pop_blocking(0), Some(11));
+    assert_eq!(g.pop_blocking(1), Some(20));
+    assert_eq!(g.pop_blocking(0), None, "closed and all queues drained");
+    assert_eq!(g.pop_blocking(1), None);
+    assert_eq!(g.wait_hist().count(), 3, "every delivery recorded a wait");
+    for pool in 0..2 {
+        assert_eq!(g.accepted(pool), g.delivered(pool));
+    }
+}
+
+/// The steal protocol: an empty pool steals the *oldest* item from the
+/// deepest sibling queue — per-queue FIFO order holds across home pops
+/// and thefts — and never drains a sibling below the reserve.
+#[test]
+fn queue_group_steal_preserves_fifo_and_respects_reserve() {
+    use crate::routine::{Admission, QueueGroup};
+    let g: QueueGroup<u64> = QueueGroup::new(2, 16, 32, 1);
+    for v in [10, 11, 12, 13] {
+        assert_eq!(g.submit(0, v), Admission::Admitted);
+    }
+    // Pool 1 is empty: it steals queue 0's front, oldest first.
+    assert_eq!(g.try_pop(1), Some(10), "steal takes the victim's front");
+    assert_eq!(g.try_pop(1), Some(11));
+    assert_eq!(g.try_pop(1), Some(12));
+    assert_eq!(
+        g.try_pop(1),
+        None,
+        "reserve floor: the last item stays for the home pool"
+    );
+    assert_eq!(g.depth(0), 1);
+    assert_eq!(g.try_pop(0), Some(13), "home pop below the reserve is fine");
+    assert_eq!(g.steals(1), 3);
+    assert_eq!(g.steals(0), 0);
+    assert_eq!(g.steals_total(), 3);
+    // Deliveries are counted against the queue stolen *from*.
+    assert_eq!(g.delivered(0), 4);
+    assert_eq!(g.delivered(1), 0);
+    assert_eq!(g.accepted(0), g.delivered(0));
+}
+
+/// Deepest-queue victim selection: a thief with several non-empty
+/// siblings steals from the one with the most backlog.
+#[test]
+fn queue_group_steals_from_deepest_sibling() {
+    use crate::routine::{Admission, QueueGroup};
+    let g: QueueGroup<u64> = QueueGroup::new(3, 16, 64, 0);
+    assert_eq!(g.submit(0, 1), Admission::Admitted);
+    for v in [20, 21, 22] {
+        assert_eq!(g.submit(1, v), Admission::Admitted);
+    }
+    assert_eq!(g.try_pop(2), Some(20), "queue 1 is deepest");
+    assert_eq!(g.try_pop(2), Some(21), "still deepest (2 vs 1)");
+    assert_eq!(g.depth(0), 1);
+    assert_eq!(g.depth(1), 1);
+}
+
+/// Two serve pools over one [`QueueGroup`] with every submission homed
+/// on pool 0: pool 1 lives entirely off steals, both retire when the
+/// group closes, and the per-queue `accepted == delivered` conservation
+/// invariant holds group-wide.
+#[test]
+fn serve_group_drains_skewed_load_via_steals() {
+    use crate::routine::{Admission, QueueGroup, RoutinePool};
+    let c = cluster(2, 1);
+    let g: Arc<QueueGroup<u64>> = Arc::new(QueueGroup::new(2, 1024, 2048, 0));
+    const SUBMITTED: u64 = 40;
+    std::thread::scope(|scope| {
+        let producer = {
+            let g = Arc::clone(&g);
+            scope.spawn(move || {
+                for i in 0..SUBMITTED {
+                    // Single-home-heavy: everything lands on queue 0.
+                    assert_eq!(g.submit(0, i % 8), Admission::Admitted);
+                    if i % 16 == 7 {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                }
+                g.close();
+            })
+        };
+        let pools: Vec<_> = (0..2)
+            .map(|pool| {
+                let g = Arc::clone(&g);
+                let c = &c;
+                scope.spawn(move || {
+                    let workers: Vec<_> = (0..2)
+                        .map(|id| c.worker(pool, 700 + (pool * 10 + id) as u64))
+                        .collect();
+                    RoutinePool::serve_group(workers, &g, pool, async |_, w, k| {
+                        w.run_async(async |t| {
+                            let a = num(&t.read_async(0, T_ACCT, key(0, k)).await?);
+                            let b = num(&t.read_async(1, T_ACCT, key(1, k)).await?);
+                            t.write_async(0, T_ACCT, key(0, k), val(a - 1)).await?;
+                            t.write_async(1, T_ACCT, key(1, k), val(b + 1)).await
+                        })
+                        .await
+                        .unwrap();
+                    })
+                })
+            })
+            .collect();
+        producer.join().unwrap();
+        for p in pools {
+            assert_eq!(p.join().unwrap().len(), 2);
+        }
+    });
+    assert_eq!(g.accepted(0), SUBMITTED);
+    assert_eq!(g.accepted(1), 0);
+    for pool in 0..2 {
+        assert_eq!(
+            g.delivered(pool),
+            g.accepted(pool),
+            "queue {pool}: every admission reached a routine"
+        );
+    }
+    assert!(
+        g.steals(1) > 0,
+        "pool 1 had no home work: it must have stolen"
+    );
+    assert_eq!(g.depth_total(), 0, "close drains every queue");
+    let snap = c.obs.scrape();
+    assert_eq!(snap.committed, SUBMITTED);
+    let mut audit = c.worker(1, 999);
+    let mut total = 0i64;
+    for k in 0..8u64 {
+        let a = num(&audit.run_ro(|t| t.read(0, T_ACCT, key(0, k))).unwrap());
+        let b = num(&audit.run_ro(|t| t.read(1, T_ACCT, key(1, k))).unwrap());
+        total += a as i64 + b as i64;
+    }
+    assert_eq!(total, 8 * 200, "stolen transfers conserve");
+}
+
 /// A serving pool drains externally-submitted transactions: routines
 /// leave the baton while the queue is empty (host-time block, no
 /// virtual-time burn), re-join on arrival, and retire cleanly when the

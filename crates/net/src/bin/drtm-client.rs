@@ -11,10 +11,14 @@ use drtm_net::proto::ScrapeFormat;
 fn usage() -> ! {
     eprintln!(
         "usage: drtm-client [--addr A] [--rate R] [--requests N] [--seed S]\n\
-         \x20                 [--conns N] [--cross P] [--zero-sum] [--json]\n\
-         \x20                 [--trace FILE] [--scrape json|prom|series]\n\
+         \x20                 [--conns N] [--cross P] [--shard-skew T] [--zero-sum]\n\
+         \x20                 [--json] [--trace FILE] [--scrape json|prom|series]\n\
          Open-loop SmallBank load at R req/s (0 = burst). --zero-sum restricts\n\
          the mix to send-payment+balance so the server can audit conservation.\n\
+         --shard-skew T draws each request's home shard from a zipfian with\n\
+         skew T in [0, 1) instead of uniformly (seeded; stamped into the\n\
+         summary), concentrating load on a few pools to exercise the routed\n\
+         server's steal path.\n\
          --trace writes the client-side chrome://tracing span export to FILE\n\
          after the run. --scrape sends no load: it asks a running server for\n\
          one live stats scrape in the given format and prints it."
@@ -39,6 +43,7 @@ fn main() {
             "--seed" => cfg.seed = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--conns" => cfg.conns = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--cross" => cfg.cross_prob = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--shard-skew" => cfg.shard_skew = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--zero-sum" => cfg.zero_sum = true,
             "--json" => json = true,
             "--trace" => trace_out = Some(val(&mut args)),
@@ -77,9 +82,10 @@ fn main() {
                     r.sent, r.committed, r.aborted, r.rejected
                 );
                 println!(
-                    "goodput {:.0} txn/s over {:.1} ms",
+                    "goodput {:.0} txn/s over {:.1} ms (shard skew {:.2})",
                     r.goodput,
-                    r.elapsed_ns as f64 / 1e6
+                    r.elapsed_ns as f64 / 1e6,
+                    r.shard_skew
                 );
                 println!(
                     "latency (admitted, from scheduled arrival): mean {:.1} us, p50 {:.1} us, p99 {:.1} us, p999 {:.1} us, max {:.1} us",

@@ -4,22 +4,27 @@
 
 use std::time::Duration;
 
+use drtm_core::RoutePolicy;
 use drtm_net::server::{Server, ServerCfg};
 
 fn usage() -> ! {
     eprintln!(
         "usage: drtm-server [--addr A] [--nodes N] [--accounts N] [--replicas N]\n\
          \x20                 [--routines N] [--high-water N] [--window N]\n\
+         \x20                 [--route on|off] [--steal-reserve N]\n\
          \x20                 [--sample-ms N] [--trace FILE] [--audit] [--prom|--json]\n\
          Serves SmallBank transactions over the drtm-net wire protocol until\n\
          SIGINT/SIGTERM, then drains in-flight work and prints a final scrape.\n\
          While running, clients can scrape live stats with a StatsRequest\n\
-         frame (see drtm-client --scrape). --sample-ms sets the in-server\n\
-         time-series sampler period (0 disables). --trace writes the server's\n\
-         chrome://tracing span export to FILE on drain (head-sampled; set\n\
-         DRTM_TRACE_SAMPLE=1 to trace every request). --audit sums every\n\
-         account after the drain and checks conservation (meaningful when\n\
-         clients send a zero-sum mix)."
+         frame (see drtm-client --scrape). --route on dispatches each request\n\
+         to the pool owning the majority of its shards (per-pool queues with\n\
+         bounded work stealing; --steal-reserve is the per-queue steal floor);\n\
+         off (default, also via DRTM_ROUTE) keeps the one shared queue.\n\
+         --sample-ms sets the in-server time-series sampler period (0\n\
+         disables). --trace writes the server's chrome://tracing span export\n\
+         to FILE on drain (head-sampled; set DRTM_TRACE_SAMPLE=1 to trace\n\
+         every request). --audit sums every account after the drain and\n\
+         checks conservation (meaningful when clients send a zero-sum mix)."
     );
     std::process::exit(2);
 }
@@ -29,6 +34,10 @@ fn main() {
         addr: "127.0.0.1:7070".into(),
         ..Default::default()
     };
+    // DRTM_ROUTE sets the default dispatcher; --route overrides it.
+    if let Ok(v) = std::env::var("DRTM_ROUTE") {
+        cfg.route = RoutePolicy::parse(&v).unwrap_or_else(|| usage());
+    }
     let mut audit = false;
     let mut format = "text";
     let mut trace_out: Option<String> = None;
@@ -45,6 +54,10 @@ fn main() {
             "--routines" => cfg.routines = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--high-water" => cfg.high_water = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--window" => cfg.window = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--route" => cfg.route = RoutePolicy::parse(&val(&mut args)).unwrap_or_else(|| usage()),
+            "--steal-reserve" => {
+                cfg.steal_reserve = val(&mut args).parse().unwrap_or_else(|_| usage())
+            }
             "--sample-ms" => cfg.sample_ms = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--trace" => trace_out = Some(val(&mut args)),
             "--audit" => audit = true,
@@ -69,7 +82,12 @@ fn main() {
     }
     eprintln!("drtm-server: draining...");
     let initial = server.initial_total();
-    let (snap, cluster, sb) = server.shutdown();
+    let drained = server.shutdown();
+    let (snap, cluster, sb) = (drained.snap, drained.cluster, drained.sb);
+    eprintln!(
+        "drtm-server: drained at virtual t={:.3}s",
+        drained.virtual_ns as f64 / 1e9
+    );
     match format {
         "prom" => print!("{}", drtm_obs::expo::render_prometheus(&snap)),
         "json" => println!("{}", drtm_obs::expo::render_json(&snap)),

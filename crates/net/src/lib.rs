@@ -17,18 +17,26 @@
 //!   high-water mark;
 //! * [`loadgen`] — an **open-loop** client: seeded Poisson arrivals at
 //!   a configured offered rate, latency measured from the scheduled
-//!   arrival time so server-imposed queueing is never coordinated away.
+//!   arrival time so server-imposed queueing is never coordinated away;
+//! * [`route`] — the shard-affinity router (DESIGN.md §16): with
+//!   `--route on` the server dispatches each request to the pool owning
+//!   the majority of its shards (first-writer tiebreak), backed by
+//!   per-pool queues with bounded work stealing, so single-home
+//!   requests commit all-local in HTM with zero commit-path verbs.
 //!
 //! Serving counters (conns, accepted, rejected, in-flight, queue depth,
 //! queue-wait histogram) surface through `drtm-obs` as the `net`
-//! section of every exposition format.
+//! section of every exposition format; routing counters (local/remote
+//! dispatch, steals, two-level sheds, per-pool depths) as the `route`
+//! section.
 
 #![deny(missing_docs)]
 
 pub mod loadgen;
 pub mod proto;
+pub mod route;
 pub mod server;
 
 pub use loadgen::{run_client, scrape, ClientCfg, ClientReport, Schedule};
 pub use proto::{Msg, RawOp, ScrapeFormat, Status, WireError, MAX_FRAME, PROTO_VERSION};
-pub use server::{Server, ServerCfg};
+pub use server::{Drained, Server, ServerCfg};

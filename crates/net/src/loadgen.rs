@@ -82,6 +82,11 @@ pub struct ClientCfg {
     pub zero_sum: bool,
     /// Probability a two-account transaction crosses machines.
     pub cross_prob: f64,
+    /// Zipfian skew θ over *home shard* selection: `0.0` keeps today's
+    /// uniform pick; higher values concentrate offered load on a few
+    /// shards, exercising the routed dispatcher's steal path. Seeded
+    /// with the run's seed, so a skewed run reproduces exactly.
+    pub shard_skew: f64,
 }
 
 impl Default for ClientCfg {
@@ -94,6 +99,7 @@ impl Default for ClientCfg {
             conns: 4,
             zero_sum: false,
             cross_prob: 0.1,
+            shard_skew: 0.0,
         }
     }
 }
@@ -116,6 +122,9 @@ pub struct ClientReport {
     pub elapsed_ns: u64,
     /// Committed requests per wall second.
     pub goodput: f64,
+    /// The home-shard zipfian θ this run offered (0 = uniform),
+    /// stamped so a skewed artifact is self-describing.
+    pub shard_skew: f64,
 }
 
 impl ClientReport {
@@ -123,7 +132,7 @@ impl ClientReport {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"sent\":{},\"committed\":{},\"aborted\":{},\"rejected\":{},\
-             \"goodput\":{:.1},\"elapsed_ms\":{:.1},\
+             \"goodput\":{:.1},\"elapsed_ms\":{:.1},\"shard_skew\":{:.2},\
              \"latency_us\":{{\"mean\":{:.1},\"p50\":{:.1},\"p99\":{:.1},\"p999\":{:.1},\
              \"max\":{:.1}}}}}",
             self.sent,
@@ -132,6 +141,7 @@ impl ClientReport {
             self.rejected,
             self.goodput,
             self.elapsed_ns as f64 / 1e6,
+            self.shard_skew,
             self.latency.mean() / 1e3,
             self.latency.quantile(0.5) as f64 / 1e3,
             self.latency.quantile(0.99) as f64 / 1e3,
@@ -236,6 +246,11 @@ pub fn run_client(cfg: &ClientCfg) -> Result<ClientReport, proto::WireError> {
         // The open-loop sender: dispatch each request at its scheduled
         // offset, never waiting for replies.
         let mut rng = SplitMix64::new(cfg.seed ^ 0x5EED_CAFE);
+        // Home-shard skew: a zipfian over nodes, seeded with the run —
+        // a skewed offered load concentrates on a few home pools,
+        // which is exactly what exercises the routed steal path.
+        let zipf = (cfg.shard_skew > 0.0)
+            .then(|| drtm_workloads::ycsb::Zipf::new(sb.nodes as u64, cfg.shard_skew));
         let mut sent = 0u64;
         for (i, &off) in schedule.offsets_ns.iter().enumerate() {
             let due = start + Duration::from_nanos(off);
@@ -245,7 +260,11 @@ pub fn run_client(cfg: &ClientCfg) -> Result<ClientReport, proto::WireError> {
             }
             let id = i as u64;
             let conn = i % cfg.conns;
-            let msg = gen_request(&sb, &mut rng, id, off, cfg.zero_sum);
+            let home = match &zipf {
+                Some(z) => z.sample(&mut rng) as usize,
+                None => rng.below(sb.nodes as u64) as usize,
+            };
+            let msg = gen_request(&sb, &mut rng, id, off, cfg.zero_sum, home);
             // Latency clock starts at the *scheduled* time: if this
             // send itself lagged (socket backpressure), the request
             // pays for it.
@@ -276,6 +295,7 @@ pub fn run_client(cfg: &ClientCfg) -> Result<ClientReport, proto::WireError> {
         latency,
         elapsed_ns,
         goodput,
+        shard_skew: cfg.shard_skew,
     })
 }
 
@@ -298,11 +318,17 @@ pub fn scrape(addr: &str, format: proto::ScrapeFormat) -> Result<Vec<u8>, proto:
     }
 }
 
-/// Generates one SmallBank request. `zero_sum` restricts the mix to
-/// send-payment (75%) + balance (25%), which conserves the checking
-/// total so the server can audit conservation after a run.
-fn gen_request(sb: &SbCfg, rng: &mut SplitMix64, id: u64, sched_ns: u64, zero_sum: bool) -> Msg {
-    let home = rng.below(sb.nodes as u64) as usize;
+/// Generates one SmallBank request on `home`. `zero_sum` restricts the
+/// mix to send-payment (75%) + balance (25%), which conserves the
+/// checking total so the server can audit conservation after a run.
+fn gen_request(
+    sb: &SbCfg,
+    rng: &mut SplitMix64,
+    id: u64,
+    sched_ns: u64,
+    zero_sum: bool,
+    home: usize,
+) -> Msg {
     let mut inp = drtm_workloads::smallbank::gen(sb, rng, home);
     if zero_sum {
         inp.txn = if rng.chance(0.25) {

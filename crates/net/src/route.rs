@@ -1,0 +1,96 @@
+//! Shard-affinity request router (DESIGN.md §16).
+//!
+//! Admission inspects a request's shard set — the wire protocol
+//! already carries `shard` on every raw op and `a_shard`/`b_shard` on
+//! SmallBank frames — and picks the **home pool**: the node owning the
+//! majority of the touched shards, with ties broken toward the first
+//! *written* shard (writes are where HTM-local commit beats remote
+//! verbs hardest; a transaction homed with its writes pays C.1/C.5/C.6
+//! only for the minority remainder). Requests whose whole shard set is
+//! home execute as all-local HTM transactions with zero commit-path
+//! verbs — the asymmetry the paper's speedup is built on.
+
+/// Picks the home pool for a request touching `accesses` — a
+/// `(shard, is_write)` list in execution order — on a cluster of
+/// `nodes` nodes. Returns `(home, all_local)` where `all_local` is
+/// true when every touched shard is owned by the home node.
+///
+/// Majority shard wins; a tie goes to the first write's shard (else
+/// the first access). An empty access list homes on node 0. Shards are
+/// clamped into the node range, mirroring how the executor resolves
+/// out-of-range shard ids.
+pub fn home_of(accesses: &[(usize, bool)], nodes: usize) -> (usize, bool) {
+    let n = nodes.max(1);
+    if accesses.is_empty() {
+        return (0, true);
+    }
+    let mut counts = vec![0usize; n];
+    for &(shard, _) in accesses {
+        counts[shard % n] += 1;
+    }
+    let best = *counts.iter().max().expect("nodes >= 1");
+    // Tiebreak: first write, else first access, provided it carries a
+    // majority-sized count. Scanning in execution order keeps the pick
+    // deterministic for any permutation of equal counts.
+    let tiebreak = accesses
+        .iter()
+        .find(|&&(s, w)| w && counts[s % n] == best)
+        .or_else(|| accesses.iter().find(|&&(s, _)| counts[s % n] == best))
+        .map(|&(s, _)| s % n)
+        .expect("some access holds the max count");
+    let all_local = accesses.iter().all(|&(s, _)| s % n == tiebreak);
+    (tiebreak, all_local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_access_homes_on_its_shard() {
+        assert_eq!(home_of(&[(2, false)], 4), (2, true));
+        assert_eq!(home_of(&[(3, true)], 4), (3, true));
+    }
+
+    #[test]
+    fn majority_shard_wins() {
+        // Two reads on shard 1, one write on shard 0: majority beats
+        // the write preference.
+        assert_eq!(home_of(&[(0, true), (1, false), (1, false)], 4), (1, false));
+    }
+
+    #[test]
+    fn tie_breaks_toward_first_writer() {
+        // One read on shard 0 first, one write on shard 2: tied counts,
+        // the write's shard wins even though it appears later.
+        assert_eq!(home_of(&[(0, false), (2, true)], 4), (2, false));
+        // All-read tie: first access wins.
+        assert_eq!(home_of(&[(3, false), (1, false)], 4), (3, false));
+    }
+
+    #[test]
+    fn smallbank_payment_homes_on_first_written_account() {
+        // SendPayment writes `a` then `b`: tied counts, first writer →
+        // a's shard.
+        assert_eq!(home_of(&[(1, true), (0, true)], 2), (1, false));
+        assert_eq!(home_of(&[(1, true), (1, true)], 2), (1, true));
+    }
+
+    #[test]
+    fn out_of_range_shards_clamp_into_node_range() {
+        assert_eq!(home_of(&[(5, true)], 2), (1, true));
+        assert_eq!(home_of(&[(4, false), (6, false)], 2), (0, true));
+    }
+
+    #[test]
+    fn empty_access_list_homes_on_zero() {
+        assert_eq!(home_of(&[], 4), (0, true));
+    }
+
+    #[test]
+    fn tiebreak_writer_must_hold_majority_count() {
+        // Write on shard 2 (count 1) vs two reads on shard 1 (count 2):
+        // the writer does NOT override a strict majority.
+        assert_eq!(home_of(&[(2, true), (1, false), (1, false)], 4), (1, false));
+    }
+}

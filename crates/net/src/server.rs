@@ -1,22 +1,39 @@
-//! The TCP serving front-end (DESIGN.md §12).
+//! The TCP serving front-end (DESIGN.md §12, §16).
 //!
-//! Three thread populations cooperate around one bounded
-//! [`SubmitQueue`]:
+//! Three thread populations cooperate around one admission plane:
 //!
-//! * the **acceptor** polls a non-blocking listener, greets each
-//!   connection with [`Msg::Hello`], and spawns its reader/writer pair;
+//! * the **acceptor** polls a non-blocking listener (exponential
+//!   backoff from 100 µs to 5 ms while idle, reset on accept), greets
+//!   each connection with [`Msg::Hello`], and spawns its reader/writer
+//!   pair;
 //! * per-connection **readers** decode frames and submit them. A reader
 //!   stops pulling from its socket while the connection's in-flight
 //!   window is full — the kernel's TCP flow control then pushes back on
 //!   the client, which is the per-connection backpressure story. A
-//!   submission shed by the queue's high-water mark is answered with a
-//!   fast `Rejected` instead (load shedding: overload degrades to
-//!   rejects, not latency collapse);
-//! * per-node **engine pumps** drive [`RoutinePool::serve`] over the
-//!   queue, executing each request as a real DrTM+R transaction and
-//!   pushing the response into the connection's bounded outbox, which a
-//!   per-connection **writer** thread flushes — engine routines never
-//!   block on socket I/O.
+//!   submission shed by the admission plane is answered with a fast
+//!   `Rejected` instead (load shedding: overload degrades to rejects,
+//!   not latency collapse);
+//! * per-node **engine pumps** drive [`RoutinePool`] serve loops over
+//!   the admission plane, executing each request as a real DrTM+R
+//!   transaction and pushing the response into the connection's bounded
+//!   outbox, which a per-connection **writer** thread flushes — engine
+//!   routines never block on socket I/O.
+//!
+//! The admission plane takes one of two shapes per
+//! [`ServerCfg::route`]:
+//!
+//! * **`RoutePolicy::Shared`** (default): one bounded [`SubmitQueue`]
+//!   drained by every pump — byte-identical to the pre-routing server,
+//!   the baseline its regression pins hold against.
+//! * **`RoutePolicy::Routed`** (DESIGN.md §16): a [`QueueGroup`] of
+//!   per-pool queues. Admission routes each request to its *home* pool
+//!   ([`crate::route::home_of`]: majority shard, first-writer
+//!   tiebreak), so single-home requests execute as all-local HTM
+//!   transactions with zero commit-path verbs; an empty pool steals
+//!   the oldest item from the deepest sibling queue, never draining it
+//!   below [`ServerCfg::steal_reserve`]. Shedding is two-level: a
+//!   per-queue high-water mark plus a group-wide cap preserving the
+//!   shared queue's total-backlog fast-reject semantics.
 //!
 //! Shutdown ([`Server::shutdown`], or SIGINT/SIGTERM via
 //! `drtm_base::shutdown`) is graceful: the acceptor stops, the queue
@@ -34,12 +51,16 @@ use std::time::{Duration, Instant};
 use drtm_base::stats::Counter;
 use drtm_base::sync::{Condvar, Mutex};
 use drtm_core::cluster::{DrtmCluster, EngineOpts};
-use drtm_core::{scrape_cluster, Admission, RoutinePool, SubmitQueue, Worker};
+use drtm_core::{
+    scrape_cluster, Admission, QueueGroup, RecoveryReport, RoutePolicy, RoutinePool, SubmitQueue,
+    Worker,
+};
 use drtm_obs::trace::{self, event, event_id, EventKind};
-use drtm_obs::{expo, HistSummary, NetStats, Snapshot, TsRing, TsSample};
+use drtm_obs::{expo, HistSummary, NetStats, RouteStats, Snapshot, TsRing, TsSample};
 use drtm_workloads::smallbank::{self, SbCfg, SbInput, SbTxn};
 
 use crate::proto::{self, Msg, RawOp, ScrapeFormat, Status};
+use crate::route;
 
 /// Capacity of the in-server time-series ring: at the default sampling
 /// cadence this holds the last several minutes of server history.
@@ -67,6 +88,13 @@ pub struct ServerCfg {
     /// Period of the telemetry sampler thread that feeds the in-server
     /// time-series ring; 0 disables the sampler.
     pub sample_ms: u64,
+    /// Admission dispatcher: `Shared` (one queue, the pre-routing
+    /// behaviour) or `Routed` (per-pool queues + bounded stealing,
+    /// DESIGN.md §16).
+    pub route: RoutePolicy,
+    /// Steal floor with `route = Routed`: a pool never drains a sibling
+    /// queue below this many items.
+    pub steal_reserve: usize,
 }
 
 impl Default for ServerCfg {
@@ -80,6 +108,8 @@ impl Default for ServerCfg {
             high_water: 256,
             window: 128,
             sample_ms: 5,
+            route: RoutePolicy::Shared,
+            steal_reserve: 2,
         }
     }
 }
@@ -185,6 +215,106 @@ impl Conn {
     }
 }
 
+/// The admission plane: the one shared queue (routing off) or the
+/// per-pool [`QueueGroup`] plus local/remote dispatch counters
+/// (routing on). Readers submit through it, pumps drain it, telemetry
+/// scrapes it — one enum so no caller can mix the two shapes.
+enum Admit {
+    Shared(Arc<SubmitQueue<Job>>),
+    Routed {
+        group: Arc<QueueGroup<Job>>,
+        /// Admitted requests whose whole shard set was home-owned.
+        local: Counter,
+        /// Admitted requests with at least one off-home shard.
+        remote: Counter,
+    },
+}
+
+impl Admit {
+    fn routed(&self) -> bool {
+        matches!(self, Admit::Routed { .. })
+    }
+
+    /// Offers a job to the plane. `home`/`all_local` are the router's
+    /// verdict and are ignored on the shared path.
+    fn submit(&self, home: usize, all_local: bool, job: Job) -> Admission {
+        match self {
+            Admit::Shared(q) => q.submit(job),
+            Admit::Routed {
+                group,
+                local,
+                remote,
+            } => {
+                let adm = group.submit(home, job);
+                if adm == Admission::Admitted {
+                    if all_local {
+                        local.inc();
+                    } else {
+                        remote.inc();
+                    }
+                }
+                adm
+            }
+        }
+    }
+
+    fn close(&self) {
+        match self {
+            Admit::Shared(q) => q.close(),
+            Admit::Routed { group, .. } => group.close(),
+        }
+    }
+
+    fn accepted(&self) -> u64 {
+        match self {
+            Admit::Shared(q) => q.accepted(),
+            Admit::Routed { group, .. } => group.accepted_total(),
+        }
+    }
+
+    fn rejected(&self) -> u64 {
+        match self {
+            Admit::Shared(q) => q.rejected(),
+            Admit::Routed { group, .. } => group.rejected_total(),
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            Admit::Shared(q) => q.depth(),
+            Admit::Routed { group, .. } => group.depth_total(),
+        }
+    }
+
+    fn wait_summary(&self) -> HistSummary {
+        match self {
+            Admit::Shared(q) => HistSummary::of(q.wait_hist()),
+            Admit::Routed { group, .. } => HistSummary::of(group.wait_hist()),
+        }
+    }
+
+    /// The routing section of a scrape; disabled/zero on the shared
+    /// path.
+    fn route_stats(&self) -> RouteStats {
+        match self {
+            Admit::Shared(_) => RouteStats::default(),
+            Admit::Routed {
+                group,
+                local,
+                remote,
+            } => RouteStats {
+                enabled: true,
+                local: local.get(),
+                remote: remote.get(),
+                steals: group.steals_total(),
+                shed_queue: group.shed_queue(),
+                shed_global: group.shed_global(),
+                depths: group.depths(),
+            },
+        }
+    }
+}
+
 /// The shared telemetry plane of one running server.
 ///
 /// Every scrape — the drain snapshot returned by [`Server::shutdown`],
@@ -194,7 +324,7 @@ impl Conn {
 /// scrapes of the same cumulative counter are comparable (monotone).
 struct Telemetry {
     cluster: Arc<DrtmCluster>,
-    queue: Arc<SubmitQueue<Job>>,
+    admit: Admit,
     conns_opened: Counter,
     conns_closed: Counter,
     completed: Counter,
@@ -206,10 +336,10 @@ struct Telemetry {
 }
 
 impl Telemetry {
-    fn new(cluster: Arc<DrtmCluster>, queue: Arc<SubmitQueue<Job>>) -> Self {
+    fn new(cluster: Arc<DrtmCluster>, admit: Admit) -> Self {
         Self {
             cluster,
-            queue,
+            admit,
             conns_opened: Counter::new(),
             conns_closed: Counter::new(),
             completed: Counter::new(),
@@ -220,19 +350,20 @@ impl Telemetry {
     }
 
     /// The single scrape path: the engine scrape with the serving-tier
-    /// section filled in.
+    /// and routing sections filled in.
     fn snapshot(&self) -> Snapshot {
         let mut s = scrape_cluster(&self.cluster);
         s.net = NetStats {
             conns_opened: self.conns_opened.get(),
             conns_closed: self.conns_closed.get(),
-            accepted: self.queue.accepted(),
-            rejected: self.queue.rejected(),
+            accepted: self.admit.accepted(),
+            rejected: self.admit.rejected(),
             completed: self.completed.get(),
             in_flight: self.in_flight.load(Ordering::Relaxed),
-            queue_depth: self.queue.depth() as u64,
-            queue_wait_ns: HistSummary::of(self.queue.wait_hist()),
+            queue_depth: self.admit.depth() as u64,
+            queue_wait_ns: self.admit.wait_summary(),
         };
+        s.route = self.admit.route_stats();
         s
     }
 
@@ -261,10 +392,10 @@ impl Telemetry {
         }
         TsSample {
             wall_ms: self.started.elapsed().as_millis() as u64,
-            queue_depth: self.queue.depth() as u64,
+            queue_depth: self.admit.depth() as u64,
             in_flight: self.in_flight.load(Ordering::Relaxed),
-            accepted: self.queue.accepted(),
-            rejected: self.queue.rejected(),
+            accepted: self.admit.accepted(),
+            rejected: self.admit.rejected(),
             completed: self.completed.get(),
             committed,
             aborted,
@@ -302,27 +433,61 @@ impl Server {
         let cluster = DrtmCluster::new(cfg.nodes, &sb.schema(), opts);
         smallbank::load(&cluster, &sb);
 
-        let queue: Arc<SubmitQueue<Job>> = Arc::new(SubmitQueue::new(cfg.high_water));
+        // The admission plane: one shared queue, or per-pool queues
+        // with a two-level shed — each queue's high-water scaled so a
+        // single hot pool can hoard at most twice its fair share, the
+        // group cap preserving the shared queue's total-backlog
+        // fast-reject semantics exactly.
+        let admit = match cfg.route {
+            RoutePolicy::Shared => Admit::Shared(Arc::new(SubmitQueue::new(cfg.high_water))),
+            RoutePolicy::Routed => {
+                let pools = cfg.nodes.max(1);
+                let per_queue = (2 * cfg.high_water / pools).max(1);
+                Admit::Routed {
+                    group: Arc::new(QueueGroup::new(
+                        pools,
+                        per_queue,
+                        cfg.high_water,
+                        cfg.steal_reserve,
+                    )),
+                    local: Counter::new(),
+                    remote: Counter::new(),
+                }
+            }
+        };
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
-        let tele = Arc::new(Telemetry::new(Arc::clone(&cluster), Arc::clone(&queue)));
+        let tele = Arc::new(Telemetry::new(Arc::clone(&cluster), admit));
 
-        // Engine pumps: one routine pool per node, all draining the one
-        // shared admission queue.
+        // Engine pumps: one routine pool per node. Routing off: every
+        // pool drains the one shared admission queue. Routing on: each
+        // pool serves its own member of the queue group, stealing from
+        // siblings per the group's bounds.
         let pumps = (0..cfg.nodes)
             .map(|node| {
                 let cluster = Arc::clone(&cluster);
-                let queue = Arc::clone(&queue);
                 let tele = Arc::clone(&tele);
                 std::thread::spawn(move || {
                     let workers: Vec<Worker> = (0..cfg.routines.max(1))
                         .map(|r| cluster.worker(node, 0xC0FFEE + (node * 131 + r) as u64))
                         .collect();
-                    RoutinePool::serve(workers, &queue, async |_, w, job: Job| {
-                        execute_job(w, job, &tele).await;
-                    })
+                    match &tele.admit {
+                        Admit::Shared(queue) => {
+                            RoutinePool::serve(workers, queue, async |_, w, job: Job| {
+                                execute_job(w, job, &tele).await;
+                            })
+                        }
+                        Admit::Routed { group, .. } => RoutinePool::serve_group(
+                            workers,
+                            group,
+                            node,
+                            async |_, w, job: Job| {
+                                execute_job(w, job, &tele).await;
+                            },
+                        ),
+                    }
                 })
             })
             .collect();
@@ -346,9 +511,12 @@ impl Server {
                 .expect("spawn sampler")
         });
 
-        // The acceptor: poll for connections until stopped.
+        // The acceptor: poll for connections until stopped, backing
+        // off exponentially while idle (100 µs → 5 ms) so cold
+        // connections are greeted fast without a hot spin.
+        const ACCEPT_BACKOFF_MIN: Duration = Duration::from_micros(100);
+        const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(5);
         let acceptor = {
-            let queue = Arc::clone(&queue);
             let stop = Arc::clone(&stop);
             let tele = Arc::clone(&tele);
             let hello = Msg::Hello {
@@ -360,25 +528,27 @@ impl Server {
                 .name("drtm-accept".into())
                 .spawn(move || {
                     let mut conn_threads = Vec::new();
+                    let mut backoff = ACCEPT_BACKOFF_MIN;
                     loop {
                         if stop.load(Ordering::Relaxed) || drtm_base::shutdown::requested() {
                             break;
                         }
                         match listener.accept() {
                             Ok((stream, peer)) => {
+                                backoff = ACCEPT_BACKOFF_MIN;
                                 tele.conns_opened.inc();
                                 event(EventKind::Net, "accept", peer.port() as u64, 0);
                                 conn_threads.push(spawn_conn(
                                     stream,
                                     &hello,
-                                    Arc::clone(&queue),
                                     Arc::clone(&stop),
                                     Arc::clone(&tele),
                                     cfg.window,
                                 ));
                             }
                             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                                std::thread::sleep(Duration::from_millis(5));
+                                std::thread::sleep(backoff);
+                                backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
                             }
                             Err(_) => break,
                         }
@@ -430,15 +600,39 @@ impl Server {
         drtm_workloads::audit::smallbank_total(cluster, sb)
     }
 
+    /// Chaos hook: crashes simulated machine `node` under live load —
+    /// its leases lapse, in-flight transactions touching it abort, and
+    /// the pool keeps draining (aborted requests still get answers, so
+    /// conservation audits hold through the fault).
+    pub fn crash_node(&self, node: usize) {
+        self.tele.cluster.crash(node);
+    }
+
+    /// Chaos hook: runs lease-driven recovery for a crashed `node`,
+    /// restoring it to the configuration.
+    pub fn recover_node(&self, node: usize) -> RecoveryReport {
+        drtm_core::recover_node(&self.tele.cluster, node)
+    }
+
     /// Gracefully drains and stops the server: no new connections, new
     /// submissions shed, backlog executed, responses flushed. Returns
-    /// the final stats scrape and the quiesced cluster for audits.
-    pub fn shutdown(mut self) -> (Snapshot, Arc<DrtmCluster>, SbCfg) {
+    /// the final stats scrape, the quiesced cluster for audits, and the
+    /// pools' virtual-time horizon.
+    pub fn shutdown(mut self) -> Drained {
         event(EventKind::Net, "drain", 0, 0);
         self.stop.store(true, Ordering::SeqCst);
-        self.tele.queue.close();
+        self.tele.admit.close();
+        // The pools' virtual clocks are the denominator of any
+        // simulated-throughput claim: committed / (virtual_ns / 1e9) is
+        // what an A/B across dispatcher policies must compare, not wall
+        // time (verb waits advance virtual clocks without sleeping).
+        let mut virtual_ns = 0u64;
         for p in self.pumps.drain(..) {
-            let _ = p.join();
+            if let Ok(workers) = p.join() {
+                for w in &workers {
+                    virtual_ns = virtual_ns.max(w.clock.now());
+                }
+            }
         }
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
@@ -447,8 +641,28 @@ impl Server {
             let _ = s.join();
         }
         let snap = self.snapshot();
-        (snap, Arc::clone(&self.tele.cluster), self.sb.clone())
+        Drained {
+            cluster: Arc::clone(&self.tele.cluster),
+            sb: self.sb.clone(),
+            snap,
+            virtual_ns,
+        }
     }
+}
+
+/// What a graceful [`Server::shutdown`] leaves behind: the final
+/// scrape, the quiesced cluster (for conservation audits), the dataset
+/// shape, and the serve pools' virtual-time horizon.
+pub struct Drained {
+    /// Final stats scrape (drain-complete counters).
+    pub snap: Snapshot,
+    /// The quiesced simulated cluster, for balance audits.
+    pub cluster: Arc<DrtmCluster>,
+    /// The dataset the server loaded.
+    pub sb: SbCfg,
+    /// Max virtual clock over every pool worker, ns — the denominator
+    /// for committed-per-virtual-second throughput.
+    pub virtual_ns: u64,
 }
 
 /// Executes one admitted request on a pool routine's worker and
@@ -521,11 +735,37 @@ async fn execute_job(w: &mut Worker, job: Job, tele: &Telemetry) {
 
 type ConnHandles = (std::thread::JoinHandle<()>, std::thread::JoinHandle<()>);
 
+/// Picks the home pool for a decoded request body: the router's
+/// majority-shard/first-writer rule over the body's access list. For
+/// SmallBank this reduces to the first-written account's shard
+/// (SendPayment and Amalgamate both write `a` first; every other txn
+/// touches only `a`).
+fn home_of_body(body: &JobBody, nodes: usize) -> (usize, bool) {
+    match body {
+        JobBody::SmallBank(inp) => {
+            if matches!(inp.txn, SbTxn::SendPayment | SbTxn::Amalgamate) {
+                route::home_of(&[(inp.a.0, true), (inp.b.0, true)], nodes)
+            } else {
+                route::home_of(&[(inp.a.0, !inp.txn.read_only())], nodes)
+            }
+        }
+        JobBody::Raw(ops) => {
+            let accesses: Vec<(usize, bool)> = ops
+                .iter()
+                .map(|op| match op {
+                    RawOp::Read { shard, .. } => (*shard as usize, false),
+                    RawOp::Write { shard, .. } => (*shard as usize, true),
+                })
+                .collect();
+            route::home_of(&accesses, nodes)
+        }
+    }
+}
+
 /// Spawns the reader/writer pair of one accepted connection.
 fn spawn_conn(
     stream: TcpStream,
     hello: &Msg,
-    queue: Arc<SubmitQueue<Job>>,
     stop: Arc<AtomicBool>,
     tele: Arc<Telemetry>,
     window: usize,
@@ -637,6 +877,14 @@ fn spawn_conn(
                 // Same deterministic head-sampling decision the client
                 // made, recomputed from the request id — no wire bit.
                 let tr = trace::trace_for(id);
+                // Routing on: pick the home pool from the request's
+                // shard set before admission. Off: skip the router
+                // entirely so the shared path stays byte-identical.
+                let (home, all_local) = if tele.admit.routed() {
+                    home_of_body(&body, tele.cluster.nodes())
+                } else {
+                    (0, false)
+                };
                 tele.in_flight.fetch_add(1, Ordering::Relaxed);
                 let job = Job {
                     conn: Arc::clone(&conn),
@@ -645,7 +893,7 @@ fn spawn_conn(
                     admitted: Instant::now(),
                     trace: tr,
                 };
-                if queue.submit(job) == Admission::Rejected {
+                if tele.admit.submit(home, all_local, job) == Admission::Rejected {
                     // Shed: answer immediately, release the slot — the
                     // engine never sees this request.
                     event(EventKind::Net, "reject", id, 0);
@@ -660,6 +908,17 @@ fn spawn_conn(
                     }));
                 } else {
                     event_id(EventKind::Net, "admit", sched_ns, tr, 0);
+                    if tele.admit.routed() {
+                        // Routing decision, observable per request:
+                        // arg packs all_local (bit 32) over the home
+                        // pool index.
+                        event(
+                            EventKind::Net,
+                            "route",
+                            ((all_local as u64) << 32) | home as u64,
+                            0,
+                        );
+                    }
                     if tr != 0 {
                         trace::flow_step(tr, 0);
                         trace::span_begin(EventKind::Net, "queue", tr, 0);

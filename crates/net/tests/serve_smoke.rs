@@ -2,6 +2,7 @@
 //! a real open-loop client, overload past the admission high-water
 //! mark, and a conservation audit after the graceful drain.
 
+use drtm_core::RoutePolicy;
 use drtm_net::loadgen::{run_client, scrape, ClientCfg};
 use drtm_net::proto::ScrapeFormat;
 use drtm_net::server::{Server, ServerCfg};
@@ -49,6 +50,7 @@ fn overload_burst_sheds_conserves_and_drains() {
         conns: 4,
         zero_sum: true,
         cross_prob: 0.2,
+        shard_skew: 0.0,
     })
     .expect("client run");
 
@@ -71,7 +73,9 @@ fn overload_burst_sheds_conserves_and_drains() {
         report.latency.quantile(0.99)
     );
 
-    let (snap, cluster, sb) = server.shutdown();
+    let drained = server.shutdown();
+    let (snap, cluster, sb) = (drained.snap, drained.cluster, drained.sb);
+    assert!(drained.virtual_ns > 0, "pools advanced virtual time");
     assert_eq!(snap.net.conns_opened, 4);
     assert_eq!(snap.net.accepted + snap.net.rejected, 4_000);
     assert_eq!(snap.net.rejected, report.rejected);
@@ -123,13 +127,14 @@ fn paced_run_under_capacity_rejects_nothing() {
         conns: 2,
         zero_sum: false,
         cross_prob: 0.1,
+        shard_skew: 0.0,
     })
     .expect("client run");
 
     assert_eq!(report.sent, 600);
     assert_eq!(report.rejected, 0, "under-capacity load must not shed");
     assert_eq!(report.committed + report.aborted, 600);
-    let (snap, _, _) = server.shutdown();
+    let snap = server.shutdown().snap;
     assert_eq!(snap.net.accepted, 600);
     assert_eq!(snap.net.rejected, 0);
     assert_eq!(snap.net.conns_closed, 2);
@@ -167,6 +172,7 @@ fn live_scrape_mid_burst_agrees_with_drain() {
                     conns: 4,
                     zero_sum: true,
                     cross_prob: 0.2,
+                    shard_skew: 0.0,
                 })
                 .expect("client run")
             })
@@ -191,7 +197,7 @@ fn live_scrape_mid_burst_agrees_with_drain() {
     drtm_obs::jsonlint::validate(&series).expect("series json parses");
     assert!(series.contains("\"series\":["));
 
-    let (snap, _, _) = server.shutdown();
+    let snap = server.shutdown().snap;
     for json in &live {
         drtm_obs::jsonlint::validate(json).expect("live scrape parses");
     }
@@ -284,12 +290,157 @@ fn stats_scrapes_never_consume_submit_queue_slots() {
     assert_eq!(net_counter(&json, "accepted"), 0);
     assert_eq!(net_counter(&json, "rejected"), 0);
 
-    let (snap, _, _) = server.shutdown();
+    let snap = server.shutdown().snap;
     assert_eq!(snap.net.accepted, 0, "stats requests consumed queue slots");
     assert_eq!(snap.net.rejected, 0, "stats requests hit admission control");
     assert_eq!(snap.net.completed, 0, "stats requests reached a routine");
     assert_eq!(snap.net.in_flight, 0);
     assert_eq!(snap.net.queue_depth, 0);
+}
+
+/// The routed dispatcher under the same overload burst: a skewed
+/// offered load lands on a few home queues, sibling pools steal, the
+/// burst sheds through the two-level test, and the drain holds the
+/// conservation audit plus the per-queue `accepted == delivered`
+/// invariant (asserted inside `serve_group`; re-checked here from the
+/// scrape's route section).
+#[test]
+fn routed_burst_steals_sheds_conserves_and_drains() {
+    let server = Server::start(ServerCfg {
+        nodes: 2,
+        accounts: 200,
+        replicas: 1,
+        routines: 2,
+        high_water: 16,
+        window: 2_048,
+        route: RoutePolicy::Routed,
+        steal_reserve: 2,
+        ..Default::default()
+    })
+    .expect("bind loopback");
+    let initial = server.initial_total();
+
+    let report = run_client(&ClientCfg {
+        addr: server.local_addr().to_string(),
+        rate: 0.0,
+        requests: 4_000,
+        seed: 7,
+        conns: 4,
+        zero_sum: true,
+        cross_prob: 0.2,
+        shard_skew: 0.9, // skewed home shards: the steal path must fire
+    })
+    .expect("client run");
+
+    assert_eq!(report.sent, 4_000);
+    assert_eq!(
+        report.committed + report.aborted + report.rejected,
+        4_000,
+        "every request got exactly one response"
+    );
+    assert!(report.committed > 0);
+    assert!(report.rejected > 0, "a burst past high-water must shed");
+
+    let drained = server.shutdown();
+    let snap = &drained.snap;
+    assert!(drained.virtual_ns > 0);
+    assert!(snap.route.enabled, "routed server must report route stats");
+    assert_eq!(
+        snap.route.local + snap.route.remote,
+        snap.net.accepted,
+        "every admission was routed exactly once"
+    );
+    assert!(
+        snap.route.local > 0,
+        "a zero-sum SmallBank mix has single-home requests"
+    );
+    assert_eq!(
+        snap.route.shed_queue + snap.route.shed_global,
+        snap.net.rejected,
+        "every shed is charged to exactly one level"
+    );
+    assert!(
+        snap.route.depths.iter().all(|&d| d == 0),
+        "drain left per-pool backlog: {:?}",
+        snap.route.depths
+    );
+    assert_eq!(
+        snap.net.completed, snap.net.accepted,
+        "accepted == delivered == completed across all queues"
+    );
+    assert_eq!(snap.net.in_flight, 0);
+    assert_eq!(
+        Server::audit_total(&drained.cluster, &drained.sb),
+        initial,
+        "conservation violated under routing"
+    );
+
+    // Routing counters surface in the machine formats.
+    let prom = drtm_obs::expo::render_prometheus(snap);
+    assert!(prom.contains("drtm_route_enabled 1"));
+    assert!(prom.contains(&format!("drtm_route_local_total {}", snap.route.local)));
+    let json = drtm_obs::expo::render_json(snap);
+    drtm_obs::jsonlint::validate(&json).expect("stats json parses");
+    assert!(json.contains("\"route\":{\"enabled\":true"));
+}
+
+/// Chaos on the steal path: crash one pool's simulated machine while
+/// its queue still holds backlog. The pool keeps draining (transactions
+/// touching the dead node abort but still answer), siblings keep
+/// stealing, recovery restores the node, and the drain audit holds —
+/// `accepted == delivered` per queue with zero in-flight leftovers.
+#[test]
+fn routed_drain_survives_node_crash_mid_backlog() {
+    let server = Server::start(ServerCfg {
+        nodes: 2,
+        accounts: 200,
+        replicas: 2, // a backup exists: recovery can restore node 1
+        routines: 2,
+        high_water: 64,
+        window: 2_048,
+        route: RoutePolicy::Routed,
+        steal_reserve: 2,
+        ..Default::default()
+    })
+    .expect("bind loopback");
+
+    let addr = server.local_addr().to_string();
+    let report = std::thread::scope(|scope| {
+        let client = scope.spawn(move || {
+            run_client(&ClientCfg {
+                addr,
+                rate: 0.0, // burst: queues hold backlog when the crash lands
+                requests: 2_000,
+                seed: 31,
+                conns: 4,
+                zero_sum: true,
+                cross_prob: 0.2,
+                shard_skew: 0.9,
+            })
+            .expect("client run")
+        });
+        // Land the crash mid-drain, then recover while load continues.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        server.crash_node(1);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        server.recover_node(1);
+        client.join().expect("client thread")
+    });
+
+    assert_eq!(
+        report.committed + report.aborted + report.rejected,
+        2_000,
+        "every request answered through the crash"
+    );
+    let drained = server.shutdown();
+    let snap = &drained.snap;
+    // The serve_group drain already asserted accepted == delivered per
+    // queue (it would have panicked the pump thread otherwise); the
+    // scrape-level restatement:
+    assert_eq!(snap.net.completed, snap.net.accepted);
+    assert_eq!(snap.net.in_flight, 0);
+    assert!(snap.route.depths.iter().all(|&d| d == 0));
+    assert_eq!(snap.route.local + snap.route.remote, snap.net.accepted);
 }
 
 /// The ISSUE's acceptance scenario: requests against a running server
@@ -322,10 +473,11 @@ fn single_request_trace_links_client_queue_routine_and_phases() {
         conns: 1,
         zero_sum: true,
         cross_prob: 0.2,
+        shard_skew: 0.0,
     })
     .expect("client run");
     assert!(report.committed > 0);
-    let (_, _, _) = server.shutdown();
+    let _ = server.shutdown();
 
     // Group every traced event by trace id across all thread rings.
     let mut by_id: std::collections::HashMap<u64, Vec<drtm_obs::trace::TraceEvent>> =

@@ -158,6 +158,23 @@ pub fn render_prometheus(s: &Snapshot) -> String {
     out.push_str("# TYPE drtm_net_queue_wait_ns summary\n");
     prom_summary(&mut out, "drtm_net_queue_wait_ns", "", &s.net.queue_wait_ns);
 
+    out.push_str("# TYPE drtm_route_enabled gauge\n");
+    let _ = writeln!(out, "drtm_route_enabled {}", s.route.enabled as u8);
+    out.push_str("# TYPE drtm_route_local_total counter\n");
+    let _ = writeln!(out, "drtm_route_local_total {}", s.route.local);
+    out.push_str("# TYPE drtm_route_remote_total counter\n");
+    let _ = writeln!(out, "drtm_route_remote_total {}", s.route.remote);
+    out.push_str("# TYPE drtm_route_steal_total counter\n");
+    let _ = writeln!(out, "drtm_route_steal_total {}", s.route.steals);
+    out.push_str("# TYPE drtm_route_shed_queue_total counter\n");
+    let _ = writeln!(out, "drtm_route_shed_queue_total {}", s.route.shed_queue);
+    out.push_str("# TYPE drtm_route_shed_global_total counter\n");
+    let _ = writeln!(out, "drtm_route_shed_global_total {}", s.route.shed_global);
+    out.push_str("# TYPE drtm_route_queue_depth gauge\n");
+    for (pool, depth) in s.route.depths.iter().enumerate() {
+        let _ = writeln!(out, "drtm_route_queue_depth{{pool=\"{pool}\"}} {depth}");
+    }
+
     out.push_str("# TYPE drtm_cache_hit_total counter\n");
     let _ = writeln!(out, "drtm_cache_hit_total {}", s.cache.hits);
     out.push_str("# TYPE drtm_cache_miss_total counter\n");
@@ -274,6 +291,23 @@ pub fn render_json(s: &Snapshot) -> String {
     );
     json_summary(&mut out, &s.net.queue_wait_ns);
     out.push('}');
+    let _ = write!(
+        out,
+        ",\"route\":{{\"enabled\":{},\"local\":{},\"remote\":{},\"steals\":{},\"shed_queue\":{},\"shed_global\":{},\"depths\":[",
+        s.route.enabled,
+        s.route.local,
+        s.route.remote,
+        s.route.steals,
+        s.route.shed_queue,
+        s.route.shed_global
+    );
+    for (i, depth) in s.route.depths.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{depth}");
+    }
+    out.push_str("]}");
     out.push_str(",\"aborts\":{");
     for (i, (reason, n)) in s.aborts.iter().enumerate() {
         if i > 0 {
@@ -452,6 +486,25 @@ pub fn render_text(s: &Snapshot) -> String {
             us(s.net.queue_wait_ns.p99)
         );
     }
+    if s.route.enabled {
+        let _ = write!(
+            out,
+            "routing: {} local / {} remote ({:.1}% local), {} steals, shed {} queue + {} global, depths [",
+            s.route.local,
+            s.route.remote,
+            s.route.local_rate() * 100.0,
+            s.route.steals,
+            s.route.shed_queue,
+            s.route.shed_global
+        );
+        for (i, depth) in s.route.depths.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            let _ = write!(out, "{depth}");
+        }
+        out.push_str("]\n");
+    }
     if !s.nic.is_empty() {
         out.push_str("\nnic verbs (completed):\n");
         let mut nodes: Vec<usize> = s.nic.iter().map(|r| r.node).collect();
@@ -556,6 +609,15 @@ mod tests {
                 max: 5_000,
             },
         };
+        s.route = crate::RouteStats {
+            enabled: true,
+            local: 70,
+            remote: 20,
+            steals: 5,
+            shed_queue: 7,
+            shed_global: 3,
+            depths: vec![1, 0],
+        };
         s
     }
 
@@ -580,6 +642,10 @@ mod tests {
         assert!(out.contains(
             "\"net\":{\"conns_opened\":4,\"conns_closed\":1,\"accepted\":90,\"rejected\":10,\
              \"completed\":88,\"in_flight\":2,\"queue_depth\":1,\"queue_wait_ns\":"
+        ));
+        assert!(out.contains(
+            "\"route\":{\"enabled\":true,\"local\":70,\"remote\":20,\"steals\":5,\
+             \"shed_queue\":7,\"shed_global\":3,\"depths\":[1,0]}"
         ));
     }
 
@@ -623,6 +689,14 @@ mod tests {
         assert!(out.contains("drtm_net_in_flight 2"));
         assert!(out.contains("drtm_net_queue_wait_ns{quantile=\"0.99\"} 4000"));
         assert!(out.contains("drtm_net_queue_wait_ns{quantile=\"0.999\"} 4800"));
+        assert!(out.contains("drtm_route_enabled 1"));
+        assert!(out.contains("drtm_route_local_total 70"));
+        assert!(out.contains("drtm_route_remote_total 20"));
+        assert!(out.contains("drtm_route_steal_total 5"));
+        assert!(out.contains("drtm_route_shed_queue_total 7"));
+        assert!(out.contains("drtm_route_shed_global_total 3"));
+        assert!(out.contains("drtm_route_queue_depth{pool=\"0\"} 1"));
+        assert!(out.contains("drtm_route_queue_depth{pool=\"1\"} 0"));
         assert!(out.contains("drtm_commit_phase_ns{phase=\"lock\",quantile=\"0.999\"}"));
     }
 
@@ -718,6 +792,8 @@ mod tests {
         assert!(out.contains("contention: 1 pessimistic commits, 2 parks (1 granted, 1 waiting)"));
         assert!(out.contains("serving: 4 conns (1 closed), 90 accepted, 10 rejected"));
         assert!(out.contains("10.0% shed"));
+        assert!(out.contains("routing: 70 local / 20 remote (77.8% local), 5 steals"));
+        assert!(out.contains("shed 7 queue + 3 global, depths [1 0]"));
     }
 
     #[test]
@@ -726,5 +802,6 @@ mod tests {
         assert!(!out.contains("value cache"));
         assert!(!out.contains("serving:"));
         assert!(!out.contains("contention:"));
+        assert!(!out.contains("routing:"));
     }
 }

@@ -45,7 +45,7 @@ pub mod trace;
 
 pub use registry::{
     CacheStats, ContentionStats, HistSummary, MachineRow, NetStats, NicRow, PipelineStats,
-    Registry, Shard, Snapshot,
+    Registry, RouteStats, Shard, Snapshot,
 };
 pub use timeseries::{TsRing, TsSample};
 pub use trace::{EvPhase, EventKind, TraceEvent, TraceRing};

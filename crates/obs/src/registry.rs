@@ -541,6 +541,42 @@ impl NetStats {
     }
 }
 
+/// Shard-affinity routing counters (DESIGN.md §16): per-pool admission
+/// queues plus bounded work stealing in the serving tier. Filled by a
+/// `drtm-net` server running with routing on; `enabled` stays false
+/// (and everything zero) on the shared-queue path.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RouteStats {
+    /// True when the server dispatches through per-pool queues.
+    pub enabled: bool,
+    /// Admitted requests whose shard set was wholly owned by the home
+    /// pool (all-local execution, zero commit-path verbs).
+    pub local: u64,
+    /// Admitted requests with at least one shard outside the home pool.
+    pub remote: u64,
+    /// Items an empty pool stole from a sibling queue.
+    pub steals: u64,
+    /// Sheds charged to a single queue's high-water mark.
+    pub shed_queue: u64,
+    /// Sheds charged to the group-wide backlog cap.
+    pub shed_global: u64,
+    /// Gauge: per-pool queue depths at scrape time, indexed by pool.
+    pub depths: Vec<u64>,
+}
+
+impl RouteStats {
+    /// Fraction of routed admissions that were all-local, in `[0, 1]`;
+    /// 0 when nothing was admitted.
+    pub fn local_rate(&self) -> f64 {
+        let total = self.local + self.remote;
+        if total == 0 {
+            0.0
+        } else {
+            self.local as f64 / total as f64
+        }
+    }
+}
+
 /// Plain-data summary of one histogram, precomputed at scrape time so
 /// exposition code never touches live atomics.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -645,6 +681,9 @@ pub struct Snapshot {
     /// Contention-ladder counters (escalations, parks, grants; all zero
     /// with contention management off).
     pub contention: ContentionStats,
+    /// Shard-affinity routing counters (local/remote dispatch, steals,
+    /// per-pool depths; disabled and zero on the shared-queue path).
+    pub route: RouteStats,
 }
 
 impl Snapshot {
@@ -681,6 +720,7 @@ impl Default for Snapshot {
                 .collect(),
             net: NetStats::default(),
             contention: ContentionStats::default(),
+            route: RouteStats::default(),
         }
     }
 }
